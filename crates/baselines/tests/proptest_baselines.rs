@@ -1,0 +1,81 @@
+//! Property tests for the baseline numerics (PCA, ridge, k-means).
+
+use boreas_baselines::{KMeans, Pca, RidgeRegression};
+use proptest::prelude::*;
+
+fn rows(strategy_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0..100.0f64, 3..=3),
+        8..strategy_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pca_variance_ratios_form_a_distribution(data in rows(80)) {
+        let pca = Pca::fit(&data, 3).unwrap();
+        let ratios = pca.explained_variance_ratio();
+        prop_assert!(ratios.iter().all(|&r| (0.0..=1.0 + 1e-9).contains(&r)));
+        let total: f64 = ratios.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        // Descending order.
+        for pair in ratios.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn pca_transform_is_finite(data in rows(60)) {
+        let pca = Pca::fit(&data, 2).unwrap();
+        for row in &data {
+            for v in pca.transform(row) {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn ridge_never_beats_ols_on_training_mse(
+        data in rows(60),
+        lambda in 0.1..100.0f64,
+    ) {
+        let targets: Vec<f64> = data.iter().map(|r| r[0] * 0.5 - r[1] * 0.2 + 1.0).collect();
+        let ols = RidgeRegression::fit(&data, &targets, 1e-9).unwrap();
+        let ridge = RidgeRegression::fit(&data, &targets, lambda).unwrap();
+        prop_assert!(ols.mse(&data, &targets) <= ridge.mse(&data, &targets) + 1e-6);
+    }
+
+    #[test]
+    fn regression_residuals_are_centred(data in rows(60)) {
+        let targets: Vec<f64> = data.iter().map(|r| r[0] - 2.0 * r[2] + 5.0).collect();
+        let m = RidgeRegression::fit(&data, &targets, 0.0).unwrap();
+        let mean_residual: f64 = data
+            .iter()
+            .zip(&targets)
+            .map(|(r, &y)| y - m.predict(r))
+            .sum::<f64>()
+            / data.len() as f64;
+        // OLS with an (unregularised) intercept has zero-mean residuals.
+        prop_assert!(mean_residual.abs() < 1e-6, "mean residual {mean_residual}");
+    }
+
+    #[test]
+    fn kmeans_assign_returns_nearest_centroid(data in rows(60), k in 1usize..5) {
+        prop_assume!(k <= data.len());
+        let km = KMeans::fit(&data, k, 50, 3).unwrap();
+        for p in &data {
+            let a = km.assign(p);
+            let d_assigned: f64 = km.centroids()[a]
+                .iter()
+                .zip(p)
+                .map(|(c, x)| (c - x) * (c - x))
+                .sum();
+            for c in km.centroids() {
+                let d: f64 = c.iter().zip(p).map(|(cv, x)| (cv - x) * (cv - x)).sum();
+                prop_assert!(d_assigned <= d + 1e-9);
+            }
+        }
+    }
+}

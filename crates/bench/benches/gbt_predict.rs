@@ -1,0 +1,51 @@
+//! Criterion bench: GBT prediction and training cost (the software
+//! counterpart of the paper's §V-E overhead analysis).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gbt::{Dataset, GbtModel, GbtParams};
+use std::hint::black_box;
+
+/// A synthetic severity-like dataset: 20 features, smooth nonlinear
+/// target, deterministic.
+fn synthetic(n: usize, features: usize) -> Dataset {
+    let names: Vec<String> = (0..features).map(|f| format!("f{f}")).collect();
+    let mut d = Dataset::new(names);
+    let mut row = vec![0.0; features];
+    for i in 0..n {
+        for (f, v) in row.iter_mut().enumerate() {
+            *v = (((i * (f + 3) * 2654435761) % 1000) as f64) / 1000.0;
+        }
+        let y = (row[0] * 3.0).sin() * 0.3 + row[1] * 0.5 + (row[2] - 0.5).abs();
+        d.push_row(&row, y, (i % 8) as u32).expect("valid row");
+    }
+    d
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = synthetic(4_000, 20);
+    // The paper's deployed configuration: 223 trees x depth 3.
+    let model = GbtModel::train(&data, &GbtParams::default()).expect("train");
+    let row = data.row(17);
+    c.bench_function("gbt_predict_paper_config_223x3", |b| {
+        b.iter(|| black_box(model.predict(black_box(&row))))
+    });
+
+    let small = GbtModel::train(&data, &GbtParams::default().with_estimators(32)).expect("train");
+    c.bench_function("gbt_predict_small_32x3", |b| {
+        b.iter(|| black_box(small.predict(black_box(&row))))
+    });
+}
+
+fn bench_train(c: &mut Criterion) {
+    let data = synthetic(2_000, 20);
+    c.bench_function("gbt_train_50_trees_2k_rows", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| GbtModel::train(&d, &GbtParams::default().with_estimators(50)).expect("train"),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: full coupled pipeline step rate (performance model +
+//! power map + thermal integration + severity + sensors), the unit of
+//! cost for every experiment in the reproduction.
+
+use common::units::{GigaHertz, Volts};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotgauge::PipelineConfig;
+use std::hint::black_box;
+use workloads::WorkloadSpec;
+
+fn bench_pipeline_step(c: &mut Criterion) {
+    let pipeline = PipelineConfig::paper().build().expect("config");
+    let spec = WorkloadSpec::by_name("gromacs").expect("workload");
+    let mut run = pipeline.start_run(&spec).expect("run");
+    c.bench_function("pipeline_step_80us_paper_grid", |b| {
+        b.iter(|| {
+            black_box(
+                run.step(GigaHertz::new(4.5), Volts::new(1.15))
+                    .expect("step"),
+            )
+        })
+    });
+}
+
+fn bench_fixed_run(c: &mut Criterion) {
+    let pipeline = PipelineConfig::paper().build().expect("config");
+    let spec = WorkloadSpec::by_name("gamess").expect("workload");
+    let mut group = c.benchmark_group("fixed_run");
+    group.sample_size(10);
+    group.bench_function("run_fixed_150_steps_12ms", |b| {
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .run_fixed(&spec, GigaHertz::new(4.0), Volts::new(0.98), 150)
+                    .expect("run"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_step, bench_fixed_run);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: thermal-solver and MLTD throughput at the paper's
+//! grid resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use floorplan::{Floorplan, Grid, GridSpec};
+use hotgauge::MltdMap;
+use std::hint::black_box;
+use thermal::{ThermalConfig, ThermalGrid};
+
+fn bench_thermal_step(c: &mut Criterion) {
+    let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default()).expect("grid");
+    let mut t = ThermalGrid::new(&grid, ThermalConfig::default());
+    let power = vec![0.03; grid.spec().cells()];
+    c.bench_function("thermal_step_80us_32x24", |b| {
+        b.iter(|| t.step(black_box(&power), 80.0).expect("step"))
+    });
+
+    let fine = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(64, 48).expect("spec"))
+        .expect("grid");
+    let mut tf = ThermalGrid::new(&fine, ThermalConfig::default());
+    let power_fine = vec![0.0075; fine.spec().cells()];
+    c.bench_function("thermal_step_80us_64x48", |b| {
+        b.iter(|| tf.step(black_box(&power_fine), 80.0).expect("step"))
+    });
+}
+
+fn bench_mltd(c: &mut Criterion) {
+    let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default()).expect("grid");
+    let mltd = MltdMap::new(&grid, 0.6);
+    let temps: Vec<f64> = (0..grid.spec().cells())
+        .map(|i| 45.0 + ((i * 37) % 50) as f64)
+        .collect();
+    c.bench_function("mltd_compute_32x24_r0.6mm", |b| {
+        b.iter(|| black_box(mltd.compute(black_box(&temps))))
+    });
+}
+
+criterion_group!(benches, bench_thermal_step, bench_mltd);
+criterion_main!(benches);

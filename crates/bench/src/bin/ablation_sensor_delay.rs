@@ -1,0 +1,96 @@
+//! Ablation: sensor read-out delay vs controller performance.
+//!
+//! The paper stresses that Boreas keeps its precision "even with a
+//! conservative thermal sensor delay" (960 µs), while temperature-only
+//! control degrades: longer delays drag the measured critical
+//! temperatures down (§III-D1), stealing headroom from TH. Here both
+//! controller families are re-derived at each delay (critical temps +
+//! trained thresholds for TH, retrained model for ML05) and compared on
+//! the test set.
+
+use boreas_bench::experiments::LOOP_STEPS;
+use boreas_core::{
+    train_boreas_model, train_safe_thresholds, BoreasController, ClosedLoopRunner,
+    CriticalTemps, ThermalController, TrainingConfig, VfTable,
+};
+use hotgauge::PipelineConfig;
+use telemetry::FeatureSet;
+use workloads::WorkloadSpec;
+
+fn main() {
+    println!(
+        "{:>10} {:>10} {:>8} {:>10} {:>8}   (normalised avg frequency over the test set)",
+        "delay", "TH-00", "TH inc", "ML05", "ML inc"
+    );
+    for delay_us in [0.0, 180.0, 480.0, 960.0, 1920.0] {
+        let mut cfg = PipelineConfig::paper();
+        cfg.sensor_delay_us = delay_us;
+        let pipeline = cfg.build().expect("config builds");
+        let vf = VfTable::paper();
+        let runner = ClosedLoopRunner::new(&pipeline);
+
+        // TH: critical temps at this delay, trained safe on the training set.
+        let crit = CriticalTemps::measure(
+            &pipeline,
+            &WorkloadSpec::train_set(),
+            &vf,
+            telemetry::DEFAULT_SENSOR_INDEX,
+            150,
+        )
+        .expect("critical temps");
+        let thresholds = train_safe_thresholds(
+            &runner,
+            &WorkloadSpec::train_set(),
+            crit.global_thresholds(),
+            LOOP_STEPS,
+            60,
+        )
+        .expect("threshold training");
+
+        // ML05: retrained at this delay (the sensor feature changes).
+        let features = FeatureSet::full();
+        let (model, _) = train_boreas_model(
+            &pipeline,
+            &vf,
+            &WorkloadSpec::train_set(),
+            &features,
+            &TrainingConfig::default(),
+        )
+        .expect("training");
+
+        let mut th_sum = 0.0;
+        let mut th_inc = 0usize;
+        let mut ml_sum = 0.0;
+        let mut ml_inc = 0usize;
+        let tests = WorkloadSpec::test_set();
+        for w in &tests {
+            let mut th = ThermalController::from_thresholds(thresholds.clone(), 0.0);
+            let out = runner
+                .run(w, &mut th, LOOP_STEPS, VfTable::BASELINE_INDEX)
+                .expect("th run");
+            th_sum += out.normalized_frequency;
+            th_inc += out.incursions;
+            let mut ml = BoreasController::new(model.clone(), features.clone(), 0.05);
+            let out = runner
+                .run(w, &mut ml, LOOP_STEPS, VfTable::BASELINE_INDEX)
+                .expect("ml run");
+            ml_sum += out.normalized_frequency;
+            ml_inc += out.incursions;
+        }
+        println!(
+            "{:>8.0}us {:>10.4} {:>8} {:>10.4} {:>8}",
+            delay_us,
+            th_sum / tests.len() as f64,
+            th_inc,
+            ml_sum / tests.len() as f64,
+            ml_inc
+        );
+    }
+    println!(
+        "\n(TH loses headroom as the delay grows — at 2x the paper's delay it falls back toward the \
+         baseline — while Boreas's average frequency barely moves because the counters lead the \
+         thermals. Note the 5% guardband is tuned for the paper's 960 us point: at other delays \
+         the temperature feature's error profile changes and the guardband needs retuning to stay \
+         incursion-free.)"
+    );
+}

@@ -1,0 +1,77 @@
+//! Diagnostic: model accuracy on the test set + a decision trace for one
+//! workload under ML05.
+
+use boreas_bench::experiments::{Experiment, LOOP_STEPS, RUN_STEPS};
+use boreas_core::{BoreasController, ClosedLoopRunner, VfTable};
+use common::units::{GigaHertz, Volts};
+use telemetry::{build_dataset, DatasetSpec};
+use workloads::WorkloadSpec;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gamess".into());
+    let exp = Experiment::paper().expect("paper");
+    let (model, features) = exp.boreas_model().expect("model");
+
+    // Test-set accuracy.
+    let points: Vec<(GigaHertz, Volts)> = exp
+        .vf
+        .points()
+        .iter()
+        .map(|p| (p.frequency, p.voltage))
+        .collect();
+    let spec = DatasetSpec {
+        steps: RUN_STEPS,
+        horizon: 12,
+        sensor_idx: telemetry::MAX_SENSOR_BANK,
+        label_cap: Some(2.0),
+    };
+    let test = build_dataset(
+        &exp.pipeline,
+        &features,
+        &WorkloadSpec::test_set(),
+        &points,
+        &spec,
+    )
+    .expect("test dataset");
+    println!("test MSE = {:.5} over {} instances", model.mse_on(&test), test.len());
+
+    // Per-workload high-severity accuracy.
+    for (g, w) in WorkloadSpec::test_set().iter().enumerate() {
+        let mut errs = Vec::new();
+        for i in 0..test.len() {
+            if test.groups()[i] == g as u32 && test.targets()[i] > 0.8 {
+                errs.push(model.predict(&test.row(i)) - test.targets()[i]);
+            }
+        }
+        let bias = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        println!("{:<12} hot instances: {:>5}  mean bias {:+.4}", w.name, errs.len(), bias);
+    }
+
+    // Closed-loop trace.
+    let w = WorkloadSpec::by_name(&name).expect("workload");
+    let runner = ClosedLoopRunner::new(&exp.pipeline);
+    let mut ml05 = BoreasController::new(model.clone(), features.clone(), 0.05);
+    let out = runner
+        .run(&w, &mut ml05, LOOP_STEPS, VfTable::BASELINE_INDEX)
+        .expect("run");
+    println!("\n{} under ML05: avg {:.3} GHz, incursions {}", name, out.avg_frequency.value(), out.incursions);
+    println!("{:>6} {:>6} {:>8} {:>8} {:>8} {:>8}", "ms", "GHz", "sensor", "sev", "predH", "predU");
+    for chunk in out.records.chunks(12) {
+        let last = chunk.last().unwrap();
+        let ctx = boreas_core::ControlContext {
+            vf: runner.vf(),
+            current_idx: runner.vf().index_of(last.frequency).unwrap(),
+            recent: chunk,
+            sensor_idx: telemetry::MAX_SENSOR_BANK,
+        };
+        println!(
+            "{:>6.2} {:>6.2} {:>8.2} {:>8.3} {:>8.3} {:>8.3}",
+            last.time.as_millis_f64(),
+            last.frequency.value(),
+            last.sensor_temps[3].value(),
+            chunk.iter().map(|r| r.max_severity.value()).fold(0.0f64, f64::max),
+            ml05.predict_hold(&ctx),
+            ml05.predict_up(&ctx),
+        );
+    }
+}

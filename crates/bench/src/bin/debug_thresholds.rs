@@ -1,0 +1,11 @@
+//! Diagnostic: print the global critical-temperature thresholds the
+//! thermal controllers are built from.
+
+use boreas_bench::experiments::Experiment;
+fn main() {
+    let exp = Experiment::paper().unwrap();
+    let crit = exp.critical_temps().unwrap();
+    for (i, t) in crit.global_thresholds().iter().enumerate() {
+        println!("{:>5.2} GHz: {:?}", exp.vf.point(i).frequency.value(), t);
+    }
+}

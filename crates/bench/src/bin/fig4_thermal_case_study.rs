@@ -1,0 +1,47 @@
+//! Fig. 4: frequency vs max severity for gromacs and gamess under the
+//! thermal models TH-00 / TH-05 / TH-10.
+//!
+//! Paper shape: TH-00 is safe for both; relaxing the thresholds by 5 or
+//! 10 degrees causes hotspot incursions on gromacs while gamess stays
+//! reliable and simply runs faster.
+
+use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_core::{ClosedLoopRunner, ThermalController, VfTable};
+use workloads::WorkloadSpec;
+
+fn main() {
+    let exp = Experiment::paper().expect("paper config");
+    let thresholds = exp.trained_thresholds().expect("trained thresholds");
+    let runner = ClosedLoopRunner::new(&exp.pipeline);
+
+    for name in ["gromacs", "gamess"] {
+        let spec = WorkloadSpec::by_name(name).expect("workload");
+        println!("== {name}");
+        for relax in [0.0, 5.0, 10.0] {
+            let mut c = ThermalController::from_thresholds(thresholds.clone(), relax);
+            let out = runner
+                .run(&spec, &mut c, LOOP_STEPS, VfTable::BASELINE_INDEX)
+                .expect("closed loop");
+            println!(
+                "  TH-{relax:02.0}: avg {:.3} GHz ({:+.1}% vs baseline), peak severity {}, incursions {}{}",
+                out.avg_frequency.value(),
+                (out.normalized_frequency - 1.0) * 100.0,
+                out.peak_severity,
+                out.incursions,
+                if out.incursions > 0 { "  << UNSAFE" } else { "" }
+            );
+            // Compact trace: frequency per decision interval.
+            print!("        f(GHz) per ms: ");
+            for chunk in out.records.chunks(12) {
+                print!("{:.2} ", chunk.last().expect("non-empty").frequency.value());
+            }
+            println!();
+            print!("        max sev per ms: ");
+            for chunk in out.records.chunks(12) {
+                let s = chunk.iter().map(|r| r.max_severity.value()).fold(0.0f64, f64::max);
+                print!("{s:.2} ");
+            }
+            println!();
+        }
+    }
+}

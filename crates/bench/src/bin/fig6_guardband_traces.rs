@@ -1,0 +1,45 @@
+//! Fig. 6: frequency vs max severity for bzip2 under ML00 / ML05 / ML10.
+//!
+//! Paper shape: ML00 (no guardband) reaches severity 1.0 in several
+//! steps; ML05 rides close to 1 without ever reaching it; ML10 is safe
+//! but conservative.
+
+use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_core::{BoreasController, ClosedLoopRunner, VfTable};
+use workloads::WorkloadSpec;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
+    let exp = Experiment::paper().expect("paper config");
+    let (model, features) = exp.boreas_model().expect("model");
+    let runner = ClosedLoopRunner::new(&exp.pipeline);
+    let spec = WorkloadSpec::by_name(&name).expect("workload");
+
+    println!("Fig. 6: {name} under ML guardbands\n");
+    for g in [0.0, 0.05, 0.10] {
+        let mut c = BoreasController::new(model.clone(), features.clone(), g);
+        let out = runner
+            .run(&spec, &mut c, LOOP_STEPS, VfTable::BASELINE_INDEX)
+            .expect("closed loop");
+        println!(
+            "ML{:02.0} (threshold {:.2}): avg {:.3} GHz, peak severity {}, incursions {}{}",
+            g * 100.0,
+            1.0 - g,
+            out.avg_frequency.value(),
+            out.peak_severity,
+            out.incursions,
+            if out.incursions > 0 { "  << UNSAFE" } else { "" }
+        );
+        print!("  f(GHz) per ms:  ");
+        for chunk in out.records.chunks(12) {
+            print!("{:.2} ", chunk.last().expect("non-empty").frequency.value());
+        }
+        println!();
+        print!("  max sev per ms: ");
+        for chunk in out.records.chunks(12) {
+            let s = chunk.iter().map(|r| r.max_severity.value()).fold(0.0f64, f64::max);
+            print!("{s:.2} ");
+        }
+        println!("\n");
+    }
+}

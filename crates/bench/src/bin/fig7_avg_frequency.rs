@@ -1,0 +1,80 @@
+//! Fig. 7: average frequency of every model on the unseen test
+//! workloads, normalised to the 3.75 GHz baseline.
+//!
+//! Paper shape: TH-00 ≈ +5.7 % over baseline; ML05 ≈ TH-00 + 4.5 % with
+//! zero incursions; ML00 fastest but unreliable; ML10 safe but barely
+//! better than TH (and worse on hmmer).
+
+use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_core::{
+    BoreasController, ClosedLoopRunner, Controller, GlobalVfController, ThermalController, VfTable,
+};
+use workloads::WorkloadSpec;
+
+fn main() {
+    let exp = Experiment::paper().expect("paper config");
+    let thresholds = exp.trained_thresholds().expect("trained thresholds");
+    let (model, features) = exp.boreas_model().expect("boreas model");
+    let runner = ClosedLoopRunner::new(&exp.pipeline);
+    let tests = WorkloadSpec::test_set();
+
+    let mut make: Vec<(&str, Box<dyn Fn() -> Box<dyn Controller>>)> = Vec::new();
+    make.push((
+        "TH-00",
+        Box::new({
+            let thresholds = thresholds.clone();
+            move || Box::new(ThermalController::from_thresholds(thresholds.clone(), 0.0))
+        }),
+    ));
+    for g in [0.0, 0.05, 0.10] {
+        let model = model.clone();
+        let features = features.clone();
+        make.push((
+            match (g * 100.0) as u32 {
+                0 => "ML00",
+                5 => "ML05",
+                _ => "ML10",
+            },
+            Box::new(move || Box::new(BoreasController::new(model.clone(), features.clone(), g))),
+        ));
+    }
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}   (normalised avg frequency; * = incursions)",
+        "workload", "TH-00", "ML00", "ML05", "ML10"
+    );
+    let mut sums = vec![0.0; make.len()];
+    let mut incur = vec![0usize; make.len()];
+    for w in &tests {
+        print!("{:<12}", w.name);
+        for (i, (_, mk)) in make.iter().enumerate() {
+            let mut c = mk();
+            let out = runner
+                .run(w, c.as_mut(), LOOP_STEPS, VfTable::BASELINE_INDEX)
+                .expect("closed loop");
+            sums[i] += out.normalized_frequency;
+            incur[i] += out.incursions;
+            print!(
+                " {:>7.4}{}",
+                out.normalized_frequency,
+                if out.incursions > 0 { "*" } else { " " }
+            );
+        }
+        println!();
+    }
+    print!("{:<12}", "AVG");
+    for (i, _) in make.iter().enumerate() {
+        print!(" {:>7.4}{}", sums[i] / tests.len() as f64, if incur[i] > 0 { "*" } else { " " });
+    }
+    println!();
+    // Baseline sanity and the headline delta.
+    let mut base = GlobalVfController::new(VfTable::BASELINE_INDEX);
+    let out = runner
+        .run(&tests[0], &mut base, LOOP_STEPS, VfTable::BASELINE_INDEX)
+        .expect("baseline");
+    assert!((out.normalized_frequency - 1.0).abs() < 1e-9);
+    let th = sums[0] / tests.len() as f64;
+    let ml05 = sums[2] / tests.len() as f64;
+    println!("\nTH-00 over baseline: {:+.1}%", (th - 1.0) * 100.0);
+    println!("ML05 over TH-00:     {:+.1}%  (paper: +4.5%)", (ml05 / th - 1.0) * 100.0);
+}

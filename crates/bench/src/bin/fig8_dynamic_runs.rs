@@ -1,0 +1,62 @@
+//! Fig. 8: dynamic closed-loop traces of every unseen test workload
+//! under TH-00 and Boreas (ML05) for 150 timesteps (12 ms).
+//!
+//! Paper shape: Boreas runs at the same frequency or one-two 250 MHz
+//! steps above the thermal model (except hmmer), and no test workload
+//! ever reaches severity 1.0 under either controller.
+
+use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_core::{
+    BoreasController, ClosedLoopRunner, Controller, ThermalController, VfTable,
+};
+use workloads::WorkloadSpec;
+
+fn main() {
+    let exp = Experiment::paper().expect("paper config");
+    let thresholds = exp.trained_thresholds().expect("trained thresholds");
+    let (model, features) = exp.boreas_model().expect("model");
+    let runner = ClosedLoopRunner::new(&exp.pipeline);
+
+    let mut any_incursion = false;
+    for w in WorkloadSpec::test_set() {
+        println!("== {}", w.name);
+        let mut th: Box<dyn Controller> =
+            Box::new(ThermalController::from_thresholds(thresholds.clone(), 0.0));
+        let mut ml: Box<dyn Controller> =
+            Box::new(BoreasController::new(model.clone(), features.clone(), 0.05));
+        let mut avg = Vec::new();
+        for c in [&mut th, &mut ml] {
+            let out = runner
+                .run(&w, c.as_mut(), LOOP_STEPS, VfTable::BASELINE_INDEX)
+                .expect("closed loop");
+            println!(
+                "  {:<6} avg {:.3} GHz, peak severity {}, incursions {}",
+                out.controller,
+                out.avg_frequency.value(),
+                out.peak_severity,
+                out.incursions
+            );
+            print!("    f(GHz):  ");
+            for chunk in out.records.chunks(12) {
+                print!("{:.2} ", chunk.last().expect("non-empty").frequency.value());
+            }
+            println!();
+            print!("    max sev: ");
+            for chunk in out.records.chunks(12) {
+                let s = chunk.iter().map(|r| r.max_severity.value()).fold(0.0f64, f64::max);
+                print!("{s:.2} ");
+            }
+            println!();
+            any_incursion |= out.incursions > 0;
+            avg.push(out.avg_frequency.value());
+        }
+        println!(
+            "  Boreas vs TH-00: {:+.1}%\n",
+            (avg[1] / avg[0] - 1.0) * 100.0
+        );
+    }
+    println!(
+        "any incursion across all test workloads and both controllers: {} (paper: none)",
+        if any_incursion { "YES (!)" } else { "no" }
+    );
+}

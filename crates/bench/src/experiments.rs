@@ -1,0 +1,191 @@
+//! Shared experiment context: the paper pipeline, trained artefacts and
+//! a small on-disk cache so the per-figure binaries don't retrain.
+
+use boreas_core::{train_safe_thresholds, ClosedLoopRunner, CriticalTemps, SweepTable, TrainingConfig, VfTable};
+use common::Result;
+use gbt::{GbtModel, GbtParams};
+use hotgauge::{Pipeline, PipelineConfig};
+use std::path::PathBuf;
+use telemetry::FeatureSet;
+use workloads::WorkloadSpec;
+
+/// Number of 80 µs steps per experiment run: 150 steps = 12 ms, the
+/// paper's trace length (Fig. 8: "150 timesteps (12 milliseconds)").
+pub const RUN_STEPS: usize = 150;
+
+/// Closed-loop runs use a multiple of the 12-step decision interval.
+pub const LOOP_STEPS: usize = 144;
+
+/// Everything the figure/table binaries need.
+pub struct Experiment {
+    /// The paper-configured pipeline.
+    pub pipeline: Pipeline,
+    /// The paper VF table.
+    pub vf: VfTable,
+}
+
+impl Experiment {
+    /// Builds the paper configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors (none with the defaults).
+    pub fn paper() -> Result<Experiment> {
+        Ok(Experiment {
+            pipeline: PipelineConfig::paper().build()?,
+            vf: VfTable::paper(),
+        })
+    }
+
+    /// Cache directory for trained artefacts (under `target/`).
+    fn cache_dir() -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/boreas-cache");
+        std::fs::create_dir_all(&dir).ok();
+        dir
+    }
+
+    /// The Fig. 2 sweep of the full suite (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline/serialisation errors.
+    pub fn sweep_table(&self) -> Result<SweepTable> {
+        let path = Self::cache_dir().join("sweep_table.json");
+        if let Ok(json) = std::fs::read_to_string(&path) {
+            if let Ok(table) = serde_json::from_str(&json) {
+                return Ok(table);
+            }
+        }
+        let table = SweepTable::measure(
+            &self.pipeline,
+            &WorkloadSpec::by_severity_rank(),
+            &self.vf,
+            RUN_STEPS,
+        )?;
+        if let Ok(json) = serde_json::to_string(&table) {
+            std::fs::write(&path, json).ok();
+        }
+        Ok(table)
+    }
+
+    /// Critical temperatures of the *training* workloads on the default
+    /// sensor (cached) — the thermal controllers' threshold source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline/serialisation errors.
+    pub fn critical_temps(&self) -> Result<CriticalTemps> {
+        let path = Self::cache_dir().join("critical_temps.json");
+        if let Ok(json) = std::fs::read_to_string(&path) {
+            if let Ok(crit) = serde_json::from_str(&json) {
+                return Ok(crit);
+            }
+        }
+        let crit = CriticalTemps::measure(
+            &self.pipeline,
+            &WorkloadSpec::train_set(),
+            &self.vf,
+            telemetry::DEFAULT_SENSOR_INDEX,
+            RUN_STEPS,
+        )?;
+        if let Ok(json) = serde_json::to_string(&crit) {
+            std::fs::write(&path, json).ok();
+        }
+        Ok(crit)
+    }
+
+    /// Closed-loop-safe TH-00 thresholds: the measured critical
+    /// temperatures, lowered until every *training* workload runs clean
+    /// (cached). This is the paper's "trained on a threshold that is safe
+    /// for all workloads in the training set".
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn trained_thresholds(&self) -> Result<Vec<Option<f64>>> {
+        let path = Self::cache_dir().join("trained_thresholds.json");
+        if let Ok(json) = std::fs::read_to_string(&path) {
+            if let Ok(t) = serde_json::from_str::<Vec<Option<f64>>>(&json) {
+                if t.len() == self.vf.len() {
+                    return Ok(t);
+                }
+            }
+        }
+        let crit = self.critical_temps()?;
+        let runner = ClosedLoopRunner::new(&self.pipeline);
+        let trained = train_safe_thresholds(
+            &runner,
+            &WorkloadSpec::train_set(),
+            crit.global_thresholds(),
+            LOOP_STEPS,
+            60,
+        )?;
+        if let Ok(json) = serde_json::to_string(&trained) {
+            std::fs::write(&path, json).ok();
+        }
+        Ok(trained)
+    }
+
+    /// The full-featured (78-attribute) model trained on the training
+    /// set with Table II hyper-parameters (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline/training errors.
+    pub fn full_model(&self) -> Result<GbtModel> {
+        self.cached_model("model_full.json", &FeatureSet::full(), GbtParams::default())
+    }
+
+    /// The deployed Boreas model: top-20 features by gain of the full
+    /// model, retrained (cached). Returns the model and its feature set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline/training errors.
+    pub fn boreas_model(&self) -> Result<(GbtModel, FeatureSet)> {
+        let full = self.full_model()?;
+        let top: Vec<String> = full
+            .feature_importance()
+            .into_iter()
+            .take(20)
+            .map(|(n, _)| n)
+            .collect();
+        let refs: Vec<&str> = top.iter().map(String::as_str).collect();
+        let features = FeatureSet::from_names(&refs)?;
+        let model = self.cached_model("model_top20.json", &features, GbtParams::default())?;
+        Ok((model, features))
+    }
+
+    fn cached_model(
+        &self,
+        file: &str,
+        features: &FeatureSet,
+        params: GbtParams,
+    ) -> Result<GbtModel> {
+        let path = Self::cache_dir().join(file);
+        if let Ok(json) = std::fs::read_to_string(&path) {
+            if let Ok(model) = GbtModel::from_json(&json) {
+                if model.feature_names() == features.names().as_slice() {
+                    return Ok(model);
+                }
+            }
+        }
+        let cfg = TrainingConfig {
+            steps: RUN_STEPS,
+            horizon: 12,
+            sensor_idx: telemetry::MAX_SENSOR_BANK,
+            params,
+            label_cap: Some(2.0),
+        };
+        let (model, _) = boreas_core::train_boreas_model(
+            &self.pipeline,
+            &self.vf,
+            &WorkloadSpec::train_set(),
+            features,
+            &cfg,
+        )?;
+        std::fs::write(&path, model.to_json()?).ok();
+        Ok(model)
+    }
+}

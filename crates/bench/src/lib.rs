@@ -1,0 +1,12 @@
+//! Benchmark and experiment-regeneration harness for the Boreas
+//! reproduction.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index); the Criterion benches under
+//! `benches/` measure the runtime cost of the core components (GBT
+//! prediction latency, thermal-solver throughput, pipeline step rate).
+
+pub mod experiments;
+pub mod sweep;
+
+pub use sweep::{parallel_severity_sweep, SweepPoint};

@@ -1,0 +1,83 @@
+//! Parallel workload × frequency severity sweeps (the Fig. 2 engine).
+
+use boreas_core::vf::VfTable;
+use common::units::GigaHertz;
+use hotgauge::Pipeline;
+use workloads::WorkloadSpec;
+
+/// One point of the Fig. 2 sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Severity rank of the workload (Fig. 2 sort order).
+    pub rank: usize,
+    /// Frequency of the run.
+    pub freq: GigaHertz,
+    /// Peak severity over the run (clamped to [0, 1]).
+    pub peak_severity: f64,
+    /// Unclamped peak severity.
+    pub peak_severity_raw: f64,
+    /// Peak true die temperature, °C.
+    pub peak_temp: f64,
+    /// Mean IPC of the run.
+    pub mean_ipc: f64,
+}
+
+/// Runs every workload at every VF point for `steps` steps, in parallel
+/// across OS threads, and returns the points sorted by (rank, freq).
+///
+/// # Panics
+///
+/// Panics if any simulation fails (the built-in configurations cannot).
+pub fn parallel_severity_sweep(
+    pipeline: &Pipeline,
+    vf: &VfTable,
+    workloads: &[WorkloadSpec],
+    steps: usize,
+) -> Vec<SweepPoint> {
+    let mut jobs: Vec<(WorkloadSpec, GigaHertz)> = Vec::new();
+    for w in workloads {
+        for point in vf.points() {
+            jobs.push((w.clone(), point.frequency));
+        }
+    }
+    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let results = std::sync::Mutex::new(Vec::with_capacity(jobs.len()));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (spec, freq) = &jobs[i];
+                let voltage = vf.voltage_for(*freq).expect("frequency from table");
+                let out = pipeline
+                    .run_fixed(spec, *freq, voltage, steps)
+                    .expect("sweep run failed");
+                let point = SweepPoint {
+                    workload: spec.name.clone(),
+                    rank: spec.severity_rank,
+                    freq: *freq,
+                    peak_severity: out.peak_severity.value(),
+                    peak_severity_raw: out.peak_severity_raw,
+                    peak_temp: out.peak_temp.value(),
+                    mean_ipc: out.mean_ipc,
+                };
+                results.lock().expect("poisoned").push(point);
+            });
+        }
+    })
+    .expect("sweep threads panicked");
+
+    let mut points = results.into_inner().expect("poisoned");
+    points.sort_by(|a, b| {
+        (a.rank, a.freq.value())
+            .partial_cmp(&(b.rank, b.freq.value()))
+            .expect("finite")
+    });
+    points
+}

@@ -1,0 +1,418 @@
+//! The frequency controllers the paper evaluates.
+
+use crate::critical::CriticalTemps;
+use crate::vf::VfTable;
+use common::units::GigaHertz;
+use gbt::GbtModel;
+use hotgauge::StepRecord;
+use telemetry::FeatureSet;
+
+/// What a controller chose to do at a decision boundary (diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Raise frequency one 250 MHz step.
+    StepUp,
+    /// Keep the current operating point.
+    Hold,
+    /// Lower frequency one 250 MHz step.
+    StepDown,
+}
+
+/// Context handed to a controller at each 960 µs decision boundary.
+///
+/// Only *observable* state is exposed: the delayed sensor readings and
+/// the interval's telemetry. True die temperatures and severities are
+/// oracle knowledge and deliberately absent.
+#[derive(Debug)]
+pub struct ControlContext<'a> {
+    /// The legal operating points.
+    pub vf: &'a VfTable,
+    /// Index of the point used during the last interval.
+    pub current_idx: usize,
+    /// The 12 step records of the last interval (oldest first). Severity
+    /// fields are present for *accounting*; controllers must not read
+    /// them.
+    pub recent: &'a [StepRecord],
+    /// Which sensor the controller may read.
+    pub sensor_idx: usize,
+}
+
+impl ControlContext<'_> {
+    /// The newest step record of the interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty (the runner never does this).
+    pub fn last_record(&self) -> &StepRecord {
+        self.recent.last().expect("non-empty interval")
+    }
+
+    /// The delayed sensor temperature visible to the controller, °C,
+    /// read via the context's default selector (a single sensor, or the
+    /// bank maximum for [`telemetry::MAX_SENSOR_BANK`]).
+    pub fn sensor_temp(&self) -> f64 {
+        self.sensor_temp_at(self.sensor_idx)
+    }
+
+    /// The delayed temperature of a specific sensor selector.
+    pub fn sensor_temp_at(&self, sensor_idx: usize) -> f64 {
+        telemetry::observed_temperature(self.last_record(), sensor_idx)
+    }
+}
+
+/// A voltage/frequency selection policy.
+pub trait Controller {
+    /// Display name (e.g. `"TH-05"`, `"ML05"`).
+    fn name(&self) -> String;
+
+    /// Chooses the VF index for the next interval.
+    fn decide(&mut self, ctx: &ControlContext<'_>) -> usize;
+
+    /// Clears any per-run state (none by default).
+    fn reset(&mut self) {}
+}
+
+/// §III-C: the single globally safe VF limit (3.75 GHz); never moves.
+#[derive(Debug, Clone)]
+pub struct GlobalVfController {
+    idx: usize,
+}
+
+impl GlobalVfController {
+    /// Creates the controller pinned at `idx` (use the sweep table's
+    /// [`crate::SweepTable::global_safe_index`]).
+    pub fn new(idx: usize) -> Self {
+        Self { idx }
+    }
+}
+
+impl Controller for GlobalVfController {
+    fn name(&self) -> String {
+        "global".into()
+    }
+
+    fn decide(&mut self, _ctx: &ControlContext<'_>) -> usize {
+        self.idx
+    }
+}
+
+impl Controller for crate::oracle::OracleController {
+    fn name(&self) -> String {
+        crate::oracle::OracleController::name(self).to_string()
+    }
+
+    fn decide(&mut self, _ctx: &ControlContext<'_>) -> usize {
+        self.vf_index()
+    }
+}
+
+/// §III-D / Fig. 4: thermal-threshold control (TH-δ).
+///
+/// Thresholds are the global critical temperatures measured on the
+/// training set; `relax_c` is the TH-05/TH-10 relaxation in degrees. The
+/// controller steps down when the sensor reaches the current point's
+/// threshold and steps up when the sensor is below the higher point's
+/// threshold minus a hold-back margin.
+#[derive(Debug, Clone)]
+pub struct ThermalController {
+    /// Per-VF-index temperature thresholds (°C); `None` = unconstrained.
+    thresholds: Vec<Option<f64>>,
+    /// Threshold relaxation in degrees (0, 5, 10 in the paper).
+    relax_c: f64,
+    /// Hysteresis margin for stepping up, °C.
+    up_margin_c: f64,
+    /// Which sensor the thresholds were calibrated against (the paper's
+    /// thermal models read sensor 3, near the ALUs).
+    sensor_idx: usize,
+}
+
+impl ThermalController {
+    /// Builds TH-δ from measured critical temperatures.
+    pub fn from_critical(crit: &CriticalTemps, relax_c: f64) -> Self {
+        Self::from_thresholds(crit.global_thresholds(), relax_c)
+    }
+
+    /// Builds a controller from explicit thresholds, reading the paper's
+    /// default sensor (tsens03).
+    pub fn from_thresholds(thresholds: Vec<Option<f64>>, relax_c: f64) -> Self {
+        Self {
+            thresholds,
+            relax_c,
+            up_margin_c: 2.0,
+            sensor_idx: telemetry::DEFAULT_SENSOR_INDEX,
+        }
+    }
+
+    /// Overrides which sensor the controller reads.
+    #[must_use]
+    pub fn with_sensor(mut self, sensor_idx: usize) -> Self {
+        self.sensor_idx = sensor_idx;
+        self
+    }
+
+    fn threshold(&self, idx: usize) -> f64 {
+        self.thresholds
+            .get(idx)
+            .copied()
+            .flatten()
+            .map_or(f64::INFINITY, |t| t + self.relax_c)
+    }
+}
+
+impl Controller for ThermalController {
+    fn name(&self) -> String {
+        format!("TH-{:02.0}", self.relax_c)
+    }
+
+    fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
+        let temp = ctx.sensor_temp_at(self.sensor_idx);
+        let idx = ctx.current_idx;
+        if temp >= self.threshold(idx) {
+            return ctx.vf.step_down(idx);
+        }
+        let up = ctx.vf.step_up(idx);
+        if up != idx && temp < self.threshold(up) - self.up_margin_c {
+            return up;
+        }
+        idx
+    }
+}
+
+/// §IV–V: Boreas — GBT severity prediction over hardware telemetry with a
+/// prediction guardband (ML00/ML05/ML10).
+///
+/// At each decision the controller predicts the next interval's maximum
+/// severity from the current feature vector. If the prediction exceeds
+/// `1 − guardband` it steps down; otherwise it re-queries the model with
+/// the features rescaled to one VF step higher and steps up when that
+/// prediction is also below the threshold.
+#[derive(Debug, Clone)]
+pub struct BoreasController {
+    model: GbtModel,
+    features: FeatureSet,
+    /// Severity guardband `g`: threshold is `1 − g` (0.0 / 0.05 / 0.10).
+    guardband: f64,
+    /// Temperature selector for `temperature_sensor_data` — Boreas
+    /// consumes the full hardware telemetry, so it defaults to the bank
+    /// maximum ([`telemetry::MAX_SENSOR_BANK`]), matching how the model
+    /// was trained.
+    sensor_idx: usize,
+}
+
+impl BoreasController {
+    /// Wraps a trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's feature schema does not match `features` or
+    /// the guardband is outside `[0, 1)`.
+    pub fn new(model: GbtModel, features: FeatureSet, guardband: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&guardband),
+            "guardband must be in [0, 1), got {guardband}"
+        );
+        assert_eq!(
+            model.feature_names(),
+            features.names().as_slice(),
+            "model/feature schema mismatch"
+        );
+        Self {
+            model,
+            features,
+            guardband,
+            sensor_idx: telemetry::MAX_SENSOR_BANK,
+        }
+    }
+
+    /// Overrides the temperature selector (must match training).
+    #[must_use]
+    pub fn with_sensor(mut self, sensor_idx: usize) -> Self {
+        self.sensor_idx = sensor_idx;
+        self
+    }
+
+    /// The severity threshold the controller enforces (`1 − g`).
+    pub fn threshold(&self) -> f64 {
+        1.0 - self.guardband
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &GbtModel {
+        &self.model
+    }
+
+    /// Predicted severity for holding the current VF point.
+    pub fn predict_hold(&self, ctx: &ControlContext<'_>) -> f64 {
+        let vec = self.features.extract(ctx.last_record(), self.sensor_idx);
+        self.model.predict(&vec)
+    }
+
+    /// Predicted severity for moving one VF step up.
+    pub fn predict_up(&self, ctx: &ControlContext<'_>) -> f64 {
+        let rec = ctx.last_record();
+        let vec = self.features.extract(rec, self.sensor_idx);
+        let up = ctx.vf.step_up(ctx.current_idx);
+        let target = ctx.vf.point(up);
+        let what_if = self.features.rescale_to_vf(
+            &vec,
+            GigaHertz::new(rec.frequency.value()),
+            target.frequency,
+            target.voltage,
+        );
+        self.model.predict(&what_if)
+    }
+}
+
+impl Controller for BoreasController {
+    fn name(&self) -> String {
+        format!("ML{:02.0}", self.guardband * 100.0)
+    }
+
+    fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
+        let threshold = self.threshold();
+        let idx = ctx.current_idx;
+        if self.predict_hold(ctx) > threshold {
+            return ctx.vf.step_down(idx);
+        }
+        let up = ctx.vf.step_up(idx);
+        if up != idx && self.predict_up(ctx) <= threshold {
+            return up;
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vf::VfTable;
+    use common::units::Volts;
+    use workloads::WorkloadSpec;
+
+    /// Builds a real 12-step interval by running the pipeline briefly.
+    fn make_interval(freq: f64, volt: f64) -> Vec<StepRecord> {
+        let mut cfg = hotgauge::PipelineConfig::paper();
+        cfg.grid = floorplan::GridSpec::new(8, 6).unwrap();
+        let p = cfg.build().unwrap();
+        let spec = WorkloadSpec::by_name("gcc").unwrap();
+        let out = p
+            .run_fixed(&spec, GigaHertz::new(freq), Volts::new(volt), 12)
+            .unwrap();
+        out.records
+    }
+
+    #[test]
+    fn global_controller_never_moves() {
+        let vf = VfTable::paper();
+        let recent = make_interval(3.75, 0.925);
+        let mut c = GlobalVfController::new(VfTable::BASELINE_INDEX);
+        let ctx = ControlContext {
+            vf: &vf,
+            current_idx: VfTable::BASELINE_INDEX,
+            recent: &recent,
+            sensor_idx: 3,
+        };
+        assert_eq!(c.decide(&ctx), VfTable::BASELINE_INDEX);
+        assert_eq!(c.name(), "global");
+    }
+
+    #[test]
+    fn thermal_controller_steps_down_when_hot() {
+        let vf = VfTable::paper();
+        let recent = make_interval(4.0, 0.98);
+        // Threshold below any plausible sensor reading -> must step down.
+        let mut c = ThermalController::from_thresholds(vec![Some(10.0); vf.len()], 0.0);
+        let ctx = ControlContext {
+            vf: &vf,
+            current_idx: 8,
+            recent: &recent,
+            sensor_idx: 3,
+        };
+        assert_eq!(c.decide(&ctx), 7);
+        assert_eq!(c.name(), "TH-00");
+    }
+
+    #[test]
+    fn thermal_controller_steps_up_when_cool() {
+        let vf = VfTable::paper();
+        let recent = make_interval(3.75, 0.925);
+        let mut c = ThermalController::from_thresholds(vec![Some(1000.0); vf.len()], 0.0);
+        let ctx = ControlContext {
+            vf: &vf,
+            current_idx: 7,
+            recent: &recent,
+            sensor_idx: 3,
+        };
+        assert_eq!(c.decide(&ctx), 8);
+    }
+
+    #[test]
+    fn thermal_relaxation_shifts_thresholds() {
+        let a = ThermalController::from_thresholds(vec![Some(70.0)], 0.0);
+        let b = ThermalController::from_thresholds(vec![Some(70.0)], 5.0);
+        assert_eq!(a.threshold(0), 70.0);
+        assert_eq!(b.threshold(0), 75.0);
+        assert_eq!(b.name(), "TH-05");
+        // Missing threshold = unconstrained.
+        assert_eq!(a.threshold(5), f64::INFINITY);
+    }
+
+    #[test]
+    fn thermal_top_of_table_holds() {
+        let vf = VfTable::paper();
+        let recent = make_interval(5.0, 1.4);
+        let mut c = ThermalController::from_thresholds(vec![Some(1000.0); vf.len()], 0.0);
+        let ctx = ControlContext {
+            vf: &vf,
+            current_idx: 12,
+            recent: &recent,
+            sensor_idx: 3,
+        };
+        assert_eq!(c.decide(&ctx), 12, "cannot step above the table");
+    }
+
+    #[test]
+    fn boreas_controller_guardband_logic() {
+        // Train a trivial model that predicts severity = frequency / 5,
+        // so 4.0 GHz -> 0.8, 4.25 -> 0.85, etc.
+        let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
+        for i in 0..200 {
+            let f = 2.0 + 3.0 * (i as f64 / 200.0);
+            d.push_row(&[f], f / 5.0, (i % 2) as u32).unwrap();
+        }
+        let model = gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(60)).unwrap();
+        let features = FeatureSet::from_names(&["frequency_ghz"]).unwrap();
+        let vf = VfTable::paper();
+        let recent = make_interval(4.0, 0.98);
+        let ctx = ControlContext {
+            vf: &vf,
+            current_idx: 8, // 4.0 GHz
+            recent: &recent,
+            sensor_idx: 3,
+        };
+        // Guardband 0: threshold 1.0 -> hold prediction 0.8 is fine, up
+        // prediction 0.85 is fine -> step up.
+        let mut ml00 = BoreasController::new(model.clone(), features.clone(), 0.0);
+        assert_eq!(ml00.decide(&ctx), 9);
+        assert_eq!(ml00.name(), "ML00");
+        // Guardband 0.18: threshold 0.82 -> hold 0.8 ok, up 0.85 > 0.82
+        // -> hold.
+        let mut mid = BoreasController::new(model.clone(), features.clone(), 0.18);
+        assert_eq!(mid.decide(&ctx), 8);
+        // Guardband 0.25: threshold 0.75 < hold 0.8 -> step down.
+        let mut tight = BoreasController::new(model, features, 0.25);
+        assert_eq!(tight.decide(&ctx), 7);
+        assert_eq!(tight.name(), "ML25");
+    }
+
+    #[test]
+    #[should_panic(expected = "guardband")]
+    fn invalid_guardband_panics() {
+        let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
+        d.push_row(&[4.0], 0.5, 0).unwrap();
+        d.push_row(&[4.5], 0.9, 1).unwrap();
+        let model = gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(1)).unwrap();
+        let features = FeatureSet::from_names(&["frequency_ghz"]).unwrap();
+        BoreasController::new(model, features, 1.5);
+    }
+}

@@ -1,0 +1,33 @@
+//! Boreas: the paper's contribution — frequency controllers driven by
+//! hotspot prediction, and the closed-loop evaluation harness.
+//!
+//! This crate implements every voltage/frequency selection algorithm the
+//! paper evaluates:
+//!
+//! * [`OracleController`] (§III-B) — perfect knowledge upper bound;
+//! * [`GlobalVfController`] (§III-C) — the single globally safe limit;
+//! * [`ThermalController`] (§III-D, Fig. 4) — critical-temperature
+//!   thresholds from sensor readings, with the TH-00/05/10 relaxations;
+//! * [`BoreasController`] (§IV–V) — the GBT severity predictor over
+//!   hardware telemetry, with the ML00/05/10 prediction guardbands;
+//!
+//! plus the [`ClosedLoopRunner`] that executes any controller against the
+//! hotgauge pipeline at the paper's 960 µs decision cadence and accounts
+//! for reliability (hotspot incursions) and performance (average
+//! frequency normalised to the 3.75 GHz baseline).
+
+pub mod controller;
+pub mod critical;
+pub mod oracle;
+pub mod runner;
+pub mod training;
+pub mod vf;
+
+pub use controller::{
+    BoreasController, ControlContext, Controller, Decision, GlobalVfController, ThermalController,
+};
+pub use critical::CriticalTemps;
+pub use oracle::{oracle_frequencies, OracleController, SweepTable};
+pub use runner::{train_safe_thresholds, ClosedLoopOutcome, ClosedLoopRunner};
+pub use training::{train_boreas_model, TrainingConfig};
+pub use vf::{VfPoint, VfTable};

@@ -1,0 +1,131 @@
+//! End-to-end Boreas model training (the Fig. 3 offline flow).
+//!
+//! Glues the pieces together: sweep the training workloads over the VF
+//! table through the pipeline, extract the telemetry dataset, and train
+//! the GBT severity predictor with the Table II hyper-parameters.
+
+use crate::vf::VfTable;
+use common::units::{GigaHertz, Volts};
+use common::Result;
+use gbt::{GbtModel, GbtParams};
+use hotgauge::Pipeline;
+use telemetry::{build_dataset, DatasetSpec, FeatureSet};
+use workloads::WorkloadSpec;
+
+/// Configuration of the offline training flow.
+#[derive(Debug, Clone)]
+pub struct TrainingConfig {
+    /// Steps per (workload, VF) extraction run.
+    pub steps: usize,
+    /// Label horizon (12 = one decision interval).
+    pub horizon: usize,
+    /// Sensor providing `temperature_sensor_data`.
+    pub sensor_idx: usize,
+    /// GBT hyper-parameters (Table II defaults).
+    pub params: GbtParams,
+    /// Label form (see [`telemetry::DatasetSpec::label_cap`]).
+    pub label_cap: Option<f64>,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            steps: 150,
+            horizon: 12,
+            sensor_idx: telemetry::MAX_SENSOR_BANK,
+            params: GbtParams::default(),
+            label_cap: Some(2.0),
+        }
+    }
+}
+
+/// Trains the Boreas severity predictor on the given workloads (use
+/// [`WorkloadSpec::train_set`] for the paper's flow) with the given
+/// feature schema.
+///
+/// Returns the model together with the extracted training dataset (for
+/// importance/CV studies).
+///
+/// # Errors
+///
+/// Propagates pipeline and training errors.
+pub fn train_boreas_model(
+    pipeline: &Pipeline,
+    vf: &VfTable,
+    workloads: &[WorkloadSpec],
+    features: &FeatureSet,
+    cfg: &TrainingConfig,
+) -> Result<(GbtModel, gbt::Dataset)> {
+    let points: Vec<(GigaHertz, Volts)> = vf
+        .points()
+        .iter()
+        .map(|p| (p.frequency, p.voltage))
+        .collect();
+    let spec = DatasetSpec {
+        steps: cfg.steps,
+        horizon: cfg.horizon,
+        sensor_idx: cfg.sensor_idx,
+        label_cap: cfg.label_cap,
+    };
+    let data = build_dataset(pipeline, features, workloads, &points, &spec)?;
+    let model = GbtModel::train(&data, &cfg.params)?;
+    Ok((model, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_a_usable_model_on_a_tiny_flow() {
+        let mut pcfg = hotgauge::PipelineConfig::paper();
+        pcfg.grid = floorplan::GridSpec::new(8, 6).unwrap();
+        let pipeline = pcfg.build().unwrap();
+        // 3 workloads, 3 VF points, short runs, small ensemble.
+        let ws = vec![
+            WorkloadSpec::by_name("gcc").unwrap(),
+            WorkloadSpec::by_name("gamess").unwrap(),
+            WorkloadSpec::by_name("mcf").unwrap(),
+        ];
+        let vf = VfTable::new(
+            [(3.0, 0.77), (4.0, 0.98), (5.0, 1.4)]
+                .iter()
+                .map(|&(f, v)| crate::vf::VfPoint {
+                    frequency: GigaHertz::new(f),
+                    voltage: Volts::new(v),
+                })
+                .collect(),
+        )
+        .unwrap();
+        let features = FeatureSet::from_names(&[
+            "temperature_sensor_data",
+            "frequency_ghz",
+            "voltage_v",
+            "FPU_cdb_duty_cycle",
+            "committed_instructions",
+        ])
+        .unwrap();
+        let cfg = TrainingConfig {
+            steps: 60,
+            horizon: 12,
+            sensor_idx: 3,
+            params: GbtParams::default().with_estimators(40),
+            label_cap: Some(2.0),
+        };
+        let (model, data) = train_boreas_model(&pipeline, &vf, &ws, &features, &cfg).unwrap();
+        assert_eq!(data.len(), 3 * 3 * 48);
+        let mse = model.mse_on(&data);
+        assert!(mse < 0.02, "training MSE {mse} too high");
+        // Severity prediction must increase with frequency for the same
+        // activity snapshot.
+        let row = data.row(10);
+        let lo = model.predict(&row);
+        let hi = model.predict(&features.rescale_to_vf(
+            &row,
+            GigaHertz::new(row[1]),
+            GigaHertz::new(5.0),
+            Volts::new(1.4),
+        ));
+        assert!(hi > lo, "severity prediction should rise with frequency ({lo} -> {hi})");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the VF table and controller invariants.
+
+use boreas_core::{
+    ClosedLoopRunner, Controller, GlobalVfController, ThermalController, VfPoint, VfTable,
+};
+use common::units::GigaHertz;
+use hotgauge::PipelineConfig;
+use proptest::prelude::*;
+use workloads::{WorkloadSpec, ALL_WORKLOADS};
+
+proptest! {
+    #[test]
+    fn step_up_down_stay_in_range(idx in 0usize..13) {
+        let t = VfTable::paper();
+        prop_assert!(t.step_up(idx) < t.len());
+        prop_assert!(t.step_down(idx) < t.len());
+        prop_assert!(t.step_up(idx) >= idx);
+        prop_assert!(t.step_down(idx) <= idx);
+        prop_assert!(t.step_up(idx) - idx <= 1);
+        prop_assert!(idx - t.step_down(idx) <= 1);
+    }
+
+    #[test]
+    fn closest_returns_a_table_point(f in 0.0..10.0f64) {
+        let p = VfPoint::closest(GigaHertz::new(f));
+        let t = VfTable::paper();
+        prop_assert!(t.index_of(p.frequency).is_some());
+        // No other point is strictly closer.
+        for q in t.points() {
+            prop_assert!(
+                (p.frequency - GigaHertz::new(f)).abs()
+                    <= (q.frequency - GigaHertz::new(f)).abs() + GigaHertz::new(1e-12)
+            );
+        }
+    }
+
+    #[test]
+    fn floor_index_is_the_floor(f in 1.0..6.0f64) {
+        let t = VfTable::paper();
+        let i = t.floor_index(GigaHertz::new(f));
+        prop_assert!(t.point(i).frequency.value() <= f.max(2.0) + 1e-12);
+        if i + 1 < t.len() && f >= 2.0 {
+            prop_assert!(t.point(i + 1).frequency.value() > f);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn thermal_controller_is_monotone_in_thresholds(
+        widx in 0usize..27,
+        base in 50.0..70.0f64,
+        relax in 0.0..10.0f64,
+    ) {
+        // A uniformly higher threshold profile can never pick a *lower*
+        // average frequency on the same workload.
+        let mut cfg = PipelineConfig::paper();
+        cfg.grid = floorplan::GridSpec::new(8, 6).unwrap();
+        let p = cfg.build().unwrap();
+        let runner = ClosedLoopRunner::new(&p);
+        let spec: &WorkloadSpec = &ALL_WORKLOADS[widx];
+        let thresholds: Vec<Option<f64>> =
+            (0..13).map(|i| if i >= 8 { Some(base - (i - 8) as f64 * 3.0) } else { None }).collect();
+        let mut tight = ThermalController::from_thresholds(thresholds.clone(), 0.0);
+        let mut loose = ThermalController::from_thresholds(thresholds, relax);
+        let a = runner.run(spec, &mut tight, 96, VfTable::BASELINE_INDEX).unwrap();
+        let b = runner.run(spec, &mut loose, 96, VfTable::BASELINE_INDEX).unwrap();
+        prop_assert!(
+            b.avg_frequency.value() >= a.avg_frequency.value() - 1e-9,
+            "{}: relax {relax} lowered frequency {} -> {}",
+            spec.name, a.avg_frequency, b.avg_frequency
+        );
+    }
+
+    #[test]
+    fn closed_loop_always_runs_table_frequencies(
+        widx in 0usize..27,
+        start in 0usize..13,
+    ) {
+        let mut cfg = PipelineConfig::paper();
+        cfg.grid = floorplan::GridSpec::new(8, 6).unwrap();
+        let p = cfg.build().unwrap();
+        let runner = ClosedLoopRunner::new(&p);
+        let spec: &WorkloadSpec = &ALL_WORKLOADS[widx];
+        let mut c = GlobalVfController::new(start);
+        let out = runner.run(spec, &mut c, 48, start).unwrap();
+        let t = VfTable::paper();
+        for r in &out.records {
+            prop_assert!(t.index_of(r.frequency).is_some());
+        }
+        prop_assert_eq!(out.final_idx, start);
+        prop_assert_eq!(out.records.len(), 48);
+    }
+}

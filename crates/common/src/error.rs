@@ -1,0 +1,115 @@
+//! Workspace-wide error type.
+//!
+//! Every crate in the workspace returns [`Error`] from fallible public
+//! functions (directly or via a domain-specific wrapper that converts into
+//! it), so cross-crate pipelines can use `?` end to end.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the Boreas simulation and modelling pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was outside its legal range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A named entity (workload, sensor, functional unit, …) was not found.
+    NotFound {
+        /// Kind of entity looked up.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Two data structures that must agree in shape did not.
+    ShapeMismatch {
+        /// What was being combined.
+        what: &'static str,
+        /// Expected dimension/length.
+        expected: usize,
+        /// Actual dimension/length.
+        actual: usize,
+    },
+    /// A dataset was empty or otherwise unusable for training/evaluation.
+    EmptyDataset(&'static str),
+    /// A numerical routine failed to converge or produced non-finite values.
+    Numerical(String),
+    /// Serialization or deserialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { what, detail } => {
+                write!(f, "invalid configuration for `{what}`: {detail}")
+            }
+            Error::NotFound { kind, name } => write!(f, "{kind} `{name}` not found"),
+            Error::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "shape mismatch in {what}: expected {expected}, got {actual}"),
+            Error::EmptyDataset(what) => write!(f, "empty dataset: {what}"),
+            Error::Numerical(detail) => write!(f, "numerical failure: {detail}"),
+            Error::Serde(detail) => write!(f, "serialization failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidConfig`].
+    pub fn invalid_config(what: &'static str, detail: impl Into<String>) -> Self {
+        Error::InvalidConfig {
+            what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::NotFound`].
+    pub fn not_found(kind: &'static str, name: impl Into<String>) -> Self {
+        Error::NotFound {
+            kind,
+            name: name.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = Error::invalid_config("grid", "must be at least 2x2");
+        assert_eq!(e.to_string(), "invalid configuration for `grid`: must be at least 2x2");
+        let e = Error::not_found("workload", "quake");
+        assert_eq!(e.to_string(), "workload `quake` not found");
+        let e = Error::ShapeMismatch {
+            what: "feature vector",
+            expected: 20,
+            actual: 19,
+        };
+        assert!(e.to_string().contains("expected 20, got 19"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::EmptyDataset("train"));
+        assert_eq!(e.to_string(), "empty dataset: train");
+    }
+}

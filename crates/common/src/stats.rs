@@ -1,0 +1,220 @@
+//! Small statistics helpers shared by the model-evaluation and reporting
+//! code: mean/variance, MSE-style metrics and an online accumulator.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Mean squared error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mse: length mismatch");
+    assert!(!pred.is_empty(), "mse: empty input");
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean absolute error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mae: length mismatch");
+    assert!(!pred.is_empty(), "mae: empty input");
+    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination (R²). Returns `f64::NEG_INFINITY`-free
+/// values: a constant target yields 0 when predictions are exact, else a
+/// negative score.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r2(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "r2: length mismatch");
+    assert!(!pred.is_empty(), "r2: empty input");
+    let m = mean(target);
+    let ss_res: f64 = pred.iter().zip(target).map(|(p, t)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = target.iter().map(|t| (t - m) * (t - m)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            return 0.0;
+        }
+        return -ss_res;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Online accumulator for running mean / variance / extrema (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use boreas_common::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Running population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Running population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_mae_r2() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&p, &t), 0.0);
+        assert_eq!(mae(&p, &t), 0.0);
+        assert_eq!(r2(&p, &t), 1.0);
+
+        let p2 = [2.0, 2.0, 2.0]; // predicting the mean
+        assert!((r2(&p2, &t) - 0.0).abs() < 1e-12);
+        assert!((mse(&p2, &t) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_matches_batch() {
+        let xs = [1.0, 4.0, -2.0, 8.5, 3.25];
+        let acc: Accumulator = xs.iter().copied().collect();
+        assert_eq!(acc.count(), 5);
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(-2.0));
+        assert_eq!(acc.max(), Some(8.5));
+    }
+
+    #[test]
+    fn accumulator_empty() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_length_mismatch_panics() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Newtype wrappers for the physical quantities used across the pipeline.
+//!
+//! All wrappers are thin `f64` newtypes ([C-NEWTYPE]): they cost nothing at
+//! runtime but prevent a wattage from being fed where a temperature is
+//! expected. Arithmetic is implemented only where it is physically
+//! meaningful — temperatures add/subtract (degree deltas), powers add and
+//! scale, voltages and frequencies scale.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw `f64` value.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            ///
+            /// NaN values propagate according to `f64::max` semantics.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the underlying value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// A temperature (or temperature delta) in degrees Celsius.
+    ///
+    /// The thermal solver, sensors and the severity metric all operate in
+    /// Celsius; differences between two `Celsius` values are themselves
+    /// `Celsius` (degree deltas), which matches how the paper reports MLTD.
+    Celsius,
+    "°C"
+);
+unit!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Supply voltage in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Clock frequency in gigahertz.
+    ///
+    /// The paper's VF table spans 2.0–5.0 GHz in 250 MHz steps, so GHz with
+    /// an exact binary-representable step of 0.25 is the natural unit.
+    GigaHertz,
+    "GHz"
+);
+unit!(
+    /// A distance on the die, in millimetres.
+    Millimeters,
+    "mm"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+
+impl Celsius {
+    /// Ambient temperature used throughout the pipeline (45 °C), matching
+    /// the HotGauge configuration where severity starts accumulating above
+    /// ambient.
+    pub const AMBIENT: Celsius = Celsius(45.0);
+}
+
+impl GigaHertz {
+    /// Returns the frequency expressed in hertz.
+    #[inline]
+    pub fn as_hz(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Number of clock cycles elapsed in `micros` microseconds at this
+    /// frequency.
+    #[inline]
+    pub fn cycles_in_micros(self, micros: u64) -> f64 {
+        self.0 * 1e3 * micros as f64
+    }
+}
+
+impl Mul<GigaHertz> for Volts {
+    type Output = f64;
+
+    /// `V · f` product used by dynamic-power expressions; returns the raw
+    /// scalar because the result (V·GHz) is not itself a named unit.
+    fn mul(self, rhs: GigaHertz) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Celsius::new(70.0);
+        let b = Celsius::new(12.5);
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn scaling_by_scalar() {
+        assert_eq!(Watts::new(3.0) * 2.0, Watts::new(6.0));
+        assert_eq!(2.0 * Watts::new(3.0), Watts::new(6.0));
+        assert_eq!(Watts::new(3.0) / 2.0, Watts::new(1.5));
+    }
+
+    #[test]
+    fn ratio_of_same_unit_is_scalar() {
+        let r: f64 = GigaHertz::new(5.0) / GigaHertz::new(2.5);
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(format!("{}", Celsius::new(85.5)), "85.5 °C");
+        assert_eq!(format!("{:.2}", Volts::new(1.15)), "1.15 V");
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let t = Celsius::new(120.0);
+        assert_eq!(t.clamp(Celsius::new(0.0), Celsius::new(115.0)), Celsius::new(115.0));
+        assert_eq!(Celsius::new(1.0).max(Celsius::new(2.0)), Celsius::new(2.0));
+        assert_eq!(Celsius::new(1.0).min(Celsius::new(2.0)), Celsius::new(1.0));
+    }
+
+    #[test]
+    fn sum_of_powers() {
+        let total: Watts = [1.0, 2.0, 3.5].iter().map(|&w| Watts::new(w)).sum();
+        assert_eq!(total, Watts::new(6.5));
+    }
+
+    #[test]
+    fn ghz_cycle_math() {
+        // 4 GHz for 80 us = 320_000 cycles.
+        assert_eq!(GigaHertz::new(4.0).cycles_in_micros(80), 320_000.0);
+        assert_eq!(GigaHertz::new(1.0).as_hz(), 1e9);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(-Celsius::new(5.0), Celsius::new(-5.0));
+    }
+
+    #[test]
+    fn from_into_f64() {
+        let v: Volts = 1.4.into();
+        assert_eq!(f64::from(v), 1.4);
+    }
+
+    #[test]
+    fn ambient_constant() {
+        assert_eq!(Celsius::AMBIENT.value(), 45.0);
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let t = Celsius::new(91.25);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "91.25");
+        let back: Celsius = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

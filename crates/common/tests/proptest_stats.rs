@@ -1,0 +1,53 @@
+//! Property tests for the statistics helpers.
+
+use boreas_common::stats::{mae, mean, mse, r2, std_dev, variance, Accumulator};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn accumulator_matches_batch_statistics(xs in finite_vec(200)) {
+        let acc: Accumulator = xs.iter().copied().collect();
+        prop_assert_eq!(acc.count() as usize, xs.len());
+        prop_assert!((acc.mean() - mean(&xs)).abs() < 1e-6 * (1.0 + mean(&xs).abs()));
+        prop_assert!((acc.variance() - variance(&xs)).abs() < 1e-3 * (1.0 + variance(&xs)));
+        prop_assert_eq!(acc.min().unwrap(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(acc.max().unwrap(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn error_metrics_are_nonnegative_and_zero_on_self(xs in finite_vec(100)) {
+        prop_assert_eq!(mse(&xs, &xs), 0.0);
+        prop_assert_eq!(mae(&xs, &xs), 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        prop_assert!(mse(&shifted, &xs) > 0.0);
+        prop_assert!(mae(&shifted, &xs) > 0.0);
+        prop_assert!((mse(&shifted, &xs) - 1.0).abs() < 1e-9, "constant shift of 1 has MSE 1");
+    }
+
+    #[test]
+    fn r2_is_bounded_above_by_one(pred in finite_vec(100)) {
+        // Pair the prediction with an arbitrary (deterministic) target of
+        // the same length.
+        let target: Vec<f64> = (0..pred.len()).map(|i| (i as f64).sin() * 10.0).collect();
+        let r = r2(&pred, &target);
+        prop_assert!(r <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn std_dev_scales_linearly(xs in finite_vec(100), k in 0.1..10.0f64) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let lhs = std_dev(&scaled);
+        let rhs = k * std_dev(&xs);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn mean_is_translation_equivariant(xs in finite_vec(100), c in -1e3..1e3f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((mean(&shifted) - (mean(&xs) + c)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,269 @@
+//! Rasterisation of a floorplan onto the regular cell grid shared by the
+//! power and thermal models.
+
+use crate::plan::Floorplan;
+use crate::unit::UnitKind;
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of the simulation grid laid over the die.
+///
+/// The default (`32 × 24`) keeps cells square (0.125 mm) on the default
+/// 4 × 3 mm die while staying fast enough for the full workload ×
+/// frequency sweeps of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Number of cells along the die width.
+    pub nx: usize,
+    /// Number of cells along the die height.
+    pub ny: usize,
+}
+
+impl GridSpec {
+    /// Creates a grid spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if either dimension is below 2
+    /// (the thermal Laplacian needs at least two cells per axis).
+    pub fn new(nx: usize, ny: usize) -> Result<Self> {
+        if nx < 2 || ny < 2 {
+            return Err(Error::invalid_config(
+                "grid",
+                format!("grid must be at least 2x2, got {nx}x{ny}"),
+            ));
+        }
+        Ok(Self { nx, ny })
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny
+    }
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        Self { nx: 32, ny: 24 }
+    }
+}
+
+/// Index of one grid cell, `(ix, iy)` with `ix` along the width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellIndex {
+    /// Column (0 at the left edge).
+    pub ix: usize,
+    /// Row (0 at the bottom edge).
+    pub iy: usize,
+}
+
+impl CellIndex {
+    /// Creates a cell index.
+    pub const fn new(ix: usize, iy: usize) -> Self {
+        Self { ix, iy }
+    }
+}
+
+/// A floorplan rasterised onto a [`GridSpec`]: cell geometry plus the
+/// unit-kind occupying each cell (by cell-centre sampling).
+///
+/// # Examples
+///
+/// ```
+/// use boreas_floorplan::{Floorplan, Grid, GridSpec, UnitKind};
+///
+/// let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default())?;
+/// let fpu_cells = grid.cells_of(UnitKind::Fpu);
+/// assert!(!fpu_cells.is_empty());
+/// # Ok::<(), common::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    spec: GridSpec,
+    cell_w: f64,
+    cell_h: f64,
+    /// Row-major (iy * nx + ix) occupancy; `None` = uncovered filler.
+    occupancy: Vec<Option<UnitKind>>,
+}
+
+impl Grid {
+    /// Rasterises `plan` onto `spec` by sampling each cell centre.
+    ///
+    /// # Errors
+    ///
+    /// Propagates floorplan validation errors.
+    pub fn rasterize(plan: &Floorplan, spec: GridSpec) -> Result<Self> {
+        plan.validate()?;
+        let cell_w = plan.width() / spec.nx as f64;
+        let cell_h = plan.height() / spec.ny as f64;
+        let mut occupancy = Vec::with_capacity(spec.cells());
+        for iy in 0..spec.ny {
+            for ix in 0..spec.nx {
+                let cx = (ix as f64 + 0.5) * cell_w;
+                let cy = (iy as f64 + 0.5) * cell_h;
+                occupancy.push(plan.unit_at(cx, cy).map(|u| u.kind));
+            }
+        }
+        Ok(Self {
+            spec,
+            cell_w,
+            cell_h,
+            occupancy,
+        })
+    }
+
+    /// The grid dimensions.
+    pub fn spec(&self) -> GridSpec {
+        self.spec
+    }
+
+    /// Cell width in mm.
+    pub fn cell_width(&self) -> f64 {
+        self.cell_w
+    }
+
+    /// Cell height in mm.
+    pub fn cell_height(&self) -> f64 {
+        self.cell_h
+    }
+
+    /// Cell area in mm².
+    pub fn cell_area(&self) -> f64 {
+        self.cell_w * self.cell_h
+    }
+
+    /// Flat (row-major) index of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    #[inline]
+    pub fn flat(&self, cell: CellIndex) -> usize {
+        assert!(cell.ix < self.spec.nx && cell.iy < self.spec.ny, "cell out of range");
+        cell.iy * self.spec.nx + cell.ix
+    }
+
+    /// The unit occupying a cell, or `None` for uncovered filler.
+    pub fn unit_in(&self, cell: CellIndex) -> Option<UnitKind> {
+        self.occupancy[self.flat(cell)]
+    }
+
+    /// All cells whose centre falls inside the given unit.
+    pub fn cells_of(&self, kind: UnitKind) -> Vec<CellIndex> {
+        let mut cells = Vec::new();
+        for iy in 0..self.spec.ny {
+            for ix in 0..self.spec.nx {
+                if self.occupancy[iy * self.spec.nx + ix] == Some(kind) {
+                    cells.push(CellIndex::new(ix, iy));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Physical centre `(x, y)` in mm of a cell.
+    pub fn cell_center(&self, cell: CellIndex) -> (f64, f64) {
+        (
+            (cell.ix as f64 + 0.5) * self.cell_w,
+            (cell.iy as f64 + 0.5) * self.cell_h,
+        )
+    }
+
+    /// The cell containing a physical point; `None` if outside the die.
+    pub fn cell_at(&self, x: f64, y: f64) -> Option<CellIndex> {
+        if x < 0.0 || y < 0.0 {
+            return None;
+        }
+        let ix = (x / self.cell_w) as usize;
+        let iy = (y / self.cell_h) as usize;
+        if ix >= self.spec.nx || iy >= self.spec.ny {
+            return None;
+        }
+        Some(CellIndex::new(ix, iy))
+    }
+
+    /// Iterator over all cell indices in row-major order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = CellIndex> + '_ {
+        let nx = self.spec.nx;
+        (0..self.spec.cells()).map(move |i| CellIndex::new(i % nx, i / nx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_grid() -> Grid {
+        Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default()).unwrap()
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(GridSpec::new(1, 8).is_err());
+        assert!(GridSpec::new(8, 1).is_err());
+        assert_eq!(GridSpec::new(8, 8).unwrap().cells(), 64);
+    }
+
+    #[test]
+    fn default_cells_are_square() {
+        let g = default_grid();
+        assert!((g.cell_width() - 0.125).abs() < 1e-12);
+        assert!((g.cell_height() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_coverage_plan_has_no_empty_cells() {
+        let g = default_grid();
+        let empty = g.iter_cells().filter(|&c| g.unit_in(c).is_none()).count();
+        assert_eq!(empty, 0);
+    }
+
+    #[test]
+    fn every_unit_gets_cells() {
+        let g = default_grid();
+        for kind in UnitKind::ALL {
+            assert!(!g.cells_of(kind).is_empty(), "{kind} has no cells");
+        }
+    }
+
+    #[test]
+    fn cell_count_tracks_area() {
+        let g = default_grid();
+        // L2 (1.9 x 0.7 = 1.33 mm^2) should get about 1.33 / 0.015625 = 85 cells.
+        let l2 = g.cells_of(UnitKind::L2).len() as f64;
+        let expect = 1.9 * 0.7 / g.cell_area();
+        assert!((l2 - expect).abs() / expect < 0.15, "l2 cells {l2} vs {expect}");
+    }
+
+    #[test]
+    fn cell_center_inverse_of_cell_at() {
+        let g = default_grid();
+        for cell in g.iter_cells() {
+            let (x, y) = g.cell_center(cell);
+            assert_eq!(g.cell_at(x, y), Some(cell));
+        }
+    }
+
+    #[test]
+    fn cell_at_outside_die() {
+        let g = default_grid();
+        assert_eq!(g.cell_at(-0.1, 1.0), None);
+        assert_eq!(g.cell_at(1.0, 5.0), None);
+        assert_eq!(g.cell_at(4.1, 1.0), None);
+    }
+
+    #[test]
+    fn flat_indexing_row_major() {
+        let g = default_grid();
+        assert_eq!(g.flat(CellIndex::new(0, 0)), 0);
+        assert_eq!(g.flat(CellIndex::new(1, 0)), 1);
+        assert_eq!(g.flat(CellIndex::new(0, 1)), g.spec().nx);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_out_of_range_panics() {
+        let g = default_grid();
+        g.flat(CellIndex::new(999, 0));
+    }
+}

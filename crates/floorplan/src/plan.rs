@@ -1,0 +1,313 @@
+//! The validated floorplan and the default Skylake-like layout.
+
+use crate::rect::Rect;
+use crate::unit::{FunctionalUnit, UnitKind};
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A complete core floorplan: die extents plus placed functional units.
+///
+/// Invariants (checked by [`Floorplan::validate`], which all constructors
+/// run):
+///
+/// * every unit lies fully inside the die;
+/// * no two units overlap with positive area;
+/// * no [`UnitKind`] appears twice.
+///
+/// Uncovered die area is treated by the power model as low-activity
+/// "uncore" filler, so full coverage is *not* required.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    width: f64,
+    height: f64,
+    units: Vec<FunctionalUnit>,
+}
+
+impl Floorplan {
+    /// Builds a floorplan from parts, validating the invariants above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if a unit leaves the die, two
+    /// units overlap, a kind repeats, or the die has non-positive area.
+    pub fn new(width: f64, height: f64, units: Vec<FunctionalUnit>) -> Result<Self> {
+        let plan = Self {
+            width,
+            height,
+            units,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// The default plan used throughout the reproduction: a single
+    /// Skylake-like core of 4.0 × 3.0 mm with an 18-block layout —
+    /// front-end row on top, rename/OoO row, a hot execution row
+    /// (ALU / MUL / FPU / CDB / LSU) and a cache row at the bottom.
+    ///
+    /// The execution row concentrates the random-logic blocks whose power
+    /// density creates the advanced hotspots the paper studies; the
+    /// L2/DCache row provides the cool region where badly placed sensors
+    /// (Fig. 5's tsens04–06) live.
+    pub fn skylake_like() -> Self {
+        let units = vec![
+            // Front-end row: y in [2.2, 3.0).
+            FunctionalUnit::new(UnitKind::ICache, Rect::new(0.0, 2.2, 1.2, 0.8)),
+            FunctionalUnit::new(UnitKind::Ifu, Rect::new(1.2, 2.2, 0.8, 0.8)),
+            FunctionalUnit::new(UnitKind::Bpu, Rect::new(2.0, 2.2, 0.7, 0.8)),
+            FunctionalUnit::new(UnitKind::Itlb, Rect::new(2.7, 2.2, 0.5, 0.8)),
+            FunctionalUnit::new(UnitKind::Decode, Rect::new(3.2, 2.2, 0.8, 0.8)),
+            // Out-of-order row: y in [1.5, 2.2).
+            FunctionalUnit::new(UnitKind::Rename, Rect::new(0.0, 1.5, 0.8, 0.7)),
+            FunctionalUnit::new(UnitKind::Rob, Rect::new(0.8, 1.5, 0.9, 0.7)),
+            FunctionalUnit::new(UnitKind::Scheduler, Rect::new(1.7, 1.5, 0.9, 0.7)),
+            FunctionalUnit::new(UnitKind::IntRf, Rect::new(2.6, 1.5, 0.7, 0.7)),
+            FunctionalUnit::new(UnitKind::FpRf, Rect::new(3.3, 1.5, 0.7, 0.7)),
+            // Execution row (hot): y in [0.7, 1.5).
+            FunctionalUnit::new(UnitKind::Alu, Rect::new(0.0, 0.7, 0.9, 0.8)),
+            FunctionalUnit::new(UnitKind::Mul, Rect::new(0.9, 0.7, 0.7, 0.8)),
+            FunctionalUnit::new(UnitKind::Fpu, Rect::new(1.6, 0.7, 1.0, 0.8)),
+            FunctionalUnit::new(UnitKind::Cdb, Rect::new(2.6, 0.7, 0.5, 0.8)),
+            FunctionalUnit::new(UnitKind::Lsu, Rect::new(3.1, 0.7, 0.9, 0.8)),
+            // Cache row: y in [0.0, 0.7).
+            FunctionalUnit::new(UnitKind::DCache, Rect::new(0.0, 0.0, 1.5, 0.7)),
+            FunctionalUnit::new(UnitKind::Dtlb, Rect::new(1.5, 0.0, 0.6, 0.7)),
+            FunctionalUnit::new(UnitKind::L2, Rect::new(2.1, 0.0, 1.9, 0.7)),
+        ];
+        Self::new(4.0, 3.0, units).expect("built-in skylake-like plan is valid")
+    }
+
+    /// A variant of the Skylake-like plan with the FPU (the hottest
+    /// block) area scaled by `scale`; the die widens to host it and every
+    /// other unit keeps its absolute size.
+    ///
+    /// This reproduces the floorplanning mitigation HotGauge §I studies:
+    /// spreading a hotspot-prone unit over more area lowers its power
+    /// density. The paper's point is that even 10× scaling cannot rescue
+    /// a 7 nm design — see the `ablation_floorplan_scaling` binary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `scale` is outside `[1, 12]`.
+    pub fn skylake_like_scaled_fpu(scale: f64) -> Result<Self> {
+        if !(scale.is_finite() && (1.0..=12.0).contains(&scale)) {
+            return Err(Error::invalid_config(
+                "floorplan",
+                format!("fpu scale must be in [1, 12], got {scale}"),
+            ));
+        }
+        // Grow the die by the extra FPU width; every other unit keeps its
+        // absolute size (the extra strip in the other rows is uncore
+        // filler, which the power model treats as low-activity area).
+        let extra = 1.0 * (scale - 1.0);
+        let base = Self::skylake_like();
+        let mut units = Vec::with_capacity(base.units.len());
+        for u in &base.units {
+            let rect = match u.kind {
+                // The FPU widens in place.
+                UnitKind::Fpu => Rect::new(u.rect.x, u.rect.y, u.rect.w + extra, u.rect.h),
+                // Units to the FPU's right in the EX row slide over.
+                UnitKind::Cdb | UnitKind::Lsu => {
+                    Rect::new(u.rect.x + extra, u.rect.y, u.rect.w, u.rect.h)
+                }
+                _ => u.rect,
+            };
+            units.push(FunctionalUnit::new(u.kind, rect));
+        }
+        Self::new(base.width + extra, base.height, units)
+    }
+
+    /// Die width in mm.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Die height in mm.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Die area in mm².
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// The placed units, in insertion order.
+    pub fn units(&self) -> &[FunctionalUnit] {
+        &self.units
+    }
+
+    /// Looks up a unit by kind.
+    pub fn unit(&self, kind: UnitKind) -> Option<&FunctionalUnit> {
+        self.units.iter().find(|u| u.kind == kind)
+    }
+
+    /// The unit covering a point, if any.
+    pub fn unit_at(&self, x: f64, y: f64) -> Option<&FunctionalUnit> {
+        self.units.iter().find(|u| u.rect.contains(x, y))
+    }
+
+    /// Fraction of the die covered by placed units, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        let covered: f64 = self.units.iter().map(|u| u.rect.area().value()).sum();
+        covered / self.area()
+    }
+
+    /// Checks the floorplan invariants.
+    ///
+    /// # Errors
+    ///
+    /// See [`Floorplan::new`].
+    pub fn validate(&self) -> Result<()> {
+        if !(self.width > 0.0 && self.height > 0.0) {
+            return Err(Error::invalid_config(
+                "floorplan",
+                format!("die must have positive area, got {}x{}", self.width, self.height),
+            ));
+        }
+        for u in &self.units {
+            if u.rect.x < 0.0
+                || u.rect.y < 0.0
+                || u.rect.right() > self.width + 1e-9
+                || u.rect.top() > self.height + 1e-9
+            {
+                return Err(Error::invalid_config(
+                    "floorplan",
+                    format!("unit {} leaves the {}x{} die", u, self.width, self.height),
+                ));
+            }
+        }
+        for (i, a) in self.units.iter().enumerate() {
+            for b in &self.units[i + 1..] {
+                if a.kind == b.kind {
+                    return Err(Error::invalid_config(
+                        "floorplan",
+                        format!("unit kind `{}` placed twice", a.kind),
+                    ));
+                }
+                if a.rect.intersection_area(&b.rect) > 1e-9 {
+                    return Err(Error::invalid_config(
+                        "floorplan",
+                        format!("units `{}` and `{}` overlap", a.kind, b.kind),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Floorplan {
+    /// The Skylake-like plan.
+    fn default() -> Self {
+        Self::skylake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_plan_is_valid_and_complete() {
+        let plan = Floorplan::skylake_like();
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.units().len(), UnitKind::ALL.len());
+        for kind in UnitKind::ALL {
+            assert!(plan.unit(kind).is_some(), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn skylake_plan_covers_whole_die() {
+        let plan = Floorplan::skylake_like();
+        assert!(
+            (plan.coverage() - 1.0).abs() < 1e-9,
+            "coverage = {}",
+            plan.coverage()
+        );
+    }
+
+    #[test]
+    fn unit_at_resolves_points() {
+        let plan = Floorplan::skylake_like();
+        // Centre of the FPU rect.
+        assert_eq!(plan.unit_at(2.1, 1.1).map(|u| u.kind), Some(UnitKind::Fpu));
+        // Bottom-right corner belongs to L2.
+        assert_eq!(plan.unit_at(3.9, 0.1).map(|u| u.kind), Some(UnitKind::L2));
+        // Outside the die.
+        assert_eq!(plan.unit_at(10.0, 10.0).map(|u| u.kind), None);
+    }
+
+    #[test]
+    fn rejects_overlapping_units() {
+        let units = vec![
+            FunctionalUnit::new(UnitKind::Alu, Rect::new(0.0, 0.0, 2.0, 2.0)),
+            FunctionalUnit::new(UnitKind::Fpu, Rect::new(1.0, 1.0, 2.0, 2.0)),
+        ];
+        let err = Floorplan::new(4.0, 4.0, units).unwrap_err();
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn rejects_duplicate_kind() {
+        let units = vec![
+            FunctionalUnit::new(UnitKind::Alu, Rect::new(0.0, 0.0, 1.0, 1.0)),
+            FunctionalUnit::new(UnitKind::Alu, Rect::new(2.0, 2.0, 1.0, 1.0)),
+        ];
+        let err = Floorplan::new(4.0, 4.0, units).unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn rejects_out_of_die_unit() {
+        let units = vec![FunctionalUnit::new(
+            UnitKind::Alu,
+            Rect::new(3.5, 0.0, 1.0, 1.0),
+        )];
+        let err = Floorplan::new(4.0, 4.0, units).unwrap_err();
+        assert!(err.to_string().contains("leaves"));
+    }
+
+    #[test]
+    fn rejects_empty_die() {
+        let err = Floorplan::new(0.0, 3.0, vec![]).unwrap_err();
+        assert!(err.to_string().contains("positive area"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = Floorplan::skylake_like();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: Floorplan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn fpu_scaling_grows_fpu_and_stays_valid() {
+        let base = Floorplan::skylake_like();
+        let scaled = Floorplan::skylake_like_scaled_fpu(2.0).unwrap();
+        assert!(scaled.validate().is_ok());
+        let fpu0 = base.unit(UnitKind::Fpu).unwrap().rect.area().value();
+        let fpu2 = scaled.unit(UnitKind::Fpu).unwrap().rect.area().value();
+        assert!((fpu2 - 2.0 * fpu0).abs() < 1e-9, "{fpu0} -> {fpu2}");
+        assert!(scaled.width() > base.width(), "die grows to host the bigger FPU");
+        assert!(scaled.coverage() < 1.0, "the widened strip outside the EX row is filler");
+        // Scale 1.0 reproduces the default plan geometry.
+        let identity = Floorplan::skylake_like_scaled_fpu(1.0).unwrap();
+        for kind in UnitKind::ALL {
+            let a = base.unit(kind).unwrap().rect;
+            let b = identity.unit(kind).unwrap().rect;
+            assert!((a.x - b.x).abs() < 1e-12 && (a.w - b.w).abs() < 1e-12, "{kind}");
+        }
+    }
+
+    #[test]
+    fn fpu_scaling_rejects_out_of_range_scales() {
+        assert!(Floorplan::skylake_like_scaled_fpu(0.5).is_err());
+        assert!(Floorplan::skylake_like_scaled_fpu(-1.0).is_err());
+        assert!(Floorplan::skylake_like_scaled_fpu(f64::NAN).is_err());
+        assert!(Floorplan::skylake_like_scaled_fpu(20.0).is_err());
+        assert!(Floorplan::skylake_like_scaled_fpu(10.0).is_ok());
+    }
+}

@@ -1,0 +1,139 @@
+//! Axis-aligned rectangles in die coordinates (millimetres).
+
+use common::units::Millimeters;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle on the die, `[x, x+w) × [y, y+h)` in mm.
+///
+/// The origin is the lower-left corner of the die; `x` grows rightwards and
+/// `y` grows upwards.
+///
+/// # Examples
+///
+/// ```
+/// use boreas_floorplan::Rect;
+///
+/// let r = Rect::new(1.0, 0.5, 2.0, 1.0);
+/// assert!(r.contains(2.0, 1.0));
+/// assert!(!r.contains(3.5, 1.0));
+/// assert_eq!(r.area().value(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge (mm).
+    pub x: f64,
+    /// Bottom edge (mm).
+    pub y: f64,
+    /// Width (mm).
+    pub w: f64,
+    /// Height (mm).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is negative or any coordinate is non-finite.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(
+            x.is_finite() && y.is_finite() && w.is_finite() && h.is_finite(),
+            "rect coordinates must be finite"
+        );
+        assert!(w >= 0.0 && h >= 0.0, "rect dimensions must be non-negative");
+        Self { x, y, w, h }
+    }
+
+    /// Right edge (mm).
+    #[inline]
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge (mm).
+    #[inline]
+    pub fn top(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Area in mm² (as a [`Millimeters`]-squared scalar carried in the
+    /// `Millimeters` newtype for unit hygiene at call sites).
+    #[inline]
+    pub fn area(&self) -> Millimeters {
+        Millimeters::new(self.w * self.h)
+    }
+
+    /// Centre point `(x, y)` in mm.
+    #[inline]
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Whether the point lies inside the half-open rectangle.
+    #[inline]
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.right() && py >= self.y && py < self.top()
+    }
+
+    /// Whether the two rectangles overlap with strictly positive area.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.top()
+            && other.y < self.top()
+    }
+
+    /// Area of the intersection in mm²; zero when disjoint.
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = (self.right().min(other.right()) - self.x.max(other.x)).max(0.0);
+        let h = (self.top().min(other.top()) - self.y.max(other.y)).max(0.0);
+        w * h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_center() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.right(), 4.0);
+        assert_eq!(r.top(), 6.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains(0.0, 0.0));
+        assert!(!r.contains(1.0, 0.5));
+        assert!(!r.contains(0.5, 1.0));
+        assert!(r.contains(0.999, 0.999));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(2.0, 0.0, 1.0, 1.0); // shares an edge only
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersection_area(&b), 1.0);
+        assert_eq!(a.intersection_area(&c), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_width_panics() {
+        Rect::new(0.0, 0.0, -1.0, 1.0);
+    }
+
+    #[test]
+    fn zero_area_rect_is_allowed() {
+        let r = Rect::new(0.0, 0.0, 0.0, 5.0);
+        assert_eq!(r.area().value(), 0.0);
+        assert!(!r.contains(0.0, 1.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Functional-unit identity and geometry.
+
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The architectural blocks of the modelled Skylake-like core.
+///
+/// These are the blocks the paper's power model attributes energy to and
+/// whose activity shows up in the telemetry counters of Table IV (ALU/CDB
+/// accesses, cache accesses, duty cycles, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// Instruction fetch unit (front-end fetch + predecode).
+    Ifu,
+    /// L1 instruction cache.
+    ICache,
+    /// Instruction TLB.
+    Itlb,
+    /// Branch predictor / branch target buffer.
+    Bpu,
+    /// Decoders and micro-op cache.
+    Decode,
+    /// Register rename / allocation.
+    Rename,
+    /// Re-order buffer.
+    Rob,
+    /// Unified reservation-station scheduler.
+    Scheduler,
+    /// Integer register file.
+    IntRf,
+    /// Floating-point / vector register file.
+    FpRf,
+    /// Integer ALU cluster (the paper's "EX stage", site of sensor 3).
+    Alu,
+    /// Integer multiplier / divider.
+    Mul,
+    /// Floating-point / SIMD execution cluster.
+    Fpu,
+    /// Common data bus / result broadcast network.
+    Cdb,
+    /// Load-store unit (AGU + load/store queues).
+    Lsu,
+    /// L1 data cache.
+    DCache,
+    /// Data TLB.
+    Dtlb,
+    /// L2 cache slice (unified, lower power density).
+    L2,
+}
+
+impl UnitKind {
+    /// All unit kinds in a fixed, stable order (used for indexing power
+    /// vectors and serialized layouts).
+    pub const ALL: [UnitKind; 18] = [
+        UnitKind::Ifu,
+        UnitKind::ICache,
+        UnitKind::Itlb,
+        UnitKind::Bpu,
+        UnitKind::Decode,
+        UnitKind::Rename,
+        UnitKind::Rob,
+        UnitKind::Scheduler,
+        UnitKind::IntRf,
+        UnitKind::FpRf,
+        UnitKind::Alu,
+        UnitKind::Mul,
+        UnitKind::Fpu,
+        UnitKind::Cdb,
+        UnitKind::Lsu,
+        UnitKind::DCache,
+        UnitKind::Dtlb,
+        UnitKind::L2,
+    ];
+
+    /// Stable index of this kind within [`UnitKind::ALL`].
+    pub fn index(self) -> usize {
+        UnitKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is in ALL")
+    }
+
+    /// Canonical lower-case name, matching the names used in telemetry
+    /// counters and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnitKind::Ifu => "ifu",
+            UnitKind::ICache => "icache",
+            UnitKind::Itlb => "itlb",
+            UnitKind::Bpu => "bpu",
+            UnitKind::Decode => "decode",
+            UnitKind::Rename => "rename",
+            UnitKind::Rob => "rob",
+            UnitKind::Scheduler => "scheduler",
+            UnitKind::IntRf => "int_rf",
+            UnitKind::FpRf => "fp_rf",
+            UnitKind::Alu => "alu",
+            UnitKind::Mul => "mul",
+            UnitKind::Fpu => "fpu",
+            UnitKind::Cdb => "cdb",
+            UnitKind::Lsu => "lsu",
+            UnitKind::DCache => "dcache",
+            UnitKind::Dtlb => "dtlb",
+            UnitKind::L2 => "l2",
+        }
+    }
+
+    /// Parses a canonical name back into a kind.
+    pub fn from_name(name: &str) -> Option<UnitKind> {
+        UnitKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Whether this block is array-dominated (caches, TLBs, register
+    /// files). Array blocks have lower switching power density and higher
+    /// leakage fraction than random logic.
+    pub fn is_array(self) -> bool {
+        matches!(
+            self,
+            UnitKind::ICache
+                | UnitKind::DCache
+                | UnitKind::L2
+                | UnitKind::Itlb
+                | UnitKind::Dtlb
+                | UnitKind::IntRf
+                | UnitKind::FpRf
+                | UnitKind::Rob
+        )
+    }
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A placed functional unit: a kind plus its rectangle on the die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FunctionalUnit {
+    /// Which architectural block this is.
+    pub kind: UnitKind,
+    /// Where it sits on the die.
+    pub rect: Rect,
+}
+
+impl FunctionalUnit {
+    /// Creates a placed unit.
+    pub fn new(kind: UnitKind, rect: Rect) -> Self {
+        Self { kind, rect }
+    }
+}
+
+impl fmt::Display for FunctionalUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ ({:.2}, {:.2}) {:.2}x{:.2} mm",
+            self.kind, self.rect.x, self.rect.y, self.rect.w, self.rect.h
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_kind_once() {
+        for (i, k) in UnitKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let mut names: Vec<_> = UnitKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), UnitKind::ALL.len(), "names must be unique");
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for k in UnitKind::ALL {
+            assert_eq!(UnitKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(UnitKind::from_name("warp_drive"), None);
+    }
+
+    #[test]
+    fn array_classification() {
+        assert!(UnitKind::DCache.is_array());
+        assert!(UnitKind::L2.is_array());
+        assert!(!UnitKind::Alu.is_array());
+        assert!(!UnitKind::Fpu.is_array());
+    }
+
+    #[test]
+    fn display_formats() {
+        let u = FunctionalUnit::new(UnitKind::Fpu, Rect::new(1.0, 2.0, 0.5, 0.25));
+        assert_eq!(format!("{u}"), "fpu @ (1.00, 2.00) 0.50x0.25 mm");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for k-means sensor placement and grid rasterisation.
+
+use boreas_floorplan::placement::kmeans;
+use boreas_floorplan::{Floorplan, Grid, GridSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn kmeans_assignments_are_valid_and_inertia_nonnegative(
+        points in prop::collection::vec((0.0..4.0f64, 0.0..3.0f64), 5..80),
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= points.len());
+        let res = kmeans(&points, k, 100, seed).unwrap();
+        prop_assert_eq!(res.assignment.len(), points.len());
+        prop_assert!(res.assignment.iter().all(|&a| a < k));
+        prop_assert!(res.inertia >= 0.0);
+        prop_assert!(res.iterations >= 1);
+    }
+
+    #[test]
+    fn kmeans_inertia_never_increases_with_k(
+        points in prop::collection::vec((0.0..4.0f64, 0.0..3.0f64), 12..60),
+        seed in 0u64..100,
+    ) {
+        // Best-of-3 seeds per k smooths out seeding luck; the trend must
+        // be non-increasing within tolerance.
+        let best = |k: usize| -> f64 {
+            (0..3)
+                .map(|s| kmeans(&points, k, 200, seed + s).unwrap().inertia)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let i1 = best(1);
+        let i4 = best(4);
+        prop_assert!(i4 <= i1 + 1e-9, "inertia rose from k=1 ({}) to k=4 ({})", i1, i4);
+    }
+
+    #[test]
+    fn every_cell_resolves_to_its_own_center(
+        nx in 2usize..40,
+        ny in 2usize..40,
+    ) {
+        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(nx, ny).unwrap()).unwrap();
+        for cell in grid.iter_cells() {
+            let (x, y) = grid.cell_center(cell);
+            prop_assert_eq!(grid.cell_at(x, y), Some(cell));
+        }
+    }
+
+    #[test]
+    fn rasterisation_preserves_unit_area_shares(
+        nx in 16usize..48,
+        ny in 12usize..36,
+    ) {
+        let plan = Floorplan::skylake_like();
+        let grid = Grid::rasterize(&plan, GridSpec::new(nx, ny).unwrap()).unwrap();
+        for unit in plan.units() {
+            let cells = grid.cells_of(unit.kind).len() as f64;
+            let measured = cells * grid.cell_area();
+            let actual = unit.rect.area().value();
+            // Cell-centre sampling error is bounded by the perimeter band.
+            let perimeter = 2.0 * (unit.rect.w + unit.rect.h);
+            let tol = perimeter * (grid.cell_width() + grid.cell_height());
+            prop_assert!(
+                (measured - actual).abs() <= tol,
+                "{}: measured {} vs actual {} (tol {})",
+                unit.kind, measured, actual, tol
+            );
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The boosted ensemble: training, prediction, importance and cost.
+
+use crate::dataset::Dataset;
+use crate::params::GbtParams;
+use crate::tree::RegressionTree;
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Hardware-cost summary of one prediction (§V-E of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictionCost {
+    /// Comparisons to walk every tree root→leaf (`trees × depth`).
+    pub comparisons: usize,
+    /// Additions to accumulate the leaf values (`trees − 1`).
+    pub additions: usize,
+    /// Size of the model weights assuming full trees with one 32-bit
+    /// value per node — the paper's memory-overhead accounting.
+    pub weight_bytes: usize,
+}
+
+impl PredictionCost {
+    /// Total operation count (comparisons + additions).
+    pub fn total_ops(&self) -> usize {
+        self.comparisons + self.additions
+    }
+}
+
+/// A trained gradient-boosted regression ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbtModel {
+    base_score: f64,
+    trees: Vec<RegressionTree>,
+    params: GbtParams,
+    feature_names: Vec<String>,
+}
+
+impl GbtModel {
+    /// Trains an ensemble on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] for an empty dataset or
+    /// [`Error::InvalidConfig`] for invalid hyper-parameters.
+    pub fn train(data: &Dataset, params: &GbtParams) -> Result<GbtModel> {
+        params.validate()?;
+        if data.is_empty() {
+            return Err(Error::EmptyDataset("gbt training set"));
+        }
+        let n = data.len();
+        let base_score = data.targets().iter().sum::<f64>() / n as f64;
+
+        // Presort every feature once; trees reuse the order.
+        let presorted: Vec<Vec<u32>> = (0..data.num_features())
+            .map(|f| {
+                let col = data.column(f);
+                let mut idx: Vec<u32> = (0..n as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .expect("dataset rejects non-finite features")
+                });
+                idx
+            })
+            .collect();
+
+        let mut preds = vec![base_score; n];
+        let mut grad = vec![0.0f64; n];
+        let mut trees = Vec::with_capacity(params.n_estimators);
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| data.row(i)).collect();
+        for _ in 0..params.n_estimators {
+            for i in 0..n {
+                grad[i] = preds[i] - data.targets()[i];
+            }
+            let tree = RegressionTree::fit(data, &grad, &presorted, params);
+            for i in 0..n {
+                preds[i] += params.learning_rate * tree.predict(&rows[i]);
+            }
+            trees.push(tree);
+        }
+        Ok(GbtModel {
+            base_score,
+            trees,
+            params: *params,
+            feature_names: data.feature_names().to_vec(),
+        })
+    }
+
+    /// Predicts one row (same feature order as the training dataset).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.predict_with(row, self.trees.len())
+    }
+
+    /// Predicts using only the first `k` trees (staged prediction, used
+    /// for the size/accuracy study of Fig. 9).
+    pub fn predict_with(&self, row: &[f64], k: usize) -> f64 {
+        let k = k.min(self.trees.len());
+        self.base_score
+            + self.params.learning_rate
+                * self.trees[..k].iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict(&data.row(i))).collect()
+    }
+
+    /// Mean squared error on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn mse_on(&self, data: &Dataset) -> f64 {
+        common::stats::mse(&self.predict_batch(data), data.targets())
+    }
+
+    /// Normalised total-gain importance per feature, descending — the
+    /// quantity in Table IV. Features with zero gain are included.
+    pub fn feature_importance(&self) -> Vec<(String, f64)> {
+        let mut gains = vec![0.0; self.feature_names.len()];
+        for t in &self.trees {
+            t.accumulate_gain(&mut gains);
+        }
+        let total: f64 = gains.iter().sum();
+        let mut pairs: Vec<(String, f64)> = self
+            .feature_names
+            .iter()
+            .cloned()
+            .zip(gains.into_iter().map(|g| if total > 0.0 { g / total } else { 0.0 }))
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gains"));
+        pairs
+    }
+
+    /// The hardware-cost summary (paper §V-E accounting).
+    pub fn cost(&self) -> PredictionCost {
+        let n = self.trees.len();
+        let full_nodes_per_tree = (1usize << (self.params.max_depth + 1)) - 1;
+        PredictionCost {
+            comparisons: n * self.params.max_depth,
+            additions: n.saturating_sub(1),
+            weight_bytes: n * full_nodes_per_tree * 4,
+        }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The trees themselves.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// The hyper-parameters used for training.
+    pub fn params(&self) -> &GbtParams {
+        &self.params
+    }
+
+    /// Names of the features the model expects, in order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The initial prediction (mean of the training targets).
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// Serialises the model to JSON (the form the "hardware" controller
+    /// would be provisioned with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serde`] on serialisation failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::Serde(e.to_string()))
+    }
+
+    /// Restores a model from [`GbtModel::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serde`] on malformed input.
+    pub fn from_json(json: &str) -> Result<GbtModel> {
+        serde_json::from_str(json).map_err(|e| Error::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn friedman_like(n: usize) -> Dataset {
+        // Deterministic nonlinear target over 3 features.
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into(), "x2".into()]);
+        for i in 0..n {
+            let x0 = (i % 17) as f64 / 17.0;
+            let x1 = (i % 29) as f64 / 29.0;
+            let x2 = (i % 7) as f64 / 7.0;
+            let y = (std::f64::consts::PI * x0).sin() + 2.0 * (x1 - 0.5).powi(2) + 0.5 * x2;
+            d.push_row(&[x0, x1, x2], y, (i % 5) as u32).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let d = friedman_like(2000);
+        let params = GbtParams::default().with_estimators(100);
+        let model = GbtModel::train(&d, &params).unwrap();
+        let mse = model.mse_on(&d);
+        assert!(mse < 0.002, "training MSE too high: {mse}");
+    }
+
+    #[test]
+    fn single_tree_zero_lr_limit_predicts_mean() {
+        let d = friedman_like(100);
+        let params = GbtParams {
+            n_estimators: 1,
+            gamma: 1e12, // block all splits -> one leaf
+            ..GbtParams::default()
+        };
+        let model = GbtModel::train(&d, &params).unwrap();
+        let mean = d.targets().iter().sum::<f64>() / d.len() as f64;
+        // Leaf weight is -G/(H+lambda) ~ 0 residual mean, so prediction ~ base.
+        let pred = model.predict(&d.row(0));
+        assert!((pred - mean).abs() < 0.05, "pred {pred} vs mean {mean}");
+    }
+
+    #[test]
+    fn training_mse_is_monotone_in_trees() {
+        let d = friedman_like(600);
+        let model = GbtModel::train(&d, &GbtParams::default().with_estimators(40)).unwrap();
+        let mut last = f64::INFINITY;
+        for k in [1, 5, 10, 20, 40] {
+            let preds: Vec<f64> = (0..d.len()).map(|i| model.predict_with(&d.row(i), k)).collect();
+            let mse = common::stats::mse(&preds, d.targets());
+            assert!(mse <= last + 1e-12, "MSE rose at k={k}: {last} -> {mse}");
+            last = mse;
+        }
+    }
+
+    #[test]
+    fn cost_matches_paper_accounting() {
+        let d = friedman_like(300);
+        let params = GbtParams::default().with_estimators(223).with_depth(3);
+        let model = GbtModel::train(&d, &params).unwrap();
+        let cost = model.cost();
+        assert_eq!(cost.comparisons, 669);
+        assert_eq!(cost.additions, 222);
+        assert_eq!(cost.weight_bytes, 223 * 15 * 4);
+        assert!(cost.weight_bytes < 14 * 1024, "paper: under 14 KB");
+        assert!(cost.total_ops() < 1000);
+    }
+
+    #[test]
+    fn importance_finds_the_informative_feature() {
+        // y depends only on x0.
+        let mut d = Dataset::new(vec!["x0".into(), "junk".into()]);
+        for i in 0..500 {
+            let x0 = (i % 23) as f64;
+            let junk = ((i * 31) % 101) as f64;
+            d.push_row(&[x0, junk], x0 * 3.0, 0).unwrap();
+        }
+        let model = GbtModel::train(&d, &GbtParams::default().with_estimators(20)).unwrap();
+        let imp = model.feature_importance();
+        assert_eq!(imp[0].0, "x0");
+        assert!(imp[0].1 > 0.95, "x0 importance {}", imp[0].1);
+        let total: f64 = imp.iter().map(|(_, g)| g).sum();
+        assert!((total - 1.0).abs() < 1e-9, "importance must normalise to 1");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let d = friedman_like(200);
+        let model = GbtModel::train(&d, &GbtParams::default().with_estimators(15)).unwrap();
+        let json = model.to_json().unwrap();
+        let back = GbtModel::from_json(&json).unwrap();
+        for i in (0..d.len()).step_by(37) {
+            assert_eq!(model.predict(&d.row(i)), back.predict(&d.row(i)));
+        }
+        assert!(GbtModel::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let d = Dataset::new(vec!["x".into()]);
+        assert!(matches!(
+            GbtModel::train(&d, &GbtParams::default()),
+            Err(Error::EmptyDataset(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let d = friedman_like(400);
+        let p = GbtParams::default().with_estimators(10);
+        let a = GbtModel::train(&d, &p).unwrap();
+        let b = GbtModel::train(&d, &p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generalises_to_unseen_rows_of_same_function() {
+        let train = friedman_like(1500);
+        let mut test = Dataset::new(vec!["x0".into(), "x1".into(), "x2".into()]);
+        for i in 0..200 {
+            let x0 = ((i * 3 + 1) % 17) as f64 / 17.0 + 0.013;
+            let x1 = ((i * 5 + 2) % 29) as f64 / 29.0 + 0.007;
+            let x2 = ((i * 11 + 3) % 7) as f64 / 7.0 + 0.021;
+            let y = (std::f64::consts::PI * x0).sin() + 2.0 * (x1 - 0.5).powi(2) + 0.5 * x2;
+            test.push_row(&[x0, x1, x2], y, 0).unwrap();
+        }
+        let model = GbtModel::train(&train, &GbtParams::default().with_estimators(150)).unwrap();
+        let mse = model.mse_on(&test);
+        assert!(mse < 0.01, "test MSE {mse}");
+    }
+}

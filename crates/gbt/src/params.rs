@@ -1,0 +1,122 @@
+//! GBT hyper-parameters.
+
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the boosted ensemble.
+///
+/// Defaults are the paper's final configuration (Table II): `α = 0.3`,
+/// `γ = 0`, `max_depth = 3`, `n_estimators = 223`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Learning rate `α`: shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Minimum loss reduction `γ` required to make a split.
+    pub gamma: f64,
+    /// L2 regularisation `λ` on leaf weights.
+    pub lambda: f64,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Number of boosted trees.
+    pub n_estimators: usize,
+    /// Minimum hessian sum (= row count for squared loss) in a child.
+    pub min_child_weight: f64,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.3,
+            gamma: 0.0,
+            lambda: 1.0,
+            max_depth: 3,
+            n_estimators: 223,
+            min_child_weight: 1.0,
+        }
+    }
+}
+
+impl GbtParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0 && self.learning_rate <= 1.0)
+        {
+            return Err(Error::invalid_config("gbt", "learning_rate must be in (0, 1]"));
+        }
+        if !(self.gamma.is_finite() && self.gamma >= 0.0) {
+            return Err(Error::invalid_config("gbt", "gamma must be >= 0"));
+        }
+        if !(self.lambda.is_finite() && self.lambda >= 0.0) {
+            return Err(Error::invalid_config("gbt", "lambda must be >= 0"));
+        }
+        if self.max_depth == 0 || self.max_depth > 16 {
+            return Err(Error::invalid_config("gbt", "max_depth must be in 1..=16"));
+        }
+        if self.n_estimators == 0 {
+            return Err(Error::invalid_config("gbt", "n_estimators must be >= 1"));
+        }
+        if !(self.min_child_weight.is_finite() && self.min_child_weight >= 0.0) {
+            return Err(Error::invalid_config("gbt", "min_child_weight must be >= 0"));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the tree count.
+    #[must_use]
+    pub fn with_estimators(mut self, n: usize) -> Self {
+        self.n_estimators = n;
+        self
+    }
+
+    /// Builder-style setter for the depth.
+    #[must_use]
+    pub fn with_depth(mut self, d: usize) -> Self {
+        self.max_depth = d;
+        self
+    }
+
+    /// Builder-style setter for the learning rate.
+    #[must_use]
+    pub fn with_learning_rate(mut self, a: f64) -> Self {
+        self.learning_rate = a;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_ii() {
+        let p = GbtParams::default();
+        assert_eq!(p.learning_rate, 0.3);
+        assert_eq!(p.gamma, 0.0);
+        assert_eq!(p.max_depth, 3);
+        assert_eq!(p.n_estimators, 223);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(GbtParams::default().with_learning_rate(0.0).validate().is_err());
+        assert!(GbtParams::default().with_learning_rate(1.5).validate().is_err());
+        assert!(GbtParams::default().with_depth(0).validate().is_err());
+        assert!(GbtParams::default().with_estimators(0).validate().is_err());
+        let mut p = GbtParams::default();
+        p.gamma = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let p = GbtParams::default().with_depth(5).with_estimators(10).with_learning_rate(0.1);
+        assert_eq!(p.max_depth, 5);
+        assert_eq!(p.n_estimators, 10);
+        assert_eq!(p.learning_rate, 0.1);
+    }
+}

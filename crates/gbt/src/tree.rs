@@ -1,0 +1,416 @@
+//! A single regression tree with exact-greedy split finding.
+
+use crate::dataset::Dataset;
+use crate::params::GbtParams;
+use serde::{Deserialize, Serialize};
+
+/// One tree node: an internal split or a leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Split feature (internal nodes only).
+    pub feature: u32,
+    /// Split threshold: rows with `x[feature] < threshold` go left.
+    pub threshold: f64,
+    /// Index of the left child (internal nodes only).
+    pub left: u32,
+    /// Index of the right child (internal nodes only).
+    pub right: u32,
+    /// Leaf weight (leaves only).
+    pub value: f64,
+    /// `true` for leaves.
+    pub is_leaf: bool,
+    /// Gain realised by this split (internal nodes only).
+    pub gain: f64,
+}
+
+impl Node {
+    fn leaf(value: f64) -> Node {
+        Node {
+            feature: 0,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value,
+            is_leaf: true,
+            gain: 0.0,
+        }
+    }
+}
+
+/// A trained regression tree.
+///
+/// Trees are grown level-wise with the XGBoost gain criterion; leaf
+/// weights are the regularised Newton step `−G/(H+λ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    depth: usize,
+}
+
+impl RegressionTree {
+    /// Predicts one row (feature order must match the training dataset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the largest feature index used by
+    /// the tree.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.is_leaf {
+                return n.value;
+            }
+            i = if row[n.feature as usize] < n.threshold {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
+        }
+    }
+
+    /// The nodes, root first.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Actual depth of the tree (0 = a single leaf).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf).count()
+    }
+
+    /// Accumulates this tree's split gains into `gain_per_feature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain_per_feature` is shorter than the largest feature
+    /// index used.
+    pub fn accumulate_gain(&self, gain_per_feature: &mut [f64]) {
+        for n in &self.nodes {
+            if !n.is_leaf {
+                gain_per_feature[n.feature as usize] += n.gain;
+            }
+        }
+    }
+
+    /// Trains one tree on the gradient vector `grad` (squared loss ⇒
+    /// hessians are 1) using `presorted[f]` = row indices ascending by
+    /// feature `f`.
+    ///
+    /// Returns the tree; callers apply the learning rate when adding the
+    /// tree's predictions to the ensemble.
+    pub(crate) fn fit(
+        data: &Dataset,
+        grad: &[f64],
+        presorted: &[Vec<u32>],
+        params: &GbtParams,
+    ) -> RegressionTree {
+        let n_rows = data.len();
+        debug_assert_eq!(grad.len(), n_rows);
+        let lambda = params.lambda;
+
+        // node id of each row; u32::MAX once the row's node is a leaf.
+        let mut node_of_row: Vec<u32> = vec![0; n_rows];
+        let mut nodes: Vec<Node> = vec![Node::leaf(0.0)];
+        // Root statistics.
+        let g_total: f64 = grad.iter().sum();
+        let h_total = n_rows as f64;
+
+        struct NodeStats {
+            id: u32,
+            g: f64,
+            h: f64,
+        }
+        let mut frontier = vec![NodeStats {
+            id: 0,
+            g: g_total,
+            h: h_total,
+        }];
+
+        #[derive(Clone, Copy)]
+        struct Best {
+            gain: f64,
+            feature: u32,
+            threshold: f64,
+        }
+
+        let mut depth_reached = 0usize;
+        for depth in 0..params.max_depth {
+            if frontier.is_empty() {
+                break;
+            }
+            // slot_of_node[id] = index into the per-level scratch arrays.
+            let max_id = nodes.len();
+            let mut slot_of_node = vec![usize::MAX; max_id];
+            for (slot, ns) in frontier.iter().enumerate() {
+                slot_of_node[ns.id as usize] = slot;
+            }
+            let n_front = frontier.len();
+            let mut best: Vec<Option<Best>> = vec![None; n_front];
+
+            // Scratch per (node) for the running scan.
+            let mut g_left = vec![0.0f64; n_front];
+            let mut h_left = vec![0.0f64; n_front];
+            let mut prev_val = vec![f64::NAN; n_front];
+
+            for f in 0..data.num_features() {
+                let col = data.column(f);
+                g_left.fill(0.0);
+                h_left.fill(0.0);
+                prev_val.fill(f64::NAN);
+                for &r in &presorted[f] {
+                    let node = node_of_row[r as usize];
+                    if node == u32::MAX {
+                        continue;
+                    }
+                    let slot = slot_of_node[node as usize];
+                    if slot == usize::MAX {
+                        continue;
+                    }
+                    let v = col[r as usize];
+                    // A split is possible between two distinct values.
+                    if !prev_val[slot].is_nan() && v > prev_val[slot] {
+                        let gl = g_left[slot];
+                        let hl = h_left[slot];
+                        let stats = &frontier[slot];
+                        let gr = stats.g - gl;
+                        let hr = stats.h - hl;
+                        if hl >= params.min_child_weight && hr >= params.min_child_weight {
+                            let gain = 0.5
+                                * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda)
+                                    - stats.g * stats.g / (stats.h + lambda))
+                                - params.gamma;
+                            if best[slot].is_none_or(|b| gain > b.gain) {
+                                best[slot] = Some(Best {
+                                    gain,
+                                    feature: f as u32,
+                                    threshold: (prev_val[slot] + v) / 2.0,
+                                });
+                            }
+                        }
+                    }
+                    g_left[slot] += grad[r as usize];
+                    h_left[slot] += 1.0;
+                    prev_val[slot] = v;
+                }
+            }
+
+            // Commit splits and build the next frontier.
+            let mut next_frontier: Vec<NodeStats> = Vec::new();
+            let mut split_info: Vec<Option<(u32, f64, u32, u32)>> = vec![None; n_front];
+            for (slot, ns) in frontier.iter().enumerate() {
+                match best[slot] {
+                    Some(b) if b.gain > 0.0 => {
+                        let left_id = nodes.len() as u32;
+                        let right_id = left_id + 1;
+                        nodes.push(Node::leaf(0.0));
+                        nodes.push(Node::leaf(0.0));
+                        let node = &mut nodes[ns.id as usize];
+                        node.is_leaf = false;
+                        node.feature = b.feature;
+                        node.threshold = b.threshold;
+                        node.left = left_id;
+                        node.right = right_id;
+                        node.gain = b.gain;
+                        split_info[slot] = Some((b.feature, b.threshold, left_id, right_id));
+                        depth_reached = depth + 1;
+                    }
+                    _ => {
+                        // Finalise as a leaf.
+                        nodes[ns.id as usize].value = -ns.g / (ns.h + lambda);
+                    }
+                }
+            }
+            // Reassign rows and gather child stats.
+            let mut child_stats: std::collections::HashMap<u32, (f64, f64)> =
+                std::collections::HashMap::new();
+            for r in 0..n_rows {
+                let node = node_of_row[r];
+                if node == u32::MAX {
+                    continue;
+                }
+                let slot = slot_of_node[node as usize];
+                if slot == usize::MAX {
+                    continue;
+                }
+                match split_info[slot] {
+                    Some((f, thr, left_id, right_id)) => {
+                        let child = if data.column(f as usize)[r] < thr {
+                            left_id
+                        } else {
+                            right_id
+                        };
+                        node_of_row[r] = child;
+                        let e = child_stats.entry(child).or_insert((0.0, 0.0));
+                        e.0 += grad[r];
+                        e.1 += 1.0;
+                    }
+                    None => {
+                        node_of_row[r] = u32::MAX; // settled in a leaf
+                    }
+                }
+            }
+            for (id, (g, h)) in child_stats {
+                next_frontier.push(NodeStats { id, g, h });
+            }
+            next_frontier.sort_by_key(|ns| ns.id);
+            frontier = next_frontier;
+        }
+
+        // Any nodes still on the frontier at max depth become leaves.
+        for ns in &frontier {
+            nodes[ns.id as usize].value = -ns.g / (ns.h + lambda);
+        }
+
+        RegressionTree {
+            nodes,
+            depth: depth_reached,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::Result;
+
+    fn presort(data: &Dataset) -> Vec<Vec<u32>> {
+        (0..data.num_features())
+            .map(|f| {
+                let col = data.column(f);
+                let mut idx: Vec<u32> = (0..data.len() as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .expect("finite features")
+                });
+                idx
+            })
+            .collect()
+    }
+
+    fn step_data() -> Result<Dataset> {
+        // y = 1 for x < 0.5, y = 3 otherwise.
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            d.push_row(&[x], if x < 0.5 { 1.0 } else { 3.0 }, 0)?;
+        }
+        Ok(d)
+    }
+
+    #[test]
+    fn single_split_recovers_step_function() {
+        let d = step_data().unwrap();
+        // Gradients for squared loss starting from prediction 0: g = -y.
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let params = GbtParams {
+            lambda: 0.0,
+            max_depth: 1,
+            ..GbtParams::default()
+        };
+        let tree = RegressionTree::fit(&d, &grad, &presort(&d), &params);
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.num_leaves(), 2);
+        // The split must land between 0.49 and 0.50.
+        let root = tree.nodes()[0];
+        assert!(!root.is_leaf);
+        assert!((root.threshold - 0.495).abs() < 0.006, "threshold {}", root.threshold);
+        // Leaf weights are -mean(g) = mean(y) on each side.
+        assert!((tree.predict(&[0.1]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[0.9]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_split_when_targets_constant() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..50 {
+            d.push_row(&[i as f64], 2.0, 0).unwrap();
+        }
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let tree = RegressionTree::fit(&d, &grad, &presort(&d), &GbtParams::default());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.num_leaves(), 1);
+        assert!((tree.predict(&[7.0]) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        // Highly structured target that would benefit from deep trees.
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..256 {
+            let x = i as f64;
+            d.push_row(&[x], (i % 16) as f64, 0).unwrap();
+        }
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let params = GbtParams {
+            max_depth: 2,
+            lambda: 0.0,
+            ..GbtParams::default()
+        };
+        let tree = RegressionTree::fit(&d, &grad, &presort(&d), &params);
+        assert!(tree.depth() <= 2);
+        assert!(tree.num_leaves() <= 4);
+    }
+
+    #[test]
+    fn gamma_blocks_weak_splits() {
+        let d = step_data().unwrap();
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let params = GbtParams {
+            gamma: 1e9, // absurdly high: nothing clears the bar
+            ..GbtParams::default()
+        };
+        let tree = RegressionTree::fit(&d, &grad, &presort(&d), &params);
+        assert_eq!(tree.num_leaves(), 1);
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_children() {
+        let d = step_data().unwrap();
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let params = GbtParams {
+            min_child_weight: 60.0, // both children would need >= 60 of 100 rows
+            ..GbtParams::default()
+        };
+        let tree = RegressionTree::fit(&d, &grad, &presort(&d), &params);
+        assert_eq!(tree.num_leaves(), 1);
+    }
+
+    #[test]
+    fn split_uses_most_informative_feature() {
+        // Feature 1 is pure noise; feature 0 fully determines y.
+        let mut d = Dataset::new(vec!["signal".into(), "noise".into()]);
+        for i in 0..200 {
+            let x = i as f64 / 200.0;
+            let noise = ((i * 7919) % 97) as f64;
+            d.push_row(&[x, noise], if x < 0.3 { 0.0 } else { 5.0 }, 0).unwrap();
+        }
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let params = GbtParams {
+            max_depth: 1,
+            ..GbtParams::default()
+        };
+        let tree = RegressionTree::fit(&d, &grad, &presort(&d), &params);
+        assert_eq!(tree.nodes()[0].feature, 0, "must split on the signal feature");
+        let mut gains = vec![0.0; 2];
+        tree.accumulate_gain(&mut gains);
+        assert!(gains[0] > 0.0);
+        assert_eq!(gains[1], 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = step_data().unwrap();
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let tree = RegressionTree::fit(&d, &grad, &presort(&d), &GbtParams::default());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: RegressionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+    }
+}

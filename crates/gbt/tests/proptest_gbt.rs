@@ -1,0 +1,100 @@
+//! Property tests for the gradient-boosted-tree learner.
+
+use boreas_gbt::{Dataset, GbtModel, GbtParams};
+use proptest::prelude::*;
+
+/// Builds a dataset from generated rows; three features, linear-ish
+/// target with the generated coefficients.
+fn dataset_from(rows: &[(f64, f64, f64)], coef: (f64, f64)) -> Dataset {
+    let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+    for (i, &(a, b, c)) in rows.iter().enumerate() {
+        let y = coef.0 * a + coef.1 * (b - 50.0).abs();
+        d.push_row(&[a, b, c], y, (i % 4) as u32).expect("valid row");
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predictions_are_finite_and_training_reduces_mse(
+        rows in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64), 30..120),
+        c0 in -2.0..2.0f64,
+        c1 in -2.0..2.0f64,
+    ) {
+        let data = dataset_from(&rows, (c0, c1));
+        let params = GbtParams::default().with_estimators(25);
+        let model = GbtModel::train(&data, &params).expect("train");
+        // Finite predictions everywhere.
+        for i in 0..data.len() {
+            prop_assert!(model.predict(&data.row(i)).is_finite());
+        }
+        // The ensemble is at least as good as the constant-mean model.
+        let mean = data.targets().iter().sum::<f64>() / data.len() as f64;
+        let mean_mse = data.targets().iter().map(|y| (y - mean).powi(2)).sum::<f64>()
+            / data.len() as f64;
+        prop_assert!(model.mse_on(&data) <= mean_mse + 1e-9);
+    }
+
+    #[test]
+    fn training_mse_is_monotone_in_ensemble_size(
+        rows in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64), 40..100),
+    ) {
+        let data = dataset_from(&rows, (1.0, 0.5));
+        let model = GbtModel::train(&data, &GbtParams::default().with_estimators(20)).expect("train");
+        let mut last = f64::INFINITY;
+        for k in 1..=20 {
+            let preds: Vec<f64> = (0..data.len()).map(|i| model.predict_with(&data.row(i), k)).collect();
+            let mse = common::stats::mse(&preds, data.targets());
+            prop_assert!(mse <= last + 1e-9, "MSE rose at k={}: {} -> {}", k, last, mse);
+            last = mse;
+        }
+    }
+
+    #[test]
+    fn importance_is_a_distribution(
+        rows in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64), 30..80),
+    ) {
+        let data = dataset_from(&rows, (1.5, 0.0));
+        let model = GbtModel::train(&data, &GbtParams::default().with_estimators(10)).expect("train");
+        let imp = model.feature_importance();
+        let total: f64 = imp.iter().map(|(_, g)| g).sum();
+        prop_assert!(imp.iter().all(|(_, g)| *g >= 0.0));
+        // Either no split happened (all-constant target) or gains
+        // normalise to 1.
+        prop_assert!(total == 0.0 || (total - 1.0).abs() < 1e-9);
+        // The unused feature `c` never earns gain.
+        let c_gain = imp.iter().find(|(n, _)| n == "c").map(|(_, g)| *g).unwrap();
+        prop_assert!(c_gain < 0.2, "noise feature gained {}", c_gain);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact(
+        rows in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64), 30..60),
+    ) {
+        let data = dataset_from(&rows, (0.7, 1.1));
+        let model = GbtModel::train(&data, &GbtParams::default().with_estimators(8)).expect("train");
+        let restored = GbtModel::from_json(&model.to_json().expect("ser")).expect("de");
+        for i in 0..data.len() {
+            prop_assert_eq!(model.predict(&data.row(i)), restored.predict(&data.row(i)));
+        }
+    }
+
+    #[test]
+    fn cost_model_is_consistent(
+        trees in 1usize..300,
+        depth in 1usize..8,
+    ) {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..40 {
+            d.push_row(&[i as f64], (i % 5) as f64, 0).expect("row");
+        }
+        let params = GbtParams::default().with_estimators(trees).with_depth(depth);
+        let model = GbtModel::train(&d, &params).expect("train");
+        let cost = model.cost();
+        prop_assert_eq!(cost.comparisons, trees * depth);
+        prop_assert_eq!(cost.additions, trees - 1);
+        prop_assert_eq!(cost.weight_bytes, trees * ((1 << (depth + 1)) - 1) * 4);
+    }
+}

@@ -1,0 +1,236 @@
+//! Hotspot event detection and classification.
+//!
+//! HotGauge's contribution (beyond the severity metric itself) includes
+//! "automatically classifying and detecting hotspots". This module scans
+//! a step-record trace for *episodes* — maximal runs of steps whose
+//! severity stays at or above a threshold — and classifies each by the
+//! functional unit it sits on, its duration and how fast it formed
+//! (advanced hotspots are the fast, localized ones).
+
+use crate::pipeline::StepRecord;
+use common::time::SimTime;
+use floorplan::{Floorplan, UnitKind};
+use serde::{Deserialize, Serialize};
+
+/// How quickly a hotspot episode formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HotspotClass {
+    /// Severity went from below `0.5 × threshold` to the threshold within
+    /// one millisecond — faster than a 960 µs sensor/control loop can
+    /// react. The paper's *advanced hotspot*.
+    Advanced,
+    /// A conventional, slowly developing hotspot.
+    Gradual,
+}
+
+/// One detected hotspot episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotspotEvent {
+    /// First step at/above the threshold.
+    pub start: SimTime,
+    /// Last step at/above the threshold.
+    pub end: SimTime,
+    /// Number of steps in the episode.
+    pub steps: usize,
+    /// Peak severity reached during the episode.
+    pub peak_severity: f64,
+    /// The functional unit under the most severe cell at the peak
+    /// (`None` if the location fell on uncore filler).
+    pub unit: Option<UnitKind>,
+    /// Formation-speed classification.
+    pub class: HotspotClass,
+}
+
+impl HotspotEvent {
+    /// Episode duration in milliseconds (inclusive of both endpoints).
+    pub fn duration_ms(&self) -> f64 {
+        (self.end.as_micros() - self.start.as_micros() + common::time::STEP_MICROS) as f64 / 1000.0
+    }
+}
+
+/// Scans a trace for hotspot episodes with severity ≥ `threshold`.
+///
+/// `plan` resolves episode locations to functional units. Records must be
+/// in time order (as produced by the pipeline).
+///
+/// # Panics
+///
+/// Panics if `threshold` is not in `(0, 1]`.
+pub fn detect_events(
+    records: &[StepRecord],
+    plan: &Floorplan,
+    threshold: f64,
+) -> Vec<HotspotEvent> {
+    assert!(
+        threshold > 0.0 && threshold <= 1.0,
+        "threshold must be in (0, 1], got {threshold}"
+    );
+    let mut events = Vec::new();
+    let mut current: Option<(usize, usize, f64, (f64, f64))> = None; // (start, end, peak, peak_xy)
+    for (i, r) in records.iter().enumerate() {
+        let sev = r.max_severity.value();
+        if sev >= threshold {
+            match &mut current {
+                Some((_, end, peak, peak_xy)) => {
+                    *end = i;
+                    if sev > *peak {
+                        *peak = sev;
+                        *peak_xy = r.hotspot_xy;
+                    }
+                }
+                None => current = Some((i, i, sev, r.hotspot_xy)),
+            }
+        } else if let Some((start, end, peak, peak_xy)) = current.take() {
+            events.push(finish_event(records, plan, threshold, start, end, peak, peak_xy));
+        }
+    }
+    if let Some((start, end, peak, peak_xy)) = current {
+        events.push(finish_event(records, plan, threshold, start, end, peak, peak_xy));
+    }
+    events
+}
+
+fn finish_event(
+    records: &[StepRecord],
+    plan: &Floorplan,
+    threshold: f64,
+    start: usize,
+    end: usize,
+    peak: f64,
+    peak_xy: (f64, f64),
+) -> HotspotEvent {
+    // Walk backwards from the onset to find when severity was last below
+    // half the threshold; a rise within 1 ms classifies as advanced.
+    let mut rise_steps = None;
+    for back in (0..start).rev() {
+        if records[back].max_severity.value() < 0.5 * threshold {
+            rise_steps = Some(start - back);
+            break;
+        }
+    }
+    let class = match rise_steps {
+        // 1 ms = 12.5 steps of 80 us.
+        Some(steps) if steps <= 12 => HotspotClass::Advanced,
+        Some(_) => HotspotClass::Gradual,
+        // Severity was never below half-threshold since t=0: for short
+        // prefixes (chip started hot immediately) treat as advanced.
+        None => {
+            if start <= 12 {
+                HotspotClass::Advanced
+            } else {
+                HotspotClass::Gradual
+            }
+        }
+    };
+    HotspotEvent {
+        start: records[start].time,
+        end: records[end].time,
+        steps: end - start + 1,
+        peak_severity: peak,
+        unit: plan.unit_at(peak_xy.0, peak_xy.1).map(|u| u.kind),
+        class,
+    }
+}
+
+/// Summary counts of a trace's hotspot behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSummary {
+    /// Episodes found.
+    pub count: usize,
+    /// Episodes classified as advanced.
+    pub advanced: usize,
+    /// Total steps spent at/above the threshold.
+    pub total_steps: usize,
+    /// Longest single episode, in steps.
+    pub longest_steps: usize,
+}
+
+/// Summarises [`detect_events`] output.
+pub fn summarize(events: &[HotspotEvent]) -> EventSummary {
+    EventSummary {
+        count: events.len(),
+        advanced: events.iter().filter(|e| e.class == HotspotClass::Advanced).count(),
+        total_steps: events.iter().map(|e| e.steps).sum(),
+        longest_steps: events.iter().map(|e| e.steps).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use common::units::{GigaHertz, Volts};
+    use workloads::WorkloadSpec;
+
+    fn hot_trace() -> (Vec<StepRecord>, Floorplan) {
+        let mut cfg = PipelineConfig::paper();
+        cfg.grid = floorplan::GridSpec::new(16, 12).unwrap();
+        let p = cfg.build().unwrap();
+        let spec = WorkloadSpec::by_name("gromacs").unwrap();
+        let out = p
+            .run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 120)
+            .unwrap();
+        (out.records, p.floorplan().clone())
+    }
+
+    #[test]
+    fn hot_run_produces_events_on_a_hot_unit() {
+        let (records, plan) = hot_trace();
+        let events = detect_events(&records, &plan, 0.9);
+        assert!(!events.is_empty(), "gromacs at 4.5 GHz must produce hotspots");
+        let summary = summarize(&events);
+        assert!(summary.total_steps > 0);
+        assert!(summary.longest_steps <= records.len());
+        // Hotspots live on real units, not filler.
+        for e in &events {
+            assert!(e.unit.is_some());
+            assert!(e.peak_severity >= 0.9);
+            assert!(e.duration_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cold_run_produces_no_events() {
+        let mut cfg = PipelineConfig::paper();
+        cfg.grid = floorplan::GridSpec::new(16, 12).unwrap();
+        let p = cfg.build().unwrap();
+        let spec = WorkloadSpec::by_name("omnetpp").unwrap();
+        let out = p
+            .run_fixed(&spec, GigaHertz::new(2.0), Volts::new(0.64), 60)
+            .unwrap();
+        let events = detect_events(&out.records, p.floorplan(), 0.9);
+        assert!(events.is_empty());
+        assert_eq!(summarize(&events).count, 0);
+    }
+
+    #[test]
+    fn episodes_are_maximal_runs() {
+        let (records, plan) = hot_trace();
+        let events = detect_events(&records, &plan, 0.95);
+        // Episodes are disjoint and ordered.
+        for pair in events.windows(2) {
+            assert!(pair[0].end < pair[1].start);
+        }
+        // Total steps at/above the threshold matches a direct count.
+        let direct = records.iter().filter(|r| r.max_severity.value() >= 0.95).count();
+        assert_eq!(summarize(&events).total_steps, direct);
+    }
+
+    #[test]
+    fn spiky_workload_events_are_advanced() {
+        let (records, plan) = hot_trace();
+        let events = detect_events(&records, &plan, 0.9);
+        let summary = summarize(&events);
+        assert!(
+            summary.advanced > 0,
+            "gromacs's fast hotspots should classify as advanced"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_panics() {
+        let (records, plan) = hot_trace();
+        detect_events(&records, &plan, 1.5);
+    }
+}

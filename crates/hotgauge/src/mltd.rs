@@ -1,0 +1,187 @@
+//! Maximum Local Temperature Difference (MLTD).
+//!
+//! For each die cell `i`, `MLTD(i) = max over cells j within radius r of
+//! (T(i) − T(j))`, floored at zero: how much hotter this location is than
+//! the coolest point in its neighbourhood. Large MLTD means steep local
+//! thermal gradients — the timing-margin threat that pure temperature
+//! thresholds miss.
+
+use common::units::Celsius;
+use floorplan::Grid;
+
+/// Precomputed MLTD evaluator for a fixed grid and radius.
+///
+/// The neighbourhood stencil (cell offsets within the physical radius) is
+/// computed once; evaluation is then a stencil sweep over the temperature
+/// map.
+#[derive(Debug, Clone)]
+pub struct MltdMap {
+    nx: usize,
+    ny: usize,
+    /// Relative offsets (dx, dy) within the radius, excluding (0, 0).
+    stencil: Vec<(isize, isize)>,
+}
+
+impl MltdMap {
+    /// Builds the evaluator for `grid` with a neighbourhood of
+    /// `radius_mm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius_mm` is not positive and finite.
+    pub fn new(grid: &Grid, radius_mm: f64) -> Self {
+        assert!(
+            radius_mm.is_finite() && radius_mm > 0.0,
+            "MLTD radius must be positive"
+        );
+        let rx = (radius_mm / grid.cell_width()).floor() as isize;
+        let ry = (radius_mm / grid.cell_height()).floor() as isize;
+        let mut stencil = Vec::new();
+        for dy in -ry..=ry {
+            for dx in -rx..=rx {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let x_mm = dx as f64 * grid.cell_width();
+                let y_mm = dy as f64 * grid.cell_height();
+                if (x_mm * x_mm + y_mm * y_mm).sqrt() <= radius_mm + 1e-12 {
+                    stencil.push((dx, dy));
+                }
+            }
+        }
+        Self {
+            nx: grid.spec().nx,
+            ny: grid.spec().ny,
+            stencil,
+        }
+    }
+
+    /// Number of neighbours in the stencil.
+    pub fn stencil_size(&self) -> usize {
+        self.stencil.len()
+    }
+
+    /// Computes the MLTD of every cell for a temperature map (°C,
+    /// row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not match the grid size.
+    pub fn compute(&self, temps: &[f64]) -> Vec<f64> {
+        assert_eq!(temps.len(), self.nx * self.ny, "temperature map size mismatch");
+        let mut out = vec![0.0; temps.len()];
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let i = iy * self.nx + ix;
+                let ti = temps[i];
+                let mut min_nb = ti;
+                for &(dx, dy) in &self.stencil {
+                    let jx = ix as isize + dx;
+                    let jy = iy as isize + dy;
+                    if jx < 0 || jy < 0 || jx >= self.nx as isize || jy >= self.ny as isize {
+                        continue;
+                    }
+                    let tj = temps[jy as usize * self.nx + jx as usize];
+                    if tj < min_nb {
+                        min_nb = tj;
+                    }
+                }
+                out[i] = ti - min_nb;
+            }
+        }
+        out
+    }
+
+    /// The largest MLTD anywhere on the die.
+    pub fn max_mltd(&self, temps: &[f64]) -> Celsius {
+        Celsius::new(
+            self.compute(temps)
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use floorplan::{Floorplan, GridSpec};
+
+    fn grid() -> Grid {
+        Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default()).unwrap()
+    }
+
+    #[test]
+    fn uniform_grid_has_zero_mltd() {
+        let g = grid();
+        let m = MltdMap::new(&g, 0.6);
+        let temps = vec![77.0; g.spec().cells()];
+        assert!(m.compute(&temps).iter().all(|&v| v == 0.0));
+        assert_eq!(m.max_mltd(&temps).value(), 0.0);
+    }
+
+    #[test]
+    fn single_hot_cell_has_full_contrast() {
+        let g = grid();
+        let m = MltdMap::new(&g, 0.6);
+        let mut temps = vec![50.0; g.spec().cells()];
+        let centre = g.spec().nx * (g.spec().ny / 2) + g.spec().nx / 2;
+        temps[centre] = 90.0;
+        let mltd = m.compute(&temps);
+        assert_eq!(mltd[centre], 40.0);
+        // Cool cells near the hot one are *cooler* than their hottest
+        // neighbour but MLTD only measures positive contrast.
+        assert!(mltd.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn mltd_is_nonnegative_and_bounded_by_range() {
+        let g = grid();
+        let m = MltdMap::new(&g, 0.6);
+        let temps: Vec<f64> = (0..g.spec().cells()).map(|i| 45.0 + (i % 13) as f64).collect();
+        let lo = temps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in m.compute(&temps) {
+            assert!(v >= 0.0 && v <= hi - lo + 1e-12);
+        }
+    }
+
+    #[test]
+    fn radius_controls_reach() {
+        let g = grid();
+        // Gradient along x: one cell is 1 degree hotter than the next.
+        let temps: Vec<f64> = (0..g.spec().cells())
+            .map(|i| (i % g.spec().nx) as f64)
+            .collect();
+        let small = MltdMap::new(&g, 0.13); // 1 cell reach
+        let large = MltdMap::new(&g, 0.6); // 4 cell reach
+        let idx = g.spec().nx / 2; // interior cell in the first row
+        assert_eq!(small.compute(&temps)[idx], 1.0);
+        assert_eq!(large.compute(&temps)[idx], 4.0);
+    }
+
+    #[test]
+    fn stencil_excludes_origin_and_respects_radius() {
+        let g = grid();
+        let m = MltdMap::new(&g, 0.13); // exactly one cell (0.125 mm)
+        // Stencil must be the 4-neighbourhood.
+        assert_eq!(m.stencil_size(), 4);
+    }
+
+    #[test]
+    fn edge_cells_do_not_read_out_of_bounds() {
+        let g = grid();
+        let m = MltdMap::new(&g, 0.6);
+        let mut temps = vec![45.0; g.spec().cells()];
+        temps[0] = 100.0; // corner
+        let mltd = m.compute(&temps);
+        assert_eq!(mltd[0], 55.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_size_panics() {
+        let g = grid();
+        MltdMap::new(&g, 0.6).compute(&[1.0, 2.0]);
+    }
+}

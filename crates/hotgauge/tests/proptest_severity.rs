@@ -1,0 +1,68 @@
+//! Property tests for the Hotspot-Severity metric and MLTD.
+
+use boreas_hotgauge::{MltdMap, Severity, SeverityParams};
+use common::units::Celsius;
+use floorplan::{Floorplan, Grid, GridSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn severity_is_monotone_in_temperature(
+        t in 0.0..200.0f64,
+        dt in 0.0..50.0f64,
+        mltd in 0.0..60.0f64,
+    ) {
+        let p = SeverityParams::default();
+        let a = p.evaluate_raw(Celsius::new(t), Celsius::new(mltd));
+        let b = p.evaluate_raw(Celsius::new(t + dt), Celsius::new(mltd));
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn severity_is_monotone_in_mltd(
+        t in 0.0..200.0f64,
+        mltd in 0.0..60.0f64,
+        dm in 0.0..30.0f64,
+    ) {
+        let p = SeverityParams::default();
+        let a = p.evaluate_raw(Celsius::new(t), Celsius::new(mltd));
+        let b = p.evaluate_raw(Celsius::new(t), Celsius::new(mltd + dm));
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn clamped_severity_is_always_in_unit_interval(raw in -1e6..1e6f64) {
+        let s = Severity::new(raw);
+        prop_assert!((0.0..=1.0).contains(&s.value()));
+        prop_assert_eq!(s.is_incursion(), raw >= 1.0);
+    }
+
+    #[test]
+    fn mltd_is_nonnegative_and_bounded(
+        temps in prop::collection::vec(40.0..130.0f64, 32 * 24..=32 * 24),
+    ) {
+        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default()).unwrap();
+        let m = MltdMap::new(&grid, 0.6);
+        let lo = temps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in m.compute(&temps) {
+            prop_assert!(v >= 0.0);
+            prop_assert!(v <= hi - lo + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mltd_is_invariant_to_uniform_offset(
+        temps in prop::collection::vec(40.0..120.0f64, 32 * 24..=32 * 24),
+        offset in -20.0..20.0f64,
+    ) {
+        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default()).unwrap();
+        let m = MltdMap::new(&grid, 0.6);
+        let base = m.compute(&temps);
+        let shifted: Vec<f64> = temps.iter().map(|t| t + offset).collect();
+        let moved = m.compute(&shifted);
+        for (a, b) in base.iter().zip(&moved) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Core micro-architecture configuration.
+
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the modelled out-of-order core.
+///
+/// Defaults ([`CoreConfig::skylake_like`]) approximate a Skylake-class
+/// desktop core, matching the system HotGauge and the paper simulate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Maximum µops issued per cycle.
+    pub issue_width: f64,
+    /// Fetch width in instructions per cycle.
+    pub fetch_width: f64,
+    /// Re-order buffer capacity.
+    pub rob_entries: f64,
+    /// Unified reservation-station capacity.
+    pub rs_entries: f64,
+    /// Load/store queue capacity.
+    pub lsq_entries: f64,
+    /// Round-trip DRAM latency in nanoseconds (fixed in wall-clock time,
+    /// which is what makes memory-bound workloads insensitive to
+    /// frequency).
+    pub mem_latency_ns: f64,
+    /// L2 hit latency in cycles.
+    pub l2_latency_cycles: f64,
+    /// Memory-level parallelism: average overlapping DRAM requests.
+    pub mlp: f64,
+    /// Branch misprediction pipeline refill penalty in cycles.
+    pub misprediction_penalty_cycles: f64,
+    /// Wrong-path fetch expansion per misprediction (instructions).
+    pub wrongpath_per_misprediction: f64,
+}
+
+impl CoreConfig {
+    /// Skylake-class defaults.
+    pub fn skylake_like() -> Self {
+        Self {
+            issue_width: 4.0,
+            fetch_width: 4.0,
+            rob_entries: 224.0,
+            rs_entries: 97.0,
+            lsq_entries: 128.0,
+            mem_latency_ns: 70.0,
+            l2_latency_cycles: 12.0,
+            mlp: 4.0,
+            misprediction_penalty_cycles: 15.0,
+            wrongpath_per_misprediction: 8.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any parameter is non-positive
+    /// or non-finite.
+    pub fn validate(&self) -> Result<()> {
+        let checks = [
+            ("issue_width", self.issue_width),
+            ("fetch_width", self.fetch_width),
+            ("rob_entries", self.rob_entries),
+            ("rs_entries", self.rs_entries),
+            ("lsq_entries", self.lsq_entries),
+            ("mem_latency_ns", self.mem_latency_ns),
+            ("l2_latency_cycles", self.l2_latency_cycles),
+            ("mlp", self.mlp),
+            ("misprediction_penalty_cycles", self.misprediction_penalty_cycles),
+            ("wrongpath_per_misprediction", self.wrongpath_per_misprediction),
+        ];
+        for (name, v) in checks {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(Error::invalid_config(
+                    "core",
+                    format!("{name} must be positive and finite, got {v}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::skylake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(CoreConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_nonpositive() {
+        let mut c = CoreConfig::skylake_like();
+        c.mlp = 0.0;
+        assert!(c.validate().is_err());
+        c.mlp = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! The per-interval analytical performance model.
+
+use crate::config::CoreConfig;
+use crate::counters::{CounterId as C, IntervalCounters};
+use common::time::STEP_MICROS;
+use common::units::{GigaHertz, Volts};
+use workloads::{Activity, WorkloadSpec};
+
+/// Analytical out-of-order core model.
+///
+/// Stateless across steps: each call to [`CoreModel::simulate_step`]
+/// derives the interval's counters from the workload spec, the phase
+/// activity and the operating point. (Thermal state, which *does* persist,
+/// lives in the thermal crate.)
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    cfg: CoreConfig,
+}
+
+impl CoreModel {
+    /// Creates a model with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`CoreConfig::validate`] first for fallible handling.
+    pub fn new(cfg: CoreConfig) -> Self {
+        cfg.validate().expect("invalid core configuration");
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Simulates one 80 µs interval and returns its counters.
+    ///
+    /// `freq`/`voltage` are the operating point for the whole interval
+    /// (the controller can only change them at decision boundaries).
+    pub fn simulate_step(
+        &self,
+        spec: &WorkloadSpec,
+        act: &Activity,
+        freq: GigaHertz,
+        voltage: Volts,
+    ) -> IntervalCounters {
+        let cfg = &self.cfg;
+        let cycles = freq.cycles_in_micros(STEP_MICROS);
+
+        // --- IPC model -------------------------------------------------
+        // Bursts raise throughput slightly less than proportionally to
+        // their switching activity (wide ops retire more work per slot).
+        let throughput_scale = act.ipc_scale * act.burst.powf(0.5);
+        let ipc_core = (spec.base_ipc * throughput_scale).min(cfg.issue_width);
+        let cpi_core = 1.0 / ipc_core.max(1e-3);
+
+        // Effective per-kilo-instruction event rates this interval.
+        let l1d_mpki = spec.l1d_mpki * act.mem_boost;
+        let l2_mpki = spec.l2_mpki * act.mem_boost;
+        let l1i_mpki = spec.l1i_mpki;
+        let itlb_mpki = spec.itlb_mpki;
+        let dtlb_mpki = spec.dtlb_mpki * act.mem_boost.sqrt();
+        let br_mpki = spec.branch_mpki;
+
+        // Memory CPI: DRAM latency is fixed in ns, so its cycle cost grows
+        // with frequency — the mechanism that flattens memory-bound
+        // workloads' frequency/performance curve.
+        let mem_latency_cycles = cfg.mem_latency_ns * freq.value();
+        let cpi_mem = spec.mem_sensitivity * (l2_mpki / 1000.0) * mem_latency_cycles / cfg.mlp;
+        // L2 hits cost a partially-hidden latency.
+        let cpi_l2 = 0.3 * (l1d_mpki / 1000.0) * cfg.l2_latency_cycles;
+        let cpi_branch = (br_mpki / 1000.0) * cfg.misprediction_penalty_cycles;
+
+        let cpi = cpi_core + cpi_mem + cpi_l2 + cpi_branch;
+        let ipc = (1.0 / cpi).min(cfg.issue_width);
+        let committed = cycles * ipc;
+        let kilo = committed / 1000.0;
+
+        // --- instruction classes ----------------------------------------
+        let mix = &spec.mix;
+        let n_int = committed * mix.int_alu;
+        let n_mul = committed * mix.int_mul;
+        let n_fp = committed * mix.fp;
+        let n_ld = committed * mix.load;
+        let n_st = committed * mix.store;
+        let n_br = committed * mix.branch;
+
+        let mispredictions = kilo * br_mpki;
+        let squashed = mispredictions * cfg.wrongpath_per_misprediction;
+        let fetched = committed + squashed;
+        let decoded = fetched * 0.99;
+        let renamed = committed + squashed * 0.6;
+        let uop_expansion = 1.12;
+        let issued = committed * uop_expansion + squashed * 0.5;
+        let uops_executed = issued * 1.03; // replays
+
+        // --- memory hierarchy -------------------------------------------
+        let icache_reads = fetched / 2.0; // ~2 instructions per fetch access
+        let icache_misses = kilo * l1i_mpki;
+        let dcache_reads = n_ld;
+        let dcache_writes = n_st;
+        let l1d_misses = kilo * l1d_mpki;
+        let dcache_read_misses = l1d_misses * 0.75;
+        let dcache_write_misses = l1d_misses * 0.25;
+        let l2_reads = l1d_misses + icache_misses;
+        let l2_read_misses = kilo * l2_mpki;
+        let l2_writes = l1d_misses * 0.4; // fills + writebacks
+        let l2_write_misses = l2_read_misses * 0.2;
+        let memory_reads = l2_read_misses;
+        let memory_writes = l2_read_misses * 0.35;
+
+        let itlb_accesses = icache_reads;
+        let itlb_misses = kilo * itlb_mpki;
+        let dtlb_accesses = n_ld + n_st;
+        let dtlb_misses = kilo * dtlb_mpki;
+
+        // --- OoO structures ----------------------------------------------
+        let rob_writes = renamed;
+        let rob_reads = committed + issued * 0.5;
+        let rs_writes = issued;
+        let rs_reads = issued * 1.5; // wakeup + select
+        let rename_reads = renamed * 2.0;
+        let rename_writes = renamed;
+        let int_ops = n_int + n_mul + n_br + n_ld + n_st;
+        let int_rf_reads = int_ops * 1.6;
+        let int_rf_writes = (n_int + n_mul + n_ld) * 0.9;
+        let fp_rf_reads = n_fp * 1.8;
+        let fp_rf_writes = n_fp * 0.95;
+        let writebacks = int_rf_writes + fp_rf_writes;
+
+        // --- execution & CDB ----------------------------------------------
+        // Data-dependent switching width: workloads whose operations are
+        // wider / toggle more bits execute more µops per instruction and
+        // keep the execution cluster busier. This is the observable
+        // counterpart of the thermal-intensity calibration (`spec.heat`),
+        // and what lets a telemetry-based predictor distinguish a power
+        // virus from a lukewarm workload with the same IPC.
+        let width = (1.0 + 0.6 * (spec.heat - 1.0)).max(0.4);
+        let alu_ops = (n_int + n_br) * width; // branches resolve on ALU ports
+        let cdb_alu = (n_int + n_ld * 0.3) * width;
+        let cdb_mul = n_mul * width;
+        let cdb_fpu = n_fp * width;
+        let lsu_ops = (n_ld + n_st) * width;
+        let uops_executed = uops_executed * width;
+
+        // --- duty cycles ----------------------------------------------------
+        // Utilisation of each block: throughput over available ports,
+        // scaled by the burst envelope (bursts = denser switching within
+        // the same op count window).
+        let duty = |ops: f64, ports: f64| -> f64 { (ops / (cycles * ports)).clamp(0.0, 1.0) };
+        let burst_density = act.burst.powf(0.5);
+        let alu_duty = (duty(alu_ops, 4.0) * burst_density).min(1.0);
+        let mul_duty = (duty(cdb_mul, 1.0) * burst_density).min(1.0);
+        let fpu_duty = (duty(cdb_fpu, 2.0) * burst_density).min(1.0);
+        let lsu_duty = (duty(lsu_ops, 2.0) * burst_density).min(1.0);
+        let ifu_duty = duty(fetched, cfg.fetch_width);
+        let decode_duty = duty(decoded, cfg.fetch_width);
+        let rename_duty = duty(renamed, cfg.fetch_width);
+        let rob_duty = duty(rob_reads + rob_writes, 8.0);
+        let sched_duty = duty(rs_reads + rs_writes, 8.0);
+        let dcache_duty = duty(dcache_reads + dcache_writes, 2.0);
+        let icache_duty = duty(icache_reads, 1.0);
+        let l2_duty = duty(l2_reads + l2_writes, 0.25);
+
+        // --- stalls & occupancy -----------------------------------------------
+        let frac_mem = cpi_mem / cpi;
+        let frac_core = cpi_core / cpi;
+        let busy = cycles * (ipc / cfg.issue_width).min(1.0).max(frac_core * 0.5);
+        let stall_mem = cycles * frac_mem;
+        let stall_rob = stall_mem * 0.7; // memory stalls back up into the ROB
+        let stall_rs = cycles * (cpi_branch / cpi) * 0.5;
+        let stall_frontend = cycles * (cpi_branch / cpi) * 0.5 + icache_misses * 5.0;
+
+        let rob_occ = (cfg.rob_entries * (0.25 + 0.7 * frac_mem)).min(cfg.rob_entries);
+        let rs_occ = (cfg.rs_entries * (0.2 + 0.5 * frac_mem)).min(cfg.rs_entries);
+        let lsq_occ = (cfg.lsq_entries * (0.15 + 0.6 * frac_mem)).min(cfg.lsq_entries);
+        let mlp = 1.0 + (cfg.mlp - 1.0) * frac_mem;
+
+        // --- emit ---------------------------------------------------------------
+        let mut c = IntervalCounters::zeroed();
+        c.set(C::TotalCycles, cycles);
+        c.set(C::BusyCycles, busy);
+        c.set(C::StallCyclesRob, stall_rob);
+        c.set(C::StallCyclesRs, stall_rs);
+        c.set(C::StallCyclesMem, stall_mem);
+        c.set(C::StallCyclesFrontend, stall_frontend);
+        c.set(C::FetchedInstructions, fetched);
+        c.set(C::DecodedInstructions, decoded);
+        c.set(C::RenamedInstructions, renamed);
+        c.set(C::IssuedInstructions, issued);
+        c.set(C::CommittedInstructions, committed);
+        c.set(C::CommittedIntInstructions, n_int);
+        c.set(C::CommittedFpInstructions, n_fp);
+        c.set(C::CommittedMulInstructions, n_mul);
+        c.set(C::CommittedLoadInstructions, n_ld);
+        c.set(C::CommittedStoreInstructions, n_st);
+        c.set(C::CommittedBranchInstructions, n_br);
+        c.set(C::SquashedInstructions, squashed);
+        c.set(C::BranchPredictions, n_br);
+        c.set(C::BranchMispredictions, mispredictions);
+        c.set(C::BtbReadAccesses, n_br + mispredictions * 2.0);
+        c.set(C::BtbWriteAccesses, mispredictions);
+        c.set(C::RasAccesses, n_br * 0.12);
+        c.set(C::IcacheReadAccesses, icache_reads);
+        c.set(C::IcacheReadMisses, icache_misses);
+        c.set(C::DcacheReadAccesses, dcache_reads);
+        c.set(C::DcacheReadMisses, dcache_read_misses);
+        c.set(C::DcacheWriteAccesses, dcache_writes);
+        c.set(C::DcacheWriteMisses, dcache_write_misses);
+        c.set(C::L2ReadAccesses, l2_reads);
+        c.set(C::L2ReadMisses, l2_read_misses);
+        c.set(C::L2WriteAccesses, l2_writes);
+        c.set(C::L2WriteMisses, l2_write_misses);
+        c.set(C::MemoryReads, memory_reads);
+        c.set(C::MemoryWrites, memory_writes);
+        c.set(C::ItlbTotalAccesses, itlb_accesses);
+        c.set(C::ItlbTotalMisses, itlb_misses);
+        c.set(C::DtlbTotalAccesses, dtlb_accesses);
+        c.set(C::DtlbTotalMisses, dtlb_misses);
+        c.set(C::RobReads, rob_reads);
+        c.set(C::RobWrites, rob_writes);
+        c.set(C::RsReads, rs_reads);
+        c.set(C::RsWrites, rs_writes);
+        c.set(C::RenameReads, rename_reads);
+        c.set(C::RenameWrites, rename_writes);
+        c.set(C::IntRegfileReads, int_rf_reads);
+        c.set(C::IntRegfileWrites, int_rf_writes);
+        c.set(C::FpRegfileReads, fp_rf_reads);
+        c.set(C::FpRegfileWrites, fp_rf_writes);
+        c.set(C::CdbAluAccesses, cdb_alu);
+        c.set(C::CdbMulAccesses, cdb_mul);
+        c.set(C::CdbFpuAccesses, cdb_fpu);
+        c.set(C::AluAccesses, alu_ops);
+        c.set(C::MulAccesses, n_mul);
+        c.set(C::FpuAccesses, n_fp);
+        c.set(C::LsuAccesses, lsu_ops);
+        c.set(C::IfuDutyCycle, ifu_duty);
+        c.set(C::LsuDutyCycle, lsu_duty);
+        c.set(C::AluCdbDutyCycle, alu_duty);
+        c.set(C::MulCdbDutyCycle, mul_duty);
+        c.set(C::FpuCdbDutyCycle, fpu_duty);
+        c.set(C::DecodeDutyCycle, decode_duty);
+        c.set(C::RenameDutyCycle, rename_duty);
+        c.set(C::RobDutyCycle, rob_duty);
+        c.set(C::SchedulerDutyCycle, sched_duty);
+        c.set(C::DcacheDutyCycle, dcache_duty);
+        c.set(C::IcacheDutyCycle, icache_duty);
+        c.set(C::L2DutyCycle, l2_duty);
+        c.set(C::Ipc, ipc);
+        c.set(C::FrequencyGhz, freq.value());
+        c.set(C::VoltageV, voltage.value());
+        c.set(C::AvgRobOccupancy, rob_occ);
+        c.set(C::AvgRsOccupancy, rs_occ);
+        c.set(C::AvgLsqOccupancy, lsq_occ);
+        c.set(C::MemoryLevelParallelism, mlp);
+        c.set(C::UopsExecuted, uops_executed);
+        c.set(C::WritebackAccesses, writebacks);
+        debug_assert!(c.is_sane(), "counters must be finite and non-negative");
+        c
+    }
+}
+
+impl Default for CoreModel {
+    fn default() -> Self {
+        Self::new(CoreConfig::skylake_like())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::PhaseEngine;
+
+    fn step_for(name: &str, freq: f64) -> IntervalCounters {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        let model = CoreModel::default();
+        let mut engine = PhaseEngine::new(&spec, 7);
+        // Skip a few steps to land in steady phase behaviour.
+        let act = engine.take_steps(5).pop().unwrap();
+        model.simulate_step(&spec, &act, GigaHertz::new(freq), Volts::new(0.98))
+    }
+
+    #[test]
+    fn counters_are_sane_for_all_workloads() {
+        let model = CoreModel::default();
+        for spec in workloads::ALL_WORKLOADS.iter() {
+            let mut engine = PhaseEngine::new(spec, 3);
+            for _ in 0..50 {
+                let act = engine.step();
+                let c = model.simulate_step(&spec.clone(), &act, GigaHertz::new(4.5), Volts::new(1.15));
+                assert!(c.is_sane(), "{} produced insane counters", spec.name);
+                assert!(c.ipc() <= model.config().issue_width);
+                assert!(c.get(C::CommittedInstructions) <= c.get(C::FetchedInstructions) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_match_frequency() {
+        let c = step_for("bzip2", 4.0);
+        assert!((c.get(C::TotalCycles) - 320_000.0).abs() < 1e-6);
+        let c = step_for("bzip2", 2.0);
+        assert!((c.get(C::TotalCycles) - 160_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_bound_ipc_drops_with_frequency() {
+        // mcf (mem_sensitivity 0.9) should lose IPC as the clock rises;
+        // hmmer (0.08) should be nearly flat.
+        let mcf_lo = step_for("mcf", 2.0).ipc();
+        let mcf_hi = step_for("mcf", 5.0).ipc();
+        assert!(
+            mcf_hi < mcf_lo * 0.75,
+            "mcf IPC should degrade: {mcf_lo} -> {mcf_hi}"
+        );
+        let hmmer_lo = step_for("hmmer", 2.0).ipc();
+        let hmmer_hi = step_for("hmmer", 5.0).ipc();
+        assert!(
+            hmmer_hi > hmmer_lo * 0.95,
+            "hmmer IPC should be flat: {hmmer_lo} -> {hmmer_hi}"
+        );
+    }
+
+    #[test]
+    fn higher_frequency_still_means_more_throughput() {
+        // Even for mcf, committed instructions per wall-clock interval
+        // must not decrease with frequency.
+        for name in ["mcf", "hmmer", "gromacs"] {
+            let lo = step_for(name, 2.0).get(C::CommittedInstructions);
+            let hi = step_for(name, 5.0).get(C::CommittedInstructions);
+            assert!(hi >= lo * 0.99, "{name}: {lo} -> {hi}");
+        }
+    }
+
+    #[test]
+    fn fp_workload_exercises_fpu_not_int_workload() {
+        let fp = step_for("gamess", 4.0);
+        let int = step_for("bzip2", 4.0);
+        assert!(fp.get(C::FpuCdbDutyCycle) > int.get(C::FpuCdbDutyCycle) * 3.0);
+        assert!(int.get(C::AluCdbDutyCycle) > fp.get(C::AluCdbDutyCycle));
+    }
+
+    #[test]
+    fn memory_bound_has_high_rob_occupancy_and_stalls() {
+        let mcf = step_for("mcf", 4.0);
+        let hmmer = step_for("hmmer", 4.0);
+        assert!(mcf.get(C::AvgRobOccupancy) > hmmer.get(C::AvgRobOccupancy));
+        assert!(mcf.get(C::StallCyclesMem) > hmmer.get(C::StallCyclesMem) * 5.0);
+    }
+
+    #[test]
+    fn duty_cycles_are_fractions() {
+        for name in ["gromacs", "mcf", "hmmer", "lbm"] {
+            let c = step_for(name, 5.0);
+            for id in [
+                C::IfuDutyCycle,
+                C::LsuDutyCycle,
+                C::AluCdbDutyCycle,
+                C::MulCdbDutyCycle,
+                C::FpuCdbDutyCycle,
+                C::DecodeDutyCycle,
+                C::RenameDutyCycle,
+                C::RobDutyCycle,
+                C::SchedulerDutyCycle,
+                C::DcacheDutyCycle,
+                C::IcacheDutyCycle,
+                C::L2DutyCycle,
+            ] {
+                let v = c.get(id);
+                assert!((0.0..=1.0).contains(&v), "{name}: {id} = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn voltage_and_frequency_are_recorded() {
+        let spec = WorkloadSpec::by_name("gcc").unwrap();
+        let model = CoreModel::default();
+        let mut engine = PhaseEngine::new(&spec, 1);
+        let act = engine.step();
+        let c = model.simulate_step(&spec, &act, GigaHertz::new(3.5), Volts::new(0.87));
+        assert_eq!(c.get(C::FrequencyGhz), 3.5);
+        assert_eq!(c.get(C::VoltageV), 0.87);
+    }
+
+    #[test]
+    fn misses_scale_with_mpki() {
+        let mcf = step_for("mcf", 4.0);
+        let hmmer = step_for("hmmer", 4.0);
+        let mcf_mpki = 1000.0 * (mcf.get(C::DcacheReadMisses) + mcf.get(C::DcacheWriteMisses))
+            / mcf.get(C::CommittedInstructions);
+        let hmmer_mpki = 1000.0 * (hmmer.get(C::DcacheReadMisses) + hmmer.get(C::DcacheWriteMisses))
+            / hmmer.get(C::CommittedInstructions);
+        assert!(mcf_mpki > 20.0 * hmmer_mpki, "{mcf_mpki} vs {hmmer_mpki}");
+    }
+}

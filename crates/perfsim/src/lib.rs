@@ -1,0 +1,47 @@
+//! Analytical out-of-order core performance model.
+//!
+//! Substitute for the Sniper cycle-accurate simulator used by HotGauge
+//! (see DESIGN.md): Boreas consumes *interval-level hardware telemetry*,
+//! never instruction streams, so this crate models a Skylake-class
+//! out-of-order core analytically. Every 80 µs step it converts a
+//! workload's static characteristics ([`workloads::WorkloadSpec`]) and
+//! instantaneous phase state ([`workloads::Activity`]) plus the current
+//! voltage/frequency point into the **77 micro-architectural counters**
+//! of [`counters::CounterId`]. Together with the thermal-sensor reading
+//! appended by the telemetry crate these form the paper's 78 system
+//! attributes (§IV-B).
+//!
+//! The performance model captures the first-order effects that matter to
+//! the paper's experiments:
+//!
+//! * IPC = core CPI + memory CPI, where memory latency is fixed in
+//!   nanoseconds — so raising the clock increases the *cycle* cost of
+//!   misses and memory-bound workloads gain little from frequency;
+//! * committed-instruction classes follow the workload mix; cache, TLB
+//!   and branch events follow the per-kilo-instruction rates modulated by
+//!   the phase engine;
+//! * per-unit duty cycles track which functional units are switching,
+//!   which the power model turns into spatial power density.
+//!
+//! # Examples
+//!
+//! ```
+//! use boreas_perfsim::{CoreConfig, CoreModel};
+//! use workloads::{PhaseEngine, WorkloadSpec};
+//! use common::units::{GigaHertz, Volts};
+//!
+//! let spec = WorkloadSpec::by_name("bzip2")?;
+//! let model = CoreModel::new(CoreConfig::skylake_like());
+//! let mut phases = PhaseEngine::new(&spec, 1);
+//! let counters = model.simulate_step(&spec, &phases.step(), GigaHertz::new(4.0), Volts::new(0.98));
+//! assert!(counters.ipc() > 0.0);
+//! # Ok::<(), common::Error>(())
+//! ```
+
+pub mod config;
+pub mod core;
+pub mod counters;
+
+pub use config::CoreConfig;
+pub use core::CoreModel;
+pub use counters::{CounterId, IntervalCounters, NUM_COUNTERS};

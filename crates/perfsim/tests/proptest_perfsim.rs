@@ -1,0 +1,83 @@
+//! Property tests for the analytical performance model.
+
+use boreas_perfsim::{CoreModel, CounterId, IntervalCounters};
+use common::units::{GigaHertz, Volts};
+use proptest::prelude::*;
+use workloads::{PhaseEngine, ALL_WORKLOADS};
+
+fn simulate(widx: usize, seed: u64, skip: usize, f: f64, v: f64) -> IntervalCounters {
+    let spec = &ALL_WORKLOADS[widx];
+    let model = CoreModel::default();
+    let mut phases = PhaseEngine::new(spec, seed);
+    let act = phases.take_steps(skip + 1).pop().expect("non-empty");
+    model.simulate_step(spec, &act, GigaHertz::new(f), Volts::new(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counters_always_sane(
+        widx in 0usize..27,
+        seed in 0u64..500,
+        skip in 0usize..100,
+        f in 2.0..5.0f64,
+        v in 0.64..1.4f64,
+    ) {
+        let c = simulate(widx, seed, skip, f, v);
+        prop_assert!(c.is_sane());
+        prop_assert!(c.ipc() <= 4.0 + 1e-9);
+        prop_assert!(c.get(CounterId::CommittedInstructions) <= c.get(CounterId::FetchedInstructions) + 1e-9);
+        prop_assert!(c.get(CounterId::DcacheReadMisses) <= c.get(CounterId::DcacheReadAccesses) * 2.0,
+            "misses wildly exceed accesses");
+        prop_assert_eq!(c.get(CounterId::FrequencyGhz), f);
+        prop_assert_eq!(c.get(CounterId::VoltageV), v);
+    }
+
+    #[test]
+    fn cycles_scale_exactly_with_frequency(
+        widx in 0usize..27,
+        seed in 0u64..100,
+        f in 2.0..5.0f64,
+    ) {
+        let c = simulate(widx, seed, 3, f, 1.0);
+        prop_assert!((c.get(CounterId::TotalCycles) - f * 80_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn committed_instructions_monotone_in_frequency(
+        widx in 0usize..27,
+        seed in 0u64..100,
+    ) {
+        // Same activity sample at two frequencies: more cycles can never
+        // commit fewer instructions.
+        let lo = simulate(widx, seed, 5, 2.5, 0.71);
+        let hi = simulate(widx, seed, 5, 5.0, 1.4);
+        prop_assert!(
+            hi.get(CounterId::CommittedInstructions)
+                >= lo.get(CounterId::CommittedInstructions) * 0.999
+        );
+    }
+
+    #[test]
+    fn class_counts_partition_committed(
+        widx in 0usize..27,
+        seed in 0u64..100,
+        f in 2.0..5.0f64,
+    ) {
+        let c = simulate(widx, seed, 2, f, 1.0);
+        let total: f64 = [
+            CounterId::CommittedIntInstructions,
+            CounterId::CommittedMulInstructions,
+            CounterId::CommittedFpInstructions,
+            CounterId::CommittedLoadInstructions,
+            CounterId::CommittedStoreInstructions,
+            CounterId::CommittedBranchInstructions,
+        ]
+        .iter()
+        .map(|&id| c.get(id))
+        .sum();
+        let committed = c.get(CounterId::CommittedInstructions);
+        prop_assert!((total - committed).abs() < 1e-6 * (1.0 + committed));
+    }
+}

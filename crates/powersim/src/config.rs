@@ -1,0 +1,155 @@
+//! Power-model configuration.
+
+use common::{Error, Result};
+use floorplan::UnitKind;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the unit-level power model.
+///
+/// `scale` is the single suite-wide calibration knob: it is chosen (see
+/// the calibration test in the hotgauge crate) so that the globally safe
+/// frequency of Fig. 2 lands at 3.75 GHz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Global dynamic-power calibration multiplier.
+    pub scale: f64,
+    /// Reference voltage for the V² scaling.
+    pub v_ref: f64,
+    /// Reference frequency (GHz) for the linear-f scaling.
+    pub f_ref_ghz: f64,
+    /// Fraction of peak power drawn at zero duty (imperfect clock gating).
+    pub idle_fraction: f64,
+    /// Leakage at the reference temperature as a fraction of unit peak.
+    pub leakage_fraction: f64,
+    /// Reference temperature for leakage, °C.
+    pub leakage_t_ref_c: f64,
+    /// Exponential temperature scale of leakage, K per e-fold.
+    pub leakage_theta_k: f64,
+    /// Uniform uncore background power over the whole die, W.
+    pub uncore_background_w: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            v_ref: 1.0,
+            f_ref_ghz: 4.0,
+            idle_fraction: 0.12,
+            leakage_fraction: 0.08,
+            leakage_t_ref_c: 45.0,
+            leakage_theta_k: 45.0,
+            uncore_background_w: 1.5,
+        }
+    }
+}
+
+impl PowerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for out-of-range parameters.
+    pub fn validate(&self) -> Result<()> {
+        let positive = [
+            ("scale", self.scale),
+            ("v_ref", self.v_ref),
+            ("f_ref_ghz", self.f_ref_ghz),
+            ("leakage_theta_k", self.leakage_theta_k),
+        ];
+        for (name, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(Error::invalid_config(
+                    "power",
+                    format!("{name} must be positive and finite, got {v}"),
+                ));
+            }
+        }
+        let fractions = [
+            ("idle_fraction", self.idle_fraction),
+            ("leakage_fraction", self.leakage_fraction),
+        ];
+        for (name, v) in fractions {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(Error::invalid_config(
+                    "power",
+                    format!("{name} must be in [0, 1], got {v}"),
+                ));
+            }
+        }
+        if !(self.uncore_background_w.is_finite() && self.uncore_background_w >= 0.0) {
+            return Err(Error::invalid_config("power", "uncore_background_w must be >= 0"));
+        }
+        if !self.leakage_t_ref_c.is_finite() {
+            return Err(Error::invalid_config("power", "leakage_t_ref_c must be finite"));
+        }
+        Ok(())
+    }
+}
+
+/// Peak dynamic power (W) of each unit at the reference operating point
+/// (`v_ref`, `f_ref`), full duty, unit intensity.
+///
+/// Random-logic execution blocks dominate, matching the 7 nm power-density
+/// premise of the paper: the FPU is the single hottest block.
+pub fn peak_power_w(kind: UnitKind) -> f64 {
+    match kind {
+        UnitKind::Ifu => 1.6,
+        UnitKind::ICache => 1.6,
+        UnitKind::Itlb => 0.5,
+        UnitKind::Bpu => 1.3,
+        UnitKind::Decode => 1.8,
+        UnitKind::Rename => 1.4,
+        UnitKind::Rob => 2.0,
+        UnitKind::Scheduler => 2.6,
+        UnitKind::IntRf => 1.6,
+        UnitKind::FpRf => 1.6,
+        UnitKind::Alu => 3.0,
+        UnitKind::Mul => 1.8,
+        UnitKind::Fpu => 5.0,
+        UnitKind::Cdb => 1.2,
+        UnitKind::Lsu => 3.0,
+        UnitKind::DCache => 2.4,
+        UnitKind::Dtlb => 0.5,
+        UnitKind::L2 => 2.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(PowerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_fractions() {
+        let mut c = PowerConfig::default();
+        c.idle_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = PowerConfig::default();
+        c.leakage_fraction = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = PowerConfig::default();
+        c.scale = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fpu_is_the_hottest_block() {
+        for kind in UnitKind::ALL {
+            if kind != UnitKind::Fpu {
+                assert!(peak_power_w(UnitKind::Fpu) > peak_power_w(kind));
+            }
+        }
+    }
+
+    #[test]
+    fn all_peaks_positive() {
+        for kind in UnitKind::ALL {
+            assert!(peak_power_w(kind) > 0.0);
+        }
+    }
+}

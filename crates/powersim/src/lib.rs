@@ -1,0 +1,44 @@
+//! Per-functional-unit power model (McPAT substitute, see DESIGN.md).
+//!
+//! Converts one interval of micro-architectural counters plus the
+//! operating point into a spatial power map on the floorplan grid:
+//!
+//! * **dynamic power** per unit: `P_peak · duty · (V/V_ref)² · (f/f_ref) ·
+//!   intensity`, where the duty cycle comes from the unit's telemetry
+//!   counters and `intensity` carries the workload's data-dependent
+//!   switching factor (its calibrated `heat` × the phase engine's burst
+//!   envelope);
+//! * **clock/idle power**: a duty floor models imperfect clock gating, so
+//!   even idle units dissipate a fraction of their peak;
+//! * **leakage** per unit: exponential in the unit's current temperature
+//!   (the classic positive feedback), linear in voltage.
+//!
+//! Unit power is spread uniformly over the unit's grid cells; a uniform
+//! uncore background covers the rest of the die.
+//!
+//! # Examples
+//!
+//! ```
+//! use boreas_powersim::{PowerConfig, PowerModel};
+//! use floorplan::{Floorplan, Grid, GridSpec};
+//! use perfsim::{CoreModel};
+//! use workloads::{PhaseEngine, WorkloadSpec};
+//! use common::units::{GigaHertz, Volts};
+//!
+//! let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default())?;
+//! let model = PowerModel::new(&grid, PowerConfig::default());
+//! let spec = WorkloadSpec::by_name("gamess")?;
+//! let mut phases = PhaseEngine::new(&spec, 1);
+//! let act = phases.step();
+//! let counters = CoreModel::default().simulate_step(&spec, &act, GigaHertz::new(4.5), Volts::new(1.15));
+//! let ambient = vec![45.0; grid.spec().cells()];
+//! let map = model.power_map(&counters, spec.heat * act.core, Volts::new(1.15), GigaHertz::new(4.5), &ambient);
+//! assert!(map.iter().sum::<f64>() > 0.0);
+//! # Ok::<(), common::Error>(())
+//! ```
+
+pub mod config;
+pub mod model;
+
+pub use config::PowerConfig;
+pub use model::PowerModel;

@@ -1,0 +1,266 @@
+//! The unit-level power computation and its spatial distribution.
+
+use crate::config::{peak_power_w, PowerConfig};
+use common::units::{GigaHertz, Volts};
+use floorplan::{Grid, UnitKind};
+use perfsim::{CounterId as C, IntervalCounters};
+
+/// Computes per-cell power maps from interval counters.
+///
+/// Construction rasterises the unit→cell mapping once; each call to
+/// [`PowerModel::power_map`] is then allocation-light and cheap enough for
+/// the full Fig. 2 sweep.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    cfg: PowerConfig,
+    /// Flat cell indices of each unit, indexed by `UnitKind::index()`.
+    unit_cells: Vec<Vec<usize>>,
+    n_cells: usize,
+}
+
+impl PowerModel {
+    /// Builds the model for a rasterised floorplan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`PowerConfig::validate`] first for fallible handling.
+    pub fn new(grid: &Grid, cfg: PowerConfig) -> Self {
+        cfg.validate().expect("invalid power configuration");
+        let unit_cells = UnitKind::ALL
+            .iter()
+            .map(|&k| grid.cells_of(k).into_iter().map(|c| grid.flat(c)).collect())
+            .collect();
+        Self {
+            cfg,
+            unit_cells,
+            n_cells: grid.spec().cells(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PowerConfig {
+        &self.cfg
+    }
+
+    /// Duty cycle of each unit derived from the interval counters.
+    pub fn unit_duty(&self, c: &IntervalCounters) -> [f64; UnitKind::ALL.len()] {
+        let cycles = c.get(C::TotalCycles).max(1.0);
+        let duty = |ops: f64, ports: f64| (ops / (cycles * ports)).clamp(0.0, 1.0);
+        let mut d = [0.0; UnitKind::ALL.len()];
+        d[UnitKind::Ifu.index()] = c.get(C::IfuDutyCycle);
+        d[UnitKind::ICache.index()] = c.get(C::IcacheDutyCycle);
+        d[UnitKind::Itlb.index()] = duty(c.get(C::ItlbTotalAccesses), 1.0);
+        d[UnitKind::Bpu.index()] = duty(c.get(C::BtbReadAccesses) + c.get(C::BtbWriteAccesses), 1.0);
+        d[UnitKind::Decode.index()] = c.get(C::DecodeDutyCycle);
+        d[UnitKind::Rename.index()] = c.get(C::RenameDutyCycle);
+        d[UnitKind::Rob.index()] = c.get(C::RobDutyCycle);
+        d[UnitKind::Scheduler.index()] = c.get(C::SchedulerDutyCycle);
+        d[UnitKind::IntRf.index()] =
+            duty(c.get(C::IntRegfileReads) + c.get(C::IntRegfileWrites), 8.0);
+        d[UnitKind::FpRf.index()] = duty(c.get(C::FpRegfileReads) + c.get(C::FpRegfileWrites), 4.0);
+        d[UnitKind::Alu.index()] = c.get(C::AluCdbDutyCycle);
+        d[UnitKind::Mul.index()] = c.get(C::MulCdbDutyCycle);
+        d[UnitKind::Fpu.index()] = c.get(C::FpuCdbDutyCycle);
+        d[UnitKind::Cdb.index()] = duty(
+            c.get(C::CdbAluAccesses) + c.get(C::CdbMulAccesses) + c.get(C::CdbFpuAccesses),
+            4.0,
+        );
+        d[UnitKind::Lsu.index()] = c.get(C::LsuDutyCycle);
+        d[UnitKind::DCache.index()] = c.get(C::DcacheDutyCycle);
+        d[UnitKind::Dtlb.index()] = duty(c.get(C::DtlbTotalAccesses), 2.0);
+        d[UnitKind::L2.index()] = c.get(C::L2DutyCycle);
+        d
+    }
+
+    /// Dynamic + leakage power of each unit, W.
+    ///
+    /// `intensity` is the workload's data-dependent switching factor for
+    /// the interval (calibrated `heat` × burst envelope). `unit_temps_c`
+    /// supplies each unit's current average temperature for the leakage
+    /// feedback.
+    pub fn unit_power(
+        &self,
+        counters: &IntervalCounters,
+        intensity: f64,
+        voltage: Volts,
+        freq: GigaHertz,
+        unit_temps_c: &[f64; UnitKind::ALL.len()],
+    ) -> [f64; UnitKind::ALL.len()] {
+        let cfg = &self.cfg;
+        let vf_scale = (voltage.value() / cfg.v_ref).powi(2) * (freq.value() / cfg.f_ref_ghz);
+        let duties = self.unit_duty(counters);
+        let mut power = [0.0; UnitKind::ALL.len()];
+        for kind in UnitKind::ALL {
+            let i = kind.index();
+            let peak = peak_power_w(kind);
+            // Arrays switch with lower data-dependent intensity than
+            // random logic: their activity is address/port limited.
+            let eff_intensity = if kind.is_array() {
+                0.6 + 0.4 * intensity
+            } else {
+                intensity
+            };
+            let duty_eff = cfg.idle_fraction + (1.0 - cfg.idle_fraction) * duties[i] * eff_intensity;
+            let dynamic = cfg.scale * peak * duty_eff * vf_scale;
+            // The exponent is clamped: beyond ~2 e-folds the device would
+            // already be destroyed, and an unbounded exponential makes the
+            // solver blow up numerically instead of reporting severity 1.
+            let leak_arg = ((unit_temps_c[i] - cfg.leakage_t_ref_c) / cfg.leakage_theta_k).min(2.0);
+            let leak = cfg.leakage_fraction * peak * (voltage.value() / cfg.v_ref) * leak_arg.exp();
+            power[i] = dynamic + leak;
+        }
+        power
+    }
+
+    /// Average temperature of each unit from a die temperature map.
+    pub fn unit_temps(&self, die_temps: &[f64]) -> [f64; UnitKind::ALL.len()] {
+        let mut t = [0.0; UnitKind::ALL.len()];
+        for (i, cells) in self.unit_cells.iter().enumerate() {
+            if cells.is_empty() {
+                t[i] = die_temps.first().copied().unwrap_or(0.0);
+            } else {
+                t[i] = cells.iter().map(|&c| die_temps[c]).sum::<f64>() / cells.len() as f64;
+            }
+        }
+        t
+    }
+
+    /// Full per-cell power map (W per cell) for one interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_temps` does not match the grid size.
+    pub fn power_map(
+        &self,
+        counters: &IntervalCounters,
+        intensity: f64,
+        voltage: Volts,
+        freq: GigaHertz,
+        die_temps: &[f64],
+    ) -> Vec<f64> {
+        assert_eq!(die_temps.len(), self.n_cells, "die_temps length mismatch");
+        let unit_temps = self.unit_temps(die_temps);
+        let unit_power = self.unit_power(counters, intensity, voltage, freq, &unit_temps);
+        let mut map = vec![self.cfg.uncore_background_w / self.n_cells as f64; self.n_cells];
+        for (i, cells) in self.unit_cells.iter().enumerate() {
+            if cells.is_empty() {
+                continue;
+            }
+            let per_cell = unit_power[i] / cells.len() as f64;
+            for &c in cells {
+                map[c] += per_cell;
+            }
+        }
+        map
+    }
+
+    /// Sum of a power map, W.
+    pub fn total_power(map: &[f64]) -> f64 {
+        map.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use floorplan::{Floorplan, GridSpec};
+    use perfsim::CoreModel;
+    use workloads::{PhaseEngine, WorkloadSpec};
+
+    fn setup() -> (Grid, PowerModel) {
+        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default()).unwrap();
+        let model = PowerModel::new(&grid, PowerConfig::default());
+        (grid, model)
+    }
+
+    fn counters_for(name: &str, f: f64, v: f64) -> (IntervalCounters, f64) {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        let mut phases = PhaseEngine::new(&spec, 7);
+        let act = phases.take_steps(4).pop().unwrap();
+        let c = CoreModel::default().simulate_step(&spec, &act, GigaHertz::new(f), Volts::new(v));
+        (c, spec.heat * act.core)
+    }
+
+    #[test]
+    fn power_scales_with_voltage_and_frequency() {
+        let (grid, model) = setup();
+        let ambient = vec![45.0; grid.spec().cells()];
+        let (c, i) = counters_for("gamess", 4.0, 1.0);
+        let p_lo = PowerModel::total_power(&model.power_map(&c, i, Volts::new(0.8), GigaHertz::new(3.0), &ambient));
+        let p_hi = PowerModel::total_power(&model.power_map(&c, i, Volts::new(1.4), GigaHertz::new(5.0), &ambient));
+        // (1.4/0.8)^2 * (5/3) = 5.1x on the dynamic part.
+        assert!(p_hi > 3.0 * p_lo, "power should scale strongly: {p_lo} -> {p_hi}");
+    }
+
+    #[test]
+    fn fp_workload_heats_fpu_int_workload_heats_alu() {
+        let (grid, model) = setup();
+        let ambient = vec![45.0; grid.spec().cells()];
+        let (c_fp, i_fp) = counters_for("gamess", 4.5, 1.15);
+        let (c_int, i_int) = counters_for("bzip2", 4.5, 1.15);
+        let t = model.unit_temps(&ambient);
+        let p_fp = model.unit_power(&c_fp, i_fp, Volts::new(1.15), GigaHertz::new(4.5), &t);
+        let p_int = model.unit_power(&c_int, i_int, Volts::new(1.15), GigaHertz::new(4.5), &t);
+        assert!(p_fp[UnitKind::Fpu.index()] > p_int[UnitKind::Fpu.index()] * 1.5);
+        assert!(p_int[UnitKind::Alu.index()] > p_fp[UnitKind::Alu.index()]);
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let (grid, model) = setup();
+        let (c, i) = counters_for("gcc", 4.0, 1.0);
+        let cold = model.unit_temps(&vec![45.0; grid.spec().cells()]);
+        let hot = model.unit_temps(&vec![95.0; grid.spec().cells()]);
+        let p_cold = model.unit_power(&c, i, Volts::new(1.0), GigaHertz::new(4.0), &cold);
+        let p_hot = model.unit_power(&c, i, Volts::new(1.0), GigaHertz::new(4.0), &hot);
+        for k in UnitKind::ALL {
+            assert!(p_hot[k.index()] > p_cold[k.index()], "{k} leakage must grow");
+        }
+    }
+
+    #[test]
+    fn total_power_is_plausible_at_turbo() {
+        let (grid, model) = setup();
+        let ambient = vec![45.0; grid.spec().cells()];
+        for name in ["gamess", "gromacs", "mcf", "bzip2"] {
+            let (c, i) = counters_for(name, 5.0, 1.4);
+            let p = PowerModel::total_power(&model.power_map(&c, i, Volts::new(1.4), GigaHertz::new(5.0), &ambient));
+            assert!(
+                (5.0..80.0).contains(&p),
+                "{name}: total power {p} W out of plausible range"
+            );
+        }
+    }
+
+    #[test]
+    fn map_covers_all_cells_and_is_nonnegative() {
+        let (grid, model) = setup();
+        let ambient = vec![45.0; grid.spec().cells()];
+        let (c, i) = counters_for("lbm", 4.0, 0.98);
+        let map = model.power_map(&c, i, Volts::new(0.98), GigaHertz::new(4.0), &ambient);
+        assert_eq!(map.len(), grid.spec().cells());
+        assert!(map.iter().all(|&p| p > 0.0), "uncore background keeps all cells > 0");
+    }
+
+    #[test]
+    fn idle_floor_keeps_units_warm() {
+        let (grid, model) = setup();
+        let ambient = vec![45.0; grid.spec().cells()];
+        let zero = IntervalCounters::zeroed();
+        let t = model.unit_temps(&ambient);
+        let p = model.unit_power(&zero, 0.0, Volts::new(0.98), GigaHertz::new(4.0), &t);
+        for k in UnitKind::ALL {
+            assert!(p[k.index()] > 0.0, "{k} should draw idle power");
+        }
+    }
+
+    #[test]
+    fn duties_are_fractions() {
+        let (_, model) = setup();
+        let (c, _) = counters_for("gromacs", 5.0, 1.4);
+        for (k, d) in UnitKind::ALL.iter().zip(model.unit_duty(&c)) {
+            assert!((0.0..=1.0).contains(&d), "{k}: duty {d}");
+        }
+    }
+}

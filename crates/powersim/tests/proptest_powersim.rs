@@ -1,0 +1,95 @@
+//! Property tests for the power model.
+
+use boreas_powersim::{PowerConfig, PowerModel};
+use common::units::{GigaHertz, Volts};
+use floorplan::{Floorplan, Grid, GridSpec, UnitKind};
+use perfsim::CoreModel;
+use proptest::prelude::*;
+use workloads::{PhaseEngine, ALL_WORKLOADS};
+
+fn setup() -> (Grid, PowerModel) {
+    let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(16, 12).unwrap()).unwrap();
+    let model = PowerModel::new(&grid, PowerConfig::default());
+    (grid, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn power_map_is_positive_and_finite(
+        widx in 0usize..27,
+        seed in 0u64..200,
+        f in 2.0..5.0f64,
+        v in 0.64..1.4f64,
+        t in 45.0..110.0f64,
+    ) {
+        let (grid, model) = setup();
+        let spec = &ALL_WORKLOADS[widx];
+        let mut phases = PhaseEngine::new(spec, seed);
+        let act = phases.take_steps(3).pop().unwrap();
+        let counters = CoreModel::default().simulate_step(spec, &act, GigaHertz::new(f), Volts::new(v));
+        let temps = vec![t; grid.spec().cells()];
+        let map = model.power_map(&counters, spec.heat * act.core, Volts::new(v), GigaHertz::new(f), &temps);
+        prop_assert_eq!(map.len(), grid.spec().cells());
+        for &p in &map {
+            prop_assert!(p > 0.0 && p.is_finite());
+        }
+        let total = PowerModel::total_power(&map);
+        prop_assert!(total < 250.0, "total power {total} W implausible");
+    }
+
+    #[test]
+    fn power_is_monotone_in_voltage_and_frequency(
+        widx in 0usize..27,
+        seed in 0u64..100,
+    ) {
+        let (grid, model) = setup();
+        let spec = &ALL_WORKLOADS[widx];
+        let mut phases = PhaseEngine::new(spec, seed);
+        let act = phases.take_steps(2).pop().unwrap();
+        let temps = vec![55.0; grid.spec().cells()];
+        let c_lo = CoreModel::default().simulate_step(spec, &act, GigaHertz::new(3.0), Volts::new(0.77));
+        let c_hi = CoreModel::default().simulate_step(spec, &act, GigaHertz::new(4.5), Volts::new(1.15));
+        let p_lo = PowerModel::total_power(&model.power_map(&c_lo, spec.heat * act.core, Volts::new(0.77), GigaHertz::new(3.0), &temps));
+        let p_hi = PowerModel::total_power(&model.power_map(&c_hi, spec.heat * act.core, Volts::new(1.15), GigaHertz::new(4.5), &temps));
+        prop_assert!(p_hi > p_lo, "power must rise with V,f: {p_lo} -> {p_hi}");
+    }
+
+    #[test]
+    fn leakage_monotone_in_temperature(
+        widx in 0usize..27,
+        t1 in 45.0..90.0f64,
+        dt in 1.0..40.0f64,
+    ) {
+        let (grid, model) = setup();
+        let spec = &ALL_WORKLOADS[widx];
+        let mut phases = PhaseEngine::new(spec, 9);
+        let act = phases.step();
+        let c = CoreModel::default().simulate_step(spec, &act, GigaHertz::new(4.0), Volts::new(0.98));
+        let cold = model.unit_temps(&vec![t1; grid.spec().cells()]);
+        let hot = model.unit_temps(&vec![t1 + dt; grid.spec().cells()]);
+        let p_cold = model.unit_power(&c, 1.0, Volts::new(0.98), GigaHertz::new(4.0), &cold);
+        let p_hot = model.unit_power(&c, 1.0, Volts::new(0.98), GigaHertz::new(4.0), &hot);
+        for k in UnitKind::ALL {
+            prop_assert!(p_hot[k.index()] >= p_cold[k.index()]);
+        }
+    }
+
+    #[test]
+    fn higher_intensity_never_reduces_power(
+        widx in 0usize..27,
+        i1 in 0.2..2.0f64,
+        di in 0.1..2.0f64,
+    ) {
+        let (grid, model) = setup();
+        let spec = &ALL_WORKLOADS[widx];
+        let mut phases = PhaseEngine::new(spec, 4);
+        let act = phases.step();
+        let c = CoreModel::default().simulate_step(spec, &act, GigaHertz::new(4.0), Volts::new(0.98));
+        let temps = vec![60.0; grid.spec().cells()];
+        let a = PowerModel::total_power(&model.power_map(&c, i1, Volts::new(0.98), GigaHertz::new(4.0), &temps));
+        let b = PowerModel::total_power(&model.power_map(&c, i1 + di, Volts::new(0.98), GigaHertz::new(4.0), &temps));
+        prop_assert!(b >= a);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Table III train/test construction.
+
+use crate::dataset::{build_dataset, DatasetSpec};
+use crate::features::FeatureSet;
+use common::units::{GigaHertz, Volts};
+use common::Result;
+use gbt::Dataset;
+use hotgauge::Pipeline;
+use workloads::WorkloadSpec;
+
+/// A train/test dataset pair with the workload lists that produced it.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Instances from the 20 training workloads.
+    pub train: Dataset,
+    /// Instances from the 7 unseen test workloads.
+    pub test: Dataset,
+    /// The training workloads, in group-label order.
+    pub train_workloads: Vec<WorkloadSpec>,
+    /// The test workloads, in group-label order.
+    pub test_workloads: Vec<WorkloadSpec>,
+}
+
+/// Builds the training dataset (20 workloads of Table III).
+///
+/// # Errors
+///
+/// Propagates pipeline/extraction errors.
+pub fn build_train_dataset(
+    pipeline: &Pipeline,
+    features: &FeatureSet,
+    vf_points: &[(GigaHertz, Volts)],
+    spec: &DatasetSpec,
+) -> Result<Dataset> {
+    build_dataset(pipeline, features, &WorkloadSpec::train_set(), vf_points, spec)
+}
+
+/// Builds the test dataset (7 unseen workloads of Table III).
+///
+/// # Errors
+///
+/// Propagates pipeline/extraction errors.
+pub fn build_test_dataset(
+    pipeline: &Pipeline,
+    features: &FeatureSet,
+    vf_points: &[(GigaHertz, Volts)],
+    spec: &DatasetSpec,
+) -> Result<Dataset> {
+    build_dataset(pipeline, features, &WorkloadSpec::test_set(), vf_points, spec)
+}
+
+/// Builds both sets.
+///
+/// # Errors
+///
+/// Propagates pipeline/extraction errors.
+pub fn build_train_test(
+    pipeline: &Pipeline,
+    features: &FeatureSet,
+    vf_points: &[(GigaHertz, Volts)],
+    spec: &DatasetSpec,
+) -> Result<TrainTest> {
+    Ok(TrainTest {
+        train: build_train_dataset(pipeline, features, vf_points, spec)?,
+        test: build_test_dataset(pipeline, features, vf_points, spec)?,
+        train_workloads: WorkloadSpec::train_set(),
+        test_workloads: WorkloadSpec::test_set(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use floorplan::GridSpec;
+    use hotgauge::PipelineConfig;
+
+    #[test]
+    fn split_is_workload_exclusive() {
+        // Tiny configuration: 2 VF points, short runs, coarse grid.
+        let mut cfg = PipelineConfig::paper();
+        cfg.grid = GridSpec::new(8, 6).unwrap();
+        let p = cfg.build().unwrap();
+        let features = FeatureSet::from_names(&[
+            "temperature_sensor_data",
+            "ipc",
+            "frequency_ghz",
+        ])
+        .unwrap();
+        let vf = [(GigaHertz::new(4.0), Volts::new(0.98))];
+        let spec = DatasetSpec {
+            steps: 20,
+            horizon: 12,
+            sensor_idx: 3,
+            label_cap: Some(2.0),
+        };
+        let tt = build_train_test(&p, &features, &vf, &spec).unwrap();
+        assert_eq!(tt.train_workloads.len(), 20);
+        assert_eq!(tt.test_workloads.len(), 7);
+        assert_eq!(tt.train.distinct_groups().len(), 20);
+        assert_eq!(tt.test.distinct_groups().len(), 7);
+        // 1 vf x 8 usable steps per workload.
+        assert_eq!(tt.train.len(), 20 * 8);
+        assert_eq!(tt.test.len(), 7 * 8);
+    }
+}

@@ -1,0 +1,104 @@
+//! Thermal-stack configuration.
+
+use common::units::Celsius;
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of the die + package thermal stack.
+///
+/// Defaults model a thinned 7 nm-class die under a desktop cooler and are
+/// chosen so that unit-scale power concentrations of a few watts create
+/// the fast, localized hotspots the paper studies (lateral healing length
+/// ≈ 0.35 mm, vertical time constant ≈ 7 ms, local rise rates of tens of
+/// K/ms under burst power).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Effective thermally-active silicon thickness, mm.
+    pub die_thickness_mm: f64,
+    /// Silicon thermal conductivity, W/(m·K).
+    pub k_silicon: f64,
+    /// Silicon volumetric heat capacity, J/(m³·K).
+    pub volumetric_heat_capacity: f64,
+    /// Area-specific vertical resistance junction→package, K·cm²/W
+    /// (TIM + spreader spreading resistance).
+    pub r_vertical_kcm2_per_w: f64,
+    /// Lumped package/heat-spreader capacity, J/K.
+    pub package_capacity_j_per_k: f64,
+    /// Package→ambient (heatsink) conductance, W/K.
+    pub sink_conductance_w_per_k: f64,
+    /// Ambient / coolant temperature.
+    pub ambient: Celsius,
+    /// Maximum internal integration sub-step, µs. The solver may shrink
+    /// it further to respect the explicit-stability limit.
+    pub max_dt_us: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        Self {
+            die_thickness_mm: 0.15,
+            k_silicon: 110.0,
+            volumetric_heat_capacity: 1.75e6,
+            r_vertical_kcm2_per_w: 0.075,
+            package_capacity_j_per_k: 20.0,
+            sink_conductance_w_per_k: 2.0,
+            ambient: Celsius::AMBIENT,
+            max_dt_us: 20.0,
+        }
+    }
+}
+
+impl ThermalConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for non-positive or non-finite
+    /// physical parameters.
+    pub fn validate(&self) -> Result<()> {
+        let checks = [
+            ("die_thickness_mm", self.die_thickness_mm),
+            ("k_silicon", self.k_silicon),
+            ("volumetric_heat_capacity", self.volumetric_heat_capacity),
+            ("r_vertical_kcm2_per_w", self.r_vertical_kcm2_per_w),
+            ("package_capacity_j_per_k", self.package_capacity_j_per_k),
+            ("sink_conductance_w_per_k", self.sink_conductance_w_per_k),
+            ("max_dt_us", self.max_dt_us),
+        ];
+        for (name, v) in checks {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(Error::invalid_config(
+                    "thermal",
+                    format!("{name} must be positive and finite, got {v}"),
+                ));
+            }
+        }
+        if !self.ambient.is_finite() {
+            return Err(Error::invalid_config("thermal", "ambient must be finite"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ThermalConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let mut c = ThermalConfig::default();
+        c.k_silicon = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = ThermalConfig::default();
+        c.max_dt_us = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ThermalConfig::default();
+        c.ambient = Celsius::new(f64::NAN);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Compact thermal model of the die and package.
+//!
+//! Substitute for the HotSpot-class solver inside HotGauge (see
+//! DESIGN.md): the die is an RC network on the floorplan grid — each cell
+//! has a heat capacity, lateral silicon conduction to its 4-neighbours,
+//! and a vertical conduction path into a lumped package/heat-spreader node
+//! that leaks to ambient through a heatsink conductance. Explicit
+//! integration with automatic sub-stepping keeps the solver stable at the
+//! pipeline's 80 µs step.
+//!
+//! The model reproduces the thermal behaviours the paper's experiments
+//! rely on:
+//!
+//! * localized heating — unit-sized power concentrations produce tens of
+//!   degrees of *local* temperature contrast (the MLTD that drives
+//!   Hotspot-Severity);
+//! * fast transients — sub-millisecond bursts raise local temperature
+//!   quickly, which is why delayed sensors miss advanced hotspots;
+//! * slow bulk heating — the package node integrates average power over
+//!   milliseconds.
+//!
+//! [`sensor`] adds the measurement layer: sensors placed at
+//! [`floorplan::SensorSite`]s report the die temperature **with delay**
+//! (the paper's 180 µs / 960 µs study) and quantisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use boreas_thermal::{ThermalConfig, ThermalGrid};
+//! use floorplan::{Floorplan, Grid, GridSpec};
+//!
+//! let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::default())?;
+//! let mut t = ThermalGrid::new(&grid, ThermalConfig::default());
+//! let power = vec![0.02; grid.spec().cells()]; // 20 mW per cell
+//! t.step(&power, 80.0)?;
+//! assert!(t.max_temp().value() >= t.config().ambient.value());
+//! # Ok::<(), common::Error>(())
+//! ```
+
+pub mod config;
+pub mod sensor;
+pub mod solver;
+
+pub use config::ThermalConfig;
+pub use sensor::{Sensor, SensorBank, SensorReading};
+pub use solver::ThermalGrid;

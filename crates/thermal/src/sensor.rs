@@ -1,0 +1,326 @@
+//! Thermal sensors: placement, read-out delay and quantisation.
+//!
+//! The paper treats sensor *delay* as a first-order effect: with a 960 µs
+//! delay, `gromacs` can never safely run above 4.25 GHz because a hotspot
+//! forms in less time than it takes to read the sensor (§III-D1). A
+//! [`Sensor`] therefore reports the die temperature **as it was
+//! `delay_us` ago**, quantised to the sensor's resolution.
+
+use crate::solver::ThermalGrid;
+use common::units::Celsius;
+use common::{Error, Result};
+use floorplan::{Grid, SensorSite};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One physical temperature sensor.
+#[derive(Debug, Clone)]
+pub struct Sensor {
+    site: SensorSite,
+    flat: usize,
+    delay_us: f64,
+    quant_c: f64,
+    /// `(timestamp_us, true_temp_c)` samples, oldest first.
+    history: VecDeque<(f64, f64)>,
+    ambient_c: f64,
+}
+
+/// A timestamped, delayed, quantised sensor value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// Time the reading was taken (now), µs.
+    pub at_us: f64,
+    /// The reported temperature (true value `delay` ago, quantised).
+    pub temperature: Celsius,
+}
+
+impl Sensor {
+    /// Creates a sensor at `site` with the given read-out delay and
+    /// quantisation step (°C; 0 disables quantisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the site lies outside the grid or the delay or
+    /// quantisation is negative/non-finite.
+    pub fn new(site: SensorSite, grid: &Grid, delay_us: f64, quant_c: f64, ambient: Celsius) -> Result<Self> {
+        if !(delay_us.is_finite() && delay_us >= 0.0) {
+            return Err(Error::invalid_config("sensor", format!("delay {delay_us} invalid")));
+        }
+        if !(quant_c.is_finite() && quant_c >= 0.0) {
+            return Err(Error::invalid_config("sensor", format!("quantisation {quant_c} invalid")));
+        }
+        let cell = site.cell(grid)?;
+        let flat = grid.flat(cell);
+        Ok(Self {
+            site,
+            flat,
+            delay_us,
+            quant_c,
+            history: VecDeque::new(),
+            ambient_c: ambient.value(),
+        })
+    }
+
+    /// The sensor's site.
+    pub fn site(&self) -> &SensorSite {
+        &self.site
+    }
+
+    /// The configured read-out delay, µs.
+    pub fn delay_us(&self) -> f64 {
+        self.delay_us
+    }
+
+    /// Records the current true temperature at the sensor's cell.
+    /// Call once per simulation step, with monotonically increasing time.
+    pub fn record(&mut self, now_us: f64, die_temps: &[f64]) {
+        self.history.push_back((now_us, die_temps[self.flat]));
+        // Drop a front sample only when the *next* sample already
+        // satisfies the current cutoff: cutoffs only grow with time, so
+        // the dropped sample can never be the newest old-enough sample
+        // for any future read. (Pruning by age alone is wrong when the
+        // delay is not a multiple of the recording interval.)
+        let cutoff = now_us - self.delay_us;
+        while self.history.len() > 1 && self.history[1].0 <= cutoff + 1e-9 {
+            self.history.pop_front();
+        }
+    }
+
+    /// Reads the sensor at time `now_us`: the newest recorded sample that
+    /// is at least `delay_us` old, quantised. Before any sufficiently old
+    /// sample exists the sensor reports ambient (a cold-started sensor
+    /// pipeline has not produced a conversion yet).
+    pub fn read(&self, now_us: f64) -> SensorReading {
+        let cutoff = now_us - self.delay_us;
+        let mut value = self.ambient_c;
+        for &(t, temp) in self.history.iter().rev() {
+            if t <= cutoff + 1e-9 {
+                value = temp;
+                break;
+            }
+        }
+        let value = if self.quant_c > 0.0 {
+            (value / self.quant_c).round() * self.quant_c
+        } else {
+            value
+        };
+        SensorReading {
+            at_us: now_us,
+            temperature: Celsius::new(value),
+        }
+    }
+
+    /// Clears the recorded history (e.g. between runs).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// A set of sensors sampled together from the same thermal grid.
+#[derive(Debug, Clone)]
+pub struct SensorBank {
+    sensors: Vec<Sensor>,
+}
+
+impl SensorBank {
+    /// Builds a bank from sites, all with the same delay/quantisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Sensor::new`] errors.
+    pub fn new(
+        sites: Vec<SensorSite>,
+        grid: &Grid,
+        delay_us: f64,
+        quant_c: f64,
+        ambient: Celsius,
+    ) -> Result<Self> {
+        let sensors = sites
+            .into_iter()
+            .map(|s| Sensor::new(s, grid, delay_us, quant_c, ambient))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { sensors })
+    }
+
+    /// The sensors in the bank.
+    pub fn sensors(&self) -> &[Sensor] {
+        &self.sensors
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// `true` when the bank has no sensors.
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// Records the current thermal state into every sensor.
+    pub fn record(&mut self, now_us: f64, thermal: &ThermalGrid) {
+        for s in &mut self.sensors {
+            s.record(now_us, thermal.temperatures());
+        }
+    }
+
+    /// Reads every sensor at `now_us`.
+    pub fn read_all(&self, now_us: f64) -> Vec<SensorReading> {
+        self.sensors.iter().map(|s| s.read(now_us)).collect()
+    }
+
+    /// Reads one sensor by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn read_one(&self, idx: usize, now_us: f64) -> SensorReading {
+        self.sensors[idx].read(now_us)
+    }
+
+    /// Resets every sensor's history.
+    pub fn reset(&mut self) {
+        for s in &mut self.sensors {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThermalConfig;
+    use floorplan::{Floorplan, GridSpec};
+
+    fn setup(delay_us: f64) -> (Grid, ThermalGrid, SensorBank) {
+        let plan = Floorplan::skylake_like();
+        let grid = Grid::rasterize(&plan, GridSpec::default()).unwrap();
+        let thermal = ThermalGrid::new(&grid, ThermalConfig::default());
+        let bank = SensorBank::new(
+            SensorSite::paper_seven(&plan),
+            &grid,
+            delay_us,
+            0.0,
+            Celsius::AMBIENT,
+        )
+        .unwrap();
+        (grid, thermal, bank)
+    }
+
+    #[test]
+    fn zero_delay_reads_current_value() {
+        let (grid, mut thermal, mut bank) = setup(0.0);
+        let power = vec![0.05; grid.spec().cells()];
+        let mut now = 0.0;
+        for _ in 0..10 {
+            thermal.step(&power, 80.0).unwrap();
+            now += 80.0;
+            bank.record(now, &thermal);
+        }
+        let r = bank.read_one(3, now);
+        let truth = thermal.temperatures()[grid.flat(
+            SensorSite::paper_seven(&Floorplan::skylake_like())[3]
+                .cell(&grid)
+                .unwrap(),
+        )];
+        assert!((r.temperature.value() - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delayed_sensor_lags_during_heating() {
+        let (grid, mut thermal, mut bank) = setup(960.0);
+        let power = vec![0.08; grid.spec().cells()];
+        let mut now = 0.0;
+        for _ in 0..50 {
+            thermal.step(&power, 80.0).unwrap();
+            now += 80.0;
+            bank.record(now, &thermal);
+        }
+        let delayed = bank.read_one(3, now).temperature.value();
+        let (_, mut fresh_thermal, mut fresh_bank) = setup(0.0);
+        let mut t2 = 0.0;
+        for _ in 0..50 {
+            fresh_thermal.step(&power, 80.0).unwrap();
+            t2 += 80.0;
+            fresh_bank.record(t2, &fresh_thermal);
+        }
+        let current = fresh_bank.read_one(3, t2).temperature.value();
+        assert!(
+            current > delayed + 0.1,
+            "during heating the delayed sensor must read lower: current {current}, delayed {delayed}"
+        );
+    }
+
+    #[test]
+    fn before_first_old_sample_reads_ambient() {
+        let (_, thermal, mut bank) = setup(960.0);
+        bank.record(80.0, &thermal);
+        // At t=80 the newest sample is only 0 us old; nothing is 960 us old.
+        let r = bank.read_one(0, 80.0);
+        assert_eq!(r.temperature, Celsius::AMBIENT);
+    }
+
+    #[test]
+    fn quantisation_rounds_to_step() {
+        let plan = Floorplan::skylake_like();
+        let grid = Grid::rasterize(&plan, GridSpec::default()).unwrap();
+        let mut sensor = Sensor::new(
+            SensorSite::paper_seven(&plan)[0].clone(),
+            &grid,
+            0.0,
+            0.5,
+            Celsius::AMBIENT,
+        )
+        .unwrap();
+        let mut temps = vec![45.0; grid.spec().cells()];
+        let flat = grid
+            .flat(SensorSite::paper_seven(&plan)[0].cell(&grid).unwrap());
+        temps[flat] = 71.37;
+        sensor.record(80.0, &temps);
+        let r = sensor.read(80.0);
+        assert_eq!(r.temperature.value(), 71.5);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let plan = Floorplan::skylake_like();
+        let grid = Grid::rasterize(&plan, GridSpec::default()).unwrap();
+        let site = SensorSite::paper_seven(&plan)[0].clone();
+        assert!(Sensor::new(site.clone(), &grid, -1.0, 0.0, Celsius::AMBIENT).is_err());
+        assert!(Sensor::new(site.clone(), &grid, 0.0, -0.5, Celsius::AMBIENT).is_err());
+        let off_die = SensorSite::new("bad", 99.0, 99.0);
+        assert!(Sensor::new(off_die, &grid, 0.0, 0.0, Celsius::AMBIENT).is_err());
+    }
+
+    #[test]
+    fn history_is_pruned() {
+        let (grid, thermal, _) = setup(0.0);
+        let plan = Floorplan::skylake_like();
+        let mut sensor = Sensor::new(
+            SensorSite::paper_seven(&plan)[0].clone(),
+            &grid,
+            160.0,
+            0.0,
+            Celsius::AMBIENT,
+        )
+        .unwrap();
+        for k in 0..10_000 {
+            sensor.record(k as f64 * 80.0, thermal.temperatures());
+        }
+        assert!(
+            sensor.history.len() < 16,
+            "history should be bounded, got {}",
+            sensor.history.len()
+        );
+    }
+
+    #[test]
+    fn bank_reads_all_sensors() {
+        let (_, thermal, mut bank) = setup(0.0);
+        bank.record(80.0, &thermal);
+        let all = bank.read_all(80.0);
+        assert_eq!(all.len(), 7);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.len(), 7);
+    }
+}

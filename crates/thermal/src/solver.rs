@@ -1,0 +1,400 @@
+//! The explicit RC-grid solver.
+
+use crate::config::ThermalConfig;
+use common::units::Celsius;
+use common::{Error, Result};
+use floorplan::Grid;
+
+/// Transient thermal state of the die grid plus the lumped package node.
+///
+/// Created from a rasterised floorplan; advanced by [`ThermalGrid::step`]
+/// with one power value per grid cell.
+#[derive(Debug, Clone)]
+pub struct ThermalGrid {
+    cfg: ThermalConfig,
+    nx: usize,
+    ny: usize,
+    /// Die temperatures, °C, row-major.
+    temps: Vec<f64>,
+    /// Lumped package temperature, °C.
+    pkg_temp: f64,
+    /// Lateral conductance between adjacent cells along x, W/K.
+    g_lat_x: f64,
+    /// Lateral conductance between adjacent cells along y, W/K.
+    g_lat_y: f64,
+    /// Vertical conductance per cell, W/K.
+    g_vert: f64,
+    /// Heat capacity per cell, J/K.
+    c_cell: f64,
+    /// Stable sub-step, seconds.
+    dt: f64,
+    /// Scratch buffer for the update.
+    scratch: Vec<f64>,
+}
+
+impl ThermalGrid {
+    /// Builds the network for `grid` with all temperatures at ambient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`ThermalConfig::validate`] first for fallible handling.
+    pub fn new(grid: &Grid, cfg: ThermalConfig) -> Self {
+        cfg.validate().expect("invalid thermal configuration");
+        let nx = grid.spec().nx;
+        let ny = grid.spec().ny;
+        let t_m = cfg.die_thickness_mm * 1e-3;
+        let w_m = grid.cell_width() * 1e-3;
+        let h_m = grid.cell_height() * 1e-3;
+
+        // Lateral conduction: k * cross-section / distance.
+        let g_lat_x = cfg.k_silicon * (t_m * h_m) / w_m;
+        let g_lat_y = cfg.k_silicon * (t_m * w_m) / h_m;
+        // Vertical: cell area over the area-specific resistance.
+        let area_cm2 = (grid.cell_area()) * 1e-2; // mm^2 -> cm^2
+        let g_vert = area_cm2 / cfg.r_vertical_kcm2_per_w;
+        let c_cell = cfg.volumetric_heat_capacity * (w_m * h_m * t_m);
+
+        // Explicit-stability limit: dt < C / sum(G). Use half for margin.
+        let g_max = 2.0 * (g_lat_x + g_lat_y) + g_vert;
+        let dt_stable_us = 0.5 * (c_cell / g_max) * 1e6;
+        let dt = (cfg.max_dt_us.min(dt_stable_us)) * 1e-6;
+
+        let ambient = cfg.ambient.value();
+        Self {
+            cfg,
+            nx,
+            ny,
+            temps: vec![ambient; nx * ny],
+            pkg_temp: ambient,
+            g_lat_x,
+            g_lat_y,
+            g_vert,
+            c_cell,
+            dt,
+            scratch: vec![0.0; nx * ny],
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.cfg
+    }
+
+    /// The sub-step actually used by the integrator, µs.
+    pub fn dt_us(&self) -> f64 {
+        self.dt * 1e6
+    }
+
+    /// Current die temperatures, °C, row-major.
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Current package temperature.
+    pub fn package_temp(&self) -> Celsius {
+        Celsius::new(self.pkg_temp)
+    }
+
+    /// Hottest die cell.
+    pub fn max_temp(&self) -> Celsius {
+        Celsius::new(self.temps.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Mean die temperature.
+    pub fn avg_temp(&self) -> Celsius {
+        Celsius::new(self.temps.iter().sum::<f64>() / self.temps.len() as f64)
+    }
+
+    /// Temperature of one cell by flat (row-major) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of range.
+    pub fn temp_at(&self, flat: usize) -> Celsius {
+        Celsius::new(self.temps[flat])
+    }
+
+    /// Resets every node to ambient.
+    pub fn reset(&mut self) {
+        let a = self.cfg.ambient.value();
+        self.temps.fill(a);
+        self.pkg_temp = a;
+    }
+
+    /// Advances the network by `duration_us` with the given per-cell power
+    /// (watts), held constant over the duration. Internally sub-steps at
+    /// the stable `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `power` has the wrong length,
+    /// or [`Error::Numerical`] if non-finite power is supplied.
+    pub fn step(&mut self, power: &[f64], duration_us: f64) -> Result<()> {
+        if power.len() != self.temps.len() {
+            return Err(Error::ShapeMismatch {
+                what: "power map",
+                expected: self.temps.len(),
+                actual: power.len(),
+            });
+        }
+        if !power.iter().all(|p| p.is_finite()) {
+            return Err(Error::Numerical("non-finite power input".into()));
+        }
+        let mut remaining = duration_us * 1e-6;
+        while remaining > 1e-12 {
+            let dt = self.dt.min(remaining);
+            self.substep(power, dt);
+            remaining -= dt;
+        }
+        Ok(())
+    }
+
+    /// One explicit-Euler sub-step of `dt` seconds.
+    fn substep(&mut self, power: &[f64], dt: f64) {
+        let (nx, ny) = (self.nx, self.ny);
+        let t = &self.temps;
+        let out = &mut self.scratch;
+        let mut pkg_flux = 0.0;
+
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let i = iy * nx + ix;
+                let ti = t[i];
+                let mut flux = power[i] + self.g_vert * (self.pkg_temp - ti);
+                if ix > 0 {
+                    flux += self.g_lat_x * (t[i - 1] - ti);
+                }
+                if ix + 1 < nx {
+                    flux += self.g_lat_x * (t[i + 1] - ti);
+                }
+                if iy > 0 {
+                    flux += self.g_lat_y * (t[i - nx] - ti);
+                }
+                if iy + 1 < ny {
+                    flux += self.g_lat_y * (t[i + nx] - ti);
+                }
+                pkg_flux += self.g_vert * (ti - self.pkg_temp);
+                out[i] = ti + dt * flux / self.c_cell;
+            }
+        }
+        let ambient = self.cfg.ambient.value();
+        pkg_flux += self.cfg.sink_conductance_w_per_k * (ambient - self.pkg_temp);
+        self.pkg_temp += dt * pkg_flux / self.cfg.package_capacity_j_per_k;
+        std::mem::swap(&mut self.temps, &mut self.scratch);
+    }
+
+    /// Runs the network to (approximate) steady state under constant
+    /// power: integrates until the largest per-millisecond change falls
+    /// below `tol_c` or `max_ms` is reached. Returns the simulated time in
+    /// ms.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThermalGrid::step`].
+    pub fn run_to_steady(&mut self, power: &[f64], tol_c: f64, max_ms: f64) -> Result<f64> {
+        let mut elapsed = 0.0;
+        let mut prev = self.temps.clone();
+        let mut prev_pkg = self.pkg_temp;
+        while elapsed < max_ms {
+            self.step(power, 1_000.0)?;
+            elapsed += 1.0;
+            let max_delta = self
+                .temps
+                .iter()
+                .zip(&prev)
+                .map(|(a, b)| (a - b).abs())
+                .fold((self.pkg_temp - prev_pkg).abs(), f64::max);
+            if max_delta < tol_c {
+                break;
+            }
+            prev.copy_from_slice(&self.temps);
+            prev_pkg = self.pkg_temp;
+        }
+        Ok(elapsed)
+    }
+
+    /// Total heat currently flowing out of the package to ambient, W.
+    pub fn heat_to_ambient(&self) -> f64 {
+        self.cfg.sink_conductance_w_per_k * (self.pkg_temp - self.cfg.ambient.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use floorplan::{Floorplan, GridSpec, UnitKind};
+
+    fn make(nx: usize, ny: usize) -> (Grid, ThermalGrid) {
+        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(nx, ny).unwrap()).unwrap();
+        let tg = ThermalGrid::new(&grid, ThermalConfig::default());
+        (grid, tg)
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let (_, tg) = make(16, 12);
+        assert_eq!(tg.max_temp(), Celsius::AMBIENT);
+        assert_eq!(tg.package_temp(), Celsius::AMBIENT);
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let (g, mut tg) = make(16, 12);
+        let zero = vec![0.0; g.spec().cells()];
+        tg.step(&zero, 10_000.0).unwrap();
+        assert!((tg.max_temp().value() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heating_then_cooling_decays_towards_ambient() {
+        let (g, mut tg) = make(16, 12);
+        let power = vec![0.05; g.spec().cells()];
+        tg.step(&power, 5_000.0).unwrap();
+        let hot = tg.max_temp().value();
+        assert!(hot > 46.0, "die should heat ({hot})");
+        let zero = vec![0.0; g.spec().cells()];
+        let mut last = hot;
+        for _ in 0..10 {
+            tg.step(&zero, 2_000.0).unwrap();
+            let now = tg.max_temp().value();
+            assert!(now <= last + 1e-9, "cooling must be monotone: {last} -> {now}");
+            last = now;
+        }
+        assert!(last < hot, "die should cool");
+    }
+
+    #[test]
+    fn uniform_power_gives_uniform_temperature() {
+        let (g, mut tg) = make(16, 12);
+        let power = vec![0.03; g.spec().cells()];
+        tg.step(&power, 20_000.0).unwrap();
+        let min = tg.temperatures().iter().copied().fold(f64::INFINITY, f64::min);
+        let max = tg.max_temp().value();
+        assert!(max - min < 0.01, "uniform power must stay uniform ({min}..{max})");
+    }
+
+    #[test]
+    fn concentrated_power_creates_local_contrast() {
+        let (g, mut tg) = make(32, 24);
+        let mut power = vec![0.001; g.spec().cells()];
+        // Drop ~6 W on the FPU block.
+        let fpu = g.cells_of(UnitKind::Fpu);
+        for cell in &fpu {
+            power[g.flat(*cell)] = 6.0 / fpu.len() as f64;
+        }
+        tg.step(&power, 4_000.0).unwrap();
+        let max = tg.max_temp().value();
+        let min = tg.temperatures().iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max - min > 15.0, "hotspot contrast too small: {}", max - min);
+        // The hottest cell must be inside (or adjacent to) the FPU.
+        let (imax, _) = tg
+            .temperatures()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let hot_cells: Vec<usize> = fpu.iter().map(|c| g.flat(*c)).collect();
+        assert!(hot_cells.contains(&imax), "hottest cell not in FPU");
+    }
+
+    #[test]
+    fn fast_local_heating_rate_is_tens_of_k_per_ms() {
+        // The property that makes advanced hotspots outrun slow sensors.
+        let (g, mut tg) = make(32, 24);
+        let mut power = vec![0.0; g.spec().cells()];
+        let fpu = g.cells_of(UnitKind::Fpu);
+        for cell in &fpu {
+            power[g.flat(*cell)] = 10.0 / fpu.len() as f64;
+        }
+        tg.step(&power, 500.0).unwrap();
+        let rise = tg.max_temp().value() - 45.0;
+        assert!(
+            rise > 5.0,
+            "0.5 ms of 10 W on the FPU should raise >5 K, got {rise}"
+        );
+    }
+
+    /// A stack with a tiny package capacity so steady state is reachable
+    /// within a test-sized simulation (the default 20 J/K package has a
+    /// 10 s time constant).
+    fn fast_package() -> ThermalConfig {
+        ThermalConfig {
+            package_capacity_j_per_k: 0.2,
+            ..ThermalConfig::default()
+        }
+    }
+
+    #[test]
+    fn steady_state_energy_balance() {
+        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(8, 6).unwrap()).unwrap();
+        let mut tg = ThermalGrid::new(&grid, fast_package());
+        let total_w = 12.0;
+        let power = vec![total_w / grid.spec().cells() as f64; grid.spec().cells()];
+        tg.run_to_steady(&power, 1e-7, 2_000.0).unwrap();
+        let out = tg.heat_to_ambient();
+        assert!(
+            (out - total_w).abs() / total_w < 0.05,
+            "steady-state outflow {out} W should match input {total_w} W"
+        );
+    }
+
+    #[test]
+    fn steady_temp_increases_with_power() {
+        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(8, 6).unwrap()).unwrap();
+        let mut a = ThermalGrid::new(&grid, fast_package());
+        let mut b = ThermalGrid::new(&grid, fast_package());
+        let n = grid.spec().cells() as f64;
+        a.run_to_steady(&vec![5.0 / n; grid.spec().cells()], 1e-7, 2_000.0).unwrap();
+        b.run_to_steady(&vec![10.0 / n; grid.spec().cells()], 1e-7, 2_000.0).unwrap();
+        assert!(b.avg_temp().value() > a.avg_temp().value() + 1.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let (_, mut tg) = make(8, 6);
+        let err = tg.step(&[0.0; 3], 80.0).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn non_finite_power_is_an_error() {
+        let (g, mut tg) = make(8, 6);
+        let mut p = vec![0.0; g.spec().cells()];
+        p[0] = f64::NAN;
+        assert!(matches!(tg.step(&p, 80.0), Err(Error::Numerical(_))));
+    }
+
+    #[test]
+    fn substep_respects_stability_limit() {
+        let (_, tg) = make(32, 24);
+        // For the default stack the stability limit is ~60 us; the solver
+        // must have clamped below the configured 20 us maximum or the
+        // stability bound, whichever is smaller.
+        assert!(tg.dt_us() <= 20.0 + 1e-9);
+        assert!(tg.dt_us() > 0.0);
+    }
+
+    #[test]
+    fn reset_restores_ambient() {
+        let (g, mut tg) = make(8, 6);
+        tg.step(&vec![0.1; g.spec().cells()], 5_000.0).unwrap();
+        assert!(tg.max_temp().value() > 45.0);
+        tg.reset();
+        assert_eq!(tg.max_temp(), Celsius::AMBIENT);
+        assert_eq!(tg.package_temp(), Celsius::AMBIENT);
+    }
+
+    #[test]
+    fn finer_grid_converges_to_similar_average() {
+        // Grid-resolution sanity: average die temperature under the same
+        // total power should be grid-independent to first order.
+        let (g1, mut a) = make(16, 12);
+        let (g2, mut b) = make(32, 24);
+        let total = 15.0;
+        a.step(&vec![total / g1.spec().cells() as f64; g1.spec().cells()], 10_000.0).unwrap();
+        b.step(&vec![total / g2.spec().cells() as f64; g2.spec().cells()], 10_000.0).unwrap();
+        let d = (a.avg_temp().value() - b.avg_temp().value()).abs();
+        assert!(d < 1.0, "grid dependence too strong: {d}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the RC-grid thermal solver.
+
+use boreas_thermal::{ThermalConfig, ThermalGrid};
+use floorplan::{Floorplan, Grid, GridSpec};
+use proptest::prelude::*;
+
+fn small_grid() -> Grid {
+    Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(8, 6).unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn temperatures_never_drop_below_ambient_under_heating(
+        powers in prop::collection::vec(0.0..0.3f64, 48..=48),
+    ) {
+        let grid = small_grid();
+        let mut t = ThermalGrid::new(&grid, ThermalConfig::default());
+        t.step(&powers, 5_000.0).unwrap();
+        let ambient = t.config().ambient.value();
+        for &temp in t.temperatures() {
+            prop_assert!(temp >= ambient - 1e-9);
+            prop_assert!(temp.is_finite());
+        }
+    }
+
+    #[test]
+    fn cooling_is_monotone_from_any_heated_state(
+        powers in prop::collection::vec(0.0..0.5f64, 48..=48),
+    ) {
+        let grid = small_grid();
+        let mut t = ThermalGrid::new(&grid, ThermalConfig::default());
+        t.step(&powers, 4_000.0).unwrap();
+        let zero = vec![0.0; 48];
+        let mut last = t.max_temp().value();
+        for _ in 0..6 {
+            t.step(&zero, 1_000.0).unwrap();
+            let now = t.max_temp().value();
+            prop_assert!(now <= last + 1e-9, "max temp rose while cooling: {} -> {}", last, now);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn more_power_never_cools_any_cell(
+        powers in prop::collection::vec(0.0..0.2f64, 48..=48),
+        extra in 0.01..0.2f64,
+        hot_cell in 0usize..48,
+    ) {
+        let grid = small_grid();
+        let mut a = ThermalGrid::new(&grid, ThermalConfig::default());
+        let mut b = ThermalGrid::new(&grid, ThermalConfig::default());
+        let mut boosted = powers.clone();
+        boosted[hot_cell] += extra;
+        a.step(&powers, 3_000.0).unwrap();
+        b.step(&boosted, 3_000.0).unwrap();
+        for (ta, tb) in a.temperatures().iter().zip(b.temperatures()) {
+            prop_assert!(tb >= ta, "extra power cooled a cell: {} vs {}", ta, tb);
+        }
+    }
+
+    #[test]
+    fn superposition_of_uniform_offsets(
+        base in 0.01..0.2f64,
+    ) {
+        // Linearity check on the dynamic part: doubling a uniform power
+        // field doubles the temperature rise (leakage is external input
+        // here, so the network itself is linear).
+        let grid = small_grid();
+        let mut a = ThermalGrid::new(&grid, ThermalConfig::default());
+        let mut b = ThermalGrid::new(&grid, ThermalConfig::default());
+        a.step(&vec![base; 48], 2_000.0).unwrap();
+        b.step(&vec![2.0 * base; 48], 2_000.0).unwrap();
+        let ambient = a.config().ambient.value();
+        let rise_a = a.avg_temp().value() - ambient;
+        let rise_b = b.avg_temp().value() - ambient;
+        prop_assert!((rise_b - 2.0 * rise_a).abs() < 1e-6 * (1.0 + rise_b.abs()));
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic SPEC CPU2006-like workload profiles.
+//!
+//! The paper evaluates on 27 SPEC CPU2006 workloads traced through the
+//! Sniper performance simulator. Neither SPEC binaries nor Sniper traces
+//! are redistributable, so this crate supplies the closest synthetic
+//! equivalent (see DESIGN.md): each of the 27 workloads is described by a
+//! [`WorkloadSpec`] — instruction mix, cache/TLB/branch behaviour, memory
+//! sensitivity, *thermal intensity* and *spikiness* — and a deterministic
+//! [`PhaseEngine`] that evolves those characteristics over time at the
+//! paper's 80 µs step granularity.
+//!
+//! The profiles are calibrated so the suite reproduces the *shape* of the
+//! paper's Fig. 2: peak Hotspot-Severity is monotone in frequency, every
+//! workload is safe at 3.75 GHz, none is safe at 5.0 GHz, and sorting the
+//! suite by peak severity puts the paper's seven test workloads at every
+//! fourth position (Table III).
+//!
+//! # Examples
+//!
+//! ```
+//! use boreas_workloads::{WorkloadSpec, PhaseEngine};
+//!
+//! let spec = WorkloadSpec::by_name("gromacs").expect("known workload");
+//! let mut engine = PhaseEngine::new(&spec, 42);
+//! let a = engine.step();
+//! assert!(a.core > 0.0);
+//! ```
+
+pub mod phase;
+pub mod spec;
+
+pub use phase::{Activity, PhaseEngine};
+pub use spec::{InstructionMix, SetKind, WorkloadClass, WorkloadSpec, ALL_WORKLOADS};

@@ -1,0 +1,47 @@
+//! Property tests for the workload phase engine.
+
+use boreas_workloads::{PhaseEngine, WorkloadSpec, ALL_WORKLOADS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn activity_stream_is_positive_finite_for_any_seed(
+        idx in 0usize..27,
+        seed in 0u64..10_000,
+    ) {
+        let spec = &ALL_WORKLOADS[idx];
+        let mut engine = PhaseEngine::new(spec, seed);
+        for a in engine.take_steps(500) {
+            prop_assert!(a.core > 0.0 && a.core.is_finite());
+            prop_assert!(a.sustained > 0.0 && a.sustained.is_finite());
+            prop_assert!(a.burst > 0.0 && a.burst.is_finite());
+            prop_assert!(a.ipc_scale > 0.0 && a.ipc_scale.is_finite());
+            prop_assert!(a.mem_boost >= 1.0 && a.mem_boost.is_finite());
+        }
+    }
+
+    #[test]
+    fn long_run_burst_average_is_one(
+        idx in 0usize..27,
+        seed in 0u64..100,
+    ) {
+        let spec = &ALL_WORKLOADS[idx];
+        let mut engine = PhaseEngine::new(spec, seed);
+        let acts = engine.take_steps(20_000);
+        let mean = acts.iter().map(|a| a.burst).sum::<f64>() / acts.len() as f64;
+        prop_assert!((mean - 1.0).abs() < 0.06, "{}: burst mean {}", spec.name, mean);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_streams(
+        name in prop::sample::select(vec!["gromacs", "mcf", "gamess", "bzip2"]),
+        seed in 0u64..1_000,
+    ) {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        let a = PhaseEngine::new(&spec, seed).take_steps(200);
+        let b = PhaseEngine::new(&spec, seed).take_steps(200);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! Sweep the Boreas prediction guardband and chart the
+//! reliability/performance trade-off of §V-C on one workload.
+//!
+//! Run with: `cargo run --release --example guardband_tradeoff [workload]`
+
+use boreas::prelude::*;
+
+fn main() -> Result<()> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
+    let pipeline = PipelineConfig::paper().build()?;
+    let vf = VfTable::paper();
+    let spec = WorkloadSpec::by_name(&name)?;
+
+    // Train a mid-sized model on a few training workloads.
+    let train: Vec<WorkloadSpec> = ["gcc", "povray", "mcf", "sjeng", "milc", "lbm", "gromacs", "namd"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n))
+        .collect::<Result<_>>()?;
+    let features = FeatureSet::full();
+    let cfg = TrainingConfig {
+        steps: 100,
+        params: GbtParams::default().with_estimators(150),
+        ..TrainingConfig::default()
+    };
+    println!("training on {} workloads ...", train.len());
+    let (model, _) = train_boreas_model(&pipeline, &vf, &train, &features, &cfg)?;
+
+    let runner = ClosedLoopRunner::new(&pipeline);
+    println!("\n{name} under increasing guardbands:");
+    println!("{:>10} {:>10} {:>10} {:>12} {:>11}", "guardband", "threshold", "avg GHz", "vs baseline", "incursions");
+    for g in [0.0, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20] {
+        let mut c = BoreasController::new(model.clone(), features.clone(), g);
+        let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)?;
+        println!(
+            "{:>10.3} {:>10.3} {:>10.3} {:>11.1}% {:>11}",
+            g,
+            1.0 - g,
+            out.avg_frequency.value(),
+            (out.normalized_frequency - 1.0) * 100.0,
+            out.incursions,
+        );
+    }
+    println!("\nlarger guardbands are safer but leave frequency on the table — the paper's sweet spot is 5%");
+    Ok(())
+}

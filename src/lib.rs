@@ -1,0 +1,68 @@
+//! # Boreas — ML-based advanced-hotspot mitigation (ISPASS 2023 reproduction)
+//!
+//! This is the umbrella crate of the Boreas reproduction workspace. It
+//! re-exports the public API of every subsystem so downstream users can
+//! depend on a single crate:
+//!
+//! * [`common`] — units, time, errors, deterministic RNG
+//! * [`floorplan`] — Skylake-like core floorplan, grid rasterisation,
+//!   k-means thermal-sensor placement
+//! * [`workloads`] — 27 SPEC CPU2006-like synthetic workload profiles
+//! * [`perfsim`] — analytical out-of-order core model producing the 78
+//!   hardware-telemetry counters every 80 µs
+//! * [`powersim`] — per-functional-unit dynamic + leakage power model
+//! * [`thermal`] — RC-grid thermal solver with a sensor model (placement,
+//!   delay, quantisation)
+//! * [`hotgauge`] — MLTD and Hotspot-Severity metrics plus the coupled
+//!   performance→power→thermal simulation pipeline
+//! * [`gbt`] — gradient-boosted regression trees (training, prediction,
+//!   gain importance, cross-validation, grid search, hardware-cost model)
+//! * [`telemetry`] — feature definitions, dataset extraction, train/test
+//!   splitting and gain-based feature selection
+//! * [`boreas_core`] — the paper's contribution: the VF table and the
+//!   oracle / global / thermal / ML frequency controllers with their
+//!   closed-loop runner
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use boreas::prelude::*;
+//!
+//! # fn main() -> common::Result<()> {
+//! // Build the paper's simulation environment and run one workload at a
+//! // fixed operating point, reporting its peak Hotspot-Severity.
+//! let pipeline = PipelineConfig::paper().build()?;
+//! let spec = WorkloadSpec::by_name("gromacs")?;
+//! let point = VfPoint::closest(GigaHertz::new(4.5));
+//! let outcome = pipeline.run_fixed(&spec, point.frequency, point.voltage, 150)?;
+//! println!("peak severity: {}", outcome.peak_severity);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use boreas_core;
+pub use common;
+pub use floorplan;
+pub use gbt;
+pub use hotgauge;
+pub use perfsim;
+pub use powersim;
+pub use telemetry;
+pub use thermal;
+pub use workloads;
+
+/// Commonly used items, re-exported for `use boreas::prelude::*`.
+pub mod prelude {
+    pub use boreas_core::{
+        train_boreas_model, BoreasController, ClosedLoopRunner, Controller, CriticalTemps,
+        GlobalVfController, OracleController, SweepTable, ThermalController, TrainingConfig,
+        VfPoint, VfTable,
+    };
+    pub use common::time::SimTime;
+    pub use common::units::{Celsius, GigaHertz, Volts, Watts};
+    pub use common::Result;
+    pub use gbt::{GbtModel, GbtParams};
+    pub use hotgauge::{Pipeline, PipelineConfig, Severity, SeverityParams};
+    pub use telemetry::{Dataset, DatasetSpec, FeatureSet};
+    pub use workloads::WorkloadSpec;
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: controllers in the closed loop.
+
+use boreas::prelude::*;
+use boreas_core::train_safe_thresholds;
+
+fn coarse_pipeline() -> Pipeline {
+    let mut cfg = PipelineConfig::paper();
+    cfg.grid = floorplan::GridSpec::new(16, 12).expect("valid grid");
+    cfg.build().expect("config builds")
+}
+
+#[test]
+fn oracle_dominates_global_limit_for_every_workload() {
+    let p = coarse_pipeline();
+    let vf = VfTable::paper();
+    // A reduced sweep (4 workloads) keeps the test quick.
+    let subset: Vec<WorkloadSpec> = ["omnetpp", "gcc", "hmmer", "gromacs"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let table = SweepTable::measure(&p, &subset, &vf, 100).unwrap();
+    let global = table.global_safe_index().unwrap();
+    for w in &subset {
+        let oracle = table.oracle_index(&w.name).unwrap();
+        assert!(oracle >= global, "{}: oracle {} < global {}", w.name, oracle, global);
+    }
+}
+
+#[test]
+fn thermal_controller_relaxation_monotonically_raises_frequency() {
+    let p = coarse_pipeline();
+    let runner = ClosedLoopRunner::new(&p);
+    let spec = WorkloadSpec::by_name("gamess").unwrap();
+    let thresholds = vec![
+        None, None, None, None, None, None, None, None,
+        Some(56.0), Some(50.0), Some(46.0), Some(44.0), Some(44.0),
+    ];
+    let mut last = 0.0;
+    for relax in [0.0, 5.0, 10.0] {
+        let mut c = ThermalController::from_thresholds(thresholds.clone(), relax);
+        let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        assert!(
+            out.avg_frequency.value() >= last,
+            "relaxation {relax} lowered frequency"
+        );
+        last = out.avg_frequency.value();
+    }
+}
+
+#[test]
+fn trained_thresholds_keep_training_workloads_safe() {
+    let p = coarse_pipeline();
+    let runner = ClosedLoopRunner::new(&p);
+    let subset: Vec<WorkloadSpec> = ["gromacs", "povray", "gamess"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let initial = vec![
+        None, None, None, None, None, None, None, None,
+        Some(70.0), Some(60.0), Some(55.0), Some(50.0), Some(50.0),
+    ];
+    let trained = train_safe_thresholds(&runner, &subset, initial, 144, 60).unwrap();
+    for w in &subset {
+        let mut c = ThermalController::from_thresholds(trained.clone(), 0.0);
+        let out = runner.run(w, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        assert_eq!(out.incursions, 0, "{} must be safe under trained TH-00", w.name);
+    }
+}
+
+#[test]
+fn boreas_guardband_ordering_holds_in_closed_loop() {
+    // Train a small model and verify avg frequency is non-increasing in
+    // the guardband while the model stays schema-compatible.
+    let p = coarse_pipeline();
+    let vf = VfTable::paper();
+    let train: Vec<WorkloadSpec> = ["gcc", "lbm", "povray", "sjeng"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let features = FeatureSet::from_names(&[
+        "temperature_sensor_data",
+        "total_cycles",
+        "busy_cycles",
+        "cdb_fpu_accesses",
+        "cdb_alu_accesses",
+        "voltage_v",
+    ])
+    .unwrap();
+    let cfg = TrainingConfig {
+        steps: 60,
+        params: GbtParams::default().with_estimators(60),
+        ..TrainingConfig::default()
+    };
+    let (model, _) = train_boreas_model(&p, &vf, &train, &features, &cfg).unwrap();
+    let runner = ClosedLoopRunner::new(&p);
+    let spec = WorkloadSpec::by_name("bzip2").unwrap();
+    let mut last = f64::INFINITY;
+    for g in [0.0, 0.05, 0.10, 0.20] {
+        let mut c = BoreasController::new(model.clone(), features.clone(), g);
+        let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        assert!(
+            out.avg_frequency.value() <= last + 1e-9,
+            "guardband {g} raised frequency"
+        );
+        last = out.avg_frequency.value();
+    }
+}
+
+#[test]
+fn controller_frequencies_always_come_from_the_table() {
+    let p = coarse_pipeline();
+    let runner = ClosedLoopRunner::new(&p);
+    let vf = VfTable::paper();
+    let spec = WorkloadSpec::by_name("libquantum").unwrap();
+    let thresholds = vec![Some(55.0); 13];
+    let mut c = ThermalController::from_thresholds(thresholds, 0.0);
+    let out = runner.run(&spec, &mut c, 96, VfTable::BASELINE_INDEX).unwrap();
+    for r in &out.records {
+        assert!(
+            vf.index_of(r.frequency).is_some(),
+            "off-table frequency {}",
+            r.frequency
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: the full perf → power → thermal → severity
+//! pipeline, exercised at the paper configuration.
+
+use boreas::prelude::*;
+
+fn paper_pipeline() -> Pipeline {
+    PipelineConfig::paper().build().expect("paper config builds")
+}
+
+#[test]
+fn calibration_pins_the_global_safe_frequency() {
+    // The Fig. 2 anchor points: the hottest workload (gromacs) is safe at
+    // the 3.75 GHz baseline and unsafe at 4.0 GHz; the coolest (omnetpp)
+    // is safe at 4.75 GHz and unsafe at 5.0 GHz.
+    let p = paper_pipeline();
+    let gromacs = WorkloadSpec::by_name("gromacs").unwrap();
+    let safe = p.run_fixed(&gromacs, GigaHertz::new(3.75), Volts::new(0.925), 150).unwrap();
+    assert!(
+        !safe.peak_severity.is_incursion(),
+        "gromacs must be safe at baseline (peak {})",
+        safe.peak_severity
+    );
+    let unsafe_run = p.run_fixed(&gromacs, GigaHertz::new(4.0), Volts::new(0.98), 150).unwrap();
+    assert!(unsafe_run.peak_severity.is_incursion(), "gromacs must incur at 4.0 GHz");
+
+    let omnetpp = WorkloadSpec::by_name("omnetpp").unwrap();
+    let safe = p.run_fixed(&omnetpp, GigaHertz::new(4.75), Volts::new(1.275), 150).unwrap();
+    assert!(!safe.peak_severity.is_incursion(), "omnetpp safe at 4.75 GHz");
+    let unsafe_run = p.run_fixed(&omnetpp, GigaHertz::new(5.0), Volts::new(1.4), 150).unwrap();
+    assert!(unsafe_run.peak_severity.is_incursion(), "omnetpp unsafe at 5.0 GHz");
+}
+
+#[test]
+fn peak_severity_is_monotone_in_frequency() {
+    let p = paper_pipeline();
+    let vf = VfTable::paper();
+    for name in ["gamess", "mcf", "bzip2"] {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        let mut last = -1.0;
+        for point in vf.points() {
+            let out = p.run_fixed(&spec, point.frequency, point.voltage, 100).unwrap();
+            assert!(
+                out.peak_severity_raw >= last - 0.02,
+                "{name}: severity dropped at {}: {} -> {}",
+                point.frequency,
+                last,
+                out.peak_severity_raw
+            );
+            last = out.peak_severity_raw;
+        }
+    }
+}
+
+#[test]
+fn power_temperature_and_severity_are_coupled() {
+    // Within a single run, the step with the highest severity must be at
+    // least as hot as the first step, and power must respond to bursts.
+    let p = paper_pipeline();
+    let spec = WorkloadSpec::by_name("gromacs").unwrap();
+    let out = p.run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 120).unwrap();
+    let first = &out.records[0];
+    let hottest = out
+        .records
+        .iter()
+        .max_by(|a, b| a.max_severity.partial_cmp(&b.max_severity).unwrap())
+        .unwrap();
+    assert!(hottest.max_temp >= first.max_temp);
+    let powers: Vec<f64> = out.records.iter().map(|r| r.total_power.value()).collect();
+    let lo = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi > lo * 1.2, "burst power swing expected: {lo} .. {hi}");
+}
+
+#[test]
+fn sensor_bank_orders_good_and_bad_sensors() {
+    // Fig. 5: the EX-cluster sensors see far more of the action than the
+    // cool array-block sensors.
+    let p = paper_pipeline();
+    let spec = WorkloadSpec::by_name("gamess").unwrap();
+    let out = p.run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 150).unwrap();
+    let last = out.records.last().unwrap();
+    let best = last.sensor_temps[3].value(); // tsens03, EX stage
+    let l2_sensor = last.sensor_temps[4].value(); // tsens04, on L2
+    assert!(
+        best > l2_sensor + 5.0,
+        "EX sensor ({best}) should read much hotter than the L2 sensor ({l2_sensor})"
+    );
+}
+
+#[test]
+fn workload_suite_matches_table_iii_structure() {
+    let sorted = WorkloadSpec::by_severity_rank();
+    assert_eq!(sorted.len(), 27);
+    for w in &sorted {
+        assert_eq!(
+            w.severity_rank % 4 == 0,
+            matches!(w.set, workloads::SetKind::Test),
+            "{} at rank {}",
+            w.name,
+            w.severity_rank
+        );
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let p1 = paper_pipeline();
+    let p2 = paper_pipeline();
+    let spec = WorkloadSpec::by_name("wrf").unwrap();
+    let a = p1.run_fixed(&spec, GigaHertz::new(4.25), Volts::new(1.065), 60).unwrap();
+    let b = p2.run_fixed(&spec, GigaHertz::new(4.25), Volts::new(1.065), 60).unwrap();
+    assert_eq!(a.peak_severity_raw, b.peak_severity_raw);
+    assert_eq!(a.mean_ipc, b.mean_ipc);
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.max_temp, rb.max_temp);
+        assert_eq!(ra.total_power, rb.total_power);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: telemetry extraction → GBT training →
+//! generalisation and persistence.
+
+use boreas::prelude::*;
+use telemetry::build_dataset;
+
+fn coarse_pipeline() -> Pipeline {
+    let mut cfg = PipelineConfig::paper();
+    cfg.grid = floorplan::GridSpec::new(16, 12).expect("valid grid");
+    cfg.build().expect("config builds")
+}
+
+fn small_vf() -> Vec<(GigaHertz, Volts)> {
+    vec![
+        (GigaHertz::new(3.5), Volts::new(0.87)),
+        (GigaHertz::new(4.25), Volts::new(1.065)),
+        (GigaHertz::new(5.0), Volts::new(1.4)),
+    ]
+}
+
+#[test]
+fn model_generalises_to_unseen_workload() {
+    let p = coarse_pipeline();
+    let features = FeatureSet::full();
+    let spec = DatasetSpec {
+        steps: 80,
+        ..DatasetSpec::default()
+    };
+    let train_ws: Vec<WorkloadSpec> = ["gcc", "povray", "mcf", "milc", "sjeng", "lbm"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let test_ws = vec![WorkloadSpec::by_name("gamess").unwrap()];
+    let train = build_dataset(&p, &features, &train_ws, &small_vf(), &spec).unwrap();
+    let test = build_dataset(&p, &features, &test_ws, &small_vf(), &spec).unwrap();
+    let model = GbtModel::train(&train, &GbtParams::default().with_estimators(120)).unwrap();
+    let mse = model.mse_on(&test);
+    assert!(mse < 0.05, "unseen-workload MSE too high: {mse}");
+    // Predictions correlate with the truth: high-label instances predict
+    // higher than low-label instances on average.
+    let preds = model.predict_batch(&test);
+    let mut hi = (0.0, 0);
+    let mut lo = (0.0, 0);
+    for (pred, &y) in preds.iter().zip(test.targets()) {
+        if y > 0.8 {
+            hi = (hi.0 + pred, hi.1 + 1);
+        } else if y < 0.4 {
+            lo = (lo.0 + pred, lo.1 + 1);
+        }
+    }
+    assert!(hi.1 > 0 && lo.1 > 0, "need both regimes in the test set");
+    assert!(
+        hi.0 / hi.1 as f64 > lo.0 / lo.1 as f64 + 0.2,
+        "predictions must separate hot from cold states"
+    );
+}
+
+#[test]
+fn leave_one_app_out_cv_runs_on_pipeline_data() {
+    let p = coarse_pipeline();
+    let features = FeatureSet::from_names(&[
+        "temperature_sensor_data",
+        "total_cycles",
+        "cdb_fpu_accesses",
+        "busy_cycles",
+    ])
+    .unwrap();
+    let ws: Vec<WorkloadSpec> = ["gcc", "povray", "mcf"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let spec = DatasetSpec {
+        steps: 50,
+        ..DatasetSpec::default()
+    };
+    let data = build_dataset(&p, &features, &ws, &small_vf(), &spec).unwrap();
+    let cv = gbt::leave_one_group_out(&data, &GbtParams::default().with_estimators(40)).unwrap();
+    assert_eq!(cv.fold_mse.len(), 3);
+    assert!(cv.mean_mse.is_finite());
+}
+
+#[test]
+fn persisted_model_drives_the_controller_identically() {
+    let p = coarse_pipeline();
+    let vf = VfTable::paper();
+    let train: Vec<WorkloadSpec> = ["gcc", "povray", "lbm"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let features = FeatureSet::from_names(&[
+        "temperature_sensor_data",
+        "total_cycles",
+        "voltage_v",
+    ])
+    .unwrap();
+    let cfg = TrainingConfig {
+        steps: 50,
+        params: GbtParams::default().with_estimators(30),
+        ..TrainingConfig::default()
+    };
+    let (model, _) = train_boreas_model(&p, &vf, &train, &features, &cfg).unwrap();
+    let json = model.to_json().unwrap();
+    let restored = GbtModel::from_json(&json).unwrap();
+
+    let runner = ClosedLoopRunner::new(&p);
+    let spec = WorkloadSpec::by_name("hmmer").unwrap();
+    let mut a = BoreasController::new(model, features.clone(), 0.05);
+    let mut b = BoreasController::new(restored, features, 0.05);
+    let out_a = runner.run(&spec, &mut a, 96, VfTable::BASELINE_INDEX).unwrap();
+    let out_b = runner.run(&spec, &mut b, 96, VfTable::BASELINE_INDEX).unwrap();
+    assert_eq!(out_a.avg_frequency, out_b.avg_frequency);
+    assert_eq!(out_a.incursions, out_b.incursions);
+}
+
+#[test]
+fn feature_selection_runs_on_pipeline_data() {
+    let p = coarse_pipeline();
+    let features = FeatureSet::full();
+    let ws: Vec<WorkloadSpec> = ["gcc", "povray", "mcf", "sjeng"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let spec = DatasetSpec {
+        steps: 50,
+        ..DatasetSpec::default()
+    };
+    let data = build_dataset(&p, &features, &ws, &small_vf(), &spec).unwrap();
+    let params = GbtParams::default().with_estimators(40);
+    let top = telemetry::select_top_features(&data, &params, 10).unwrap();
+    assert_eq!(top.len(), 10);
+    let curve = telemetry::selection_curve(&data, None, &params, &[5, 10, 78]).unwrap();
+    assert!(curve[2].gain_share > 0.999);
+    assert!(curve[1].gain_share >= curve[0].gain_share);
+}
