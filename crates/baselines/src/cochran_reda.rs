@@ -121,12 +121,16 @@ impl CochranRedaModel {
         }
         let pca = Pca::fit(&rows, params.n_components.min(rows[0].len()))?;
         let components: Vec<Vec<f64>> = pca.transform_all(&rows);
-        let phases = KMeans::fit(&components, params.n_phases.min(rows.len()), 100, params.seed)?;
+        let phases = KMeans::fit(
+            &components,
+            params.n_phases.min(rows.len()),
+            100,
+            params.seed,
+        )?;
 
         // Per-(phase, frequency) regressions with a per-frequency
         // fallback for sparse cells.
-        let mut regs: Vec<Vec<Option<RidgeRegression>>> =
-            vec![vec![None; vf.len()]; phases.k()];
+        let mut regs: Vec<Vec<Option<RidgeRegression>>> = vec![vec![None; vf.len()]; phases.k()];
         let mut fallback: Vec<Option<RidgeRegression>> = vec![None; vf.len()];
         for (f_idx, cell) in per_freq.iter().enumerate() {
             if cell.is_empty() {
@@ -207,11 +211,7 @@ impl CochranRedaModel {
     /// # Errors
     ///
     /// Propagates pipeline errors.
-    pub fn temperature_mse(
-        &self,
-        pipeline: &Pipeline,
-        workloads: &[WorkloadSpec],
-    ) -> Result<f64> {
+    pub fn temperature_mse(&self, pipeline: &Pipeline, workloads: &[WorkloadSpec]) -> Result<f64> {
         let mut se = 0.0;
         let mut n = 0usize;
         for w in workloads {
@@ -219,7 +219,9 @@ impl CochranRedaModel {
                 let out =
                     pipeline.run_fixed(w, point.frequency, point.voltage, self.params.steps)?;
                 for t in 0..out.records.len() - self.params.horizon {
-                    let x = self.features.extract(&out.records[t], self.params.sensor_idx);
+                    let x = self
+                        .features
+                        .extract(&out.records[t], self.params.sensor_idx);
                     let now_temp = observed_temperature(&out.records[t], self.params.sensor_idx);
                     let truth = observed_temperature(
                         &out.records[t + self.params.horizon],
@@ -276,7 +278,10 @@ impl Controller for TempPredController {
 
     fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
         let rec = ctx.last_record();
-        let x = self.model.features.extract(rec, self.model.params.sensor_idx);
+        let x = self
+            .model
+            .features
+            .extract(rec, self.model.params.sensor_idx);
         let now_temp = observed_temperature(rec, self.model.params.sensor_idx);
         let idx = ctx.current_idx;
         let pred_hold = self.model.predict_future_temp(&x, now_temp, idx);
@@ -364,7 +369,12 @@ mod tests {
         // Prediction at a known state is finite and in a physical range.
         let spec = WorkloadSpec::by_name("gcc").unwrap();
         let out = p
-            .run_fixed(&spec, common::units::GigaHertz::new(4.0), common::units::Volts::new(0.98), 40)
+            .run_fixed(
+                &spec,
+                common::units::GigaHertz::new(4.0),
+                common::units::Volts::new(0.98),
+                40,
+            )
             .unwrap();
         let rec = &out.records[20];
         let x = counter_features().extract(rec, 3);
@@ -394,7 +404,10 @@ mod tests {
         // learned from other workloads transfer imperfectly.
         assert!(mse < 150.0, "future-temp MSE {mse}");
         let train_mse = model.temperature_mse(&p, &train_workloads()).unwrap();
-        assert!(train_mse < mse, "training-set MSE should be lower ({train_mse} vs {mse})");
+        assert!(
+            train_mse < mse,
+            "training-set MSE should be lower ({train_mse} vs {mse})"
+        );
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! # Ok::<(), common::Error>(())
 //! ```
 
+// Dense matrix kernels index several buffers by the same loop variable;
+// iterator rewrites obscure the row/column arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 pub mod cochran_reda;
 pub mod kmeans;
 pub mod linreg;

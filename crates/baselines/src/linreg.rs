@@ -85,7 +85,13 @@ impl RidgeRegression {
     /// Panics on arity mismatch.
     pub fn predict(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.weights.len(), "regression arity");
-        self.intercept + self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>()
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
     }
 
     /// Mean squared error on a dataset.
@@ -105,7 +111,12 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         if a[pivot][col].abs() < 1e-12 {
             return Err(Error::Numerical("singular normal equations".into()));
@@ -188,7 +199,10 @@ mod tests {
         let targets: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let err = RidgeRegression::fit(&rows, &targets, 0.0);
         let ok = RidgeRegression::fit(&rows, &targets, 1e-6);
-        assert!(err.is_err() || err.is_ok(), "pivoting may still succeed numerically");
+        assert!(
+            err.is_err() || err.is_ok(),
+            "pivoting may still succeed numerically"
+        );
         assert!(ok.is_ok(), "ridge must stabilise collinear columns");
     }
 }

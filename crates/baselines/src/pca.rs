@@ -39,7 +39,10 @@ impl Pca {
         }
         let d = rows[0].len();
         if k == 0 || k > d {
-            return Err(Error::invalid_config("pca", format!("k = {k} must be in 1..={d}")));
+            return Err(Error::invalid_config(
+                "pca",
+                format!("k = {k} must be in 1..={d}"),
+            ));
         }
         for r in rows {
             if r.len() != d {
@@ -104,7 +107,10 @@ impl Pca {
             .iter()
             .map(|&c| (0..d).map(|f| vectors[f][c]).collect())
             .collect();
-        let eigenvalues: Vec<f64> = order[..k].iter().map(|&c| eigenvalues_all[c].max(0.0)).collect();
+        let eigenvalues: Vec<f64> = order[..k]
+            .iter()
+            .map(|&c| eigenvalues_all[c].max(0.0))
+            .collect();
         Ok(Pca {
             mean,
             scale,
@@ -129,7 +135,10 @@ impl Pca {
         if self.total_variance <= 0.0 {
             return vec![0.0; self.eigenvalues.len()];
         }
-        self.eigenvalues.iter().map(|e| e / self.total_variance).collect()
+        self.eigenvalues
+            .iter()
+            .map(|e| e / self.total_variance)
+            .collect()
     }
 
     /// Projects one row onto the kept components.
@@ -238,7 +247,10 @@ mod tests {
         let m0 = proj.iter().map(|p| p[0]).sum::<f64>() / n;
         let m1 = proj.iter().map(|p| p[1]).sum::<f64>() / n;
         let cov01 = proj.iter().map(|p| (p[0] - m0) * (p[1] - m1)).sum::<f64>() / n;
-        assert!(cov01.abs() < 1e-6, "components must be uncorrelated, cov {cov01}");
+        assert!(
+            cov01.abs() < 1e-6,
+            "components must be uncorrelated, cov {cov01}"
+        );
     }
 
     #[test]

@@ -15,8 +15,11 @@ fn bench_thermal_step(c: &mut Criterion) {
         b.iter(|| t.step(black_box(&power), 80.0).expect("step"))
     });
 
-    let fine = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(64, 48).expect("spec"))
-        .expect("grid");
+    let fine = Grid::rasterize(
+        &Floorplan::skylake_like(),
+        GridSpec::new(64, 48).expect("spec"),
+    )
+    .expect("grid");
     let mut tf = ThermalGrid::new(&fine, ThermalConfig::default());
     let power_fine = vec![0.0075; fine.spec().cells()];
     c.bench_function("thermal_step_80us_64x48", |b| {

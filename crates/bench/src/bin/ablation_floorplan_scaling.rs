@@ -16,8 +16,14 @@ use workloads::WorkloadSpec;
 fn main() {
     let vf_freq = GigaHertz::new(4.5);
     let voltage = common::units::Volts::new(1.15);
-    println!("FPU area scaling at {:.2} GHz (150 steps):\n", vf_freq.value());
-    println!("{:>7} {:>12} {:>12} {:>12}", "scale", "gromacs", "gamess", "povray");
+    println!(
+        "FPU area scaling at {:.2} GHz (150 steps):\n",
+        vf_freq.value()
+    );
+    println!(
+        "{:>7} {:>12} {:>12} {:>12}",
+        "scale", "gromacs", "gamess", "povray"
+    );
     let mut first_row: Option<Vec<f64>> = None;
     let mut last_row: Option<Vec<f64>> = None;
     for scale in [1.0, 2.0, 4.0, 10.0] {
@@ -28,7 +34,9 @@ fn main() {
         print!("{scale:>7.1}");
         for name in ["gromacs", "gamess", "povray"] {
             let spec = WorkloadSpec::by_name(name).expect("workload");
-            let out = pipeline.run_fixed(&spec, vf_freq, voltage, 150).expect("run");
+            let out = pipeline
+                .run_fixed(&spec, vf_freq, voltage, 150)
+                .expect("run");
             row.push(out.peak_severity_raw);
             print!(" {:>12.3}", out.peak_severity_raw);
         }
@@ -47,7 +55,11 @@ fn main() {
             (1.0 - last[i] / first[i]) * 100.0,
             first[i],
             last[i],
-            if last[i] >= 1.0 { " — still unsafe at turbo" } else { "" }
+            if last[i] >= 1.0 {
+                " — still unsafe at turbo"
+            } else {
+                ""
+            }
         );
     }
     println!(

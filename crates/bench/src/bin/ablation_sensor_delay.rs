@@ -10,8 +10,8 @@
 
 use boreas_bench::experiments::LOOP_STEPS;
 use boreas_core::{
-    train_boreas_model, train_safe_thresholds, BoreasController, ClosedLoopRunner,
-    CriticalTemps, ThermalController, TrainingConfig, VfTable,
+    train_boreas_model, train_safe_thresholds, BoreasController, ClosedLoopRunner, CriticalTemps,
+    ThermalController, TrainingConfig, VfTable,
 };
 use hotgauge::PipelineConfig;
 use telemetry::FeatureSet;
@@ -70,7 +70,8 @@ fn main() {
                 .expect("th run");
             th_sum += out.normalized_frequency;
             th_inc += out.incursions;
-            let mut ml = BoreasController::new(model.clone(), features.clone(), 0.05);
+            let mut ml = BoreasController::try_new(model.clone(), features.clone(), 0.05)
+                .expect("schema matches");
             let out = runner
                 .run(w, &mut ml, LOOP_STEPS, VfTable::BASELINE_INDEX)
                 .expect("ml run");

@@ -9,9 +9,7 @@
 
 use baselines::{CochranRedaModel, CochranRedaParams, TempPredController};
 use boreas_bench::experiments::{Experiment, LOOP_STEPS, RUN_STEPS};
-use boreas_core::{
-    BoreasController, ClosedLoopRunner, Controller, ThermalController, VfTable,
-};
+use boreas_core::{BoreasController, ClosedLoopRunner, Controller, ThermalController, VfTable};
 use telemetry::FeatureSet;
 use workloads::WorkloadSpec;
 
@@ -64,8 +62,10 @@ fn main() {
             Box::new(ThermalController::from_thresholds(thresholds.clone(), 0.0));
         let mut crc: Box<dyn Controller> =
             Box::new(TempPredController::new(cr.clone(), thresholds.clone()));
-        let mut ml: Box<dyn Controller> =
-            Box::new(BoreasController::new(model.clone(), features.clone(), 0.05));
+        let mut ml: Box<dyn Controller> = Box::new(
+            BoreasController::try_new(model.clone(), features.clone(), 0.05)
+                .expect("schema matches"),
+        );
         for (i, c) in [&mut th, &mut crc, &mut ml].into_iter().enumerate() {
             let out = runner
                 .run(w, c.as_mut(), LOOP_STEPS, VfTable::BASELINE_INDEX)
@@ -82,7 +82,11 @@ fn main() {
     }
     print!("{:<12}", "AVG");
     for i in 0..3 {
-        print!(" {:>8.4}{}", sums[i] / tests.len() as f64, if incur[i] > 0 { "*" } else { " " });
+        print!(
+            " {:>8.4}{}",
+            sums[i] / tests.len() as f64,
+            if incur[i] > 0 { "*" } else { " " }
+        );
     }
     println!(
         "\n\nCR-temp vs TH-00: {:+.1}%   ML05 vs TH-00: {:+.1}%",

@@ -48,7 +48,7 @@ fn auto_calibrate(scale: f64, steps: usize, iterations: usize) {
     }
     println!("// Calibrated heats (scale = {scale}, steps = {steps}):");
     let mut by_name = suite.clone();
-    by_name.sort_by(|a, b| a.severity_rank.cmp(&b.severity_rank));
+    by_name.sort_by_key(|w| w.severity_rank);
     for w in &by_name {
         println!("(\"{}\", {:.4}),", w.name, w.heat);
     }
@@ -56,12 +56,7 @@ fn auto_calibrate(scale: f64, steps: usize, iterations: usize) {
     print_sweep(&pipeline, &vf, &suite, steps);
 }
 
-fn print_sweep(
-    pipeline: &hotgauge::Pipeline,
-    vf: &VfTable,
-    suite: &[WorkloadSpec],
-    steps: usize,
-) {
+fn print_sweep(pipeline: &hotgauge::Pipeline, vf: &VfTable, suite: &[WorkloadSpec], steps: usize) {
     let points = parallel_severity_sweep(pipeline, vf, suite, steps);
     print!("{:<12} {:>4}", "workload", "rank");
     for p in vf.points() {

@@ -4,13 +4,26 @@ use hotgauge::PipelineConfig;
 use workloads::WorkloadSpec;
 fn main() {
     let p = PipelineConfig::paper().build().unwrap();
-    for name in ["h264ref", "GemsFDTD", "hmmer", "bzip2", "gamess", "gromacs", "omnetpp"] {
+    for name in [
+        "h264ref", "GemsFDTD", "hmmer", "bzip2", "gamess", "gromacs", "omnetpp",
+    ] {
         let spec = WorkloadSpec::by_name(name).unwrap();
-        let out = p.run_fixed(&spec, GigaHertz::new(4.25), common::units::Volts::new(1.065), 150).unwrap();
+        let out = p
+            .run_fixed(
+                &spec,
+                GigaHertz::new(4.25),
+                common::units::Volts::new(1.065),
+                150,
+            )
+            .unwrap();
         let mut locs = std::collections::HashMap::new();
         for r in &out.records {
             if r.max_severity.value() > 0.8 {
-                let unit = p.floorplan().unit_at(r.hotspot_xy.0, r.hotspot_xy.1).map(|u| u.kind.name()).unwrap_or("-");
+                let unit = p
+                    .floorplan()
+                    .unit_at(r.hotspot_xy.0, r.hotspot_xy.1)
+                    .map(|u| u.kind.name())
+                    .unwrap_or("-");
                 *locs.entry(unit).or_insert(0) += 1;
             }
         }

@@ -33,7 +33,11 @@ fn main() {
         &spec,
     )
     .expect("test dataset");
-    println!("test MSE = {:.5} over {} instances", model.mse_on(&test), test.len());
+    println!(
+        "test MSE = {:.5} over {} instances",
+        model.mse_on(&test),
+        test.len()
+    );
 
     // Per-workload high-severity accuracy.
     for (g, w) in WorkloadSpec::test_set().iter().enumerate() {
@@ -44,18 +48,32 @@ fn main() {
             }
         }
         let bias = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
-        println!("{:<12} hot instances: {:>5}  mean bias {:+.4}", w.name, errs.len(), bias);
+        println!(
+            "{:<12} hot instances: {:>5}  mean bias {:+.4}",
+            w.name,
+            errs.len(),
+            bias
+        );
     }
 
     // Closed-loop trace.
     let w = WorkloadSpec::by_name(&name).expect("workload");
     let runner = ClosedLoopRunner::new(&exp.pipeline);
-    let mut ml05 = BoreasController::new(model.clone(), features.clone(), 0.05);
+    let mut ml05 =
+        BoreasController::try_new(model.clone(), features.clone(), 0.05).expect("schema matches");
     let out = runner
         .run(&w, &mut ml05, LOOP_STEPS, VfTable::BASELINE_INDEX)
         .expect("run");
-    println!("\n{} under ML05: avg {:.3} GHz, incursions {}", name, out.avg_frequency.value(), out.incursions);
-    println!("{:>6} {:>6} {:>8} {:>8} {:>8} {:>8}", "ms", "GHz", "sensor", "sev", "predH", "predU");
+    println!(
+        "\n{} under ML05: avg {:.3} GHz, incursions {}",
+        name,
+        out.avg_frequency.value(),
+        out.incursions
+    );
+    println!(
+        "{:>6} {:>6} {:>8} {:>8} {:>8} {:>8}",
+        "ms", "GHz", "sensor", "sev", "predH", "predU"
+    );
     for chunk in out.records.chunks(12) {
         let last = chunk.last().unwrap();
         let ctx = boreas_core::ControlContext {
@@ -69,7 +87,10 @@ fn main() {
             last.time.as_millis_f64(),
             last.frequency.value(),
             last.sensor_temps[3].value(),
-            chunk.iter().map(|r| r.max_severity.value()).fold(0.0f64, f64::max),
+            chunk
+                .iter()
+                .map(|r| r.max_severity.value())
+                .fold(0.0f64, f64::max),
             ml05.predict_hold(&ctx),
             ml05.predict_up(&ctx),
         );

@@ -20,7 +20,11 @@ fn main() {
         print!(
             "{:<12} {:>5}",
             w.name,
-            if w.set == SetKind::Test { "test" } else { "train" }
+            if w.set == SetKind::Test {
+                "test"
+            } else {
+                "train"
+            }
         );
         for i in 0..vf.len() {
             print!(" {:>5.2}", table.peak(&w.name, i).expect("known workload"));
@@ -31,7 +35,10 @@ fn main() {
 
     // Headline shape checks from the paper's text.
     let global = table.global_safe_index().expect("globally safe point");
-    println!("\nGlobally safe frequency: {:.2} GHz (paper: 3.75)", vf.point(global).frequency.value());
+    println!(
+        "\nGlobally safe frequency: {:.2} GHz (paper: 3.75)",
+        vf.point(global).frequency.value()
+    );
     let top = vf.len() - 1;
     let unsafe_at_top = WorkloadSpec::by_severity_rank()
         .iter()

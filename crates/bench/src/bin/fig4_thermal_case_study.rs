@@ -38,7 +38,10 @@ fn main() {
             println!();
             print!("        max sev per ms: ");
             for chunk in out.records.chunks(12) {
-                let s = chunk.iter().map(|r| r.max_severity.value()).fold(0.0f64, f64::max);
+                let s = chunk
+                    .iter()
+                    .map(|r| r.max_severity.value())
+                    .fold(0.0f64, f64::max);
                 print!("{s:.2} ");
             }
             println!();

@@ -34,7 +34,11 @@ fn main() {
         for i in 0..sites.len() {
             print!(" {:>8.2}", r.sensor_temps[i].value());
         }
-        println!(" {:>8.2} {:>8.3}", r.max_temp.value(), r.max_severity.value());
+        println!(
+            " {:>8.2} {:>8.3}",
+            r.max_temp.value(),
+            r.max_severity.value()
+        );
     }
 
     // Quantify the paper's two claims at the end of the run.

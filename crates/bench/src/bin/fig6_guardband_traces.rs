@@ -17,7 +17,8 @@ fn main() {
 
     println!("Fig. 6: {name} under ML guardbands\n");
     for g in [0.0, 0.05, 0.10] {
-        let mut c = BoreasController::new(model.clone(), features.clone(), g);
+        let mut c =
+            BoreasController::try_new(model.clone(), features.clone(), g).expect("schema matches");
         let out = runner
             .run(&spec, &mut c, LOOP_STEPS, VfTable::BASELINE_INDEX)
             .expect("closed loop");
@@ -28,7 +29,11 @@ fn main() {
             out.avg_frequency.value(),
             out.peak_severity,
             out.incursions,
-            if out.incursions > 0 { "  << UNSAFE" } else { "" }
+            if out.incursions > 0 {
+                "  << UNSAFE"
+            } else {
+                ""
+            }
         );
         print!("  f(GHz) per ms:  ");
         for chunk in out.records.chunks(12) {
@@ -37,7 +42,10 @@ fn main() {
         println!();
         print!("  max sev per ms: ");
         for chunk in out.records.chunks(12) {
-            let s = chunk.iter().map(|r| r.max_severity.value()).fold(0.0f64, f64::max);
+            let s = chunk
+                .iter()
+                .map(|r| r.max_severity.value())
+                .fold(0.0f64, f64::max);
             print!("{s:.2} ");
         }
         println!("\n");

@@ -11,6 +11,8 @@ use boreas_core::{
 };
 use workloads::WorkloadSpec;
 
+type ControllerFactory = Box<dyn Fn() -> Box<dyn Controller>>;
+
 fn main() {
     let exp = Experiment::paper().expect("paper config");
     let thresholds = exp.trained_thresholds().expect("trained thresholds");
@@ -18,7 +20,7 @@ fn main() {
     let runner = ClosedLoopRunner::new(&exp.pipeline);
     let tests = WorkloadSpec::test_set();
 
-    let mut make: Vec<(&str, Box<dyn Fn() -> Box<dyn Controller>>)> = Vec::new();
+    let mut make: Vec<(&str, ControllerFactory)> = Vec::new();
     make.push((
         "TH-00",
         Box::new({
@@ -35,7 +37,12 @@ fn main() {
                 5 => "ML05",
                 _ => "ML10",
             },
-            Box::new(move || Box::new(BoreasController::new(model.clone(), features.clone(), g))),
+            Box::new(move || {
+                Box::new(
+                    BoreasController::try_new(model.clone(), features.clone(), g)
+                        .expect("schema matches"),
+                )
+            }),
         ));
     }
 
@@ -64,7 +71,11 @@ fn main() {
     }
     print!("{:<12}", "AVG");
     for (i, _) in make.iter().enumerate() {
-        print!(" {:>7.4}{}", sums[i] / tests.len() as f64, if incur[i] > 0 { "*" } else { " " });
+        print!(
+            " {:>7.4}{}",
+            sums[i] / tests.len() as f64,
+            if incur[i] > 0 { "*" } else { " " }
+        );
     }
     println!();
     // Baseline sanity and the headline delta.
@@ -76,5 +87,8 @@ fn main() {
     let th = sums[0] / tests.len() as f64;
     let ml05 = sums[2] / tests.len() as f64;
     println!("\nTH-00 over baseline: {:+.1}%", (th - 1.0) * 100.0);
-    println!("ML05 over TH-00:     {:+.1}%  (paper: +4.5%)", (ml05 / th - 1.0) * 100.0);
+    println!(
+        "ML05 over TH-00:     {:+.1}%  (paper: +4.5%)",
+        (ml05 / th - 1.0) * 100.0
+    );
 }

@@ -6,9 +6,7 @@
 //! ever reaches severity 1.0 under either controller.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
-use boreas_core::{
-    BoreasController, ClosedLoopRunner, Controller, ThermalController, VfTable,
-};
+use boreas_core::{BoreasController, ClosedLoopRunner, Controller, ThermalController, VfTable};
 use workloads::WorkloadSpec;
 
 fn main() {
@@ -22,8 +20,10 @@ fn main() {
         println!("== {}", w.name);
         let mut th: Box<dyn Controller> =
             Box::new(ThermalController::from_thresholds(thresholds.clone(), 0.0));
-        let mut ml: Box<dyn Controller> =
-            Box::new(BoreasController::new(model.clone(), features.clone(), 0.05));
+        let mut ml: Box<dyn Controller> = Box::new(
+            BoreasController::try_new(model.clone(), features.clone(), 0.05)
+                .expect("schema matches"),
+        );
         let mut avg = Vec::new();
         for c in [&mut th, &mut ml] {
             let out = runner
@@ -43,7 +43,10 @@ fn main() {
             println!();
             print!("    max sev: ");
             for chunk in out.records.chunks(12) {
-                let s = chunk.iter().map(|r| r.max_severity.value()).fold(0.0f64, f64::max);
+                let s = chunk
+                    .iter()
+                    .map(|r| r.max_severity.value())
+                    .fold(0.0f64, f64::max);
                 print!("{s:.2} ");
             }
             println!();

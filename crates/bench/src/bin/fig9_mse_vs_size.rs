@@ -65,7 +65,9 @@ fn main() {
     ];
     let mut best: Option<(f64, usize, usize, usize)> = None;
     for (trees, depth) in configs {
-        let params = GbtParams::default().with_estimators(trees).with_depth(depth);
+        let params = GbtParams::default()
+            .with_estimators(trees)
+            .with_depth(depth);
         // Manual CV over the chosen folds.
         let mut fold_mse = Vec::new();
         for &g in &folds {

@@ -19,10 +19,12 @@ fn main() {
     let workloads: Vec<WorkloadSpec> = if full {
         WorkloadSpec::train_set()
     } else {
-        ["gcc", "povray", "mcf", "sjeng", "milc", "lbm", "namd", "soplex"]
-            .iter()
-            .map(|n| WorkloadSpec::by_name(n).expect("workload"))
-            .collect()
+        [
+            "gcc", "povray", "mcf", "sjeng", "milc", "lbm", "namd", "soplex",
+        ]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).expect("workload"))
+        .collect()
     };
     let steps = if full { RUN_STEPS } else { 80 };
     let (_, data) = train_boreas_model(
@@ -64,7 +66,11 @@ fn main() {
     for r in &results {
         println!(
             "{:>6} {:>6} {:>6.2} {:>12.5} {:>12.5}",
-            r.params.n_estimators, r.params.max_depth, r.params.learning_rate, r.cv.mean_mse, r.cv.std_mse
+            r.params.n_estimators,
+            r.params.max_depth,
+            r.params.learning_rate,
+            r.cv.mean_mse,
+            r.cv.std_mse
         );
     }
     let best = &results[0];

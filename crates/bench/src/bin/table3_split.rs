@@ -13,11 +13,21 @@ fn main() {
             "  rank {:>2}  {:<12} {}",
             w.severity_rank,
             w.name,
-            if w.set == SetKind::Test { "TEST" } else { "train" }
+            if w.set == SetKind::Test {
+                "TEST"
+            } else {
+                "train"
+            }
         );
     }
-    let train: Vec<_> = WorkloadSpec::train_set().iter().map(|w| w.name.clone()).collect();
-    let test: Vec<_> = WorkloadSpec::test_set().iter().map(|w| w.name.clone()).collect();
+    let train: Vec<_> = WorkloadSpec::train_set()
+        .iter()
+        .map(|w| w.name.clone())
+        .collect();
+    let test: Vec<_> = WorkloadSpec::test_set()
+        .iter()
+        .map(|w| w.name.clone())
+        .collect();
     println!("\nTrain ({}): {}", train.len(), train.join(", "));
     println!("Test  ({}): {}", test.len(), test.join(", "));
     assert_eq!(train.len(), 20);

@@ -18,7 +18,10 @@ fn main() {
         cum += gain;
         println!("{:>3}. {:<32} {:>6.2}%", i + 1, name, gain * 100.0);
     }
-    println!("\ncumulative gain of top 20: {:.1}% (paper: 99%)", cum * 100.0);
+    println!(
+        "\ncumulative gain of top 20: {:.1}% (paper: 99%)",
+        cum * 100.0
+    );
     let temp_gain = importance
         .iter()
         .find(|(n, _)| n == TEMPERATURE_FEATURE)
@@ -43,10 +46,28 @@ fn main() {
         sensor_idx: 3,
         label_cap: Some(2.0),
     };
-    let test_full = build_dataset(&exp.pipeline, &FeatureSet::full(), &WorkloadSpec::test_set(), &points, &spec)
-        .expect("test dataset");
-    let test_20 = build_dataset(&exp.pipeline, &features20, &WorkloadSpec::test_set(), &points, &spec)
-        .expect("test dataset");
-    println!("\ntest MSE, all 78 features: {:.5}", full.mse_on(&test_full));
-    println!("test MSE, top 20 features: {:.5} (paper: no loss)", top20.mse_on(&test_20));
+    let test_full = build_dataset(
+        &exp.pipeline,
+        &FeatureSet::full(),
+        &WorkloadSpec::test_set(),
+        &points,
+        &spec,
+    )
+    .expect("test dataset");
+    let test_20 = build_dataset(
+        &exp.pipeline,
+        &features20,
+        &WorkloadSpec::test_set(),
+        &points,
+        &spec,
+    )
+    .expect("test dataset");
+    println!(
+        "\ntest MSE, all 78 features: {:.5}",
+        full.mse_on(&test_full)
+    );
+    println!(
+        "test MSE, top 20 features: {:.5} (paper: no loss)",
+        top20.mse_on(&test_20)
+    );
 }

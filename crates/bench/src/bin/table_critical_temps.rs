@@ -18,7 +18,10 @@ fn main() {
     for (i, t) in crit.global_thresholds().iter().enumerate() {
         match t {
             Some(t) => println!("  {:>5.2} GHz: {:>6.2} C", vf.point(i).frequency.value(), t),
-            None => println!("  {:>5.2} GHz: unconstrained (no incursion observed)", vf.point(i).frequency.value()),
+            None => println!(
+                "  {:>5.2} GHz: unconstrained (no incursion observed)",
+                vf.point(i).frequency.value()
+            ),
         }
     }
 
@@ -79,8 +82,15 @@ fn main() {
             let mut line = format!("  delay {:>4.0} us  {:<8}", delay, w.name);
             for i in [8, 10, 12] {
                 match c.critical(&w.name, i) {
-                    Some(t) => line.push_str(&format!("  {:>5.2} GHz: {:>6.2} C", vf.point(i).frequency.value(), t)),
-                    None => line.push_str(&format!("  {:>5.2} GHz:   safe  ", vf.point(i).frequency.value())),
+                    Some(t) => line.push_str(&format!(
+                        "  {:>5.2} GHz: {:>6.2} C",
+                        vf.point(i).frequency.value(),
+                        t
+                    )),
+                    None => line.push_str(&format!(
+                        "  {:>5.2} GHz:   safe  ",
+                        vf.point(i).frequency.value()
+                    )),
                 }
             }
             println!("{line}");

@@ -13,8 +13,16 @@ fn main() {
     let cost = model.cost();
 
     println!("Sec. V-E: Boreas overhead analysis\n");
-    println!("trees x depth:       {} x {}", model.num_trees(), model.params().max_depth);
-    println!("weight bytes:        {} ({:.2} KB; paper: < 14 KB)", cost.weight_bytes, cost.weight_bytes as f64 / 1024.0);
+    println!(
+        "trees x depth:       {} x {}",
+        model.num_trees(),
+        model.params().max_depth
+    );
+    println!(
+        "weight bytes:        {} ({:.2} KB; paper: < 14 KB)",
+        cost.weight_bytes,
+        cost.weight_bytes as f64 / 1024.0
+    );
     println!("comparisons/predict: {} (paper: 669)", cost.comparisons);
     println!("additions/predict:   {} (paper: 222)", cost.additions);
     println!("total ops/predict:   {} (paper: ~1000)", cost.total_ops());

@@ -1,7 +1,9 @@
 //! Shared experiment context: the paper pipeline, trained artefacts and
 //! a small on-disk cache so the per-figure binaries don't retrain.
 
-use boreas_core::{train_safe_thresholds, ClosedLoopRunner, CriticalTemps, SweepTable, TrainingConfig, VfTable};
+use boreas_core::{
+    train_safe_thresholds, ClosedLoopRunner, CriticalTemps, SweepTable, TrainingConfig, VfTable,
+};
 use common::Result;
 use gbt::{GbtModel, GbtParams};
 use hotgauge::{Pipeline, PipelineConfig};
@@ -39,8 +41,7 @@ impl Experiment {
 
     /// Cache directory for trained artefacts (under `target/`).
     fn cache_dir() -> PathBuf {
-        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("../../target/boreas-cache");
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/boreas-cache");
         std::fs::create_dir_all(&dir).ok();
         dir
     }

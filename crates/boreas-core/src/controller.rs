@@ -3,6 +3,7 @@
 use crate::critical::CriticalTemps;
 use crate::vf::VfTable;
 use common::units::GigaHertz;
+use common::{Error, Result};
 use gbt::GbtModel;
 use hotgauge::StepRecord;
 use telemetry::FeatureSet;
@@ -200,27 +201,59 @@ pub struct BoreasController {
 }
 
 impl BoreasController {
-    /// Wraps a trained model.
+    /// Wraps a trained model, validating the guardband and the feature
+    /// schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the guardband is outside
+    /// `[0, 1)` or the model was trained on differently named features,
+    /// and [`Error::ShapeMismatch`] when the model's arity disagrees with
+    /// `features`.
+    pub fn try_new(model: GbtModel, features: FeatureSet, guardband: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&guardband) {
+            return Err(Error::invalid_config(
+                "guardband",
+                format!("must be in [0, 1), got {guardband}"),
+            ));
+        }
+        let names = features.names();
+        if model.feature_names().len() != names.len() {
+            return Err(Error::ShapeMismatch {
+                what: "model/feature schema",
+                expected: names.len(),
+                actual: model.feature_names().len(),
+            });
+        }
+        if model.feature_names() != names.as_slice() {
+            return Err(Error::invalid_config(
+                "features",
+                format!(
+                    "model/feature schema mismatch: model was trained on {:?}, controller given {:?}",
+                    model.feature_names(),
+                    names
+                ),
+            ));
+        }
+        Ok(Self {
+            model,
+            features,
+            guardband,
+            sensor_idx: telemetry::MAX_SENSOR_BANK,
+        })
+    }
+
+    /// Wraps a trained model, panicking on invalid inputs.
     ///
     /// # Panics
     ///
     /// Panics if the model's feature schema does not match `features` or
     /// the guardband is outside `[0, 1)`.
+    #[deprecated(note = "use `BoreasController::try_new`, which reports invalid inputs as errors")]
     pub fn new(model: GbtModel, features: FeatureSet, guardband: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&guardband),
-            "guardband must be in [0, 1), got {guardband}"
-        );
-        assert_eq!(
-            model.feature_names(),
-            features.names().as_slice(),
-            "model/feature schema mismatch"
-        );
-        Self {
-            model,
-            features,
-            guardband,
-            sensor_idx: telemetry::MAX_SENSOR_BANK,
+        match Self::try_new(model, features, guardband) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -380,7 +413,8 @@ mod tests {
             let f = 2.0 + 3.0 * (i as f64 / 200.0);
             d.push_row(&[f], f / 5.0, (i % 2) as u32).unwrap();
         }
-        let model = gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(60)).unwrap();
+        let model =
+            gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(60)).unwrap();
         let features = FeatureSet::from_names(&["frequency_ghz"]).unwrap();
         let vf = VfTable::paper();
         let recent = make_interval(4.0, 0.98);
@@ -392,27 +426,79 @@ mod tests {
         };
         // Guardband 0: threshold 1.0 -> hold prediction 0.8 is fine, up
         // prediction 0.85 is fine -> step up.
-        let mut ml00 = BoreasController::new(model.clone(), features.clone(), 0.0);
+        let mut ml00 = BoreasController::try_new(model.clone(), features.clone(), 0.0).unwrap();
         assert_eq!(ml00.decide(&ctx), 9);
         assert_eq!(ml00.name(), "ML00");
         // Guardband 0.18: threshold 0.82 -> hold 0.8 ok, up 0.85 > 0.82
         // -> hold.
-        let mut mid = BoreasController::new(model.clone(), features.clone(), 0.18);
+        let mut mid = BoreasController::try_new(model.clone(), features.clone(), 0.18).unwrap();
         assert_eq!(mid.decide(&ctx), 8);
         // Guardband 0.25: threshold 0.75 < hold 0.8 -> step down.
-        let mut tight = BoreasController::new(model, features, 0.25);
+        let mut tight = BoreasController::try_new(model, features, 0.25).unwrap();
         assert_eq!(tight.decide(&ctx), 7);
         assert_eq!(tight.name(), "ML25");
+    }
+
+    fn tiny_model() -> GbtModel {
+        let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
+        d.push_row(&[4.0], 0.5, 0).unwrap();
+        d.push_row(&[4.5], 0.9, 1).unwrap();
+        gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(1)).unwrap()
     }
 
     #[test]
     #[should_panic(expected = "guardband")]
     fn invalid_guardband_panics() {
-        let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
-        d.push_row(&[4.0], 0.5, 0).unwrap();
-        d.push_row(&[4.5], 0.9, 1).unwrap();
-        let model = gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(1)).unwrap();
         let features = FeatureSet::from_names(&["frequency_ghz"]).unwrap();
-        BoreasController::new(model, features, 1.5);
+        #[allow(deprecated)]
+        BoreasController::new(tiny_model(), features, 1.5);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_inputs() {
+        let features = FeatureSet::from_names(&["frequency_ghz"]).unwrap();
+        // Out-of-range guardbands.
+        for g in [-0.1, 1.0, 1.5, f64::NAN] {
+            let err = BoreasController::try_new(tiny_model(), features.clone(), g).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    Error::InvalidConfig {
+                        what: "guardband",
+                        ..
+                    }
+                ),
+                "guardband {g}: unexpected error {err}"
+            );
+        }
+        // Arity mismatch.
+        let wide = FeatureSet::from_names(&["frequency_ghz", "voltage_v"]).unwrap();
+        let err = BoreasController::try_new(tiny_model(), wide, 0.05).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::ShapeMismatch {
+                    expected: 2,
+                    actual: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Same arity, different feature.
+        let other = FeatureSet::from_names(&["voltage_v"]).unwrap();
+        let err = BoreasController::try_new(tiny_model(), other, 0.05).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::InvalidConfig {
+                    what: "features",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // The happy path still works.
+        assert!(BoreasController::try_new(tiny_model(), features, 0.05).is_ok());
     }
 }

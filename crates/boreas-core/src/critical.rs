@@ -90,7 +90,9 @@ impl CriticalTemps {
                 self.temps
                     .iter()
                     .filter_map(|row| row[i])
-                    .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))))
+                    .fold(None, |acc: Option<f64>, t| {
+                        Some(acc.map_or(t, |a| a.min(t)))
+                    })
             })
             .collect()
     }

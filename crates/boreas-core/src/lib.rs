@@ -10,6 +10,9 @@
 //!   thresholds from sensor readings, with the TH-00/05/10 relaxations;
 //! * [`BoreasController`] (§IV–V) — the GBT severity predictor over
 //!   hardware telemetry, with the ML00/05/10 prediction guardbands;
+//! * [`ResilientController`] — a wrapper adding telemetry validation,
+//!   last-known-good substitution and graceful degradation (ML → TH
+//!   fallback → watchdog-forced global-safe) under sensor faults;
 //!
 //! plus the [`ClosedLoopRunner`] that executes any controller against the
 //! hotgauge pipeline at the paper's 960 µs decision cadence and accounts
@@ -19,6 +22,7 @@
 pub mod controller;
 pub mod critical;
 pub mod oracle;
+pub mod resilient;
 pub mod runner;
 pub mod training;
 pub mod vf;
@@ -28,6 +32,12 @@ pub use controller::{
 };
 pub use critical::CriticalTemps;
 pub use oracle::{oracle_frequencies, OracleController, SweepTable};
-pub use runner::{train_safe_thresholds, ClosedLoopOutcome, ClosedLoopRunner};
+pub use resilient::{
+    ControlStage, DegradationEvent, DegradationLog, ResilienceConfig, ResilientController,
+};
+pub use runner::{
+    train_safe_thresholds, ClosedLoopOutcome, ClosedLoopRunner, ObservationFilter,
+    PassthroughFilter,
+};
 pub use training::{train_boreas_model, TrainingConfig};
 pub use vf::{VfPoint, VfTable};

@@ -15,6 +15,31 @@ use common::{Error, Result};
 use hotgauge::{Pipeline, Severity, StepRecord};
 use workloads::WorkloadSpec;
 
+/// Transforms the *observable* copy of each step record before the
+/// controller sees it.
+///
+/// The runner keeps two views of a run: the true records (used for
+/// incursion/frequency accounting) and an observable copy fed to the
+/// controller. A filter edits only the observable copy — fault-injection
+/// campaigns (`boreas-faults`) corrupt sensor readings and counters here
+/// without ever touching the ground truth the run is judged on.
+pub trait ObservationFilter {
+    /// Edits the observable copy of the `step_idx`-th record (0-based
+    /// from the start of the run).
+    fn filter(&mut self, step_idx: usize, record: &mut StepRecord);
+
+    /// Clears any per-run state; called once at the start of each run.
+    fn reset(&mut self) {}
+}
+
+/// The identity filter: the controller observes the truth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassthroughFilter;
+
+impl ObservationFilter for PassthroughFilter {
+    fn filter(&mut self, _step_idx: usize, _record: &mut StepRecord) {}
+}
+
 /// Outcome of one closed-loop run.
 #[derive(Debug, Clone)]
 pub struct ClosedLoopOutcome {
@@ -114,6 +139,32 @@ impl<'p> ClosedLoopRunner<'p> {
         total_steps: usize,
         start_idx: usize,
     ) -> Result<ClosedLoopOutcome> {
+        self.run_filtered(
+            spec,
+            controller,
+            total_steps,
+            start_idx,
+            &mut PassthroughFilter,
+        )
+    }
+
+    /// Runs `controller` on `spec` with an [`ObservationFilter`] between
+    /// the pipeline and the controller: the controller decides on the
+    /// filtered records, while incursions and frequencies are accounted
+    /// on the truth. This is the entry point for fault-injection
+    /// campaigns.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClosedLoopRunner::run`].
+    pub fn run_filtered(
+        &self,
+        spec: &WorkloadSpec,
+        controller: &mut dyn Controller,
+        total_steps: usize,
+        start_idx: usize,
+        filter: &mut dyn ObservationFilter,
+    ) -> Result<ClosedLoopOutcome> {
         if start_idx >= self.vf.len() {
             return Err(Error::invalid_config(
                 "runner",
@@ -121,20 +172,23 @@ impl<'p> ClosedLoopRunner<'p> {
             ));
         }
         let chunk = STEPS_PER_DECISION as usize;
-        if total_steps == 0 || total_steps % chunk != 0 {
+        if total_steps == 0 || !total_steps.is_multiple_of(chunk) {
             return Err(Error::invalid_config(
                 "runner",
                 format!("total_steps ({total_steps}) must be a positive multiple of {chunk}"),
             ));
         }
         controller.reset();
+        filter.reset();
         let mut run = self.pipeline.start_run(spec)?;
         let mut records: Vec<StepRecord> = Vec::with_capacity(total_steps);
+        // The controller-visible copy of every record, after filtering.
+        let mut observed: Vec<StepRecord> = Vec::with_capacity(total_steps);
         let mut decisions: Vec<Decision> = Vec::with_capacity(total_steps / chunk);
         let mut idx = start_idx;
         while records.len() < total_steps {
             if !records.is_empty() {
-                let recent = &records[records.len() - chunk..];
+                let recent = &observed[observed.len() - chunk..];
                 let ctx = ControlContext {
                     vf: &self.vf,
                     current_idx: idx,
@@ -152,13 +206,22 @@ impl<'p> ClosedLoopRunner<'p> {
             }
             let point = self.vf.point(idx);
             for _ in 0..chunk {
-                records.push(run.step(point.frequency, point.voltage)?);
+                let record = run.step(point.frequency, point.voltage)?;
+                let mut visible = record.clone();
+                filter.filter(records.len(), &mut visible);
+                records.push(record);
+                observed.push(visible);
             }
         }
 
         let avg = records.iter().map(|r| r.frequency.value()).sum::<f64>() / records.len() as f64;
-        let baseline = self.vf.point(VfTable::BASELINE_INDEX.min(self.vf.len() - 1));
-        let incursions = records.iter().filter(|r| r.max_severity.is_incursion()).count();
+        let baseline = self
+            .vf
+            .point(VfTable::BASELINE_INDEX.min(self.vf.len() - 1));
+        let incursions = records
+            .iter()
+            .filter(|r| r.max_severity.is_incursion())
+            .count();
         let peak_severity = records
             .iter()
             .map(|r| r.max_severity)
@@ -222,10 +285,8 @@ pub fn train_safe_thresholds(
             offending.sort_unstable();
             offending.dedup();
             if let Some(&lowest) = offending.first() {
-                for t in thresholds.iter_mut().skip(lowest) {
-                    if let Some(v) = t {
-                        *v -= 1.0;
-                    }
+                for v in thresholds.iter_mut().skip(lowest).flatten() {
+                    *v -= 1.0;
                 }
             }
         }
@@ -253,7 +314,9 @@ mod tests {
         let runner = ClosedLoopRunner::new(&p);
         let spec = WorkloadSpec::by_name("gamess").unwrap();
         let mut c = GlobalVfController::new(VfTable::BASELINE_INDEX);
-        let out = runner.run(&spec, &mut c, 96, VfTable::BASELINE_INDEX).unwrap();
+        let out = runner
+            .run(&spec, &mut c, 96, VfTable::BASELINE_INDEX)
+            .unwrap();
         assert_eq!(out.records.len(), 96);
         assert!((out.avg_frequency.value() - 3.75).abs() < 1e-9);
         assert!((out.normalized_frequency - 1.0).abs() < 1e-9);
@@ -268,7 +331,9 @@ mod tests {
         let spec = WorkloadSpec::by_name("bzip2").unwrap();
         // Aggressive thresholds so the controller actually moves.
         let mut c = ThermalController::from_thresholds(vec![Some(60.0); 13], 0.0);
-        let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        let out = runner
+            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
+            .unwrap();
         for pair in out.records.windows(2) {
             let d = (pair[1].frequency.value() - pair[0].frequency.value()).abs();
             assert!(d < 0.25 + 1e-9, "jumped more than one step: {d}");
@@ -287,7 +352,10 @@ mod tests {
         let runner = ClosedLoopRunner::new(&p);
         let spec = WorkloadSpec::by_name("gcc").unwrap();
         let mut c = GlobalVfController::new(0);
-        assert!(runner.run(&spec, &mut c, 100, 0).is_err(), "not a multiple of 12");
+        assert!(
+            runner.run(&spec, &mut c, 100, 0).is_err(),
+            "not a multiple of 12"
+        );
         assert!(runner.run(&spec, &mut c, 0, 0).is_err());
         assert!(runner.run(&spec, &mut c, 96, 99).is_err());
     }
@@ -304,7 +372,9 @@ mod tests {
         assert!(!out_hot.is_reliable());
         // Pin at baseline: safe.
         let mut cool = GlobalVfController::new(VfTable::BASELINE_INDEX);
-        let out_cool = runner.run(&spec, &mut cool, 144, VfTable::BASELINE_INDEX).unwrap();
+        let out_cool = runner
+            .run(&spec, &mut cool, 144, VfTable::BASELINE_INDEX)
+            .unwrap();
         assert_eq!(out_cool.incursions, 0, "gromacs at 3.75 GHz is safe");
     }
 
@@ -314,7 +384,9 @@ mod tests {
         let runner = ClosedLoopRunner::new(&p);
         let spec = WorkloadSpec::by_name("bzip2").unwrap();
         let mut c = ThermalController::from_thresholds(vec![Some(58.0); 13], 0.0);
-        let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        let out = runner
+            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
+            .unwrap();
         assert_eq!(out.decisions.len(), 144 / 12 - 1);
         for (k, d) in out.decisions.iter().enumerate() {
             let before = out.records[k * 12].frequency.value();
@@ -339,12 +411,17 @@ mod tests {
         // reach of the iteration budget.)
         let permissive = vec![Some(75.0); 13];
         let mut c = ThermalController::from_thresholds(permissive.clone(), 0.0);
-        let before = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        let before = runner
+            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
+            .unwrap();
         assert!(before.incursions > 0, "permissive thresholds must incur");
         let trained =
-            train_safe_thresholds(&runner, &[spec.clone()], permissive, 144, 60).unwrap();
+            train_safe_thresholds(&runner, std::slice::from_ref(&spec), permissive, 144, 60)
+                .unwrap();
         let mut c = ThermalController::from_thresholds(trained, 0.0);
-        let after = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        let after = runner
+            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
+            .unwrap();
         assert_eq!(after.incursions, 0, "trained thresholds must be safe");
     }
 

@@ -126,6 +126,9 @@ mod tests {
             GigaHertz::new(5.0),
             Volts::new(1.4),
         ));
-        assert!(hi > lo, "severity prediction should rise with frequency ({lo} -> {hi})");
+        assert!(
+            hi > lo,
+            "severity prediction should rise with frequency ({lo} -> {hi})"
+        );
     }
 }

@@ -21,7 +21,12 @@ pub struct VfPoint {
 
 impl fmt::Display for VfPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} GHz @ {:.3} V", self.frequency.value(), self.voltage.value())
+        write!(
+            f,
+            "{:.2} GHz @ {:.3} V",
+            self.frequency.value(),
+            self.voltage.value()
+        )
     }
 }
 
@@ -197,7 +202,13 @@ mod tests {
         assert_eq!(last.frequency.value(), 5.0);
         assert_eq!(last.voltage.value(), 1.4);
         // Anchors from Table I.
-        for (f, v) in [(2.5, 0.71), (3.0, 0.77), (3.5, 0.87), (4.0, 0.98), (4.5, 1.15)] {
+        for (f, v) in [
+            (2.5, 0.71),
+            (3.0, 0.77),
+            (3.5, 0.87),
+            (4.0, 0.98),
+            (4.5, 1.15),
+        ] {
             let idx = t.index_of(GigaHertz::new(f)).unwrap();
             assert_eq!(t.point(idx).voltage.value(), v, "voltage at {f} GHz");
         }
@@ -232,9 +243,15 @@ mod tests {
     #[test]
     fn closest_and_floor() {
         assert_eq!(VfPoint::closest(GigaHertz::new(4.6)).frequency.value(), 4.5);
-        assert_eq!(VfPoint::closest(GigaHertz::new(10.0)).frequency.value(), 5.0);
+        assert_eq!(
+            VfPoint::closest(GigaHertz::new(10.0)).frequency.value(),
+            5.0
+        );
         let t = VfTable::paper();
-        assert_eq!(t.floor_index(GigaHertz::new(4.6)), t.index_of(GigaHertz::new(4.5)).unwrap());
+        assert_eq!(
+            t.floor_index(GigaHertz::new(4.6)),
+            t.index_of(GigaHertz::new(4.5)).unwrap()
+        );
         assert_eq!(t.floor_index(GigaHertz::new(1.0)), 0);
     }
 

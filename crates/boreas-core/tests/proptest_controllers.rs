@@ -1,8 +1,6 @@
 //! Property tests for the VF table and controller invariants.
 
-use boreas_core::{
-    ClosedLoopRunner, Controller, GlobalVfController, ThermalController, VfPoint, VfTable,
-};
+use boreas_core::{ClosedLoopRunner, GlobalVfController, ThermalController, VfPoint, VfTable};
 use common::units::GigaHertz;
 use hotgauge::PipelineConfig;
 use proptest::prelude::*;

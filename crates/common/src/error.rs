@@ -42,6 +42,15 @@ pub enum Error {
     Numerical(String),
     /// Serialization or deserialization failed.
     Serde(String),
+    /// A pipeline stage is operating in a degraded mode: its inputs were
+    /// implausible or missing and a fallback (last-known-good value,
+    /// conservative controller, …) took over.
+    Degraded {
+        /// The stage that degraded (e.g. `"sensor"`, `"controller"`).
+        stage: &'static str,
+        /// Human-readable description of what degraded and why.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -55,10 +64,16 @@ impl fmt::Display for Error {
                 what,
                 expected,
                 actual,
-            } => write!(f, "shape mismatch in {what}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "shape mismatch in {what}: expected {expected}, got {actual}"
+            ),
             Error::EmptyDataset(what) => write!(f, "empty dataset: {what}"),
             Error::Numerical(detail) => write!(f, "numerical failure: {detail}"),
             Error::Serde(detail) => write!(f, "serialization failure: {detail}"),
+            Error::Degraded { stage, detail } => {
+                write!(f, "degraded `{stage}`: {detail}")
+            }
         }
     }
 }
@@ -81,6 +96,20 @@ impl Error {
             name: name.into(),
         }
     }
+
+    /// Shorthand constructor for [`Error::Degraded`].
+    pub fn degraded(stage: &'static str, detail: impl Into<String>) -> Self {
+        Error::Degraded {
+            stage,
+            detail: detail.into(),
+        }
+    }
+
+    /// `true` when the error reports degraded (rather than failed)
+    /// operation, i.e. a fallback value or policy is in effect.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Error::Degraded { .. })
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +119,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_concise() {
         let e = Error::invalid_config("grid", "must be at least 2x2");
-        assert_eq!(e.to_string(), "invalid configuration for `grid`: must be at least 2x2");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for `grid`: must be at least 2x2"
+        );
         let e = Error::not_found("workload", "quake");
         assert_eq!(e.to_string(), "workload `quake` not found");
         let e = Error::ShapeMismatch {
@@ -99,6 +131,24 @@ mod tests {
             actual: 19,
         };
         assert!(e.to_string().contains("expected 20, got 19"));
+    }
+
+    #[test]
+    fn degraded_constructor_and_display() {
+        let e = Error::degraded("sensor", "reading dropped at step 12");
+        assert_eq!(
+            e.to_string(),
+            "degraded `sensor`: reading dropped at step 12"
+        );
+        assert!(e.is_degraded());
+        assert!(!Error::EmptyDataset("train").is_degraded());
+        match e {
+            Error::Degraded { stage, detail } => {
+                assert_eq!(stage, "sensor");
+                assert!(detail.contains("step 12"));
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod units;
 
 pub use error::{Error, Result};
 pub use rng::SplitMix64;
-pub use time::{SimTime, STEP_MICROS, STEPS_PER_DECISION};
+pub use time::{SimTime, STEPS_PER_DECISION, STEP_MICROS};

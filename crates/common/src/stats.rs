@@ -46,7 +46,11 @@ pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
 pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
     assert_eq!(pred.len(), target.len(), "mae: length mismatch");
     assert!(!pred.is_empty(), "mae: empty input");
-    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Coefficient of determination (R²). Returns `f64::NEG_INFINITY`-free
@@ -60,7 +64,11 @@ pub fn r2(pred: &[f64], target: &[f64]) -> f64 {
     assert_eq!(pred.len(), target.len(), "r2: length mismatch");
     assert!(!pred.is_empty(), "r2: empty input");
     let m = mean(target);
-    let ss_res: f64 = pred.iter().zip(target).map(|(p, t)| (t - p) * (t - p)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (t - p) * (t - p))
+        .sum();
     let ss_tot: f64 = target.iter().map(|t| (t - m) * (t - m)).sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {

@@ -93,7 +93,7 @@ impl SimTime {
     /// (a multiple of 960 µs).
     #[inline]
     pub const fn is_decision_boundary(self) -> bool {
-        self.0 % DECISION_MICROS == 0
+        self.0.is_multiple_of(DECISION_MICROS)
     }
 }
 

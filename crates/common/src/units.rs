@@ -276,7 +276,10 @@ mod tests {
     #[test]
     fn clamp_and_minmax() {
         let t = Celsius::new(120.0);
-        assert_eq!(t.clamp(Celsius::new(0.0), Celsius::new(115.0)), Celsius::new(115.0));
+        assert_eq!(
+            t.clamp(Celsius::new(0.0), Celsius::new(115.0)),
+            Celsius::new(115.0)
+        );
         assert_eq!(Celsius::new(1.0).max(Celsius::new(2.0)), Celsius::new(2.0));
         assert_eq!(Celsius::new(1.0).min(Celsius::new(2.0)), Celsius::new(1.0));
     }

@@ -1,0 +1,29 @@
+//! Deterministic sensor/telemetry fault injection.
+//!
+//! The paper's controllers assume clean telemetry; this crate asks what
+//! happens when that assumption breaks. A [`FaultPlan`] describes a
+//! seeded, replayable set of faults — stuck-at sensors, dropped or late
+//! readings, additive Gaussian noise, transient spikes, zeroed or
+//! scrambled counter blocks — each with an activation window and a
+//! per-step firing probability. Two injection surfaces apply it:
+//!
+//! * [`FaultInjector`] — corrupts the [`hotgauge::StepRecord`] stream a
+//!   controller observes; plugs into
+//!   [`boreas_core::ClosedLoopRunner::run_filtered`] as a
+//!   [`boreas_core::ObservationFilter`], so reliability accounting stays
+//!   on the *true* records while the controller sees the faulty ones;
+//! * [`FaultySensorBank`] — wraps [`thermal::SensorBank`] for components
+//!   reading the sensor layer directly.
+//!
+//! All randomness derives statelessly from `(seed, fault, step, lane)`
+//! via [`common::rng::SplitMix64`]: a plan replays bit-identically,
+//! sample for sample, which the determinism proptests pin down. The
+//! `fault_campaign` bench binary sweeps fault type × rate to compare a
+//! plain controller against its
+//! [`boreas_core::ResilientController`]-wrapped counterpart.
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::{FaultInjector, FaultySensorBank};
+pub use plan::{Fault, FaultKind, FaultPlan, FaultTarget, StepWindow};

@@ -1,0 +1,405 @@
+//! Declarative, seeded fault plans.
+//!
+//! A [`FaultPlan`] is a list of [`Fault`]s — *what* goes wrong, *where*
+//! (which sensor, or the counter block), *when* (an activation
+//! [`StepWindow`]) and *how often* (a per-step firing probability) —
+//! plus a root seed. Everything stochastic (firing draws, noise samples,
+//! spike amplitudes, which counter fields get scrambled) is derived
+//! **statelessly** from `(seed, fault index, step, lane)` through
+//! [`common::rng::SplitMix64`], so a plan replays bit-identically no
+//! matter how or how many times it is evaluated.
+
+use common::rng::SplitMix64;
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// What a single fault does to the telemetry it targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The sensor latches a constant value (a dead or frozen sensor).
+    StuckAt {
+        /// The reported temperature, °C.
+        value_c: f64,
+    },
+    /// The reading is dropped: the consumer sees NaN for this sample.
+    Dropped,
+    /// The reading arrives late: the value from `steps` samples ago is
+    /// reported instead (on top of the sensor's physical read-out
+    /// delay).
+    Late {
+        /// Extra staleness in 80 µs steps.
+        steps: usize,
+    },
+    /// Additive zero-mean Gaussian noise on the reading.
+    Noise {
+        /// Standard deviation, °C.
+        std_c: f64,
+    },
+    /// A transient spike added to the reading.
+    Spike {
+        /// Peak amplitude, °C; each firing draws uniformly in
+        /// `[-amplitude_c, amplitude_c]`.
+        amplitude_c: f64,
+    },
+    /// The whole interval counter block reads zero (a dropped telemetry
+    /// packet).
+    CounterZero,
+    /// Random counter fields are overwritten with garbage.
+    CounterScramble {
+        /// How many fields get scrambled per firing.
+        fields: usize,
+    },
+}
+
+impl FaultKind {
+    /// `true` when the fault targets the counter block rather than a
+    /// sensor reading.
+    pub fn is_counter_fault(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CounterZero | FaultKind::CounterScramble { .. }
+        )
+    }
+
+    /// Short stable name for reports and campaign tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::StuckAt { .. } => "stuck-at",
+            FaultKind::Dropped => "dropped",
+            FaultKind::Late { .. } => "late",
+            FaultKind::Noise { .. } => "noise",
+            FaultKind::Spike { .. } => "spike",
+            FaultKind::CounterZero => "counter-zero",
+            FaultKind::CounterScramble { .. } => "counter-scramble",
+        }
+    }
+}
+
+/// Which sensor lanes a fault applies to (ignored by counter faults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// Every sensor in the bank.
+    AllSensors,
+    /// One sensor by bank index.
+    Sensor(usize),
+}
+
+impl FaultTarget {
+    /// `true` when the target covers sensor `idx`.
+    pub fn covers(self, idx: usize) -> bool {
+        match self {
+            FaultTarget::AllSensors => true,
+            FaultTarget::Sensor(s) => s == idx,
+        }
+    }
+}
+
+/// Half-open activation window `[start, end)` in 80 µs steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepWindow {
+    /// First step (inclusive) at which the fault may fire.
+    pub start: usize,
+    /// First step (exclusive) after which it no longer fires.
+    pub end: usize,
+}
+
+impl StepWindow {
+    /// Window covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// Window covering the whole run.
+    pub fn always() -> Self {
+        Self {
+            start: 0,
+            end: usize::MAX,
+        }
+    }
+
+    /// `true` when `step` falls inside the window.
+    pub fn contains(self, step: usize) -> bool {
+        (self.start..self.end).contains(&step)
+    }
+}
+
+/// One injected fault: kind, target, window and firing probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Which sensors are hit (counter faults ignore this).
+    pub target: FaultTarget,
+    /// When the fault is armed.
+    pub window: StepWindow,
+    /// Per-step firing probability inside the window (1.0 = every step).
+    pub probability: f64,
+}
+
+impl Fault {
+    /// A fault of `kind` hitting every sensor, armed for the whole run,
+    /// firing every step. Narrow it with the builder methods.
+    pub fn new(kind: FaultKind) -> Self {
+        Self {
+            kind,
+            target: FaultTarget::AllSensors,
+            window: StepWindow::always(),
+            probability: 1.0,
+        }
+    }
+
+    /// Restricts the fault to one sensor.
+    #[must_use]
+    pub fn on_sensor(mut self, idx: usize) -> Self {
+        self.target = FaultTarget::Sensor(idx);
+        self
+    }
+
+    /// Restricts the fault to steps `[start, end)`.
+    #[must_use]
+    pub fn during(mut self, start: usize, end: usize) -> Self {
+        self.window = StepWindow::new(start, end);
+        self
+    }
+
+    /// Sets the per-step firing probability.
+    #[must_use]
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = p;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.probability.is_finite() && (0.0..=1.0).contains(&self.probability)) {
+            return Err(Error::invalid_config(
+                "fault",
+                format!("firing probability {} outside [0, 1]", self.probability),
+            ));
+        }
+        if self.window.start >= self.window.end {
+            return Err(Error::invalid_config(
+                "fault",
+                format!("empty window [{}, {})", self.window.start, self.window.end),
+            ));
+        }
+        let finite_nonneg = |what: &str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(Error::invalid_config(
+                    "fault",
+                    format!("{what} {v} invalid"),
+                ))
+            }
+        };
+        match self.kind {
+            FaultKind::StuckAt { value_c } if !value_c.is_finite() => Err(Error::invalid_config(
+                "fault",
+                format!("stuck-at value {value_c} not finite"),
+            )),
+            FaultKind::Noise { std_c } => finite_nonneg("noise std", std_c),
+            FaultKind::Spike { amplitude_c } => finite_nonneg("spike amplitude", amplitude_c),
+            FaultKind::CounterScramble { fields: 0 } => Err(Error::invalid_config(
+                "fault",
+                "counter scramble must hit at least one field",
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Derivation lanes keeping independent draws out of each other's
+/// streams.
+pub(crate) mod lane {
+    /// Per-step firing draw.
+    pub const FIRE: u64 = 0;
+    /// Per-sensor value corruption (noise, spike).
+    pub const VALUE: u64 = 1;
+    /// Counter-field selection and garbage values.
+    pub const COUNTER: u64 = 2;
+}
+
+/// A seeded set of faults, replayable sample-for-sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given root seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault, builder style.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Adds a fault.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Largest extra staleness any [`FaultKind::Late`] fault requires.
+    pub fn max_late_steps(&self) -> usize {
+        self.faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::Late { steps } => Some(steps),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks every fault's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for out-of-range probabilities,
+    /// empty windows or non-finite fault parameters.
+    pub fn validate(&self) -> Result<()> {
+        self.faults.iter().try_for_each(Fault::validate)
+    }
+
+    /// A fresh generator for `(fault, step, lane)`, independent of every
+    /// other such triple and of evaluation order.
+    pub(crate) fn stream(&self, fault_idx: usize, step: usize, lane: u64) -> SplitMix64 {
+        let mut h = SplitMix64::new(self.seed);
+        let mut absorb = |v: u64| {
+            let mixed = h.next_u64() ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = SplitMix64::new(mixed);
+        };
+        absorb(fault_idx as u64);
+        absorb(step as u64);
+        absorb(lane);
+        h
+    }
+
+    /// `true` when fault `fault_idx` fires at `step` (window and firing
+    /// draw combined). Deterministic in `(seed, fault_idx, step)`.
+    pub fn fires(&self, fault_idx: usize, step: usize) -> bool {
+        let f = &self.faults[fault_idx];
+        if !f.window.contains(step) {
+            return false;
+        }
+        f.probability >= 1.0 || self.stream(fault_idx, step, lane::FIRE).next_f64() < f.probability
+    }
+
+    /// Indices of the faults firing at `step`.
+    pub fn active_at(&self, step: usize) -> Vec<usize> {
+        (0..self.faults.len())
+            .filter(|&i| self.fires(i, step))
+            .collect()
+    }
+
+    /// The full firing schedule over `total_steps` — the per-step active
+    /// fault sets. Two plans with equal seeds and faults produce equal
+    /// schedules; the determinism proptests pin this down.
+    pub fn schedule(&self, total_steps: usize) -> Vec<Vec<usize>> {
+        (0..total_steps).map(|s| self.active_at(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let plan = FaultPlan::new(9)
+            .with(Fault::new(FaultKind::Dropped).on_sensor(2).during(10, 20))
+            .with(Fault::new(FaultKind::Late { steps: 5 }).with_probability(0.5));
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.max_late_steps(), 5);
+        assert_eq!(plan.faults()[0].target, FaultTarget::Sensor(2));
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn windows_gate_firing() {
+        let plan = FaultPlan::new(1).with(Fault::new(FaultKind::Dropped).during(5, 8));
+        assert!(!plan.fires(0, 4));
+        assert!(plan.fires(0, 5));
+        assert!(plan.fires(0, 7));
+        assert!(!plan.fires(0, 8));
+    }
+
+    #[test]
+    fn probability_draws_are_seeded_and_reasonable() {
+        let plan = FaultPlan::new(77).with(Fault::new(FaultKind::Dropped).with_probability(0.3));
+        let again = plan.clone();
+        let fired: Vec<bool> = (0..2000).map(|s| plan.fires(0, s)).collect();
+        let fired2: Vec<bool> = (0..2000).map(|s| again.fires(0, s)).collect();
+        assert_eq!(fired, fired2, "same seed, same schedule");
+        let rate = fired.iter().filter(|&&f| f).count() as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::new(1).with(Fault::new(FaultKind::Dropped).with_probability(0.5));
+        let b = FaultPlan::new(2).with(Fault::new(FaultKind::Dropped).with_probability(0.5));
+        assert_ne!(a.schedule(256), b.schedule(256));
+    }
+
+    #[test]
+    fn schedule_lists_active_faults() {
+        let plan = FaultPlan::new(3)
+            .with(Fault::new(FaultKind::Dropped).during(0, 2))
+            .with(Fault::new(FaultKind::CounterZero).during(1, 3));
+        assert_eq!(plan.schedule(4), vec![vec![0], vec![0, 1], vec![1], vec![]]);
+    }
+
+    #[test]
+    fn invalid_faults_rejected() {
+        let bad = |f: Fault| FaultPlan::new(0).with(f).validate().unwrap_err();
+        bad(Fault::new(FaultKind::Dropped).with_probability(1.5));
+        bad(Fault::new(FaultKind::Dropped).during(7, 7));
+        bad(Fault::new(FaultKind::StuckAt { value_c: f64::NAN }));
+        bad(Fault::new(FaultKind::Noise { std_c: -1.0 }));
+        bad(Fault::new(FaultKind::Spike {
+            amplitude_c: f64::INFINITY,
+        }));
+        bad(Fault::new(FaultKind::CounterScramble { fields: 0 }));
+        FaultPlan::new(0).validate().unwrap(); // empty plan is fine
+    }
+
+    #[test]
+    fn kind_names_and_classes() {
+        assert_eq!(FaultKind::CounterZero.name(), "counter-zero");
+        assert!(FaultKind::CounterZero.is_counter_fault());
+        assert!(!FaultKind::Dropped.is_counter_fault());
+        assert!(FaultTarget::AllSensors.covers(3));
+        assert!(!FaultTarget::Sensor(1).covers(3));
+    }
+}

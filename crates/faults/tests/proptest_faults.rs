@@ -1,0 +1,142 @@
+//! Property tests: fault injection is a pure function of the plan seed.
+
+use boreas_faults::{Fault, FaultInjector, FaultKind, FaultPlan};
+use common::time::SimTime;
+use common::units::{Celsius, GigaHertz, Volts, Watts};
+use hotgauge::{Severity, StepRecord};
+use perfsim::{CounterId, IntervalCounters};
+use proptest::prelude::*;
+
+fn record(temps: &[f64]) -> StepRecord {
+    let mut counters = IntervalCounters::zeroed();
+    counters.set(CounterId::TotalCycles, 200_000.0);
+    counters.set(CounterId::BusyCycles, 150_000.0);
+    StepRecord {
+        time: SimTime::from_steps(1),
+        counters,
+        sensor_temps: temps.iter().map(|&t| Celsius::new(t)).collect(),
+        max_temp: Celsius::new(60.0),
+        max_severity: Severity::new(0.2),
+        max_severity_raw: 0.2,
+        hotspot_xy: (1.0, 1.0),
+        total_power: Watts::new(10.0),
+        frequency: GigaHertz::new(3.75),
+        voltage: Volts::new(0.925),
+    }
+}
+
+fn any_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        (20.0..110.0f64).prop_map(|value_c| FaultKind::StuckAt { value_c }),
+        Just(FaultKind::Dropped),
+        (0usize..16).prop_map(|steps| FaultKind::Late { steps }),
+        (0.1..10.0f64).prop_map(|std_c| FaultKind::Noise { std_c }),
+        (0.5..25.0f64).prop_map(|amplitude_c| FaultKind::Spike { amplitude_c }),
+        Just(FaultKind::CounterZero),
+        (1usize..5).prop_map(|fields| FaultKind::CounterScramble { fields }),
+    ]
+}
+
+fn any_fault() -> impl Strategy<Value = Fault> {
+    (
+        any_kind(),
+        0usize..40,
+        1usize..80,
+        0.0..=1.0f64,
+        prop::option::of(0usize..4),
+    )
+        .prop_map(|(kind, start, len, p, sensor)| {
+            let f = Fault::new(kind)
+                .during(start, start + len)
+                .with_probability(p);
+            match sensor {
+                Some(s) => f.on_sensor(s),
+                None => f,
+            }
+        })
+}
+
+fn any_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), prop::collection::vec(any_fault(), 1..5)).prop_map(|(seed, faults)| {
+        let mut plan = FaultPlan::new(seed);
+        for f in faults {
+            plan.push(f);
+        }
+        plan
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The firing schedule is a pure function of (seed, faults).
+    #[test]
+    fn identical_seeds_identical_schedules(plan in any_plan()) {
+        let replay = plan.clone();
+        prop_assert_eq!(plan.schedule(128), replay.schedule(128));
+    }
+
+    /// Two injectors over the same plan corrupt a record stream
+    /// bit-identically — temperatures and counters.
+    #[test]
+    fn identical_seeds_identical_corruption(plan in any_plan(), base in 40.0..90.0f64) {
+        let mut a = boreas_faults::FaultInjector::new(plan.clone());
+        let mut b = boreas_faults::FaultInjector::new(plan);
+        for step in 0..96usize {
+            let temps = [base, base + 1.0, base + 2.0, base + 3.0];
+            let mut ra = record(&temps);
+            let mut rb = record(&temps);
+            a.corrupt(step, &mut ra);
+            b.corrupt(step, &mut rb);
+            let ta: Vec<u64> = ra.sensor_temps.iter().map(|t| t.value().to_bits()).collect();
+            let tb: Vec<u64> = rb.sensor_temps.iter().map(|t| t.value().to_bits()).collect();
+            prop_assert_eq!(ta, tb, "temps diverged at step {}", step);
+            let ca: Vec<u64> = ra.counters.as_slice().iter().map(|v| v.to_bits()).collect();
+            let cb: Vec<u64> = rb.counters.as_slice().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(ca, cb, "counters diverged at step {}", step);
+        }
+    }
+
+    /// Changing only the seed changes a probabilistic schedule (with
+    /// overwhelming probability over 256 steps).
+    #[test]
+    fn different_seeds_diverge(seed in any::<u64>()) {
+        let mk = |s: u64| FaultPlan::new(s)
+            .with(Fault::new(FaultKind::Dropped).with_probability(0.5));
+        let a = mk(seed);
+        let b = mk(seed.wrapping_add(1));
+        prop_assert_ne!(a.schedule(256), b.schedule(256));
+    }
+
+    /// Injection never touches fields a fault does not target: severity,
+    /// power and frequency are accounting truth and must survive.
+    #[test]
+    fn corruption_preserves_accounting_fields(plan in any_plan()) {
+        let mut inj = FaultInjector::new(plan);
+        for step in 0..32usize {
+            let mut r = record(&[60.0, 61.0, 62.0, 63.0]);
+            inj.corrupt(step, &mut r);
+            prop_assert_eq!(r.max_severity_raw.to_bits(), 0.2f64.to_bits());
+            prop_assert_eq!(r.total_power.value().to_bits(), 10.0f64.to_bits());
+            prop_assert_eq!(r.frequency.value().to_bits(), 3.75f64.to_bits());
+        }
+    }
+
+    /// Sensor faults restricted to one lane never leak into others.
+    #[test]
+    fn targeted_faults_stay_on_their_lane(kind in any_kind(), sensor in 0usize..4) {
+        prop_assume!(!kind.is_counter_fault());
+        let plan = FaultPlan::new(5).with(Fault::new(kind).on_sensor(sensor));
+        let mut inj = FaultInjector::new(plan);
+        for step in 0..16usize {
+            let temps = [50.0, 55.0, 60.0, 65.0];
+            let mut r = record(&temps);
+            inj.corrupt(step, &mut r);
+            for (i, t) in r.sensor_temps.iter().enumerate() {
+                if i != sensor {
+                    prop_assert_eq!(t.value().to_bits(), temps[i].to_bits());
+                }
+            }
+        }
+    }
+}

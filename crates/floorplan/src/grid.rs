@@ -139,7 +139,10 @@ impl Grid {
     /// Panics if the cell is out of range.
     #[inline]
     pub fn flat(&self, cell: CellIndex) -> usize {
-        assert!(cell.ix < self.spec.nx && cell.iy < self.spec.ny, "cell out of range");
+        assert!(
+            cell.ix < self.spec.nx && cell.iy < self.spec.ny,
+            "cell out of range"
+        );
         cell.iy * self.spec.nx + cell.ix
     }
 
@@ -232,7 +235,10 @@ mod tests {
         // L2 (1.9 x 0.7 = 1.33 mm^2) should get about 1.33 / 0.015625 = 85 cells.
         let l2 = g.cells_of(UnitKind::L2).len() as f64;
         let expect = 1.9 * 0.7 / g.cell_area();
-        assert!((l2 - expect).abs() / expect < 0.15, "l2 cells {l2} vs {expect}");
+        assert!(
+            (l2 - expect).abs() / expect < 0.15,
+            "l2 cells {l2} vs {expect}"
+        );
     }
 
     #[test]

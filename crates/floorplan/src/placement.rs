@@ -54,7 +54,7 @@ impl SensorSite {
         let (lx, ly) = at(UnitKind::Lsu);
         let (mx, my) = at(UnitKind::Mul);
         let (fx, fy) = at(UnitKind::Fpu);
-        
+
         let (l2x, l2y) = at(UnitKind::L2);
         let (dx, dy) = at(UnitKind::DCache);
         let (ix, iy) = at(UnitKind::ICache);
@@ -83,7 +83,10 @@ impl SensorSite {
     /// Returns [`Error::InvalidConfig`] if the site lies outside the die.
     pub fn cell(&self, grid: &Grid) -> Result<crate::grid::CellIndex> {
         grid.cell_at(self.x, self.y).ok_or_else(|| {
-            Error::invalid_config("sensor", format!("site {} at ({}, {}) outside die", self.name, self.x, self.y))
+            Error::invalid_config(
+                "sensor",
+                format!("site {} at ({}, {}) outside die", self.name, self.x, self.y),
+            )
         })
     }
 }
@@ -124,7 +127,12 @@ pub struct KmeansResult {
 /// assert_ne!(res.assignment[0], res.assignment[2]);
 /// # Ok::<(), common::Error>(())
 /// ```
-pub fn kmeans(points: &[(f64, f64)], k: usize, max_iters: usize, seed: u64) -> Result<KmeansResult> {
+pub fn kmeans(
+    points: &[(f64, f64)],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> Result<KmeansResult> {
     if points.is_empty() {
         return Err(Error::EmptyDataset("kmeans points"));
     }

@@ -162,7 +162,10 @@ impl Floorplan {
         if !(self.width > 0.0 && self.height > 0.0) {
             return Err(Error::invalid_config(
                 "floorplan",
-                format!("die must have positive area, got {}x{}", self.width, self.height),
+                format!(
+                    "die must have positive area, got {}x{}",
+                    self.width, self.height
+                ),
             ));
         }
         for u in &self.units {
@@ -291,14 +294,23 @@ mod tests {
         let fpu0 = base.unit(UnitKind::Fpu).unwrap().rect.area().value();
         let fpu2 = scaled.unit(UnitKind::Fpu).unwrap().rect.area().value();
         assert!((fpu2 - 2.0 * fpu0).abs() < 1e-9, "{fpu0} -> {fpu2}");
-        assert!(scaled.width() > base.width(), "die grows to host the bigger FPU");
-        assert!(scaled.coverage() < 1.0, "the widened strip outside the EX row is filler");
+        assert!(
+            scaled.width() > base.width(),
+            "die grows to host the bigger FPU"
+        );
+        assert!(
+            scaled.coverage() < 1.0,
+            "the widened strip outside the EX row is filler"
+        );
         // Scale 1.0 reproduces the default plan geometry.
         let identity = Floorplan::skylake_like_scaled_fpu(1.0).unwrap();
         for kind in UnitKind::ALL {
             let a = base.unit(kind).unwrap().rect;
             let b = identity.unit(kind).unwrap().rect;
-            assert!((a.x - b.x).abs() < 1e-12 && (a.w - b.w).abs() < 1e-12, "{kind}");
+            assert!(
+                (a.x - b.x).abs() < 1e-12 && (a.w - b.w).abs() < 1e-12,
+                "{kind}"
+            );
         }
     }
 

@@ -101,7 +101,9 @@ impl GbtModel {
 
     /// Predicts every row of a dataset.
     pub fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict(&data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict(&data.row(i)))
+            .collect()
     }
 
     /// Mean squared error on a dataset.
@@ -125,7 +127,11 @@ impl GbtModel {
             .feature_names
             .iter()
             .cloned()
-            .zip(gains.into_iter().map(|g| if total > 0.0 { g / total } else { 0.0 }))
+            .zip(
+                gains
+                    .into_iter()
+                    .map(|g| if total > 0.0 { g / total } else { 0.0 }),
+            )
             .collect();
         pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gains"));
         pairs
@@ -234,7 +240,9 @@ mod tests {
         let model = GbtModel::train(&d, &GbtParams::default().with_estimators(40)).unwrap();
         let mut last = f64::INFINITY;
         for k in [1, 5, 10, 20, 40] {
-            let preds: Vec<f64> = (0..d.len()).map(|i| model.predict_with(&d.row(i), k)).collect();
+            let preds: Vec<f64> = (0..d.len())
+                .map(|i| model.predict_with(&d.row(i), k))
+                .collect();
             let mse = common::stats::mse(&preds, d.targets());
             assert!(mse <= last + 1e-12, "MSE rose at k={k}: {last} -> {mse}");
             last = mse;

@@ -43,9 +43,14 @@ impl GbtParams {
     ///
     /// Returns [`Error::InvalidConfig`] for out-of-range values.
     pub fn validate(&self) -> Result<()> {
-        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0 && self.learning_rate <= 1.0)
+        if !(self.learning_rate.is_finite()
+            && self.learning_rate > 0.0
+            && self.learning_rate <= 1.0)
         {
-            return Err(Error::invalid_config("gbt", "learning_rate must be in (0, 1]"));
+            return Err(Error::invalid_config(
+                "gbt",
+                "learning_rate must be in (0, 1]",
+            ));
         }
         if !(self.gamma.is_finite() && self.gamma >= 0.0) {
             return Err(Error::invalid_config("gbt", "gamma must be >= 0"));
@@ -60,7 +65,10 @@ impl GbtParams {
             return Err(Error::invalid_config("gbt", "n_estimators must be >= 1"));
         }
         if !(self.min_child_weight.is_finite() && self.min_child_weight >= 0.0) {
-            return Err(Error::invalid_config("gbt", "min_child_weight must be >= 0"));
+            return Err(Error::invalid_config(
+                "gbt",
+                "min_child_weight must be >= 0",
+            ));
         }
         Ok(())
     }
@@ -103,18 +111,29 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(GbtParams::default().with_learning_rate(0.0).validate().is_err());
-        assert!(GbtParams::default().with_learning_rate(1.5).validate().is_err());
+        assert!(GbtParams::default()
+            .with_learning_rate(0.0)
+            .validate()
+            .is_err());
+        assert!(GbtParams::default()
+            .with_learning_rate(1.5)
+            .validate()
+            .is_err());
         assert!(GbtParams::default().with_depth(0).validate().is_err());
         assert!(GbtParams::default().with_estimators(0).validate().is_err());
-        let mut p = GbtParams::default();
-        p.gamma = -1.0;
+        let p = GbtParams {
+            gamma: -1.0,
+            ..GbtParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn builders_chain() {
-        let p = GbtParams::default().with_depth(5).with_estimators(10).with_learning_rate(0.1);
+        let p = GbtParams::default()
+            .with_depth(5)
+            .with_estimators(10)
+            .with_learning_rate(0.1);
         assert_eq!(p.max_depth, 5);
         assert_eq!(p.n_estimators, 10);
         assert_eq!(p.learning_rate, 0.1);

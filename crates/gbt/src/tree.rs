@@ -158,6 +158,8 @@ impl RegressionTree {
             let mut h_left = vec![0.0f64; n_front];
             let mut prev_val = vec![f64::NAN; n_front];
 
+            #[allow(clippy::needless_range_loop)]
+            // `f` indexes both `presorted` and the column store
             for f in 0..data.num_features() {
                 let col = data.column(f);
                 g_left.fill(0.0);
@@ -320,7 +322,11 @@ mod tests {
         // The split must land between 0.49 and 0.50.
         let root = tree.nodes()[0];
         assert!(!root.is_leaf);
-        assert!((root.threshold - 0.495).abs() < 0.006, "threshold {}", root.threshold);
+        assert!(
+            (root.threshold - 0.495).abs() < 0.006,
+            "threshold {}",
+            root.threshold
+        );
         // Leaf weights are -mean(g) = mean(y) on each side.
         assert!((tree.predict(&[0.1]) - 1.0).abs() < 1e-9);
         assert!((tree.predict(&[0.9]) - 3.0).abs() < 1e-9);
@@ -389,7 +395,8 @@ mod tests {
         for i in 0..200 {
             let x = i as f64 / 200.0;
             let noise = ((i * 7919) % 97) as f64;
-            d.push_row(&[x, noise], if x < 0.3 { 0.0 } else { 5.0 }, 0).unwrap();
+            d.push_row(&[x, noise], if x < 0.3 { 0.0 } else { 5.0 }, 0)
+                .unwrap();
         }
         let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
         let params = GbtParams {
@@ -397,7 +404,11 @@ mod tests {
             ..GbtParams::default()
         };
         let tree = RegressionTree::fit(&d, &grad, &presort(&d), &params);
-        assert_eq!(tree.nodes()[0].feature, 0, "must split on the signal feature");
+        assert_eq!(
+            tree.nodes()[0].feature,
+            0,
+            "must split on the signal feature"
+        );
         let mut gains = vec![0.0; 2];
         tree.accumulate_gain(&mut gains);
         assert!(gains[0] > 0.0);

@@ -9,7 +9,8 @@ fn dataset_from(rows: &[(f64, f64, f64)], coef: (f64, f64)) -> Dataset {
     let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
     for (i, &(a, b, c)) in rows.iter().enumerate() {
         let y = coef.0 * a + coef.1 * (b - 50.0).abs();
-        d.push_row(&[a, b, c], y, (i % 4) as u32).expect("valid row");
+        d.push_row(&[a, b, c], y, (i % 4) as u32)
+            .expect("valid row");
     }
     d
 }

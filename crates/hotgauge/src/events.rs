@@ -81,11 +81,15 @@ pub fn detect_events(
                 None => current = Some((i, i, sev, r.hotspot_xy)),
             }
         } else if let Some((start, end, peak, peak_xy)) = current.take() {
-            events.push(finish_event(records, plan, threshold, start, end, peak, peak_xy));
+            events.push(finish_event(
+                records, plan, threshold, start, end, peak, peak_xy,
+            ));
         }
     }
     if let Some((start, end, peak, peak_xy)) = current {
-        events.push(finish_event(records, plan, threshold, start, end, peak, peak_xy));
+        events.push(finish_event(
+            records, plan, threshold, start, end, peak, peak_xy,
+        ));
     }
     events
 }
@@ -149,7 +153,10 @@ pub struct EventSummary {
 pub fn summarize(events: &[HotspotEvent]) -> EventSummary {
     EventSummary {
         count: events.len(),
-        advanced: events.iter().filter(|e| e.class == HotspotClass::Advanced).count(),
+        advanced: events
+            .iter()
+            .filter(|e| e.class == HotspotClass::Advanced)
+            .count(),
         total_steps: events.iter().map(|e| e.steps).sum(),
         longest_steps: events.iter().map(|e| e.steps).max().unwrap_or(0),
     }
@@ -177,7 +184,10 @@ mod tests {
     fn hot_run_produces_events_on_a_hot_unit() {
         let (records, plan) = hot_trace();
         let events = detect_events(&records, &plan, 0.9);
-        assert!(!events.is_empty(), "gromacs at 4.5 GHz must produce hotspots");
+        assert!(
+            !events.is_empty(),
+            "gromacs at 4.5 GHz must produce hotspots"
+        );
         let summary = summarize(&events);
         assert!(summary.total_steps > 0);
         assert!(summary.longest_steps <= records.len());
@@ -212,7 +222,10 @@ mod tests {
             assert!(pair[0].end < pair[1].start);
         }
         // Total steps at/above the threshold matches a direct count.
-        let direct = records.iter().filter(|r| r.max_severity.value() >= 0.95).count();
+        let direct = records
+            .iter()
+            .filter(|r| r.max_severity.value() >= 0.95)
+            .count();
         assert_eq!(summarize(&events).total_steps, direct);
     }
 

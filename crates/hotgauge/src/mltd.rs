@@ -68,7 +68,11 @@ impl MltdMap {
     ///
     /// Panics if `temps` does not match the grid size.
     pub fn compute(&self, temps: &[f64]) -> Vec<f64> {
-        assert_eq!(temps.len(), self.nx * self.ny, "temperature map size mismatch");
+        assert_eq!(
+            temps.len(),
+            self.nx * self.ny,
+            "temperature map size mismatch"
+        );
         let mut out = vec![0.0; temps.len()];
         for iy in 0..self.ny {
             for ix in 0..self.nx {
@@ -138,7 +142,9 @@ mod tests {
     fn mltd_is_nonnegative_and_bounded_by_range() {
         let g = grid();
         let m = MltdMap::new(&g, 0.6);
-        let temps: Vec<f64> = (0..g.spec().cells()).map(|i| 45.0 + (i % 13) as f64).collect();
+        let temps: Vec<f64> = (0..g.spec().cells())
+            .map(|i| 45.0 + (i % 13) as f64)
+            .collect();
         let lo = temps.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for v in m.compute(&temps) {
@@ -164,7 +170,7 @@ mod tests {
     fn stencil_excludes_origin_and_respects_radius() {
         let g = grid();
         let m = MltdMap::new(&g, 0.13); // exactly one cell (0.125 mm)
-        // Stencil must be the 4-neighbourhood.
+                                        // Stencil must be the 4-neighbourhood.
         assert_eq!(m.stencil_size(), 4);
     }
 

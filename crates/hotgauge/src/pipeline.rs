@@ -293,14 +293,18 @@ impl SimRun<'_> {
         let act = self.phases.step();
         let counters = p.core.simulate_step(&self.spec, &act, freq, voltage);
         let intensity = self.spec.heat * act.core;
-        let power_map =
-            p.power
-                .power_map(&counters, intensity, voltage, freq, self.thermal.temperatures());
+        let power_map = p.power.power_map(
+            &counters,
+            intensity,
+            voltage,
+            freq,
+            self.thermal.temperatures(),
+        );
         let total_power = Watts::new(PowerModel::total_power(&power_map));
         self.thermal.step(&power_map, STEP_MICROS as f64)?;
         self.now = self.now.advance_steps(1);
         let now_us = self.now.as_micros() as f64;
-        self.sensors.record(now_us, &self.thermal);
+        self.sensors.record(now_us, &self.thermal)?;
 
         // Severity over the end-of-step field.
         let temps = self.thermal.temperatures();
@@ -380,8 +384,12 @@ mod tests {
     fn severity_increases_with_frequency() {
         let p = quick_pipeline();
         let spec = WorkloadSpec::by_name("gromacs").unwrap();
-        let lo = p.run_fixed(&spec, GigaHertz::new(2.0), Volts::new(0.64), 50).unwrap();
-        let hi = p.run_fixed(&spec, GigaHertz::new(5.0), Volts::new(1.4), 50).unwrap();
+        let lo = p
+            .run_fixed(&spec, GigaHertz::new(2.0), Volts::new(0.64), 50)
+            .unwrap();
+        let hi = p
+            .run_fixed(&spec, GigaHertz::new(5.0), Volts::new(1.4), 50)
+            .unwrap();
         assert!(
             hi.peak_severity.value() > lo.peak_severity.value(),
             "severity must grow with frequency: {} vs {}",
@@ -412,8 +420,12 @@ mod tests {
     fn deterministic_across_identical_runs() {
         let p = quick_pipeline();
         let spec = WorkloadSpec::by_name("bzip2").unwrap();
-        let a = p.run_fixed(&spec, GigaHertz::new(4.0), Volts::new(0.98), 20).unwrap();
-        let b = p.run_fixed(&spec, GigaHertz::new(4.0), Volts::new(0.98), 20).unwrap();
+        let a = p
+            .run_fixed(&spec, GigaHertz::new(4.0), Volts::new(0.98), 20)
+            .unwrap();
+        let b = p
+            .run_fixed(&spec, GigaHertz::new(4.0), Volts::new(0.98), 20)
+            .unwrap();
         assert_eq!(a.peak_severity, b.peak_severity);
         assert_eq!(a.mean_ipc, b.mean_ipc);
     }
@@ -422,7 +434,9 @@ mod tests {
     fn hotspot_location_is_on_die() {
         let p = quick_pipeline();
         let spec = WorkloadSpec::by_name("gromacs").unwrap();
-        let out = p.run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 30).unwrap();
+        let out = p
+            .run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 30)
+            .unwrap();
         for r in &out.records {
             let (x, y) = r.hotspot_xy;
             assert!(x > 0.0 && x < p.floorplan().width());

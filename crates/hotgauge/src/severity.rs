@@ -43,14 +43,23 @@ impl SeverityParams {
         if !(self.t_base.is_finite() && self.t_crit.is_finite()) || self.t_crit <= self.t_base {
             return Err(Error::invalid_config(
                 "severity",
-                format!("need t_crit > t_base, got {} <= {}", self.t_crit, self.t_base),
+                format!(
+                    "need t_crit > t_base, got {} <= {}",
+                    self.t_crit, self.t_base
+                ),
             ));
         }
         if !(self.mltd_weight.is_finite() && self.mltd_weight > 0.0) {
-            return Err(Error::invalid_config("severity", "mltd_weight must be positive"));
+            return Err(Error::invalid_config(
+                "severity",
+                "mltd_weight must be positive",
+            ));
         }
         if !(self.mltd_radius_mm.is_finite() && self.mltd_radius_mm > 0.0) {
-            return Err(Error::invalid_config("severity", "mltd_radius_mm must be positive"));
+            return Err(Error::invalid_config(
+                "severity",
+                "mltd_radius_mm must be positive",
+            ));
         }
         Ok(())
     }
@@ -179,14 +188,20 @@ mod tests {
     #[test]
     fn validation() {
         assert!(SeverityParams::default().validate().is_ok());
-        let mut p = SeverityParams::default();
-        p.t_crit = Celsius::new(40.0);
+        let p = SeverityParams {
+            t_crit: Celsius::new(40.0),
+            ..SeverityParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SeverityParams::default();
-        p.mltd_weight = 0.0;
+        let p = SeverityParams {
+            mltd_weight: 0.0,
+            ..SeverityParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SeverityParams::default();
-        p.mltd_radius_mm = -1.0;
+        let p = SeverityParams {
+            mltd_radius_mm: -1.0,
+            ..SeverityParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

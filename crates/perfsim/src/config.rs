@@ -66,8 +66,14 @@ impl CoreConfig {
             ("mem_latency_ns", self.mem_latency_ns),
             ("l2_latency_cycles", self.l2_latency_cycles),
             ("mlp", self.mlp),
-            ("misprediction_penalty_cycles", self.misprediction_penalty_cycles),
-            ("wrongpath_per_misprediction", self.wrongpath_per_misprediction),
+            (
+                "misprediction_penalty_cycles",
+                self.misprediction_penalty_cycles,
+            ),
+            (
+                "wrongpath_per_misprediction",
+                self.wrongpath_per_misprediction,
+            ),
         ];
         for (name, v) in checks {
             if !(v.is_finite() && v > 0.0) {

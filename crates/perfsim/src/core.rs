@@ -288,7 +288,8 @@ mod tests {
             let mut engine = PhaseEngine::new(spec, 3);
             for _ in 0..50 {
                 let act = engine.step();
-                let c = model.simulate_step(&spec.clone(), &act, GigaHertz::new(4.5), Volts::new(1.15));
+                let c =
+                    model.simulate_step(&spec.clone(), &act, GigaHertz::new(4.5), Volts::new(1.15));
                 assert!(c.is_sane(), "{} produced insane counters", spec.name);
                 assert!(c.ipc() <= model.config().issue_width);
                 assert!(c.get(C::CommittedInstructions) <= c.get(C::FetchedInstructions) + 1e-9);
@@ -390,7 +391,8 @@ mod tests {
         let hmmer = step_for("hmmer", 4.0);
         let mcf_mpki = 1000.0 * (mcf.get(C::DcacheReadMisses) + mcf.get(C::DcacheWriteMisses))
             / mcf.get(C::CommittedInstructions);
-        let hmmer_mpki = 1000.0 * (hmmer.get(C::DcacheReadMisses) + hmmer.get(C::DcacheWriteMisses))
+        let hmmer_mpki = 1000.0
+            * (hmmer.get(C::DcacheReadMisses) + hmmer.get(C::DcacheWriteMisses))
             / hmmer.get(C::CommittedInstructions);
         assert!(mcf_mpki > 20.0 * hmmer_mpki, "{mcf_mpki} vs {hmmer_mpki}");
     }

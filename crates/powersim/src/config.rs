@@ -78,10 +78,16 @@ impl PowerConfig {
             }
         }
         if !(self.uncore_background_w.is_finite() && self.uncore_background_w >= 0.0) {
-            return Err(Error::invalid_config("power", "uncore_background_w must be >= 0"));
+            return Err(Error::invalid_config(
+                "power",
+                "uncore_background_w must be >= 0",
+            ));
         }
         if !self.leakage_t_ref_c.is_finite() {
-            return Err(Error::invalid_config("power", "leakage_t_ref_c must be finite"));
+            return Err(Error::invalid_config(
+                "power",
+                "leakage_t_ref_c must be finite",
+            ));
         }
         Ok(())
     }
@@ -126,14 +132,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_fractions() {
-        let mut c = PowerConfig::default();
-        c.idle_fraction = 1.5;
+        let c = PowerConfig {
+            idle_fraction: 1.5,
+            ..PowerConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PowerConfig::default();
-        c.leakage_fraction = -0.1;
+        let c = PowerConfig {
+            leakage_fraction: -0.1,
+            ..PowerConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PowerConfig::default();
-        c.scale = 0.0;
+        let c = PowerConfig {
+            scale: 0.0,
+            ..PowerConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -51,7 +51,8 @@ impl PowerModel {
         d[UnitKind::Ifu.index()] = c.get(C::IfuDutyCycle);
         d[UnitKind::ICache.index()] = c.get(C::IcacheDutyCycle);
         d[UnitKind::Itlb.index()] = duty(c.get(C::ItlbTotalAccesses), 1.0);
-        d[UnitKind::Bpu.index()] = duty(c.get(C::BtbReadAccesses) + c.get(C::BtbWriteAccesses), 1.0);
+        d[UnitKind::Bpu.index()] =
+            duty(c.get(C::BtbReadAccesses) + c.get(C::BtbWriteAccesses), 1.0);
         d[UnitKind::Decode.index()] = c.get(C::DecodeDutyCycle);
         d[UnitKind::Rename.index()] = c.get(C::RenameDutyCycle);
         d[UnitKind::Rob.index()] = c.get(C::RobDutyCycle);
@@ -101,7 +102,8 @@ impl PowerModel {
             } else {
                 intensity
             };
-            let duty_eff = cfg.idle_fraction + (1.0 - cfg.idle_fraction) * duties[i] * eff_intensity;
+            let duty_eff =
+                cfg.idle_fraction + (1.0 - cfg.idle_fraction) * duties[i] * eff_intensity;
             let dynamic = cfg.scale * peak * duty_eff * vf_scale;
             // The exponent is clamped: beyond ~2 e-folds the device would
             // already be destroyed, and an unbounded exponential makes the
@@ -187,10 +189,25 @@ mod tests {
         let (grid, model) = setup();
         let ambient = vec![45.0; grid.spec().cells()];
         let (c, i) = counters_for("gamess", 4.0, 1.0);
-        let p_lo = PowerModel::total_power(&model.power_map(&c, i, Volts::new(0.8), GigaHertz::new(3.0), &ambient));
-        let p_hi = PowerModel::total_power(&model.power_map(&c, i, Volts::new(1.4), GigaHertz::new(5.0), &ambient));
+        let p_lo = PowerModel::total_power(&model.power_map(
+            &c,
+            i,
+            Volts::new(0.8),
+            GigaHertz::new(3.0),
+            &ambient,
+        ));
+        let p_hi = PowerModel::total_power(&model.power_map(
+            &c,
+            i,
+            Volts::new(1.4),
+            GigaHertz::new(5.0),
+            &ambient,
+        ));
         // (1.4/0.8)^2 * (5/3) = 5.1x on the dynamic part.
-        assert!(p_hi > 3.0 * p_lo, "power should scale strongly: {p_lo} -> {p_hi}");
+        assert!(
+            p_hi > 3.0 * p_lo,
+            "power should scale strongly: {p_lo} -> {p_hi}"
+        );
     }
 
     #[test]
@@ -215,7 +232,10 @@ mod tests {
         let p_cold = model.unit_power(&c, i, Volts::new(1.0), GigaHertz::new(4.0), &cold);
         let p_hot = model.unit_power(&c, i, Volts::new(1.0), GigaHertz::new(4.0), &hot);
         for k in UnitKind::ALL {
-            assert!(p_hot[k.index()] > p_cold[k.index()], "{k} leakage must grow");
+            assert!(
+                p_hot[k.index()] > p_cold[k.index()],
+                "{k} leakage must grow"
+            );
         }
     }
 
@@ -225,7 +245,13 @@ mod tests {
         let ambient = vec![45.0; grid.spec().cells()];
         for name in ["gamess", "gromacs", "mcf", "bzip2"] {
             let (c, i) = counters_for(name, 5.0, 1.4);
-            let p = PowerModel::total_power(&model.power_map(&c, i, Volts::new(1.4), GigaHertz::new(5.0), &ambient));
+            let p = PowerModel::total_power(&model.power_map(
+                &c,
+                i,
+                Volts::new(1.4),
+                GigaHertz::new(5.0),
+                &ambient,
+            ));
             assert!(
                 (5.0..80.0).contains(&p),
                 "{name}: total power {p} W out of plausible range"
@@ -240,7 +266,10 @@ mod tests {
         let (c, i) = counters_for("lbm", 4.0, 0.98);
         let map = model.power_map(&c, i, Volts::new(0.98), GigaHertz::new(4.0), &ambient);
         assert_eq!(map.len(), grid.spec().cells());
-        assert!(map.iter().all(|&p| p > 0.0), "uncore background keeps all cells > 0");
+        assert!(
+            map.iter().all(|&p| p > 0.0),
+            "uncore background keeps all cells > 0"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub fn build_dataset(
     if spec.steps <= spec.horizon {
         return Err(common::Error::invalid_config(
             "dataset",
-            format!("steps ({}) must exceed horizon ({})", spec.steps, spec.horizon),
+            format!(
+                "steps ({}) must exceed horizon ({})",
+                spec.steps, spec.horizon
+            ),
         ));
     }
     let mut data = Dataset::new(features.names());
@@ -105,7 +108,10 @@ mod tests {
             WorkloadSpec::by_name("gcc").unwrap(),
             WorkloadSpec::by_name("bzip2").unwrap(),
         ];
-        let vf = [(GigaHertz::new(4.0), Volts::new(0.98)), (GigaHertz::new(4.5), Volts::new(1.15))];
+        let vf = [
+            (GigaHertz::new(4.0), Volts::new(0.98)),
+            (GigaHertz::new(4.5), Volts::new(1.15)),
+        ];
         let spec = DatasetSpec {
             steps: 40,
             horizon: 12,
@@ -124,12 +130,18 @@ mod tests {
         let features = FeatureSet::full();
         let ws = vec![WorkloadSpec::by_name("gromacs").unwrap()];
         let vf = [(GigaHertz::new(5.0), Volts::new(1.4))];
-        let d = build_dataset(&p, &features, &ws, &vf, &DatasetSpec {
-            steps: 40,
-            horizon: 12,
-            sensor_idx: 3,
-            label_cap: None,
-        })
+        let d = build_dataset(
+            &p,
+            &features,
+            &ws,
+            &vf,
+            &DatasetSpec {
+                steps: 40,
+                horizon: 12,
+                sensor_idx: 3,
+                label_cap: None,
+            },
+        )
         .unwrap();
         for &y in d.targets() {
             assert!((0.0..=1.0).contains(&y));
@@ -144,14 +156,23 @@ mod tests {
         let features = FeatureSet::full();
         let ws = vec![WorkloadSpec::by_name("gromacs").unwrap()];
         let vf = [(GigaHertz::new(5.0), Volts::new(1.4))];
-        let d = build_dataset(&p, &features, &ws, &vf, &DatasetSpec {
-            steps: 60,
-            horizon: 12,
-            sensor_idx: 3,
-            label_cap: Some(1.6),
-        })
+        let d = build_dataset(
+            &p,
+            &features,
+            &ws,
+            &vf,
+            &DatasetSpec {
+                steps: 60,
+                horizon: 12,
+                sensor_idx: 3,
+                label_cap: Some(1.6),
+            },
+        )
         .unwrap();
-        assert!(d.targets().iter().any(|&y| y > 1.0), "raw labels must pass 1.0");
+        assert!(
+            d.targets().iter().any(|&y| y > 1.0),
+            "raw labels must pass 1.0"
+        );
         assert!(d.targets().iter().all(|&y| y <= 1.6 + 1e-12));
     }
 
@@ -161,12 +182,18 @@ mod tests {
         let features = FeatureSet::full();
         let ws = vec![WorkloadSpec::by_name("gcc").unwrap()];
         let vf = [(GigaHertz::new(4.0), Volts::new(0.98))];
-        let err = build_dataset(&p, &features, &ws, &vf, &DatasetSpec {
-            steps: 12,
-            horizon: 12,
-            sensor_idx: 3,
-            label_cap: Some(2.0),
-        });
+        let err = build_dataset(
+            &p,
+            &features,
+            &ws,
+            &vf,
+            &DatasetSpec {
+                steps: 12,
+                horizon: 12,
+                sensor_idx: 3,
+                label_cap: Some(2.0),
+            },
+        );
         assert!(err.is_err());
     }
 
@@ -185,9 +212,7 @@ mod tests {
             label_cap: Some(2.0),
         };
         let d = build_dataset(&p, &features, &ws, &vf, &spec).unwrap();
-        let out = p
-            .run_fixed(&ws[0], vf[0].0, vf[0].1, spec.steps)
-            .unwrap();
+        let out = p.run_fixed(&ws[0], vf[0].0, vf[0].1, spec.steps).unwrap();
         let mut ahead = 0;
         let n = d.len();
         for t in 0..n {

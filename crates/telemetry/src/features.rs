@@ -113,7 +113,11 @@ impl FeatureSet {
     /// The full 78-attribute set: every counter plus the sensor
     /// temperature.
     pub fn full() -> Self {
-        let mut ids: Vec<FeatureId> = CounterId::ALL.iter().copied().map(FeatureId::Counter).collect();
+        let mut ids: Vec<FeatureId> = CounterId::ALL
+            .iter()
+            .copied()
+            .map(FeatureId::Counter)
+            .collect();
         ids.push(FeatureId::SensorTemp);
         Self { ids }
     }
@@ -126,13 +130,19 @@ impl FeatureSet {
     /// [`Error::InvalidConfig`] for duplicates or an empty list.
     pub fn from_names(names: &[&str]) -> Result<Self> {
         if names.is_empty() {
-            return Err(Error::invalid_config("features", "feature set cannot be empty"));
+            return Err(Error::invalid_config(
+                "features",
+                "feature set cannot be empty",
+            ));
         }
         let mut ids = Vec::with_capacity(names.len());
         for &n in names {
             let id = FeatureId::from_name(n).ok_or_else(|| Error::not_found("feature", n))?;
             if ids.contains(&id) {
-                return Err(Error::invalid_config("features", format!("duplicate feature `{n}`")));
+                return Err(Error::invalid_config(
+                    "features",
+                    format!("duplicate feature `{n}`"),
+                ));
             }
             ids.push(id);
         }
@@ -222,7 +232,10 @@ mod tests {
         let f = FeatureSet::full();
         assert_eq!(f.len(), NUM_COUNTERS + 1);
         assert_eq!(f.len(), 78, "the paper's 78 system attributes");
-        assert_eq!(f.names().last().map(String::as_str), Some(TEMPERATURE_FEATURE));
+        assert_eq!(
+            f.names().last().map(String::as_str),
+            Some(TEMPERATURE_FEATURE)
+        );
     }
 
     #[test]
@@ -255,7 +268,12 @@ mod tests {
         ])
         .unwrap();
         let v = vec![1000.0, 1.5, 4.0, 0.98, 80.0];
-        let out = f.rescale_to_vf(&v, GigaHertz::new(4.0), GigaHertz::new(4.25), Volts::new(1.065));
+        let out = f.rescale_to_vf(
+            &v,
+            GigaHertz::new(4.0),
+            GigaHertz::new(4.25),
+            Volts::new(1.065),
+        );
         assert!((out[0] - 1062.5).abs() < 1e-9, "counts scale by 4.25/4.0");
         assert_eq!(out[1], 1.5, "ipc unchanged");
         assert_eq!(out[2], 4.25);

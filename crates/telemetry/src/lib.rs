@@ -15,15 +15,23 @@
 //!   horizon), group = workload, swept over the whole VF table;
 //! * [`split`] — the Table III workload-exclusive train/test construction;
 //! * [`selection`] — the gain-based iterative feature-selection study
-//!   that reduces 78 attributes to the top 20 of Table IV.
+//!   that reduces 78 attributes to the top 20 of Table IV;
+//! * [`quality`] — plausibility checks for sensor readings and counter
+//!   blocks (range, rate-of-change, sanity), the measurement side of the
+//!   fault-tolerant control loop.
 
 pub mod dataset;
 pub mod features;
+pub mod quality;
 pub mod selection;
 pub mod split;
 
 pub use dataset::{build_dataset, DatasetSpec};
-pub use features::{observed_temperature, FeatureId, FeatureSet, DEFAULT_SENSOR_INDEX, MAX_SENSOR_BANK, TEMPERATURE_FEATURE};
+pub use features::{
+    observed_temperature, FeatureId, FeatureSet, DEFAULT_SENSOR_INDEX, MAX_SENSOR_BANK,
+    TEMPERATURE_FEATURE,
+};
 pub use gbt::Dataset;
+pub use quality::{interval_quality, QualityPolicy};
 pub use selection::{select_top_features, selection_curve, SelectionPoint};
 pub use split::{build_test_dataset, build_train_dataset, TrainTest};

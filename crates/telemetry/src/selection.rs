@@ -110,7 +110,8 @@ mod tests {
 
     #[test]
     fn top_features_are_the_informative_ones() {
-        let top2 = select_top_features(&data(), &GbtParams::default().with_estimators(30), 2).unwrap();
+        let top2 =
+            select_top_features(&data(), &GbtParams::default().with_estimators(30), 2).unwrap();
         assert_eq!(top2[0], "f0");
         assert_eq!(top2[1], "f1");
     }
@@ -129,7 +130,11 @@ mod tests {
         let curve = selection_curve(&d, None, &params, &[1, 2, 4]).unwrap();
         assert_eq!(curve.len(), 3);
         // Two features capture essentially all gain.
-        assert!(curve[1].gain_share > 0.99, "gain share {}", curve[1].gain_share);
+        assert!(
+            curve[1].gain_share > 0.99,
+            "gain share {}",
+            curve[1].gain_share
+        );
         // Dropping the junk features costs (almost) nothing.
         assert!(curve[1].train_mse <= curve[2].train_mse * 1.5 + 1e-9);
         // One feature loses the f1 contribution.
@@ -143,6 +148,9 @@ mod tests {
         let curve = selection_curve(&d, Some(&d), &params, &[2]).unwrap();
         assert!(curve[0].eval_mse.is_some());
         let e = curve[0].eval_mse.unwrap();
-        assert!((e - curve[0].train_mse).abs() < 1e-9, "same set -> same mse");
+        assert!(
+            (e - curve[0].train_mse).abs() < 1e-9,
+            "same set -> same mse"
+        );
     }
 }

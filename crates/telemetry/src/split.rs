@@ -32,7 +32,13 @@ pub fn build_train_dataset(
     vf_points: &[(GigaHertz, Volts)],
     spec: &DatasetSpec,
 ) -> Result<Dataset> {
-    build_dataset(pipeline, features, &WorkloadSpec::train_set(), vf_points, spec)
+    build_dataset(
+        pipeline,
+        features,
+        &WorkloadSpec::train_set(),
+        vf_points,
+        spec,
+    )
 }
 
 /// Builds the test dataset (7 unseen workloads of Table III).
@@ -46,7 +52,13 @@ pub fn build_test_dataset(
     vf_points: &[(GigaHertz, Volts)],
     spec: &DatasetSpec,
 ) -> Result<Dataset> {
-    build_dataset(pipeline, features, &WorkloadSpec::test_set(), vf_points, spec)
+    build_dataset(
+        pipeline,
+        features,
+        &WorkloadSpec::test_set(),
+        vf_points,
+        spec,
+    )
 }
 
 /// Builds both sets.
@@ -80,12 +92,8 @@ mod tests {
         let mut cfg = PipelineConfig::paper();
         cfg.grid = GridSpec::new(8, 6).unwrap();
         let p = cfg.build().unwrap();
-        let features = FeatureSet::from_names(&[
-            "temperature_sensor_data",
-            "ipc",
-            "frequency_ghz",
-        ])
-        .unwrap();
+        let features =
+            FeatureSet::from_names(&["temperature_sensor_data", "ipc", "frequency_ghz"]).unwrap();
         let vf = [(GigaHertz::new(4.0), Volts::new(0.98))];
         let spec = DatasetSpec {
             steps: 20,

@@ -91,14 +91,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_values() {
-        let mut c = ThermalConfig::default();
-        c.k_silicon = -1.0;
+        let c = ThermalConfig {
+            k_silicon: -1.0,
+            ..ThermalConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ThermalConfig::default();
-        c.max_dt_us = 0.0;
+        let c = ThermalConfig {
+            max_dt_us: 0.0,
+            ..ThermalConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ThermalConfig::default();
-        c.ambient = Celsius::new(f64::NAN);
+        let c = ThermalConfig {
+            ambient: Celsius::new(f64::NAN),
+            ..ThermalConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -18,6 +18,9 @@ use std::collections::VecDeque;
 pub struct Sensor {
     site: SensorSite,
     flat: usize,
+    /// Number of cells in the grid the sensor was placed on; `record`
+    /// rejects temperature fields of any other length.
+    cells: usize,
     delay_us: f64,
     quant_c: f64,
     /// `(timestamp_us, true_temp_c)` samples, oldest first.
@@ -42,18 +45,31 @@ impl Sensor {
     ///
     /// Returns an error if the site lies outside the grid or the delay or
     /// quantisation is negative/non-finite.
-    pub fn new(site: SensorSite, grid: &Grid, delay_us: f64, quant_c: f64, ambient: Celsius) -> Result<Self> {
+    pub fn new(
+        site: SensorSite,
+        grid: &Grid,
+        delay_us: f64,
+        quant_c: f64,
+        ambient: Celsius,
+    ) -> Result<Self> {
         if !(delay_us.is_finite() && delay_us >= 0.0) {
-            return Err(Error::invalid_config("sensor", format!("delay {delay_us} invalid")));
+            return Err(Error::invalid_config(
+                "sensor",
+                format!("delay {delay_us} invalid"),
+            ));
         }
         if !(quant_c.is_finite() && quant_c >= 0.0) {
-            return Err(Error::invalid_config("sensor", format!("quantisation {quant_c} invalid")));
+            return Err(Error::invalid_config(
+                "sensor",
+                format!("quantisation {quant_c} invalid"),
+            ));
         }
         let cell = site.cell(grid)?;
         let flat = grid.flat(cell);
         Ok(Self {
             site,
             flat,
+            cells: grid.spec().cells(),
             delay_us,
             quant_c,
             history: VecDeque::new(),
@@ -73,7 +89,19 @@ impl Sensor {
 
     /// Records the current true temperature at the sensor's cell.
     /// Call once per simulation step, with monotonically increasing time.
-    pub fn record(&mut self, now_us: f64, die_temps: &[f64]) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `die_temps` does not have
+    /// one entry per grid cell (the field the sensor was placed on).
+    pub fn record(&mut self, now_us: f64, die_temps: &[f64]) -> Result<()> {
+        if die_temps.len() != self.cells {
+            return Err(Error::ShapeMismatch {
+                what: "sensor temperature field",
+                expected: self.cells,
+                actual: die_temps.len(),
+            });
+        }
         self.history.push_back((now_us, die_temps[self.flat]));
         // Drop a front sample only when the *next* sample already
         // satisfies the current cutoff: cutoffs only grow with time, so
@@ -84,6 +112,7 @@ impl Sensor {
         while self.history.len() > 1 && self.history[1].0 <= cutoff + 1e-9 {
             self.history.pop_front();
         }
+        Ok(())
     }
 
     /// Reads the sensor at time `now_us`: the newest recorded sample that
@@ -158,10 +187,16 @@ impl SensorBank {
     }
 
     /// Records the current thermal state into every sensor.
-    pub fn record(&mut self, now_us: f64, thermal: &ThermalGrid) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Sensor::record`] shape errors (cannot happen when the
+    /// bank and the thermal grid were built from the same [`Grid`]).
+    pub fn record(&mut self, now_us: f64, thermal: &ThermalGrid) -> Result<()> {
         for s in &mut self.sensors {
-            s.record(now_us, thermal.temperatures());
+            s.record(now_us, thermal.temperatures())?;
         }
+        Ok(())
     }
 
     /// Reads every sensor at `now_us`.
@@ -173,9 +208,23 @@ impl SensorBank {
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
+    /// Panics if `idx` is out of range; prefer [`SensorBank::try_read_one`]
+    /// when the index is not statically known to be in range.
     pub fn read_one(&self, idx: usize, now_us: f64) -> SensorReading {
         self.sensors[idx].read(now_us)
+    }
+
+    /// Reads one sensor by index, reporting an error for an unknown
+    /// index instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] when `idx` is out of range.
+    pub fn try_read_one(&self, idx: usize, now_us: f64) -> Result<SensorReading> {
+        self.sensors
+            .get(idx)
+            .map(|s| s.read(now_us))
+            .ok_or_else(|| Error::not_found("sensor", idx.to_string()))
     }
 
     /// Resets every sensor's history.
@@ -215,7 +264,7 @@ mod tests {
         for _ in 0..10 {
             thermal.step(&power, 80.0).unwrap();
             now += 80.0;
-            bank.record(now, &thermal);
+            bank.record(now, &thermal).unwrap();
         }
         let r = bank.read_one(3, now);
         let truth = thermal.temperatures()[grid.flat(
@@ -234,7 +283,7 @@ mod tests {
         for _ in 0..50 {
             thermal.step(&power, 80.0).unwrap();
             now += 80.0;
-            bank.record(now, &thermal);
+            bank.record(now, &thermal).unwrap();
         }
         let delayed = bank.read_one(3, now).temperature.value();
         let (_, mut fresh_thermal, mut fresh_bank) = setup(0.0);
@@ -242,7 +291,7 @@ mod tests {
         for _ in 0..50 {
             fresh_thermal.step(&power, 80.0).unwrap();
             t2 += 80.0;
-            fresh_bank.record(t2, &fresh_thermal);
+            fresh_bank.record(t2, &fresh_thermal).unwrap();
         }
         let current = fresh_bank.read_one(3, t2).temperature.value();
         assert!(
@@ -254,7 +303,7 @@ mod tests {
     #[test]
     fn before_first_old_sample_reads_ambient() {
         let (_, thermal, mut bank) = setup(960.0);
-        bank.record(80.0, &thermal);
+        bank.record(80.0, &thermal).unwrap();
         // At t=80 the newest sample is only 0 us old; nothing is 960 us old.
         let r = bank.read_one(0, 80.0);
         assert_eq!(r.temperature, Celsius::AMBIENT);
@@ -273,10 +322,9 @@ mod tests {
         )
         .unwrap();
         let mut temps = vec![45.0; grid.spec().cells()];
-        let flat = grid
-            .flat(SensorSite::paper_seven(&plan)[0].cell(&grid).unwrap());
+        let flat = grid.flat(SensorSite::paper_seven(&plan)[0].cell(&grid).unwrap());
         temps[flat] = 71.37;
-        sensor.record(80.0, &temps);
+        sensor.record(80.0, &temps).unwrap();
         let r = sensor.read(80.0);
         assert_eq!(r.temperature.value(), 71.5);
     }
@@ -305,7 +353,9 @@ mod tests {
         )
         .unwrap();
         for k in 0..10_000 {
-            sensor.record(k as f64 * 80.0, thermal.temperatures());
+            sensor
+                .record(k as f64 * 80.0, thermal.temperatures())
+                .unwrap();
         }
         assert!(
             sensor.history.len() < 16,
@@ -315,9 +365,52 @@ mod tests {
     }
 
     #[test]
+    fn record_rejects_mismatched_field() {
+        let plan = Floorplan::skylake_like();
+        let grid = Grid::rasterize(&plan, GridSpec::default()).unwrap();
+        let mut sensor = Sensor::new(
+            SensorSite::paper_seven(&plan)[0].clone(),
+            &grid,
+            0.0,
+            0.0,
+            Celsius::AMBIENT,
+        )
+        .unwrap();
+        let short = vec![50.0; grid.spec().cells() - 1];
+        let err = sensor.record(80.0, &short).unwrap_err();
+        match err {
+            Error::ShapeMismatch {
+                expected, actual, ..
+            } => {
+                assert_eq!(expected, grid.spec().cells());
+                assert_eq!(actual, grid.spec().cells() - 1);
+            }
+            other => panic!("expected ShapeMismatch, got {other}"),
+        }
+        // A rejected record must not pollute the history.
+        assert_eq!(sensor.read(80.0).temperature, Celsius::AMBIENT);
+    }
+
+    #[test]
+    fn try_read_one_bounds_checked() {
+        let (_, thermal, mut bank) = setup(0.0);
+        bank.record(80.0, &thermal).unwrap();
+        let ok = bank.try_read_one(3, 80.0).unwrap();
+        assert_eq!(ok, bank.read_one(3, 80.0));
+        let err = bank.try_read_one(bank.len(), 80.0).unwrap_err();
+        match err {
+            Error::NotFound { kind, name } => {
+                assert_eq!(kind, "sensor");
+                assert_eq!(name, bank.len().to_string());
+            }
+            other => panic!("expected NotFound, got {other}"),
+        }
+    }
+
+    #[test]
     fn bank_reads_all_sensors() {
         let (_, thermal, mut bank) = setup(0.0);
-        bank.record(80.0, &thermal);
+        bank.record(80.0, &thermal).unwrap();
         let all = bank.read_all(80.0);
         assert_eq!(all.len(), 7);
         assert!(!bank.is_empty());

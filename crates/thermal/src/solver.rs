@@ -226,7 +226,8 @@ mod tests {
     use floorplan::{Floorplan, GridSpec, UnitKind};
 
     fn make(nx: usize, ny: usize) -> (Grid, ThermalGrid) {
-        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(nx, ny).unwrap()).unwrap();
+        let grid =
+            Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(nx, ny).unwrap()).unwrap();
         let tg = ThermalGrid::new(&grid, ThermalConfig::default());
         (grid, tg)
     }
@@ -258,7 +259,10 @@ mod tests {
         for _ in 0..10 {
             tg.step(&zero, 2_000.0).unwrap();
             let now = tg.max_temp().value();
-            assert!(now <= last + 1e-9, "cooling must be monotone: {last} -> {now}");
+            assert!(
+                now <= last + 1e-9,
+                "cooling must be monotone: {last} -> {now}"
+            );
             last = now;
         }
         assert!(last < hot, "die should cool");
@@ -269,9 +273,16 @@ mod tests {
         let (g, mut tg) = make(16, 12);
         let power = vec![0.03; g.spec().cells()];
         tg.step(&power, 20_000.0).unwrap();
-        let min = tg.temperatures().iter().copied().fold(f64::INFINITY, f64::min);
+        let min = tg
+            .temperatures()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let max = tg.max_temp().value();
-        assert!(max - min < 0.01, "uniform power must stay uniform ({min}..{max})");
+        assert!(
+            max - min < 0.01,
+            "uniform power must stay uniform ({min}..{max})"
+        );
     }
 
     #[test]
@@ -285,8 +296,16 @@ mod tests {
         }
         tg.step(&power, 4_000.0).unwrap();
         let max = tg.max_temp().value();
-        let min = tg.temperatures().iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(max - min > 15.0, "hotspot contrast too small: {}", max - min);
+        let min = tg
+            .temperatures()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max - min > 15.0,
+            "hotspot contrast too small: {}",
+            max - min
+        );
         // The hottest cell must be inside (or adjacent to) the FPU.
         let (imax, _) = tg
             .temperatures()
@@ -327,7 +346,8 @@ mod tests {
 
     #[test]
     fn steady_state_energy_balance() {
-        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(8, 6).unwrap()).unwrap();
+        let grid =
+            Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(8, 6).unwrap()).unwrap();
         let mut tg = ThermalGrid::new(&grid, fast_package());
         let total_w = 12.0;
         let power = vec![total_w / grid.spec().cells() as f64; grid.spec().cells()];
@@ -341,12 +361,15 @@ mod tests {
 
     #[test]
     fn steady_temp_increases_with_power() {
-        let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(8, 6).unwrap()).unwrap();
+        let grid =
+            Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(8, 6).unwrap()).unwrap();
         let mut a = ThermalGrid::new(&grid, fast_package());
         let mut b = ThermalGrid::new(&grid, fast_package());
         let n = grid.spec().cells() as f64;
-        a.run_to_steady(&vec![5.0 / n; grid.spec().cells()], 1e-7, 2_000.0).unwrap();
-        b.run_to_steady(&vec![10.0 / n; grid.spec().cells()], 1e-7, 2_000.0).unwrap();
+        a.run_to_steady(&vec![5.0 / n; grid.spec().cells()], 1e-7, 2_000.0)
+            .unwrap();
+        b.run_to_steady(&vec![10.0 / n; grid.spec().cells()], 1e-7, 2_000.0)
+            .unwrap();
         assert!(b.avg_temp().value() > a.avg_temp().value() + 1.0);
     }
 
@@ -392,8 +415,16 @@ mod tests {
         let (g1, mut a) = make(16, 12);
         let (g2, mut b) = make(32, 24);
         let total = 15.0;
-        a.step(&vec![total / g1.spec().cells() as f64; g1.spec().cells()], 10_000.0).unwrap();
-        b.step(&vec![total / g2.spec().cells() as f64; g2.spec().cells()], 10_000.0).unwrap();
+        a.step(
+            &vec![total / g1.spec().cells() as f64; g1.spec().cells()],
+            10_000.0,
+        )
+        .unwrap();
+        b.step(
+            &vec![total / g2.spec().cells() as f64; g2.spec().cells()],
+            10_000.0,
+        )
+        .unwrap();
         let d = (a.avg_temp().value() - b.avg_temp().value()).abs();
         assert!(d < 1.0, "grid dependence too strong: {d}");
     }

@@ -134,7 +134,12 @@ impl PhaseEngine {
         // exactly over the step window so sub-step bursts contribute their
         // true energy instead of aliasing against the 80 µs sampling.
         let s0 = self.now_us + self.spike_offset_us;
-        let frac = burst_overlap_fraction(s0, STEP_MICROS as f64, self.spike_period_us, self.spike_duty);
+        let frac = burst_overlap_fraction(
+            s0,
+            STEP_MICROS as f64,
+            self.spike_period_us,
+            self.spike_duty,
+        );
         let burst = self.burst_lo + (self.burst_hi - self.burst_lo) * frac;
 
         // Multiplicative Gaussian jitter, clamped to stay positive.

@@ -43,7 +43,10 @@ impl InstructionMix {
     /// Panics if any fraction is negative or all are zero.
     pub fn new(int_alu: f64, int_mul: f64, fp: f64, load: f64, store: f64, branch: f64) -> Self {
         let parts = [int_alu, int_mul, fp, load, store, branch];
-        assert!(parts.iter().all(|&p| p >= 0.0), "mix fractions must be non-negative");
+        assert!(
+            parts.iter().all(|&p| p >= 0.0),
+            "mix fractions must be non-negative"
+        );
         let total: f64 = parts.iter().sum();
         assert!(total > 0.0, "mix cannot be all zero");
         Self {
@@ -124,7 +127,11 @@ pub struct WorkloadSpec {
 
 impl fmt::Display for WorkloadSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({:?}, rank {})", self.name, self.set, self.severity_rank)
+        write!(
+            f,
+            "{} ({:?}, rank {})",
+            self.name, self.set, self.severity_rank
+        )
     }
 }
 
@@ -220,141 +227,357 @@ macro_rules! workload {
 /// the paper's "every fourth workload" split.
 fn build_suite() -> Vec<WorkloadSpec> {
     vec![
-        workload!("cactusADM", Test, FpCompute, rank = 4, heat = 1.201,
-            spike = (0.15, 400.0, 0.5), phase = (3000.0, 0.15),
-            ipc = 1.1, mem = 0.45,
+        workload!(
+            "cactusADM",
+            Test,
+            FpCompute,
+            rank = 4,
+            heat = 1.201,
+            spike = (0.15, 400.0, 0.5),
+            phase = (3000.0, 0.15),
+            ipc = 1.1,
+            mem = 0.45,
             mix = (0.18, 0.02, 0.42, 0.24, 0.08, 0.06),
-            mpki = (0.2, 12.0, 4.5, 0.01, 1.2, 1.0)),
-        workload!("sjeng", Train, IntCompute, rank = 21, heat = 2.4034,
-            spike = (0.08, 600.0, 0.5), phase = (2500.0, 0.10),
-            ipc = 1.3, mem = 0.15,
+            mpki = (0.2, 12.0, 4.5, 0.01, 1.2, 1.0)
+        ),
+        workload!(
+            "sjeng",
+            Train,
+            IntCompute,
+            rank = 21,
+            heat = 2.4034,
+            spike = (0.08, 600.0, 0.5),
+            phase = (2500.0, 0.10),
+            ipc = 1.3,
+            mem = 0.15,
             mix = (0.42, 0.02, 0.01, 0.24, 0.10, 0.21),
-            mpki = (0.5, 2.5, 0.4, 0.05, 0.6, 9.0)),
-        workload!("gobmk", Train, IntCompute, rank = 5, heat = 1.6984,
-            spike = (0.12, 500.0, 0.45), phase = (2000.0, 0.20),
-            ipc = 1.2, mem = 0.2,
+            mpki = (0.5, 2.5, 0.4, 0.05, 0.6, 9.0)
+        ),
+        workload!(
+            "gobmk",
+            Train,
+            IntCompute,
+            rank = 5,
+            heat = 1.6984,
+            spike = (0.12, 500.0, 0.45),
+            phase = (2000.0, 0.20),
+            ipc = 1.2,
+            mem = 0.2,
             mix = (0.40, 0.02, 0.02, 0.26, 0.11, 0.19),
-            mpki = (2.2, 3.0, 0.6, 0.2, 0.9, 10.5)),
-        workload!("tonto", Train, FpCompute, rank = 6, heat = 0.8583,
-            spike = (0.2, 350.0, 0.45), phase = (2200.0, 0.25),
-            ipc = 1.6, mem = 0.2,
+            mpki = (2.2, 3.0, 0.6, 0.2, 0.9, 10.5)
+        ),
+        workload!(
+            "tonto",
+            Train,
+            FpCompute,
+            rank = 6,
+            heat = 0.8583,
+            spike = (0.2, 350.0, 0.45),
+            phase = (2200.0, 0.25),
+            ipc = 1.6,
+            mem = 0.2,
             mix = (0.20, 0.03, 0.38, 0.24, 0.09, 0.06),
-            mpki = (1.1, 3.2, 0.7, 0.08, 0.7, 2.4)),
-        workload!("omnetpp", Test, MemoryBound, rank = 0, heat = 1.894,
-            spike = (0.25, 300.0, 0.4), phase = (1800.0, 0.30),
-            ipc = 0.7, mem = 0.7,
+            mpki = (1.1, 3.2, 0.7, 0.08, 0.7, 2.4)
+        ),
+        workload!(
+            "omnetpp",
+            Test,
+            MemoryBound,
+            rank = 0,
+            heat = 1.894,
+            spike = (0.25, 300.0, 0.4),
+            phase = (1800.0, 0.30),
+            ipc = 0.7,
+            mem = 0.7,
             mix = (0.33, 0.01, 0.03, 0.30, 0.13, 0.20),
-            mpki = (1.0, 22.0, 9.0, 0.3, 4.5, 6.0)),
-        workload!("namd", Train, FpCompute, rank = 10, heat = 0.8407,
-            spike = (0.15, 450.0, 0.55), phase = (2600.0, 0.12),
-            ipc = 1.9, mem = 0.12,
+            mpki = (1.0, 22.0, 9.0, 0.3, 4.5, 6.0)
+        ),
+        workload!(
+            "namd",
+            Train,
+            FpCompute,
+            rank = 10,
+            heat = 0.8407,
+            spike = (0.15, 450.0, 0.55),
+            phase = (2600.0, 0.12),
+            ipc = 1.9,
+            mem = 0.12,
             mix = (0.16, 0.02, 0.48, 0.22, 0.07, 0.05),
-            mpki = (0.1, 1.8, 0.3, 0.01, 0.3, 1.1)),
-        workload!("perlbench", Train, IntCompute, rank = 13, heat = 1.4893,
-            spike = (0.2, 380.0, 0.4), phase = (1500.0, 0.28),
-            ipc = 1.7, mem = 0.25,
+            mpki = (0.1, 1.8, 0.3, 0.01, 0.3, 1.1)
+        ),
+        workload!(
+            "perlbench",
+            Train,
+            IntCompute,
+            rank = 13,
+            heat = 1.4893,
+            spike = (0.2, 380.0, 0.4),
+            phase = (1500.0, 0.28),
+            ipc = 1.7,
+            mem = 0.25,
             mix = (0.37, 0.02, 0.01, 0.27, 0.13, 0.20),
-            mpki = (3.0, 4.5, 0.8, 0.5, 1.5, 5.5)),
-        workload!("astar", Train, MemoryBound, rank = 3, heat = 1.9878,
-            spike = (0.22, 320.0, 0.45), phase = (1700.0, 0.30),
-            ipc = 0.9, mem = 0.6,
+            mpki = (3.0, 4.5, 0.8, 0.5, 1.5, 5.5)
+        ),
+        workload!(
+            "astar",
+            Train,
+            MemoryBound,
+            rank = 3,
+            heat = 1.9878,
+            spike = (0.22, 320.0, 0.45),
+            phase = (1700.0, 0.30),
+            ipc = 0.9,
+            mem = 0.6,
             mix = (0.36, 0.01, 0.02, 0.31, 0.10, 0.20),
-            mpki = (0.3, 15.0, 5.0, 0.1, 2.8, 8.0)),
-        workload!("GemsFDTD", Test, FpCompute, rank = 8, heat = 1.5553,
-            spike = (0.3, 280.0, 0.4), phase = (2100.0, 0.25),
-            ipc = 1.0, mem = 0.55,
+            mpki = (0.3, 15.0, 5.0, 0.1, 2.8, 8.0)
+        ),
+        workload!(
+            "GemsFDTD",
+            Test,
+            FpCompute,
+            rank = 8,
+            heat = 1.5553,
+            spike = (0.3, 280.0, 0.4),
+            phase = (2100.0, 0.25),
+            ipc = 1.0,
+            mem = 0.55,
             mix = (0.15, 0.02, 0.45, 0.26, 0.08, 0.04),
-            mpki = (0.4, 18.0, 7.5, 0.05, 2.2, 0.9)),
-        workload!("gcc", Train, IntCompute, rank = 17, heat = 1.9958,
-            spike = (0.35, 250.0, 0.35), phase = (1200.0, 0.40),
-            ipc = 1.4, mem = 0.35,
+            mpki = (0.4, 18.0, 7.5, 0.05, 2.2, 0.9)
+        ),
+        workload!(
+            "gcc",
+            Train,
+            IntCompute,
+            rank = 17,
+            heat = 1.9958,
+            spike = (0.35, 250.0, 0.35),
+            phase = (1200.0, 0.40),
+            ipc = 1.4,
+            mem = 0.35,
             mix = (0.38, 0.02, 0.01, 0.27, 0.14, 0.18),
-            mpki = (4.5, 8.0, 2.2, 0.8, 2.0, 6.5)),
-        workload!("sphinx3", Train, FpCompute, rank = 15, heat = 1.5408,
-            spike = (0.25, 300.0, 0.45), phase = (1600.0, 0.30),
-            ipc = 1.5, mem = 0.4,
+            mpki = (4.5, 8.0, 2.2, 0.8, 2.0, 6.5)
+        ),
+        workload!(
+            "sphinx3",
+            Train,
+            FpCompute,
+            rank = 15,
+            heat = 1.5408,
+            spike = (0.25, 300.0, 0.45),
+            phase = (1600.0, 0.30),
+            ipc = 1.5,
+            mem = 0.4,
             mix = (0.22, 0.02, 0.35, 0.27, 0.06, 0.08),
-            mpki = (0.6, 9.5, 3.0, 0.05, 1.0, 3.5)),
-        workload!("mcf", Train, MemoryBound, rank = 1, heat = 3.2133,
-            spike = (0.2, 340.0, 0.5), phase = (2400.0, 0.20),
-            ipc = 0.35, mem = 0.9,
+            mpki = (0.6, 9.5, 3.0, 0.05, 1.0, 3.5)
+        ),
+        workload!(
+            "mcf",
+            Train,
+            MemoryBound,
+            rank = 1,
+            heat = 3.2133,
+            spike = (0.2, 340.0, 0.5),
+            phase = (2400.0, 0.20),
+            ipc = 0.35,
+            mem = 0.9,
             mix = (0.34, 0.01, 0.01, 0.34, 0.11, 0.19),
-            mpki = (0.1, 55.0, 28.0, 0.05, 9.0, 9.5)),
-        workload!("h264ref", Test, IntCompute, rank = 16, heat = 1.5701,
-            spike = (0.3, 260.0, 0.5), phase = (1400.0, 0.30),
-            ipc = 1.9, mem = 0.18,
+            mpki = (0.1, 55.0, 28.0, 0.05, 9.0, 9.5)
+        ),
+        workload!(
+            "h264ref",
+            Test,
+            IntCompute,
+            rank = 16,
+            heat = 1.5701,
+            spike = (0.3, 260.0, 0.5),
+            phase = (1400.0, 0.30),
+            ipc = 1.9,
+            mem = 0.18,
             mix = (0.40, 0.05, 0.06, 0.28, 0.12, 0.09),
-            mpki = (1.2, 3.8, 0.6, 0.1, 1.1, 2.8)),
-        workload!("wrf", Train, FpCompute, rank = 18, heat = 1.3717,
-            spike = (0.28, 290.0, 0.45), phase = (1900.0, 0.28),
-            ipc = 1.4, mem = 0.35,
+            mpki = (1.2, 3.8, 0.6, 0.1, 1.1, 2.8)
+        ),
+        workload!(
+            "wrf",
+            Train,
+            FpCompute,
+            rank = 18,
+            heat = 1.3717,
+            spike = (0.28, 290.0, 0.45),
+            phase = (1900.0, 0.28),
+            ipc = 1.4,
+            mem = 0.35,
             mix = (0.18, 0.02, 0.44, 0.24, 0.07, 0.05),
-            mpki = (1.8, 7.0, 2.4, 0.15, 1.3, 2.0)),
-        workload!("bwaves", Train, FpCompute, rank = 14, heat = 1.3372,
-            spike = (0.25, 310.0, 0.5), phase = (2000.0, 0.22),
-            ipc = 1.2, mem = 0.5,
+            mpki = (1.8, 7.0, 2.4, 0.15, 1.3, 2.0)
+        ),
+        workload!(
+            "bwaves",
+            Train,
+            FpCompute,
+            rank = 14,
+            heat = 1.3372,
+            spike = (0.25, 310.0, 0.5),
+            phase = (2000.0, 0.22),
+            ipc = 1.2,
+            mem = 0.5,
             mix = (0.14, 0.02, 0.48, 0.25, 0.07, 0.04),
-            mpki = (0.1, 14.0, 6.0, 0.02, 1.6, 0.7)),
-        workload!("soplex", Train, MemoryBound, rank = 7, heat = 2.0482,
-            spike = (0.3, 270.0, 0.4), phase = (1500.0, 0.35),
-            ipc = 0.8, mem = 0.65,
+            mpki = (0.1, 14.0, 6.0, 0.02, 1.6, 0.7)
+        ),
+        workload!(
+            "soplex",
+            Train,
+            MemoryBound,
+            rank = 7,
+            heat = 2.0482,
+            spike = (0.3, 270.0, 0.4),
+            phase = (1500.0, 0.35),
+            ipc = 0.8,
+            mem = 0.65,
             mix = (0.25, 0.02, 0.25, 0.29, 0.08, 0.11),
-            mpki = (0.5, 20.0, 8.5, 0.1, 3.2, 4.2)),
-        workload!("bzip2", Test, IntCompute, rank = 12, heat = 1.5497,
-            spike = (0.45, 220.0, 0.45), phase = (1100.0, 0.45),
-            ipc = 1.6, mem = 0.3,
+            mpki = (0.5, 20.0, 8.5, 0.1, 3.2, 4.2)
+        ),
+        workload!(
+            "bzip2",
+            Test,
+            IntCompute,
+            rank = 12,
+            heat = 1.5497,
+            spike = (0.45, 220.0, 0.45),
+            phase = (1100.0, 0.45),
+            ipc = 1.6,
+            mem = 0.3,
             mix = (0.43, 0.02, 0.01, 0.27, 0.13, 0.14),
-            mpki = (0.2, 6.5, 1.8, 0.02, 1.4, 7.5)),
-        workload!("calculix", Train, FpCompute, rank = 23, heat = 1.0659,
-            spike = (0.3, 250.0, 0.5), phase = (1800.0, 0.25),
-            ipc = 1.8, mem = 0.15,
+            mpki = (0.2, 6.5, 1.8, 0.02, 1.4, 7.5)
+        ),
+        workload!(
+            "calculix",
+            Train,
+            FpCompute,
+            rank = 23,
+            heat = 1.0659,
+            spike = (0.3, 250.0, 0.5),
+            phase = (1800.0, 0.25),
+            ipc = 1.8,
+            mem = 0.15,
             mix = (0.17, 0.03, 0.47, 0.22, 0.07, 0.04),
-            mpki = (0.4, 2.6, 0.5, 0.03, 0.5, 1.5)),
-        workload!("libquantum", Train, MemoryBound, rank = 2, heat = 2.2166,
-            spike = (0.7, 140.0, 0.35), phase = (900.0, 0.40),
-            ipc = 0.6, mem = 0.75,
+            mpki = (0.4, 2.6, 0.5, 0.03, 0.5, 1.5)
+        ),
+        workload!(
+            "libquantum",
+            Train,
+            MemoryBound,
+            rank = 2,
+            heat = 2.2166,
+            spike = (0.7, 140.0, 0.35),
+            phase = (900.0, 0.40),
+            ipc = 0.6,
+            mem = 0.75,
             mix = (0.37, 0.01, 0.02, 0.29, 0.14, 0.17),
-            mpki = (0.05, 32.0, 16.0, 0.01, 0.4, 1.2)),
-        workload!("leslie3d", Train, FpCompute, rank = 19, heat = 1.4712,
-            spike = (0.3, 260.0, 0.5), phase = (1700.0, 0.28),
-            ipc = 1.3, mem = 0.45,
+            mpki = (0.05, 32.0, 16.0, 0.01, 0.4, 1.2)
+        ),
+        workload!(
+            "leslie3d",
+            Train,
+            FpCompute,
+            rank = 19,
+            heat = 1.4712,
+            spike = (0.3, 260.0, 0.5),
+            phase = (1700.0, 0.28),
+            ipc = 1.3,
+            mem = 0.45,
             mix = (0.15, 0.02, 0.47, 0.25, 0.07, 0.04),
-            mpki = (0.2, 12.5, 5.2, 0.02, 1.5, 0.8)),
-        workload!("hmmer", Test, IntCompute, rank = 20, heat = 1.4106,
-            spike = (0.1, 700.0, 0.6), phase = (3200.0, 0.08),
-            ipc = 2.2, mem = 0.08,
+            mpki = (0.2, 12.5, 5.2, 0.02, 1.5, 0.8)
+        ),
+        workload!(
+            "hmmer",
+            Test,
+            IntCompute,
+            rank = 20,
+            heat = 1.4106,
+            spike = (0.1, 700.0, 0.6),
+            phase = (3200.0, 0.08),
+            ipc = 2.2,
+            mem = 0.08,
             mix = (0.46, 0.03, 0.02, 0.29, 0.12, 0.08),
-            mpki = (0.05, 1.2, 0.2, 0.01, 0.2, 1.0)),
-        workload!("milc", Train, FpCompute, rank = 11, heat = 1.4862,
-            spike = (0.35, 230.0, 0.45), phase = (1300.0, 0.32),
-            ipc = 1.0, mem = 0.55,
+            mpki = (0.05, 1.2, 0.2, 0.01, 0.2, 1.0)
+        ),
+        workload!(
+            "milc",
+            Train,
+            FpCompute,
+            rank = 11,
+            heat = 1.4862,
+            spike = (0.35, 230.0, 0.45),
+            phase = (1300.0, 0.32),
+            ipc = 1.0,
+            mem = 0.55,
             mix = (0.14, 0.02, 0.49, 0.25, 0.07, 0.03),
-            mpki = (0.1, 17.0, 8.0, 0.02, 2.5, 0.6)),
-        workload!("zeusmp", Train, FpCompute, rank = 22, heat = 1.2565,
-            spike = (0.3, 240.0, 0.5), phase = (1600.0, 0.25),
-            ipc = 1.5, mem = 0.3,
+            mpki = (0.1, 17.0, 8.0, 0.02, 2.5, 0.6)
+        ),
+        workload!(
+            "zeusmp",
+            Train,
+            FpCompute,
+            rank = 22,
+            heat = 1.2565,
+            spike = (0.3, 240.0, 0.5),
+            phase = (1600.0, 0.25),
+            ipc = 1.5,
+            mem = 0.3,
             mix = (0.16, 0.02, 0.46, 0.24, 0.08, 0.04),
-            mpki = (0.3, 7.8, 2.8, 0.05, 1.2, 1.4)),
-        workload!("povray", Train, FpCompute, rank = 25, heat = 1.3874,
-            spike = (0.3, 210.0, 0.5), phase = (1200.0, 0.30),
-            ipc = 1.9, mem = 0.05,
+            mpki = (0.3, 7.8, 2.8, 0.05, 1.2, 1.4)
+        ),
+        workload!(
+            "povray",
+            Train,
+            FpCompute,
+            rank = 25,
+            heat = 1.3874,
+            spike = (0.3, 210.0, 0.5),
+            phase = (1200.0, 0.30),
+            ipc = 1.9,
+            mem = 0.05,
             mix = (0.24, 0.03, 0.38, 0.22, 0.06, 0.07),
-            mpki = (1.0, 1.5, 0.1, 0.1, 0.4, 3.8)),
-        workload!("gamess", Test, FpCompute, rank = 24, heat = 1.0423,
-            spike = (0.12, 800.0, 0.6), phase = (3500.0, 0.10),
-            ipc = 2.0, mem = 0.06,
+            mpki = (1.0, 1.5, 0.1, 0.1, 0.4, 3.8)
+        ),
+        workload!(
+            "gamess",
+            Test,
+            FpCompute,
+            rank = 24,
+            heat = 1.0423,
+            spike = (0.12, 800.0, 0.6),
+            phase = (3500.0, 0.10),
+            ipc = 2.0,
+            mem = 0.06,
             mix = (0.19, 0.03, 0.45, 0.22, 0.06, 0.05),
-            mpki = (0.8, 1.0, 0.1, 0.05, 0.3, 1.6)),
-        workload!("lbm", Train, MemoryBound, rank = 9, heat = 2.668,
-            spike = (0.5, 180.0, 0.4), phase = (1000.0, 0.35),
-            ipc = 0.55, mem = 0.8,
+            mpki = (0.8, 1.0, 0.1, 0.05, 0.3, 1.6)
+        ),
+        workload!(
+            "lbm",
+            Train,
+            MemoryBound,
+            rank = 9,
+            heat = 2.668,
+            spike = (0.5, 180.0, 0.4),
+            phase = (1000.0, 0.35),
+            ipc = 0.55,
+            mem = 0.8,
             mix = (0.13, 0.01, 0.42, 0.28, 0.13, 0.03),
-            mpki = (0.02, 38.0, 21.0, 0.01, 3.5, 0.4)),
-        workload!("gromacs", Train, FpCompute, rank = 26, heat = 1.3663,
-            spike = (0.9, 120.0, 0.3), phase = (800.0, 0.45),
-            ipc = 1.5, mem = 0.2,
+            mpki = (0.02, 38.0, 21.0, 0.01, 3.5, 0.4)
+        ),
+        workload!(
+            "gromacs",
+            Train,
+            FpCompute,
+            rank = 26,
+            heat = 1.3663,
+            spike = (0.9, 120.0, 0.3),
+            phase = (800.0, 0.45),
+            ipc = 1.5,
+            mem = 0.2,
             mix = (0.20, 0.03, 0.44, 0.22, 0.07, 0.04),
-            mpki = (0.5, 4.2, 0.9, 0.05, 0.8, 2.2)),
+            mpki = (0.5, 4.2, 0.9, 0.05, 0.8, 2.2)
+        ),
     ]
 }
 
@@ -382,18 +605,49 @@ mod tests {
 
     #[test]
     fn split_matches_table_iii() {
-        let train: Vec<_> = WorkloadSpec::train_set().iter().map(|w| w.name.clone()).collect();
-        let test: Vec<_> = WorkloadSpec::test_set().iter().map(|w| w.name.clone()).collect();
+        let train: Vec<_> = WorkloadSpec::train_set()
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
+        let test: Vec<_> = WorkloadSpec::test_set()
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
         assert_eq!(train.len(), 20);
         assert_eq!(test.len(), 7);
         for name in [
-            "milc", "bwaves", "soplex", "gobmk", "sjeng", "leslie3d", "gcc", "calculix",
-            "perlbench", "astar", "tonto", "zeusmp", "wrf", "lbm", "mcf", "sphinx3", "povray",
-            "libquantum", "namd", "gromacs",
+            "milc",
+            "bwaves",
+            "soplex",
+            "gobmk",
+            "sjeng",
+            "leslie3d",
+            "gcc",
+            "calculix",
+            "perlbench",
+            "astar",
+            "tonto",
+            "zeusmp",
+            "wrf",
+            "lbm",
+            "mcf",
+            "sphinx3",
+            "povray",
+            "libquantum",
+            "namd",
+            "gromacs",
         ] {
             assert!(train.iter().any(|n| n == name), "train missing {name}");
         }
-        for name in ["cactusADM", "omnetpp", "GemsFDTD", "h264ref", "bzip2", "hmmer", "gamess"] {
+        for name in [
+            "cactusADM",
+            "omnetpp",
+            "GemsFDTD",
+            "h264ref",
+            "bzip2",
+            "hmmer",
+            "gamess",
+        ] {
             assert!(test.iter().any(|n| n == name), "test missing {name}");
         }
     }
@@ -418,14 +672,22 @@ mod tests {
         // severity is monotone in rank (verified by the Fig. 2 sweep in
         // the bench harness); it need not itself be monotone.
         for w in ALL_WORKLOADS.iter() {
-            assert!(w.heat.is_finite() && w.heat > 0.0, "{} heat invalid", w.name);
+            assert!(
+                w.heat.is_finite() && w.heat > 0.0,
+                "{} heat invalid",
+                w.name
+            );
         }
     }
 
     #[test]
     fn mixes_are_normalised() {
         for w in ALL_WORKLOADS.iter() {
-            assert!((w.mix.total() - 1.0).abs() < 1e-9, "{} mix not normalised", w.name);
+            assert!(
+                (w.mix.total() - 1.0).abs() < 1e-9,
+                "{} mix not normalised",
+                w.name
+            );
         }
     }
 
@@ -455,7 +717,8 @@ mod tests {
 
     #[test]
     fn mix_normalisation_panics_on_negative() {
-        let result = std::panic::catch_unwind(|| InstructionMix::new(-0.1, 0.2, 0.3, 0.2, 0.2, 0.2));
+        let result =
+            std::panic::catch_unwind(|| InstructionMix::new(-0.1, 0.2, 0.3, 0.2, 0.2, 0.2));
         assert!(result.is_err());
     }
 

@@ -12,10 +12,12 @@ fn main() -> Result<()> {
     let spec = WorkloadSpec::by_name(&name)?;
 
     // Train a mid-sized model on a few training workloads.
-    let train: Vec<WorkloadSpec> = ["gcc", "povray", "mcf", "sjeng", "milc", "lbm", "gromacs", "namd"]
-        .iter()
-        .map(|n| WorkloadSpec::by_name(n))
-        .collect::<Result<_>>()?;
+    let train: Vec<WorkloadSpec> = [
+        "gcc", "povray", "mcf", "sjeng", "milc", "lbm", "gromacs", "namd",
+    ]
+    .iter()
+    .map(|n| WorkloadSpec::by_name(n))
+    .collect::<Result<_>>()?;
     let features = FeatureSet::full();
     let cfg = TrainingConfig {
         steps: 100,
@@ -27,9 +29,13 @@ fn main() -> Result<()> {
 
     let runner = ClosedLoopRunner::new(&pipeline);
     println!("\n{name} under increasing guardbands:");
-    println!("{:>10} {:>10} {:>10} {:>12} {:>11}", "guardband", "threshold", "avg GHz", "vs baseline", "incursions");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>11}",
+        "guardband", "threshold", "avg GHz", "vs baseline", "incursions"
+    );
     for g in [0.0, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20] {
-        let mut c = BoreasController::new(model.clone(), features.clone(), g);
+        let mut c =
+            BoreasController::try_new(model.clone(), features.clone(), g).expect("schema matches");
         let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)?;
         println!(
             "{:>10.3} {:>10.3} {:>10.3} {:>11.1}% {:>11}",

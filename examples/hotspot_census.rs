@@ -36,7 +36,10 @@ fn main() -> Result<()> {
         let s = summarize(&events);
         let mut units: BTreeMap<String, usize> = BTreeMap::new();
         for e in &events {
-            let name = e.unit.map(|u| u.name().to_string()).unwrap_or_else(|| "-".into());
+            let name = e
+                .unit
+                .map(|u| u.name().to_string())
+                .unwrap_or_else(|| "-".into());
             *units.entry(name.clone()).or_insert(0) += 1;
             *unit_totals.entry(name).or_insert(0) += 1;
         }

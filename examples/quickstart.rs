@@ -16,11 +16,18 @@ fn main() -> Result<()> {
     let vf = VfTable::paper();
 
     println!("workload: {spec}");
-    println!("{:>10} {:>9} {:>14} {:>12} {:>10}", "freq", "voltage", "peak severity", "peak temp", "mean IPC");
+    println!(
+        "{:>10} {:>9} {:>14} {:>12} {:>10}",
+        "freq", "voltage", "peak severity", "peak temp", "mean IPC"
+    );
     let mut oracle = None;
     for point in vf.points() {
         let out = pipeline.run_fixed(&spec, point.frequency, point.voltage, 150)?;
-        let marker = if out.peak_severity.is_incursion() { "  << UNSAFE" } else { "" };
+        let marker = if out.peak_severity.is_incursion() {
+            "  << UNSAFE"
+        } else {
+            ""
+        };
         if !out.peak_severity.is_incursion() {
             oracle = Some(point.frequency);
         }

@@ -61,6 +61,8 @@ fn main() -> Result<()> {
         }
         println!("{label:>13}: worst gap between true peak and best sensor = {worst_gap:.1} C");
     }
-    println!("\n(the k-means sites sit on the hot execution cluster and track the peak far better)");
+    println!(
+        "\n(the k-means sites sit on the hot execution cluster and track the peak far better)"
+    );
     Ok(())
 }

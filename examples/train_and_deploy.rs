@@ -35,7 +35,10 @@ fn main() -> Result<()> {
         "voltage_v",
     ])?;
 
-    println!("training GBT severity predictor on {} workloads ...", train.len());
+    println!(
+        "training GBT severity predictor on {} workloads ...",
+        train.len()
+    );
     let cfg = TrainingConfig {
         steps: 100,
         params: GbtParams::default().with_estimators(120),
@@ -54,13 +57,30 @@ fn main() -> Result<()> {
     // on a workload the model never saw.
     let unseen = WorkloadSpec::by_name("bzip2")?;
     let runner = ClosedLoopRunner::new(&pipeline);
-    let mut boreas = BoreasController::new(model, features, 0.05);
+    let mut boreas = BoreasController::try_new(model, features, 0.05).expect("schema matches");
     let mut thermal = ThermalController::from_thresholds(
-        vec![None, None, None, None, None, None, None, None, Some(55.0), Some(50.0), Some(45.0), Some(42.0), Some(42.0)],
+        vec![
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            Some(55.0),
+            Some(50.0),
+            Some(45.0),
+            Some(42.0),
+            Some(42.0),
+        ],
         0.0,
     );
 
-    for (label, c) in [("TH-00", &mut thermal as &mut dyn Controller), ("ML05", &mut boreas)] {
+    for (label, c) in [
+        ("TH-00", &mut thermal as &mut dyn Controller),
+        ("ML05", &mut boreas),
+    ] {
         let out = runner.run(&unseen, c, 144, VfTable::BASELINE_INDEX)?;
         println!(
             "{label}: avg {:.3} GHz ({:+.1}% vs 3.75 GHz baseline), peak severity {}, incursions {}",

@@ -21,7 +21,9 @@
 //!   splitting and gain-based feature selection
 //! * [`boreas_core`] — the paper's contribution: the VF table and the
 //!   oracle / global / thermal / ML frequency controllers with their
-//!   closed-loop runner
+//!   closed-loop runner, plus the resilient degradation wrapper
+//! * [`faults`] — deterministic sensor/telemetry fault injection for
+//!   robustness campaigns
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@
 
 pub use boreas_core;
 pub use common;
+pub use faults;
 pub use floorplan;
 pub use gbt;
 pub use hotgauge;
@@ -54,13 +57,15 @@ pub use workloads;
 /// Commonly used items, re-exported for `use boreas::prelude::*`.
 pub mod prelude {
     pub use boreas_core::{
-        train_boreas_model, BoreasController, ClosedLoopRunner, Controller, CriticalTemps,
-        GlobalVfController, OracleController, SweepTable, ThermalController, TrainingConfig,
+        train_boreas_model, BoreasController, ClosedLoopRunner, ControlStage, Controller,
+        CriticalTemps, DegradationLog, GlobalVfController, ObservationFilter, OracleController,
+        ResilienceConfig, ResilientController, SweepTable, ThermalController, TrainingConfig,
         VfPoint, VfTable,
     };
     pub use common::time::SimTime;
     pub use common::units::{Celsius, GigaHertz, Volts, Watts};
     pub use common::Result;
+    pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan, FaultySensorBank};
     pub use gbt::{GbtModel, GbtParams};
     pub use hotgauge::{Pipeline, PipelineConfig, Severity, SeverityParams};
     pub use telemetry::{Dataset, DatasetSpec, FeatureSet};

@@ -22,7 +22,13 @@ fn oracle_dominates_global_limit_for_every_workload() {
     let global = table.global_safe_index().unwrap();
     for w in &subset {
         let oracle = table.oracle_index(&w.name).unwrap();
-        assert!(oracle >= global, "{}: oracle {} < global {}", w.name, oracle, global);
+        assert!(
+            oracle >= global,
+            "{}: oracle {} < global {}",
+            w.name,
+            oracle,
+            global
+        );
     }
 }
 
@@ -32,13 +38,26 @@ fn thermal_controller_relaxation_monotonically_raises_frequency() {
     let runner = ClosedLoopRunner::new(&p);
     let spec = WorkloadSpec::by_name("gamess").unwrap();
     let thresholds = vec![
-        None, None, None, None, None, None, None, None,
-        Some(56.0), Some(50.0), Some(46.0), Some(44.0), Some(44.0),
+        None,
+        None,
+        None,
+        None,
+        None,
+        None,
+        None,
+        None,
+        Some(56.0),
+        Some(50.0),
+        Some(46.0),
+        Some(44.0),
+        Some(44.0),
     ];
     let mut last = 0.0;
     for relax in [0.0, 5.0, 10.0] {
         let mut c = ThermalController::from_thresholds(thresholds.clone(), relax);
-        let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        let out = runner
+            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
+            .unwrap();
         assert!(
             out.avg_frequency.value() >= last,
             "relaxation {relax} lowered frequency"
@@ -56,14 +75,29 @@ fn trained_thresholds_keep_training_workloads_safe() {
         .map(|n| WorkloadSpec::by_name(n).unwrap())
         .collect();
     let initial = vec![
-        None, None, None, None, None, None, None, None,
-        Some(70.0), Some(60.0), Some(55.0), Some(50.0), Some(50.0),
+        None,
+        None,
+        None,
+        None,
+        None,
+        None,
+        None,
+        None,
+        Some(70.0),
+        Some(60.0),
+        Some(55.0),
+        Some(50.0),
+        Some(50.0),
     ];
     let trained = train_safe_thresholds(&runner, &subset, initial, 144, 60).unwrap();
     for w in &subset {
         let mut c = ThermalController::from_thresholds(trained.clone(), 0.0);
         let out = runner.run(w, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
-        assert_eq!(out.incursions, 0, "{} must be safe under trained TH-00", w.name);
+        assert_eq!(
+            out.incursions, 0,
+            "{} must be safe under trained TH-00",
+            w.name
+        );
     }
 }
 
@@ -96,8 +130,11 @@ fn boreas_guardband_ordering_holds_in_closed_loop() {
     let spec = WorkloadSpec::by_name("bzip2").unwrap();
     let mut last = f64::INFINITY;
     for g in [0.0, 0.05, 0.10, 0.20] {
-        let mut c = BoreasController::new(model.clone(), features.clone(), g);
-        let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        let mut c =
+            BoreasController::try_new(model.clone(), features.clone(), g).expect("schema matches");
+        let out = runner
+            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
+            .unwrap();
         assert!(
             out.avg_frequency.value() <= last + 1e-9,
             "guardband {g} raised frequency"
@@ -114,7 +151,9 @@ fn controller_frequencies_always_come_from_the_table() {
     let spec = WorkloadSpec::by_name("libquantum").unwrap();
     let thresholds = vec![Some(55.0); 13];
     let mut c = ThermalController::from_thresholds(thresholds, 0.0);
-    let out = runner.run(&spec, &mut c, 96, VfTable::BASELINE_INDEX).unwrap();
+    let out = runner
+        .run(&spec, &mut c, 96, VfTable::BASELINE_INDEX)
+        .unwrap();
     for r in &out.records {
         assert!(
             vf.index_of(r.frequency).is_some(),

@@ -1,0 +1,195 @@
+//! Cross-crate integration: fault injection vs graceful degradation.
+//!
+//! The headline robustness claim: under a fault mix that freezes every
+//! sensor at ambient and zeroes the counter blocks, the plain ML05
+//! controller mis-predicts "cold and idle", climbs the VF table and
+//! records incursions — while the same controller wrapped in a
+//! [`ResilientController`] detects the implausible telemetry, degrades
+//! to the thermal fallback, trips the watchdog into the global-safe
+//! point and finishes with zero incursions. Accounting always runs on
+//! the true records; only the controller's observations are corrupted.
+
+use boreas::prelude::*;
+use common::units::Celsius;
+use workloads::WorkloadSpec;
+
+fn coarse_pipeline() -> Pipeline {
+    let mut cfg = PipelineConfig::paper();
+    cfg.grid = floorplan::GridSpec::new(16, 12).expect("valid grid");
+    cfg.build().expect("config builds")
+}
+
+fn small_model(p: &Pipeline) -> (GbtModel, FeatureSet) {
+    let train: Vec<WorkloadSpec> = ["gcc", "lbm", "povray", "sjeng"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let features = FeatureSet::from_names(&[
+        "temperature_sensor_data",
+        "total_cycles",
+        "busy_cycles",
+        "cdb_fpu_accesses",
+        "cdb_alu_accesses",
+        "voltage_v",
+    ])
+    .unwrap();
+    let cfg = TrainingConfig {
+        steps: 60,
+        params: GbtParams::default().with_estimators(60),
+        ..TrainingConfig::default()
+    };
+    let (model, _) = train_boreas_model(p, &VfTable::paper(), &train, &features, &cfg).unwrap();
+    (model, features)
+}
+
+/// Sensors latch ambient and counters read zero from step 12 onward.
+fn frozen_telemetry_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(
+            Fault::new(FaultKind::StuckAt {
+                value_c: Celsius::AMBIENT.value(),
+            })
+            .during(12, usize::MAX),
+        )
+        .with(Fault::new(FaultKind::CounterZero).during(12, usize::MAX))
+}
+
+/// A fallback so conservative it always steps down on plausible temps.
+fn paranoid_fallback() -> ThermalController {
+    ThermalController::from_thresholds(vec![Some(30.0); 13], 0.0)
+}
+
+#[test]
+fn resilient_ml05_survives_faults_that_break_plain_ml05() {
+    let p = coarse_pipeline();
+    let (model, features) = small_model(&p);
+    let runner = ClosedLoopRunner::new(&p);
+    let spec = WorkloadSpec::by_name("gromacs").unwrap();
+    let plan = frozen_telemetry_plan(7);
+    plan.validate().unwrap();
+    const STEPS: usize = 240;
+
+    let mut plain = BoreasController::try_new(model.clone(), features.clone(), 0.05).unwrap();
+    let out_plain = runner
+        .run_filtered(
+            &spec,
+            &mut plain,
+            STEPS,
+            VfTable::BASELINE_INDEX,
+            &mut FaultInjector::new(plan.clone()),
+        )
+        .unwrap();
+    assert!(
+        out_plain.incursions >= 1,
+        "plain ML05 fed frozen-cold telemetry must climb into incursions \
+         (got {} incursions, avg {:.2} GHz)",
+        out_plain.incursions,
+        out_plain.avg_frequency.value()
+    );
+
+    let ml = BoreasController::try_new(model, features, 0.05).unwrap();
+    let mut resilient = ResilientController::new(ml, paranoid_fallback(), 0);
+    let out_resilient = runner
+        .run_filtered(
+            &spec,
+            &mut resilient,
+            STEPS,
+            VfTable::BASELINE_INDEX,
+            &mut FaultInjector::new(plan),
+        )
+        .unwrap();
+    assert_eq!(
+        out_resilient.incursions, 0,
+        "resilient ML05 must stay incursion-free under the same faults \
+         (peak severity {})",
+        out_resilient.peak_severity
+    );
+
+    // The degradation ladder must actually have been exercised, and the
+    // transitions must be queryable from the log.
+    let log = resilient.log();
+    assert_eq!(log.intervals(), STEPS / 12 - 1);
+    assert!(
+        log.anomalous_intervals() >= 3,
+        "zeroed counters flag every faulty interval"
+    );
+    assert!(log.repaired_counter_blocks() > 0);
+    assert_eq!(
+        log.entered(ControlStage::Safe),
+        1,
+        "watchdog fires exactly once"
+    );
+    assert!(log.intervals_in(ControlStage::Safe) > 0);
+    assert!(log.intervals_in(ControlStage::Fallback) > 0);
+    assert!(log.require_clean().is_err());
+    let first = &log.events()[0];
+    assert_eq!(first.from, ControlStage::Primary);
+    assert_eq!(first.to, ControlStage::Fallback);
+}
+
+#[test]
+fn faulty_closed_loop_replays_bit_identically() {
+    let p = coarse_pipeline();
+    let (model, features) = small_model(&p);
+    let runner = ClosedLoopRunner::new(&p);
+    let spec = WorkloadSpec::by_name("bzip2").unwrap();
+    let plan = FaultPlan::new(99)
+        .with(Fault::new(FaultKind::Noise { std_c: 6.0 }).with_probability(0.3))
+        .with(Fault::new(FaultKind::Dropped).with_probability(0.1));
+
+    let run = || {
+        let mut c = BoreasController::try_new(model.clone(), features.clone(), 0.05).unwrap();
+        runner
+            .run_filtered(
+                &spec,
+                &mut c,
+                144,
+                VfTable::BASELINE_INDEX,
+                &mut FaultInjector::new(plan.clone()),
+            )
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.incursions, b.incursions);
+    assert_eq!(a.final_idx, b.final_idx);
+    assert_eq!(
+        a.avg_frequency.value().to_bits(),
+        b.avg_frequency.value().to_bits(),
+        "same seed must replay the whole closed loop bit-identically"
+    );
+    assert_eq!(a.decisions, b.decisions);
+}
+
+#[test]
+fn empty_plan_is_a_passthrough() {
+    let p = coarse_pipeline();
+    let runner = ClosedLoopRunner::new(&p);
+    let spec = WorkloadSpec::by_name("gamess").unwrap();
+    let thresholds = vec![Some(55.0); 13];
+    let run_plain = |filtered: bool| {
+        let mut c = ThermalController::from_thresholds(thresholds.clone(), 0.0);
+        if filtered {
+            runner
+                .run_filtered(
+                    &spec,
+                    &mut c,
+                    96,
+                    VfTable::BASELINE_INDEX,
+                    &mut FaultInjector::new(FaultPlan::new(1)),
+                )
+                .unwrap()
+        } else {
+            runner
+                .run(&spec, &mut c, 96, VfTable::BASELINE_INDEX)
+                .unwrap()
+        }
+    };
+    let filtered = run_plain(true);
+    let unfiltered = run_plain(false);
+    assert_eq!(filtered.decisions, unfiltered.decisions);
+    assert_eq!(
+        filtered.avg_frequency.value().to_bits(),
+        unfiltered.avg_frequency.value().to_bits()
+    );
+}

@@ -4,7 +4,9 @@
 use boreas::prelude::*;
 
 fn paper_pipeline() -> Pipeline {
-    PipelineConfig::paper().build().expect("paper config builds")
+    PipelineConfig::paper()
+        .build()
+        .expect("paper config builds")
 }
 
 #[test]
@@ -14,20 +16,37 @@ fn calibration_pins_the_global_safe_frequency() {
     // is safe at 4.75 GHz and unsafe at 5.0 GHz.
     let p = paper_pipeline();
     let gromacs = WorkloadSpec::by_name("gromacs").unwrap();
-    let safe = p.run_fixed(&gromacs, GigaHertz::new(3.75), Volts::new(0.925), 150).unwrap();
+    let safe = p
+        .run_fixed(&gromacs, GigaHertz::new(3.75), Volts::new(0.925), 150)
+        .unwrap();
     assert!(
         !safe.peak_severity.is_incursion(),
         "gromacs must be safe at baseline (peak {})",
         safe.peak_severity
     );
-    let unsafe_run = p.run_fixed(&gromacs, GigaHertz::new(4.0), Volts::new(0.98), 150).unwrap();
-    assert!(unsafe_run.peak_severity.is_incursion(), "gromacs must incur at 4.0 GHz");
+    let unsafe_run = p
+        .run_fixed(&gromacs, GigaHertz::new(4.0), Volts::new(0.98), 150)
+        .unwrap();
+    assert!(
+        unsafe_run.peak_severity.is_incursion(),
+        "gromacs must incur at 4.0 GHz"
+    );
 
     let omnetpp = WorkloadSpec::by_name("omnetpp").unwrap();
-    let safe = p.run_fixed(&omnetpp, GigaHertz::new(4.75), Volts::new(1.275), 150).unwrap();
-    assert!(!safe.peak_severity.is_incursion(), "omnetpp safe at 4.75 GHz");
-    let unsafe_run = p.run_fixed(&omnetpp, GigaHertz::new(5.0), Volts::new(1.4), 150).unwrap();
-    assert!(unsafe_run.peak_severity.is_incursion(), "omnetpp unsafe at 5.0 GHz");
+    let safe = p
+        .run_fixed(&omnetpp, GigaHertz::new(4.75), Volts::new(1.275), 150)
+        .unwrap();
+    assert!(
+        !safe.peak_severity.is_incursion(),
+        "omnetpp safe at 4.75 GHz"
+    );
+    let unsafe_run = p
+        .run_fixed(&omnetpp, GigaHertz::new(5.0), Volts::new(1.4), 150)
+        .unwrap();
+    assert!(
+        unsafe_run.peak_severity.is_incursion(),
+        "omnetpp unsafe at 5.0 GHz"
+    );
 }
 
 #[test]
@@ -38,7 +57,9 @@ fn peak_severity_is_monotone_in_frequency() {
         let spec = WorkloadSpec::by_name(name).unwrap();
         let mut last = -1.0;
         for point in vf.points() {
-            let out = p.run_fixed(&spec, point.frequency, point.voltage, 100).unwrap();
+            let out = p
+                .run_fixed(&spec, point.frequency, point.voltage, 100)
+                .unwrap();
             assert!(
                 out.peak_severity_raw >= last - 0.02,
                 "{name}: severity dropped at {}: {} -> {}",
@@ -57,7 +78,9 @@ fn power_temperature_and_severity_are_coupled() {
     // least as hot as the first step, and power must respond to bursts.
     let p = paper_pipeline();
     let spec = WorkloadSpec::by_name("gromacs").unwrap();
-    let out = p.run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 120).unwrap();
+    let out = p
+        .run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 120)
+        .unwrap();
     let first = &out.records[0];
     let hottest = out
         .records
@@ -77,7 +100,9 @@ fn sensor_bank_orders_good_and_bad_sensors() {
     // cool array-block sensors.
     let p = paper_pipeline();
     let spec = WorkloadSpec::by_name("gamess").unwrap();
-    let out = p.run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 150).unwrap();
+    let out = p
+        .run_fixed(&spec, GigaHertz::new(4.5), Volts::new(1.15), 150)
+        .unwrap();
     let last = out.records.last().unwrap();
     let best = last.sensor_temps[3].value(); // tsens03, EX stage
     let l2_sensor = last.sensor_temps[4].value(); // tsens04, on L2
@@ -107,8 +132,12 @@ fn deterministic_end_to_end() {
     let p1 = paper_pipeline();
     let p2 = paper_pipeline();
     let spec = WorkloadSpec::by_name("wrf").unwrap();
-    let a = p1.run_fixed(&spec, GigaHertz::new(4.25), Volts::new(1.065), 60).unwrap();
-    let b = p2.run_fixed(&spec, GigaHertz::new(4.25), Volts::new(1.065), 60).unwrap();
+    let a = p1
+        .run_fixed(&spec, GigaHertz::new(4.25), Volts::new(1.065), 60)
+        .unwrap();
+    let b = p2
+        .run_fixed(&spec, GigaHertz::new(4.25), Volts::new(1.065), 60)
+        .unwrap();
     assert_eq!(a.peak_severity_raw, b.peak_severity_raw);
     assert_eq!(a.mean_ipc, b.mean_ipc);
     for (ra, rb) in a.records.iter().zip(&b.records) {

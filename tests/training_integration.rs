@@ -87,12 +87,8 @@ fn persisted_model_drives_the_controller_identically() {
         .iter()
         .map(|n| WorkloadSpec::by_name(n).unwrap())
         .collect();
-    let features = FeatureSet::from_names(&[
-        "temperature_sensor_data",
-        "total_cycles",
-        "voltage_v",
-    ])
-    .unwrap();
+    let features =
+        FeatureSet::from_names(&["temperature_sensor_data", "total_cycles", "voltage_v"]).unwrap();
     let cfg = TrainingConfig {
         steps: 50,
         params: GbtParams::default().with_estimators(30),
@@ -104,10 +100,14 @@ fn persisted_model_drives_the_controller_identically() {
 
     let runner = ClosedLoopRunner::new(&p);
     let spec = WorkloadSpec::by_name("hmmer").unwrap();
-    let mut a = BoreasController::new(model, features.clone(), 0.05);
-    let mut b = BoreasController::new(restored, features, 0.05);
-    let out_a = runner.run(&spec, &mut a, 96, VfTable::BASELINE_INDEX).unwrap();
-    let out_b = runner.run(&spec, &mut b, 96, VfTable::BASELINE_INDEX).unwrap();
+    let mut a = BoreasController::try_new(model, features.clone(), 0.05).expect("schema matches");
+    let mut b = BoreasController::try_new(restored, features, 0.05).expect("schema matches");
+    let out_a = runner
+        .run(&spec, &mut a, 96, VfTable::BASELINE_INDEX)
+        .unwrap();
+    let out_b = runner
+        .run(&spec, &mut b, 96, VfTable::BASELINE_INDEX)
+        .unwrap();
     assert_eq!(out_a.avg_frequency, out_b.avg_frequency);
     assert_eq!(out_a.incursions, out_b.incursions);
 }
