@@ -302,7 +302,7 @@ impl Controller for TempPredController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use boreas_core::ClosedLoopRunner;
+    use boreas_core::RunSpec;
     use floorplan::GridSpec;
     use hotgauge::PipelineConfig;
 
@@ -421,11 +421,11 @@ mod tests {
             &quick_params(),
         )
         .unwrap();
-        let runner = ClosedLoopRunner::new(&p).with_vf(small_vf());
+        let mut run = RunSpec::new(&p).vf(small_vf()).steps(96).start(1);
         let spec = WorkloadSpec::by_name("gamess").unwrap();
         // Thresholds low enough that the predictor must throttle.
         let mut hot = TempPredController::new(model.clone(), vec![Some(50.0); 3]);
-        let out = runner.run(&spec, &mut hot, 96, 1).unwrap();
+        let out = run.run(&spec, &mut hot).unwrap();
         assert!(
             out.avg_frequency.value() < 4.0,
             "should throttle below start ({})",
@@ -433,7 +433,7 @@ mod tests {
         );
         // Unconstrained thresholds: rides to the top.
         let mut cool = TempPredController::new(model, vec![None; 3]);
-        let out = runner.run(&spec, &mut cool, 96, 1).unwrap();
+        let out = run.run(&spec, &mut cool).unwrap();
         assert!(out.avg_frequency.value() > 4.0);
         assert_eq!(out.controller, "CR-temp");
     }

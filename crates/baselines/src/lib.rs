@@ -15,7 +15,7 @@
 //!   2-D version is for die coordinates);
 //! * [`cochran_reda`] — the assembled phase-aware temperature predictor
 //!   and its DVFS controller, pluggable into the same
-//!   [`boreas_core::ClosedLoopRunner`] as Boreas.
+//!   [`boreas_core::RunSpec`] closed loop as Boreas.
 //!
 //! # Examples
 //!

@@ -6,13 +6,15 @@
 //! temperatures down (§III-D1), stealing headroom from TH. Here both
 //! controller families are re-derived at each delay (critical temps +
 //! trained thresholds for TH, retrained model for ML05) and compared on
-//! the test set.
+//! the test set. Each delay point runs as one [`engine::Scenario`]; the
+//! delay lives in the pipeline config and the retrained model in the
+//! controller spec, so every cell keys distinctly in the artifact cache.
 
 use boreas_bench::experiments::LOOP_STEPS;
 use boreas_core::{
-    train_boreas_model, train_safe_thresholds, BoreasController, ClosedLoopRunner, CriticalTemps,
-    ThermalController, TrainingConfig, VfTable,
+    train_boreas_model, train_safe_thresholds, CriticalTemps, TrainingConfig, VfTable,
 };
+use engine::{ControllerSpec, Scenario, Session};
 use hotgauge::PipelineConfig;
 use telemetry::FeatureSet;
 use workloads::WorkloadSpec;
@@ -27,7 +29,6 @@ fn main() {
         cfg.sensor_delay_us = delay_us;
         let pipeline = cfg.build().expect("config builds");
         let vf = VfTable::paper();
-        let runner = ClosedLoopRunner::new(&pipeline);
 
         // TH: critical temps at this delay, trained safe on the training set.
         let crit = CriticalTemps::measure(
@@ -39,7 +40,8 @@ fn main() {
         )
         .expect("critical temps");
         let thresholds = train_safe_thresholds(
-            &runner,
+            &pipeline,
+            &vf,
             &WorkloadSpec::train_set(),
             crit.global_thresholds(),
             LOOP_STEPS,
@@ -58,32 +60,40 @@ fn main() {
         )
         .expect("training");
 
+        let scenario = Scenario::closed_loop(
+            "ablation-sensor-delay",
+            WorkloadSpec::test_set(),
+            vf,
+            LOOP_STEPS,
+            vec![
+                ControllerSpec::thermal(thresholds, 0.0),
+                ControllerSpec::ml(model, &features, 0.05),
+            ],
+        );
+        let report = Session::new(pipeline)
+            .expect("session")
+            .run(&scenario)
+            .expect("closed loops");
+
         let mut th_sum = 0.0;
         let mut th_inc = 0usize;
         let mut ml_sum = 0.0;
         let mut ml_inc = 0usize;
-        let tests = WorkloadSpec::test_set();
-        for w in &tests {
-            let mut th = ThermalController::from_thresholds(thresholds.clone(), 0.0);
-            let out = runner
-                .run(w, &mut th, LOOP_STEPS, VfTable::BASELINE_INDEX)
-                .expect("th run");
-            th_sum += out.normalized_frequency;
-            th_inc += out.incursions;
-            let mut ml = BoreasController::try_new(model.clone(), features.clone(), 0.05)
-                .expect("schema matches");
-            let out = runner
-                .run(w, &mut ml, LOOP_STEPS, VfTable::BASELINE_INDEX)
-                .expect("ml run");
-            ml_sum += out.normalized_frequency;
-            ml_inc += out.incursions;
+        let rows: Vec<_> = report.loop_runs().collect();
+        for pair in rows.chunks(2) {
+            let (th, ml) = (pair[0], pair[1]);
+            th_sum += th.normalized_frequency;
+            th_inc += th.incursions;
+            ml_sum += ml.normalized_frequency;
+            ml_inc += ml.incursions;
         }
+        let n = (rows.len() / 2) as f64;
         println!(
             "{:>8.0}us {:>10.4} {:>8} {:>10.4} {:>8}",
             delay_us,
-            th_sum / tests.len() as f64,
+            th_sum / n,
             th_inc,
-            ml_sum / tests.len() as f64,
+            ml_sum / n,
             ml_inc
         );
     }

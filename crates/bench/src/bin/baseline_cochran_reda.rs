@@ -9,7 +9,7 @@
 
 use baselines::{CochranRedaModel, CochranRedaParams, TempPredController};
 use boreas_bench::experiments::{Experiment, LOOP_STEPS, RUN_STEPS};
-use boreas_core::{BoreasController, ClosedLoopRunner, Controller, ThermalController, VfTable};
+use boreas_core::{BoreasController, Controller, RunSpec, ThermalController};
 use telemetry::FeatureSet;
 use workloads::WorkloadSpec;
 
@@ -48,7 +48,7 @@ fn main() {
         cr_mse.sqrt()
     );
 
-    let runner = ClosedLoopRunner::new(&exp.pipeline);
+    let mut run = RunSpec::new(&exp.pipeline).steps(LOOP_STEPS);
     println!(
         "{:<12} {:>9} {:>9} {:>9}   (normalised avg frequency; * = incursions)",
         "workload", "TH-00", "CR-temp", "ML05"
@@ -67,9 +67,7 @@ fn main() {
                 .expect("schema matches"),
         );
         for (i, c) in [&mut th, &mut crc, &mut ml].into_iter().enumerate() {
-            let out = runner
-                .run(w, c.as_mut(), LOOP_STEPS, VfTable::BASELINE_INDEX)
-                .expect("closed loop");
+            let out = run.run(w, c.as_mut()).expect("closed loop");
             sums[i] += out.normalized_frequency;
             incur[i] += out.incursions;
             print!(

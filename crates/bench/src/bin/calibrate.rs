@@ -3,10 +3,13 @@
 //! `heat` values so the Fig. 2 shape holds (all safe at 3.75 GHz, none at
 //! 5.0 GHz, oracle frequencies spread 3.75–4.75 GHz monotone in rank).
 //!
+//! Sweeps run through an uncached [`engine::Session`] (caching would be
+//! wrong here: the auto mode mutates workload heats between iterations).
+//!
 //! Usage: `cargo run --release -p boreas-bench --bin calibrate [scale] [steps]`
 
-use boreas_bench::parallel_severity_sweep;
 use boreas_core::VfTable;
+use engine::{Scenario, Session, SweepPointResult};
 use hotgauge::PipelineConfig;
 use workloads::WorkloadSpec;
 
@@ -21,21 +24,34 @@ fn target_oracle_freq(rank: usize) -> f64 {
     }
 }
 
+/// Runs the full workload × VF sweep through an uncached session.
+fn sweep(
+    session: &Session,
+    vf: &VfTable,
+    suite: &[WorkloadSpec],
+    steps: usize,
+) -> Vec<SweepPointResult> {
+    let scenario = Scenario::severity_sweep("calibrate", suite.to_vec(), vf.clone(), steps);
+    let report = session.run(&scenario).expect("calibration sweep");
+    report.sweep_points().cloned().collect()
+}
+
 fn auto_calibrate(scale: f64, steps: usize, iterations: usize) {
     let mut cfg = PipelineConfig::paper();
     cfg.power.scale = scale;
     let pipeline = cfg.build().expect("paper config builds");
+    let session = Session::without_cache(pipeline);
     let vf = VfTable::paper();
     let mut suite = WorkloadSpec::by_severity_rank();
 
     for iter in 0..iterations {
-        let points = parallel_severity_sweep(&pipeline, &vf, &suite, steps);
+        let points = sweep(&session, &vf, &suite, steps);
         let mut max_err: f64 = 0.0;
         for w in &mut suite {
             let f_t = target_oracle_freq(w.severity_rank);
             let measured = points
                 .iter()
-                .find(|p| p.workload == w.name && (p.freq.value() - f_t).abs() < 1e-9)
+                .find(|p| p.workload == w.name && (p.freq_ghz - f_t).abs() < 1e-9)
                 .expect("sweep covers target frequency")
                 .peak_severity_raw;
             let target = 0.96;
@@ -53,18 +69,18 @@ fn auto_calibrate(scale: f64, steps: usize, iterations: usize) {
         println!("(\"{}\", {:.4}),", w.name, w.heat);
     }
     // Final verification sweep.
-    print_sweep(&pipeline, &vf, &suite, steps);
+    print_sweep(&session, &vf, &suite, steps);
 }
 
-fn print_sweep(pipeline: &hotgauge::Pipeline, vf: &VfTable, suite: &[WorkloadSpec], steps: usize) {
-    let points = parallel_severity_sweep(pipeline, vf, suite, steps);
+fn print_sweep(session: &Session, vf: &VfTable, suite: &[WorkloadSpec], steps: usize) {
+    let points = sweep(session, vf, suite, steps);
     print!("{:<12} {:>4}", "workload", "rank");
     for p in vf.points() {
         print!(" {:>5.2}", p.frequency.value());
     }
     println!("  oracle");
     for w in suite {
-        let row: Vec<&_> = points.iter().filter(|p| p.workload == w.name).collect();
+        let row: Vec<&SweepPointResult> = points.iter().filter(|p| p.workload == w.name).collect();
         print!("{:<12} {:>4}", w.name, w.severity_rank);
         let mut oracle = None;
         for p in &row {
@@ -72,7 +88,7 @@ fn print_sweep(pipeline: &hotgauge::Pipeline, vf: &VfTable, suite: &[WorkloadSpe
         }
         for p in row.iter().rev() {
             if p.peak_severity_raw < 1.0 {
-                oracle = Some(p.freq.value());
+                oracle = Some(p.freq_ghz);
                 break;
             }
         }
@@ -95,30 +111,10 @@ fn main() {
     let mut cfg = PipelineConfig::paper();
     cfg.power.scale = scale;
     let pipeline = cfg.build().expect("paper config builds");
+    let session = Session::without_cache(pipeline);
     let vf = VfTable::paper();
     let suite = WorkloadSpec::by_severity_rank();
 
-    let points = parallel_severity_sweep(&pipeline, &vf, &suite, steps);
-
     println!("# scale = {scale}, steps = {steps}");
-    print!("{:<12} {:>4}", "workload", "rank");
-    for p in vf.points() {
-        print!(" {:>5.2}", p.frequency.value());
-    }
-    println!("  oracle");
-    for w in &suite {
-        let row: Vec<&_> = points.iter().filter(|p| p.workload == w.name).collect();
-        print!("{:<12} {:>4}", w.name, w.severity_rank);
-        let mut oracle = None;
-        for p in &row {
-            print!(" {:>5.2}", p.peak_severity_raw);
-        }
-        for p in row.iter().rev() {
-            if p.peak_severity_raw < 1.0 {
-                oracle = Some(p.freq.value());
-                break;
-            }
-        }
-        println!("  {:?}", oracle);
-    }
+    print_sweep(&session, &vf, &suite, steps);
 }

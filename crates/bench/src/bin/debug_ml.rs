@@ -2,7 +2,7 @@
 //! workload under ML05.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS, RUN_STEPS};
-use boreas_core::{BoreasController, ClosedLoopRunner, VfTable};
+use boreas_core::{BoreasController, RunSpec};
 use common::units::{GigaHertz, Volts};
 use telemetry::{build_dataset, DatasetSpec};
 use workloads::WorkloadSpec;
@@ -58,12 +58,10 @@ fn main() {
 
     // Closed-loop trace.
     let w = WorkloadSpec::by_name(&name).expect("workload");
-    let runner = ClosedLoopRunner::new(&exp.pipeline);
+    let mut run = RunSpec::new(&exp.pipeline).steps(LOOP_STEPS);
     let mut ml05 =
         BoreasController::try_new(model.clone(), features.clone(), 0.05).expect("schema matches");
-    let out = runner
-        .run(&w, &mut ml05, LOOP_STEPS, VfTable::BASELINE_INDEX)
-        .expect("run");
+    let out = run.run(&w, &mut ml05).expect("run");
     println!(
         "\n{} under ML05: avg {:.3} GHz, incursions {}",
         name,
@@ -77,8 +75,8 @@ fn main() {
     for chunk in out.records.chunks(12) {
         let last = chunk.last().unwrap();
         let ctx = boreas_core::ControlContext {
-            vf: runner.vf(),
-            current_idx: runner.vf().index_of(last.frequency).unwrap(),
+            vf: run.vf_table(),
+            current_idx: run.vf_table().index_of(last.frequency).unwrap(),
             recent: chunk,
             sensor_idx: telemetry::MAX_SENSOR_BANK,
         };

@@ -5,23 +5,24 @@
 //! For every cell the same seeded [`FaultPlan`] corrupts the telemetry
 //! the controller observes (accounting stays on the truth), once with
 //! the plain ML05 controller and once with the same controller wrapped
-//! in a [`ResilientController`]. The wrapper's validation + degradation
+//! in a resilient supervisor. The wrapper's validation + degradation
 //! ladder eliminates most incursion cells the plain controller, fed the
 //! same corrupted stream, fails on. It is not a silver bullet: heavy
 //! in-band noise that stays inside the plausibility bounds is accepted
 //! as genuine, and the resulting recover/degrade oscillation can still
 //! let incursions through (and trades away frequency everywhere else).
 //!
-//! Usage: `fault_campaign [--seed N] [--steps N]`. The whole campaign is
-//! a pure function of the seed: the closing digest line is bit-identical
+//! The whole campaign — workloads × (fault kind × rate) × {plain,
+//! resilient} — is a single [`engine::Scenario`] executed by the
+//! work-stealing [`engine::Session`].
+//!
+//! Usage: `fault_campaign [--seed N] [--steps N]`. The campaign is a
+//! pure function of the seed: the closing digest line is bit-identical
 //! across runs with the same seed.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
-use boreas_core::{
-    BoreasController, ClosedLoopOutcome, ClosedLoopRunner, ControlStage, ResilientController,
-    ThermalController, VfTable,
-};
-use faults::{Fault, FaultInjector, FaultKind, FaultPlan};
+use engine::{ControllerSpec, FaultCell, LoopRunResult, Scenario};
+use faults::{Fault, FaultKind, FaultPlan};
 use workloads::WorkloadSpec;
 
 /// One fault archetype of the sweep; the campaign crosses these with the
@@ -80,10 +81,10 @@ fn mix(h: u64, v: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn digest_outcome(h: u64, out: &ClosedLoopOutcome) -> u64 {
-    let h = mix(h, out.incursions as u64);
-    let h = mix(h, out.avg_frequency.value().to_bits());
-    mix(h, out.final_idx as u64)
+fn digest_row(h: u64, row: &LoopRunResult) -> u64 {
+    let h = mix(h, row.incursions as u64);
+    let h = mix(h, row.avg_frequency_ghz.to_bits());
+    mix(h, row.final_idx as u64)
 }
 
 fn main() {
@@ -91,11 +92,35 @@ fn main() {
     let exp = Experiment::paper().expect("paper config");
     let thresholds = exp.trained_thresholds().expect("trained thresholds");
     let (model, features) = exp.boreas_model().expect("model");
-    let runner = ClosedLoopRunner::new(&exp.pipeline);
-    let ml05 = || {
-        BoreasController::try_new(model.clone(), features.clone(), 0.05).expect("schema matches")
-    };
-    let fallback = || ThermalController::from_thresholds(thresholds.clone(), 0.0);
+
+    // Cell order (kind-major, then rate) and the plain-then-resilient
+    // controller order reproduce the digest sequence of the historical
+    // bespoke loop.
+    let mut cells = Vec::with_capacity(FAULT_KINDS.len() * RATES.len());
+    for kind in FAULT_KINDS {
+        for rate in RATES {
+            let plan = cell_plan(seed, kind, rate);
+            plan.validate().expect("campaign plan");
+            cells.push(FaultCell::new(format!("{}@{rate}", kind.name()), plan));
+        }
+    }
+    let controllers = vec![
+        ControllerSpec::ml(model.clone(), &features, 0.05),
+        ControllerSpec::resilient_ml(model, &features, 0.05, thresholds, 0),
+    ];
+    let scenario = Scenario::closed_loop(
+        "fault-campaign",
+        WorkloadSpec::test_set(),
+        exp.vf.clone(),
+        steps,
+        controllers,
+    )
+    .with_faults(cells);
+    let report = exp
+        .session()
+        .expect("session")
+        .run(&scenario)
+        .expect("campaign");
 
     println!("fault campaign: seed {seed}, {steps} steps/run");
     println!(
@@ -106,64 +131,35 @@ fn main() {
     let mut digest = seed;
     let mut plain_failures = 0usize;
     let mut resilient_failures = 0usize;
-    for w in WorkloadSpec::test_set() {
-        for kind in FAULT_KINDS {
-            for rate in RATES {
-                let plan = cell_plan(seed, kind, rate);
-                plan.validate().expect("campaign plan");
-
-                let mut plain = ml05();
-                let out_plain = runner
-                    .run_filtered(
-                        &w,
-                        &mut plain,
-                        steps,
-                        VfTable::BASELINE_INDEX,
-                        &mut FaultInjector::new(plan.clone()),
-                    )
-                    .expect("plain run");
-
-                let mut resilient = ResilientController::new(ml05(), fallback(), 0);
-                let out_resilient = runner
-                    .run_filtered(
-                        &w,
-                        &mut resilient,
-                        steps,
-                        VfTable::BASELINE_INDEX,
-                        &mut FaultInjector::new(plan),
-                    )
-                    .expect("resilient run");
-
-                let log = resilient.log();
-                let worst = if log.intervals_in(ControlStage::Safe) > 0 {
-                    ControlStage::Safe
-                } else if log.intervals_in(ControlStage::Fallback) > 0 {
-                    ControlStage::Fallback
-                } else {
-                    ControlStage::Primary
-                };
-                println!(
-                    "{:<10} {:<16} {:>5.2} | {:>9} {:>8.3} | {:>9} {:>8.3} {:>14}",
-                    w.name,
-                    kind.name(),
-                    rate,
-                    out_plain.incursions,
-                    out_plain.avg_frequency.value(),
-                    out_resilient.incursions,
-                    out_resilient.avg_frequency.value(),
-                    worst.to_string(),
-                );
-                plain_failures += usize::from(out_plain.incursions > 0);
-                resilient_failures += usize::from(out_resilient.incursions > 0);
-                digest = digest_outcome(digest, &out_plain);
-                digest = digest_outcome(digest, &out_resilient);
-            }
-        }
+    let rows: Vec<_> = report.loop_runs().collect();
+    for pair in rows.chunks(2) {
+        let (plain, resilient) = (pair[0], pair[1]);
+        let (fault, rate) = plain
+            .fault
+            .as_deref()
+            .and_then(|f| f.split_once('@'))
+            .expect("campaign rows carry a fault label");
+        println!(
+            "{:<10} {:<16} {:>5.2} | {:>9} {:>8.3} | {:>9} {:>8.3} {:>14}",
+            plain.workload,
+            fault,
+            rate.parse::<f64>().expect("rate in label"),
+            plain.incursions,
+            plain.avg_frequency_ghz,
+            resilient.incursions,
+            resilient.avg_frequency_ghz,
+            resilient.worst_stage.as_deref().unwrap_or("?"),
+        );
+        plain_failures += usize::from(plain.incursions > 0);
+        resilient_failures += usize::from(resilient.incursions > 0);
+        digest = digest_row(digest, plain);
+        digest = digest_row(digest, resilient);
     }
 
-    let cells = WorkloadSpec::test_set().len() * FAULT_KINDS.len() * RATES.len();
+    let n_cells = rows.len() / 2;
     println!(
-        "\ncells with incursions: plain {plain_failures}/{cells}, resilient {resilient_failures}/{cells}"
+        "\ncells with incursions: plain {plain_failures}/{n_cells}, resilient {resilient_failures}/{n_cells}"
     );
     println!("campaign digest: {digest:016x} (same seed => same digest)");
+    println!("engine: {}", report.counters.summary());
 }

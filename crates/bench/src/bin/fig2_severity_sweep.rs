@@ -1,14 +1,38 @@
 //! Fig. 2: peak Hotspot-Severity of each workload over the frequency
 //! range, plus the §III-B oracle and §III-C global-limit statistics.
+//!
+//! The workload × VF grid is described as an [`engine::Scenario`] and
+//! executed by the work-stealing [`engine::Session`]; every grid cell is
+//! memoised in the artifact cache, so re-runs (and other binaries
+//! sharing cells, e.g. the sweep-table consumers) skip the simulation.
+//!
+//! Usage: `fig2_severity_sweep [--smoke]`. `--smoke` runs a reduced grid
+//! (6 workloads × every 4th VF point × 24 steps) as a CI smoke test.
 
-use boreas_bench::experiments::Experiment;
+use boreas_bench::experiments::{Experiment, RUN_STEPS};
 use boreas_core::{oracle_frequencies, VfTable};
+use engine::Scenario;
 use workloads::{SetKind, WorkloadSpec};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let exp = Experiment::paper().expect("paper config");
-    let table = exp.sweep_table().expect("sweep");
-    let vf = VfTable::paper();
+
+    let scenario = if smoke {
+        let workloads: Vec<WorkloadSpec> = WorkloadSpec::by_severity_rank()
+            .into_iter()
+            .step_by(5)
+            .collect();
+        let points: Vec<_> = exp.vf.points().iter().step_by(4).copied().collect();
+        let vf = VfTable::new(points).expect("paper subset is a valid table");
+        Scenario::severity_sweep("fig2-smoke", workloads, vf, RUN_STEPS / 6 / 12 * 12)
+    } else {
+        exp.fig2_scenario()
+    };
+    let session = exp.session().expect("session");
+    let report = session.run(&scenario).expect("sweep");
+    let table = report.sweep_table(&scenario).expect("table");
+    let vf = &scenario.vf;
 
     println!("Fig. 2: peak Hotspot-Severity (raw; >= 1.00 is unsafe/black)\n");
     print!("{:<12} {:>5}", "workload", "set");
@@ -16,7 +40,7 @@ fn main() {
         print!(" {:>5.2}", p.frequency.value());
     }
     println!("  oracle");
-    for w in WorkloadSpec::by_severity_rank() {
+    for w in &scenario.workloads {
         print!(
             "{:<12} {:>5}",
             w.name,
@@ -33,6 +57,7 @@ fn main() {
         println!("  {:.2} GHz", vf.point(idx).frequency.value());
     }
 
+    let n = scenario.workloads.len();
     // Headline shape checks from the paper's text.
     let global = table.global_safe_index().expect("globally safe point");
     println!(
@@ -40,11 +65,15 @@ fn main() {
         vf.point(global).frequency.value()
     );
     let top = vf.len() - 1;
-    let unsafe_at_top = WorkloadSpec::by_severity_rank()
+    let unsafe_at_top = scenario
+        .workloads
         .iter()
         .filter(|w| table.peak(&w.name, top).unwrap() >= 1.0)
         .count();
-    println!("Workloads unsafe at 5.0 GHz: {unsafe_at_top}/27 (paper: 27)");
+    println!(
+        "Workloads unsafe at {:.2} GHz: {unsafe_at_top}/{n} (paper: 27/27 at 5.0)",
+        vf.point(top).frequency.value()
+    );
 
     // §III-C: cost of the global limit vs the oracle.
     let oracles = oracle_frequencies(&table).expect("oracles");
@@ -61,7 +90,9 @@ fn main() {
     let median = reductions[reductions.len() / 2];
     let worst = reductions.last().copied().unwrap_or(0.0);
     println!("\nSec. III-C (global VF limit vs oracle):");
-    println!("  workloads already optimal at the global limit: {optimal}/27 (paper: 2)");
+    println!("  workloads already optimal at the global limit: {optimal}/{n} (paper: 2/27)");
     println!("  median frequency left on the table: {median:.1}% (paper: ~13%)");
     println!("  worst case: {worst:.1}% (paper: 26%)");
+
+    println!("\nengine: {}", report.counters.summary());
 }

@@ -3,48 +3,68 @@
 //!
 //! Paper shape: TH-00 is safe for both; relaxing the thresholds by 5 or
 //! 10 degrees causes hotspot incursions on gromacs while gamess stays
-//! reliable and simply runs faster.
+//! reliable and simply runs faster. All six runs are one
+//! [`engine::Scenario`] executed (and cached) by the shared session.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
-use boreas_core::{ClosedLoopRunner, ThermalController, VfTable};
+use engine::{ControllerSpec, Scenario};
 use workloads::WorkloadSpec;
 
 fn main() {
     let exp = Experiment::paper().expect("paper config");
     let thresholds = exp.trained_thresholds().expect("trained thresholds");
-    let runner = ClosedLoopRunner::new(&exp.pipeline);
 
+    let workloads: Vec<WorkloadSpec> = ["gromacs", "gamess"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).expect("workload"))
+        .collect();
+    let controllers: Vec<ControllerSpec> = [0.0, 5.0, 10.0]
+        .iter()
+        .map(|&relax| ControllerSpec::thermal(thresholds.clone(), relax))
+        .collect();
+    let scenario = Scenario::closed_loop(
+        "fig4-thermal-case-study",
+        workloads,
+        exp.vf.clone(),
+        LOOP_STEPS,
+        controllers,
+    );
+    let report = exp
+        .session()
+        .expect("session")
+        .run(&scenario)
+        .expect("closed loop");
+
+    let mut rows = report.loop_runs();
     for name in ["gromacs", "gamess"] {
-        let spec = WorkloadSpec::by_name(name).expect("workload");
         println!("== {name}");
-        for relax in [0.0, 5.0, 10.0] {
-            let mut c = ThermalController::from_thresholds(thresholds.clone(), relax);
-            let out = runner
-                .run(&spec, &mut c, LOOP_STEPS, VfTable::BASELINE_INDEX)
-                .expect("closed loop");
+        for _ in 0..3 {
+            let out = rows.next().expect("six rows");
+            assert_eq!(out.workload, name);
             println!(
-                "  TH-{relax:02.0}: avg {:.3} GHz ({:+.1}% vs baseline), peak severity {}, incursions {}{}",
-                out.avg_frequency.value(),
+                "  {}: avg {:.3} GHz ({:+.1}% vs baseline), peak severity {:.2}, incursions {}{}",
+                out.controller,
+                out.avg_frequency_ghz,
                 (out.normalized_frequency - 1.0) * 100.0,
                 out.peak_severity,
                 out.incursions,
-                if out.incursions > 0 { "  << UNSAFE" } else { "" }
+                if out.incursions > 0 {
+                    "  << UNSAFE"
+                } else {
+                    ""
+                }
             );
-            // Compact trace: frequency per decision interval.
             print!("        f(GHz) per ms: ");
-            for chunk in out.records.chunks(12) {
-                print!("{:.2} ", chunk.last().expect("non-empty").frequency.value());
+            for f in &out.interval_freq_ghz {
+                print!("{f:.2} ");
             }
             println!();
             print!("        max sev per ms: ");
-            for chunk in out.records.chunks(12) {
-                let s = chunk
-                    .iter()
-                    .map(|r| r.max_severity.value())
-                    .fold(0.0f64, f64::max);
+            for s in &out.interval_peak_severity {
                 print!("{s:.2} ");
             }
             println!();
         }
     }
+    println!("\nengine: {}", report.counters.summary());
 }

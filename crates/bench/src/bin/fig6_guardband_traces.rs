@@ -2,31 +2,43 @@
 //!
 //! Paper shape: ML00 (no guardband) reaches severity 1.0 in several
 //! steps; ML05 rides close to 1 without ever reaching it; ML10 is safe
-//! but conservative.
+//! but conservative. All three guardbands run as one
+//! [`engine::Scenario`] through the shared cached session.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
-use boreas_core::{BoreasController, ClosedLoopRunner, VfTable};
+use engine::{ControllerSpec, Scenario};
 use workloads::WorkloadSpec;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
     let exp = Experiment::paper().expect("paper config");
     let (model, features) = exp.boreas_model().expect("model");
-    let runner = ClosedLoopRunner::new(&exp.pipeline);
     let spec = WorkloadSpec::by_name(&name).expect("workload");
 
+    let controllers: Vec<ControllerSpec> = [0.0, 0.05, 0.10]
+        .iter()
+        .map(|&g| ControllerSpec::ml(model.clone(), &features, g))
+        .collect();
+    let scenario = Scenario::closed_loop(
+        "fig6-guardband-traces",
+        vec![spec],
+        exp.vf.clone(),
+        LOOP_STEPS,
+        controllers,
+    );
+    let report = exp
+        .session()
+        .expect("session")
+        .run(&scenario)
+        .expect("closed loop");
+
     println!("Fig. 6: {name} under ML guardbands\n");
-    for g in [0.0, 0.05, 0.10] {
-        let mut c =
-            BoreasController::try_new(model.clone(), features.clone(), g).expect("schema matches");
-        let out = runner
-            .run(&spec, &mut c, LOOP_STEPS, VfTable::BASELINE_INDEX)
-            .expect("closed loop");
+    for (out, g) in report.loop_runs().zip([0.0, 0.05, 0.10]) {
         println!(
-            "ML{:02.0} (threshold {:.2}): avg {:.3} GHz, peak severity {}, incursions {}{}",
-            g * 100.0,
+            "{} (threshold {:.2}): avg {:.3} GHz, peak severity {:.2}, incursions {}{}",
+            out.controller,
             1.0 - g,
-            out.avg_frequency.value(),
+            out.avg_frequency_ghz,
             out.peak_severity,
             out.incursions,
             if out.incursions > 0 {
@@ -36,18 +48,15 @@ fn main() {
             }
         );
         print!("  f(GHz) per ms:  ");
-        for chunk in out.records.chunks(12) {
-            print!("{:.2} ", chunk.last().expect("non-empty").frequency.value());
+        for f in &out.interval_freq_ghz {
+            print!("{f:.2} ");
         }
         println!();
         print!("  max sev per ms: ");
-        for chunk in out.records.chunks(12) {
-            let s = chunk
-                .iter()
-                .map(|r| r.max_severity.value())
-                .fold(0.0f64, f64::max);
+        for s in &out.interval_peak_severity {
             print!("{s:.2} ");
         }
         println!("\n");
     }
+    println!("engine: {}", report.counters.summary());
 }

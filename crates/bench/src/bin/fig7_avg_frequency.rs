@@ -4,86 +4,83 @@
 //! Paper shape: TH-00 ≈ +5.7 % over baseline; ML05 ≈ TH-00 + 4.5 % with
 //! zero incursions; ML00 fastest but unreliable; ML10 safe but barely
 //! better than TH (and worse on hmmer).
+//!
+//! The workload × controller matrix is one [`engine::Scenario`]; the
+//! [`engine::Session`] runs it work-stealing and memoises every cell.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
-use boreas_core::{
-    BoreasController, ClosedLoopRunner, Controller, GlobalVfController, ThermalController, VfTable,
-};
+use boreas_core::VfTable;
+use engine::{ControllerSpec, Scenario};
 use workloads::WorkloadSpec;
-
-type ControllerFactory = Box<dyn Fn() -> Box<dyn Controller>>;
 
 fn main() {
     let exp = Experiment::paper().expect("paper config");
     let thresholds = exp.trained_thresholds().expect("trained thresholds");
     let (model, features) = exp.boreas_model().expect("boreas model");
-    let runner = ClosedLoopRunner::new(&exp.pipeline);
     let tests = WorkloadSpec::test_set();
 
-    let mut make: Vec<(&str, ControllerFactory)> = Vec::new();
-    make.push((
-        "TH-00",
-        Box::new({
-            let thresholds = thresholds.clone();
-            move || Box::new(ThermalController::from_thresholds(thresholds.clone(), 0.0))
-        }),
-    ));
-    for g in [0.0, 0.05, 0.10] {
-        let model = model.clone();
-        let features = features.clone();
-        make.push((
-            match (g * 100.0) as u32 {
-                0 => "ML00",
-                5 => "ML05",
-                _ => "ML10",
-            },
-            Box::new(move || {
-                Box::new(
-                    BoreasController::try_new(model.clone(), features.clone(), g)
-                        .expect("schema matches"),
-                )
-            }),
-        ));
-    }
+    // Column order of the Fig. 7 table; the trailing baseline row is a
+    // sanity check, not a column.
+    let controllers = vec![
+        ControllerSpec::thermal(thresholds, 0.0),
+        ControllerSpec::ml(model.clone(), &features, 0.0),
+        ControllerSpec::ml(model.clone(), &features, 0.05),
+        ControllerSpec::ml(model, &features, 0.10),
+        ControllerSpec::global(VfTable::BASELINE_INDEX),
+    ];
+    let labels: Vec<String> = controllers.iter().map(ControllerSpec::label).collect();
+    let n_cols = labels.len() - 1; // baseline column is hidden
 
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8}   (normalised avg frequency; * = incursions)",
-        "workload", "TH-00", "ML00", "ML05", "ML10"
+    let scenario = Scenario::closed_loop(
+        "fig7-avg-frequency",
+        tests.clone(),
+        exp.vf.clone(),
+        LOOP_STEPS,
+        controllers,
     );
-    let mut sums = vec![0.0; make.len()];
-    let mut incur = vec![0usize; make.len()];
-    for w in &tests {
+    let report = exp
+        .session()
+        .expect("session")
+        .run(&scenario)
+        .expect("closed-loop matrix");
+    let rows: Vec<_> = report.loop_runs().collect();
+
+    print!("{:<12}", "workload");
+    for label in labels.iter().take(n_cols) {
+        print!(" {:>8}", label);
+    }
+    println!("   (normalised avg frequency; * = incursions)");
+
+    let mut sums = vec![0.0; n_cols];
+    let mut incur = vec![0usize; n_cols];
+    for (w_idx, w) in tests.iter().enumerate() {
         print!("{:<12}", w.name);
-        for (i, (_, mk)) in make.iter().enumerate() {
-            let mut c = mk();
-            let out = runner
-                .run(w, c.as_mut(), LOOP_STEPS, VfTable::BASELINE_INDEX)
-                .expect("closed loop");
-            sums[i] += out.normalized_frequency;
-            incur[i] += out.incursions;
+        for col in 0..n_cols {
+            let row = rows[w_idx * labels.len() + col];
+            assert_eq!(row.workload, w.name, "engine row order");
+            sums[col] += row.normalized_frequency;
+            incur[col] += row.incursions;
             print!(
                 " {:>7.4}{}",
-                out.normalized_frequency,
-                if out.incursions > 0 { "*" } else { " " }
+                row.normalized_frequency,
+                if row.incursions > 0 { "*" } else { " " }
             );
         }
         println!();
     }
     print!("{:<12}", "AVG");
-    for (i, _) in make.iter().enumerate() {
+    for col in 0..n_cols {
         print!(
             " {:>7.4}{}",
-            sums[i] / tests.len() as f64,
-            if incur[i] > 0 { "*" } else { " " }
+            sums[col] / tests.len() as f64,
+            if incur[col] > 0 { "*" } else { " " }
         );
     }
     println!();
-    // Baseline sanity and the headline delta.
-    let mut base = GlobalVfController::new(VfTable::BASELINE_INDEX);
-    let out = runner
-        .run(&tests[0], &mut base, LOOP_STEPS, VfTable::BASELINE_INDEX)
-        .expect("baseline");
-    assert!((out.normalized_frequency - 1.0).abs() < 1e-9);
+
+    // Baseline sanity and the headline deltas.
+    let baseline = rows[n_cols]; // workload 0, last column
+    assert!((baseline.normalized_frequency - 1.0).abs() < 1e-9);
     let th = sums[0] / tests.len() as f64;
     let ml05 = sums[2] / tests.len() as f64;
     println!("\nTH-00 over baseline: {:+.1}%", (th - 1.0) * 100.0);
@@ -91,4 +88,6 @@ fn main() {
         "ML05 over TH-00:     {:+.1}%  (paper: +4.5%)",
         (ml05 / th - 1.0) * 100.0
     );
+
+    println!("\nengine: {}", report.counters.summary());
 }

@@ -4,62 +4,70 @@
 //! Paper shape: Boreas runs at the same frequency or one-two 250 MHz
 //! steps above the thermal model (except hmmer), and no test workload
 //! ever reaches severity 1.0 under either controller.
+//!
+//! Both controllers over all test workloads form one
+//! [`engine::Scenario`]; the per-interval traces come straight off the
+//! engine's result rows.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
-use boreas_core::{BoreasController, ClosedLoopRunner, Controller, ThermalController, VfTable};
+use engine::{ControllerSpec, Scenario};
 use workloads::WorkloadSpec;
 
 fn main() {
     let exp = Experiment::paper().expect("paper config");
     let thresholds = exp.trained_thresholds().expect("trained thresholds");
     let (model, features) = exp.boreas_model().expect("model");
-    let runner = ClosedLoopRunner::new(&exp.pipeline);
+    let tests = WorkloadSpec::test_set();
+
+    let controllers = vec![
+        ControllerSpec::thermal(thresholds, 0.0),
+        ControllerSpec::ml(model, &features, 0.05),
+    ];
+    let scenario = Scenario::closed_loop(
+        "fig8-dynamic-runs",
+        tests.clone(),
+        exp.vf.clone(),
+        LOOP_STEPS,
+        controllers,
+    );
+    let report = exp
+        .session()
+        .expect("session")
+        .run(&scenario)
+        .expect("dynamic runs");
+    let rows: Vec<_> = report.loop_runs().collect();
 
     let mut any_incursion = false;
-    for w in WorkloadSpec::test_set() {
+    for (w_idx, w) in tests.iter().enumerate() {
         println!("== {}", w.name);
-        let mut th: Box<dyn Controller> =
-            Box::new(ThermalController::from_thresholds(thresholds.clone(), 0.0));
-        let mut ml: Box<dyn Controller> = Box::new(
-            BoreasController::try_new(model.clone(), features.clone(), 0.05)
-                .expect("schema matches"),
-        );
-        let mut avg = Vec::new();
-        for c in [&mut th, &mut ml] {
-            let out = runner
-                .run(&w, c.as_mut(), LOOP_STEPS, VfTable::BASELINE_INDEX)
-                .expect("closed loop");
+        let pair = &rows[w_idx * 2..w_idx * 2 + 2];
+        for row in pair {
+            assert_eq!(row.workload, w.name, "engine row order");
             println!(
-                "  {:<6} avg {:.3} GHz, peak severity {}, incursions {}",
-                out.controller,
-                out.avg_frequency.value(),
-                out.peak_severity,
-                out.incursions
+                "  {:<6} avg {:.3} GHz, peak severity {:.3}, incursions {}",
+                row.controller, row.avg_frequency_ghz, row.peak_severity, row.incursions
             );
             print!("    f(GHz):  ");
-            for chunk in out.records.chunks(12) {
-                print!("{:.2} ", chunk.last().expect("non-empty").frequency.value());
+            for f in &row.interval_freq_ghz {
+                print!("{f:.2} ");
             }
             println!();
             print!("    max sev: ");
-            for chunk in out.records.chunks(12) {
-                let s = chunk
-                    .iter()
-                    .map(|r| r.max_severity.value())
-                    .fold(0.0f64, f64::max);
+            for s in &row.interval_peak_severity {
                 print!("{s:.2} ");
             }
             println!();
-            any_incursion |= out.incursions > 0;
-            avg.push(out.avg_frequency.value());
+            any_incursion |= row.incursions > 0;
         }
         println!(
             "  Boreas vs TH-00: {:+.1}%\n",
-            (avg[1] / avg[0] - 1.0) * 100.0
+            (pair[1].avg_frequency_ghz / pair[0].avg_frequency_ghz - 1.0) * 100.0
         );
     }
     println!(
         "any incursion across all test workloads and both controllers: {} (paper: none)",
         if any_incursion { "YES (!)" } else { "no" }
     );
+
+    println!("\nengine: {}", report.counters.summary());
 }

@@ -1,13 +1,19 @@
 //! Shared experiment context: the paper pipeline, trained artefacts and
-//! a small on-disk cache so the per-figure binaries don't retrain.
+//! the content-addressed artifact cache so the per-figure binaries don't
+//! retrain.
+//!
+//! All caching goes through [`engine::ArtifactCache`]: artefacts
+//! are keyed by a hash of their full provenance (pipeline configuration,
+//! VF table, workload set, training hyper-parameters), the cache
+//! location honours `BOREAS_CACHE_DIR`, and I/O failures propagate as
+//! errors instead of being silently swallowed.
 
-use boreas_core::{
-    train_safe_thresholds, ClosedLoopRunner, CriticalTemps, SweepTable, TrainingConfig, VfTable,
-};
+use boreas_core::{train_safe_thresholds, CriticalTemps, SweepTable, TrainingConfig, VfTable};
 use common::Result;
+use engine::{ArtifactCache, Scenario, Session, SessionReport};
 use gbt::{GbtModel, GbtParams};
 use hotgauge::{Pipeline, PipelineConfig};
-use std::path::PathBuf;
+use serde::Serialize;
 use telemetry::FeatureSet;
 use workloads::WorkloadSpec;
 
@@ -24,50 +30,82 @@ pub struct Experiment {
     pub pipeline: Pipeline,
     /// The paper VF table.
     pub vf: VfTable,
+    cache: ArtifactCache,
+}
+
+/// Provenance descriptor for a derived (non-engine-job) artefact; the
+/// artifact cache hashes this into the storage key.
+#[derive(Serialize)]
+struct ArtefactDesc<'a, P: Serialize> {
+    schema: &'static str,
+    pipeline: &'a PipelineConfig,
+    vf: &'a VfTable,
+    params: P,
 }
 
 impl Experiment {
-    /// Builds the paper configuration.
+    /// Builds the paper configuration and opens the artifact cache
+    /// (`$BOREAS_CACHE_DIR` or `target/boreas-cache`).
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors (none with the defaults).
+    /// Propagates configuration errors and cache-directory I/O failures.
     pub fn paper() -> Result<Experiment> {
         Ok(Experiment {
             pipeline: PipelineConfig::paper().build()?,
             vf: VfTable::paper(),
+            cache: ArtifactCache::open_default()?,
         })
     }
 
-    /// Cache directory for trained artefacts (under `target/`).
-    fn cache_dir() -> PathBuf {
-        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/boreas-cache");
-        std::fs::create_dir_all(&dir).ok();
-        dir
+    /// The artifact cache backing this experiment.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
     }
 
-    /// The Fig. 2 sweep of the full suite (cached).
+    /// A [`Session`] over this experiment's pipeline, memoising into the
+    /// same cache root.
     ///
     /// # Errors
     ///
-    /// Propagates pipeline/serialisation errors.
-    pub fn sweep_table(&self) -> Result<SweepTable> {
-        let path = Self::cache_dir().join("sweep_table.json");
-        if let Ok(json) = std::fs::read_to_string(&path) {
-            if let Ok(table) = serde_json::from_str(&json) {
-                return Ok(table);
-            }
-        }
-        let table = SweepTable::measure(
-            &self.pipeline,
-            &WorkloadSpec::by_severity_rank(),
-            &self.vf,
+    /// Propagates cache-directory I/O failures.
+    pub fn session(&self) -> Result<Session> {
+        Session::with_cache_dir(self.pipeline.clone(), self.cache.root())
+    }
+
+    /// The Fig. 2 scenario: every workload (severity-rank order) at
+    /// every VF point for the paper's 150-step trace.
+    pub fn fig2_scenario(&self) -> Scenario {
+        Scenario::severity_sweep(
+            "fig2-severity-sweep",
+            WorkloadSpec::by_severity_rank(),
+            self.vf.clone(),
             RUN_STEPS,
-        )?;
-        if let Ok(json) = serde_json::to_string(&table) {
-            std::fs::write(&path, json).ok();
-        }
-        Ok(table)
+        )
+    }
+
+    /// The Fig. 2 sweep of the full suite, via the engine (per-job
+    /// cached). Returns the report (rows + cache counters) alongside the
+    /// scenario for table assembly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline/cache errors.
+    pub fn fig2_report(&self) -> Result<(Scenario, SessionReport)> {
+        let scenario = self.fig2_scenario();
+        let report = self.session()?.run(&scenario)?;
+        Ok((scenario, report))
+    }
+
+    /// The Fig. 2 sweep table (oracle / threshold-training input),
+    /// assembled from the engine run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline/cache errors.
+    pub fn sweep_table(&self) -> Result<SweepTable> {
+        let (scenario, report) = self.fig2_report()?;
+        report.sweep_table(&scenario)
     }
 
     /// Critical temperatures of the *training* workloads on the default
@@ -75,25 +113,24 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates pipeline/serialisation errors.
+    /// Propagates pipeline/serialisation/cache errors.
     pub fn critical_temps(&self) -> Result<CriticalTemps> {
-        let path = Self::cache_dir().join("critical_temps.json");
-        if let Ok(json) = std::fs::read_to_string(&path) {
-            if let Ok(crit) = serde_json::from_str(&json) {
-                return Ok(crit);
-            }
-        }
-        let crit = CriticalTemps::measure(
-            &self.pipeline,
-            &WorkloadSpec::train_set(),
-            &self.vf,
-            telemetry::DEFAULT_SENSOR_INDEX,
-            RUN_STEPS,
-        )?;
-        if let Ok(json) = serde_json::to_string(&crit) {
-            std::fs::write(&path, json).ok();
-        }
-        Ok(crit)
+        let train = WorkloadSpec::train_set();
+        let desc = ArtefactDesc {
+            schema: "critical_temps v1",
+            pipeline: self.pipeline.config(),
+            vf: &self.vf,
+            params: (names(&train), telemetry::DEFAULT_SENSOR_INDEX, RUN_STEPS),
+        };
+        self.cache.get_or_compute(&desc, || {
+            CriticalTemps::measure(
+                &self.pipeline,
+                &train,
+                &self.vf,
+                telemetry::DEFAULT_SENSOR_INDEX,
+                RUN_STEPS,
+            )
+        })
     }
 
     /// Closed-loop-safe TH-00 thresholds: the measured critical
@@ -103,29 +140,27 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates pipeline errors.
+    /// Propagates pipeline/cache errors.
     pub fn trained_thresholds(&self) -> Result<Vec<Option<f64>>> {
-        let path = Self::cache_dir().join("trained_thresholds.json");
-        if let Ok(json) = std::fs::read_to_string(&path) {
-            if let Ok(t) = serde_json::from_str::<Vec<Option<f64>>>(&json) {
-                if t.len() == self.vf.len() {
-                    return Ok(t);
-                }
-            }
-        }
         let crit = self.critical_temps()?;
-        let runner = ClosedLoopRunner::new(&self.pipeline);
-        let trained = train_safe_thresholds(
-            &runner,
-            &WorkloadSpec::train_set(),
-            crit.global_thresholds(),
-            LOOP_STEPS,
-            60,
-        )?;
-        if let Ok(json) = serde_json::to_string(&trained) {
-            std::fs::write(&path, json).ok();
-        }
-        Ok(trained)
+        let initial = crit.global_thresholds();
+        let train = WorkloadSpec::train_set();
+        let desc = ArtefactDesc {
+            schema: "trained_thresholds v1",
+            pipeline: self.pipeline.config(),
+            vf: &self.vf,
+            params: (names(&train), &initial, LOOP_STEPS, 60usize),
+        };
+        self.cache.get_or_compute(&desc, || {
+            train_safe_thresholds(
+                &self.pipeline,
+                &self.vf,
+                &train,
+                initial.clone(),
+                LOOP_STEPS,
+                60,
+            )
+        })
     }
 
     /// The full-featured (78-attribute) model trained on the training
@@ -133,9 +168,9 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates pipeline/training errors.
+    /// Propagates pipeline/training/cache errors.
     pub fn full_model(&self) -> Result<GbtModel> {
-        self.cached_model("model_full.json", &FeatureSet::full(), GbtParams::default())
+        self.cached_model(&FeatureSet::full(), GbtParams::default())
     }
 
     /// The deployed Boreas model: top-20 features by gain of the full
@@ -143,7 +178,7 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates pipeline/training errors.
+    /// Propagates pipeline/training/cache errors.
     pub fn boreas_model(&self) -> Result<(GbtModel, FeatureSet)> {
         let full = self.full_model()?;
         let top: Vec<String> = full
@@ -154,24 +189,11 @@ impl Experiment {
             .collect();
         let refs: Vec<&str> = top.iter().map(String::as_str).collect();
         let features = FeatureSet::from_names(&refs)?;
-        let model = self.cached_model("model_top20.json", &features, GbtParams::default())?;
+        let model = self.cached_model(&features, GbtParams::default())?;
         Ok((model, features))
     }
 
-    fn cached_model(
-        &self,
-        file: &str,
-        features: &FeatureSet,
-        params: GbtParams,
-    ) -> Result<GbtModel> {
-        let path = Self::cache_dir().join(file);
-        if let Ok(json) = std::fs::read_to_string(&path) {
-            if let Ok(model) = GbtModel::from_json(&json) {
-                if model.feature_names() == features.names().as_slice() {
-                    return Ok(model);
-                }
-            }
-        }
+    fn cached_model(&self, features: &FeatureSet, params: GbtParams) -> Result<GbtModel> {
         let cfg = TrainingConfig {
             steps: RUN_STEPS,
             horizon: 12,
@@ -179,14 +201,28 @@ impl Experiment {
             params,
             label_cap: Some(2.0),
         };
-        let (model, _) = boreas_core::train_boreas_model(
-            &self.pipeline,
-            &self.vf,
-            &WorkloadSpec::train_set(),
-            features,
-            &cfg,
-        )?;
-        std::fs::write(&path, model.to_json()?).ok();
-        Ok(model)
+        let train = WorkloadSpec::train_set();
+        let desc = ArtefactDesc {
+            schema: "gbt_model v1",
+            pipeline: self.pipeline.config(),
+            vf: &self.vf,
+            params: (
+                names(&train),
+                features.names(),
+                &cfg.params,
+                cfg.steps,
+                cfg.horizon,
+                cfg.sensor_idx,
+                cfg.label_cap,
+            ),
+        };
+        self.cache.get_or_compute(&desc, || {
+            boreas_core::train_boreas_model(&self.pipeline, &self.vf, &train, features, &cfg)
+                .map(|(model, _)| model)
+        })
     }
+}
+
+fn names(workloads: &[WorkloadSpec]) -> Vec<&str> {
+    workloads.iter().map(|w| w.name.as_str()).collect()
 }

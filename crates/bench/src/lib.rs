@@ -2,11 +2,14 @@
 //! reproduction.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md §4 for the index); the Criterion benches under
-//! `benches/` measure the runtime cost of the core components (GBT
-//! prediction latency, thermal-solver throughput, pipeline step rate).
+//! paper (see DESIGN.md §4 for the index). The binaries describe their
+//! experiment as an [`engine::Scenario`] and execute it through
+//! [`engine::Session`] — the work-stealing, artifact-cached experiment
+//! engine — via the shared [`experiments::Experiment`] context. The
+//! Criterion benches under `benches/` measure the runtime cost of the
+//! core components (GBT prediction latency, thermal-solver throughput,
+//! pipeline step rate).
 
 pub mod experiments;
-pub mod sweep;
 
-pub use sweep::{parallel_severity_sweep, SweepPoint};
+pub use experiments::{Experiment, LOOP_STEPS, RUN_STEPS};

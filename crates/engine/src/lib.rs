@@ -1,0 +1,50 @@
+//! Scenario-based experiment engine for the Boreas reproduction.
+//!
+//! Every figure in the paper is a grid of independent simulations —
+//! workloads × operating points for the Fig. 2 severity sweep, workloads
+//! × controllers (× fault plans) for the closed-loop evaluations. This
+//! crate turns those grids into first-class data and executes them
+//! efficiently:
+//!
+//! * [`Scenario`] — a typed, serialisable experiment description:
+//!   workload set, VF table, step budget, and either a severity sweep or
+//!   a closed-loop controller matrix with optional [`FaultCell`]s;
+//! * [`Session`] — expands a scenario into a deterministic job graph and
+//!   runs it on a work-stealing thread pool ([`crossbeam::deque`]) with
+//!   per-thread controller reuse, memoising every job result in a
+//!   content-addressed [`ArtifactCache`];
+//! * [`SessionReport`] — results in scenario order (byte-identical
+//!   regardless of thread count) plus [`EngineCounters`]: jobs run vs
+//!   cached, per-stage wall time and the cache hit rate.
+//!
+//! ```no_run
+//! use boreas_core::VfTable;
+//! use boreas_engine::{ControllerSpec, Scenario, Session};
+//! use hotgauge::PipelineConfig;
+//! use workloads::WorkloadSpec;
+//!
+//! # fn main() -> common::Result<()> {
+//! let pipeline = PipelineConfig::paper().build()?;
+//! let scenario = Scenario::severity_sweep(
+//!     "fig2",
+//!     WorkloadSpec::test_set(),
+//!     VfTable::paper(),
+//!     150,
+//! );
+//! let session = Session::new(pipeline)?;
+//! let report = session.run(&scenario)?;
+//! println!("{}", report.counters.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod pool;
+pub mod scenario;
+pub mod session;
+
+pub use cache::{ArtifactCache, CACHE_DIR_ENV};
+pub use scenario::{BuiltController, ControllerSpec, FaultCell, Scenario, ScenarioKind};
+pub use session::{
+    EngineCounters, JobResult, LoopRunResult, Session, SessionReport, SweepPointResult,
+};

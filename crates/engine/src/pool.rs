@@ -1,0 +1,160 @@
+//! Work-stealing execution pool.
+//!
+//! Jobs are tagged with their index in the scenario's deterministic
+//! expansion order before being scattered across threads, so the caller
+//! can reassemble results positionally no matter which thread ran what.
+//! Each worker owns a `crossbeam::deque::Worker` backed by the shared
+//! `Injector`; idle workers first drain the injector in batches, then
+//! steal from siblings. Per-thread state (built controllers, scratch
+//! buffers) is created once per worker by the `init` closure and reused
+//! across every job that worker executes.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// Runs `jobs` on `threads` workers and returns `(index, result)` pairs
+/// in unspecified order; callers place results by index.
+///
+/// With one thread (or one job) everything runs inline on the calling
+/// thread — no spawning, same code path for state reuse — which is also
+/// the reference order for determinism tests.
+pub fn run_jobs<J, R, S>(
+    threads: usize,
+    jobs: Vec<(usize, J)>,
+    init: impl Fn() -> S + Sync,
+    exec: impl Fn(&mut S, J) -> R + Sync,
+) -> Vec<(usize, R)>
+where
+    J: Send,
+    R: Send,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        let mut state = init();
+        return jobs
+            .into_iter()
+            .map(|(idx, job)| (idx, exec(&mut state, job)))
+            .collect();
+    }
+
+    let injector = Injector::new();
+    let n = jobs.len();
+    for job in jobs {
+        injector.push(job);
+    }
+    let workers: Vec<Worker<(usize, J)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, J)>> = workers.iter().map(Worker::stealer).collect();
+    let results = std::sync::Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        for (me, local) in workers.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let results = &results;
+            let init = &init;
+            let exec = &exec;
+            scope.spawn(move || {
+                let mut state = init();
+                let mut done = Vec::new();
+                while let Some((idx, job)) = next_job(&local, injector, stealers, me) {
+                    done.push((idx, exec(&mut state, job)));
+                }
+                results.lock().expect("result sink poisoned").extend(done);
+            });
+        }
+    });
+
+    results.into_inner().expect("result sink poisoned")
+}
+
+/// Local queue first, then a batch from the injector, then steal from a
+/// sibling. `None` only once everything is drained (no job spawns more
+/// jobs, so empty-everywhere is terminal).
+fn next_job<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+    me: usize,
+) -> Option<T> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    loop {
+        let mut contended = false;
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(job) => return Some(job),
+            Steal::Retry => contended = true,
+            Steal::Empty => {}
+        }
+        for (i, stealer) in stealers.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+        }
+        if !contended {
+            return None;
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        for threads in [1, 2, 4] {
+            let jobs: Vec<(usize, u64)> = (0..97).map(|i| (i, i as u64)).collect();
+            let inits = AtomicUsize::new(0);
+            let mut out = run_jobs(
+                threads,
+                jobs,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |state, job| {
+                    *state += 1;
+                    job * 3
+                },
+            );
+            out.sort_by_key(|(idx, _)| *idx);
+            assert_eq!(out.len(), 97);
+            for (idx, val) in out {
+                assert_eq!(val, idx as u64 * 3);
+            }
+            assert!(
+                inits.load(Ordering::Relaxed) <= threads,
+                "at most one state per worker"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out = run_jobs(4, Vec::<(usize, ())>::new(), || (), |(), ()| ());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_state_is_reused_across_jobs() {
+        let jobs: Vec<(usize, ())> = (0..16).map(|i| (i, ())).collect();
+        let out = run_jobs(
+            1,
+            jobs,
+            || 0usize,
+            |count, ()| {
+                *count += 1;
+                *count
+            },
+        );
+        let max_seen = out.iter().map(|(_, c)| *c).max().unwrap();
+        assert_eq!(max_seen, 16, "single worker sees every job in one state");
+    }
+}

@@ -1,0 +1,529 @@
+//! The session executor: scenario → job graph → work-stealing execution
+//! with cache memoisation → ordered results + counters.
+
+use crate::cache::ArtifactCache;
+use crate::pool;
+use crate::scenario::{BuiltController, JobRef, Scenario, ScenarioKind};
+use boreas_core::{RunSpec, SweepTable};
+use common::{Error, Result};
+use faults::{FaultInjector, FaultPlan};
+use hotgauge::{Pipeline, PipelineConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use workloads::WorkloadSpec;
+
+/// Result of one fixed-frequency sweep job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPointResult {
+    /// Workload name.
+    pub workload: String,
+    /// Severity rank of the workload (Fig. 2 sort order).
+    pub rank: usize,
+    /// Frequency of the run, GHz.
+    pub freq_ghz: f64,
+    /// Peak severity over the run (clamped to [0, 1]).
+    pub peak_severity: f64,
+    /// Unclamped peak severity.
+    pub peak_severity_raw: f64,
+    /// Peak true die temperature, °C.
+    pub peak_temp_c: f64,
+    /// Mean IPC of the run.
+    pub mean_ipc: f64,
+}
+
+/// Result of one closed-loop job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopRunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Controller label (from [`crate::ControllerSpec::label`]).
+    pub controller: String,
+    /// Fault-cell label, when a fault plan was injected.
+    pub fault: Option<String>,
+    /// Time-average frequency over the run, GHz.
+    pub avg_frequency_ghz: f64,
+    /// Average frequency normalised to the 3.75 GHz baseline.
+    pub normalized_frequency: f64,
+    /// Number of steps whose true severity reached 1.0.
+    pub incursions: usize,
+    /// Peak severity over the run (clamped to [0, 1]).
+    pub peak_severity: f64,
+    /// VF index after the final decision.
+    pub final_idx: usize,
+    /// Frequency at the end of each 960 µs decision interval, GHz.
+    pub interval_freq_ghz: Vec<f64>,
+    /// Peak true severity within each decision interval.
+    pub interval_peak_severity: Vec<f64>,
+    /// Worst degradation stage reached (resilient controllers only).
+    pub worst_stage: Option<String>,
+}
+
+/// Result of one engine job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobResult {
+    /// From a severity-sweep scenario.
+    Sweep(SweepPointResult),
+    /// From a closed-loop scenario.
+    Loop(LoopRunResult),
+}
+
+impl JobResult {
+    /// The sweep point, if this is a sweep result.
+    pub fn as_sweep(&self) -> Option<&SweepPointResult> {
+        match self {
+            JobResult::Sweep(p) => Some(p),
+            JobResult::Loop(_) => None,
+        }
+    }
+
+    /// The loop run, if this is a closed-loop result.
+    pub fn as_loop(&self) -> Option<&LoopRunResult> {
+        match self {
+            JobResult::Loop(r) => Some(r),
+            JobResult::Sweep(_) => None,
+        }
+    }
+}
+
+/// Execution accounting for one [`Session::run`].
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineCounters {
+    /// Worker threads used for the execute stage.
+    pub threads: usize,
+    /// Jobs in the expanded graph.
+    pub jobs_total: usize,
+    /// Jobs served from the artifact cache.
+    pub jobs_cached: usize,
+    /// Jobs actually simulated.
+    pub jobs_run: usize,
+    /// Wall time expanding the scenario, ms.
+    pub expand_ms: f64,
+    /// Wall time probing the cache, ms.
+    pub probe_ms: f64,
+    /// Wall time executing misses, ms.
+    pub execute_ms: f64,
+    /// Wall time persisting new artifacts, ms.
+    pub persist_ms: f64,
+    /// End-to-end wall time, ms.
+    pub total_ms: f64,
+}
+
+impl EngineCounters {
+    /// Fraction of jobs served from cache (0 when there were no jobs).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.jobs_total == 0 {
+            0.0
+        } else {
+            self.jobs_cached as f64 / self.jobs_total as f64
+        }
+    }
+
+    /// One-line human-readable summary for CLI footers.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs ({} cached / {} run, {:.0}% hit rate) on {} threads in {:.0} ms \
+             [expand {:.1} | probe {:.1} | execute {:.1} | persist {:.1}]",
+            self.jobs_total,
+            self.jobs_cached,
+            self.jobs_run,
+            self.cache_hit_rate() * 100.0,
+            self.threads,
+            self.total_ms,
+            self.expand_ms,
+            self.probe_ms,
+            self.execute_ms,
+            self.persist_ms,
+        )
+    }
+}
+
+/// Results of one scenario run, in the scenario's deterministic job
+/// order, plus execution counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// One result per job, in expansion order.
+    pub results: Vec<JobResult>,
+    /// Execution accounting.
+    pub counters: EngineCounters,
+}
+
+impl SessionReport {
+    /// Iterates sweep points (empty for closed-loop scenarios).
+    pub fn sweep_points(&self) -> impl Iterator<Item = &SweepPointResult> {
+        self.results.iter().filter_map(JobResult::as_sweep)
+    }
+
+    /// Iterates closed-loop runs (empty for sweep scenarios).
+    pub fn loop_runs(&self) -> impl Iterator<Item = &LoopRunResult> {
+        self.results.iter().filter_map(JobResult::as_loop)
+    }
+
+    /// Canonical JSON of the result rows (not the counters), for
+    /// determinism comparisons and downstream tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serde`] on serialisation failure.
+    pub fn results_json(&self) -> Result<String> {
+        serde_json::to_string(&self.results).map_err(|e| Error::Serde(e.to_string()))
+    }
+
+    /// Assembles a [`SweepTable`] from a severity-sweep run (the oracle
+    /// and threshold-training input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `scenario` is not the
+    /// severity sweep this report came from.
+    pub fn sweep_table(&self, scenario: &Scenario) -> Result<SweepTable> {
+        if scenario.kind != ScenarioKind::SeveritySweep {
+            return Err(Error::invalid_config(
+                "sweep_table",
+                "scenario is not a severity sweep",
+            ));
+        }
+        let per_workload = scenario.vf.len();
+        if self.results.len() != scenario.workloads.len() * per_workload {
+            return Err(Error::invalid_config(
+                "sweep_table",
+                format!(
+                    "report has {} results, scenario expands to {}",
+                    self.results.len(),
+                    scenario.workloads.len() * per_workload
+                ),
+            ));
+        }
+        let names: Vec<String> = scenario.workloads.iter().map(|w| w.name.clone()).collect();
+        let peaks: Vec<Vec<f64>> = self
+            .results
+            .chunks(per_workload)
+            .map(|row| {
+                row.iter()
+                    .map(|r| {
+                        r.as_sweep().map(|p| p.peak_severity_raw).ok_or_else(|| {
+                            Error::invalid_config("sweep_table", "non-sweep result in report")
+                        })
+                    })
+                    .collect::<Result<Vec<f64>>>()
+            })
+            .collect::<Result<Vec<Vec<f64>>>>()?;
+        SweepTable::from_peaks(names, peaks, scenario.vf.clone())
+    }
+}
+
+/// Cache key for one job: full provenance as serialisable data. Hashing
+/// this (plus the engine version, added by [`ArtifactCache::key_for`])
+/// yields the artifact key.
+#[derive(Serialize)]
+struct JobKey<'a> {
+    schema: &'static str,
+    pipeline: &'a PipelineConfig,
+    vf: &'a boreas_core::VfTable,
+    steps: usize,
+    payload: JobKeyPayload<'a>,
+}
+
+#[derive(Serialize)]
+enum JobKeyPayload<'a> {
+    Fixed {
+        workload: &'a WorkloadSpec,
+        vf_idx: usize,
+    },
+    Loop {
+        workload: &'a WorkloadSpec,
+        start_idx: usize,
+        sensor_idx: usize,
+        controller: &'a crate::ControllerSpec,
+        fault: Option<&'a FaultPlan>,
+    },
+}
+
+/// Executes [`Scenario`]s against one [`Pipeline`].
+///
+/// A session owns the simulation pipeline, a thread budget and
+/// (optionally) an [`ArtifactCache`]; [`Session::run`] expands a
+/// scenario into jobs, serves what it can from the cache, simulates the
+/// rest on the work-stealing pool and returns results in the scenario's
+/// deterministic order — the same bytes whether one thread ran the jobs
+/// or sixteen did.
+pub struct Session {
+    pipeline: Pipeline,
+    threads: usize,
+    cache: Option<ArtifactCache>,
+}
+
+impl Session {
+    /// A session with the default artifact cache
+    /// (`$BOREAS_CACHE_DIR` or `target/boreas-cache`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the cache directory cannot be created.
+    pub fn new(pipeline: Pipeline) -> Result<Session> {
+        Ok(Session {
+            pipeline,
+            threads: default_threads(),
+            cache: Some(ArtifactCache::open_default()?),
+        })
+    }
+
+    /// A session caching under an explicit directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the cache directory cannot be created.
+    pub fn with_cache_dir(
+        pipeline: Pipeline,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<Session> {
+        Ok(Session {
+            pipeline,
+            threads: default_threads(),
+            cache: Some(ArtifactCache::open(dir)?),
+        })
+    }
+
+    /// A session that always simulates (no artifact cache) — for
+    /// calibration loops that mutate workload parameters between runs.
+    pub fn without_cache(pipeline: Pipeline) -> Session {
+        Session {
+            pipeline,
+            threads: default_threads(),
+            cache: None,
+        }
+    }
+
+    /// Overrides the worker-thread count (default: available
+    /// parallelism).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The simulation pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The artifact cache, when enabled.
+    pub fn cache(&self) -> Option<&ArtifactCache> {
+        self.cache.as_ref()
+    }
+
+    /// Runs `scenario` to completion and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation, controller construction,
+    /// simulation and cache-persistence errors. On job failure the error
+    /// of the earliest job (in expansion order) is returned.
+    pub fn run(&self, scenario: &Scenario) -> Result<SessionReport> {
+        let t_total = Instant::now();
+        scenario.validate()?;
+
+        let t_expand = Instant::now();
+        let jobs = scenario.jobs();
+        let n = jobs.len();
+        let expand_ms = ms_since(t_expand);
+
+        // Probe the cache serially (cheap: one hash + one small file read
+        // per job) so the execute stage only sees genuine misses.
+        let t_probe = Instant::now();
+        let mut slots: Vec<Option<JobResult>> = vec![None; n];
+        let mut keys: Vec<Option<String>> = vec![None; n];
+        if let Some(cache) = &self.cache {
+            for (idx, job) in jobs.iter().enumerate() {
+                let key = ArtifactCache::key_for(&self.job_key(scenario, *job))?;
+                slots[idx] = cache.get::<JobResult>(&key);
+                keys[idx] = Some(key);
+            }
+        }
+        let jobs_cached = slots.iter().filter(|s| s.is_some()).count();
+        let probe_ms = ms_since(t_probe);
+
+        let misses: Vec<(usize, JobRef)> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| slots[*idx].is_none())
+            .map(|(idx, job)| (idx, *job))
+            .collect();
+        let jobs_run = misses.len();
+
+        let t_execute = Instant::now();
+        let computed = pool::run_jobs(self.threads, misses, WorkerState::default, |state, job| {
+            self.execute(scenario, state, job)
+        });
+        let execute_ms = ms_since(t_execute);
+
+        let mut fresh: Vec<(usize, Result<JobResult>)> = computed;
+        fresh.sort_by_key(|(idx, _)| *idx);
+        let t_persist = Instant::now();
+        for (idx, outcome) in fresh {
+            let result = outcome?;
+            if let (Some(cache), Some(key)) = (&self.cache, &keys[idx]) {
+                cache.put(key, &result)?;
+            }
+            slots[idx] = Some(result);
+        }
+        let persist_ms = ms_since(t_persist);
+
+        let results: Vec<JobResult> = slots
+            .into_iter()
+            .map(|s| s.expect("every job slot filled"))
+            .collect();
+        Ok(SessionReport {
+            scenario: scenario.name.clone(),
+            results,
+            counters: EngineCounters {
+                threads: self.threads,
+                jobs_total: n,
+                jobs_cached,
+                jobs_run,
+                expand_ms,
+                probe_ms,
+                execute_ms,
+                persist_ms,
+                total_ms: ms_since(t_total),
+            },
+        })
+    }
+
+    fn job_key<'a>(&'a self, scenario: &'a Scenario, job: JobRef) -> JobKey<'a> {
+        let payload = match (job, &scenario.kind) {
+            (JobRef::Fixed { w, vf_idx }, _) => JobKeyPayload::Fixed {
+                workload: &scenario.workloads[w],
+                vf_idx,
+            },
+            (
+                JobRef::Loop { w, ctrl, fault },
+                ScenarioKind::ClosedLoop {
+                    start_idx,
+                    sensor_idx,
+                    controllers,
+                    faults,
+                },
+            ) => JobKeyPayload::Loop {
+                workload: &scenario.workloads[w],
+                start_idx: *start_idx,
+                sensor_idx: *sensor_idx,
+                controller: &controllers[ctrl],
+                fault: fault.map(|f| &faults[f].plan),
+            },
+            (JobRef::Loop { .. }, ScenarioKind::SeveritySweep) => {
+                unreachable!("loop job in a sweep scenario")
+            }
+        };
+        JobKey {
+            schema: "boreas-engine job v1",
+            pipeline: self.pipeline.config(),
+            vf: &scenario.vf,
+            steps: scenario.steps,
+            payload,
+        }
+    }
+
+    fn execute(
+        &self,
+        scenario: &Scenario,
+        state: &mut WorkerState,
+        job: JobRef,
+    ) -> Result<JobResult> {
+        match (job, &scenario.kind) {
+            (JobRef::Fixed { w, vf_idx }, _) => {
+                let spec = &scenario.workloads[w];
+                let point = scenario.vf.point(vf_idx);
+                let out = self.pipeline.run_fixed(
+                    spec,
+                    point.frequency,
+                    point.voltage,
+                    scenario.steps,
+                )?;
+                Ok(JobResult::Sweep(SweepPointResult {
+                    workload: spec.name.clone(),
+                    rank: spec.severity_rank,
+                    freq_ghz: point.frequency.value(),
+                    peak_severity: out.peak_severity.value(),
+                    peak_severity_raw: out.peak_severity_raw,
+                    peak_temp_c: out.peak_temp.value(),
+                    mean_ipc: out.mean_ipc,
+                }))
+            }
+            (
+                JobRef::Loop { w, ctrl, fault },
+                ScenarioKind::ClosedLoop {
+                    start_idx,
+                    sensor_idx,
+                    controllers,
+                    faults,
+                },
+            ) => {
+                let spec = &scenario.workloads[w];
+                let controller = state.controller(ctrl, &controllers[ctrl])?;
+                let mut run_spec = RunSpec::new(&self.pipeline)
+                    .vf(scenario.vf.clone())
+                    .sensor(*sensor_idx)
+                    .steps(scenario.steps)
+                    .start(*start_idx);
+                // The injector is stateful (per-run RNG streams), so each
+                // job gets a fresh one built from the cell's plan.
+                let mut injector;
+                let cell = fault.map(|f| &faults[f]);
+                if let Some(cell) = cell {
+                    injector = FaultInjector::new(cell.plan.clone());
+                    run_spec = run_spec.filter(&mut injector);
+                }
+                let out = run_spec.run(spec, controller.as_controller())?;
+                Ok(JobResult::Loop(LoopRunResult {
+                    workload: spec.name.clone(),
+                    controller: controllers[ctrl].label(),
+                    fault: cell.map(|c| c.label.clone()),
+                    avg_frequency_ghz: out.avg_frequency.value(),
+                    normalized_frequency: out.normalized_frequency,
+                    incursions: out.incursions,
+                    peak_severity: out.peak_severity.value(),
+                    final_idx: out.final_idx,
+                    interval_freq_ghz: out.interval_frequencies(),
+                    interval_peak_severity: out.interval_peak_severities(),
+                    worst_stage: controller.worst_stage().map(|s| s.to_string()),
+                }))
+            }
+            (JobRef::Loop { .. }, ScenarioKind::SeveritySweep) => {
+                unreachable!("loop job in a sweep scenario")
+            }
+        }
+    }
+}
+
+/// Per-worker reusable state: controllers built once per thread, reset
+/// (inside [`RunSpec::run`]) between jobs.
+#[derive(Default)]
+struct WorkerState {
+    controllers: Vec<Option<BuiltController>>,
+}
+
+impl WorkerState {
+    fn controller(
+        &mut self,
+        idx: usize,
+        spec: &crate::ControllerSpec,
+    ) -> Result<&mut BuiltController> {
+        if self.controllers.len() <= idx {
+            self.controllers.resize_with(idx + 1, || None);
+        }
+        if self.controllers[idx].is_none() {
+            self.controllers[idx] = Some(spec.build()?);
+        }
+        Ok(self.controllers[idx].as_mut().expect("just built"))
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}

@@ -1,0 +1,178 @@
+//! Engine acceptance tests: determinism across thread counts and cache
+//! round-trips.
+
+use boreas_core::VfTable;
+use boreas_engine::{ControllerSpec, FaultCell, Scenario, Session};
+use common::units::GigaHertz;
+use faults::{Fault, FaultKind, FaultPlan};
+use hotgauge::PipelineConfig;
+use std::path::PathBuf;
+use workloads::WorkloadSpec;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("boreas-engine-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `true` when the JSON layer round-trips values (false under the
+/// stubbed offline toolchain, where cache hits are impossible and
+/// hit-count assertions are skipped).
+fn json_works() -> bool {
+    serde_json::to_string(&7u32)
+        .ok()
+        .and_then(|s| serde_json::from_str::<u32>(&s).ok())
+        == Some(7)
+}
+
+/// A small VF table so the grid stays cheap: 4 points spanning the
+/// paper's range.
+fn small_vf() -> VfTable {
+    let paper = VfTable::paper();
+    let points: Vec<_> = paper.points().iter().step_by(4).copied().collect();
+    VfTable::new(points).expect("valid subset table")
+}
+
+fn two_workloads() -> Vec<WorkloadSpec> {
+    WorkloadSpec::test_set().into_iter().take(2).collect()
+}
+
+#[test]
+fn sweep_results_are_identical_across_thread_counts() {
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let scenario = Scenario::severity_sweep("det-sweep", two_workloads(), small_vf(), 24);
+
+    let one = Session::without_cache(pipeline.clone())
+        .threads(1)
+        .run(&scenario)
+        .expect("single-thread run");
+    let four = Session::without_cache(pipeline)
+        .threads(4)
+        .run(&scenario)
+        .expect("four-thread run");
+
+    assert_eq!(one.results, four.results, "structural equality");
+    assert_eq!(
+        one.results_json().unwrap(),
+        four.results_json().unwrap(),
+        "byte-identical serialised results"
+    );
+    assert_eq!(one.counters.jobs_total, 2 * small_vf().len());
+    assert_eq!(one.counters.jobs_run, one.counters.jobs_total);
+    assert_eq!(one.counters.jobs_cached, 0);
+}
+
+#[test]
+fn closed_loop_results_are_identical_across_thread_counts() {
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let vf = VfTable::paper();
+    let sweep = boreas_core::SweepTable::measure(&pipeline, &two_workloads(), &vf, 24)
+        .expect("sweep table");
+    let thresholds = vec![None; vf.len()];
+    let controllers = vec![
+        ControllerSpec::global(sweep.global_safe_index().expect("safe index")),
+        ControllerSpec::thermal(thresholds, 0.0),
+    ];
+    let plan = {
+        let mut p = FaultPlan::new(7);
+        p.push(Fault::new(FaultKind::Dropped).during(12, usize::MAX));
+        p
+    };
+    let scenario = Scenario::closed_loop("det-loop", two_workloads(), vf, 48, controllers)
+        .with_faults(vec![FaultCell::new("dropout", plan)]);
+
+    let one = Session::without_cache(pipeline.clone())
+        .threads(1)
+        .run(&scenario)
+        .expect("single-thread run");
+    let four = Session::without_cache(pipeline)
+        .threads(4)
+        .run(&scenario)
+        .expect("four-thread run");
+
+    assert_eq!(one.results, four.results);
+    assert_eq!(one.results_json().unwrap(), four.results_json().unwrap());
+    assert_eq!(one.counters.jobs_total, 2 * 2, "workloads x controllers");
+}
+
+#[test]
+fn second_run_is_served_entirely_from_cache() {
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let scenario = Scenario::severity_sweep("cache-rt", two_workloads(), small_vf(), 24);
+    let dir = scratch_dir("roundtrip");
+
+    let cold_session = Session::with_cache_dir(pipeline.clone(), &dir).expect("open cache");
+    let cold = cold_session.run(&scenario).expect("cold run");
+    assert_eq!(cold.counters.jobs_cached, 0, "cold cache has no entries");
+    assert_eq!(cold.counters.jobs_run, cold.counters.jobs_total);
+
+    let warm_session = Session::with_cache_dir(pipeline, &dir).expect("reopen cache");
+    let warm = warm_session.run(&scenario).expect("warm run");
+    assert_eq!(warm.results, cold.results, "cache returns the same rows");
+    if json_works() {
+        assert_eq!(
+            warm.counters.jobs_cached, warm.counters.jobs_total,
+            "warm run must be 100% cache hits"
+        );
+        assert_eq!(warm.counters.jobs_run, 0);
+        assert!((warm.counters.cache_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_table_matches_direct_measurement() {
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let vf = small_vf();
+    let workloads = two_workloads();
+    let scenario = Scenario::severity_sweep("table", workloads.clone(), vf.clone(), 24);
+
+    let report = Session::without_cache(pipeline.clone())
+        .threads(2)
+        .run(&scenario)
+        .expect("engine sweep");
+    let via_engine = report.sweep_table(&scenario).expect("table from report");
+    let direct =
+        boreas_core::SweepTable::measure(&pipeline, &workloads, &vf, 24).expect("direct sweep");
+
+    assert_eq!(
+        via_engine.global_safe_index().expect("engine safe index"),
+        direct.global_safe_index().expect("direct safe index"),
+        "same globally safe index"
+    );
+    for w in &workloads {
+        let a = via_engine.oracle_index(&w.name).expect("engine row");
+        let b = direct.oracle_index(&w.name).expect("direct row");
+        assert_eq!(a, b, "{}", w.name);
+        for vf_idx in 0..vf.len() {
+            let pa = via_engine.peak(&w.name, vf_idx).expect("engine peak");
+            let pb = direct.peak(&w.name, vf_idx).expect("direct peak");
+            assert_eq!(pa.to_bits(), pb.to_bits(), "{} @ vf {vf_idx}", w.name);
+        }
+    }
+}
+
+#[test]
+fn loop_rows_expose_paper_metrics() {
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let vf = VfTable::paper();
+    let scenario = Scenario::closed_loop(
+        "metrics",
+        two_workloads(),
+        vf.clone(),
+        48,
+        vec![ControllerSpec::global(0)],
+    );
+    let report = Session::without_cache(pipeline)
+        .run(&scenario)
+        .expect("run");
+    for row in report.loop_runs() {
+        assert_eq!(row.controller, "global@0");
+        assert_eq!(row.interval_freq_ghz.len(), 48 / 12);
+        assert_eq!(row.interval_peak_severity.len(), 48 / 12);
+        assert!(row.avg_frequency_ghz >= GigaHertz::new(2.0).value());
+        assert!(row.fault.is_none());
+        assert!(row.worst_stage.is_none(), "plain controllers have no stage");
+    }
+}

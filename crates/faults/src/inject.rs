@@ -3,9 +3,9 @@
 //! Two injection surfaces share the same corruption core:
 //!
 //! * [`FaultInjector`] corrupts [`hotgauge::StepRecord`]s and implements
-//!   [`boreas_core::ObservationFilter`], so a
-//!   [`boreas_core::ClosedLoopRunner`] can feed a controller faulty
-//!   telemetry while its accounting stays on the true records;
+//!   [`boreas_core::ObservationFilter`], so a filtered
+//!   [`boreas_core::RunSpec`] can feed a controller faulty telemetry
+//!   while its accounting stays on the true records;
 //! * [`FaultySensorBank`] wraps a [`thermal::SensorBank`] and corrupts
 //!   its readings in place, for components that talk to the sensor layer
 //!   directly.

@@ -8,10 +8,10 @@
 //! per-step firing probability. Two injection surfaces apply it:
 //!
 //! * [`FaultInjector`] — corrupts the [`hotgauge::StepRecord`] stream a
-//!   controller observes; plugs into
-//!   [`boreas_core::ClosedLoopRunner::run_filtered`] as a
-//!   [`boreas_core::ObservationFilter`], so reliability accounting stays
-//!   on the *true* records while the controller sees the faulty ones;
+//!   controller observes; plugs into [`boreas_core::RunSpec::filter`] as
+//!   a [`boreas_core::ObservationFilter`], so reliability accounting
+//!   stays on the *true* records while the controller sees the faulty
+//!   ones;
 //! * [`FaultySensorBank`] — wraps [`thermal::SensorBank`] for components
 //!   reading the sensor layer directly.
 //!

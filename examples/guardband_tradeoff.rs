@@ -27,7 +27,7 @@ fn main() -> Result<()> {
     println!("training on {} workloads ...", train.len());
     let (model, _) = train_boreas_model(&pipeline, &vf, &train, &features, &cfg)?;
 
-    let runner = ClosedLoopRunner::new(&pipeline);
+    let mut run = RunSpec::new(&pipeline).steps(144);
     println!("\n{name} under increasing guardbands:");
     println!(
         "{:>10} {:>10} {:>10} {:>12} {:>11}",
@@ -36,7 +36,7 @@ fn main() -> Result<()> {
     for g in [0.0, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20] {
         let mut c =
             BoreasController::try_new(model.clone(), features.clone(), g).expect("schema matches");
-        let out = runner.run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)?;
+        let out = run.run(&spec, &mut c)?;
         println!(
             "{:>10.3} {:>10.3} {:>10.3} {:>11.1}% {:>11}",
             g,

@@ -56,7 +56,7 @@ fn main() -> Result<()> {
     // Deploy: Boreas (5% guardband) vs a conservative thermal threshold,
     // on a workload the model never saw.
     let unseen = WorkloadSpec::by_name("bzip2")?;
-    let runner = ClosedLoopRunner::new(&pipeline);
+    let mut run = RunSpec::new(&pipeline).steps(144);
     let mut boreas = BoreasController::try_new(model, features, 0.05).expect("schema matches");
     let mut thermal = ThermalController::from_thresholds(
         vec![
@@ -81,7 +81,7 @@ fn main() -> Result<()> {
         ("TH-00", &mut thermal as &mut dyn Controller),
         ("ML05", &mut boreas),
     ] {
-        let out = runner.run(&unseen, c, 144, VfTable::BASELINE_INDEX)?;
+        let out = run.run(&unseen, c)?;
         println!(
             "{label}: avg {:.3} GHz ({:+.1}% vs 3.75 GHz baseline), peak severity {}, incursions {}",
             out.avg_frequency.value(),

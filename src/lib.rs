@@ -20,30 +20,60 @@
 //! * [`telemetry`] — feature definitions, dataset extraction, train/test
 //!   splitting and gain-based feature selection
 //! * [`boreas_core`] — the paper's contribution: the VF table and the
-//!   oracle / global / thermal / ML frequency controllers with their
-//!   closed-loop runner, plus the resilient degradation wrapper
+//!   oracle / global / thermal / ML frequency controllers with the
+//!   [`boreas_core::RunSpec`] closed-loop runner, plus the resilient
+//!   degradation wrapper
 //! * [`faults`] — deterministic sensor/telemetry fault injection for
 //!   robustness campaigns
+//! * [`engine`] — the experiment engine: declarative [`engine::Scenario`]s
+//!   executed by a work-stealing [`engine::Session`] with a persistent
+//!   content-addressed artifact cache
 //!
 //! # Quickstart
+//!
+//! Describe an experiment as a [`engine::Scenario`] and hand it to a
+//! [`engine::Session`]; the session expands it into jobs, runs them on a
+//! work-stealing thread pool and memoizes every job result on disk:
 //!
 //! ```no_run
 //! use boreas::prelude::*;
 //!
 //! # fn main() -> common::Result<()> {
-//! // Build the paper's simulation environment and run one workload at a
-//! // fixed operating point, reporting its peak Hotspot-Severity.
+//! let pipeline = PipelineConfig::paper().build()?;
+//! let scenario = Scenario::severity_sweep(
+//!     "quickstart",
+//!     WorkloadSpec::test_set(),
+//!     VfTable::paper(),
+//!     150,
+//! );
+//! let report = Session::new(pipeline)?.run(&scenario)?;
+//! for p in report.sweep_points() {
+//!     println!("{} @ {:.2} GHz: severity {:.2}", p.workload, p.freq_ghz, p.peak_severity);
+//! }
+//! println!("{}", report.counters.summary());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For one-off closed loops (custom controllers, fault filters) drive the
+//! [`boreas_core::RunSpec`] runner directly:
+//!
+//! ```no_run
+//! use boreas::prelude::*;
+//!
+//! # fn main() -> common::Result<()> {
 //! let pipeline = PipelineConfig::paper().build()?;
 //! let spec = WorkloadSpec::by_name("gromacs")?;
-//! let point = VfPoint::closest(GigaHertz::new(4.5));
-//! let outcome = pipeline.run_fixed(&spec, point.frequency, point.voltage, 150)?;
-//! println!("peak severity: {}", outcome.peak_severity);
+//! let mut controller = GlobalVfController::new(VfTable::BASELINE_INDEX);
+//! let out = RunSpec::new(&pipeline).steps(144).run(&spec, &mut controller)?;
+//! println!("avg {:.3} GHz, incursions {}", out.avg_frequency.value(), out.incursions);
 //! # Ok(())
 //! # }
 //! ```
 
 pub use boreas_core;
 pub use common;
+pub use engine;
 pub use faults;
 pub use floorplan;
 pub use gbt;
@@ -57,14 +87,15 @@ pub use workloads;
 /// Commonly used items, re-exported for `use boreas::prelude::*`.
 pub mod prelude {
     pub use boreas_core::{
-        train_boreas_model, BoreasController, ClosedLoopRunner, ControlStage, Controller,
-        CriticalTemps, DegradationLog, GlobalVfController, ObservationFilter, OracleController,
-        ResilienceConfig, ResilientController, SweepTable, ThermalController, TrainingConfig,
-        VfPoint, VfTable,
+        train_boreas_model, BoreasController, ControlStage, Controller, CriticalTemps,
+        DegradationLog, GlobalVfController, ObservationFilter, OracleController, ResilienceConfig,
+        ResilientController, RunSpec, SweepTable, ThermalController, TrainingConfig, VfPoint,
+        VfTable,
     };
     pub use common::time::SimTime;
     pub use common::units::{Celsius, GigaHertz, Volts, Watts};
     pub use common::Result;
+    pub use engine::{ControllerSpec, FaultCell, Scenario, Session, SessionReport};
     pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan, FaultySensorBank};
     pub use gbt::{GbtModel, GbtParams};
     pub use hotgauge::{Pipeline, PipelineConfig, Severity, SeverityParams};

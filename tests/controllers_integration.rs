@@ -35,7 +35,7 @@ fn oracle_dominates_global_limit_for_every_workload() {
 #[test]
 fn thermal_controller_relaxation_monotonically_raises_frequency() {
     let p = coarse_pipeline();
-    let runner = ClosedLoopRunner::new(&p);
+    let mut run = RunSpec::new(&p).steps(144);
     let spec = WorkloadSpec::by_name("gamess").unwrap();
     let thresholds = vec![
         None,
@@ -55,9 +55,7 @@ fn thermal_controller_relaxation_monotonically_raises_frequency() {
     let mut last = 0.0;
     for relax in [0.0, 5.0, 10.0] {
         let mut c = ThermalController::from_thresholds(thresholds.clone(), relax);
-        let out = runner
-            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
-            .unwrap();
+        let out = run.run(&spec, &mut c).unwrap();
         assert!(
             out.avg_frequency.value() >= last,
             "relaxation {relax} lowered frequency"
@@ -69,7 +67,6 @@ fn thermal_controller_relaxation_monotonically_raises_frequency() {
 #[test]
 fn trained_thresholds_keep_training_workloads_safe() {
     let p = coarse_pipeline();
-    let runner = ClosedLoopRunner::new(&p);
     let subset: Vec<WorkloadSpec> = ["gromacs", "povray", "gamess"]
         .iter()
         .map(|n| WorkloadSpec::by_name(n).unwrap())
@@ -89,10 +86,11 @@ fn trained_thresholds_keep_training_workloads_safe() {
         Some(50.0),
         Some(50.0),
     ];
-    let trained = train_safe_thresholds(&runner, &subset, initial, 144, 60).unwrap();
+    let trained = train_safe_thresholds(&p, &VfTable::paper(), &subset, initial, 144, 60).unwrap();
+    let mut run = RunSpec::new(&p).steps(144);
     for w in &subset {
         let mut c = ThermalController::from_thresholds(trained.clone(), 0.0);
-        let out = runner.run(w, &mut c, 144, VfTable::BASELINE_INDEX).unwrap();
+        let out = run.run(w, &mut c).unwrap();
         assert_eq!(
             out.incursions, 0,
             "{} must be safe under trained TH-00",
@@ -126,15 +124,13 @@ fn boreas_guardband_ordering_holds_in_closed_loop() {
         ..TrainingConfig::default()
     };
     let (model, _) = train_boreas_model(&p, &vf, &train, &features, &cfg).unwrap();
-    let runner = ClosedLoopRunner::new(&p);
+    let mut run = RunSpec::new(&p).steps(144);
     let spec = WorkloadSpec::by_name("bzip2").unwrap();
     let mut last = f64::INFINITY;
     for g in [0.0, 0.05, 0.10, 0.20] {
         let mut c =
             BoreasController::try_new(model.clone(), features.clone(), g).expect("schema matches");
-        let out = runner
-            .run(&spec, &mut c, 144, VfTable::BASELINE_INDEX)
-            .unwrap();
+        let out = run.run(&spec, &mut c).unwrap();
         assert!(
             out.avg_frequency.value() <= last + 1e-9,
             "guardband {g} raised frequency"
@@ -146,14 +142,11 @@ fn boreas_guardband_ordering_holds_in_closed_loop() {
 #[test]
 fn controller_frequencies_always_come_from_the_table() {
     let p = coarse_pipeline();
-    let runner = ClosedLoopRunner::new(&p);
     let vf = VfTable::paper();
     let spec = WorkloadSpec::by_name("libquantum").unwrap();
     let thresholds = vec![Some(55.0); 13];
     let mut c = ThermalController::from_thresholds(thresholds, 0.0);
-    let out = runner
-        .run(&spec, &mut c, 96, VfTable::BASELINE_INDEX)
-        .unwrap();
+    let out = RunSpec::new(&p).steps(96).run(&spec, &mut c).unwrap();
     for r in &out.records {
         assert!(
             vf.index_of(r.frequency).is_some(),

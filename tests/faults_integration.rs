@@ -63,21 +63,17 @@ fn paranoid_fallback() -> ThermalController {
 fn resilient_ml05_survives_faults_that_break_plain_ml05() {
     let p = coarse_pipeline();
     let (model, features) = small_model(&p);
-    let runner = ClosedLoopRunner::new(&p);
     let spec = WorkloadSpec::by_name("gromacs").unwrap();
     let plan = frozen_telemetry_plan(7);
     plan.validate().unwrap();
     const STEPS: usize = 240;
 
     let mut plain = BoreasController::try_new(model.clone(), features.clone(), 0.05).unwrap();
-    let out_plain = runner
-        .run_filtered(
-            &spec,
-            &mut plain,
-            STEPS,
-            VfTable::BASELINE_INDEX,
-            &mut FaultInjector::new(plan.clone()),
-        )
+    let mut plain_injector = FaultInjector::new(plan.clone());
+    let out_plain = RunSpec::new(&p)
+        .steps(STEPS)
+        .filter(&mut plain_injector)
+        .run(&spec, &mut plain)
         .unwrap();
     assert!(
         out_plain.incursions >= 1,
@@ -89,14 +85,11 @@ fn resilient_ml05_survives_faults_that_break_plain_ml05() {
 
     let ml = BoreasController::try_new(model, features, 0.05).unwrap();
     let mut resilient = ResilientController::new(ml, paranoid_fallback(), 0);
-    let out_resilient = runner
-        .run_filtered(
-            &spec,
-            &mut resilient,
-            STEPS,
-            VfTable::BASELINE_INDEX,
-            &mut FaultInjector::new(plan),
-        )
+    let mut resilient_injector = FaultInjector::new(plan);
+    let out_resilient = RunSpec::new(&p)
+        .steps(STEPS)
+        .filter(&mut resilient_injector)
+        .run(&spec, &mut resilient)
         .unwrap();
     assert_eq!(
         out_resilient.incursions, 0,
@@ -131,7 +124,6 @@ fn resilient_ml05_survives_faults_that_break_plain_ml05() {
 fn faulty_closed_loop_replays_bit_identically() {
     let p = coarse_pipeline();
     let (model, features) = small_model(&p);
-    let runner = ClosedLoopRunner::new(&p);
     let spec = WorkloadSpec::by_name("bzip2").unwrap();
     let plan = FaultPlan::new(99)
         .with(Fault::new(FaultKind::Noise { std_c: 6.0 }).with_probability(0.3))
@@ -139,14 +131,11 @@ fn faulty_closed_loop_replays_bit_identically() {
 
     let run = || {
         let mut c = BoreasController::try_new(model.clone(), features.clone(), 0.05).unwrap();
-        runner
-            .run_filtered(
-                &spec,
-                &mut c,
-                144,
-                VfTable::BASELINE_INDEX,
-                &mut FaultInjector::new(plan.clone()),
-            )
+        let mut injector = FaultInjector::new(plan.clone());
+        RunSpec::new(&p)
+            .steps(144)
+            .filter(&mut injector)
+            .run(&spec, &mut c)
             .unwrap()
     };
     let a = run();
@@ -164,25 +153,16 @@ fn faulty_closed_loop_replays_bit_identically() {
 #[test]
 fn empty_plan_is_a_passthrough() {
     let p = coarse_pipeline();
-    let runner = ClosedLoopRunner::new(&p);
     let spec = WorkloadSpec::by_name("gamess").unwrap();
     let thresholds = vec![Some(55.0); 13];
     let run_plain = |filtered: bool| {
         let mut c = ThermalController::from_thresholds(thresholds.clone(), 0.0);
+        let mut spec_run = RunSpec::new(&p).steps(96);
         if filtered {
-            runner
-                .run_filtered(
-                    &spec,
-                    &mut c,
-                    96,
-                    VfTable::BASELINE_INDEX,
-                    &mut FaultInjector::new(FaultPlan::new(1)),
-                )
-                .unwrap()
+            let mut injector = FaultInjector::new(FaultPlan::new(1));
+            spec_run.filter(&mut injector).run(&spec, &mut c).unwrap()
         } else {
-            runner
-                .run(&spec, &mut c, 96, VfTable::BASELINE_INDEX)
-                .unwrap()
+            spec_run.run(&spec, &mut c).unwrap()
         }
     };
     let filtered = run_plain(true);

@@ -38,7 +38,7 @@ fn model_generalises_to_unseen_workload() {
     assert!(mse < 0.05, "unseen-workload MSE too high: {mse}");
     // Predictions correlate with the truth: high-label instances predict
     // higher than low-label instances on average.
-    let preds = model.predict_batch(&test);
+    let preds = model.predict_dataset(&test);
     let mut hi = (0.0, 0);
     let mut lo = (0.0, 0);
     for (pred, &y) in preds.iter().zip(test.targets()) {
@@ -98,16 +98,12 @@ fn persisted_model_drives_the_controller_identically() {
     let json = model.to_json().unwrap();
     let restored = GbtModel::from_json(&json).unwrap();
 
-    let runner = ClosedLoopRunner::new(&p);
+    let mut run = RunSpec::new(&p).steps(96);
     let spec = WorkloadSpec::by_name("hmmer").unwrap();
     let mut a = BoreasController::try_new(model, features.clone(), 0.05).expect("schema matches");
     let mut b = BoreasController::try_new(restored, features, 0.05).expect("schema matches");
-    let out_a = runner
-        .run(&spec, &mut a, 96, VfTable::BASELINE_INDEX)
-        .unwrap();
-    let out_b = runner
-        .run(&spec, &mut b, 96, VfTable::BASELINE_INDEX)
-        .unwrap();
+    let out_a = run.run(&spec, &mut a).unwrap();
+    let out_b = run.run(&spec, &mut b).unwrap();
     assert_eq!(out_a.avg_frequency, out_b.avg_frequency);
     assert_eq!(out_a.incursions, out_b.incursions);
 }
