@@ -1,0 +1,442 @@
+//! Hot-path kernel benchmark: measures the fused simulation kernels
+//! against the pre-optimisation reference implementations and writes
+//! `BENCH_hotpath.json`, the repo's tracked perf trajectory.
+//!
+//! Four kernels are timed (median ns/op over repeated samples):
+//!
+//! * `thermal_step` — one 80 µs [`ThermalGrid::step`] (4 fused substeps)
+//!   vs [`ThermalGrid::step_reference`];
+//! * `mltd_sweep` — one sliding-window [`MltdMap::compute_into`] vs the
+//!   naive [`MltdMap::compute_reference`] stencil scan;
+//! * `gbt_predict` — one [`gbt::FlatModel::predict`] vs the pointer-walk
+//!   [`gbt::GbtModel::predict`];
+//! * `pipeline_step` — one full fused [`hotgauge::SimRun::step`] vs a
+//!   reference loop composed from the pre-PR kernels.
+//!
+//! Usage: `bench_hotpath [--smoke] [--out PATH] [--check BASELINE]`.
+//! `--smoke` shrinks iteration counts for CI; `--check` compares each
+//! kernel's *speedup ratio* (new vs reference on the same machine —
+//! machine-independent) against a checked-in baseline and exits non-zero
+//! on a >25% regression. JSON is emitted without serde so the binary has
+//! no serialisation dependency.
+
+use common::units::{GigaHertz, Volts};
+use common::Result;
+use floorplan::{Grid, SensorSite};
+use gbt::{Dataset, GbtModel, GbtParams};
+use hotgauge::{MltdMap, MltdScratch, PipelineConfig};
+use perfsim::CoreModel;
+use powersim::PowerModel;
+use std::time::Instant;
+use thermal::{SensorBank, ThermalGrid};
+use workloads::{PhaseEngine, WorkloadSpec};
+
+/// One benchmarked kernel: fused median, reference median, derived stats.
+struct KernelResult {
+    name: &'static str,
+    median_ns: f64,
+    reference_median_ns: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.reference_median_ns / self.median_ns
+    }
+
+    fn ops_per_sec(&self) -> f64 {
+        1e9 / self.median_ns
+    }
+}
+
+/// Times `iters` calls of `op`, `samples` times; returns the median
+/// per-op nanoseconds.
+fn measure(samples: usize, iters: usize, mut op: impl FnMut()) -> f64 {
+    // Warm-up: one untimed batch.
+    for _ in 0..iters {
+        op();
+    }
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_op[per_op.len() / 2]
+}
+
+/// A deterministic non-uniform power map exercising the boundary and
+/// interior paths alike.
+fn test_power(cells: usize) -> Vec<f64> {
+    (0..cells)
+        .map(|i| 0.01 + 0.05 * (((i * 29) % 97) as f64 / 97.0))
+        .collect()
+}
+
+fn bench_thermal(smoke: bool) -> Result<KernelResult> {
+    let cfg = PipelineConfig::paper();
+    let grid = Grid::rasterize(&cfg.floorplan, cfg.grid)?;
+    let power = test_power(grid.spec().cells());
+    let mut fused = ThermalGrid::new(&grid, cfg.thermal.clone());
+    let mut reference = ThermalGrid::new(&grid, cfg.thermal.clone());
+    let (samples, iters) = if smoke { (5, 50) } else { (21, 300) };
+    let median_ns = measure(samples, iters, || {
+        fused.step(&power, 80.0).expect("thermal step");
+    });
+    let reference_median_ns = measure(samples, iters, || {
+        reference
+            .step_reference(&power, 80.0)
+            .expect("thermal step");
+    });
+    Ok(KernelResult {
+        name: "thermal_step",
+        median_ns,
+        reference_median_ns,
+    })
+}
+
+fn bench_mltd(smoke: bool) -> Result<KernelResult> {
+    let cfg = PipelineConfig::paper();
+    let grid = Grid::rasterize(&cfg.floorplan, cfg.grid)?;
+    let mltd = MltdMap::new(&grid, cfg.severity.mltd_radius_mm);
+    let temps: Vec<f64> = (0..grid.spec().cells())
+        .map(|i| 45.0 + 40.0 * (((i * 37) % 101) as f64 / 101.0))
+        .collect();
+    let mut scratch = MltdScratch::default();
+    let mut out = Vec::new();
+    let (samples, iters) = if smoke { (5, 100) } else { (21, 1_000) };
+    let median_ns = measure(samples, iters, || {
+        mltd.compute_into(&temps, &mut scratch, &mut out);
+        std::hint::black_box(&out);
+    });
+    let reference_median_ns = measure(samples, iters, || {
+        std::hint::black_box(mltd.compute_reference(&temps));
+    });
+    Ok(KernelResult {
+        name: "mltd_sweep",
+        median_ns,
+        reference_median_ns,
+    })
+}
+
+fn bench_gbt(smoke: bool) -> Result<KernelResult> {
+    let mut d = Dataset::new(vec!["x0".into(), "x1".into(), "x2".into()]);
+    for i in 0..400 {
+        let x0 = (i % 23) as f64 / 23.0;
+        let x1 = (i % 7) as f64;
+        let x2 = ((i * 13) % 31) as f64 / 31.0;
+        d.push_row(&[x0, x1, x2], 2.0 * x0 + (x1 - 3.0).powi(2) - x2, 0)?;
+    }
+    let model = GbtModel::train(&d, &GbtParams::default().with_estimators(60))?;
+    let flat = model.flatten();
+    let rows: Vec<[f64; 3]> = (0..64)
+        .map(|i| {
+            [
+                (i % 23) as f64 / 23.0 + 0.013,
+                (i % 7) as f64 - 0.4,
+                ((i * 11) % 31) as f64 / 31.0,
+            ]
+        })
+        .collect();
+    let (samples, iters) = if smoke { (5, 2_000) } else { (21, 20_000) };
+    let mut k = 0usize;
+    let median_ns = measure(samples, iters, || {
+        std::hint::black_box(flat.predict(&rows[k % rows.len()]));
+        k += 1;
+    });
+    k = 0;
+    let reference_median_ns = measure(samples, iters, || {
+        std::hint::black_box(model.predict(&rows[k % rows.len()]));
+        k += 1;
+    });
+    Ok(KernelResult {
+        name: "gbt_predict",
+        median_ns,
+        reference_median_ns,
+    })
+}
+
+/// The pre-PR per-step loop, composed from the reference kernels and the
+/// allocating APIs: power map allocated per step, branchy thermal
+/// substeps, naive MLTD field materialised, separate severity scan.
+struct ReferenceLoop {
+    spec: WorkloadSpec,
+    cfg: PipelineConfig,
+    grid: Grid,
+    core: CoreModel,
+    power: PowerModel,
+    mltd: MltdMap,
+    thermal: ThermalGrid,
+    sensors: SensorBank,
+    phases: PhaseEngine,
+    now_us: f64,
+}
+
+impl ReferenceLoop {
+    fn new(cfg: &PipelineConfig, spec: &WorkloadSpec) -> Result<Self> {
+        let grid = Grid::rasterize(&cfg.floorplan, cfg.grid)?;
+        let sensors = SensorBank::new(
+            SensorSite::paper_seven(&cfg.floorplan),
+            &grid,
+            cfg.sensor_delay_us,
+            cfg.sensor_quant_c,
+            cfg.thermal.ambient,
+        )?;
+        Ok(Self {
+            spec: spec.clone(),
+            cfg: cfg.clone(),
+            core: CoreModel::new(cfg.core.clone()),
+            power: PowerModel::new(&grid, cfg.power.clone()),
+            mltd: MltdMap::new(&grid, cfg.severity.mltd_radius_mm),
+            thermal: ThermalGrid::new(&grid, cfg.thermal.clone()),
+            sensors,
+            phases: PhaseEngine::new(spec, cfg.seed),
+            grid,
+            now_us: 0.0,
+        })
+    }
+
+    fn step(&mut self, freq: GigaHertz, voltage: Volts) -> Result<f64> {
+        let act = self.phases.step();
+        let counters = self.core.simulate_step(&self.spec, &act, freq, voltage);
+        let intensity = self.spec.heat * act.core;
+        let power_map = self.power.power_map(
+            &counters,
+            intensity,
+            voltage,
+            freq,
+            self.thermal.temperatures(),
+        );
+        self.thermal.step_reference(&power_map, 80.0)?;
+        self.now_us += 80.0;
+        self.sensors.record(self.now_us, &self.thermal)?;
+        let temps = self.thermal.temperatures();
+        let mltd = self.mltd.compute_reference(temps);
+        let params = &self.cfg.severity;
+        let mut max_raw = f64::NEG_INFINITY;
+        for (&t, &m) in temps.iter().zip(&mltd) {
+            let s = params.evaluate_raw(
+                common::units::Celsius::new(t),
+                common::units::Celsius::new(m),
+            );
+            if s > max_raw {
+                max_raw = s;
+            }
+        }
+        let readings = self.sensors.read_all(self.now_us);
+        std::hint::black_box((&readings, self.grid.spec().nx));
+        Ok(max_raw)
+    }
+}
+
+fn bench_pipeline(smoke: bool) -> Result<KernelResult> {
+    let cfg = PipelineConfig::paper();
+    let spec = WorkloadSpec::by_name("gromacs")?;
+    let freq = GigaHertz::new(4.5);
+    let voltage = Volts::new(1.15);
+    let (samples, iters) = if smoke { (5, 24) } else { (15, 144) };
+
+    let pipeline = cfg.clone().build()?;
+    let mut run = pipeline.start_run(&spec)?;
+    let median_ns = measure(samples, iters, || {
+        std::hint::black_box(run.step(freq, voltage).expect("fused step"));
+    });
+
+    let mut reference = ReferenceLoop::new(&cfg, &spec)?;
+    let reference_median_ns = measure(samples, iters, || {
+        std::hint::black_box(reference.step(freq, voltage).expect("reference step"));
+    });
+    Ok(KernelResult {
+        name: "pipeline_step",
+        median_ns,
+        reference_median_ns,
+    })
+}
+
+fn render_json(results: &[KernelResult], smoke: bool) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let kernels: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"median_ns\": {:.1},\n      \
+                 \"ops_per_sec\": {:.1},\n      \"reference_median_ns\": {:.1},\n      \
+                 \"speedup\": {:.3}\n    }}",
+                r.name,
+                r.median_ns,
+                r.ops_per_sec(),
+                r.reference_median_ns,
+                r.speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"boreas-bench-hotpath-v1\",\n  \"smoke\": {},\n  \"machine\": {{\n    \
+         \"os\": \"{}\",\n    \"arch\": \"{}\",\n    \"threads\": {}\n  }},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        smoke,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        threads,
+        kernels.join(",\n")
+    )
+}
+
+/// Extracts `(name, speedup)` pairs from a `boreas-bench-hotpath-v1`
+/// JSON document. A deliberately minimal scanner for our own schema (the
+/// stub-friendly alternative to a JSON parser): pairs each `"name"`
+/// string with the next `"speedup"` number.
+fn extract_speedups(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(p) = rest.find("\"name\"") {
+        rest = &rest[p + 6..];
+        let Some(q0) = rest.find('"') else { break };
+        let Some(q1) = rest[q0 + 1..].find('"') else {
+            break;
+        };
+        let name = rest[q0 + 1..q0 + 1 + q1].to_string();
+        let Some(s) = rest.find("\"speedup\"") else {
+            break;
+        };
+        rest = &rest[s + 9..];
+        let num: String = rest
+            .chars()
+            .skip_while(|c| *c == ':' || c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Compares current speedups against a baseline snapshot; returns the
+/// kernels that regressed by more than 25%.
+fn regressions(current: &[KernelResult], baseline_json: &str) -> Vec<String> {
+    let baseline = extract_speedups(baseline_json);
+    let mut bad = Vec::new();
+    for r in current {
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) {
+            let floor = base / 1.25;
+            if r.speedup() < floor {
+                bad.push(format!(
+                    "{}: speedup {:.2}x is >25% below baseline {:.2}x",
+                    r.name,
+                    r.speedup(),
+                    base
+                ));
+            }
+        }
+    }
+    bad
+}
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let check_path = flag_value("--check");
+
+    println!(
+        "bench_hotpath ({} mode)",
+        if smoke { "smoke" } else { "full" }
+    );
+    let results = vec![
+        bench_thermal(smoke)?,
+        bench_mltd(smoke)?,
+        bench_gbt(smoke)?,
+        bench_pipeline(smoke)?,
+    ];
+    for r in &results {
+        println!(
+            "  {:<14} {:>10.1} ns/op  (reference {:>10.1} ns/op, {:>5.2}x)",
+            r.name,
+            r.median_ns,
+            r.reference_median_ns,
+            r.speedup()
+        );
+    }
+
+    let json = render_json(&results, smoke);
+    std::fs::write(&out_path, &json)
+        .map_err(|e| common::Error::io("write bench results", e.to_string()))?;
+    println!("wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| common::Error::io("read bench baseline", e.to_string()))?;
+        let bad = regressions(&results, &baseline);
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("REGRESSION {b}");
+            }
+            std::process::exit(1);
+        }
+        println!("check vs {baseline_path}: ok");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_scanner_roundtrips_render() {
+        let results = vec![
+            KernelResult {
+                name: "thermal_step",
+                median_ns: 1000.0,
+                reference_median_ns: 3000.0,
+            },
+            KernelResult {
+                name: "mltd_sweep",
+                median_ns: 500.0,
+                reference_median_ns: 4000.0,
+            },
+        ];
+        let json = render_json(&results, true);
+        let got = extract_speedups(&json);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, "thermal_step");
+        assert!((got[0].1 - 3.0).abs() < 1e-9);
+        assert_eq!(got[1].0, "mltd_sweep");
+        assert!((got[1].1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_check_flags_only_large_drops() {
+        let baseline = render_json(
+            &[KernelResult {
+                name: "thermal_step",
+                median_ns: 1.0,
+                reference_median_ns: 4.0,
+            }],
+            true,
+        );
+        // 4.0x -> 3.5x is within the 25% band.
+        let fine = [KernelResult {
+            name: "thermal_step",
+            median_ns: 2.0,
+            reference_median_ns: 7.0,
+        }];
+        assert!(regressions(&fine, &baseline).is_empty());
+        // 4.0x -> 2.0x is a regression.
+        let bad = [KernelResult {
+            name: "thermal_step",
+            median_ns: 2.0,
+            reference_median_ns: 4.0,
+        }];
+        assert_eq!(regressions(&bad, &baseline).len(), 1);
+    }
+}

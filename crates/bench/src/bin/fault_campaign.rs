@@ -161,5 +161,5 @@ fn main() {
         "\ncells with incursions: plain {plain_failures}/{n_cells}, resilient {resilient_failures}/{n_cells}"
     );
     println!("campaign digest: {digest:016x} (same seed => same digest)");
-    println!("engine: {}", report.counters.summary());
+    boreas_bench::print_engine_footer(&report);
 }

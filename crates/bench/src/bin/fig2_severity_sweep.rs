@@ -94,5 +94,5 @@ fn main() {
     println!("  median frequency left on the table: {median:.1}% (paper: ~13%)");
     println!("  worst case: {worst:.1}% (paper: 26%)");
 
-    println!("\nengine: {}", report.counters.summary());
+    boreas_bench::print_engine_footer(&report);
 }

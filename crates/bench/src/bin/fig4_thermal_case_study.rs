@@ -66,5 +66,5 @@ fn main() {
             println!();
         }
     }
-    println!("\nengine: {}", report.counters.summary());
+    boreas_bench::print_engine_footer(&report);
 }

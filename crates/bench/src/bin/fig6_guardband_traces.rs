@@ -58,5 +58,5 @@ fn main() {
         }
         println!("\n");
     }
-    println!("engine: {}", report.counters.summary());
+    boreas_bench::print_engine_footer(&report);
 }

@@ -89,5 +89,5 @@ fn main() {
         (ml05 / th - 1.0) * 100.0
     );
 
-    println!("\nengine: {}", report.counters.summary());
+    boreas_bench::print_engine_footer(&report);
 }

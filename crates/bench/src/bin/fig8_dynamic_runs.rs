@@ -69,5 +69,5 @@ fn main() {
         if any_incursion { "YES (!)" } else { "no" }
     );
 
-    println!("\nengine: {}", report.counters.summary());
+    boreas_bench::print_engine_footer(&report);
 }

@@ -13,3 +13,11 @@
 pub mod experiments;
 
 pub use experiments::{Experiment, LOOP_STEPS, RUN_STEPS};
+
+/// Prints the standard end-of-run footer every fig binary shares: the
+/// engine's execution counters plus the per-kernel simulation-time
+/// breakdown of the jobs that actually ran.
+pub fn print_engine_footer(report: &engine::SessionReport) {
+    println!("\nengine: {}", report.counters.summary());
+    println!("kernels: {}", report.counters.kernel.summary());
+}

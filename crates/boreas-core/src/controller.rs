@@ -190,6 +190,10 @@ impl Controller for ThermalController {
 #[derive(Debug, Clone)]
 pub struct BoreasController {
     model: GbtModel,
+    /// The ensemble compiled to the flat SoA layout at construction; all
+    /// per-decision queries run on this (bit-identical to the tree walk,
+    /// see `gbt::FlatModel`).
+    flat: gbt::FlatModel,
     features: FeatureSet,
     /// Severity guardband `g`: threshold is `1 − g` (0.0 / 0.05 / 0.10).
     guardband: f64,
@@ -236,6 +240,7 @@ impl BoreasController {
             ));
         }
         Ok(Self {
+            flat: model.flatten(),
             model,
             features,
             guardband,
@@ -263,7 +268,7 @@ impl BoreasController {
     /// Predicted severity for holding the current VF point.
     pub fn predict_hold(&self, ctx: &ControlContext<'_>) -> f64 {
         let vec = self.features.extract(ctx.last_record(), self.sensor_idx);
-        self.model.predict(&vec)
+        self.flat.predict(&vec)
     }
 
     /// Predicted severity for moving one VF step up.
@@ -278,14 +283,15 @@ impl BoreasController {
             target.frequency,
             target.voltage,
         );
-        self.model.predict(&what_if)
+        self.flat.predict(&what_if)
     }
 
     /// Predicted severities for the interval's decision candidates —
     /// `(hold, step-up)` — evaluated in one batched ensemble pass
-    /// ([`GbtModel::predict_batch`]) instead of two independent tree
-    /// walks. Bit-identical to calling [`BoreasController::predict_hold`]
-    /// and [`BoreasController::predict_up`] separately.
+    /// ([`gbt::FlatModel::predict_batch`]) on the compiled flat layout
+    /// instead of two independent tree walks. Bit-identical to calling
+    /// [`BoreasController::predict_hold`] and
+    /// [`BoreasController::predict_up`] separately.
     pub fn predict_candidates(&self, ctx: &ControlContext<'_>) -> (f64, f64) {
         let rec = ctx.last_record();
         let hold = self.features.extract(rec, self.sensor_idx);
@@ -297,7 +303,7 @@ impl BoreasController {
             target.frequency,
             target.voltage,
         );
-        let preds = self.model.predict_batch(&[hold, what_if]);
+        let preds = self.flat.predict_batch(&[hold, what_if]);
         (preds[0], preds[1])
     }
 }

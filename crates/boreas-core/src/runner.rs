@@ -18,7 +18,7 @@ use crate::vf::VfTable;
 use common::time::STEPS_PER_DECISION;
 use common::units::GigaHertz;
 use common::{Error, Result};
-use hotgauge::{Pipeline, Severity, StepRecord};
+use hotgauge::{KernelBreakdown, Pipeline, Severity, StepRecord};
 use workloads::WorkloadSpec;
 
 /// Transforms the *observable* copy of each step record before the
@@ -68,6 +68,8 @@ pub struct ClosedLoopOutcome {
     pub peak_severity: Severity,
     /// The VF index after the final decision.
     pub final_idx: usize,
+    /// Wall-clock time spent in each simulation kernel.
+    pub kernel: KernelBreakdown,
 }
 
 impl ClosedLoopOutcome {
@@ -289,6 +291,7 @@ impl<'p, 'f> RunSpec<'p, 'f> {
             decisions,
             peak_severity,
             final_idx: idx,
+            kernel: run.kernel(),
         })
     }
 }

@@ -7,7 +7,7 @@ use crate::scenario::{BuiltController, JobRef, Scenario, ScenarioKind};
 use boreas_core::{RunSpec, SweepTable};
 use common::{Error, Result};
 use faults::{FaultInjector, FaultPlan};
-use hotgauge::{Pipeline, PipelineConfig};
+use hotgauge::{KernelBreakdown, Pipeline, PipelineConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use workloads::WorkloadSpec;
@@ -106,6 +106,11 @@ pub struct EngineCounters {
     pub persist_ms: f64,
     /// End-to-end wall time, ms.
     pub total_ms: f64,
+    /// Per-kernel simulation time aggregated over the jobs that actually
+    /// ran (cache hits contribute nothing). Kept out of [`JobResult`] so
+    /// cached artifacts and [`SessionReport::results_json`] stay
+    /// byte-deterministic.
+    pub kernel: KernelBreakdown,
 }
 
 impl EngineCounters {
@@ -358,11 +363,13 @@ impl Session {
         });
         let execute_ms = ms_since(t_execute);
 
-        let mut fresh: Vec<(usize, Result<JobResult>)> = computed;
+        let mut fresh: Vec<(usize, Result<(JobResult, KernelBreakdown)>)> = computed;
         fresh.sort_by_key(|(idx, _)| *idx);
         let t_persist = Instant::now();
+        let mut kernel = KernelBreakdown::default();
         for (idx, outcome) in fresh {
-            let result = outcome?;
+            let (result, job_kernel) = outcome?;
+            kernel.merge(&job_kernel);
             if let (Some(cache), Some(key)) = (&self.cache, &keys[idx]) {
                 cache.put(key, &result)?;
             }
@@ -387,6 +394,7 @@ impl Session {
                 execute_ms,
                 persist_ms,
                 total_ms: ms_since(t_total),
+                kernel,
             },
         })
     }
@@ -430,7 +438,7 @@ impl Session {
         scenario: &Scenario,
         state: &mut WorkerState,
         job: JobRef,
-    ) -> Result<JobResult> {
+    ) -> Result<(JobResult, KernelBreakdown)> {
         match (job, &scenario.kind) {
             (JobRef::Fixed { w, vf_idx }, _) => {
                 let spec = &scenario.workloads[w];
@@ -441,15 +449,18 @@ impl Session {
                     point.voltage,
                     scenario.steps,
                 )?;
-                Ok(JobResult::Sweep(SweepPointResult {
-                    workload: spec.name.clone(),
-                    rank: spec.severity_rank,
-                    freq_ghz: point.frequency.value(),
-                    peak_severity: out.peak_severity.value(),
-                    peak_severity_raw: out.peak_severity_raw,
-                    peak_temp_c: out.peak_temp.value(),
-                    mean_ipc: out.mean_ipc,
-                }))
+                Ok((
+                    JobResult::Sweep(SweepPointResult {
+                        workload: spec.name.clone(),
+                        rank: spec.severity_rank,
+                        freq_ghz: point.frequency.value(),
+                        peak_severity: out.peak_severity.value(),
+                        peak_severity_raw: out.peak_severity_raw,
+                        peak_temp_c: out.peak_temp.value(),
+                        mean_ipc: out.mean_ipc,
+                    }),
+                    out.kernel,
+                ))
             }
             (
                 JobRef::Loop { w, ctrl, fault },
@@ -476,19 +487,22 @@ impl Session {
                     run_spec = run_spec.filter(&mut injector);
                 }
                 let out = run_spec.run(spec, controller.as_controller())?;
-                Ok(JobResult::Loop(LoopRunResult {
-                    workload: spec.name.clone(),
-                    controller: controllers[ctrl].label(),
-                    fault: cell.map(|c| c.label.clone()),
-                    avg_frequency_ghz: out.avg_frequency.value(),
-                    normalized_frequency: out.normalized_frequency,
-                    incursions: out.incursions,
-                    peak_severity: out.peak_severity.value(),
-                    final_idx: out.final_idx,
-                    interval_freq_ghz: out.interval_frequencies(),
-                    interval_peak_severity: out.interval_peak_severities(),
-                    worst_stage: controller.worst_stage().map(|s| s.to_string()),
-                }))
+                Ok((
+                    JobResult::Loop(LoopRunResult {
+                        workload: spec.name.clone(),
+                        controller: controllers[ctrl].label(),
+                        fault: cell.map(|c| c.label.clone()),
+                        avg_frequency_ghz: out.avg_frequency.value(),
+                        normalized_frequency: out.normalized_frequency,
+                        incursions: out.incursions,
+                        peak_severity: out.peak_severity.value(),
+                        final_idx: out.final_idx,
+                        interval_freq_ghz: out.interval_frequencies(),
+                        interval_peak_severity: out.interval_peak_severities(),
+                        worst_stage: controller.worst_stage().map(|s| s.to_string()),
+                    }),
+                    out.kernel,
+                ))
             }
             (JobRef::Loop { .. }, ScenarioKind::SeveritySweep) => {
                 unreachable!("loop job in a sweep scenario")

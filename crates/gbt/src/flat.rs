@@ -1,0 +1,219 @@
+//! Flat (structure-of-arrays) ensemble layout for cache-friendly
+//! prediction.
+//!
+//! [`crate::RegressionTree`] stores each tree as its own `Vec<Node>` of
+//! ~48-byte nodes; walking an ensemble root→leaf therefore touches one
+//! scattered allocation per tree and drags every unused field (gain,
+//! leaf flag, split payload) through the cache. [`FlatModel`] compiles a
+//! trained [`GbtModel`] into three contiguous parallel arrays — split
+//! feature, threshold-or-leaf-value, child pair — covering *all* trees,
+//! so the hot traversal state of the whole ensemble fits in a few cache
+//! lines and the per-node branch (`is_leaf`) becomes a sentinel test.
+//!
+//! Predictions are **bit-identical** to the tree-walk
+//! ([`GbtModel::predict`] / [`GbtModel::predict_batch`]): the same
+//! comparisons run against the same thresholds, leaf values accumulate
+//! in the same tree order, and the final affine step uses the same
+//! `base_score + learning_rate * sum` expression. The equivalence is
+//! pinned by proptests in `tests/proptest_flat.rs`.
+
+use crate::model::GbtModel;
+
+/// Sentinel in [`FlatModel`]'s `feature` array marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// A compiled, traversal-only view of a [`GbtModel`].
+///
+/// Build once with [`GbtModel::flatten`] (or [`FlatModel::from_model`])
+/// and reuse for every query; the ML controllers compile their model at
+/// construction and answer their two-candidate per-interval queries from
+/// the flat layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatModel {
+    base_score: f64,
+    learning_rate: f64,
+    /// Split feature per node; [`LEAF`] marks a leaf.
+    feature: Vec<u32>,
+    /// Split threshold for internal nodes; the leaf value for leaves.
+    threshold: Vec<f64>,
+    /// `[left, right]` child indices (ensemble-global) per node; unused
+    /// for leaves.
+    children: Vec<[u32; 2]>,
+    /// Root node index of each tree, in ensemble order.
+    roots: Vec<u32>,
+}
+
+impl FlatModel {
+    /// Compiles `model` into the flat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble holds more than `u32::MAX − 1` nodes
+    /// (unreachable with realistic hyper-parameters).
+    pub fn from_model(model: &GbtModel) -> FlatModel {
+        let total: usize = model.trees().iter().map(|t| t.nodes().len()).sum();
+        assert!(total < u32::MAX as usize, "ensemble too large to flatten");
+        let mut feature = Vec::with_capacity(total);
+        let mut threshold = Vec::with_capacity(total);
+        let mut children = Vec::with_capacity(total);
+        let mut roots = Vec::with_capacity(model.num_trees());
+        for tree in model.trees() {
+            let base = feature.len() as u32;
+            roots.push(base);
+            for n in tree.nodes() {
+                if n.is_leaf {
+                    feature.push(LEAF);
+                    threshold.push(n.value);
+                    children.push([0, 0]);
+                } else {
+                    feature.push(n.feature);
+                    threshold.push(n.threshold);
+                    children.push([base + n.left, base + n.right]);
+                }
+            }
+        }
+        FlatModel {
+            base_score: model.base_score(),
+            learning_rate: model.params().learning_rate,
+            feature,
+            threshold,
+            children,
+            roots,
+        }
+    }
+
+    /// Number of trees in the compiled ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes across all trees.
+    pub fn num_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Walks one tree (by root index) for one row.
+    // `!(a < b)` is NOT `a >= b` under NaN; the negated form keeps the
+    // tree-walk's exact branch polarity, which the bit-identity contract
+    // depends on.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn walk(&self, root: u32, row: &[f64]) -> f64 {
+        let mut i = root as usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            // Matches the tree-walk exactly: `<` goes left, everything
+            // else (incl. NaN, which the dataset rejects anyway) right.
+            let go_right = !(row[f as usize] < self.threshold[i]) as usize;
+            i = self.children[i][go_right] as usize;
+        }
+    }
+
+    /// Predicts one row; bit-identical to [`GbtModel::predict`].
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.predict_with(row, self.roots.len())
+    }
+
+    /// Predicts using only the first `k` trees; bit-identical to
+    /// [`GbtModel::predict_with`].
+    pub fn predict_with(&self, row: &[f64], k: usize) -> f64 {
+        let k = k.min(self.roots.len());
+        let sum: f64 = self.roots[..k].iter().map(|&r| self.walk(r, row)).sum();
+        self.base_score + self.learning_rate * sum
+    }
+
+    /// Predicts a batch of rows, accumulating tree-outer like
+    /// [`GbtModel::predict_batch`]; bit-identical to it.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_batch_into(rows, &mut out);
+        out
+    }
+
+    /// [`FlatModel::predict_batch`] into a caller-owned buffer (cleared
+    /// first), so steady-state batched queries allocate nothing.
+    pub fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(rows.len(), 0.0);
+        for &root in &self.roots {
+            for (acc, row) in out.iter_mut().zip(rows) {
+                *acc += self.walk(root, row);
+            }
+        }
+        for v in out.iter_mut() {
+            *v = self.base_score + self.learning_rate * *v;
+        }
+    }
+}
+
+impl GbtModel {
+    /// Compiles this model into the cache-friendly [`FlatModel`] layout.
+    pub fn flatten(&self) -> FlatModel {
+        FlatModel::from_model(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::params::GbtParams;
+
+    fn model() -> GbtModel {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()]);
+        for i in 0..300 {
+            let x0 = (i % 19) as f64 / 19.0;
+            let x1 = (i % 7) as f64;
+            d.push_row(&[x0, x1], x0 * 2.0 + (x1 - 3.0).powi(2), 0)
+                .unwrap();
+        }
+        GbtModel::train(&d, &GbtParams::default().with_estimators(30)).unwrap()
+    }
+
+    #[test]
+    fn flat_predict_matches_tree_walk_bitwise() {
+        let m = model();
+        let flat = m.flatten();
+        assert_eq!(flat.num_trees(), m.num_trees());
+        for i in 0..40 {
+            let row = [(i % 19) as f64 / 19.0 + 0.01, (i % 7) as f64 - 0.5];
+            assert_eq!(m.predict(&row).to_bits(), flat.predict(&row).to_bits());
+            for k in [0, 1, 7, 30, 99] {
+                assert_eq!(
+                    m.predict_with(&row, k).to_bits(),
+                    flat.predict_with(&row, k).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_batch_matches_model_batch_bitwise() {
+        let m = model();
+        let flat = m.flatten();
+        let rows: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 19) as f64 / 19.0, (i % 7) as f64])
+            .collect();
+        let a = m.predict_batch(&rows);
+        let b = flat.predict_batch(&rows);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let mut buf = vec![99.0; 3];
+        flat.predict_batch_into(&rows, &mut buf);
+        assert_eq!(buf, b);
+        assert!(flat.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn node_count_matches_trees() {
+        let m = model();
+        let flat = m.flatten();
+        let total: usize = m.trees().iter().map(|t| t.nodes().len()).sum();
+        assert_eq!(flat.num_nodes(), total);
+    }
+}

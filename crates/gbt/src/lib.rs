@@ -37,12 +37,14 @@
 
 pub mod cv;
 pub mod dataset;
+pub mod flat;
 pub mod model;
 pub mod params;
 pub mod tree;
 
 pub use cv::{grid_search, leave_one_group_out, CvOutcome, GridResult};
 pub use dataset::Dataset;
+pub use flat::FlatModel;
 pub use model::{GbtModel, PredictionCost};
 pub use params::GbtParams;
 pub use tree::RegressionTree;

@@ -1,0 +1,73 @@
+//! Equivalence property tests pinning the flat SoA inference layout
+//! ([`FlatModel`]) bit-identical to the recursive tree walk
+//! ([`GbtModel::predict`]).
+
+use boreas_gbt::{Dataset, GbtModel, GbtParams};
+use proptest::prelude::*;
+
+fn dataset_from(rows: &[(f64, f64, f64)], coef: (f64, f64)) -> Dataset {
+    let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+    for (i, &(a, b, c)) in rows.iter().enumerate() {
+        let y = coef.0 * a + coef.1 * (b - 50.0).abs() + 0.1 * c;
+        d.push_row(&[a, b, c], y, (i % 4) as u32)
+            .expect("valid row");
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_predictions_are_bit_identical(
+        rows in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64), 30..100),
+        queries in prop::collection::vec((-10.0..110.0f64, -10.0..110.0f64, -10.0..110.0f64), 1..30),
+        c0 in -2.0..2.0f64,
+        c1 in -2.0..2.0f64,
+        trees in 1usize..40,
+    ) {
+        let data = dataset_from(&rows, (c0, c1));
+        let model = GbtModel::train(&data, &GbtParams::default().with_estimators(trees))
+            .expect("train");
+        let flat = model.flatten();
+        for &(a, b, c) in &queries {
+            let row = [a, b, c];
+            prop_assert_eq!(model.predict(&row).to_bits(), flat.predict(&row).to_bits());
+        }
+    }
+
+    #[test]
+    fn flat_batch_matches_single_predictions(
+        rows in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64), 30..80),
+        queries in prop::collection::vec((-10.0..110.0f64, -10.0..110.0f64, -10.0..110.0f64), 2..20),
+    ) {
+        let data = dataset_from(&rows, (1.2, 0.7));
+        let model = GbtModel::train(&data, &GbtParams::default().with_estimators(15))
+            .expect("train");
+        let flat = model.flatten();
+        let query_rows: Vec<Vec<f64>> = queries.iter().map(|&(a, b, c)| vec![a, b, c]).collect();
+        let batch = flat.predict_batch(&query_rows);
+        prop_assert_eq!(batch.len(), query_rows.len());
+        for (got, row) in batch.iter().zip(&query_rows) {
+            prop_assert_eq!(got.to_bits(), flat.predict(row).to_bits());
+        }
+    }
+
+    /// Truncated-ensemble prediction (used by fig9's size sweep) must
+    /// agree between layouts as well.
+    #[test]
+    fn flat_predict_with_matches_model(
+        rows in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64), 30..60),
+        k in 1usize..20,
+    ) {
+        let data = dataset_from(&rows, (0.8, 1.3));
+        let model = GbtModel::train(&data, &GbtParams::default().with_estimators(20))
+            .expect("train");
+        let flat = model.flatten();
+        let probe = [13.0, 77.0, 42.0];
+        prop_assert_eq!(
+            model.predict_with(&probe, k).to_bits(),
+            flat.predict_with(&probe, k).to_bits()
+        );
+    }
+}

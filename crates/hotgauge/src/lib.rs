@@ -48,6 +48,8 @@ pub mod pipeline;
 pub mod severity;
 
 pub use events::{detect_events, summarize, EventSummary, HotspotClass, HotspotEvent};
-pub use mltd::MltdMap;
-pub use pipeline::{FixedRunOutcome, Pipeline, PipelineConfig, SimRun, StepRecord};
+pub use mltd::{MltdMap, MltdScratch};
+pub use pipeline::{
+    FixedRunOutcome, KernelBreakdown, Pipeline, PipelineConfig, SimRun, StepRecord,
+};
 pub use severity::{Severity, SeverityParams};

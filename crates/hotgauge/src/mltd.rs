@@ -20,6 +20,28 @@ pub struct MltdMap {
     ny: usize,
     /// Relative offsets (dx, dy) within the radius, excluding (0, 0).
     stencil: Vec<(isize, isize)>,
+    /// Largest |dy| reached by the stencil.
+    ry: usize,
+    /// `half_widths[|dy|]` = largest |dx| in the stencil at that row
+    /// offset. Because the radius condition is monotone in |dx|, the
+    /// stencil row at a given `dy` is exactly the contiguous range
+    /// `-half_widths[|dy|] ..= half_widths[|dy|]`.
+    half_widths: Vec<usize>,
+}
+
+/// Reusable buffers for [`MltdMap::compute_into`] / [`MltdMap::sweep`], so
+/// steady-state evaluation allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MltdScratch {
+    /// Per-output-row combined disc minimum, one slot per column.
+    rowmin: Vec<f64>,
+    /// Cached windowed row minima, one row per (source row, |dy|) pair:
+    /// the slice for `(jy, d)` starts at `(jy * (ry + 1) + d) * nx`.
+    rows: Vec<f64>,
+    /// `+inf`-padded copy of the current source row (window-min input).
+    padded: Vec<f64>,
+    /// Per-block prefix minima over the padded row.
+    prefix: Vec<f64>,
 }
 
 impl MltdMap {
@@ -49,10 +71,25 @@ impl MltdMap {
                 }
             }
         }
+        // Derive the per-row extents *from the built stencil* so the fast
+        // sweep covers exactly the same neighbourhood geometry (including
+        // the 1e-12 radius epsilon) as the reference scan.
+        let ry_eff = stencil
+            .iter()
+            .map(|&(_, dy)| dy.unsigned_abs())
+            .max()
+            .unwrap_or(0);
+        let mut half_widths = vec![0usize; ry_eff + 1];
+        for &(dx, dy) in &stencil {
+            let d = dy.unsigned_abs();
+            half_widths[d] = half_widths[d].max(dx.unsigned_abs());
+        }
         Self {
             nx: grid.spec().nx,
             ny: grid.spec().ny,
             stencil,
+            ry: ry_eff,
+            half_widths,
         }
     }
 
@@ -68,6 +105,120 @@ impl MltdMap {
     ///
     /// Panics if `temps` does not match the grid size.
     pub fn compute(&self, temps: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.compute_into(temps, &mut MltdScratch::default(), &mut out);
+        out
+    }
+
+    /// [`MltdMap::compute`] into caller-owned buffers: `out` is cleared
+    /// and refilled row-major; `scratch` holds the sweep's working state
+    /// so steady-state callers allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not match the grid size.
+    pub fn compute_into(&self, temps: &[f64], scratch: &mut MltdScratch, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(temps.len());
+        self.sweep(temps, scratch, |_, _, mltd| out.push(mltd));
+    }
+
+    /// Evaluates the MLTD of every cell in row-major order, calling
+    /// `visit(flat_index, temperature, mltd)` for each — the fusion hook
+    /// the pipeline uses to take the severity argmax in the same pass.
+    ///
+    /// The disc minimum is computed in two stages. First, every source
+    /// row's sliding-window minimum is cached once per distinct row
+    /// distance (each `(jy, |dy|)` pair serves the output rows above
+    /// *and* below, so this halves the window-min work); the window min
+    /// itself is the branch-free van Herk / Gil–Werman block prefix +
+    /// suffix scheme — O(1) `min` ops per element regardless of window
+    /// width. Second, each output row takes the element-wise minimum of
+    /// its `2·ry + 1` cached rows. This turns the O(cells × stencil)
+    /// reference scan into O(cells × ry). The window includes the centre
+    /// column, matching the reference's seeding of the running minimum
+    /// with the centre temperature; `min` over a set of (non-NaN) floats
+    /// is exact selection, independent of association order, so results
+    /// are bit-identical to [`MltdMap::compute_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not match the grid size.
+    pub fn sweep(
+        &self,
+        temps: &[f64],
+        scratch: &mut MltdScratch,
+        mut visit: impl FnMut(usize, f64, f64),
+    ) {
+        assert_eq!(
+            temps.len(),
+            self.nx * self.ny,
+            "temperature map size mismatch"
+        );
+        let (nx, ny, ry) = (self.nx, self.ny, self.ry);
+        let stride = ry + 1;
+        scratch.rowmin.resize(nx, 0.0);
+        scratch.rows.resize(ny * stride * nx, 0.0);
+        let MltdScratch {
+            rowmin,
+            rows,
+            padded,
+            prefix,
+        } = scratch;
+
+        // Stage 1: windowed minimum of every source row at every row
+        // distance, computed once and shared by the output rows above
+        // and below.
+        for jy in 0..ny {
+            let src = &temps[jy * nx..(jy + 1) * nx];
+            for d in 0..=ry {
+                let out = &mut rows[(jy * stride + d) * nx..][..nx];
+                window_min_row(src, self.half_widths[d], padded, prefix, out);
+            }
+        }
+
+        // Stage 2: element-wise combine of the cached rows per output row.
+        for iy in 0..ny {
+            let lo = iy.saturating_sub(ry);
+            let hi = (iy + ry).min(ny - 1);
+            rowmin.copy_from_slice(&rows[iy * stride * nx..][..nx]);
+            for jy in lo..=hi {
+                if jy == iy {
+                    continue;
+                }
+                let d = jy.abs_diff(iy);
+                let cached = &rows[(jy * stride + d) * nx..][..nx];
+                for (m, &v) in rowmin.iter_mut().zip(cached) {
+                    *m = m.min(v);
+                }
+            }
+            let base = iy * nx;
+            for ix in 0..nx {
+                let ti = temps[base + ix];
+                visit(base + ix, ti, ti - rowmin[ix]);
+            }
+        }
+    }
+
+    /// The largest MLTD anywhere on the die, folded in-place during the
+    /// sweep (no per-cell field is materialised).
+    pub fn max_mltd(&self, temps: &[f64]) -> Celsius {
+        let mut max = f64::NEG_INFINITY;
+        self.sweep(temps, &mut MltdScratch::default(), |_, _, mltd| {
+            max = max.max(mltd);
+        });
+        Celsius::new(max)
+    }
+
+    /// The pre-optimisation per-cell stencil scan, O(cells × stencil).
+    /// Kept as the reference the sliding-window sweep is pinned against
+    /// (bit-identical, see `tests/proptest_mltd.rs`) and as the baseline
+    /// `bench_hotpath` measures speedups from; not used on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not match the grid size.
+    pub fn compute_reference(&self, temps: &[f64]) -> Vec<f64> {
         assert_eq!(
             temps.len(),
             self.nx * self.ny,
@@ -95,14 +246,58 @@ impl MltdMap {
         }
         out
     }
+}
 
-    /// The largest MLTD anywhere on the die.
-    pub fn max_mltd(&self, temps: &[f64]) -> Celsius {
-        Celsius::new(
-            self.compute(temps)
-                .into_iter()
-                .fold(f64::NEG_INFINITY, f64::max),
-        )
+/// Writes the sliding-window minimum of `src` (window `[i-hw, i+hw]`,
+/// clamped to the row) into `out`, using the van Herk / Gil–Werman block
+/// decomposition: pad with `+inf` to window length `L = 2·hw + 1`, take
+/// prefix and suffix minima within aligned blocks of `L`, then each
+/// window min is `min(suffix[i], prefix[i + L - 1])`. Branch-free and
+/// O(1) `min` operations per element regardless of `hw`.
+fn window_min_row(
+    src: &[f64],
+    hw: usize,
+    padded: &mut Vec<f64>,
+    prefix: &mut Vec<f64>,
+    out: &mut [f64],
+) {
+    let n = src.len();
+    if hw == 0 {
+        out.copy_from_slice(src);
+        return;
+    }
+    let l = 2 * hw + 1;
+    let m = n + 2 * hw;
+    if padded.len() < m {
+        padded.resize(m, f64::INFINITY);
+    }
+    padded[..hw].fill(f64::INFINITY);
+    padded[hw..hw + n].copy_from_slice(src);
+    padded[hw + n..m].fill(f64::INFINITY);
+    if prefix.len() < m {
+        // Every slot below `m` is overwritten by the forward pass; only
+        // the length matters.
+        prefix.resize(m, f64::INFINITY);
+    }
+    for start in (0..m).step_by(l) {
+        let end = (start + l).min(m);
+        let mut run = f64::INFINITY;
+        for k in start..end {
+            run = run.min(padded[k]);
+            prefix[k] = run;
+        }
+    }
+    // Backward pass: the running suffix min within each block, combined
+    // with the forward prefix of the window's far edge.
+    for start in (0..m).step_by(l) {
+        let end = (start + l).min(m);
+        let mut run = f64::INFINITY;
+        for k in (start..end).rev() {
+            run = run.min(padded[k]);
+            if k < n {
+                out[k] = run.min(prefix[k + 2 * hw]);
+            }
+        }
     }
 }
 
@@ -189,5 +384,51 @@ mod tests {
     fn wrong_size_panics() {
         let g = grid();
         MltdMap::new(&g, 0.6).compute(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sweep_matches_reference_bitwise() {
+        let g = grid();
+        for radius in [0.05, 0.13, 0.3, 0.6, 1.7] {
+            let m = MltdMap::new(&g, radius);
+            let temps: Vec<f64> = (0..g.spec().cells())
+                .map(|i| 45.0 + ((i * 37) % 101) as f64 * 0.173)
+                .collect();
+            let fast = m.compute(&temps);
+            let reference = m.compute_reference(&temps);
+            assert_eq!(fast.len(), reference.len());
+            for (a, b) in fast.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_mltd_matches_field_maximum() {
+        let g = grid();
+        let m = MltdMap::new(&g, 0.6);
+        let temps: Vec<f64> = (0..g.spec().cells())
+            .map(|i| 50.0 + ((i * 13) % 29) as f64)
+            .collect();
+        let field_max = m
+            .compute(&temps)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(m.max_mltd(&temps).value().to_bits(), field_max.to_bits());
+    }
+
+    #[test]
+    fn compute_into_reuses_buffers() {
+        let g = grid();
+        let m = MltdMap::new(&g, 0.6);
+        let temps = vec![61.0; g.spec().cells()];
+        let mut scratch = MltdScratch::default();
+        let mut out = vec![99.0; 5];
+        m.compute_into(&temps, &mut scratch, &mut out);
+        assert_eq!(out.len(), g.spec().cells());
+        assert!(out.iter().all(|&v| v == 0.0));
+        // Second call reuses the same buffers and refills from scratch.
+        m.compute_into(&temps, &mut scratch, &mut out);
+        assert_eq!(out.len(), g.spec().cells());
     }
 }

@@ -1,6 +1,6 @@
 //! The coupled performance → power → thermal → severity simulation loop.
 
-use crate::mltd::MltdMap;
+use crate::mltd::{MltdMap, MltdScratch};
 use crate::severity::{Severity, SeverityParams};
 use common::time::{SimTime, STEP_MICROS};
 use common::units::{Celsius, GigaHertz, Volts, Watts};
@@ -9,6 +9,7 @@ use floorplan::{Floorplan, Grid, GridSpec, SensorSite};
 use perfsim::{CoreConfig, CoreModel, IntervalCounters};
 use powersim::{PowerConfig, PowerModel};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use thermal::{SensorBank, ThermalConfig, ThermalGrid};
 use workloads::{PhaseEngine, WorkloadSpec};
 
@@ -112,6 +113,63 @@ pub struct Pipeline {
     cfg: PipelineConfig,
 }
 
+/// Cumulative wall-clock time spent in each simulation kernel, in
+/// nanoseconds, accumulated by [`SimRun::step`].
+///
+/// The four buckets partition the step: performance + power modelling,
+/// thermal integration, the fused MLTD + severity sweep, and sensor
+/// record/read-out. Timing uses monotonic [`Instant`] samples (a few per
+/// 80 µs step — negligible against the kernels themselves) and is kept
+/// strictly out of simulation results, so runs stay deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelBreakdown {
+    /// Steps accumulated into the totals.
+    pub steps: u64,
+    /// Performance counters + power-map construction.
+    pub perf_power_ns: u64,
+    /// Thermal explicit-Euler integration.
+    pub thermal_ns: u64,
+    /// Fused MLTD sweep + severity argmax.
+    pub mltd_severity_ns: u64,
+    /// Sensor recording and delayed read-out (plus record assembly).
+    pub sensor_ns: u64,
+}
+
+impl KernelBreakdown {
+    /// Accumulates `other` into `self` (for aggregating across runs or
+    /// engine jobs).
+    pub fn merge(&mut self, other: &KernelBreakdown) {
+        self.steps += other.steps;
+        self.perf_power_ns += other.perf_power_ns;
+        self.thermal_ns += other.thermal_ns;
+        self.mltd_severity_ns += other.mltd_severity_ns;
+        self.sensor_ns += other.sensor_ns;
+    }
+
+    /// Total instrumented time across all buckets, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.perf_power_ns + self.thermal_ns + self.mltd_severity_ns + self.sensor_ns
+    }
+
+    /// One-line human-readable breakdown, e.g. for bench/fig binaries.
+    pub fn summary(&self) -> String {
+        if self.steps == 0 {
+            return "no instrumented steps".into();
+        }
+        let total = self.total_ns().max(1);
+        let pct = |ns: u64| 100.0 * ns as f64 / total as f64;
+        format!(
+            "{} steps, {:.1} µs/step (perf+power {:.0}%, thermal {:.0}%, mltd+severity {:.0}%, sensors {:.0}%)",
+            self.steps,
+            self.total_ns() as f64 / self.steps as f64 / 1e3,
+            pct(self.perf_power_ns),
+            pct(self.thermal_ns),
+            pct(self.mltd_severity_ns),
+            pct(self.sensor_ns),
+        )
+    }
+}
+
 /// Everything observed in one 80 µs simulation step.
 #[derive(Debug, Clone)]
 pub struct StepRecord {
@@ -150,6 +208,8 @@ pub struct FixedRunOutcome {
     pub mean_ipc: f64,
     /// Per-step records.
     pub records: Vec<StepRecord>,
+    /// Wall-clock time spent in each simulation kernel.
+    pub kernel: KernelBreakdown,
 }
 
 impl Pipeline {
@@ -208,6 +268,8 @@ impl Pipeline {
             thermal,
             sensors,
             now: SimTime::ZERO,
+            scratch: StepScratch::default(),
+            kernel: KernelBreakdown::default(),
         })
     }
 
@@ -247,8 +309,20 @@ impl Pipeline {
             peak_temp,
             mean_ipc,
             records,
+            kernel: run.kernel(),
         })
     }
+}
+
+/// Per-run scratch buffers reused by every [`SimRun::step`] so the
+/// steady-state loop performs no per-step heap allocation (beyond the
+/// record's own `sensor_temps`, which the record must own).
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    /// The per-cell power map for the current interval.
+    power: Vec<f64>,
+    /// Working state of the sliding-window MLTD sweep.
+    mltd: MltdScratch,
 }
 
 /// Mutable per-run simulation state: one workload executing on the
@@ -261,6 +335,8 @@ pub struct SimRun<'a> {
     thermal: ThermalGrid,
     sensors: SensorBank,
     now: SimTime,
+    scratch: StepScratch,
+    kernel: KernelBreakdown,
 }
 
 impl SimRun<'_> {
@@ -279,56 +355,80 @@ impl SimRun<'_> {
         &self.thermal
     }
 
+    /// Wall-clock kernel-time totals accumulated so far by this run.
+    pub fn kernel(&self) -> KernelBreakdown {
+        self.kernel
+    }
+
     /// Advances one 80 µs step at the given operating point.
     ///
     /// Order within the step: performance counters for the interval →
     /// power map (leakage uses entry temperatures) → thermal integration
     /// → severity on the end-of-step temperature field → sensor sampling.
     ///
+    /// The power map is written into a per-run scratch buffer and the
+    /// MLTD + severity argmax run as one fused pass over the temperature
+    /// field ([`MltdMap::sweep`]), so the steady-state loop allocates
+    /// only the record's own `sensor_temps`.
+    ///
     /// # Errors
     ///
     /// Propagates thermal-solver errors.
     pub fn step(&mut self, freq: GigaHertz, voltage: Volts) -> Result<StepRecord> {
         let p = self.pipeline;
+        let t0 = Instant::now();
         let act = self.phases.step();
         let counters = p.core.simulate_step(&self.spec, &act, freq, voltage);
         let intensity = self.spec.heat * act.core;
-        let power_map = p.power.power_map(
+        p.power.power_map_into(
             &counters,
             intensity,
             voltage,
             freq,
             self.thermal.temperatures(),
+            &mut self.scratch.power,
         );
-        let total_power = Watts::new(PowerModel::total_power(&power_map));
-        self.thermal.step(&power_map, STEP_MICROS as f64)?;
+        let total_power = Watts::new(PowerModel::total_power(&self.scratch.power));
+        let t1 = Instant::now();
+        self.thermal.step(&self.scratch.power, STEP_MICROS as f64)?;
+        let t2 = Instant::now();
         self.now = self.now.advance_steps(1);
         let now_us = self.now.as_micros() as f64;
         self.sensors.record(now_us, &self.thermal)?;
+        let t3 = Instant::now();
 
-        // Severity over the end-of-step field.
-        let temps = self.thermal.temperatures();
-        let mltd = p.mltd.compute(temps);
+        // Severity over the end-of-step field, fused with the MLTD sweep:
+        // one pass computes each cell's MLTD and feeds it straight into
+        // the running argmax (same first-max-wins, row-major semantics as
+        // a scan over a materialised field).
         let params = &p.cfg.severity;
         let mut max_raw = f64::NEG_INFINITY;
         let mut argmax = 0usize;
-        for (i, (&t, &m)) in temps.iter().zip(&mltd).enumerate() {
-            let s = params.evaluate_raw(Celsius::new(t), Celsius::new(m));
-            if s > max_raw {
-                max_raw = s;
-                argmax = i;
-            }
-        }
+        p.mltd.sweep(
+            self.thermal.temperatures(),
+            &mut self.scratch.mltd,
+            |i, t, m| {
+                let s = params.evaluate_raw(Celsius::new(t), Celsius::new(m));
+                if s > max_raw {
+                    max_raw = s;
+                    argmax = i;
+                }
+            },
+        );
+        let t4 = Instant::now();
         let max_severity = Severity::new(max_raw);
         let nx = p.grid.spec().nx;
         let cell = floorplan::CellIndex::new(argmax % nx, argmax / nx);
         let hotspot_xy = p.grid.cell_center(cell);
-        let sensor_temps = self
-            .sensors
-            .read_all(now_us)
-            .into_iter()
-            .map(|r| r.temperature)
-            .collect();
+        let mut sensor_temps = Vec::new();
+        self.sensors.read_temps_into(now_us, &mut sensor_temps);
+        let t5 = Instant::now();
+
+        self.kernel.steps += 1;
+        self.kernel.perf_power_ns += (t1 - t0).as_nanos() as u64;
+        self.kernel.thermal_ns += (t2 - t1).as_nanos() as u64;
+        self.kernel.mltd_severity_ns += (t4 - t3).as_nanos() as u64;
+        self.kernel.sensor_ns += ((t3 - t2) + (t5 - t4)).as_nanos() as u64;
 
         Ok(StepRecord {
             time: self.now,

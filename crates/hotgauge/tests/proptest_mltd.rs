@@ -1,0 +1,53 @@
+//! Equivalence property tests pinning the sliding-window MLTD sweep
+//! ([`MltdMap::compute_into`]) bit-identical to the naive stencil scan
+//! ([`MltdMap::compute_reference`]) across random fields, radii and grid
+//! shapes.
+
+use boreas_hotgauge::{MltdMap, MltdScratch};
+use floorplan::{Floorplan, Grid, GridSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sweep_is_bit_identical_to_reference(
+        field in prop::collection::vec(20.0..130.0f64, 768..=768),
+        radius in 0.05..2.0f64,
+        shape in 0usize..3,
+    ) {
+        let (nx, ny) = [(32, 24), (16, 12), (8, 6)][shape];
+        let grid =
+            Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(nx, ny).unwrap()).unwrap();
+        let m = MltdMap::new(&grid, radius);
+        let temps = &field[..nx * ny];
+        let fast = m.compute(temps);
+        let reference = m.compute_reference(temps);
+        prop_assert_eq!(fast.len(), reference.len());
+        for (a, b) in fast.iter().zip(&reference) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "radius {} shape {}x{}", radius, nx, ny);
+        }
+    }
+
+    /// Buffer reuse across differently-sized evaluations must not leak
+    /// state between calls.
+    #[test]
+    fn scratch_reuse_across_radii_stays_exact(
+        field in prop::collection::vec(20.0..130.0f64, 192..=192),
+        r1 in 0.05..2.0f64,
+        r2 in 0.05..2.0f64,
+    ) {
+        let grid =
+            Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(16, 12).unwrap()).unwrap();
+        let mut scratch = MltdScratch::default();
+        let mut out = Vec::new();
+        for radius in [r1, r2, r1] {
+            let m = MltdMap::new(&grid, radius);
+            m.compute_into(&field, &mut scratch, &mut out);
+            let reference = m.compute_reference(&field);
+            for (a, b) in out.iter().zip(&reference) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "radius {}", radius);
+            }
+        }
+    }
+}

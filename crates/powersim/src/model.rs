@@ -141,20 +141,43 @@ impl PowerModel {
         freq: GigaHertz,
         die_temps: &[f64],
     ) -> Vec<f64> {
+        let mut map = Vec::new();
+        self.power_map_into(counters, intensity, voltage, freq, die_temps, &mut map);
+        map
+    }
+
+    /// [`PowerModel::power_map`] into a caller-owned buffer (cleared and
+    /// refilled), so the per-step simulation loop allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_temps` does not match the grid size.
+    pub fn power_map_into(
+        &self,
+        counters: &IntervalCounters,
+        intensity: f64,
+        voltage: Volts,
+        freq: GigaHertz,
+        die_temps: &[f64],
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(die_temps.len(), self.n_cells, "die_temps length mismatch");
         let unit_temps = self.unit_temps(die_temps);
         let unit_power = self.unit_power(counters, intensity, voltage, freq, &unit_temps);
-        let mut map = vec![self.cfg.uncore_background_w / self.n_cells as f64; self.n_cells];
+        out.clear();
+        out.resize(
+            self.n_cells,
+            self.cfg.uncore_background_w / self.n_cells as f64,
+        );
         for (i, cells) in self.unit_cells.iter().enumerate() {
             if cells.is_empty() {
                 continue;
             }
             let per_cell = unit_power[i] / cells.len() as f64;
             for &c in cells {
-                map[c] += per_cell;
+                out[c] += per_cell;
             }
         }
-        map
     }
 
     /// Sum of a power map, W.

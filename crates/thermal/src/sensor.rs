@@ -204,6 +204,15 @@ impl SensorBank {
         self.sensors.iter().map(|s| s.read(now_us)).collect()
     }
 
+    /// Reads every sensor's temperature at `now_us` into a caller-owned
+    /// buffer (cleared first), skipping the timestamped wrapper — the
+    /// per-step simulation loop's allocation-free read path.
+    pub fn read_temps_into(&self, now_us: f64, out: &mut Vec<Celsius>) {
+        out.clear();
+        out.reserve(self.sensors.len());
+        out.extend(self.sensors.iter().map(|s| s.read(now_us).temperature));
+    }
+
     /// Reads one sensor by index.
     ///
     /// # Panics

@@ -131,6 +131,28 @@ impl ThermalGrid {
     /// Returns [`Error::ShapeMismatch`] if `power` has the wrong length,
     /// or [`Error::Numerical`] if non-finite power is supplied.
     pub fn step(&mut self, power: &[f64], duration_us: f64) -> Result<()> {
+        self.validate_power(power)?;
+        // Integer substep count with one fractional tail instead of a
+        // `remaining -= dt` loop: repeated subtraction accumulates float
+        // error, so `dt_us()`-aligned durations (the 80 µs pipeline step
+        // with the default 20 µs substep) could pick up a spurious tiny
+        // trailing substep. With the quotient form, aligned durations run
+        // exactly `n` full-`dt` substeps — the branch-free fast path —
+        // and only genuinely unaligned durations take the tail.
+        let duration = duration_us * 1e-6;
+        let n_full = (duration / self.dt) as usize; // saturating: <0 -> 0
+        let tail = duration - n_full as f64 * self.dt;
+        let dt = self.dt;
+        for _ in 0..n_full {
+            self.substep(power, dt);
+        }
+        if tail > 1e-12 {
+            self.substep(power, tail);
+        }
+        Ok(())
+    }
+
+    fn validate_power(&self, power: &[f64]) -> Result<()> {
         if power.len() != self.temps.len() {
             return Err(Error::ShapeMismatch {
                 what: "power map",
@@ -141,17 +163,100 @@ impl ThermalGrid {
         if !power.iter().all(|p| p.is_finite()) {
             return Err(Error::Numerical("non-finite power input".into()));
         }
+        Ok(())
+    }
+
+    /// One explicit-Euler sub-step of `dt` seconds.
+    ///
+    /// The four boundary edges are peeled so the interior loop carries no
+    /// neighbour-existence branches or unhoistable bounds checks; the
+    /// package-flux accumulation is fused into the same sweep. Every cell
+    /// evaluates the *same floating-point expression in the same order*
+    /// as the reference integrator ([`ThermalGrid::step_reference`]), so
+    /// the output is bit-identical — the speedup comes purely from branch
+    /// removal, per-row slicing and register-resident coefficients, never
+    /// from re-associating the arithmetic.
+    fn substep(&mut self, power: &[f64], dt: f64) {
+        let (nx, ny) = (self.nx, self.ny);
+        if nx < 2 || ny < 2 {
+            // Degenerate strips have no interior worth peeling.
+            self.substep_reference(power, dt);
+            return;
+        }
+        let coeffs = CellCoeffs {
+            gx: self.g_lat_x,
+            gy: self.g_lat_y,
+            gv: self.g_vert,
+            dt,
+            c_cell: self.c_cell,
+            pkg: self.pkg_temp,
+        };
+        let t = &self.temps[..];
+        let out = &mut self.scratch[..];
+        let mut pkg_flux = 0.0;
+
+        // Top row (no `up` neighbour), interior rows, bottom row — the
+        // cells are visited in the same row-major order as the reference,
+        // so the running package-flux sum rounds identically.
+        row_update::<false, true>(
+            &coeffs,
+            None,
+            &t[..nx],
+            Some(&t[nx..2 * nx]),
+            &power[..nx],
+            &mut out[..nx],
+            &mut pkg_flux,
+        );
+        for iy in 1..ny - 1 {
+            let base = iy * nx;
+            row_update::<true, true>(
+                &coeffs,
+                Some(&t[base - nx..base]),
+                &t[base..base + nx],
+                Some(&t[base + nx..base + 2 * nx]),
+                &power[base..base + nx],
+                &mut out[base..base + nx],
+                &mut pkg_flux,
+            );
+        }
+        let base = (ny - 1) * nx;
+        row_update::<true, false>(
+            &coeffs,
+            Some(&t[base - nx..base]),
+            &t[base..base + nx],
+            None,
+            &power[base..base + nx],
+            &mut out[base..base + nx],
+            &mut pkg_flux,
+        );
+
+        let ambient = self.cfg.ambient.value();
+        pkg_flux += self.cfg.sink_conductance_w_per_k * (ambient - self.pkg_temp);
+        self.pkg_temp += dt * pkg_flux / self.cfg.package_capacity_j_per_k;
+        std::mem::swap(&mut self.temps, &mut self.scratch);
+    }
+
+    /// The seed (pre-optimisation) integrator: branchy stencil plus the
+    /// `remaining -= dt` substep loop. Kept as the reference the fused
+    /// kernel is pinned against (equivalence tests) and as the baseline
+    /// `bench_hotpath` measures speedups from; not used on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThermalGrid::step`].
+    pub fn step_reference(&mut self, power: &[f64], duration_us: f64) -> Result<()> {
+        self.validate_power(power)?;
         let mut remaining = duration_us * 1e-6;
         while remaining > 1e-12 {
             let dt = self.dt.min(remaining);
-            self.substep(power, dt);
+            self.substep_reference(power, dt);
             remaining -= dt;
         }
         Ok(())
     }
 
-    /// One explicit-Euler sub-step of `dt` seconds.
-    fn substep(&mut self, power: &[f64], dt: f64) {
+    /// One reference sub-step (the seed's branchy stencil sweep).
+    fn substep_reference(&mut self, power: &[f64], dt: f64) {
         let (nx, ny) = (self.nx, self.ny);
         let t = &self.temps;
         let out = &mut self.scratch;
@@ -218,6 +323,96 @@ impl ThermalGrid {
     pub fn heat_to_ambient(&self) -> f64 {
         self.cfg.sink_conductance_w_per_k * (self.pkg_temp - self.cfg.ambient.value())
     }
+}
+
+/// Per-substep constants hoisted out of the cell loops.
+struct CellCoeffs {
+    gx: f64,
+    gy: f64,
+    gv: f64,
+    dt: f64,
+    c_cell: f64,
+    pkg: f64,
+}
+
+impl CellCoeffs {
+    /// The seed's per-cell update, with the vertical-neighbour terms
+    /// selected at compile time: `flux` accumulates power, vertical,
+    /// left, right, up, down in exactly the reference order. The
+    /// caller accumulates the cell's package-flux contribution
+    /// ([`CellCoeffs::pkg_contrib`]) in the same row-major cell order
+    /// as the reference.
+    #[inline(always)]
+    fn cell<const LEFT: bool, const RIGHT: bool, const UP: bool, const DOWN: bool>(
+        &self,
+        ti: f64,
+        p: f64,
+        left: f64,
+        right: f64,
+        up: f64,
+        down: f64,
+    ) -> f64 {
+        let mut flux = p + self.gv * (self.pkg - ti);
+        if LEFT {
+            flux += self.gx * (left - ti);
+        }
+        if RIGHT {
+            flux += self.gx * (right - ti);
+        }
+        if UP {
+            flux += self.gy * (up - ti);
+        }
+        if DOWN {
+            flux += self.gy * (down - ti);
+        }
+        ti + self.dt * flux / self.c_cell
+    }
+
+    /// One cell's contribution to the running package-flux sum.
+    #[inline(always)]
+    fn pkg_contrib(&self, ti: f64) -> f64 {
+        self.gv * (ti - self.pkg)
+    }
+}
+
+/// Updates one grid row with the left/right edge cells peeled off the
+/// interior loop; `UP`/`DOWN` select the vertical neighbour terms at
+/// monomorphisation time so no row carries neighbour-existence branches.
+#[inline(always)]
+fn row_update<const UP: bool, const DOWN: bool>(
+    c: &CellCoeffs,
+    up_row: Option<&[f64]>,
+    row: &[f64],
+    down_row: Option<&[f64]>,
+    p_row: &[f64],
+    out_row: &mut [f64],
+    pkg_flux: &mut f64,
+) {
+    let nx = row.len();
+    let up_row = up_row.unwrap_or(row);
+    let down_row = down_row.unwrap_or(row);
+    // Left edge.
+    *pkg_flux += c.pkg_contrib(row[0]);
+    out_row[0] =
+        c.cell::<false, true, UP, DOWN>(row[0], p_row[0], 0.0, row[1], up_row[0], down_row[0]);
+    // Interior: all four lateral neighbours exist; the slice indexing is
+    // bounds-check-free after the compiler sees the common length.
+    for ix in 1..nx - 1 {
+        *pkg_flux += c.pkg_contrib(row[ix]);
+        out_row[ix] = c.cell::<true, true, UP, DOWN>(
+            row[ix],
+            p_row[ix],
+            row[ix - 1],
+            row[ix + 1],
+            up_row[ix],
+            down_row[ix],
+        );
+    }
+    // Right edge.
+    let e = nx - 1;
+    *pkg_flux += c.pkg_contrib(row[e]);
+    out_row[e] =
+        c.cell::<true, false, UP, DOWN>(row[e], p_row[e], row[e - 1], 0.0, up_row[e], down_row[e]);
 }
 
 #[cfg(test)]

@@ -1,0 +1,77 @@
+//! Equivalence property tests pinning the fused boundary-peeled
+//! integrator ([`ThermalGrid::step`]) to the seed reference
+//! ([`ThermalGrid::step_reference`]).
+
+use boreas_thermal::{ThermalConfig, ThermalGrid};
+use floorplan::{Floorplan, Grid, GridSpec};
+use proptest::prelude::*;
+
+fn pair(nx: usize, ny: usize) -> (ThermalGrid, ThermalGrid) {
+    let grid = Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(nx, ny).unwrap()).unwrap();
+    (
+        ThermalGrid::new(&grid, ThermalConfig::default()),
+        ThermalGrid::new(&grid, ThermalConfig::default()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Substep-aligned durations (the pipeline's 80 µs step) take the
+    /// same substep sequence in both integrators, and the fused kernel
+    /// evaluates the same expressions in the same order — so the result
+    /// is *bit*-identical, not merely close.
+    #[test]
+    fn aligned_durations_are_bit_identical(
+        powers in prop::collection::vec(0.0..0.4f64, 48..=48),
+        rounds in 1usize..5,
+    ) {
+        let (mut fused, mut reference) = pair(8, 6);
+        for _ in 0..rounds {
+            fused.step(&powers, 80.0).unwrap();
+            reference.step_reference(&powers, 80.0).unwrap();
+        }
+        for (a, b) in fused.temperatures().iter().zip(reference.temperatures()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(
+            fused.package_temp().value().to_bits(),
+            reference.package_temp().value().to_bits()
+        );
+    }
+
+    /// Arbitrary durations may split into substeps slightly differently
+    /// (integer quotient + tail vs repeated subtraction), so the two
+    /// integrators agree to float-accumulation precision rather than
+    /// exactly.
+    #[test]
+    fn arbitrary_durations_agree_within_1e_12(
+        powers in prop::collection::vec(0.0..0.4f64, 48..=48),
+        duration in 1.0..3_000.0f64,
+    ) {
+        let (mut fused, mut reference) = pair(8, 6);
+        fused.step(&powers, duration).unwrap();
+        reference.step_reference(&powers, duration).unwrap();
+        for (a, b) in fused.temperatures().iter().zip(reference.temperatures()) {
+            prop_assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                "fused {} vs reference {}", a, b
+            );
+        }
+    }
+
+    /// The smallest legal grid has no interior cells at all — every cell
+    /// is on two boundaries — which exercises the row peeling's edge
+    /// cases (`nx - 1 == 1`, empty interior loop).
+    #[test]
+    fn minimal_2x2_grid_is_bit_identical(
+        powers in prop::collection::vec(0.0..0.4f64, 4..=4),
+    ) {
+        let (mut fused, mut reference) = pair(2, 2);
+        fused.step(&powers, 160.0).unwrap();
+        reference.step_reference(&powers, 160.0).unwrap();
+        for (a, b) in fused.temperatures().iter().zip(reference.temperatures()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
