@@ -11,6 +11,7 @@
 //! controller spec, so every cell keys distinctly in the artifact cache.
 
 use boreas_bench::experiments::LOOP_STEPS;
+use boreas_bench::Reporting;
 use boreas_core::{
     train_boreas_model, train_safe_thresholds, CriticalTemps, TrainingConfig, VfTable,
 };
@@ -20,6 +21,7 @@ use telemetry::FeatureSet;
 use workloads::WorkloadSpec;
 
 fn main() {
+    let reporting = Reporting::from_args();
     println!(
         "{:>10} {:>10} {:>8} {:>10} {:>8}   (normalised avg frequency over the test set)",
         "delay", "TH-00", "TH inc", "ML05", "ML inc"
@@ -70,7 +72,7 @@ fn main() {
                 ControllerSpec::ml(model, &features, 0.05),
             ],
         );
-        let report = Session::new(pipeline)
+        let report = Session::new(pipeline, reporting.obs.clone())
             .expect("session")
             .run(&scenario)
             .expect("closed loops");
@@ -104,4 +106,5 @@ fn main() {
          the temperature feature's error profile changes and the guardband needs retuning to stay \
          incursion-free.)"
     );
+    reporting.finish(None).expect("reporting");
 }

@@ -13,12 +13,13 @@
 //! * `pipeline_step` — one full fused [`hotgauge::SimRun::step`] vs a
 //!   reference loop composed from the pre-PR kernels.
 //!
-//! Usage: `bench_hotpath [--smoke] [--out PATH] [--check BASELINE]`.
-//! `--smoke` shrinks iteration counts for CI; `--check` compares each
-//! kernel's *speedup ratio* (new vs reference on the same machine —
-//! machine-independent) against a checked-in baseline and exits non-zero
-//! on a >25% regression. JSON is emitted without serde so the binary has
-//! no serialisation dependency.
+//! Usage: `bench_hotpath [--smoke] [--out PATH] [--check BASELINE]
+//! [--metrics-out BASE]`. `--smoke` shrinks iteration counts for CI;
+//! `--check` compares each kernel's *speedup ratio* (new vs reference on
+//! the same machine — machine-independent) against a checked-in baseline
+//! and exits non-zero on a >25% regression; `--metrics-out` additionally
+//! exports the medians/speedups as Prometheus gauges. JSON is emitted
+//! without serde so the binary has no serialisation dependency.
 
 use common::units::{GigaHertz, Volts};
 use common::Result;
@@ -336,7 +337,8 @@ fn regressions(current: &[KernelResult], baseline_json: &str) -> Vec<String> {
 }
 
 fn main() -> Result<()> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reporting = boreas_bench::Reporting::from_args();
+    let args: Vec<String> = reporting.rest().to_vec();
     let smoke = args.iter().any(|a| a == "--smoke");
     let flag_value = |flag: &str| {
         args.iter()
@@ -371,6 +373,28 @@ fn main() -> Result<()> {
     std::fs::write(&out_path, &json)
         .map_err(|e| common::Error::io("write bench results", e.to_string()))?;
     println!("wrote {out_path}");
+
+    if reporting.metrics_out().is_some() {
+        for r in &results {
+            reporting
+                .obs
+                .metrics
+                .gauge(
+                    &format!("bench_{}_median_ns", r.name),
+                    "Median fused kernel time, ns",
+                )
+                .set(r.median_ns);
+            reporting
+                .obs
+                .metrics
+                .gauge(
+                    &format!("bench_{}_speedup", r.name),
+                    "Fused vs reference kernel speedup",
+                )
+                .set(r.speedup());
+        }
+        reporting.finish(None)?;
+    }
 
     if let Some(baseline_path) = check_path {
         let baseline = std::fs::read_to_string(&baseline_path)

@@ -7,7 +7,9 @@
 //! wrong here: the auto mode mutates workload heats between iterations).
 //!
 //! Usage: `cargo run --release -p boreas-bench --bin calibrate [scale] [steps]`
+//! (plus the shared `--metrics-out BASE` export flag).
 
+use boreas_bench::Reporting;
 use boreas_core::VfTable;
 use engine::{Scenario, Session, SweepPointResult};
 use hotgauge::PipelineConfig;
@@ -36,11 +38,11 @@ fn sweep(
     report.sweep_points().cloned().collect()
 }
 
-fn auto_calibrate(scale: f64, steps: usize, iterations: usize) {
+fn auto_calibrate(scale: f64, steps: usize, iterations: usize, obs: &obs::Obs) {
     let mut cfg = PipelineConfig::paper();
     cfg.power.scale = scale;
     let pipeline = cfg.build().expect("paper config builds");
-    let session = Session::without_cache(pipeline);
+    let session = Session::without_cache(pipeline).observe(obs);
     let vf = VfTable::paper();
     let mut suite = WorkloadSpec::by_severity_rank();
 
@@ -97,24 +99,27 @@ fn print_sweep(session: &Session, vf: &VfTable, suite: &[WorkloadSpec], steps: u
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(|s| s.as_str()) == Some("--auto") {
-        let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-        let steps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(150);
-        let iters: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(4);
-        auto_calibrate(scale, steps, iters);
+    let reporting = Reporting::from_args();
+    let args = reporting.rest();
+    if args.first().map(|s| s.as_str()) == Some("--auto") {
+        let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150);
+        let iters: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+        auto_calibrate(scale, steps, iters, &reporting.obs);
+        reporting.finish(None).expect("reporting");
         return;
     }
-    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let steps: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(150);
 
     let mut cfg = PipelineConfig::paper();
     cfg.power.scale = scale;
     let pipeline = cfg.build().expect("paper config builds");
-    let session = Session::without_cache(pipeline);
+    let session = Session::without_cache(pipeline).observe(&reporting.obs);
     let vf = VfTable::paper();
     let suite = WorkloadSpec::by_severity_rank();
 
     println!("# scale = {scale}, steps = {steps}");
     print_sweep(&session, &vf, &suite, steps);
+    reporting.finish(None).expect("reporting");
 }

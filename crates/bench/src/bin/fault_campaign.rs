@@ -16,11 +16,13 @@
 //! resilient} — is a single [`engine::Scenario`] executed by the
 //! work-stealing [`engine::Session`].
 //!
-//! Usage: `fault_campaign [--seed N] [--steps N]`. The campaign is a
-//! pure function of the seed: the closing digest line is bit-identical
-//! across runs with the same seed.
+//! Usage: `fault_campaign [--seed N] [--steps N] [--metrics-out BASE]`.
+//! The campaign is a pure function of the seed: the closing digest line
+//! is bit-identical across runs with the same seed (observability rides
+//! alongside and never perturbs it).
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_bench::Reporting;
 use engine::{ControllerSpec, FaultCell, LoopRunResult, Scenario};
 use faults::{Fault, FaultKind, FaultPlan};
 use workloads::WorkloadSpec;
@@ -38,10 +40,10 @@ const FAULT_KINDS: [FaultKind; 5] = [
 /// Per-step firing probabilities swept for every fault kind.
 const RATES: [f64; 3] = [0.05, 0.25, 1.0];
 
-fn parse_args() -> (u64, usize) {
+fn parse_args(rest: &[String]) -> (u64, usize) {
     let mut seed = 2023u64;
     let mut steps = LOOP_STEPS;
-    let mut args = std::env::args().skip(1);
+    let mut args = rest.iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => {
@@ -56,7 +58,7 @@ fn parse_args() -> (u64, usize) {
                     .and_then(|v| v.parse().ok())
                     .expect("--steps needs an integer value");
             }
-            other => panic!("unknown argument {other} (expected --seed/--steps)"),
+            other => panic!("unknown argument {other} (expected --seed/--steps/--metrics-out)"),
         }
     }
     (seed, steps)
@@ -88,8 +90,11 @@ fn digest_row(h: u64, row: &LoopRunResult) -> u64 {
 }
 
 fn main() {
-    let (seed, steps) = parse_args();
-    let exp = Experiment::paper().expect("paper config");
+    let reporting = Reporting::from_args();
+    let (seed, steps) = parse_args(reporting.rest());
+    let exp = Experiment::paper()
+        .expect("paper config")
+        .observe(&reporting.obs);
     let thresholds = exp.trained_thresholds().expect("trained thresholds");
     let (model, features) = exp.boreas_model().expect("model");
 
@@ -161,5 +166,5 @@ fn main() {
         "\ncells with incursions: plain {plain_failures}/{n_cells}, resilient {resilient_failures}/{n_cells}"
     );
     println!("campaign digest: {digest:016x} (same seed => same digest)");
-    boreas_bench::print_engine_footer(&report);
+    reporting.finish(Some(&report)).expect("reporting");
 }

@@ -6,17 +6,23 @@
 //! memoised in the artifact cache, so re-runs (and other binaries
 //! sharing cells, e.g. the sweep-table consumers) skip the simulation.
 //!
-//! Usage: `fig2_severity_sweep [--smoke]`. `--smoke` runs a reduced grid
-//! (6 workloads × every 4th VF point × 24 steps) as a CI smoke test.
+//! Usage: `fig2_severity_sweep [--smoke] [--metrics-out BASE]`.
+//! `--smoke` runs a reduced grid (6 workloads × every 4th VF point × 24
+//! steps) as a CI smoke test; `--metrics-out` exports the observability
+//! artifacts (`BASE.prom`, `BASE.jsonl`).
 
 use boreas_bench::experiments::{Experiment, RUN_STEPS};
+use boreas_bench::Reporting;
 use boreas_core::{oracle_frequencies, VfTable};
 use engine::Scenario;
 use workloads::{SetKind, WorkloadSpec};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let exp = Experiment::paper().expect("paper config");
+    let reporting = Reporting::from_args();
+    let smoke = reporting.rest().iter().any(|a| a == "--smoke");
+    let exp = Experiment::paper()
+        .expect("paper config")
+        .observe(&reporting.obs);
 
     let scenario = if smoke {
         let workloads: Vec<WorkloadSpec> = WorkloadSpec::by_severity_rank()
@@ -94,5 +100,5 @@ fn main() {
     println!("  median frequency left on the table: {median:.1}% (paper: ~13%)");
     println!("  worst case: {worst:.1}% (paper: 26%)");
 
-    boreas_bench::print_engine_footer(&report);
+    reporting.finish(Some(&report)).expect("reporting");
 }

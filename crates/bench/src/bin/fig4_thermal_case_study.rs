@@ -7,11 +7,15 @@
 //! [`engine::Scenario`] executed (and cached) by the shared session.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_bench::Reporting;
 use engine::{ControllerSpec, Scenario};
 use workloads::WorkloadSpec;
 
 fn main() {
-    let exp = Experiment::paper().expect("paper config");
+    let reporting = Reporting::from_args();
+    let exp = Experiment::paper()
+        .expect("paper config")
+        .observe(&reporting.obs);
     let thresholds = exp.trained_thresholds().expect("trained thresholds");
 
     let workloads: Vec<WorkloadSpec> = ["gromacs", "gamess"]
@@ -66,5 +70,5 @@ fn main() {
             println!();
         }
     }
-    boreas_bench::print_engine_footer(&report);
+    reporting.finish(Some(&report)).expect("reporting");
 }

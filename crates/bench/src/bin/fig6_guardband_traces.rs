@@ -6,12 +6,20 @@
 //! [`engine::Scenario`] through the shared cached session.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_bench::Reporting;
 use engine::{ControllerSpec, Scenario};
 use workloads::WorkloadSpec;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
-    let exp = Experiment::paper().expect("paper config");
+    let reporting = Reporting::from_args();
+    let name = reporting
+        .rest()
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "bzip2".into());
+    let exp = Experiment::paper()
+        .expect("paper config")
+        .observe(&reporting.obs);
     let (model, features) = exp.boreas_model().expect("model");
     let spec = WorkloadSpec::by_name(&name).expect("workload");
 
@@ -58,5 +66,5 @@ fn main() {
         }
         println!("\n");
     }
-    boreas_bench::print_engine_footer(&report);
+    reporting.finish(Some(&report)).expect("reporting");
 }

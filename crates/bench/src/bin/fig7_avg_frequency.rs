@@ -9,12 +9,16 @@
 //! [`engine::Session`] runs it work-stealing and memoises every cell.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_bench::Reporting;
 use boreas_core::VfTable;
 use engine::{ControllerSpec, Scenario};
 use workloads::WorkloadSpec;
 
 fn main() {
-    let exp = Experiment::paper().expect("paper config");
+    let reporting = Reporting::from_args();
+    let exp = Experiment::paper()
+        .expect("paper config")
+        .observe(&reporting.obs);
     let thresholds = exp.trained_thresholds().expect("trained thresholds");
     let (model, features) = exp.boreas_model().expect("boreas model");
     let tests = WorkloadSpec::test_set();
@@ -89,5 +93,5 @@ fn main() {
         (ml05 / th - 1.0) * 100.0
     );
 
-    boreas_bench::print_engine_footer(&report);
+    reporting.finish(Some(&report)).expect("reporting");
 }

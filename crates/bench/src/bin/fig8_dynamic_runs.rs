@@ -8,28 +8,66 @@
 //! Both controllers over all test workloads form one
 //! [`engine::Scenario`]; the per-interval traces come straight off the
 //! engine's result rows.
+//!
+//! Usage: `fig8_dynamic_runs [--smoke] [--metrics-out BASE]`.
+//! `--smoke` shrinks the grid to 2 workloads × 48 steps with cheap
+//! stand-in controllers (flat 70 °C thermal thresholds, a tiny
+//! frequency-only GBT model) so CI can exercise the full
+//! engine/controller/observability path in seconds; `--metrics-out`
+//! exports the observability artifacts (`BASE.prom`, `BASE.jsonl`).
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
+use boreas_bench::Reporting;
 use engine::{ControllerSpec, Scenario};
 use workloads::WorkloadSpec;
 
-fn main() {
-    let exp = Experiment::paper().expect("paper config");
-    let thresholds = exp.trained_thresholds().expect("trained thresholds");
-    let (model, features) = exp.boreas_model().expect("model");
-    let tests = WorkloadSpec::test_set();
-
-    let controllers = vec![
-        ControllerSpec::thermal(thresholds, 0.0),
+/// Smoke-mode stand-ins: flat thermal thresholds and a severity ≈
+/// frequency/5 model — the paper shape does not hold under them, but
+/// every code path (thermal + ML decisions, flight events, metrics)
+/// still runs.
+fn smoke_controllers(vf_len: usize) -> Vec<ControllerSpec> {
+    let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
+    for i in 0..200 {
+        let f = 2.0 + 3.0 * (i as f64 / 200.0);
+        d.push_row(&[f], f / 5.0, (i % 2) as u32)
+            .expect("synthetic row");
+    }
+    let model = gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(30))
+        .expect("tiny model");
+    let features = telemetry::FeatureSet::from_names(&["frequency_ghz"]).expect("feature");
+    vec![
+        ControllerSpec::thermal(vec![Some(70.0); vf_len], 0.0),
         ControllerSpec::ml(model, &features, 0.05),
-    ];
-    let scenario = Scenario::closed_loop(
-        "fig8-dynamic-runs",
-        tests.clone(),
-        exp.vf.clone(),
-        LOOP_STEPS,
-        controllers,
-    );
+    ]
+}
+
+fn main() {
+    let reporting = Reporting::from_args();
+    let smoke = reporting.rest().iter().any(|a| a == "--smoke");
+    let exp = Experiment::paper()
+        .expect("paper config")
+        .observe(&reporting.obs);
+
+    let (name, tests, steps, controllers) = if smoke {
+        let tests: Vec<WorkloadSpec> = WorkloadSpec::test_set().into_iter().take(2).collect();
+        let controllers = smoke_controllers(exp.vf.len());
+        ("fig8-smoke", tests, 48, controllers)
+    } else {
+        let thresholds = exp.trained_thresholds().expect("trained thresholds");
+        let (model, features) = exp.boreas_model().expect("model");
+        let controllers = vec![
+            ControllerSpec::thermal(thresholds, 0.0),
+            ControllerSpec::ml(model, &features, 0.05),
+        ];
+        (
+            "fig8-dynamic-runs",
+            WorkloadSpec::test_set(),
+            LOOP_STEPS,
+            controllers,
+        )
+    };
+
+    let scenario = Scenario::closed_loop(name, tests.clone(), exp.vf.clone(), steps, controllers);
     let report = exp
         .session()
         .expect("session")
@@ -69,5 +107,5 @@ fn main() {
         if any_incursion { "YES (!)" } else { "no" }
     );
 
-    boreas_bench::print_engine_footer(&report);
+    reporting.finish(Some(&report)).expect("reporting");
 }

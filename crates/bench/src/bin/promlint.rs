@@ -1,0 +1,36 @@
+//! Lints Prometheus text-exposition files with the in-tree parser
+//! ([`obs::promlint`]). CI runs it over the `--metrics-out` artifacts
+//! the figure binaries emit, so a formatting regression in the exporter
+//! fails the build instead of silently breaking scrapes.
+//!
+//! Usage: `promlint FILE...` — prints one line per file and exits
+//! non-zero when any file fails to parse or violates the format
+//! invariants (bucket ordering, cumulative counts, `+Inf` presence,
+//! counter monotonicity).
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: promlint FILE...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match obs::promlint::lint(&text) {
+                Ok(families) => println!("{path}: ok ({} families)", families.len()),
+                Err(e) => {
+                    failed = true;
+                    eprintln!("{path}: {e}");
+                }
+            },
+            Err(e) => {
+                failed = true;
+                eprintln!("{path}: {e}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -31,6 +31,7 @@ pub struct Experiment {
     /// The paper VF table.
     pub vf: VfTable,
     cache: ArtifactCache,
+    obs: obs::Obs,
 }
 
 /// Provenance descriptor for a derived (non-engine-job) artefact; the
@@ -55,7 +56,17 @@ impl Experiment {
             pipeline: PipelineConfig::paper().build()?,
             vf: VfTable::paper(),
             cache: ArtifactCache::open_default()?,
+            obs: obs::Obs::disabled(),
         })
+    }
+
+    /// Attaches an observability bundle; every [`Experiment::session`]
+    /// built afterwards streams its metrics, spans and flight events
+    /// into `obs`.
+    #[must_use]
+    pub fn observe(mut self, obs: &obs::Obs) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// The artifact cache backing this experiment.
@@ -70,7 +81,7 @@ impl Experiment {
     ///
     /// Propagates cache-directory I/O failures.
     pub fn session(&self) -> Result<Session> {
-        Session::with_cache_dir(self.pipeline.clone(), self.cache.root())
+        Ok(Session::with_cache_dir(self.pipeline.clone(), self.cache.root())?.observe(&self.obs))
     }
 
     /// The Fig. 2 scenario: every workload (severity-rank order) at

@@ -5,19 +5,15 @@
 //! paper (see DESIGN.md §4 for the index). The binaries describe their
 //! experiment as an [`engine::Scenario`] and execute it through
 //! [`engine::Session`] — the work-stealing, artifact-cached experiment
-//! engine — via the shared [`experiments::Experiment`] context. The
-//! Criterion benches under `benches/` measure the runtime cost of the
-//! core components (GBT prediction latency, thermal-solver throughput,
-//! pipeline step rate).
+//! engine — via the shared [`experiments::Experiment`] context, and
+//! share the [`report::Reporting`] footer: engine counters, kernel span
+//! timings, the metrics snapshot, and (with `--metrics-out <base>`)
+//! Prometheus + JSONL export. The Criterion benches under `benches/`
+//! measure the runtime cost of the core components (GBT prediction
+//! latency, thermal-solver throughput, pipeline step rate).
 
 pub mod experiments;
+pub mod report;
 
 pub use experiments::{Experiment, LOOP_STEPS, RUN_STEPS};
-
-/// Prints the standard end-of-run footer every fig binary shares: the
-/// engine's execution counters plus the per-kernel simulation-time
-/// breakdown of the jobs that actually ran.
-pub fn print_engine_footer(report: &engine::SessionReport) {
-    println!("\nengine: {}", report.counters.summary());
-    println!("kernels: {}", report.counters.kernel.summary());
-}
+pub use report::Reporting;

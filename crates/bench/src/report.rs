@@ -1,0 +1,128 @@
+//! Shared end-of-run reporting for the figure/table binaries: one
+//! observability bundle per process, the standard engine footer, and
+//! optional artifact export.
+//!
+//! Every binary recognises `--metrics-out <base>`; when given,
+//! [`Reporting::finish`] writes `<base>.prom` (Prometheus text
+//! exposition) and `<base>.jsonl` (spans, flight events and metrics as
+//! self-describing JSON lines) beside printing the footer.
+
+use common::{Error, Result};
+use std::path::{Path, PathBuf};
+
+/// Observability + export wiring shared by every bench binary.
+///
+/// Construct with [`Reporting::from_args`], attach [`Reporting::obs`]
+/// to the experiment/session, and call [`Reporting::finish`] last.
+pub struct Reporting {
+    /// The live observability bundle for this process.
+    pub obs: obs::Obs,
+    out: Option<PathBuf>,
+    rest: Vec<String>,
+}
+
+impl Reporting {
+    /// Parses `--metrics-out <base>` out of the process arguments.
+    pub fn from_args() -> Reporting {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (the process-independent core of
+    /// [`Reporting::from_args`]).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Reporting {
+        let mut out = None;
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--metrics-out" {
+                out = it.next().map(PathBuf::from);
+            } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
+                out = Some(PathBuf::from(v));
+            } else {
+                rest.push(arg);
+            }
+        }
+        Reporting {
+            obs: obs::Obs::new(),
+            out,
+            rest,
+        }
+    }
+
+    /// The arguments left over after the reporting flags — the binary's
+    /// own flags and positionals, in their original order.
+    pub fn rest(&self) -> &[String] {
+        &self.rest
+    }
+
+    /// The export base path, when `--metrics-out` was given.
+    pub fn metrics_out(&self) -> Option<&Path> {
+        self.out.as_deref()
+    }
+
+    /// Prints the standard footer — engine counters, the span table and
+    /// the metrics snapshot — and writes the export artifacts when
+    /// `--metrics-out` was given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the artifacts cannot be written.
+    pub fn finish(&self, report: Option<&engine::SessionReport>) -> Result<()> {
+        if let Some(report) = report {
+            println!("\nengine: {}", report.counters.summary());
+        }
+        let spans = self.obs.tracer.stats();
+        if !spans.is_empty() {
+            print!("spans:\n{}", spans.summary());
+        }
+        let snapshot = self.obs.metrics.snapshot();
+        if !snapshot.families.is_empty() {
+            print!("metrics:\n{}", snapshot.to_prometheus());
+        }
+        if let Some(base) = &self.out {
+            let (prom, jsonl) = self
+                .obs
+                .write_artifacts(base)
+                .map_err(|e| Error::io("write metrics artifacts", e.to_string()))?;
+            println!("metrics: wrote {} and {}", prom.display(), jsonl.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn metrics_out_flag_is_stripped_from_rest() {
+        let r = Reporting::parse(args(&[
+            "--smoke",
+            "--metrics-out",
+            "out/run",
+            "--seed",
+            "7",
+        ]));
+        assert_eq!(r.metrics_out(), Some(Path::new("out/run")));
+        assert_eq!(r.rest(), &args(&["--smoke", "--seed", "7"])[..]);
+        assert!(r.obs.is_enabled());
+    }
+
+    #[test]
+    fn equals_form_is_accepted() {
+        let r = Reporting::parse(args(&["--metrics-out=x/y"]));
+        assert_eq!(r.metrics_out(), Some(Path::new("x/y")));
+        assert!(r.rest().is_empty());
+    }
+
+    #[test]
+    fn absent_flag_means_no_export() {
+        let r = Reporting::parse(args(&["--smoke"]));
+        assert_eq!(r.metrics_out(), None);
+        assert_eq!(r.rest(), &args(&["--smoke"])[..]);
+    }
+}

@@ -61,6 +61,22 @@ impl ControlContext<'_> {
     }
 }
 
+/// What a controller can tell the flight recorder about its most recent
+/// decision. Every field is optional: simple controllers report nothing,
+/// Boreas reports its prediction and guardband, resilient wrappers add
+/// their stage and telemetry quality.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControlDiagnostics {
+    /// ML severity prediction backing the decision.
+    pub predicted_severity: Option<f64>,
+    /// Guardband in effect.
+    pub guardband: Option<f64>,
+    /// Resilience stage after the decision.
+    pub stage: Option<crate::resilient::ControlStage>,
+    /// Telemetry quality of the interval the decision was based on.
+    pub quality: Option<f64>,
+}
+
 /// A voltage/frequency selection policy.
 pub trait Controller {
     /// Display name (e.g. `"TH-05"`, `"ML05"`).
@@ -71,6 +87,13 @@ pub trait Controller {
 
     /// Clears any per-run state (none by default).
     fn reset(&mut self) {}
+
+    /// Diagnostics for the most recent [`Controller::decide`] call
+    /// (nothing by default). The runner reads this right after each
+    /// decision to populate the flight recorder.
+    fn diagnostics(&self) -> ControlDiagnostics {
+        ControlDiagnostics::default()
+    }
 }
 
 /// §III-C: the single globally safe VF limit (3.75 GHz); never moves.
@@ -202,6 +225,9 @@ pub struct BoreasController {
     /// maximum ([`telemetry::MAX_SENSOR_BANK`]), matching how the model
     /// was trained.
     sensor_idx: usize,
+    /// Hold-candidate prediction of the most recent decision, for
+    /// [`Controller::diagnostics`].
+    last_prediction: Option<f64>,
 }
 
 impl BoreasController {
@@ -245,6 +271,7 @@ impl BoreasController {
             features,
             guardband,
             sensor_idx: telemetry::MAX_SENSOR_BANK,
+            last_prediction: None,
         })
     }
 
@@ -318,6 +345,7 @@ impl Controller for BoreasController {
         let idx = ctx.current_idx;
         let up = ctx.vf.step_up(idx);
         let (hold_pred, up_pred) = self.predict_candidates(ctx);
+        self.last_prediction = Some(hold_pred);
         if hold_pred > threshold {
             return ctx.vf.step_down(idx);
         }
@@ -325,6 +353,19 @@ impl Controller for BoreasController {
             return up;
         }
         idx
+    }
+
+    fn reset(&mut self) {
+        self.last_prediction = None;
+    }
+
+    fn diagnostics(&self) -> ControlDiagnostics {
+        ControlDiagnostics {
+            predicted_severity: self.last_prediction,
+            guardband: Some(self.guardband),
+            stage: None,
+            quality: None,
+        }
     }
 }
 

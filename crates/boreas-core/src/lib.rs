@@ -18,6 +18,12 @@
 //! against the hotgauge pipeline at the paper's 960 µs decision cadence
 //! and accounts for reliability (hotspot incursions) and performance
 //! (average frequency normalised to the 3.75 GHz baseline).
+//!
+//! Attach an [`Obs`] bundle via [`RunSpec::obs`] to stream metrics,
+//! span timings and per-decision flight events out of a run; the obs
+//! handle types ([`Obs`], [`Registry`], [`Tracer`], [`FlightRecorder`],
+//! [`FlightEvent`]) are re-exported here so controller code needs no
+//! direct `boreas-obs` dependency.
 
 pub mod controller;
 pub mod critical;
@@ -28,15 +34,18 @@ pub mod training;
 pub mod vf;
 
 pub use controller::{
-    BoreasController, ControlContext, Controller, Decision, GlobalVfController, ThermalController,
+    BoreasController, ControlContext, ControlDiagnostics, Controller, Decision, GlobalVfController,
+    ThermalController,
 };
 pub use critical::CriticalTemps;
+pub use obs::{
+    Counter, FlightEvent, FlightRecorder, Gauge, Histogram, Obs, Registry, RunLog, SpanReport,
+    Tracer,
+};
 pub use oracle::{oracle_frequencies, OracleController, SweepTable};
 pub use resilient::{
     ControlStage, DegradationEvent, DegradationLog, ResilienceConfig, ResilientController,
 };
-#[allow(deprecated)]
-pub use runner::ClosedLoopRunner;
 pub use runner::{
     train_safe_thresholds, ClosedLoopOutcome, ObservationFilter, PassthroughFilter, RunSpec,
 };

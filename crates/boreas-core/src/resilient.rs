@@ -22,7 +22,7 @@
 //! degraded run is judged against physical reality, not against its own
 //! repaired view of it.
 
-use crate::controller::{ControlContext, Controller, ThermalController};
+use crate::controller::{ControlContext, ControlDiagnostics, Controller, ThermalController};
 use common::units::Celsius;
 use common::{Error, Result};
 use hotgauge::StepRecord;
@@ -206,6 +206,9 @@ pub struct ResilientController<C> {
     stage: ControlStage,
     interval: usize,
     log: DegradationLog,
+    /// Quality of the most recent interval, for
+    /// [`Controller::diagnostics`].
+    last_quality: Option<f64>,
 }
 
 impl<C: Controller> ResilientController<C> {
@@ -223,6 +226,7 @@ impl<C: Controller> ResilientController<C> {
             stage: ControlStage::Primary,
             interval: 0,
             log: DegradationLog::default(),
+            last_quality: None,
         }
     }
 
@@ -347,6 +351,7 @@ impl<C: Controller> Controller for ResilientController<C> {
             good as f64 / sane.len() as f64
         };
         self.advance_stage(quality);
+        self.last_quality = Some(quality);
 
         self.log.intervals += 1;
         match self.stage {
@@ -378,6 +383,19 @@ impl<C: Controller> Controller for ResilientController<C> {
         self.stage = ControlStage::Primary;
         self.interval = 0;
         self.log = DegradationLog::default();
+        self.last_quality = None;
+    }
+
+    fn diagnostics(&self) -> ControlDiagnostics {
+        // Forward the primary's diagnostics only while it decides; a
+        // degraded stage's decision carries no ML prediction.
+        let mut diag = match self.stage {
+            ControlStage::Primary => self.inner.diagnostics(),
+            ControlStage::Fallback | ControlStage::Safe => ControlDiagnostics::default(),
+        };
+        diag.stage = Some(self.stage);
+        diag.quality = self.last_quality;
+        diag
     }
 }
 

@@ -8,12 +8,16 @@
 //! frequency, normalised to the 3.75 GHz baseline — the Fig. 7 metric).
 //!
 //! The single entry point is [`RunSpec`]: a builder carrying the pipeline,
-//! VF table, sensor selector, step budget, start index and an optional
-//! [`ObservationFilter`], so filtered (fault-injection) and unfiltered
-//! runs share one code path. The former `ClosedLoopRunner` survives as a
-//! deprecated shim for one release.
+//! VF table, sensor selector, step budget, start index, an optional
+//! [`ObservationFilter`] and an optional [`obs::Obs`] bundle, so filtered
+//! (fault-injection) and unfiltered runs share one code path. With an
+//! enabled bundle attached ([`RunSpec::obs`]) every decision lands in the
+//! flight recorder — predicted severity, chosen VF step, guardband margin
+//! and resilience-stage transitions — without ever influencing the run
+//! itself.
 
 use crate::controller::{ControlContext, Controller, Decision};
+use crate::resilient::ControlStage;
 use crate::vf::VfTable;
 use common::time::STEPS_PER_DECISION;
 use common::units::GigaHertz;
@@ -141,6 +145,7 @@ pub struct RunSpec<'p, 'f> {
     steps: usize,
     start_idx: usize,
     filter: Option<&'f mut dyn ObservationFilter>,
+    obs: obs::Obs,
 }
 
 impl<'p, 'f> RunSpec<'p, 'f> {
@@ -155,6 +160,7 @@ impl<'p, 'f> RunSpec<'p, 'f> {
             steps: 12 * STEPS_PER_DECISION as usize,
             start_idx: VfTable::BASELINE_INDEX,
             filter: None,
+            obs: obs::Obs::disabled(),
         }
     }
 
@@ -197,6 +203,16 @@ impl<'p, 'f> RunSpec<'p, 'f> {
         self
     }
 
+    /// Attaches an observability bundle: runs record decision events to
+    /// the flight recorder, stream runner metrics, and fold kernel
+    /// timings into the span report. Recording never changes results;
+    /// the default is a disabled bundle that costs a branch.
+    #[must_use]
+    pub fn obs(mut self, obs: &obs::Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
     /// The VF table in use.
     pub fn vf_table(&self) -> &VfTable {
         &self.vf
@@ -235,7 +251,19 @@ impl<'p, 'f> RunSpec<'p, 'f> {
         };
         controller.reset();
         filter.reset();
+        let _run_span = self.obs.tracer.span("runner.run");
+        let flight = self.obs.flight.run(&spec.name, &controller.name());
+        let decisions_total = self
+            .obs
+            .metrics
+            .counter("runner_decisions_total", "Controller decisions taken");
+        let incursions_total = self.obs.metrics.counter(
+            "runner_incursions_total",
+            "Steps whose true severity reached 1.0",
+        );
+        let mut prev_stage: Option<ControlStage> = None;
         let mut run = self.pipeline.start_run(spec)?;
+        run.observe(&self.obs);
         let mut records: Vec<StepRecord> = Vec::with_capacity(total_steps);
         // The controller-visible copy of every record, after filtering.
         let mut observed: Vec<StepRecord> = Vec::with_capacity(total_steps);
@@ -250,13 +278,42 @@ impl<'p, 'f> RunSpec<'p, 'f> {
                     recent,
                     sensor_idx: self.sensor_idx,
                 };
+                let from_idx = idx;
                 let next = controller.decide(&ctx);
                 debug_assert!(next < self.vf.len());
+                let interval = decisions.len();
                 decisions.push(match next.cmp(&idx) {
                     std::cmp::Ordering::Greater => Decision::StepUp,
                     std::cmp::Ordering::Equal => Decision::Hold,
                     std::cmp::Ordering::Less => Decision::StepDown,
                 });
+                decisions_total.inc();
+                if flight.is_enabled() {
+                    let diag = controller.diagnostics();
+                    flight.record(obs::FlightEvent::Decision {
+                        interval,
+                        from_idx,
+                        to_idx: next,
+                        predicted_severity: diag.predicted_severity,
+                        guardband: diag.guardband,
+                        margin: match (diag.predicted_severity, diag.guardband) {
+                            (Some(p), Some(g)) => Some((1.0 - g) - p),
+                            _ => None,
+                        },
+                    });
+                    if let Some(stage) = diag.stage {
+                        let from = prev_stage.unwrap_or(ControlStage::Primary);
+                        if stage != from {
+                            flight.record(obs::FlightEvent::Degradation {
+                                interval,
+                                from: from.to_string(),
+                                to: stage.to_string(),
+                                quality: diag.quality.unwrap_or(1.0),
+                            });
+                        }
+                        prev_stage = Some(stage);
+                    }
+                }
                 idx = next;
             }
             let point = self.vf.point(idx);
@@ -281,6 +338,9 @@ impl<'p, 'f> RunSpec<'p, 'f> {
             .iter()
             .map(|r| r.max_severity)
             .fold(Severity::new(0.0), Severity::max);
+        incursions_total.add(incursions as u64);
+        let kernel = run.kernel();
+        kernel.record_spans(&self.obs.tracer);
         Ok(ClosedLoopOutcome {
             controller: controller.name(),
             workload: spec.name.clone(),
@@ -291,7 +351,7 @@ impl<'p, 'f> RunSpec<'p, 'f> {
             decisions,
             peak_severity,
             final_idx: idx,
-            kernel: run.kernel(),
+            kernel,
         })
     }
 }
@@ -354,99 +414,6 @@ pub fn train_safe_thresholds(
         }
     }
     Ok(thresholds)
-}
-
-/// Deprecated closed-loop entry point, kept as a thin shim over
-/// [`RunSpec`] for one release.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `RunSpec::new(pipeline).vf(..).sensor(..).filter(..).steps(..).run(..)`"
-)]
-#[derive(Debug, Clone)]
-pub struct ClosedLoopRunner<'p> {
-    pipeline: &'p Pipeline,
-    vf: VfTable,
-    sensor_idx: usize,
-}
-
-#[allow(deprecated)]
-impl<'p> ClosedLoopRunner<'p> {
-    /// Creates a runner using the paper's VF table and default sensor.
-    #[deprecated(since = "0.1.0", note = "use `RunSpec::new`")]
-    pub fn new(pipeline: &'p Pipeline) -> Self {
-        Self {
-            pipeline,
-            vf: VfTable::paper(),
-            sensor_idx: telemetry::MAX_SENSOR_BANK,
-        }
-    }
-
-    /// Overrides the VF table.
-    #[deprecated(since = "0.1.0", note = "use `RunSpec::vf`")]
-    #[must_use]
-    pub fn with_vf(mut self, vf: VfTable) -> Self {
-        self.vf = vf;
-        self
-    }
-
-    /// Overrides the sensor the controller reads.
-    #[deprecated(since = "0.1.0", note = "use `RunSpec::sensor`")]
-    #[must_use]
-    pub fn with_sensor(mut self, sensor_idx: usize) -> Self {
-        self.sensor_idx = sensor_idx;
-        self
-    }
-
-    /// The VF table in use.
-    #[deprecated(since = "0.1.0", note = "use `RunSpec::vf_table`")]
-    pub fn vf(&self) -> &VfTable {
-        &self.vf
-    }
-
-    /// Runs `controller` on `spec` for `total_steps` steps, starting at
-    /// VF index `start_idx`.
-    ///
-    /// # Errors
-    ///
-    /// As [`RunSpec::run`].
-    #[deprecated(since = "0.1.0", note = "use `RunSpec::run`")]
-    pub fn run(
-        &self,
-        spec: &WorkloadSpec,
-        controller: &mut dyn Controller,
-        total_steps: usize,
-        start_idx: usize,
-    ) -> Result<ClosedLoopOutcome> {
-        RunSpec::new(self.pipeline)
-            .vf(self.vf.clone())
-            .sensor(self.sensor_idx)
-            .steps(total_steps)
-            .start(start_idx)
-            .run(spec, controller)
-    }
-
-    /// Runs `controller` on `spec` with an [`ObservationFilter`].
-    ///
-    /// # Errors
-    ///
-    /// As [`RunSpec::run`].
-    #[deprecated(since = "0.1.0", note = "use `RunSpec::filter` + `RunSpec::run`")]
-    pub fn run_filtered(
-        &self,
-        spec: &WorkloadSpec,
-        controller: &mut dyn Controller,
-        total_steps: usize,
-        start_idx: usize,
-        filter: &mut dyn ObservationFilter,
-    ) -> Result<ClosedLoopOutcome> {
-        RunSpec::new(self.pipeline)
-            .vf(self.vf.clone())
-            .sensor(self.sensor_idx)
-            .steps(total_steps)
-            .start(start_idx)
-            .filter(filter)
-            .run(spec, controller)
-    }
 }
 
 #[cfg(test)]
@@ -598,21 +565,81 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_run_spec() {
+    fn observed_run_matches_unobserved_and_fills_flight_recorder() {
         let p = quick_pipeline();
-        let spec = WorkloadSpec::by_name("gamess").unwrap();
-        let runner = ClosedLoopRunner::new(&p);
+        let spec = WorkloadSpec::by_name("bzip2").unwrap();
         let mut a = ThermalController::from_thresholds(vec![Some(58.0); 13], 0.0);
         let mut b = a.clone();
-        let old = runner
-            .run(&spec, &mut a, 96, VfTable::BASELINE_INDEX)
+        let plain = RunSpec::new(&p).steps(96).run(&spec, &mut a).unwrap();
+        let obs = obs::Obs::new();
+        let observed = RunSpec::new(&p)
+            .steps(96)
+            .obs(&obs)
+            .run(&spec, &mut b)
             .unwrap();
-        let new = RunSpec::new(&p).steps(96).run(&spec, &mut b).unwrap();
-        assert_eq!(old.decisions, new.decisions);
+        assert_eq!(plain.decisions, observed.decisions);
         assert_eq!(
-            old.avg_frequency.value().to_bits(),
-            new.avg_frequency.value().to_bits()
+            plain.avg_frequency.value().to_bits(),
+            observed.avg_frequency.value().to_bits(),
+            "observability must not perturb results"
         );
+
+        // One flight Decision per decision boundary, tagged with the run.
+        let events = obs.flight.events();
+        let decisions: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.event, obs::FlightEvent::Decision { .. }))
+            .collect();
+        assert_eq!(decisions.len(), 96 / 12 - 1);
+        assert_eq!(decisions[0].run.workload, "bzip2");
+        assert_eq!(decisions[0].run.controller, "TH-00");
+        assert_eq!(
+            obs.metrics.counter("runner_decisions_total", "").value(),
+            (96 / 12 - 1) as u64
+        );
+        let spans = obs.tracer.stats();
+        assert_eq!(spans.get("runner.run").unwrap().count, 1);
+        assert_eq!(spans.get("pipeline.step").unwrap().count, 96);
+    }
+
+    #[test]
+    fn boreas_decisions_carry_predictions_in_flight_events() {
+        let p = quick_pipeline();
+        let spec = WorkloadSpec::by_name("gcc").unwrap();
+        // Same trivial severity ≈ frequency/5 model as the controller
+        // tests, so predictions are meaningful.
+        let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
+        for i in 0..200 {
+            let f = 2.0 + 3.0 * (i as f64 / 200.0);
+            d.push_row(&[f], f / 5.0, (i % 2) as u32).unwrap();
+        }
+        let model =
+            gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(30)).unwrap();
+        let features = telemetry::FeatureSet::from_names(&["frequency_ghz"]).unwrap();
+        let mut c = crate::controller::BoreasController::try_new(model, features, 0.05).unwrap();
+        let obs = obs::Obs::new();
+        RunSpec::new(&p)
+            .steps(48)
+            .obs(&obs)
+            .run(&spec, &mut c)
+            .unwrap();
+        let events = obs.flight.events();
+        assert!(!events.is_empty());
+        for e in &events {
+            match &e.event {
+                obs::FlightEvent::Decision {
+                    predicted_severity,
+                    guardband,
+                    margin,
+                    ..
+                } => {
+                    let p = predicted_severity.expect("Boreas reports its prediction");
+                    assert_eq!(*guardband, Some(0.05));
+                    let m = margin.expect("margin derivable");
+                    assert!((m - (0.95 - p)).abs() < 1e-12);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 }

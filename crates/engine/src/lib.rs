@@ -17,6 +17,12 @@
 //!   regardless of thread count) plus [`EngineCounters`]: jobs run vs
 //!   cached, per-stage wall time and the cache hit rate.
 //!
+//! Pass an [`obs::Obs`] bundle to [`Session::new`] (or attach one with
+//! [`Session::observe`]) and the session streams execution metrics,
+//! span timings and per-decision flight events into it; result-domain
+//! metrics (`scenario_*`) are derived from the ordered rows, so cached
+//! and fresh replays of the same scenario emit identical values.
+//!
 //! ```no_run
 //! use boreas_core::VfTable;
 //! use boreas_engine::{ControllerSpec, Scenario, Session};
@@ -31,9 +37,11 @@
 //!     VfTable::paper(),
 //!     150,
 //! );
-//! let session = Session::new(pipeline)?;
+//! let obs = obs::Obs::new();
+//! let session = Session::new(pipeline, obs.clone())?;
 //! let report = session.run(&scenario)?;
 //! println!("{}", report.counters.summary());
+//! print!("{}", obs.metrics.snapshot().to_prometheus());
 //! # Ok(())
 //! # }
 //! ```

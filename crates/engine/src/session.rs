@@ -7,10 +7,18 @@ use crate::scenario::{BuiltController, JobRef, Scenario, ScenarioKind};
 use boreas_core::{RunSpec, SweepTable};
 use common::{Error, Result};
 use faults::{FaultInjector, FaultPlan};
-use hotgauge::{KernelBreakdown, Pipeline, PipelineConfig};
+use hotgauge::{Pipeline, PipelineConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use workloads::WorkloadSpec;
+
+/// Severity bucket bounds shared by the engine's result-domain
+/// histograms (severity lives in [0, 1] and the interesting action is
+/// near the top).
+const SEVERITY_BOUNDS: &[f64] = &[0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0];
+
+/// Frequency bucket bounds spanning the paper VF table (2.0–5.0 GHz).
+const FREQUENCY_BOUNDS: &[f64] = &[2.0, 2.5, 3.0, 3.25, 3.5, 3.75, 4.0, 4.5, 5.0];
 
 /// Result of one fixed-frequency sweep job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,11 +114,6 @@ pub struct EngineCounters {
     pub persist_ms: f64,
     /// End-to-end wall time, ms.
     pub total_ms: f64,
-    /// Per-kernel simulation time aggregated over the jobs that actually
-    /// ran (cache hits contribute nothing). Kept out of [`JobResult`] so
-    /// cached artifacts and [`SessionReport::results_json`] stay
-    /// byte-deterministic.
-    pub kernel: KernelBreakdown,
 }
 
 impl EngineCounters {
@@ -247,30 +250,38 @@ enum JobKeyPayload<'a> {
 
 /// Executes [`Scenario`]s against one [`Pipeline`].
 ///
-/// A session owns the simulation pipeline, a thread budget and
-/// (optionally) an [`ArtifactCache`]; [`Session::run`] expands a
-/// scenario into jobs, serves what it can from the cache, simulates the
-/// rest on the work-stealing pool and returns results in the scenario's
-/// deterministic order — the same bytes whether one thread ran the jobs
-/// or sixteen did.
+/// A session owns the simulation pipeline, a thread budget,
+/// (optionally) an [`ArtifactCache`] and an [`obs::Obs`] observability
+/// bundle; [`Session::run`] expands a scenario into jobs, serves what
+/// it can from the cache, simulates the rest on the work-stealing pool
+/// and returns results in the scenario's deterministic order — the same
+/// bytes whether one thread ran the jobs or sixteen did, with or
+/// without observability attached. Recording is strictly off the
+/// deterministic path: result-domain metrics are derived from the
+/// ordered result rows, so a fully cached replay and a cold run emit
+/// identical [`obs::Determinism::Result`] families.
 pub struct Session {
     pipeline: Pipeline,
     threads: usize,
     cache: Option<ArtifactCache>,
+    obs: obs::Obs,
 }
 
 impl Session {
     /// A session with the default artifact cache
-    /// (`$BOREAS_CACHE_DIR` or `target/boreas-cache`).
+    /// (`$BOREAS_CACHE_DIR` or `target/boreas-cache`) and the given
+    /// observability bundle (pass `None` to run unobserved; an
+    /// [`obs::Obs`] value coerces via `Into`).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] when the cache directory cannot be created.
-    pub fn new(pipeline: Pipeline) -> Result<Session> {
+    pub fn new(pipeline: Pipeline, obs: impl Into<Option<obs::Obs>>) -> Result<Session> {
         Ok(Session {
             pipeline,
             threads: default_threads(),
             cache: Some(ArtifactCache::open_default()?),
+            obs: obs.into().unwrap_or_default(),
         })
     }
 
@@ -287,6 +298,7 @@ impl Session {
             pipeline,
             threads: default_threads(),
             cache: Some(ArtifactCache::open(dir)?),
+            obs: obs::Obs::disabled(),
         })
     }
 
@@ -297,6 +309,7 @@ impl Session {
             pipeline,
             threads: default_threads(),
             cache: None,
+            obs: obs::Obs::disabled(),
         }
     }
 
@@ -305,6 +318,15 @@ impl Session {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches an observability bundle: metrics, span timings and
+    /// flight events from every subsequent [`Session::run`] land in
+    /// `obs`'s handles.
+    #[must_use]
+    pub fn observe(mut self, obs: &obs::Obs) -> Self {
+        self.obs = obs.clone();
         self
     }
 
@@ -318,6 +340,11 @@ impl Session {
         self.cache.as_ref()
     }
 
+    /// The attached observability bundle (disabled by default).
+    pub fn obs(&self) -> &obs::Obs {
+        &self.obs
+    }
+
     /// Runs `scenario` to completion and returns its report.
     ///
     /// # Errors
@@ -327,12 +354,14 @@ impl Session {
     /// of the earliest job (in expansion order) is returned.
     pub fn run(&self, scenario: &Scenario) -> Result<SessionReport> {
         let t_total = Instant::now();
+        let _session_span = self.obs.tracer.span("session.run");
         scenario.validate()?;
 
         let t_expand = Instant::now();
         let jobs = scenario.jobs();
         let n = jobs.len();
         let expand_ms = ms_since(t_expand);
+        self.record_stage("session.expand", expand_ms);
 
         // Probe the cache serially (cheap: one hash + one small file read
         // per job) so the execute stage only sees genuine misses.
@@ -348,6 +377,7 @@ impl Session {
         }
         let jobs_cached = slots.iter().filter(|s| s.is_some()).count();
         let probe_ms = ms_since(t_probe);
+        self.record_stage("session.probe", probe_ms);
 
         let misses: Vec<(usize, JobRef)> = jobs
             .iter()
@@ -357,30 +387,40 @@ impl Session {
             .collect();
         let jobs_run = misses.len();
 
+        let job_ms = self.obs.metrics.histogram(
+            "engine_job_ms",
+            "Wall time of each simulated (cache-miss) job, ms",
+            &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0],
+        );
         let t_execute = Instant::now();
         let computed = pool::run_jobs(self.threads, misses, WorkerState::default, |state, job| {
-            self.execute(scenario, state, job)
+            let _job_span = self.obs.tracer.span("engine.job");
+            let t_job = Instant::now();
+            let out = self.execute(scenario, state, job);
+            job_ms.observe(ms_since(t_job));
+            out
         });
         let execute_ms = ms_since(t_execute);
+        self.record_stage("session.execute", execute_ms);
 
-        let mut fresh: Vec<(usize, Result<(JobResult, KernelBreakdown)>)> = computed;
+        let mut fresh: Vec<(usize, Result<JobResult>)> = computed;
         fresh.sort_by_key(|(idx, _)| *idx);
         let t_persist = Instant::now();
-        let mut kernel = KernelBreakdown::default();
         for (idx, outcome) in fresh {
-            let (result, job_kernel) = outcome?;
-            kernel.merge(&job_kernel);
+            let result = outcome?;
             if let (Some(cache), Some(key)) = (&self.cache, &keys[idx]) {
                 cache.put(key, &result)?;
             }
             slots[idx] = Some(result);
         }
         let persist_ms = ms_since(t_persist);
+        self.record_stage("session.persist", persist_ms);
 
         let results: Vec<JobResult> = slots
             .into_iter()
             .map(|s| s.expect("every job slot filled"))
             .collect();
+        self.record_metrics(n, jobs_cached, jobs_run, &results);
         Ok(SessionReport {
             scenario: scenario.name.clone(),
             results,
@@ -394,9 +434,64 @@ impl Session {
                 execute_ms,
                 persist_ms,
                 total_ms: ms_since(t_total),
-                kernel,
             },
         })
+    }
+
+    fn record_stage(&self, name: &'static str, ms: f64) {
+        if self.obs.tracer.is_enabled() {
+            self.obs.tracer.record(name, (ms * 1e6) as u64);
+        }
+    }
+
+    /// Execution-domain accounting plus result-domain metrics derived
+    /// from the ordered rows — the latter are byte-identical for cached
+    /// and fresh replays of the same scenario, whatever the thread
+    /// count.
+    fn record_metrics(&self, total: usize, cached: usize, run: usize, results: &[JobResult]) {
+        let m = &self.obs.metrics;
+        if !m.is_enabled() {
+            return;
+        }
+        m.counter("engine_jobs_total", "Jobs in expanded scenario graphs")
+            .add(total as u64);
+        m.counter(
+            "engine_jobs_cached_total",
+            "Jobs served from the artifact cache",
+        )
+        .add(cached as u64);
+        m.counter("engine_jobs_run_total", "Jobs actually simulated")
+            .add(run as u64);
+
+        let rows = m.result_counter(
+            "scenario_results_total",
+            "Result rows produced, in scenario order",
+        );
+        let incursions = m.result_counter(
+            "scenario_incursions_total",
+            "Hotspot incursion steps summed over closed-loop rows",
+        );
+        let peak = m.result_histogram(
+            "scenario_peak_severity",
+            "Peak severity of each result row",
+            SEVERITY_BOUNDS,
+        );
+        let freq = m.result_histogram(
+            "scenario_avg_frequency_ghz",
+            "Time-average frequency of each closed-loop row, GHz",
+            FREQUENCY_BOUNDS,
+        );
+        rows.add(results.len() as u64);
+        for result in results {
+            match result {
+                JobResult::Sweep(p) => peak.observe(p.peak_severity),
+                JobResult::Loop(r) => {
+                    peak.observe(r.peak_severity);
+                    freq.observe(r.avg_frequency_ghz);
+                    incursions.add(r.incursions as u64);
+                }
+            }
+        }
     }
 
     fn job_key<'a>(&'a self, scenario: &'a Scenario, job: JobRef) -> JobKey<'a> {
@@ -438,29 +533,27 @@ impl Session {
         scenario: &Scenario,
         state: &mut WorkerState,
         job: JobRef,
-    ) -> Result<(JobResult, KernelBreakdown)> {
+    ) -> Result<JobResult> {
         match (job, &scenario.kind) {
             (JobRef::Fixed { w, vf_idx }, _) => {
                 let spec = &scenario.workloads[w];
                 let point = scenario.vf.point(vf_idx);
-                let out = self.pipeline.run_fixed(
+                let out = self.pipeline.run_fixed_observed(
                     spec,
                     point.frequency,
                     point.voltage,
                     scenario.steps,
+                    &self.obs,
                 )?;
-                Ok((
-                    JobResult::Sweep(SweepPointResult {
-                        workload: spec.name.clone(),
-                        rank: spec.severity_rank,
-                        freq_ghz: point.frequency.value(),
-                        peak_severity: out.peak_severity.value(),
-                        peak_severity_raw: out.peak_severity_raw,
-                        peak_temp_c: out.peak_temp.value(),
-                        mean_ipc: out.mean_ipc,
-                    }),
-                    out.kernel,
-                ))
+                Ok(JobResult::Sweep(SweepPointResult {
+                    workload: spec.name.clone(),
+                    rank: spec.severity_rank,
+                    freq_ghz: point.frequency.value(),
+                    peak_severity: out.peak_severity.value(),
+                    peak_severity_raw: out.peak_severity_raw,
+                    peak_temp_c: out.peak_temp.value(),
+                    mean_ipc: out.mean_ipc,
+                }))
             }
             (
                 JobRef::Loop { w, ctrl, fault },
@@ -477,32 +570,31 @@ impl Session {
                     .vf(scenario.vf.clone())
                     .sensor(*sensor_idx)
                     .steps(scenario.steps)
-                    .start(*start_idx);
+                    .start(*start_idx)
+                    .obs(&self.obs);
                 // The injector is stateful (per-run RNG streams), so each
                 // job gets a fresh one built from the cell's plan.
                 let mut injector;
                 let cell = fault.map(|f| &faults[f]);
                 if let Some(cell) = cell {
                     injector = FaultInjector::new(cell.plan.clone());
+                    injector.observe(&self.obs, &spec.name, &controllers[ctrl].label());
                     run_spec = run_spec.filter(&mut injector);
                 }
                 let out = run_spec.run(spec, controller.as_controller())?;
-                Ok((
-                    JobResult::Loop(LoopRunResult {
-                        workload: spec.name.clone(),
-                        controller: controllers[ctrl].label(),
-                        fault: cell.map(|c| c.label.clone()),
-                        avg_frequency_ghz: out.avg_frequency.value(),
-                        normalized_frequency: out.normalized_frequency,
-                        incursions: out.incursions,
-                        peak_severity: out.peak_severity.value(),
-                        final_idx: out.final_idx,
-                        interval_freq_ghz: out.interval_frequencies(),
-                        interval_peak_severity: out.interval_peak_severities(),
-                        worst_stage: controller.worst_stage().map(|s| s.to_string()),
-                    }),
-                    out.kernel,
-                ))
+                Ok(JobResult::Loop(LoopRunResult {
+                    workload: spec.name.clone(),
+                    controller: controllers[ctrl].label(),
+                    fault: cell.map(|c| c.label.clone()),
+                    avg_frequency_ghz: out.avg_frequency.value(),
+                    normalized_frequency: out.normalized_frequency,
+                    incursions: out.incursions,
+                    peak_severity: out.peak_severity.value(),
+                    final_idx: out.final_idx,
+                    interval_freq_ghz: out.interval_frequencies(),
+                    interval_peak_severity: out.interval_peak_severities(),
+                    worst_stage: controller.worst_stage().map(|s| s.to_string()),
+                }))
             }
             (JobRef::Loop { .. }, ScenarioKind::SeveritySweep) => {
                 unreachable!("loop job in a sweep scenario")

@@ -122,6 +122,55 @@ fn second_run_is_served_entirely_from_cache() {
 }
 
 #[test]
+fn result_metrics_identical_for_cold_and_warm_cache() {
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let scenario = Scenario::severity_sweep("metrics-rt", two_workloads(), small_vf(), 24);
+    let dir = scratch_dir("metrics-identity");
+
+    let cold_obs = obs::Obs::new();
+    let cold = Session::with_cache_dir(pipeline.clone(), &dir)
+        .expect("open cache")
+        .observe(&cold_obs)
+        .run(&scenario)
+        .expect("cold run");
+
+    let warm_obs = obs::Obs::new();
+    let warm = Session::with_cache_dir(pipeline, &dir)
+        .expect("reopen cache")
+        .observe(&warm_obs)
+        .run(&scenario)
+        .expect("warm run");
+    assert_eq!(warm.results, cold.results);
+
+    let cold_rows = cold_obs.metrics.snapshot().deterministic_only();
+    let warm_rows = warm_obs.metrics.snapshot().deterministic_only();
+    assert!(
+        cold_rows.family("scenario_results_total").is_some(),
+        "result-domain families recorded"
+    );
+    assert!(
+        cold_rows.family("engine_jobs_run_total").is_none(),
+        "execution-domain families filtered out"
+    );
+    assert_eq!(
+        cold_rows.to_prometheus(),
+        warm_rows.to_prometheus(),
+        "result-domain metrics must not depend on cache hits"
+    );
+
+    // Execution-domain telemetry legitimately differs: the cold run
+    // simulated every job (and so traced pipeline kernels); a genuinely
+    // warm replay traces none of them.
+    assert!(cold_obs.tracer.stats().get("pipeline.step").is_some());
+    if json_works() {
+        assert_eq!(warm.counters.jobs_cached, warm.counters.jobs_total);
+        assert!(warm_obs.tracer.stats().get("pipeline.step").is_none());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_table_matches_direct_measurement() {
     let pipeline = PipelineConfig::paper().build().expect("pipeline");
     let vf = small_vf();

@@ -13,7 +13,7 @@
 //! Both replay bit-identically for a given plan because all randomness
 //! is derived statelessly from `(seed, fault, step, lane)`.
 
-use crate::plan::{lane, FaultKind, FaultPlan};
+use crate::plan::{lane, FaultKind, FaultPlan, FaultTarget};
 use boreas_core::ObservationFilter;
 use common::units::Celsius;
 use hotgauge::StepRecord;
@@ -124,18 +124,47 @@ fn apply_counter_fault(
 pub struct FaultInjector {
     plan: FaultPlan,
     late: LateBuffer,
+    hooks: Option<InjectorHooks>,
+}
+
+/// Flight-recorder wiring attached via [`FaultInjector::observe`].
+#[derive(Debug, Clone)]
+struct InjectorHooks {
+    run: obs::RunLog,
+    injected: obs::Counter,
 }
 
 impl FaultInjector {
     /// Builds an injector for `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         let late = LateBuffer::for_plan(&plan);
-        Self { plan, late }
+        Self {
+            plan,
+            late,
+            hooks: None,
+        }
     }
 
     /// The plan being injected.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Attaches observability: every fault firing counts into
+    /// `faults_injected_total` and lands in the flight recorder as a
+    /// [`obs::FlightEvent::FaultInjected`] tagged with the given run.
+    /// Injection behaviour — which faults fire, and how — is unchanged.
+    pub fn observe(&mut self, obs: &obs::Obs, workload: &str, controller: &str) {
+        if !obs.is_enabled() {
+            self.hooks = None;
+            return;
+        }
+        self.hooks = Some(InjectorHooks {
+            run: obs.flight.run(workload, controller),
+            injected: obs
+                .metrics
+                .counter("faults_injected_total", "Telemetry fault firings"),
+        });
     }
 
     /// Corrupts `record` as observed at `step`. Steps must be presented
@@ -146,7 +175,19 @@ impl FaultInjector {
             .push(record.sensor_temps.iter().map(|t| t.value()).collect());
         let mut temps: Vec<f64> = record.sensor_temps.iter().map(|t| t.value()).collect();
         for fault_idx in self.plan.active_at(step) {
-            if self.plan.faults()[fault_idx].kind.is_counter_fault() {
+            let fault = &self.plan.faults()[fault_idx];
+            if let Some(hooks) = &self.hooks {
+                hooks.injected.inc();
+                hooks.run.record(obs::FlightEvent::FaultInjected {
+                    step,
+                    kind: fault.kind.name().to_string(),
+                    sensor: match (fault.kind.is_counter_fault(), fault.target) {
+                        (true, _) | (false, FaultTarget::AllSensors) => None,
+                        (false, FaultTarget::Sensor(s)) => Some(s),
+                    },
+                });
+            }
+            if fault.kind.is_counter_fault() {
                 apply_counter_fault(&self.plan, fault_idx, step, &mut record.counters);
             } else {
                 apply_sensor_fault(&self.plan, fault_idx, step, &self.late, &mut temps);
@@ -316,6 +357,53 @@ mod tests {
         assert_eq!(r.sensor_temps[0].value(), 60.0);
         assert_eq!(r.sensor_temps[1].value(), 45.0);
         assert_eq!(r.sensor_temps[2].value(), 62.0);
+    }
+
+    #[test]
+    fn observed_injection_matches_plain_and_records_flight_events() {
+        let plan =
+            FaultPlan::new(0).with(Fault::new(FaultKind::StuckAt { value_c: 45.0 }).on_sensor(1));
+        let mut plain = FaultInjector::new(plan.clone());
+        let mut observed = FaultInjector::new(plan);
+        let obs = obs::Obs::new();
+        observed.observe(&obs, "bzip2", "TH-00");
+
+        for step in 0..3 {
+            let mut a = record(&[60.0, 61.0, 62.0]);
+            let mut b = record(&[60.0, 61.0, 62.0]);
+            plain.corrupt(step, &mut a);
+            observed.corrupt(step, &mut b);
+            assert_eq!(a.sensor_temps, b.sensor_temps, "step {step}");
+        }
+
+        let events = obs.flight.events();
+        assert_eq!(events.len(), 3);
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.run.workload, "bzip2");
+            assert_eq!(ev.run.controller, "TH-00");
+            match &ev.event {
+                obs::FlightEvent::FaultInjected { step, kind, sensor } => {
+                    assert_eq!(*step, i);
+                    assert_eq!(kind, "stuck-at");
+                    assert_eq!(*sensor, Some(1));
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        let snap = obs.metrics.snapshot();
+        let fam = snap
+            .family("faults_injected_total")
+            .expect("counter family");
+        assert_eq!(fam.value, obs::MetricValue::Counter(3));
+
+        observed.observe(&obs::Obs::disabled(), "bzip2", "TH-00");
+        let mut r = record(&[60.0, 61.0, 62.0]);
+        observed.corrupt(3, &mut r);
+        assert_eq!(
+            obs.flight.events().len(),
+            3,
+            "detached injector stops recording"
+        );
     }
 
     #[test]

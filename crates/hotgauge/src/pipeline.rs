@@ -151,6 +151,22 @@ impl KernelBreakdown {
         self.perf_power_ns + self.thermal_ns + self.mltd_severity_ns + self.sensor_ns
     }
 
+    /// Folds this breakdown into `tracer` as per-kernel spans
+    /// (`pipeline.perf_power`, `pipeline.thermal`,
+    /// `pipeline.mltd_severity`, `pipeline.sensors`) plus an aggregate
+    /// `pipeline.step` span, so kernel timings land in the same report
+    /// as every other span.
+    pub fn record_spans(&self, tracer: &obs::Tracer) {
+        if self.steps == 0 {
+            return;
+        }
+        tracer.record_many("pipeline.perf_power", self.steps, self.perf_power_ns);
+        tracer.record_many("pipeline.thermal", self.steps, self.thermal_ns);
+        tracer.record_many("pipeline.mltd_severity", self.steps, self.mltd_severity_ns);
+        tracer.record_many("pipeline.sensors", self.steps, self.sensor_ns);
+        tracer.record_many("pipeline.step", self.steps, self.total_ns());
+    }
+
     /// One-line human-readable breakdown, e.g. for bench/fig binaries.
     pub fn summary(&self) -> String {
         if self.steps == 0 {
@@ -270,6 +286,7 @@ impl Pipeline {
             now: SimTime::ZERO,
             scratch: StepScratch::default(),
             kernel: KernelBreakdown::default(),
+            hooks: None,
         })
     }
 
@@ -285,7 +302,26 @@ impl Pipeline {
         voltage: Volts,
         steps: usize,
     ) -> Result<FixedRunOutcome> {
+        self.run_fixed_observed(spec, freq, voltage, steps, &obs::Obs::disabled())
+    }
+
+    /// [`Pipeline::run_fixed`] with telemetry: per-step metrics stream
+    /// into `obs` and the run's kernel breakdown is folded into the span
+    /// report. Results are identical to an unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates run-construction and solver errors.
+    pub fn run_fixed_observed(
+        &self,
+        spec: &WorkloadSpec,
+        freq: GigaHertz,
+        voltage: Volts,
+        steps: usize,
+        obs: &obs::Obs,
+    ) -> Result<FixedRunOutcome> {
         let mut run = self.start_run(spec)?;
+        run.observe(obs);
         let mut records = Vec::with_capacity(steps);
         for _ in 0..steps {
             records.push(run.step(freq, voltage)?);
@@ -303,13 +339,15 @@ impl Pipeline {
             .map(|r| r.max_temp)
             .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max);
         let mean_ipc = records.iter().map(|r| r.counters.ipc()).sum::<f64>() / steps.max(1) as f64;
+        let kernel = run.kernel();
+        kernel.record_spans(&obs.tracer);
         Ok(FixedRunOutcome {
             peak_severity,
             peak_severity_raw,
             peak_temp,
             mean_ipc,
             records,
-            kernel: run.kernel(),
+            kernel,
         })
     }
 }
@@ -325,6 +363,15 @@ struct StepScratch {
     mltd: MltdScratch,
 }
 
+/// Pre-registered metric handles a [`SimRun`] records into, present only
+/// when an enabled registry was attached: the unobserved hot path pays a
+/// single `Option` branch per step.
+#[derive(Debug, Clone)]
+struct StepHooks {
+    steps: obs::Counter,
+    severity: obs::Histogram,
+}
+
 /// Mutable per-run simulation state: one workload executing on the
 /// pipeline with evolving thermal state.
 #[derive(Debug, Clone)]
@@ -337,6 +384,7 @@ pub struct SimRun<'a> {
     now: SimTime,
     scratch: StepScratch,
     kernel: KernelBreakdown,
+    hooks: Option<StepHooks>,
 }
 
 impl SimRun<'_> {
@@ -358,6 +406,26 @@ impl SimRun<'_> {
     /// Wall-clock kernel-time totals accumulated so far by this run.
     pub fn kernel(&self) -> KernelBreakdown {
         self.kernel
+    }
+
+    /// Attaches observability: subsequent steps count into
+    /// `pipeline_steps_total` and feed `pipeline_step_severity`. A
+    /// disabled bundle attaches nothing, leaving the hot path untouched.
+    /// Simulation results never depend on whether a run is observed.
+    pub fn observe(&mut self, obs: &obs::Obs) {
+        if !obs.metrics.is_enabled() {
+            return;
+        }
+        self.hooks = Some(StepHooks {
+            steps: obs
+                .metrics
+                .counter("pipeline_steps_total", "Simulation steps executed"),
+            severity: obs.metrics.histogram(
+                "pipeline_step_severity",
+                "Per-step maximum Hotspot-Severity (clamped)",
+                &[0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0],
+            ),
+        });
     }
 
     /// Advances one 80 µs step at the given operating point.
@@ -429,6 +497,11 @@ impl SimRun<'_> {
         self.kernel.thermal_ns += (t2 - t1).as_nanos() as u64;
         self.kernel.mltd_severity_ns += (t4 - t3).as_nanos() as u64;
         self.kernel.sensor_ns += ((t3 - t2) + (t5 - t4)).as_nanos() as u64;
+
+        if let Some(hooks) = &self.hooks {
+            hooks.steps.inc();
+            hooks.severity.observe(max_severity.value());
+        }
 
         Ok(StepRecord {
             time: self.now,
@@ -552,5 +625,24 @@ mod tests {
         let mut run = p.start_run_with_sensors(&spec, sites).unwrap();
         let r = run.step(GigaHertz::new(4.0), Volts::new(0.98)).unwrap();
         assert_eq!(r.sensor_temps.len(), 1);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_records_metrics() {
+        let p = quick_pipeline();
+        let spec = WorkloadSpec::by_name("bzip2").unwrap();
+        let plain = p
+            .run_fixed(&spec, GigaHertz::new(4.0), Volts::new(0.98), 20)
+            .unwrap();
+        let obs = obs::Obs::new();
+        let observed = p
+            .run_fixed_observed(&spec, GigaHertz::new(4.0), Volts::new(0.98), 20, &obs)
+            .unwrap();
+        assert_eq!(plain.peak_severity, observed.peak_severity);
+        assert_eq!(plain.mean_ipc, observed.mean_ipc);
+        assert_eq!(obs.metrics.counter("pipeline_steps_total", "").value(), 20);
+        let spans = obs.tracer.stats();
+        assert_eq!(spans.get("pipeline.step").unwrap().count, 20);
+        assert!(spans.get("pipeline.thermal").is_some());
     }
 }

@@ -1,0 +1,317 @@
+//! Exporters: Prometheus text exposition format and JSONL.
+//!
+//! Both formats are rendered by hand — the crate stays dependency-free —
+//! and both are deterministic: families are name-sorted by the snapshot,
+//! spans by the report, and flight events keep insertion order.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::flight::{FlightEvent, FlightRecorder, RecordedEvent};
+use crate::metrics::{MetricValue, Snapshot};
+use crate::trace::SpanReport;
+use crate::Obs;
+
+/// Escapes a Prometheus `# HELP` text (`\` and newline).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a Prometheus label value (`\`, `"` and newline).
+pub fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats an `f64` as a Prometheus sample value.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for fam in &snapshot.families {
+        let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+        match &fam.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{} {}", fam.name, v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{} {}", fam.name, fmt_value(*v));
+            }
+            MetricValue::Histogram {
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => {
+                let mut cumulative = 0u64;
+                for (i, n) in buckets.iter().enumerate() {
+                    cumulative += n;
+                    let le = match bounds.get(i) {
+                        Some(b) => fmt_value(*b),
+                        None => "+Inf".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{le=\"{}\"}} {}",
+                        fam.name,
+                        escape_label_value(&le),
+                        cumulative
+                    );
+                }
+                let _ = writeln!(out, "{}_sum {}", fam.name, fmt_value(*sum));
+                let _ = writeln!(out, "{}_count {}", fam.name, count);
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a string for a JSON string literal (without the quotes).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value (non-finite becomes `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+fn span_line(name: &str, s: &crate::trace::SpanStats) -> String {
+    format!(
+        "{{\"type\":\"span\",\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"avg_ns\":{}}}",
+        escape_json(name),
+        s.count,
+        s.total_ns,
+        s.min_ns,
+        s.max_ns,
+        s.avg_ns()
+    )
+}
+
+fn event_line(ev: &RecordedEvent) -> String {
+    let run = format!(
+        "\"workload\":\"{}\",\"controller\":\"{}\"",
+        escape_json(&ev.run.workload),
+        escape_json(&ev.run.controller)
+    );
+    match &ev.event {
+        FlightEvent::Decision {
+            interval,
+            from_idx,
+            to_idx,
+            predicted_severity,
+            guardband,
+            margin,
+        } => format!(
+            "{{\"type\":\"event\",\"event\":\"decision\",\"seq\":{},{run},\"interval\":{},\"from_idx\":{},\"to_idx\":{},\"predicted_severity\":{},\"guardband\":{},\"margin\":{}}}",
+            ev.seq,
+            interval,
+            from_idx,
+            to_idx,
+            json_opt_f64(*predicted_severity),
+            json_opt_f64(*guardband),
+            json_opt_f64(*margin)
+        ),
+        FlightEvent::Degradation {
+            interval,
+            from,
+            to,
+            quality,
+        } => format!(
+            "{{\"type\":\"event\",\"event\":\"degradation\",\"seq\":{},{run},\"interval\":{},\"from\":\"{}\",\"to\":\"{}\",\"quality\":{}}}",
+            ev.seq,
+            interval,
+            escape_json(from),
+            escape_json(to),
+            json_f64(*quality)
+        ),
+        FlightEvent::FaultInjected { step, kind, sensor } => format!(
+            "{{\"type\":\"event\",\"event\":\"fault\",\"seq\":{},{run},\"step\":{},\"kind\":\"{}\",\"sensor\":{}}}",
+            ev.seq,
+            step,
+            escape_json(kind),
+            match sensor {
+                Some(s) => s.to_string(),
+                None => "null".to_string(),
+            }
+        ),
+    }
+}
+
+fn metric_line(fam: &crate::metrics::MetricFamily) -> String {
+    let value = match &fam.value {
+        MetricValue::Counter(v) => format!("\"value\":{v}"),
+        MetricValue::Gauge(v) => format!("\"value\":{}", json_f64(*v)),
+        MetricValue::Histogram {
+            bounds,
+            buckets,
+            count,
+            sum,
+        } => {
+            let bounds: Vec<String> = bounds.iter().map(|b| json_f64(*b)).collect();
+            let buckets: Vec<String> = buckets.iter().map(|b| b.to_string()).collect();
+            format!(
+                "\"bounds\":[{}],\"buckets\":[{}],\"count\":{},\"sum\":{}",
+                bounds.join(","),
+                buckets.join(","),
+                count,
+                json_f64(*sum)
+            )
+        }
+    };
+    format!(
+        "{{\"type\":\"metric\",\"name\":\"{}\",\"kind\":\"{}\",{}}}",
+        escape_json(&fam.name),
+        fam.kind.as_str(),
+        value
+    )
+}
+
+/// Renders spans, flight events and metrics as JSONL — one
+/// self-describing JSON object per line (`"type"` is `"span"`,
+/// `"event"` or `"metric"`).
+pub fn to_jsonl(snapshot: &Snapshot, spans: &SpanReport, flight: &FlightRecorder) -> String {
+    let mut out = String::new();
+    for (name, stats) in &spans.spans {
+        out.push_str(&span_line(name, stats));
+        out.push('\n');
+    }
+    for ev in flight.events() {
+        out.push_str(&event_line(&ev));
+        out.push('\n');
+    }
+    for fam in &snapshot.families {
+        out.push_str(&metric_line(fam));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `<base>.prom` (Prometheus text) and `<base>.jsonl` (spans +
+/// flight events + metrics) and returns the two paths.
+pub fn write_artifacts(obs: &Obs, base: &Path) -> io::Result<(PathBuf, PathBuf)> {
+    if let Some(dir) = base.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let prom_path = base.with_extension("prom");
+    let jsonl_path = base.with_extension("jsonl");
+    let snapshot = obs.metrics.snapshot();
+    fs::write(&prom_path, to_prometheus(&snapshot))?;
+    fs::write(
+        &jsonl_path,
+        to_jsonl(&snapshot, &obs.tracer.stats(), &obs.flight),
+    )?;
+    Ok((prom_path, jsonl_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn prometheus_counter_gauge_histogram() {
+        let r = Registry::new();
+        r.counter("jobs_total", "Total jobs").add(3);
+        r.gauge("threads", "Worker threads").set(4.0);
+        let h = r.histogram("lat_ms", "Latency", &[1.0, 5.0]);
+        h.observe(0.5);
+        h.observe(3.0);
+        h.observe(100.0);
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("# HELP jobs_total Total jobs\n"));
+        assert!(text.contains("# TYPE jobs_total counter\njobs_total 3\n"));
+        assert!(text.contains("# TYPE threads gauge\nthreads 4\n"));
+        // Buckets are cumulative and end with +Inf == count.
+        assert!(text.contains("lat_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ms_bucket{le=\"5\"} 2\n"));
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ms_sum 103.5\n"));
+        assert!(text.contains("lat_ms_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_help_escaping() {
+        let r = Registry::new();
+        r.counter("x", "line one\nline two \\ backslash").inc();
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("# HELP x line one\\nline two \\\\ backslash\n"));
+        assert!(!text.contains("line one\nline two"));
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn jsonl_lines_are_self_describing() {
+        let obs = Obs::new();
+        obs.metrics.counter("n", "n").inc();
+        obs.tracer.record("step", 1_000);
+        let run = obs.flight.run("gcc \"x\"", "ML05");
+        run.record(FlightEvent::Decision {
+            interval: 0,
+            from_idx: 12,
+            to_idx: 12,
+            predicted_severity: None,
+            guardband: Some(0.05),
+            margin: None,
+        });
+        let text = to_jsonl(&obs.metrics.snapshot(), &obs.tracer.stats(), &obs.flight);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"span\""));
+        assert!(lines[1].starts_with("{\"type\":\"event\""));
+        assert!(lines[1].contains("\"workload\":\"gcc \\\"x\\\"\""));
+        assert!(lines[1].contains("\"predicted_severity\":null"));
+        assert!(lines[2].starts_with("{\"type\":\"metric\""));
+    }
+
+    #[test]
+    fn json_escape_control_chars() {
+        assert_eq!(escape_json("a\tb\u{1}"), "a\\tb\\u0001");
+    }
+}

@@ -1,0 +1,264 @@
+//! Bounded per-run flight recorder for control decisions.
+//!
+//! The [`FlightRecorder`] keeps a ring buffer of typed [`FlightEvent`]s
+//! — one per control decision, degradation transition or injected fault
+//! — tagged with the `(workload, controller)` run they came from. When
+//! the buffer is full the *oldest* events are dropped (and counted), so
+//! a long campaign keeps its most recent history instead of aborting or
+//! growing without bound.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Default event capacity of an enabled recorder.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Identifies the run an event belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Workload name.
+    pub workload: String,
+    /// Controller label.
+    pub controller: String,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightEvent {
+    /// A controller decision at the end of a decision interval.
+    Decision {
+        /// Decision interval index (0-based).
+        interval: usize,
+        /// VF index before the decision.
+        from_idx: usize,
+        /// VF index chosen.
+        to_idx: usize,
+        /// ML severity prediction backing the decision, if any.
+        predicted_severity: Option<f64>,
+        /// Guardband in effect, if any.
+        guardband: Option<f64>,
+        /// Margin between the decision threshold and the prediction
+        /// (positive = headroom), if both are known.
+        margin: Option<f64>,
+    },
+    /// A resilience-stage transition.
+    Degradation {
+        /// Decision interval index.
+        interval: usize,
+        /// Stage before the transition.
+        from: String,
+        /// Stage after the transition.
+        to: String,
+        /// Telemetry quality that triggered it.
+        quality: f64,
+    },
+    /// A fault fired on the telemetry path.
+    FaultInjected {
+        /// Simulation step index.
+        step: usize,
+        /// Fault kind label.
+        kind: String,
+        /// Sensor lane, for sensor faults.
+        sensor: Option<usize>,
+    },
+}
+
+/// A recorded event together with its run and sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedEvent {
+    /// Global sequence number (monotonic across runs, survives drops).
+    pub seq: u64,
+    /// The run this event belongs to.
+    pub run: Arc<RunMeta>,
+    /// The event payload.
+    pub event: FlightEvent,
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    events: VecDeque<RecordedEvent>,
+    dropped: u64,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    cap: usize,
+    state: Mutex<FlightState>,
+}
+
+/// Bounded event recorder. Cloning shares the buffer; a disabled
+/// recorder ([`FlightRecorder::disabled`]) drops everything for free.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<FlightInner>>,
+}
+
+impl FlightRecorder {
+    /// An enabled recorder with [`DEFAULT_CAPACITY`].
+    pub fn new() -> FlightRecorder {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled recorder keeping at most `cap` events (min 1).
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Some(Arc::new(FlightInner {
+                cap: cap.max(1),
+                state: Mutex::default(),
+            })),
+        }
+    }
+
+    /// A recorder that records nothing.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { inner: None }
+    }
+
+    /// `true` when events are actually kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a run scope; events recorded through the returned [`RunLog`]
+    /// are tagged with `(workload, controller)`.
+    pub fn run(&self, workload: &str, controller: &str) -> RunLog {
+        RunLog {
+            recorder: self.clone(),
+            meta: Arc::new(RunMeta {
+                workload: workload.to_string(),
+                controller: controller.to_string(),
+            }),
+        }
+    }
+
+    fn push(&self, run: &Arc<RunMeta>, event: FlightEvent) {
+        let inner = match &self.inner {
+            Some(i) => i,
+            None => return,
+        };
+        let mut state = inner.state.lock().expect("flight recorder poisoned");
+        let seq = state.seq;
+        state.seq += 1;
+        if state.events.len() == inner.cap {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(RecordedEvent {
+            seq,
+            run: run.clone(),
+            event,
+        });
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<RecordedEvent> {
+        match &self.inner {
+            Some(i) => i
+                .state
+                .lock()
+                .expect("flight recorder poisoned")
+                .events
+                .iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// How many events were evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(i) => i.state.lock().expect("flight recorder poisoned").dropped,
+            None => 0,
+        }
+    }
+}
+
+/// Scope handle tagging events with one run's `(workload, controller)`.
+#[derive(Debug, Clone)]
+pub struct RunLog {
+    recorder: FlightRecorder,
+    meta: Arc<RunMeta>,
+}
+
+impl RunLog {
+    /// Records one event for this run.
+    pub fn record(&self, event: FlightEvent) {
+        self.recorder.push(&self.meta, event);
+    }
+
+    /// `true` when recording actually stores anything.
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// The run's metadata.
+    pub fn meta(&self) -> &RunMeta {
+        &self.meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_tagged_events_in_order() {
+        let fr = FlightRecorder::new();
+        let run = fr.run("gcc", "ML05");
+        run.record(FlightEvent::Decision {
+            interval: 0,
+            from_idx: 12,
+            to_idx: 11,
+            predicted_severity: Some(0.97),
+            guardband: Some(0.05),
+            margin: Some(-0.02),
+        });
+        run.record(FlightEvent::Degradation {
+            interval: 1,
+            from: "primary".into(),
+            to: "thermal-fallback".into(),
+            quality: 0.5,
+        });
+        let events = fr.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[0].run.workload, "gcc");
+        assert_eq!(events[0].run.controller, "ML05");
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let fr = FlightRecorder::with_capacity(3);
+        let run = fr.run("w", "c");
+        for i in 0..5 {
+            run.record(FlightEvent::FaultInjected {
+                step: i,
+                kind: "dropped".into(),
+                sensor: Some(0),
+            });
+        }
+        let events = fr.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        // Oldest two evicted; sequence numbers keep counting.
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+    }
+
+    #[test]
+    fn disabled_recorder_is_free() {
+        let fr = FlightRecorder::disabled();
+        let run = fr.run("w", "c");
+        assert!(!run.is_enabled());
+        run.record(FlightEvent::FaultInjected {
+            step: 0,
+            kind: "noise".into(),
+            sensor: None,
+        });
+        assert!(fr.events().is_empty());
+        assert_eq!(fr.dropped(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Zero-dependency observability for the Boreas reproduction.
+//!
+//! Three pillars, bundled by [`Obs`]:
+//!
+//! * [`metrics::Registry`] — lock-cheap counters, gauges and
+//!   fixed-bucket histograms with atomic storage;
+//! * [`trace::Tracer`] — structured span timing with per-thread
+//!   buffers merged on demand;
+//! * [`flight::FlightRecorder`] — a bounded ring of typed control
+//!   events (decisions, degradations, injected faults).
+//!
+//! Everything honours one invariant: **recording stays off the
+//! deterministic path**. Handles from a disabled [`Obs`] cost a single
+//! branch, and no simulation result ever depends on whether telemetry
+//! was on. Metrics are additionally split into result-domain and
+//! execution-domain families (see [`metrics::Determinism`]) so the
+//! deterministic subset can be diffed across cached/fresh replays.
+//!
+//! [`export`] renders Prometheus text and JSONL; [`promlint`] is the
+//! in-tree parser CI uses to prove the Prometheus output is well-formed.
+//!
+//! ```
+//! use boreas_obs::Obs;
+//!
+//! let obs = Obs::new();
+//! let jobs = obs.metrics.counter("jobs_total", "Jobs executed");
+//! {
+//!     let _span = obs.tracer.span("session.execute");
+//!     jobs.inc();
+//! }
+//! let text = obs.metrics.snapshot().to_prometheus();
+//! assert!(text.contains("jobs_total 1"));
+//! assert_eq!(obs.tracer.stats().get("session.execute").unwrap().count, 1);
+//! ```
+
+pub mod export;
+pub mod flight;
+pub mod metrics;
+pub mod promlint;
+pub mod trace;
+
+pub use flight::{FlightEvent, FlightRecorder, RecordedEvent, RunLog};
+pub use metrics::{
+    Counter, Determinism, Gauge, Histogram, MetricFamily, MetricKind, MetricValue, Registry,
+    Snapshot,
+};
+pub use trace::{SpanGuard, SpanReport, SpanStats, Tracer};
+
+/// One observability scope: metrics + spans + flight recorder.
+///
+/// Cloning shares all underlying storage; pass clones freely across
+/// threads. A disabled bundle is the default and costs ~nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Metrics registry.
+    pub metrics: Registry,
+    /// Span tracer.
+    pub tracer: Tracer,
+    /// Flight recorder.
+    pub flight: FlightRecorder,
+}
+
+impl Obs {
+    /// A fully enabled bundle.
+    pub fn new() -> Obs {
+        Obs {
+            metrics: Registry::new(),
+            tracer: Tracer::new(),
+            flight: FlightRecorder::new(),
+        }
+    }
+
+    /// A bundle whose every handle is a no-op.
+    pub fn disabled() -> Obs {
+        Obs {
+            metrics: Registry::disabled(),
+            tracer: Tracer::disabled(),
+            flight: FlightRecorder::disabled(),
+        }
+    }
+
+    /// `true` when any pillar records.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled() || self.tracer.is_enabled() || self.flight.is_enabled()
+    }
+
+    /// Writes `<base>.prom` and `<base>.jsonl`; see
+    /// [`export::write_artifacts`].
+    pub fn write_artifacts(
+        &self,
+        base: &std::path::Path,
+    ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+        export::write_artifacts(self, base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let obs = Obs::default();
+        assert!(!obs.is_enabled());
+    }
+
+    #[test]
+    fn artifacts_roundtrip_through_promlint() {
+        let obs = Obs::new();
+        obs.metrics.counter("a_total", "A").inc();
+        obs.metrics.histogram("h", "H", &[1.0, 2.0]).observe(1.5);
+        obs.tracer.record("k", 42);
+        obs.flight.run("w", "c").record(FlightEvent::FaultInjected {
+            step: 3,
+            kind: "spike".into(),
+            sensor: Some(1),
+        });
+        let dir = std::env::temp_dir().join(format!("boreas-obs-test-{}", std::process::id()));
+        let (prom, jsonl) = obs.write_artifacts(&dir.join("run")).expect("write");
+        let text = std::fs::read_to_string(&prom).expect("read prom");
+        promlint::lint(&text).expect("rendered prometheus lints clean");
+        let jl = std::fs::read_to_string(&jsonl).expect("read jsonl");
+        assert_eq!(jl.lines().count(), 4); // 1 span + 1 event + 2 metrics
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

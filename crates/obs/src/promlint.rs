@@ -1,0 +1,353 @@
+//! Minimal in-tree Prometheus text-format parser/linter.
+//!
+//! CI uses this to prove that the metrics files the bench binaries emit
+//! actually parse: metric names are well-formed, every sample is preceded
+//! by its `# TYPE`, histogram buckets are cumulative and end with
+//! `le="+Inf"` matching `_count`, values are numbers, and no family is
+//! declared twice.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Family name.
+    pub name: String,
+    /// `counter`, `gauge` or `histogram`.
+    pub kind: String,
+    /// Help text, if a `# HELP` line was present.
+    pub help: Option<String>,
+    /// `(sample_name, label_text, value)` triples, in file order.
+    pub samples: Vec<(String, Option<String>, f64)>,
+}
+
+/// A lint failure, with the 1-based offending line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintError {
+    /// 1-based line number (0 for whole-file errors).
+    pub line_no: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line_no, self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+fn err(line_no: usize, message: impl Into<String>) -> LintError {
+    LintError {
+        line_no,
+        message: message.into(),
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+/// Strips a histogram suffix, mapping e.g. `x_bucket` to `x`.
+fn family_of(sample_name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = sample_name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    sample_name
+}
+
+/// Parses and lints Prometheus text, returning the families or the first
+/// error.
+pub fn lint(text: &str) -> Result<Vec<PromFamily>, LintError> {
+    let mut families: BTreeMap<String, PromFamily> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, Some(h)))
+                .unwrap_or((rest, None));
+            if !valid_name(name) {
+                return Err(err(line_no, format!("invalid metric name `{name}`")));
+            }
+            if let Some(fam) = families.get_mut(name) {
+                if fam.help.is_some() {
+                    return Err(err(line_no, format!("duplicate HELP for `{name}`")));
+                }
+                fam.help = Some(help.unwrap_or("").to_string());
+            } else {
+                families.insert(
+                    name.to_string(),
+                    PromFamily {
+                        name: name.to_string(),
+                        kind: String::new(),
+                        help: Some(help.unwrap_or("").to_string()),
+                        samples: Vec::new(),
+                    },
+                );
+                order.push(name.to_string());
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(line_no, "TYPE line missing kind"))?;
+            if !valid_name(name) {
+                return Err(err(line_no, format!("invalid metric name `{name}`")));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(err(line_no, format!("unknown metric kind `{kind}`")));
+            }
+            let fam = families.entry(name.to_string()).or_insert_with(|| {
+                order.push(name.to_string());
+                PromFamily {
+                    name: name.to_string(),
+                    kind: String::new(),
+                    help: None,
+                    samples: Vec::new(),
+                }
+            });
+            if !fam.kind.is_empty() {
+                return Err(err(line_no, format!("duplicate TYPE for `{name}`")));
+            }
+            kind.clone_into(&mut fam.kind);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal
+        }
+
+        // Sample line: `name[{labels}] value`.
+        let (name_part, value_part) = match line.rfind(' ') {
+            Some(pos) => (&line[..pos], line[pos + 1..].trim()),
+            None => return Err(err(line_no, "sample line missing value")),
+        };
+        let (sample_name, labels) = match name_part.find('{') {
+            Some(pos) => {
+                let labels = &name_part[pos..];
+                if !labels.ends_with('}') {
+                    return Err(err(line_no, "unterminated label set"));
+                }
+                (&name_part[..pos], Some(labels.to_string()))
+            }
+            None => (name_part, None),
+        };
+        if !valid_name(sample_name) {
+            return Err(err(line_no, format!("invalid sample name `{sample_name}`")));
+        }
+        let value = parse_value(value_part)
+            .ok_or_else(|| err(line_no, format!("unparsable value `{value_part}`")))?;
+        let family = family_of(sample_name);
+        let fam = families
+            .get_mut(family)
+            .filter(|f| !f.kind.is_empty())
+            .ok_or_else(|| err(line_no, format!("sample `{sample_name}` before its TYPE")))?;
+        fam.samples.push((sample_name.to_string(), labels, value));
+    }
+
+    for fam in families.values() {
+        check_family(fam)?;
+    }
+    Ok(order
+        .into_iter()
+        .map(|name| families.remove(&name).expect("ordered name present"))
+        .collect())
+}
+
+fn label_le(labels: &Option<String>) -> Option<String> {
+    let labels = labels.as_deref()?;
+    let inner = labels.strip_prefix('{')?.strip_suffix('}')?;
+    let rest = inner.strip_prefix("le=\"")?;
+    rest.strip_suffix('"').map(str::to_string)
+}
+
+fn check_family(fam: &PromFamily) -> Result<(), LintError> {
+    if fam.kind.is_empty() {
+        return Err(err(
+            0,
+            format!("family `{}` has HELP but no TYPE", fam.name),
+        ));
+    }
+    if fam.kind != "histogram" {
+        if fam.samples.is_empty() {
+            return Err(err(0, format!("family `{}` has no samples", fam.name)));
+        }
+        if fam.kind == "counter" {
+            for (name, _, v) in &fam.samples {
+                if *v < 0.0 || v.is_nan() {
+                    return Err(err(0, format!("counter `{name}` has negative value")));
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Histogram: cumulative buckets, +Inf bucket present and == _count.
+    let mut last: Option<f64> = None;
+    let mut inf_value: Option<f64> = None;
+    let mut count: Option<f64> = None;
+    let mut saw_sum = false;
+    let mut last_le = f64::NEG_INFINITY;
+    for (name, labels, value) in &fam.samples {
+        if name == &format!("{}_bucket", fam.name) {
+            let le = label_le(labels)
+                .ok_or_else(|| err(0, format!("bucket of `{}` missing le label", fam.name)))?;
+            let le_val = parse_value(&le)
+                .ok_or_else(|| err(0, format!("bucket of `{}` has bad le `{le}`", fam.name)))?;
+            if le_val <= last_le {
+                return Err(err(
+                    0,
+                    format!("buckets of `{}` not sorted by le", fam.name),
+                ));
+            }
+            last_le = le_val;
+            if let Some(prev) = last {
+                if *value < prev {
+                    return Err(err(
+                        0,
+                        format!("buckets of `{}` are not cumulative", fam.name),
+                    ));
+                }
+            }
+            last = Some(*value);
+            if le == "+Inf" {
+                inf_value = Some(*value);
+            }
+        } else if name == &format!("{}_sum", fam.name) {
+            saw_sum = true;
+        } else if name == &format!("{}_count", fam.name) {
+            count = Some(*value);
+        }
+    }
+    let inf =
+        inf_value.ok_or_else(|| err(0, format!("histogram `{}` missing +Inf bucket", fam.name)))?;
+    let count = count.ok_or_else(|| err(0, format!("histogram `{}` missing _count", fam.name)))?;
+    if !saw_sum {
+        return Err(err(0, format!("histogram `{}` missing _sum", fam.name)));
+    }
+    if inf != count {
+        return Err(err(
+            0,
+            format!("histogram `{}`: +Inf bucket != _count", fam.name),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn roundtrip_rendered_snapshot() {
+        let r = Registry::new();
+        r.counter("jobs_total", "Total jobs run").add(7);
+        r.gauge("threads", "Worker threads").set(4.0);
+        let h = r.histogram("job_ms", "Job wall time", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let text = snap.to_prometheus();
+        let families = lint(&text).expect("rendered text lints clean");
+        assert_eq!(families.len(), 3);
+        let hist = families.iter().find(|f| f.name == "job_ms").unwrap();
+        assert_eq!(hist.kind, "histogram");
+        assert_eq!(hist.samples.len(), 4 + 2); // 4 buckets + sum + count
+    }
+
+    #[test]
+    fn rejects_sample_before_type() {
+        let text = "foo 1\n# TYPE foo counter\n";
+        let e = lint(text).unwrap_err();
+        assert_eq!(e.line_no, 1);
+        assert!(e.message.contains("before its TYPE"));
+    }
+
+    #[test]
+    fn rejects_bad_name() {
+        let text = "# TYPE 9bad counter\n9bad 1\n";
+        assert!(lint(text)
+            .unwrap_err()
+            .message
+            .contains("invalid metric name"));
+    }
+
+    #[test]
+    fn rejects_duplicate_type() {
+        let text = "# TYPE x counter\nx 1\n# TYPE x counter\n";
+        assert!(lint(text).unwrap_err().message.contains("duplicate TYPE"));
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\n\
+                    h_bucket{le=\"+Inf\"} 3\n\
+                    h_sum 2\n\
+                    h_count 3\n";
+        assert!(lint(text).unwrap_err().message.contains("not cumulative"));
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 1\n\
+                    h_sum 0.5\n\
+                    h_count 1\n";
+        assert!(lint(text).unwrap_err().message.contains("+Inf"));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 2\n\
+                    h_sum 1\n\
+                    h_count 3\n";
+        assert!(lint(text)
+            .unwrap_err()
+            .message
+            .contains("+Inf bucket != _count"));
+    }
+
+    #[test]
+    fn rejects_unparsable_value() {
+        let text = "# TYPE x gauge\nx not-a-number\n";
+        assert!(lint(text).unwrap_err().message.contains("unparsable value"));
+    }
+
+    #[test]
+    fn accepts_inf_and_nan_gauges() {
+        let text = "# TYPE x gauge\nx +Inf\n# TYPE y gauge\ny NaN\n";
+        assert!(lint(text).is_ok());
+    }
+}

@@ -1,0 +1,317 @@
+//! Structured span tracing with per-thread buffers.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s: entering a span samples
+//! the clock, dropping the guard records the elapsed time into a
+//! *thread-local* buffer, so the hot path never takes a shared lock.
+//! The shared side only sees each thread's buffer once, when the thread
+//! first records; [`Tracer::stats`] merges all buffers into a single
+//! name-sorted [`SpanReport`].
+//!
+//! Span names are `&'static str` by design — the set of instrumented
+//! sites is fixed at compile time, which keeps recording allocation-free.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Shortest single span (or batch mean for [`Tracer::record_many`]).
+    pub min_ns: u64,
+    /// Longest single span (or batch mean for [`Tracer::record_many`]).
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    fn merge_batch(&mut self, count: u64, total_ns: u64, min_ns: u64, max_ns: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min_ns = min_ns;
+            self.max_ns = max_ns;
+        } else {
+            self.min_ns = self.min_ns.min(min_ns);
+            self.max_ns = self.max_ns.max(max_ns);
+        }
+        self.count += count;
+        self.total_ns += total_ns;
+    }
+
+    /// Mean nanoseconds per span (0 when nothing was recorded).
+    pub fn avg_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+type LocalBuf = Arc<Mutex<HashMap<&'static str, SpanStats>>>;
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    id: u64,
+    /// One entry per thread that ever recorded into this tracer.
+    buffers: Mutex<Vec<LocalBuf>>,
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's buffer per live tracer, keyed by tracer id.
+    static LOCAL_BUFS: RefCell<HashMap<u64, LocalBuf>> = RefCell::new(HashMap::new());
+}
+
+/// Span-timing collector. Cloning shares the underlying buffers; a
+/// disabled tracer ([`Tracer::disabled`]) records nothing and never
+/// samples the clock.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An enabled tracer.
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                buffers: Mutex::default(),
+            })),
+        }
+    }
+
+    /// A tracer whose spans are no-ops.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// `true` when spans actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Enters a span; timing is recorded when the returned guard drops.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            name,
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Records one completed span of `ns` nanoseconds.
+    pub fn record(&self, name: &'static str, ns: u64) {
+        self.record_many(name, 1, ns);
+    }
+
+    /// Records `count` spans totalling `total_ns` nanoseconds at once
+    /// (used to fold pre-aggregated timings such as kernel breakdowns
+    /// into the span report; min/max use the batch mean).
+    pub fn record_many(&self, name: &'static str, count: u64, total_ns: u64) {
+        let inner = match &self.inner {
+            Some(i) => i,
+            None => return,
+        };
+        if count == 0 {
+            return;
+        }
+        let mean = total_ns / count;
+        self.with_local(inner, |map| {
+            map.entry(name)
+                .or_default()
+                .merge_batch(count, total_ns, mean, mean);
+        });
+    }
+
+    fn with_local(
+        &self,
+        inner: &Arc<TracerInner>,
+        f: impl FnOnce(&mut HashMap<&'static str, SpanStats>),
+    ) {
+        LOCAL_BUFS.with(|bufs| {
+            let mut bufs = bufs.borrow_mut();
+            let buf = bufs.entry(inner.id).or_insert_with(|| {
+                let buf: LocalBuf = Arc::default();
+                inner
+                    .buffers
+                    .lock()
+                    .expect("tracer buffer list poisoned")
+                    .push(buf.clone());
+                buf
+            });
+            f(&mut buf.lock().expect("span buffer poisoned"));
+        });
+    }
+
+    /// Merges every thread's buffer into one name-sorted report
+    /// (non-destructive; spans recorded afterwards keep accumulating).
+    pub fn stats(&self) -> SpanReport {
+        let inner = match &self.inner {
+            Some(i) => i,
+            None => return SpanReport::default(),
+        };
+        let mut merged: BTreeMap<&'static str, SpanStats> = BTreeMap::new();
+        let buffers = inner.buffers.lock().expect("tracer buffer list poisoned");
+        for buf in buffers.iter() {
+            let buf = buf.lock().expect("span buffer poisoned");
+            for (name, stats) in buf.iter() {
+                merged.entry(name).or_default().merge_batch(
+                    stats.count,
+                    stats.total_ns,
+                    stats.min_ns,
+                    stats.max_ns,
+                );
+            }
+        }
+        SpanReport { spans: merged }
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`].
+#[derive(Debug)]
+pub struct SpanGuard<'t> {
+    tracer: &'t Tracer,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.tracer.record(self.name, ns);
+        }
+    }
+}
+
+/// Merged span timings, sorted by span name.
+#[derive(Debug, Clone, Default)]
+pub struct SpanReport {
+    /// Per-span aggregate stats.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl SpanReport {
+    /// `true` when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Stats for one span name.
+    pub fn get(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// Human-readable table, one line per span.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, s) in &self.spans {
+            out.push_str(&format!(
+                "{:<24} count {:>8}  total {:>9.3} ms  avg {:>9} ns\n",
+                name,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.avg_ns()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let t = Tracer::new();
+        {
+            let _g = t.span("work");
+        }
+        let report = t.stats();
+        let s = report.get("work").unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.min_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _g = t.span("work");
+        }
+        t.record("work", 100);
+        assert!(t.stats().is_empty());
+    }
+
+    #[test]
+    fn record_many_folds_batches() {
+        let t = Tracer::new();
+        t.record("k", 10);
+        t.record_many("k", 4, 100);
+        let report = t.stats();
+        let s = report.get("k").unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_ns, 110);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 25);
+        assert_eq!(s.avg_ns(), 22);
+    }
+
+    #[test]
+    fn per_thread_buffers_merge() {
+        let t = Tracer::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        t.record("job", 1_000);
+                    }
+                });
+            }
+        });
+        t.record("job", 1_000);
+        let report = t.stats();
+        let s = report.get("job").unwrap();
+        assert_eq!(s.count, 401);
+        assert_eq!(s.total_ns, 401_000);
+    }
+
+    #[test]
+    fn two_tracers_do_not_share_buffers() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        a.record("x", 1);
+        b.record("x", 2);
+        assert_eq!(a.stats().get("x").unwrap().total_ns, 1);
+        assert_eq!(b.stats().get("x").unwrap().total_ns, 2);
+    }
+
+    #[test]
+    fn stats_is_non_destructive() {
+        let t = Tracer::new();
+        t.record("x", 5);
+        assert_eq!(t.stats().get("x").unwrap().count, 1);
+        t.record("x", 5);
+        assert_eq!(t.stats().get("x").unwrap().count, 2);
+    }
+}

@@ -28,12 +28,19 @@
 //! * [`engine`] — the experiment engine: declarative [`engine::Scenario`]s
 //!   executed by a work-stealing [`engine::Session`] with a persistent
 //!   content-addressed artifact cache
+//! * [`obs`] — zero-dependency observability: an atomic metrics
+//!   registry, structured span tracing, a bounded control-decision
+//!   flight recorder, and Prometheus/JSONL exporters with an in-tree
+//!   Prometheus linter
 //!
 //! # Quickstart
 //!
 //! Describe an experiment as a [`engine::Scenario`] and hand it to a
 //! [`engine::Session`]; the session expands it into jobs, runs them on a
-//! work-stealing thread pool and memoizes every job result on disk:
+//! work-stealing thread pool and memoizes every job result on disk.
+//! Pass an [`obs::Obs`] bundle to watch it work — metrics, span
+//! timings and per-decision flight events — and render the snapshot in
+//! the Prometheus text format:
 //!
 //! ```no_run
 //! use boreas::prelude::*;
@@ -46,11 +53,13 @@
 //!     VfTable::paper(),
 //!     150,
 //! );
-//! let report = Session::new(pipeline)?.run(&scenario)?;
+//! let obs = Obs::new();
+//! let report = Session::new(pipeline, obs.clone())?.run(&scenario)?;
 //! for p in report.sweep_points() {
 //!     println!("{} @ {:.2} GHz: severity {:.2}", p.workload, p.freq_ghz, p.peak_severity);
 //! }
 //! println!("{}", report.counters.summary());
+//! print!("{}", obs.metrics.snapshot().to_prometheus());
 //! # Ok(())
 //! # }
 //! ```
@@ -78,6 +87,7 @@ pub use faults;
 pub use floorplan;
 pub use gbt;
 pub use hotgauge;
+pub use obs;
 pub use perfsim;
 pub use powersim;
 pub use telemetry;
@@ -99,6 +109,7 @@ pub mod prelude {
     pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan, FaultySensorBank};
     pub use gbt::{GbtModel, GbtParams};
     pub use hotgauge::{Pipeline, PipelineConfig, Severity, SeverityParams};
+    pub use obs::{FlightEvent, FlightRecorder, Obs, Registry, Tracer};
     pub use telemetry::{Dataset, DatasetSpec, FeatureSet};
     pub use workloads::WorkloadSpec;
 }
