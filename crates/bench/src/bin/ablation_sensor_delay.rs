@@ -72,9 +72,9 @@ fn main() {
                 ControllerSpec::ml(model, &features, 0.05),
             ],
         );
-        let report = Session::new(pipeline, reporting.obs.clone())
-            .expect("session")
-            .run(&scenario)
+        let session = Session::new(pipeline, reporting.obs.clone()).expect("session");
+        let report = reporting
+            .execute(&session, &scenario)
             .expect("closed loops");
 
         let mut th_sum = 0.0;

@@ -16,15 +16,22 @@
 //! resilient} — is a single [`engine::Scenario`] executed by the
 //! work-stealing [`engine::Session`].
 //!
-//! Usage: `fault_campaign [--seed N] [--steps N] [--metrics-out BASE]`.
+//! Usage: `fault_campaign [--seed N] [--steps N] [--smoke]
+//! [--engine-faults] [--metrics-out BASE] [--resume]`.
 //! The campaign is a pure function of the seed: the closing digest line
 //! is bit-identical across runs with the same seed (observability rides
-//! alongside and never perturbs it).
+//! alongside and never perturbs it). `--smoke` shrinks the grid (2
+//! workloads, one rate, 24 steps, cheap stand-in controllers) for CI;
+//! `--engine-faults` additionally arms an [`engine`-level
+//! fault plan](faults::EngineFaultPlan) — an injected job panic absorbed
+//! by the supervisor's retry, plus an artifact bit flip caught by the
+//! cache checksum on the next probe — which must leave the digest
+//! untouched.
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
 use boreas_bench::Reporting;
 use engine::{ControllerSpec, FaultCell, LoopRunResult, Scenario};
-use faults::{Fault, FaultKind, FaultPlan};
+use faults::{EngineFault, EngineFaultKind, EngineFaultPlan, Fault, FaultKind, FaultPlan};
 use workloads::WorkloadSpec;
 
 /// One fault archetype of the sweep; the campaign crosses these with the
@@ -40,28 +47,76 @@ const FAULT_KINDS: [FaultKind; 5] = [
 /// Per-step firing probabilities swept for every fault kind.
 const RATES: [f64; 3] = [0.05, 0.25, 1.0];
 
-fn parse_args(rest: &[String]) -> (u64, usize) {
-    let mut seed = 2023u64;
-    let mut steps = LOOP_STEPS;
+struct Args {
+    seed: u64,
+    steps: Option<usize>,
+    smoke: bool,
+    engine_faults: bool,
+}
+
+fn parse_args(rest: &[String]) -> Args {
+    let mut parsed = Args {
+        seed: 2023,
+        steps: None,
+        smoke: false,
+        engine_faults: false,
+    };
     let mut args = rest.iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => {
-                seed = args
+                parsed.seed = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs an integer value");
             }
             "--steps" => {
-                steps = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--steps needs an integer value");
+                parsed.steps = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--steps needs an integer value"),
+                );
             }
-            other => panic!("unknown argument {other} (expected --seed/--steps/--metrics-out)"),
+            "--smoke" => parsed.smoke = true,
+            "--engine-faults" => parsed.engine_faults = true,
+            other => panic!(
+                "unknown argument {other} \
+                 (expected --seed/--steps/--smoke/--engine-faults/--metrics-out/--resume)"
+            ),
         }
     }
-    (seed, steps)
+    parsed
+}
+
+/// Smoke-mode stand-in controllers (mirrors `fig8_dynamic_runs`): flat
+/// 70 °C thermal thresholds for the resilient fallback and a tiny
+/// frequency-only model, so the full plain-vs-resilient path runs in
+/// seconds.
+fn smoke_controllers(vf_len: usize) -> Vec<ControllerSpec> {
+    let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
+    for i in 0..200 {
+        let f = 2.0 + 3.0 * (i as f64 / 200.0);
+        d.push_row(&[f], f / 5.0, (i % 2) as u32)
+            .expect("synthetic row");
+    }
+    let model = gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(30))
+        .expect("tiny model");
+    let features = telemetry::FeatureSet::from_names(&["frequency_ghz"]).expect("feature");
+    let thresholds = vec![Some(70.0); vf_len];
+    vec![
+        ControllerSpec::ml(model.clone(), &features, 0.05),
+        ControllerSpec::resilient_ml(model, &features, 0.05, thresholds, 0),
+    ]
+}
+
+/// The engine-level fault plan for `--engine-faults`: job 0 panics on
+/// its first attempt (the default retry absorbs it) and job 1's artifact
+/// is bit-flipped after persist (the cache checksum quarantines it on
+/// the next probe). Neither may change a single result byte.
+fn engine_fault_plan(seed: u64) -> EngineFaultPlan {
+    EngineFaultPlan::new(seed)
+        .with(EngineFault::new(EngineFaultKind::JobPanic { fail_attempts: 1 }).on_job(0))
+        .with(EngineFault::new(EngineFaultKind::ArtifactBitFlip).on_job(1))
 }
 
 /// Builds the plan for one campaign cell. The fault arms after the
@@ -91,41 +146,68 @@ fn digest_row(h: u64, row: &LoopRunResult) -> u64 {
 
 fn main() {
     let reporting = Reporting::from_args();
-    let (seed, steps) = parse_args(reporting.rest());
+    let args = parse_args(reporting.rest());
+    let seed = args.seed;
     let exp = Experiment::paper()
         .expect("paper config")
         .observe(&reporting.obs);
-    let thresholds = exp.trained_thresholds().expect("trained thresholds");
-    let (model, features) = exp.boreas_model().expect("model");
+
+    let (name, workloads, steps, rates, controllers) = if args.smoke {
+        let workloads: Vec<WorkloadSpec> = WorkloadSpec::test_set().into_iter().take(2).collect();
+        let controllers = smoke_controllers(exp.vf.len());
+        let steps = args.steps.unwrap_or(24);
+        (
+            "fault-campaign-smoke",
+            workloads,
+            steps,
+            &RATES[1..2],
+            controllers,
+        )
+    } else {
+        let thresholds = exp.trained_thresholds().expect("trained thresholds");
+        let (model, features) = exp.boreas_model().expect("model");
+        let controllers = vec![
+            ControllerSpec::ml(model.clone(), &features, 0.05),
+            ControllerSpec::resilient_ml(model, &features, 0.05, thresholds, 0),
+        ];
+        let steps = args.steps.unwrap_or(LOOP_STEPS);
+        (
+            "fault-campaign",
+            WorkloadSpec::test_set(),
+            steps,
+            &RATES[..],
+            controllers,
+        )
+    };
 
     // Cell order (kind-major, then rate) and the plain-then-resilient
     // controller order reproduce the digest sequence of the historical
     // bespoke loop.
-    let mut cells = Vec::with_capacity(FAULT_KINDS.len() * RATES.len());
+    let mut cells = Vec::with_capacity(FAULT_KINDS.len() * rates.len());
     for kind in FAULT_KINDS {
-        for rate in RATES {
+        for &rate in rates {
             let plan = cell_plan(seed, kind, rate);
             plan.validate().expect("campaign plan");
             cells.push(FaultCell::new(format!("{}@{rate}", kind.name()), plan));
         }
     }
-    let controllers = vec![
-        ControllerSpec::ml(model.clone(), &features, 0.05),
-        ControllerSpec::resilient_ml(model, &features, 0.05, thresholds, 0),
-    ];
-    let scenario = Scenario::closed_loop(
-        "fault-campaign",
-        WorkloadSpec::test_set(),
-        exp.vf.clone(),
-        steps,
-        controllers,
-    )
-    .with_faults(cells);
-    let report = exp
-        .session()
-        .expect("session")
-        .run(&scenario)
-        .expect("campaign");
+    let scenario = Scenario::closed_loop(name, workloads, exp.vf.clone(), steps, controllers)
+        .with_faults(cells);
+    let mut session = exp.session().expect("session");
+    if args.engine_faults {
+        let plan = engine_fault_plan(seed);
+        println!(
+            "engine-fault plan armed: job-panic on job 0 (1 attempt), \
+             artifact-bit-flip on job 1 — digest must match a clean run"
+        );
+        session = session.inject_engine_faults(plan);
+    }
+    let report = reporting.execute(&session, &scenario).expect("campaign");
+    assert!(
+        report.is_complete(),
+        "campaign quarantined jobs: {:?}",
+        report.quarantined
+    );
 
     println!("fault campaign: seed {seed}, {steps} steps/run");
     println!(

@@ -36,7 +36,7 @@ fn main() {
         exp.fig2_scenario()
     };
     let session = exp.session().expect("session");
-    let report = session.run(&scenario).expect("sweep");
+    let report = reporting.execute(&session, &scenario).expect("sweep");
     let table = report.sweep_table(&scenario).expect("table");
     let vf = &scenario.vf;
 

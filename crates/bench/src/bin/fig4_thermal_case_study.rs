@@ -33,11 +33,8 @@ fn main() {
         LOOP_STEPS,
         controllers,
     );
-    let report = exp
-        .session()
-        .expect("session")
-        .run(&scenario)
-        .expect("closed loop");
+    let session = exp.session().expect("session");
+    let report = reporting.execute(&session, &scenario).expect("closed loop");
 
     let mut rows = report.loop_runs();
     for name in ["gromacs", "gamess"] {

@@ -34,11 +34,8 @@ fn main() {
         LOOP_STEPS,
         controllers,
     );
-    let report = exp
-        .session()
-        .expect("session")
-        .run(&scenario)
-        .expect("closed loop");
+    let session = exp.session().expect("session");
+    let report = reporting.execute(&session, &scenario).expect("closed loop");
 
     println!("Fig. 6: {name} under ML guardbands\n");
     for (out, g) in report.loop_runs().zip([0.0, 0.05, 0.10]) {

@@ -42,10 +42,9 @@ fn main() {
         LOOP_STEPS,
         controllers,
     );
-    let report = exp
-        .session()
-        .expect("session")
-        .run(&scenario)
+    let session = exp.session().expect("session");
+    let report = reporting
+        .execute(&session, &scenario)
         .expect("closed-loop matrix");
     let rows: Vec<_> = report.loop_runs().collect();
 

@@ -68,10 +68,9 @@ fn main() {
     };
 
     let scenario = Scenario::closed_loop(name, tests.clone(), exp.vf.clone(), steps, controllers);
-    let report = exp
-        .session()
-        .expect("session")
-        .run(&scenario)
+    let session = exp.session().expect("session");
+    let report = reporting
+        .execute(&session, &scenario)
         .expect("dynamic runs");
     let rows: Vec<_> = report.loop_runs().collect();
 

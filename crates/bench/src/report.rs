@@ -5,7 +5,10 @@
 //! Every binary recognises `--metrics-out <base>`; when given,
 //! [`Reporting::finish`] writes `<base>.prom` (Prometheus text
 //! exposition) and `<base>.jsonl` (spans, flight events and metrics as
-//! self-describing JSON lines) beside printing the footer.
+//! self-describing JSON lines) beside printing the footer. Binaries that
+//! drive an [`engine::Session`] also recognise `--resume`: route the run
+//! through [`Reporting::execute`] and an interrupted sweep picks up from
+//! its checkpoint manifest instead of starting over.
 
 use common::{Error, Result};
 use std::path::{Path, PathBuf};
@@ -18,11 +21,13 @@ pub struct Reporting {
     /// The live observability bundle for this process.
     pub obs: obs::Obs,
     out: Option<PathBuf>,
+    resume: bool,
     rest: Vec<String>,
 }
 
 impl Reporting {
-    /// Parses `--metrics-out <base>` out of the process arguments.
+    /// Parses `--metrics-out <base>` and `--resume` out of the process
+    /// arguments.
     pub fn from_args() -> Reporting {
         Self::parse(std::env::args().skip(1))
     }
@@ -31,6 +36,7 @@ impl Reporting {
     /// [`Reporting::from_args`]).
     pub fn parse(args: impl IntoIterator<Item = String>) -> Reporting {
         let mut out = None;
+        let mut resume = false;
         let mut rest = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -38,6 +44,8 @@ impl Reporting {
                 out = it.next().map(PathBuf::from);
             } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
                 out = Some(PathBuf::from(v));
+            } else if arg == "--resume" {
+                resume = true;
             } else {
                 rest.push(arg);
             }
@@ -45,6 +53,7 @@ impl Reporting {
         Reporting {
             obs: obs::Obs::new(),
             out,
+            resume,
             rest,
         }
     }
@@ -60,6 +69,31 @@ impl Reporting {
         self.out.as_deref()
     }
 
+    /// `true` when `--resume` was given.
+    pub fn resume(&self) -> bool {
+        self.resume
+    }
+
+    /// Runs `scenario` on `session`, honouring `--resume`: with the flag
+    /// the scenario's checkpoint manifest is consulted first and only
+    /// unfinished jobs are simulated; without it the run starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`engine::Session::run`] / [`engine::Session::resume`]
+    /// errors.
+    pub fn execute(
+        &self,
+        session: &engine::Session,
+        scenario: &engine::Scenario,
+    ) -> Result<engine::SessionReport> {
+        if self.resume {
+            session.resume(scenario)
+        } else {
+            session.run(scenario)
+        }
+    }
+
     /// Prints the standard footer — engine counters, the span table and
     /// the metrics snapshot — and writes the export artifacts when
     /// `--metrics-out` was given.
@@ -70,6 +104,18 @@ impl Reporting {
     pub fn finish(&self, report: Option<&engine::SessionReport>) -> Result<()> {
         if let Some(report) = report {
             println!("\nengine: {}", report.counters.summary());
+            if !report.quarantined.is_empty() {
+                println!("engine: {} job(s) quarantined:", report.quarantined.len());
+                for q in &report.quarantined {
+                    println!(
+                        "engine:   job {} after {} attempt(s){}: {}",
+                        q.index,
+                        q.attempts,
+                        if q.panicked { " [panic]" } else { "" },
+                        q.error
+                    );
+                }
+            }
         }
         let spans = self.obs.tracer.stats();
         if !spans.is_empty() {
@@ -124,5 +170,13 @@ mod tests {
         let r = Reporting::parse(args(&["--smoke"]));
         assert_eq!(r.metrics_out(), None);
         assert_eq!(r.rest(), &args(&["--smoke"])[..]);
+        assert!(!r.resume());
+    }
+
+    #[test]
+    fn resume_flag_is_stripped_from_rest() {
+        let r = Reporting::parse(args(&["--smoke", "--resume", "--seed", "7"]));
+        assert!(r.resume());
+        assert_eq!(r.rest(), &args(&["--smoke", "--seed", "7"])[..]);
     }
 }

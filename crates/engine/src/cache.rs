@@ -1,4 +1,4 @@
-//! Content-addressed on-disk artifact cache.
+//! Content-addressed on-disk artifact cache with integrity checking.
 //!
 //! Every artifact is stored under a key derived from a hash of its full
 //! provenance (scenario/job description as canonical JSON, plus the
@@ -10,6 +10,22 @@
 //! errors were silently swallowed and the location was not overridable.
 //! The root directory honours the `BOREAS_CACHE_DIR` environment
 //! variable and every I/O failure propagates as an error.
+//!
+//! Artifacts are framed by an envelope whose first line embeds a
+//! 128-bit FNV checksum of the payload:
+//!
+//! ```text
+//! boreas-artifact v2 <32 hex digits>
+//! <payload JSON>
+//! ```
+//!
+//! [`ArtifactCache::lookup`] verifies the checksum on every read and
+//! distinguishes three cases — [`CacheLookup::Hit`],
+//! [`CacheLookup::Miss`] (absent, pre-envelope, or schema-stale) and
+//! [`CacheLookup::Corrupt`] (checksum mismatch: truncation or bit rot).
+//! Corrupt artifacts are quarantined to `<key>.corrupt` so the slot
+//! frees up for recomputation and the damaged bytes stay available for
+//! post-mortems.
 
 use common::{Error, Result};
 use serde::de::DeserializeOwned;
@@ -20,12 +36,42 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Environment variable overriding the cache root directory.
 pub const CACHE_DIR_ENV: &str = "BOREAS_CACHE_DIR";
 
-/// A content-addressed JSON artifact store with hit/miss accounting.
+/// Envelope magic prefixing every artifact written by this version.
+const ENVELOPE_MAGIC: &str = "boreas-artifact v2 ";
+
+/// Result of an integrity-checked cache lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLookup<T> {
+    /// Artifact present, checksum verified, payload parsed.
+    Hit(T),
+    /// Nothing usable on disk: absent, a pre-envelope legacy file, or a
+    /// checksum-valid payload the current schema no longer parses. The
+    /// caller recomputes and overwrites.
+    Miss,
+    /// The envelope checksum did not match the payload (truncated or
+    /// bit-flipped file). The artifact has been quarantined to
+    /// `<key>.corrupt` and the slot recomputes like a miss.
+    Corrupt,
+}
+
+impl<T> CacheLookup<T> {
+    /// The hit value, if any.
+    pub fn hit(self) -> Option<T> {
+        match self {
+            CacheLookup::Hit(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A content-addressed JSON artifact store with hit/miss/corruption
+/// accounting.
 #[derive(Debug)]
 pub struct ArtifactCache {
     root: PathBuf,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    corrupt: AtomicUsize,
 }
 
 impl ArtifactCache {
@@ -62,6 +108,7 @@ impl ArtifactCache {
             root,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            corrupt: AtomicUsize::new(0),
         })
     }
 
@@ -90,37 +137,85 @@ impl ArtifactCache {
         self.root.join(format!("{key}.json"))
     }
 
-    /// Looks up a cached artifact; `None` counts as a miss (absent file,
-    /// unreadable file and stale/corrupt JSON all miss — the caller
-    /// recomputes and overwrites).
-    pub fn get<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
-        let parsed = std::fs::read_to_string(self.path_for(key))
-            .ok()
-            .and_then(|json| serde_json::from_str(&json).ok());
-        match parsed {
-            Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
-            }
-            None => {
+    fn quarantine_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.corrupt"))
+    }
+
+    /// Integrity-checked lookup distinguishing absent from corrupt. A
+    /// corrupt artifact (checksum mismatch) is moved aside to
+    /// `<key>.corrupt` so the next [`ArtifactCache::put`] starts clean.
+    pub fn lookup<T: DeserializeOwned>(&self, key: &str) -> CacheLookup<T> {
+        let bytes = match std::fs::read(self.path_for(key)) {
+            Ok(bytes) => bytes,
+            Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return CacheLookup::Miss;
+            }
+        };
+        // A bit flip can push the file out of UTF-8 entirely; that is
+        // corruption when the envelope magic is still recognisable.
+        let verdict = match std::str::from_utf8(&bytes) {
+            Ok(raw) => verify_envelope(raw),
+            Err(_) if bytes.starts_with(ENVELOPE_MAGIC.as_bytes()) => Envelope::ChecksumMismatch,
+            Err(_) => Envelope::Legacy,
+        };
+        let payload = match verdict {
+            Envelope::Valid(payload) => payload,
+            Envelope::Legacy => {
+                // Pre-envelope artifact: stale format, plain miss.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return CacheLookup::Miss;
+            }
+            Envelope::ChecksumMismatch => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                // Move the damaged file aside; if the rename fails
+                // (e.g. raced with a concurrent writer) the slot is
+                // simply overwritten by the recompute.
+                let _ = std::fs::rename(self.path_for(key), self.quarantine_path(key));
+                return CacheLookup::Corrupt;
+            }
+        };
+        match serde_json::from_str(payload) {
+            Ok(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Hit(v)
+            }
+            Err(_) => {
+                // Bytes are intact (checksum passed) but the schema
+                // moved on — treat as stale, not corrupt.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Miss
             }
         }
     }
 
-    /// Stores an artifact under `key`, atomically (write to a temp file
-    /// in the same directory, then rename).
+    /// Looks up a cached artifact; `None` covers both misses and
+    /// quarantined corruption — use [`ArtifactCache::lookup`] to tell
+    /// them apart.
+    pub fn get<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
+        self.lookup(key).hit()
+    }
+
+    /// Stores an artifact under `key`, atomically: write the envelope to
+    /// a uniquely named temp file in the same directory, then rename.
+    /// The temp name includes a process-wide counter, so concurrent
+    /// writers of the *same* key can no longer clobber each other's
+    /// half-written file.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Serde`] on serialisation failure and
     /// [`Error::Io`] on write/rename failure.
     pub fn put<T: Serialize + ?Sized>(&self, key: &str, value: &T) -> Result<()> {
+        static WRITE_SEQ: AtomicUsize = AtomicUsize::new(0);
         let json = serde_json::to_string(value).map_err(|e| Error::Serde(e.to_string()))?;
         let path = self.path_for(key);
-        let tmp = self.root.join(format!("{key}.tmp.{}", std::process::id()));
-        std::fs::write(&tmp, json).map_err(|e| {
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .root
+            .join(format!("{key}.tmp.{}.{seq}", std::process::id()));
+        let framed = format!("{ENVELOPE_MAGIC}{}\n{json}", fnv128_hex(json.as_bytes()));
+        std::fs::write(&tmp, framed).map_err(|e| {
             Error::io(
                 "artifact cache",
                 format!("cannot write {}: {e}", tmp.display()),
@@ -154,14 +249,79 @@ impl ArtifactCache {
         Ok(v)
     }
 
+    /// Fault-injection hook: flips one payload bit of the stored
+    /// artifact, leaving the envelope checksum untouched so the next
+    /// [`ArtifactCache::lookup`] detects the damage. `seed` picks the
+    /// bit deterministically. Returns `false` when the artifact is
+    /// absent or too small to damage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the artifact exists but cannot be
+    /// rewritten.
+    pub fn corrupt_artifact(&self, key: &str, seed: u64) -> Result<bool> {
+        let path = self.path_for(key);
+        let mut bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return Ok(false),
+        };
+        let payload_start = match bytes.iter().position(|&b| b == b'\n') {
+            Some(nl) => nl + 1,
+            None => 0,
+        };
+        if payload_start >= bytes.len() {
+            return Ok(false);
+        }
+        let span = bytes.len() - payload_start;
+        let target = payload_start + (seed as usize) % span;
+        bytes[target] ^= 1 << (seed % 8);
+        std::fs::write(&path, bytes).map_err(|e| {
+            Error::io(
+                "artifact cache",
+                format!("cannot damage {}: {e}", path.display()),
+            )
+        })?;
+        Ok(true)
+    }
+
     /// Number of lookups served from disk so far.
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Number of lookups that had to be recomputed so far.
+    /// Number of lookups that had to be recomputed so far (absent or
+    /// stale entries; corruption is counted separately).
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that found a checksum-corrupt artifact.
+    pub fn corrupt(&self) -> usize {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+}
+
+enum Envelope<'a> {
+    Valid(&'a str),
+    Legacy,
+    ChecksumMismatch,
+}
+
+/// Splits an artifact file into envelope + payload and verifies the
+/// embedded checksum. Files not starting with the magic are legacy.
+fn verify_envelope(raw: &str) -> Envelope<'_> {
+    let Some(rest) = raw.strip_prefix(ENVELOPE_MAGIC) else {
+        return Envelope::Legacy;
+    };
+    let Some((checksum, payload)) = rest.split_once('\n') else {
+        // Magic present but the frame is torn before the payload — the
+        // file is damaged, not merely old.
+        return Envelope::ChecksumMismatch;
+    };
+    if checksum.len() == 32 && fnv128_hex(payload.as_bytes()) == checksum {
+        Envelope::Valid(payload)
+    } else {
+        Envelope::ChecksumMismatch
     }
 }
 
@@ -169,7 +329,7 @@ impl ArtifactCache {
 /// lanes (the standard offset basis and a re-seeded one) keep the
 /// collision chance negligible for cache-key purposes without pulling in
 /// a hashing dependency.
-fn fnv128_hex(bytes: &[u8]) -> String {
+pub(crate) fn fnv128_hex(bytes: &[u8]) -> String {
     const PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut lo: u64 = 0xCBF2_9CE4_8422_2325;
     let mut hi: u64 = 0x6C62_272E_07BB_0142;
@@ -222,13 +382,15 @@ mod tests {
     }
 
     #[test]
-    fn missing_and_corrupt_entries_miss() {
+    fn missing_and_stale_entries_miss() {
         let cache = ArtifactCache::open(scratch_dir("miss")).unwrap();
         assert_eq!(cache.get::<u32>("absent"), None);
+        // Pre-envelope file: stale format, not corruption.
         std::fs::write(cache.root().join("bad.json"), "{not json").unwrap();
         assert_eq!(cache.get::<u32>("bad"), None);
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.corrupt(), 0);
         let _ = std::fs::remove_dir_all(cache.root());
     }
 
@@ -240,6 +402,68 @@ mod tests {
             assert_eq!(cache.get::<u32>("answer"), Some(42));
             assert_eq!(cache.hits(), 1);
         }
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn bit_flip_is_detected_and_quarantined() {
+        let cache = ArtifactCache::open(scratch_dir("flip")).unwrap();
+        if cache.put("victim", &1234567u64).is_err() {
+            return; // offline stub: nothing written, nothing to damage
+        }
+        assert!(cache.corrupt_artifact("victim", 99).unwrap());
+        assert_eq!(cache.lookup::<u64>("victim"), CacheLookup::Corrupt);
+        assert_eq!(cache.corrupt(), 1);
+        assert!(
+            cache.root().join("victim.corrupt").exists(),
+            "damaged bytes preserved for post-mortem"
+        );
+        assert!(
+            !cache.root().join("victim.json").exists(),
+            "slot freed for recomputation"
+        );
+        // The slot now behaves like a plain miss.
+        assert_eq!(cache.lookup::<u64>("victim"), CacheLookup::Miss);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn truncation_is_detected_as_corruption() {
+        let cache = ArtifactCache::open(scratch_dir("trunc")).unwrap();
+        if cache.put("victim", &vec![1u32, 2, 3, 4, 5]).is_err() {
+            return; // offline stub
+        }
+        let path = cache.root().join("victim.json");
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert_eq!(cache.lookup::<Vec<u32>>("victim"), CacheLookup::Corrupt);
+        assert_eq!(cache.corrupt(), 1);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn concurrent_puts_of_one_key_leave_a_valid_artifact() {
+        let cache = ArtifactCache::open(scratch_dir("race")).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        // Errors are fine (offline stub); torn files are not.
+                        let _ = cache.put("contested", &777u32);
+                    }
+                });
+            }
+        });
+        if json_works() {
+            assert_eq!(cache.get::<u32>("contested"), Some(777));
+        }
+        // No stranded temp files regardless of JSON support.
+        let stranded = std::fs::read_dir(cache.root())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(stranded, 0, "every temp file was published exactly once");
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

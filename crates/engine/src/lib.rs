@@ -17,6 +17,16 @@
 //!   regardless of thread count) plus [`EngineCounters`]: jobs run vs
 //!   cached, per-stage wall time and the cache hit rate.
 //!
+//! Execution is *supervised* (DESIGN.md §12): a panicking or failing job
+//! is isolated by the pool, retried in deterministic waves under the
+//! session's [`RetryPolicy`], and quarantined on the report
+//! ([`SessionReport::quarantined`]) if it keeps failing — one bad job
+//! never aborts a sweep. Completed jobs are checkpointed (artifact +
+//! manifest line) as they finish, so a killed run continues from where
+//! it stopped via [`Session::resume`] with byte-identical results, and
+//! every cached artifact carries a content checksum that quarantines
+//! torn or bit-flipped files instead of trusting them.
+//!
 //! Pass an [`obs::Obs`] bundle to [`Session::new`] (or attach one with
 //! [`Session::observe`]) and the session streams execution metrics,
 //! span timings and per-decision flight events into it; result-domain
@@ -50,9 +60,12 @@ pub mod cache;
 pub mod pool;
 pub mod scenario;
 pub mod session;
+pub mod supervisor;
 
-pub use cache::{ArtifactCache, CACHE_DIR_ENV};
+pub use cache::{ArtifactCache, CacheLookup, CACHE_DIR_ENV};
+pub use pool::JobOutcome;
 pub use scenario::{BuiltController, ControllerSpec, FaultCell, Scenario, ScenarioKind};
 pub use session::{
     EngineCounters, JobResult, LoopRunResult, Session, SessionReport, SweepPointResult,
 };
+pub use supervisor::{QuarantinedJob, RetryPolicy, SupervisedRun, SupervisorEvent};

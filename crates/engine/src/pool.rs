@@ -1,4 +1,4 @@
-//! Work-stealing execution pool.
+//! Work-stealing execution pool with per-job panic isolation.
 //!
 //! Jobs are tagged with their index in the scenario's deterministic
 //! expansion order before being scattered across threads, so the caller
@@ -8,15 +8,44 @@
 //! steal from siblings. Per-thread state (built controllers, scratch
 //! buffers) is created once per worker by the `init` closure and reused
 //! across every job that worker executes.
+//!
+//! Every job body runs under `catch_unwind`: a panicking job produces a
+//! per-job [`JobOutcome::Panicked`] instead of unwinding through
+//! `std::thread::scope` and losing the whole batch. A worker whose job
+//! panicked discards its state and rebuilds it with `init` before the
+//! next job, since the panic may have left it half-mutated.
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::PoisonError;
+
+/// What became of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<R> {
+    /// The job ran to completion.
+    Completed(R),
+    /// The job panicked; the worker survived and rebuilt its state.
+    Panicked {
+        /// Downcast panic payload (`&str`/`String`), or a placeholder.
+        message: String,
+    },
+}
+
+impl<R> JobOutcome<R> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<R> {
+        match self {
+            JobOutcome::Completed(r) => Some(r),
+            JobOutcome::Panicked { .. } => None,
+        }
+    }
+}
 
 /// Runs `jobs` on `threads` workers and returns `(index, result)` pairs
 /// in unspecified order; callers place results by index.
 ///
-/// With one thread (or one job) everything runs inline on the calling
-/// thread — no spawning, same code path for state reuse — which is also
-/// the reference order for determinism tests.
+/// A panicking job re-raises here, after every other job has finished —
+/// callers that want partial results use [`run_jobs_supervised`].
 pub fn run_jobs<J, R, S>(
     threads: usize,
     jobs: Vec<(usize, J)>,
@@ -27,12 +56,40 @@ where
     J: Send,
     R: Send,
 {
+    let mut out = Vec::new();
+    for (idx, outcome) in run_jobs_supervised(threads, jobs, init, exec) {
+        match outcome {
+            JobOutcome::Completed(r) => out.push((idx, r)),
+            JobOutcome::Panicked { message } => {
+                panic!("job {idx} panicked: {message}")
+            }
+        }
+    }
+    out
+}
+
+/// Like [`run_jobs`], but panics are contained per job: the returned
+/// vector always has one entry per input job.
+///
+/// With one thread (or one job) everything runs inline on the calling
+/// thread — no spawning, same code path for state reuse — which is also
+/// the reference order for determinism tests.
+pub fn run_jobs_supervised<J, R, S>(
+    threads: usize,
+    jobs: Vec<(usize, J)>,
+    init: impl Fn() -> S + Sync,
+    exec: impl Fn(&mut S, J) -> R + Sync,
+) -> Vec<(usize, JobOutcome<R>)>
+where
+    J: Send,
+    R: Send,
+{
     let threads = threads.max(1).min(jobs.len().max(1));
     if threads == 1 {
         let mut state = init();
         return jobs
             .into_iter()
-            .map(|(idx, job)| (idx, exec(&mut state, job)))
+            .map(|(idx, job)| (idx, guarded(&mut state, &init, &exec, job)))
             .collect();
     }
 
@@ -56,14 +113,49 @@ where
                 let mut state = init();
                 let mut done = Vec::new();
                 while let Some((idx, job)) = next_job(&local, injector, stealers, me) {
-                    done.push((idx, exec(&mut state, job)));
+                    done.push((idx, guarded(&mut state, init, exec, job)));
                 }
-                results.lock().expect("result sink poisoned").extend(done);
+                // A panic elsewhere cannot poison this sink into losing
+                // results: recover the guard and extend anyway.
+                results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .extend(done);
             });
         }
     });
 
-    results.into_inner().expect("result sink poisoned")
+    results.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs one job under `catch_unwind`; on panic the worker state is
+/// rebuilt from `init` (the unwound body may have left it half-mutated).
+fn guarded<J, R, S>(
+    state: &mut S,
+    init: &impl Fn() -> S,
+    exec: &impl Fn(&mut S, J) -> R,
+    job: J,
+) -> JobOutcome<R> {
+    match catch_unwind(AssertUnwindSafe(|| exec(state, job))) {
+        Ok(result) => JobOutcome::Completed(result),
+        Err(payload) => {
+            *state = init();
+            JobOutcome::Panicked {
+                message: panic_message(payload.as_ref()),
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of the conventional `&str`/`String` payloads.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Local queue first, then a batch from the injector, then steal from a
@@ -103,9 +195,31 @@ fn next_job<T>(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Silences the default panic hook for tests that inject panics on
+    /// purpose; installed once per process.
+    pub(crate) fn quiet_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info.payload();
+                let text = msg
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| msg.downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if text.contains("deliberate test panic") || text.contains("injected engine fault")
+                {
+                    return;
+                }
+                default(info);
+            }));
+        });
+    }
 
     #[test]
     fn all_jobs_run_exactly_once() {
@@ -156,5 +270,83 @@ mod tests {
         );
         let max_seen = out.iter().map(|(_, c)| *c).max().unwrap();
         assert_eq!(max_seen, 16, "single worker sees every job in one state");
+    }
+
+    #[test]
+    fn panicking_job_does_not_lose_siblings() {
+        quiet_panics();
+        for threads in [1, 2, 4] {
+            let jobs: Vec<(usize, u64)> = (0..24).map(|i| (i, i as u64)).collect();
+            let mut out = run_jobs_supervised(
+                threads,
+                jobs,
+                || (),
+                |(), job| {
+                    if job % 7 == 3 {
+                        panic!("deliberate test panic on {job}");
+                    }
+                    job * 2
+                },
+            );
+            out.sort_by_key(|(idx, _)| *idx);
+            assert_eq!(out.len(), 24, "one outcome per job");
+            for (idx, outcome) in out {
+                match outcome {
+                    JobOutcome::Completed(v) => {
+                        assert_ne!(idx as u64 % 7, 3);
+                        assert_eq!(v, idx as u64 * 2);
+                    }
+                    JobOutcome::Panicked { message } => {
+                        assert_eq!(idx as u64 % 7, 3);
+                        assert!(message.contains("deliberate test panic"), "{message}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_is_rebuilt_after_a_panic() {
+        quiet_panics();
+        let inits = AtomicUsize::new(0);
+        let jobs: Vec<(usize, usize)> = (0..6).map(|i| (i, i)).collect();
+        let out = run_jobs_supervised(
+            1,
+            jobs,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |seen, job| {
+                *seen += 1;
+                if job == 2 {
+                    panic!("deliberate test panic");
+                }
+                *seen
+            },
+        );
+        // init ran once up front and once after the single panic.
+        assert_eq!(inits.load(Ordering::Relaxed), 2);
+        // Jobs after the panic count from a fresh state.
+        let last = out
+            .iter()
+            .find(|(idx, _)| *idx == 5)
+            .and_then(|(_, o)| o.clone().completed())
+            .unwrap();
+        assert_eq!(last, 3, "jobs 3,4,5 ran on the rebuilt state");
+    }
+
+    #[test]
+    fn run_jobs_repanics_on_job_panic() {
+        quiet_panics();
+        let caught = std::panic::catch_unwind(|| {
+            run_jobs(
+                1,
+                vec![(0usize, ())],
+                || (),
+                |(), ()| -> usize { panic!("deliberate test panic") },
+            )
+        });
+        assert!(caught.is_err(), "legacy entry point re-raises");
     }
 }

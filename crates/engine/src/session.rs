@@ -1,14 +1,28 @@
-//! The session executor: scenario → job graph → work-stealing execution
-//! with cache memoisation → ordered results + counters.
+//! The session executor: scenario → job graph → supervised
+//! work-stealing execution with cache memoisation → ordered results +
+//! counters + casualty list.
+//!
+//! Execution is *supervised* (see [`crate::supervisor`]): a panicking
+//! or failing job is retried under the session's [`RetryPolicy`] and,
+//! if it keeps failing, lands in [`SessionReport::quarantined`] instead
+//! of aborting the sweep. Completed jobs are persisted to the artifact
+//! cache *as they finish*, together with a checkpoint line in a session
+//! manifest, so a killed process can pick up where it left off via
+//! [`Session::resume`].
 
-use crate::cache::ArtifactCache;
-use crate::pool;
+use crate::cache::{ArtifactCache, CacheLookup};
 use crate::scenario::{BuiltController, JobRef, Scenario, ScenarioKind};
+use crate::supervisor::{self, QuarantinedJob, RetryPolicy, SupervisorEvent};
 use boreas_core::{RunSpec, SweepTable};
 use common::{Error, Result};
-use faults::{FaultInjector, FaultPlan};
+use faults::{EngineFaultPlan, FaultInjector, FaultPlan};
 use hotgauge::{Pipeline, PipelineConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 use workloads::WorkloadSpec;
 
@@ -104,13 +118,25 @@ pub struct EngineCounters {
     pub jobs_cached: usize,
     /// Jobs actually simulated.
     pub jobs_run: usize,
+    /// Cache hits confirmed by the checkpoint manifest of an
+    /// interrupted earlier run (subset of `jobs_cached`; only nonzero
+    /// under [`Session::resume`]).
+    pub jobs_resumed: usize,
+    /// Jobs that exhausted their retry budget and were quarantined.
+    pub jobs_quarantined: usize,
+    /// Retry dispatches performed by the supervisor.
+    pub retries: usize,
+    /// Cache artifacts that failed their checksum and were quarantined
+    /// to `<key>.corrupt` during the probe.
+    pub artifacts_corrupt: usize,
     /// Wall time expanding the scenario, ms.
     pub expand_ms: f64,
     /// Wall time probing the cache, ms.
     pub probe_ms: f64,
-    /// Wall time executing misses, ms.
+    /// Wall time executing misses, ms (includes in-flight persists).
     pub execute_ms: f64,
-    /// Wall time persisting new artifacts, ms.
+    /// Time persisting new artifacts, ms, summed across workers (the
+    /// persists happen inside the execute stage, as each job finishes).
     pub persist_ms: f64,
     /// End-to-end wall time, ms.
     pub total_ms: f64,
@@ -126,9 +152,11 @@ impl EngineCounters {
         }
     }
 
-    /// One-line human-readable summary for CLI footers.
+    /// One-line human-readable summary for CLI footers. Supervision
+    /// counters (resumed / quarantined / retries / corrupt artifacts)
+    /// appear only when nonzero, so a healthy run reads like before.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} jobs ({} cached / {} run, {:.0}% hit rate) on {} threads in {:.0} ms \
              [expand {:.1} | probe {:.1} | execute {:.1} | persist {:.1}]",
             self.jobs_total,
@@ -141,23 +169,45 @@ impl EngineCounters {
             self.probe_ms,
             self.execute_ms,
             self.persist_ms,
-        )
+        );
+        if self.jobs_resumed > 0 {
+            line.push_str(&format!(" resumed={}", self.jobs_resumed));
+        }
+        if self.retries > 0 {
+            line.push_str(&format!(" retries={}", self.retries));
+        }
+        if self.jobs_quarantined > 0 {
+            line.push_str(&format!(" quarantined={}", self.jobs_quarantined));
+        }
+        if self.artifacts_corrupt > 0 {
+            line.push_str(&format!(" corrupt-artifacts={}", self.artifacts_corrupt));
+        }
+        line
     }
 }
 
 /// Results of one scenario run, in the scenario's deterministic job
-/// order, plus execution counters.
+/// order, plus execution counters and the quarantine casualty list.
 #[derive(Debug, Clone, Serialize)]
 pub struct SessionReport {
     /// The scenario's name.
     pub scenario: String,
-    /// One result per job, in expansion order.
+    /// One result per *completed* job, in expansion order. When
+    /// [`SessionReport::quarantined`] is empty (the healthy case) this
+    /// is exactly one result per job.
     pub results: Vec<JobResult>,
+    /// Jobs that exhausted their retry budget, ascending by index.
+    pub quarantined: Vec<QuarantinedJob>,
     /// Execution accounting.
     pub counters: EngineCounters,
 }
 
 impl SessionReport {
+    /// `true` when every job completed (nothing quarantined).
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
     /// Iterates sweep points (empty for closed-loop scenarios).
     pub fn sweep_points(&self) -> impl Iterator<Item = &SweepPointResult> {
         self.results.iter().filter_map(JobResult::as_sweep)
@@ -184,12 +234,27 @@ impl SessionReport {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] when `scenario` is not the
-    /// severity sweep this report came from.
+    /// severity sweep this report came from, or when quarantined jobs
+    /// left holes in the grid.
     pub fn sweep_table(&self, scenario: &Scenario) -> Result<SweepTable> {
         if scenario.kind != ScenarioKind::SeveritySweep {
             return Err(Error::invalid_config(
                 "sweep_table",
                 "scenario is not a severity sweep",
+            ));
+        }
+        if !self.quarantined.is_empty() {
+            let casualties: Vec<String> = self
+                .quarantined
+                .iter()
+                .map(|q| q.index.to_string())
+                .collect();
+            return Err(Error::invalid_config(
+                "sweep_table",
+                format!(
+                    "sweep grid is incomplete: jobs [{}] were quarantined",
+                    casualties.join(", ")
+                ),
             ));
         }
         let per_workload = scenario.vf.len();
@@ -223,7 +288,9 @@ impl SessionReport {
 
 /// Cache key for one job: full provenance as serialisable data. Hashing
 /// this (plus the engine version, added by [`ArtifactCache::key_for`])
-/// yields the artifact key.
+/// yields the artifact key. Deliberately excludes the retry policy and
+/// any [`EngineFaultPlan`]: injected engine faults must never change
+/// what a job computes, only how often it has to try.
 #[derive(Serialize)]
 struct JobKey<'a> {
     schema: &'static str,
@@ -251,20 +318,24 @@ enum JobKeyPayload<'a> {
 /// Executes [`Scenario`]s against one [`Pipeline`].
 ///
 /// A session owns the simulation pipeline, a thread budget,
-/// (optionally) an [`ArtifactCache`] and an [`obs::Obs`] observability
-/// bundle; [`Session::run`] expands a scenario into jobs, serves what
-/// it can from the cache, simulates the rest on the work-stealing pool
-/// and returns results in the scenario's deterministic order — the same
-/// bytes whether one thread ran the jobs or sixteen did, with or
-/// without observability attached. Recording is strictly off the
-/// deterministic path: result-domain metrics are derived from the
-/// ordered result rows, so a fully cached replay and a cold run emit
-/// identical [`obs::Determinism::Result`] families.
+/// (optionally) an [`ArtifactCache`], a [`RetryPolicy`] and an
+/// [`obs::Obs`] observability bundle; [`Session::run`] expands a
+/// scenario into jobs, serves what it can from the cache (verifying
+/// content checksums and quarantining corrupt artifacts), simulates the
+/// rest on the supervised work-stealing pool and returns results in the
+/// scenario's deterministic order — the same bytes whether one thread
+/// ran the jobs or sixteen did, with or without observability attached.
+/// Recording is strictly off the deterministic path: result-domain
+/// metrics are derived from the ordered result rows, so a fully cached
+/// replay and a cold run emit identical [`obs::Determinism::Result`]
+/// families.
 pub struct Session {
     pipeline: Pipeline,
     threads: usize,
     cache: Option<ArtifactCache>,
     obs: obs::Obs,
+    retry: RetryPolicy,
+    engine_faults: Option<EngineFaultPlan>,
 }
 
 impl Session {
@@ -282,6 +353,8 @@ impl Session {
             threads: default_threads(),
             cache: Some(ArtifactCache::open_default()?),
             obs: obs.into().unwrap_or_default(),
+            retry: RetryPolicy::default(),
+            engine_faults: None,
         })
     }
 
@@ -299,6 +372,8 @@ impl Session {
             threads: default_threads(),
             cache: Some(ArtifactCache::open(dir)?),
             obs: obs::Obs::disabled(),
+            retry: RetryPolicy::default(),
+            engine_faults: None,
         })
     }
 
@@ -310,6 +385,8 @@ impl Session {
             threads: default_threads(),
             cache: None,
             obs: obs::Obs::disabled(),
+            retry: RetryPolicy::default(),
+            engine_faults: None,
         }
     }
 
@@ -330,6 +407,23 @@ impl Session {
         self
     }
 
+    /// Overrides the retry policy (default:
+    /// [`RetryPolicy::default`] — one retry, no backoff).
+    #[must_use]
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Arms an engine-level fault plan: injected job panics and
+    /// artifact bit flips, for exercising the supervision layer. Fault
+    /// decisions never feed into cache keys or results.
+    #[must_use]
+    pub fn inject_engine_faults(mut self, plan: EngineFaultPlan) -> Self {
+        self.engine_faults = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
     /// The simulation pipeline.
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
@@ -345,17 +439,49 @@ impl Session {
         &self.obs
     }
 
-    /// Runs `scenario` to completion and returns its report.
+    /// Runs `scenario` to completion and returns its report. Job
+    /// failures and panics are retried per the session's
+    /// [`RetryPolicy`]; jobs that keep failing are reported in
+    /// [`SessionReport::quarantined`] rather than aborting the sweep.
+    /// Starts a fresh checkpoint manifest (discarding any earlier one
+    /// for this scenario) — use [`Session::resume`] to continue an
+    /// interrupted run instead.
     ///
     /// # Errors
     ///
-    /// Propagates scenario validation, controller construction,
-    /// simulation and cache-persistence errors. On job failure the error
-    /// of the earliest job (in expansion order) is returned.
+    /// Propagates scenario validation, key-derivation and
+    /// checkpoint-manifest I/O errors. Simulation errors no longer
+    /// abort the run; they quarantine the failing job.
     pub fn run(&self, scenario: &Scenario) -> Result<SessionReport> {
+        self.run_inner(scenario, false)
+    }
+
+    /// Like [`Session::run`], but first consults the scenario's
+    /// checkpoint manifest: jobs recorded as completed by an earlier
+    /// (possibly killed) run are restored from the artifact cache and
+    /// skipped, and the report's `jobs_resumed` counter says how many.
+    /// The results are byte-identical to an uninterrupted [`Session::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the session has no cache
+    /// (there is nothing to resume from), plus everything
+    /// [`Session::run`] can return.
+    pub fn resume(&self, scenario: &Scenario) -> Result<SessionReport> {
+        if self.cache.is_none() {
+            return Err(Error::invalid_config(
+                "session resume",
+                "resuming requires an artifact cache",
+            ));
+        }
+        self.run_inner(scenario, true)
+    }
+
+    fn run_inner(&self, scenario: &Scenario, resume: bool) -> Result<SessionReport> {
         let t_total = Instant::now();
         let _session_span = self.obs.tracer.span("session.run");
         scenario.validate()?;
+        let flight = self.obs.flight.run(&scenario.name, "engine");
 
         let t_expand = Instant::now();
         let jobs = scenario.jobs();
@@ -363,19 +489,59 @@ impl Session {
         let expand_ms = ms_since(t_expand);
         self.record_stage("session.expand", expand_ms);
 
-        // Probe the cache serially (cheap: one hash + one small file read
-        // per job) so the execute stage only sees genuine misses.
+        // Open (or reload) the checkpoint manifest before probing, so
+        // the probe can tell "cached because a previous run checkpointed
+        // it" apart from ordinary cache warmth.
+        let mut checkpointed: HashSet<usize> = HashSet::new();
+        let manifest = match &self.cache {
+            Some(cache) => {
+                let path = manifest_path(cache, scenario)?;
+                if resume {
+                    let (manifest, done) = Manifest::resume(path, n)?;
+                    checkpointed = done;
+                    Some(manifest)
+                } else {
+                    Some(Manifest::fresh(path, n)?)
+                }
+            }
+            None => None,
+        };
+
+        // Probe the cache serially (cheap: one hash + one small file
+        // read per job) so the execute stage only sees genuine misses.
+        // Corrupt artifacts are quarantined by the cache and recomputed
+        // here like misses.
         let t_probe = Instant::now();
         let mut slots: Vec<Option<JobResult>> = vec![None; n];
         let mut keys: Vec<Option<String>> = vec![None; n];
+        let mut artifacts_corrupt = 0usize;
+        let mut jobs_resumed = 0usize;
         if let Some(cache) = &self.cache {
             for (idx, job) in jobs.iter().enumerate() {
                 let key = ArtifactCache::key_for(&self.job_key(scenario, *job))?;
-                slots[idx] = cache.get::<JobResult>(&key);
+                match cache.lookup::<JobResult>(&key) {
+                    CacheLookup::Hit(result) => {
+                        if checkpointed.contains(&idx) {
+                            jobs_resumed += 1;
+                        }
+                        slots[idx] = Some(result);
+                    }
+                    CacheLookup::Miss => {}
+                    CacheLookup::Corrupt => {
+                        artifacts_corrupt += 1;
+                        flight.record(obs::FlightEvent::ArtifactCorrupt { key: key.clone() });
+                    }
+                }
                 keys[idx] = Some(key);
             }
         }
         let jobs_cached = slots.iter().filter(|s| s.is_some()).count();
+        if resume {
+            flight.record(obs::FlightEvent::Resumed {
+                jobs_resumed,
+                jobs_total: n,
+            });
+        }
         let probe_ms = ms_since(t_probe);
         self.record_stage("session.probe", probe_ms);
 
@@ -392,50 +558,128 @@ impl Session {
             "Wall time of each simulated (cache-miss) job, ms",
             &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0],
         );
+        let persist_ns = AtomicU64::new(0);
         let t_execute = Instant::now();
-        let computed = pool::run_jobs(self.threads, misses, WorkerState::default, |state, job| {
-            let _job_span = self.obs.tracer.span("engine.job");
-            let t_job = Instant::now();
-            let out = self.execute(scenario, state, job);
-            job_ms.observe(ms_since(t_job));
-            out
-        });
+        let supervised = supervisor::run_supervised(
+            &self.retry,
+            self.threads,
+            misses,
+            WorkerState::default,
+            |state, idx, job, attempt| {
+                if let Some(plan) = &self.engine_faults {
+                    if let Some(message) = plan.panic_for(idx, attempt) {
+                        panic!("{message}");
+                    }
+                }
+                let _job_span = self.obs.tracer.span("engine.job");
+                let t_job = Instant::now();
+                let result = self
+                    .execute(scenario, state, *job)
+                    .map_err(|e| e.to_string())?;
+                job_ms.observe(ms_since(t_job));
+                // Persist immediately (artifact first, then the
+                // checkpoint line): a kill after this point cannot lose
+                // the finished job.
+                let t_persist = Instant::now();
+                if let (Some(cache), Some(key)) = (&self.cache, keys[idx].as_ref()) {
+                    cache.put(key, &result).map_err(|e| e.to_string())?;
+                    if let Some(plan) = &self.engine_faults {
+                        if let Some(seed) = plan.bitflip_for(idx) {
+                            let _ = cache.corrupt_artifact(key, seed);
+                        }
+                    }
+                    if let Some(manifest) = &manifest {
+                        manifest.mark_done(idx, key).map_err(|e| e.to_string())?;
+                    }
+                }
+                persist_ns.fetch_add(t_persist.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Ok(result)
+            },
+            |event| self.record_supervisor_event(&flight, &event),
+        );
         let execute_ms = ms_since(t_execute);
         self.record_stage("session.execute", execute_ms);
-
-        let mut fresh: Vec<(usize, Result<JobResult>)> = computed;
-        fresh.sort_by_key(|(idx, _)| *idx);
-        let t_persist = Instant::now();
-        for (idx, outcome) in fresh {
-            let result = outcome?;
-            if let (Some(cache), Some(key)) = (&self.cache, &keys[idx]) {
-                cache.put(key, &result)?;
-            }
-            slots[idx] = Some(result);
-        }
-        let persist_ms = ms_since(t_persist);
+        let persist_ms = persist_ns.load(Ordering::Relaxed) as f64 / 1e6;
         self.record_stage("session.persist", persist_ms);
 
-        let results: Vec<JobResult> = slots
-            .into_iter()
-            .map(|s| s.expect("every job slot filled"))
-            .collect();
+        for (idx, result) in supervised.completed {
+            slots[idx] = Some(result);
+        }
+        let quarantined = supervised.quarantined;
+        let results: Vec<JobResult> = slots.into_iter().flatten().collect();
+        debug_assert_eq!(
+            results.len() + quarantined.len(),
+            n,
+            "every job is either completed or quarantined"
+        );
         self.record_metrics(n, jobs_cached, jobs_run, &results);
+        let m = &self.obs.metrics;
+        if m.is_enabled() {
+            m.counter("engine_retries_total", "Supervisor retry dispatches")
+                .add(supervised.retries as u64);
+            m.counter(
+                "engine_quarantined_total",
+                "Jobs that exhausted their retry budget",
+            )
+            .add(quarantined.len() as u64);
+            m.counter(
+                "engine_artifacts_corrupt_total",
+                "Cache artifacts that failed their checksum",
+            )
+            .add(artifacts_corrupt as u64);
+            m.counter(
+                "engine_jobs_resumed_total",
+                "Jobs restored from a checkpoint manifest",
+            )
+            .add(jobs_resumed as u64);
+        }
         Ok(SessionReport {
             scenario: scenario.name.clone(),
             results,
+            quarantined,
             counters: EngineCounters {
                 threads: self.threads,
                 jobs_total: n,
                 jobs_cached,
                 jobs_run,
+                jobs_resumed,
+                jobs_quarantined: 0,
+                retries: supervised.retries,
+                artifacts_corrupt,
                 expand_ms,
                 probe_ms,
                 execute_ms,
                 persist_ms,
                 total_ms: ms_since(t_total),
             },
-        })
+        }
+        .finalise())
+    }
+
+    fn record_supervisor_event(&self, flight: &obs::RunLog, event: &SupervisorEvent) {
+        if !flight.is_enabled() {
+            return;
+        }
+        match event {
+            SupervisorEvent::AttemptFailed {
+                index,
+                attempt,
+                panicked: true,
+                message,
+            } => flight.record(obs::FlightEvent::JobPanicked {
+                index: *index,
+                attempt: *attempt,
+                message: message.clone(),
+            }),
+            SupervisorEvent::AttemptFailed { .. } => {}
+            SupervisorEvent::Retried { index, attempt } => {
+                flight.record(obs::FlightEvent::JobRetried {
+                    index: *index,
+                    attempt: *attempt,
+                });
+            }
+            SupervisorEvent::Quarantined { .. } => {}
+        }
     }
 
     fn record_stage(&self, name: &'static str, ms: f64) {
@@ -601,6 +845,113 @@ impl Session {
             }
         }
     }
+}
+
+impl SessionReport {
+    /// Syncs derived counters after assembly.
+    fn finalise(mut self) -> SessionReport {
+        self.counters.jobs_quarantined = self.quarantined.len();
+        self
+    }
+}
+
+/// Checkpoint manifest: one append-only file per (cache, scenario)
+/// recording which jobs have been persisted, so a killed sweep resumes
+/// from its last completed job instead of from zero.
+///
+/// The format is deliberately plain text (`done <index> <key>` lines
+/// under a `boreas-manifest v1 jobs=<n>` header) rather than JSON: it
+/// must stay parseable after a mid-write kill, and the reader simply
+/// ignores a torn final line.
+struct Manifest {
+    file: Mutex<std::fs::File>,
+}
+
+const MANIFEST_MAGIC: &str = "boreas-manifest v1";
+
+/// The manifest lives next to the artifacts, keyed by the scenario's
+/// full provenance so two scenarios never share a checkpoint.
+fn manifest_path(cache: &ArtifactCache, scenario: &Scenario) -> Result<PathBuf> {
+    let key = ArtifactCache::key_for(scenario)?;
+    Ok(cache.root().join(format!("manifest-{key}.log")))
+}
+
+impl Manifest {
+    /// Starts a fresh manifest, truncating any previous checkpoint.
+    fn fresh(path: PathBuf, jobs: usize) -> Result<Manifest> {
+        let mut file =
+            std::fs::File::create(&path).map_err(|e| manifest_io(&path, "cannot create", &e))?;
+        writeln!(file, "{MANIFEST_MAGIC} jobs={jobs}")
+            .map_err(|e| manifest_io(&path, "cannot write header", &e))?;
+        Ok(Manifest {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Loads the completed-job set from an existing checkpoint and
+    /// reopens it for appending. A missing, header-less or
+    /// differently-sized manifest starts fresh (the scenario changed or
+    /// there is simply nothing to resume).
+    fn resume(path: PathBuf, jobs: usize) -> Result<(Manifest, HashSet<usize>)> {
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(_) => return Ok((Self::fresh(path, jobs)?, HashSet::new())),
+        };
+        let mut lines = raw.split('\n');
+        let header_ok = lines
+            .next()
+            .is_some_and(|h| h == format!("{MANIFEST_MAGIC} jobs={jobs}"));
+        if !header_ok {
+            return Ok((Self::fresh(path, jobs)?, HashSet::new()));
+        }
+        let mut done = HashSet::new();
+        for line in lines {
+            // `done <index> <key>`; torn or foreign lines are skipped —
+            // worst case the job reruns, which is merely slower.
+            let mut parts = line.split(' ');
+            if parts.next() != Some("done") {
+                continue;
+            }
+            let (Some(idx), Some(_key), None) = (parts.next(), parts.next(), parts.next()) else {
+                continue;
+            };
+            if let Ok(idx) = idx.parse::<usize>() {
+                if idx < jobs {
+                    done.insert(idx);
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| manifest_io(&path, "cannot reopen", &e))?;
+        Ok((
+            Manifest {
+                file: Mutex::new(file),
+            },
+            done,
+        ))
+    }
+
+    /// Appends one checkpoint line; a single `write` keeps the line
+    /// intact under concurrent appends from pool workers.
+    fn mark_done(&self, index: usize, key: &str) -> Result<()> {
+        let line = format!("done {index} {key}\n");
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| Error::io("session manifest", format!("cannot checkpoint: {e}")))
+    }
+}
+
+fn manifest_io(path: &std::path::Path, what: &str, e: &std::io::Error) -> Error {
+    Error::io(
+        "session manifest",
+        format!("{what} {}: {e}", path.display()),
+    )
 }
 
 /// Per-worker reusable state: controllers built once per thread, reset

@@ -2,9 +2,9 @@
 //! round-trips.
 
 use boreas_core::VfTable;
-use boreas_engine::{ControllerSpec, FaultCell, Scenario, Session};
+use boreas_engine::{ControllerSpec, FaultCell, RetryPolicy, Scenario, Session};
 use common::units::GigaHertz;
-use faults::{Fault, FaultKind, FaultPlan};
+use faults::{EngineFault, EngineFaultKind, EngineFaultPlan, Fault, FaultKind, FaultPlan};
 use hotgauge::PipelineConfig;
 use std::path::PathBuf;
 use workloads::WorkloadSpec;
@@ -13,6 +13,29 @@ fn scratch_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("boreas-engine-test-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// Silences the default panic hook for the panics these tests inject on
+/// purpose; everything else still prints.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                });
+            if !message.is_some_and(|m| m.contains("injected engine fault")) {
+                default(info);
+            }
+        }));
+    });
 }
 
 /// `true` when the JSON layer round-trips values (false under the
@@ -224,4 +247,193 @@ fn loop_rows_expose_paper_metrics() {
         assert!(row.fault.is_none());
         assert!(row.worst_stage.is_none(), "plain controllers have no stage");
     }
+}
+
+#[test]
+fn transient_injected_panic_is_absorbed_by_retry() {
+    quiet_injected_panics();
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let scenario = Scenario::severity_sweep("retry-absorb", two_workloads(), small_vf(), 24);
+
+    let clean = Session::without_cache(pipeline.clone())
+        .threads(2)
+        .run(&scenario)
+        .expect("clean run");
+
+    // Job 0 panics on its first attempt only; the default policy (two
+    // attempts) absorbs it.
+    let plan = EngineFaultPlan::new(11)
+        .with(EngineFault::new(EngineFaultKind::JobPanic { fail_attempts: 1 }).on_job(0));
+    let faulted = Session::without_cache(pipeline)
+        .threads(2)
+        .inject_engine_faults(plan)
+        .run(&scenario)
+        .expect("faulted run");
+
+    assert!(faulted.is_complete(), "retry must absorb the panic");
+    assert_eq!(faulted.counters.retries, 1);
+    assert_eq!(
+        faulted.results, clean.results,
+        "results unchanged by the fault"
+    );
+    assert_eq!(
+        faulted.results_json().unwrap(),
+        clean.results_json().unwrap(),
+        "byte-identical serialised results"
+    );
+}
+
+#[test]
+fn persistent_panic_quarantines_one_job_and_keeps_the_rest() {
+    quiet_injected_panics();
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let scenario = Scenario::severity_sweep("quarantine", two_workloads(), small_vf(), 24);
+    let n = 2 * small_vf().len();
+
+    let clean = Session::without_cache(pipeline.clone())
+        .threads(2)
+        .run(&scenario)
+        .expect("clean run");
+
+    let plan = EngineFaultPlan::new(11).with(
+        EngineFault::new(EngineFaultKind::JobPanic {
+            fail_attempts: usize::MAX,
+        })
+        .on_job(0),
+    );
+    let faulted = Session::without_cache(pipeline)
+        .threads(2)
+        .retry_policy(RetryPolicy::default().with_max_attempts(3))
+        .inject_engine_faults(plan)
+        .run(&scenario)
+        .expect("sweep must survive the bad job");
+
+    assert_eq!(faulted.quarantined.len(), 1);
+    let q = &faulted.quarantined[0];
+    assert_eq!(q.index, 0);
+    assert_eq!(q.attempts, 3);
+    assert!(q.panicked);
+    assert!(q.error.contains("injected engine fault"), "{}", q.error);
+    assert_eq!(faulted.counters.jobs_quarantined, 1);
+    assert_eq!(faulted.counters.retries, 2);
+    assert_eq!(faulted.results.len(), n - 1, "every other row survives");
+    assert_eq!(faulted.results[..], clean.results[1..]);
+    assert!(
+        faulted.sweep_table(&scenario).is_err(),
+        "an incomplete grid must refuse to become a sweep table"
+    );
+}
+
+#[test]
+fn corrupt_artifact_is_quarantined_and_recomputed() {
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let scenario = Scenario::severity_sweep("corrupt-rt", two_workloads(), small_vf(), 24);
+    let dir = scratch_dir("corrupt");
+    let n = 2 * small_vf().len();
+
+    let cold = Session::with_cache_dir(pipeline.clone(), &dir)
+        .expect("open cache")
+        .run(&scenario)
+        .expect("cold run");
+    assert!(cold.is_complete());
+    assert_eq!(cold.counters.artifacts_corrupt, 0, "cold cache is pristine");
+
+    // Flip one bit in one persisted artifact (deterministically the
+    // lexicographically first), emulating on-disk rot.
+    let mut artifacts: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            !name.starts_with("manifest-") && !name.contains(".tmp.") && !name.ends_with(".corrupt")
+        })
+        .collect();
+    artifacts.sort();
+    let victim = artifacts.first().expect("at least one artifact");
+    let mut bytes = std::fs::read(victim).expect("read artifact");
+    *bytes.last_mut().expect("non-empty artifact") ^= 0x01;
+    std::fs::write(victim, &bytes).expect("write damage");
+
+    // The warm probe's checksum catches the damage, quarantines the file
+    // and recomputes that one job; the rows come out identical.
+    let warm_session = Session::with_cache_dir(pipeline, &dir).expect("reopen cache");
+    let warm = warm_session.run(&scenario).expect("warm run");
+    assert_eq!(
+        warm.counters.artifacts_corrupt, 1,
+        "exactly one corrupt artifact"
+    );
+    assert_eq!(
+        warm_session.cache().expect("cache").corrupt(),
+        1,
+        "cache-level corruption counter agrees"
+    );
+    assert_eq!(warm.results, cold.results);
+    if json_works() {
+        assert_eq!(warm.counters.jobs_cached, n - 1);
+        assert_eq!(warm.counters.jobs_run, 1, "only the damaged job reruns");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_run_resumes_to_byte_identical_results() {
+    quiet_injected_panics();
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let scenario = Scenario::severity_sweep("resume-rt", two_workloads(), small_vf(), 24);
+    let dir = scratch_dir("resume");
+    let n = 2 * small_vf().len();
+
+    let clean = Session::without_cache(pipeline.clone())
+        .threads(2)
+        .run(&scenario)
+        .expect("uninterrupted reference run");
+
+    // Emulate a mid-sweep crash: job 2 "dies" every attempt, so the
+    // first run checkpoints every job except job 2.
+    let plan = EngineFaultPlan::new(29).with(
+        EngineFault::new(EngineFaultKind::JobPanic {
+            fail_attempts: usize::MAX,
+        })
+        .on_job(2),
+    );
+    let interrupted = Session::with_cache_dir(pipeline.clone(), &dir)
+        .expect("open cache")
+        .retry_policy(RetryPolicy::no_retries())
+        .inject_engine_faults(plan)
+        .run(&scenario)
+        .expect("interrupted run");
+    assert_eq!(interrupted.quarantined.len(), 1);
+    assert_eq!(interrupted.results.len(), n - 1);
+
+    // A fresh, healthy session resumes: everything previously
+    // checkpointed is restored, only the missing job is simulated, and
+    // the rows are byte-identical to the uninterrupted run.
+    let resumed = Session::with_cache_dir(pipeline, &dir)
+        .expect("reopen cache")
+        .resume(&scenario)
+        .expect("resumed run");
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.results, clean.results);
+    assert_eq!(
+        resumed.results_json().unwrap(),
+        clean.results_json().unwrap(),
+        "resume must reproduce the uninterrupted bytes"
+    );
+    if json_works() {
+        assert_eq!(resumed.counters.jobs_resumed, n - 1);
+        assert_eq!(resumed.counters.jobs_run, 1);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_cache_is_rejected() {
+    let pipeline = PipelineConfig::paper().build().expect("pipeline");
+    let scenario = Scenario::severity_sweep("no-cache", two_workloads(), small_vf(), 24);
+    let err = Session::without_cache(pipeline)
+        .resume(&scenario)
+        .expect_err("resume needs a cache");
+    assert!(err.to_string().contains("artifact cache"), "{err}");
 }

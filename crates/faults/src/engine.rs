@@ -1,0 +1,223 @@
+//! Engine-level fault injection: attack the *runtime* instead of the
+//! telemetry.
+//!
+//! PR 1's [`crate::FaultPlan`] corrupts what a controller observes;
+//! an [`EngineFaultPlan`] corrupts how the experiment engine itself
+//! behaves — panicking jobs mid-flight and flipping bits in persisted
+//! artifacts — so the supervision layer (panic isolation, deterministic
+//! retry, checksum quarantine) can be exercised end-to-end by the
+//! `fault_campaign` binary rather than trusted on unit tests alone.
+//!
+//! Decisions are stateless functions of `(seed, fault, job, attempt)`
+//! via [`common::rng::SplitMix64`], mirroring the telemetry plan: the
+//! same plan injects the same faults into the same jobs on every run,
+//! whatever the thread count. Because a supervised engine *retries*
+//! panicked jobs, a [`EngineFaultKind::JobPanic`] carries the attempt
+//! bound below which it keeps firing — `fail_attempts: 1` models a
+//! transient crash absorbed by one retry, while a bound at or above the
+//! retry budget models a poisoned job that must be quarantined.
+
+use common::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// What kind of engine failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EngineFaultKind {
+    /// Panic inside the job body while `attempt < fail_attempts`.
+    JobPanic {
+        /// Number of leading attempts that panic; later attempts run
+        /// clean, so the retry layer can absorb the fault.
+        fail_attempts: usize,
+    },
+    /// Flip one bit of the job's persisted artifact after it is
+    /// written, so the next integrity-checked read must quarantine it.
+    ArtifactBitFlip,
+}
+
+impl EngineFaultKind {
+    /// Short label for logs and flight events.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineFaultKind::JobPanic { .. } => "job-panic",
+            EngineFaultKind::ArtifactBitFlip => "artifact-bit-flip",
+        }
+    }
+}
+
+/// One engine fault: a kind, an optional job target and a firing
+/// probability for untargeted faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineFault {
+    /// The failure to inject.
+    pub kind: EngineFaultKind,
+    /// Job index (expansion order) this fault is pinned to; `None`
+    /// makes it probabilistic across every job.
+    pub target: Option<usize>,
+    /// Per-job firing probability when untargeted (targeted faults
+    /// always fire on their job). Clamped to [0, 1].
+    pub probability: f64,
+}
+
+impl EngineFault {
+    /// A fault of `kind` that fires on every job.
+    pub fn new(kind: EngineFaultKind) -> EngineFault {
+        EngineFault {
+            kind,
+            target: None,
+            probability: 1.0,
+        }
+    }
+
+    /// Pins the fault to one job index.
+    #[must_use]
+    pub fn on_job(mut self, index: usize) -> EngineFault {
+        self.target = Some(index);
+        self
+    }
+
+    /// Sets the per-job firing probability (untargeted faults only).
+    #[must_use]
+    pub fn with_probability(mut self, p: f64) -> EngineFault {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// A seeded, replayable set of engine faults.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EngineFaultPlan {
+    seed: u64,
+    faults: Vec<EngineFault>,
+}
+
+impl EngineFaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> EngineFaultPlan {
+        EngineFaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builder: adds one fault.
+    #[must_use]
+    pub fn with(mut self, fault: EngineFault) -> EngineFaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured faults.
+    pub fn faults(&self) -> &[EngineFault] {
+        &self.faults
+    }
+
+    /// `true` when no fault is configured.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Stateless per-(fault, job) decision stream, mirroring
+    /// [`crate::FaultPlan`]'s `(seed, fault, step, lane)` derivation.
+    fn stream(&self, fault_idx: usize, job: usize, lane: u64) -> SplitMix64 {
+        let mut h = SplitMix64::new(self.seed);
+        let mut absorb = |v: u64| {
+            let mixed = h.next_u64() ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = SplitMix64::new(mixed);
+        };
+        absorb(fault_idx as u64);
+        absorb(job as u64);
+        absorb(lane);
+        h
+    }
+
+    fn fires(&self, fault_idx: usize, fault: &EngineFault, job: usize) -> bool {
+        match fault.target {
+            Some(t) => t == job,
+            None => {
+                fault.probability > 0.0
+                    && self.stream(fault_idx, job, 0).next_f64() < fault.probability
+            }
+        }
+    }
+
+    /// The panic message to raise for `(job, attempt)`, when a
+    /// [`EngineFaultKind::JobPanic`] fault fires there.
+    pub fn panic_for(&self, job: usize, attempt: usize) -> Option<String> {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if let EngineFaultKind::JobPanic { fail_attempts } = fault.kind {
+                if attempt < fail_attempts && self.fires(i, fault, job) {
+                    return Some(format!(
+                        "injected engine fault: job panic (job {job}, attempt {attempt})"
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// A deterministic corruption seed for `job`'s freshly persisted
+    /// artifact, when an [`EngineFaultKind::ArtifactBitFlip`] fires.
+    pub fn bitflip_for(&self, job: usize) -> Option<u64> {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if matches!(fault.kind, EngineFaultKind::ArtifactBitFlip) && self.fires(i, fault, job) {
+                return Some(self.stream(i, job, 1).next_u64());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_panic_fires_only_on_its_job_and_attempts() {
+        let plan = EngineFaultPlan::new(7)
+            .with(EngineFault::new(EngineFaultKind::JobPanic { fail_attempts: 2 }).on_job(3));
+        assert!(plan.panic_for(3, 0).is_some());
+        assert!(plan.panic_for(3, 1).is_some());
+        assert!(plan.panic_for(3, 2).is_none(), "third attempt runs clean");
+        assert!(plan.panic_for(2, 0).is_none());
+        assert!(plan.panic_for(4, 0).is_none());
+    }
+
+    #[test]
+    fn probabilistic_faults_replay_identically() {
+        let plan = EngineFaultPlan::new(2023).with(
+            EngineFault::new(EngineFaultKind::JobPanic { fail_attempts: 1 }).with_probability(0.5),
+        );
+        let a: Vec<bool> = (0..64).map(|j| plan.panic_for(j, 0).is_some()).collect();
+        let b: Vec<bool> = (0..64).map(|j| plan.panic_for(j, 0).is_some()).collect();
+        assert_eq!(a, b, "stateless decisions replay bit-identically");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            (10..55).contains(&fired),
+            "p=0.5 over 64 jobs fired {fired} times"
+        );
+    }
+
+    #[test]
+    fn different_seeds_pick_different_victims() {
+        let mk = |seed| {
+            EngineFaultPlan::new(seed)
+                .with(EngineFault::new(EngineFaultKind::ArtifactBitFlip).with_probability(0.3))
+        };
+        let a: Vec<bool> = (0..128).map(|j| mk(1).bitflip_for(j).is_some()).collect();
+        let b: Vec<bool> = (0..128).map(|j| mk(2).bitflip_for(j).is_some()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = EngineFaultPlan::new(5);
+        assert!(plan.is_empty());
+        assert!(plan.panic_for(0, 0).is_none());
+        assert!(plan.bitflip_for(0).is_none());
+    }
+}

@@ -21,9 +21,18 @@
 //! `fault_campaign` bench binary sweeps fault type × rate to compare a
 //! plain controller against its
 //! [`boreas_core::ResilientController`]-wrapped counterpart.
+//!
+//! Beyond the telemetry path, [`EngineFaultPlan`] (the [`engine`]
+//! module) targets the *execution runtime itself* — injected job panics
+//! and artifact bit flips — to exercise the engine's supervision layer:
+//! retry, quarantine and checksum-verified caching. Engine faults never
+//! feed into cache keys or results; they only change how often a job has
+//! to try.
 
+pub mod engine;
 pub mod inject;
 pub mod plan;
 
+pub use engine::{EngineFault, EngineFaultKind, EngineFaultPlan};
 pub use inject::{FaultInjector, FaultySensorBank};
 pub use plan::{Fault, FaultKind, FaultPlan, FaultTarget, StepWindow};

@@ -175,6 +175,33 @@ fn event_line(ev: &RecordedEvent) -> String {
                 None => "null".to_string(),
             }
         ),
+        FlightEvent::JobPanicked {
+            index,
+            attempt,
+            message,
+        } => format!(
+            "{{\"type\":\"event\",\"event\":\"job_panicked\",\"seq\":{},{run},\"index\":{},\"attempt\":{},\"message\":\"{}\"}}",
+            ev.seq,
+            index,
+            attempt,
+            escape_json(message)
+        ),
+        FlightEvent::JobRetried { index, attempt } => format!(
+            "{{\"type\":\"event\",\"event\":\"job_retried\",\"seq\":{},{run},\"index\":{},\"attempt\":{}}}",
+            ev.seq, index, attempt
+        ),
+        FlightEvent::ArtifactCorrupt { key } => format!(
+            "{{\"type\":\"event\",\"event\":\"artifact_corrupt\",\"seq\":{},{run},\"key\":\"{}\"}}",
+            ev.seq,
+            escape_json(key)
+        ),
+        FlightEvent::Resumed {
+            jobs_resumed,
+            jobs_total,
+        } => format!(
+            "{{\"type\":\"event\",\"event\":\"resumed\",\"seq\":{},{run},\"jobs_resumed\":{},\"jobs_total\":{}}}",
+            ev.seq, jobs_resumed, jobs_total
+        ),
     }
 }
 
@@ -308,6 +335,38 @@ mod tests {
         assert!(lines[1].contains("\"workload\":\"gcc \\\"x\\\"\""));
         assert!(lines[1].contains("\"predicted_severity\":null"));
         assert!(lines[2].starts_with("{\"type\":\"metric\""));
+    }
+
+    #[test]
+    fn supervision_events_render_as_jsonl() {
+        let obs = Obs::new();
+        let run = obs.flight.run("fig8", "engine");
+        run.record(FlightEvent::JobPanicked {
+            index: 7,
+            attempt: 0,
+            message: "injected engine fault: job panic".into(),
+        });
+        run.record(FlightEvent::JobRetried {
+            index: 7,
+            attempt: 1,
+        });
+        run.record(FlightEvent::ArtifactCorrupt {
+            key: "deadbeef".into(),
+        });
+        run.record(FlightEvent::Resumed {
+            jobs_resumed: 12,
+            jobs_total: 54,
+        });
+        let text = to_jsonl(&obs.metrics.snapshot(), &obs.tracer.stats(), &obs.flight);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"event\":\"job_panicked\""));
+        assert!(lines[0].contains("\"attempt\":0"));
+        assert!(lines[1].contains("\"event\":\"job_retried\""));
+        assert!(lines[2].contains("\"event\":\"artifact_corrupt\""));
+        assert!(lines[2].contains("\"key\":\"deadbeef\""));
+        assert!(lines[3].contains("\"event\":\"resumed\""));
+        assert!(lines[3].contains("\"jobs_resumed\":12"));
     }
 
     #[test]

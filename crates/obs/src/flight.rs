@@ -61,6 +61,36 @@ pub enum FlightEvent {
         /// Sensor lane, for sensor faults.
         sensor: Option<usize>,
     },
+    /// An engine job panicked and was contained by the pool.
+    JobPanicked {
+        /// Job index in the scenario's expansion order.
+        index: usize,
+        /// 0-based attempt that panicked.
+        attempt: usize,
+        /// Downcast panic message.
+        message: String,
+    },
+    /// A failed engine job was re-dispatched by the supervisor.
+    JobRetried {
+        /// Job index in the scenario's expansion order.
+        index: usize,
+        /// 0-based attempt about to run.
+        attempt: usize,
+    },
+    /// An integrity-checked cache read found a corrupt artifact and
+    /// quarantined it.
+    ArtifactCorrupt {
+        /// Content key of the damaged artifact.
+        key: String,
+    },
+    /// A session resumed from a checkpoint manifest instead of starting
+    /// cold.
+    Resumed {
+        /// Jobs restored from the manifest + cache.
+        jobs_resumed: usize,
+        /// Total jobs in the scenario.
+        jobs_total: usize,
+    },
 }
 
 /// A recorded event together with its run and sequence number.

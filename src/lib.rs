@@ -105,8 +105,13 @@ pub mod prelude {
     pub use common::time::SimTime;
     pub use common::units::{Celsius, GigaHertz, Volts, Watts};
     pub use common::Result;
-    pub use engine::{ControllerSpec, FaultCell, Scenario, Session, SessionReport};
-    pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan, FaultySensorBank};
+    pub use engine::{
+        ControllerSpec, FaultCell, QuarantinedJob, RetryPolicy, Scenario, Session, SessionReport,
+    };
+    pub use faults::{
+        EngineFault, EngineFaultKind, EngineFaultPlan, Fault, FaultInjector, FaultKind, FaultPlan,
+        FaultySensorBank,
+    };
     pub use gbt::{GbtModel, GbtParams};
     pub use hotgauge::{Pipeline, PipelineConfig, Severity, SeverityParams};
     pub use obs::{FlightEvent, FlightRecorder, Obs, Registry, Tracer};
