@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_floorplan_scaling-0d99a48150f2b6c3.d: crates/bench/src/bin/ablation_floorplan_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_floorplan_scaling-0d99a48150f2b6c3.rmeta: crates/bench/src/bin/ablation_floorplan_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_floorplan_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

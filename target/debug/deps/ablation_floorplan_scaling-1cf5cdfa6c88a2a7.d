@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_floorplan_scaling-1cf5cdfa6c88a2a7.d: crates/bench/src/bin/ablation_floorplan_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_floorplan_scaling-1cf5cdfa6c88a2a7.rmeta: crates/bench/src/bin/ablation_floorplan_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_floorplan_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_floorplan_scaling-25312838c424dda8.d: crates/bench/src/bin/ablation_floorplan_scaling.rs
+
+/root/repo/target/debug/deps/ablation_floorplan_scaling-25312838c424dda8: crates/bench/src/bin/ablation_floorplan_scaling.rs
+
+crates/bench/src/bin/ablation_floorplan_scaling.rs:

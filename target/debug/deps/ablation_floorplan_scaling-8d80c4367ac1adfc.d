@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_floorplan_scaling-8d80c4367ac1adfc.d: crates/bench/src/bin/ablation_floorplan_scaling.rs
+
+/root/repo/target/debug/deps/ablation_floorplan_scaling-8d80c4367ac1adfc: crates/bench/src/bin/ablation_floorplan_scaling.rs
+
+crates/bench/src/bin/ablation_floorplan_scaling.rs:

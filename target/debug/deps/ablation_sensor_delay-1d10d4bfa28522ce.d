@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sensor_delay-1d10d4bfa28522ce.d: crates/bench/src/bin/ablation_sensor_delay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sensor_delay-1d10d4bfa28522ce.rmeta: crates/bench/src/bin/ablation_sensor_delay.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sensor_delay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

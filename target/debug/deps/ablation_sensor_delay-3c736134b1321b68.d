@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sensor_delay-3c736134b1321b68.d: crates/bench/src/bin/ablation_sensor_delay.rs
+
+/root/repo/target/debug/deps/ablation_sensor_delay-3c736134b1321b68: crates/bench/src/bin/ablation_sensor_delay.rs
+
+crates/bench/src/bin/ablation_sensor_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sensor_delay-d0e0220df9cd9134.d: crates/bench/src/bin/ablation_sensor_delay.rs
+
+/root/repo/target/debug/deps/ablation_sensor_delay-d0e0220df9cd9134: crates/bench/src/bin/ablation_sensor_delay.rs
+
+crates/bench/src/bin/ablation_sensor_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_cochran_reda-345f1df458a41b28.d: crates/bench/src/bin/baseline_cochran_reda.rs
+
+/root/repo/target/debug/deps/baseline_cochran_reda-345f1df458a41b28: crates/bench/src/bin/baseline_cochran_reda.rs
+
+crates/bench/src/bin/baseline_cochran_reda.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_cochran_reda-bcf932eb48b42b51.d: crates/bench/src/bin/baseline_cochran_reda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_cochran_reda-bcf932eb48b42b51.rmeta: crates/bench/src/bin/baseline_cochran_reda.rs Cargo.toml
+
+crates/bench/src/bin/baseline_cochran_reda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

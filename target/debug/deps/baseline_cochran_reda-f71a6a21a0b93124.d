@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_cochran_reda-f71a6a21a0b93124.d: crates/bench/src/bin/baseline_cochran_reda.rs
+
+/root/repo/target/debug/deps/baseline_cochran_reda-f71a6a21a0b93124: crates/bench/src/bin/baseline_cochran_reda.rs
+
+crates/bench/src/bin/baseline_cochran_reda.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_hotpath-1121008883b50bbf.d: crates/bench/src/bin/bench_hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_hotpath-1121008883b50bbf.rmeta: crates/bench/src/bin/bench_hotpath.rs Cargo.toml
+
+crates/bench/src/bin/bench_hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_hotpath-37f8279ec89d00cd.d: crates/bench/src/bin/bench_hotpath.rs
+
+/root/repo/target/debug/deps/bench_hotpath-37f8279ec89d00cd: crates/bench/src/bin/bench_hotpath.rs
+
+crates/bench/src/bin/bench_hotpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_hotpath-65e6c55aafde89ce.d: crates/bench/src/bin/bench_hotpath.rs
+
+/root/repo/target/debug/deps/bench_hotpath-65e6c55aafde89ce: crates/bench/src/bin/bench_hotpath.rs
+
+crates/bench/src/bin/bench_hotpath.rs:

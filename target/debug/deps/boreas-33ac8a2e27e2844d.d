@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/boreas-33ac8a2e27e2844d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libboreas-33ac8a2e27e2844d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libboreas-33ac8a2e27e2844d.rmeta: src/lib.rs
+
+src/lib.rs:

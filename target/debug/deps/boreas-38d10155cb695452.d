@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas-38d10155cb695452.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas-38d10155cb695452.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

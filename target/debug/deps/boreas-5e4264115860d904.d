@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/boreas-5e4264115860d904.d: src/lib.rs
+
+/root/repo/target/debug/deps/libboreas-5e4264115860d904.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libboreas-5e4264115860d904.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/boreas-7ecd265b215cee34.d: src/lib.rs
+
+/root/repo/target/debug/deps/boreas-7ecd265b215cee34: src/lib.rs
+
+src/lib.rs:

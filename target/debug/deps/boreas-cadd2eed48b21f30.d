@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas-cadd2eed48b21f30.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas-cadd2eed48b21f30.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_baselines-1259d872c682ae95.d: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs
+
+/root/repo/target/debug/deps/libboreas_baselines-1259d872c682ae95.rlib: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs
+
+/root/repo/target/debug/deps/libboreas_baselines-1259d872c682ae95.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cochran_reda.rs:
+crates/baselines/src/kmeans.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/pca.rs:

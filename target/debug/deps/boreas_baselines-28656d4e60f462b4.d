@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas_baselines-28656d4e60f462b4.d: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs
+
+/root/repo/target/debug/deps/boreas_baselines-28656d4e60f462b4: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cochran_reda.rs:
+crates/baselines/src/kmeans.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/pca.rs:

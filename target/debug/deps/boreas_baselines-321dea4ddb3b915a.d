@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/boreas_baselines-321dea4ddb3b915a.d: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_baselines-321dea4ddb3b915a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cochran_reda.rs:
+crates/baselines/src/kmeans.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/pca.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

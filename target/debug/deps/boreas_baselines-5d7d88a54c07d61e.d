@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/boreas_baselines-5d7d88a54c07d61e.d: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_baselines-5d7d88a54c07d61e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cochran_reda.rs:
+crates/baselines/src/kmeans.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/pca.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

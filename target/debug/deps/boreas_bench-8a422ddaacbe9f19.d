@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/boreas_bench-8a422ddaacbe9f19.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libboreas_bench-8a422ddaacbe9f19.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_bench-9d98aea1cfe8c54e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_bench-9d98aea1cfe8c54e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

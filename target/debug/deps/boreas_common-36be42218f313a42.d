@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_common-36be42218f313a42.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+/root/repo/target/debug/deps/libboreas_common-36be42218f313a42.rlib: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+/root/repo/target/debug/deps/libboreas_common-36be42218f313a42.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/time.rs:
+crates/common/src/units.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_common-48c4b155820f5e70.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+/root/repo/target/debug/deps/boreas_common-48c4b155820f5e70: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/time.rs:
+crates/common/src/units.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_common-b8b0641bb3337fd8.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+/root/repo/target/debug/deps/libboreas_common-b8b0641bb3337fd8.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/time.rs:
+crates/common/src/units.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/boreas_common-c2420d4c825bb41e.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_common-c2420d4c825bb41e.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/time.rs:
+crates/common/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

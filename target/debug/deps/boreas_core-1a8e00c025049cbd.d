@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/boreas_core-1a8e00c025049cbd.d: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+/root/repo/target/debug/deps/libboreas_core-1a8e00c025049cbd.rlib: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+/root/repo/target/debug/deps/libboreas_core-1a8e00c025049cbd.rmeta: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+crates/boreas-core/src/lib.rs:
+crates/boreas-core/src/controller.rs:
+crates/boreas-core/src/critical.rs:
+crates/boreas-core/src/oracle.rs:
+crates/boreas-core/src/resilient.rs:
+crates/boreas-core/src/runner.rs:
+crates/boreas-core/src/training.rs:
+crates/boreas-core/src/vf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/boreas_core-482ff105f1a3ce3d.d: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+/root/repo/target/debug/deps/libboreas_core-482ff105f1a3ce3d.rlib: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+/root/repo/target/debug/deps/libboreas_core-482ff105f1a3ce3d.rmeta: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+crates/boreas-core/src/lib.rs:
+crates/boreas-core/src/controller.rs:
+crates/boreas-core/src/critical.rs:
+crates/boreas-core/src/oracle.rs:
+crates/boreas-core/src/resilient.rs:
+crates/boreas-core/src/runner.rs:
+crates/boreas-core/src/training.rs:
+crates/boreas-core/src/vf.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/boreas_core-50e4e5825bf96f04.d: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_core-50e4e5825bf96f04.rmeta: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs Cargo.toml
+
+crates/boreas-core/src/lib.rs:
+crates/boreas-core/src/controller.rs:
+crates/boreas-core/src/critical.rs:
+crates/boreas-core/src/oracle.rs:
+crates/boreas-core/src/resilient.rs:
+crates/boreas-core/src/runner.rs:
+crates/boreas-core/src/training.rs:
+crates/boreas-core/src/vf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_core-bfdbe44c2c484566.d: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+/root/repo/target/debug/deps/boreas_core-bfdbe44c2c484566: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+crates/boreas-core/src/lib.rs:
+crates/boreas-core/src/controller.rs:
+crates/boreas-core/src/critical.rs:
+crates/boreas-core/src/oracle.rs:
+crates/boreas-core/src/resilient.rs:
+crates/boreas-core/src/runner.rs:
+crates/boreas-core/src/training.rs:
+crates/boreas-core/src/vf.rs:

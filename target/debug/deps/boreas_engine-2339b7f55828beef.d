@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/boreas_engine-2339b7f55828beef.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/pool.rs crates/engine/src/scenario.rs crates/engine/src/session.rs crates/engine/src/supervisor.rs
+
+/root/repo/target/debug/deps/boreas_engine-2339b7f55828beef: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/pool.rs crates/engine/src/scenario.rs crates/engine/src/session.rs crates/engine/src/supervisor.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/pool.rs:
+crates/engine/src/scenario.rs:
+crates/engine/src/session.rs:
+crates/engine/src/supervisor.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/engine
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/boreas_engine-db4d6d4c43541842.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/pool.rs crates/engine/src/scenario.rs crates/engine/src/session.rs crates/engine/src/supervisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_engine-db4d6d4c43541842.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/pool.rs crates/engine/src/scenario.rs crates/engine/src/session.rs crates/engine/src/supervisor.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/pool.rs:
+crates/engine/src/scenario.rs:
+crates/engine/src/session.rs:
+crates/engine/src/supervisor.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/engine
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

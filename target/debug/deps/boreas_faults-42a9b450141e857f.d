@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_faults-42a9b450141e857f.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libboreas_faults-42a9b450141e857f.rlib: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libboreas_faults-42a9b450141e857f.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:

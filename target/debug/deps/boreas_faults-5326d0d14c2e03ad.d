@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_faults-5326d0d14c2e03ad.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_faults-5326d0d14c2e03ad.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/boreas_faults-98c7e10e3f8bc4bd.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libboreas_faults-98c7e10e3f8bc4bd.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:

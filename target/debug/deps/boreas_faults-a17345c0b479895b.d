@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_faults-a17345c0b479895b.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_faults-a17345c0b479895b.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

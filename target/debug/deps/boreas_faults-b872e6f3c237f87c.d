@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_faults-b872e6f3c237f87c.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libboreas_faults-b872e6f3c237f87c.rlib: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libboreas_faults-b872e6f3c237f87c.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/boreas_faults-d2581fd9a6155fbb.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/boreas_faults-d2581fd9a6155fbb: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_floorplan-06553d6e182c2a64.d: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs
+
+/root/repo/target/debug/deps/libboreas_floorplan-06553d6e182c2a64.rlib: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs
+
+/root/repo/target/debug/deps/libboreas_floorplan-06553d6e182c2a64.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/grid.rs:
+crates/floorplan/src/placement.rs:
+crates/floorplan/src/plan.rs:
+crates/floorplan/src/rect.rs:
+crates/floorplan/src/unit.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/boreas_floorplan-0941097ecaed0b94.d: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_floorplan-0941097ecaed0b94.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs Cargo.toml
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/grid.rs:
+crates/floorplan/src/placement.rs:
+crates/floorplan/src/plan.rs:
+crates/floorplan/src/rect.rs:
+crates/floorplan/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_floorplan-65b427d6c7e632cb.d: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs
+
+/root/repo/target/debug/deps/libboreas_floorplan-65b427d6c7e632cb.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/grid.rs:
+crates/floorplan/src/placement.rs:
+crates/floorplan/src/plan.rs:
+crates/floorplan/src/rect.rs:
+crates/floorplan/src/unit.rs:

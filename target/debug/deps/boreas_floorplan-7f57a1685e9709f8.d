@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/boreas_floorplan-7f57a1685e9709f8.d: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_floorplan-7f57a1685e9709f8.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs Cargo.toml
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/grid.rs:
+crates/floorplan/src/placement.rs:
+crates/floorplan/src/plan.rs:
+crates/floorplan/src/rect.rs:
+crates/floorplan/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/boreas_gbt-00dd07a2ca4ef566.d: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+/root/repo/target/debug/deps/libboreas_gbt-00dd07a2ca4ef566.rlib: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+/root/repo/target/debug/deps/libboreas_gbt-00dd07a2ca4ef566.rmeta: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+crates/gbt/src/lib.rs:
+crates/gbt/src/cv.rs:
+crates/gbt/src/dataset.rs:
+crates/gbt/src/flat.rs:
+crates/gbt/src/model.rs:
+crates/gbt/src/params.rs:
+crates/gbt/src/tree.rs:

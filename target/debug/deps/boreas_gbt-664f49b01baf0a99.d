@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_gbt-664f49b01baf0a99.d: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+/root/repo/target/debug/deps/boreas_gbt-664f49b01baf0a99: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+crates/gbt/src/lib.rs:
+crates/gbt/src/cv.rs:
+crates/gbt/src/dataset.rs:
+crates/gbt/src/flat.rs:
+crates/gbt/src/model.rs:
+crates/gbt/src/params.rs:
+crates/gbt/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_gbt-8a24d3d8582d6181.d: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+/root/repo/target/debug/deps/libboreas_gbt-8a24d3d8582d6181.rmeta: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+crates/gbt/src/lib.rs:
+crates/gbt/src/cv.rs:
+crates/gbt/src/dataset.rs:
+crates/gbt/src/flat.rs:
+crates/gbt/src/model.rs:
+crates/gbt/src/params.rs:
+crates/gbt/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/boreas_gbt-b59d2e25b693636a.d: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_gbt-b59d2e25b693636a.rmeta: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs Cargo.toml
+
+crates/gbt/src/lib.rs:
+crates/gbt/src/cv.rs:
+crates/gbt/src/dataset.rs:
+crates/gbt/src/flat.rs:
+crates/gbt/src/model.rs:
+crates/gbt/src/params.rs:
+crates/gbt/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

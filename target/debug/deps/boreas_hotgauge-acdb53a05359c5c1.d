@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas_hotgauge-acdb53a05359c5c1.d: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+/root/repo/target/debug/deps/libboreas_hotgauge-acdb53a05359c5c1.rmeta: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+crates/hotgauge/src/lib.rs:
+crates/hotgauge/src/events.rs:
+crates/hotgauge/src/mltd.rs:
+crates/hotgauge/src/pipeline.rs:
+crates/hotgauge/src/severity.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_hotgauge-bff37cb0d2ede7e8.d: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+/root/repo/target/debug/deps/libboreas_hotgauge-bff37cb0d2ede7e8.rlib: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+/root/repo/target/debug/deps/libboreas_hotgauge-bff37cb0d2ede7e8.rmeta: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+crates/hotgauge/src/lib.rs:
+crates/hotgauge/src/events.rs:
+crates/hotgauge/src/mltd.rs:
+crates/hotgauge/src/pipeline.rs:
+crates/hotgauge/src/severity.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/boreas_hotgauge-c22f9f9a4305e70e.d: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_hotgauge-c22f9f9a4305e70e.rmeta: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs Cargo.toml
+
+crates/hotgauge/src/lib.rs:
+crates/hotgauge/src/events.rs:
+crates/hotgauge/src/mltd.rs:
+crates/hotgauge/src/pipeline.rs:
+crates/hotgauge/src/severity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_hotgauge-cdf1913c6a436dce.d: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+/root/repo/target/debug/deps/libboreas_hotgauge-cdf1913c6a436dce.rlib: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+/root/repo/target/debug/deps/libboreas_hotgauge-cdf1913c6a436dce.rmeta: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+crates/hotgauge/src/lib.rs:
+crates/hotgauge/src/events.rs:
+crates/hotgauge/src/mltd.rs:
+crates/hotgauge/src/pipeline.rs:
+crates/hotgauge/src/severity.rs:

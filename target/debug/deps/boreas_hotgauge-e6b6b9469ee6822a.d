@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas_hotgauge-e6b6b9469ee6822a.d: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+/root/repo/target/debug/deps/boreas_hotgauge-e6b6b9469ee6822a: crates/hotgauge/src/lib.rs crates/hotgauge/src/events.rs crates/hotgauge/src/mltd.rs crates/hotgauge/src/pipeline.rs crates/hotgauge/src/severity.rs
+
+crates/hotgauge/src/lib.rs:
+crates/hotgauge/src/events.rs:
+crates/hotgauge/src/mltd.rs:
+crates/hotgauge/src/pipeline.rs:
+crates/hotgauge/src/severity.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_obs-511dac1e2107a26b.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libboreas_obs-511dac1e2107a26b.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libboreas_obs-511dac1e2107a26b.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/flight.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/promlint.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_obs-5bc9d9f554eeef95.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libboreas_obs-5bc9d9f554eeef95.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/flight.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/promlint.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_obs-712b10a07c8845b7.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libboreas_obs-712b10a07c8845b7.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libboreas_obs-712b10a07c8845b7.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/flight.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/promlint.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/boreas_obs-fe36b65ebec4552d.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_obs-fe36b65ebec4552d.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/flight.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/promlint.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

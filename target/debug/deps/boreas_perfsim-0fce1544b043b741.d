@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_perfsim-0fce1544b043b741.d: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+/root/repo/target/debug/deps/libboreas_perfsim-0fce1544b043b741.rlib: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+/root/repo/target/debug/deps/libboreas_perfsim-0fce1544b043b741.rmeta: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/config.rs:
+crates/perfsim/src/core.rs:
+crates/perfsim/src/counters.rs:

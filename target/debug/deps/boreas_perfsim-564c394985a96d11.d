@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/boreas_perfsim-564c394985a96d11.d: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+/root/repo/target/debug/deps/boreas_perfsim-564c394985a96d11: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/config.rs:
+crates/perfsim/src/core.rs:
+crates/perfsim/src/counters.rs:

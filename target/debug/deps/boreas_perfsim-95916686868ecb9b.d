@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/boreas_perfsim-95916686868ecb9b.d: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+/root/repo/target/debug/deps/libboreas_perfsim-95916686868ecb9b.rmeta: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/config.rs:
+crates/perfsim/src/core.rs:
+crates/perfsim/src/counters.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_perfsim-ddd07821808f67dc.d: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+/root/repo/target/debug/deps/libboreas_perfsim-ddd07821808f67dc.rlib: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+/root/repo/target/debug/deps/libboreas_perfsim-ddd07821808f67dc.rmeta: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/config.rs:
+crates/perfsim/src/core.rs:
+crates/perfsim/src/counters.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_powersim-0bb17d96780e5662.d: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_powersim-0bb17d96780e5662.rmeta: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs Cargo.toml
+
+crates/powersim/src/lib.rs:
+crates/powersim/src/config.rs:
+crates/powersim/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/boreas_powersim-31ecf931879200dc.d: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+/root/repo/target/debug/deps/boreas_powersim-31ecf931879200dc: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+crates/powersim/src/lib.rs:
+crates/powersim/src/config.rs:
+crates/powersim/src/model.rs:

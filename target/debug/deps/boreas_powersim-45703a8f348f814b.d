@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/boreas_powersim-45703a8f348f814b.d: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+/root/repo/target/debug/deps/libboreas_powersim-45703a8f348f814b.rmeta: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+crates/powersim/src/lib.rs:
+crates/powersim/src/config.rs:
+crates/powersim/src/model.rs:

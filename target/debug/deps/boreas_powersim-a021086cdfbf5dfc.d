@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_powersim-a021086cdfbf5dfc.d: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_powersim-a021086cdfbf5dfc.rmeta: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs Cargo.toml
+
+crates/powersim/src/lib.rs:
+crates/powersim/src/config.rs:
+crates/powersim/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas_powersim-c7a3d21f81bfe619.d: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+/root/repo/target/debug/deps/libboreas_powersim-c7a3d21f81bfe619.rlib: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+/root/repo/target/debug/deps/libboreas_powersim-c7a3d21f81bfe619.rmeta: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+crates/powersim/src/lib.rs:
+crates/powersim/src/config.rs:
+crates/powersim/src/model.rs:

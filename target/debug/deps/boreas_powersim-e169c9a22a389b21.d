@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas_powersim-e169c9a22a389b21.d: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+/root/repo/target/debug/deps/libboreas_powersim-e169c9a22a389b21.rlib: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+/root/repo/target/debug/deps/libboreas_powersim-e169c9a22a389b21.rmeta: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+crates/powersim/src/lib.rs:
+crates/powersim/src/config.rs:
+crates/powersim/src/model.rs:

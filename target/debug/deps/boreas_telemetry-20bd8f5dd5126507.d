@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_telemetry-20bd8f5dd5126507.d: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+/root/repo/target/debug/deps/libboreas_telemetry-20bd8f5dd5126507.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+/root/repo/target/debug/deps/libboreas_telemetry-20bd8f5dd5126507.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/quality.rs:
+crates/telemetry/src/selection.rs:
+crates/telemetry/src/split.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_telemetry-4da50dd58b7db7a0.d: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+/root/repo/target/debug/deps/libboreas_telemetry-4da50dd58b7db7a0.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+/root/repo/target/debug/deps/libboreas_telemetry-4da50dd58b7db7a0.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/quality.rs:
+crates/telemetry/src/selection.rs:
+crates/telemetry/src/split.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_telemetry-4edda6de1996447e.d: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+/root/repo/target/debug/deps/boreas_telemetry-4edda6de1996447e: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/quality.rs:
+crates/telemetry/src/selection.rs:
+crates/telemetry/src/split.rs:

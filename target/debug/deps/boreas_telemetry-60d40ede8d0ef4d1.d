@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_telemetry-60d40ede8d0ef4d1.d: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+/root/repo/target/debug/deps/libboreas_telemetry-60d40ede8d0ef4d1.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/quality.rs:
+crates/telemetry/src/selection.rs:
+crates/telemetry/src/split.rs:

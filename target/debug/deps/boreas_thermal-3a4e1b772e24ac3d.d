@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_thermal-3a4e1b772e24ac3d.d: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+/root/repo/target/debug/deps/libboreas_thermal-3a4e1b772e24ac3d.rlib: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+/root/repo/target/debug/deps/libboreas_thermal-3a4e1b772e24ac3d.rmeta: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/config.rs:
+crates/thermal/src/sensor.rs:
+crates/thermal/src/solver.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boreas_thermal-a2e50646b4d7d7f3.d: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_thermal-a2e50646b4d7d7f3.rmeta: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs Cargo.toml
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/config.rs:
+crates/thermal/src/sensor.rs:
+crates/thermal/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/boreas_thermal-b863123a5562f708.d: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+/root/repo/target/debug/deps/boreas_thermal-b863123a5562f708: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/config.rs:
+crates/thermal/src/sensor.rs:
+crates/thermal/src/solver.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/boreas_thermal-c8faf474fd1a58d9.d: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+/root/repo/target/debug/deps/libboreas_thermal-c8faf474fd1a58d9.rmeta: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/config.rs:
+crates/thermal/src/sensor.rs:
+crates/thermal/src/solver.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boreas_thermal-f411410f4feab901.d: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+/root/repo/target/debug/deps/libboreas_thermal-f411410f4feab901.rlib: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+/root/repo/target/debug/deps/libboreas_thermal-f411410f4feab901.rmeta: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/config.rs:
+crates/thermal/src/sensor.rs:
+crates/thermal/src/solver.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/boreas_workloads-13c73f089e82db79.d: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libboreas_workloads-13c73f089e82db79.rmeta: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phase.rs:
+crates/workloads/src/spec.rs:

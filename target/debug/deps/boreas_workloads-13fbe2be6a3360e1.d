@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_workloads-13fbe2be6a3360e1.d: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_workloads-13fbe2be6a3360e1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phase.rs:
+crates/workloads/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

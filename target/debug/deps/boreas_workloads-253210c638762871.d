@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/boreas_workloads-253210c638762871.d: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/boreas_workloads-253210c638762871: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phase.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas_workloads-3e1114c2ddc40859.d: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libboreas_workloads-3e1114c2ddc40859.rlib: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libboreas_workloads-3e1114c2ddc40859.rmeta: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phase.rs:
+crates/workloads/src/spec.rs:

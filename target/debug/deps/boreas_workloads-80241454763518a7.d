@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boreas_workloads-80241454763518a7.d: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboreas_workloads-80241454763518a7.rmeta: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phase.rs:
+crates/workloads/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

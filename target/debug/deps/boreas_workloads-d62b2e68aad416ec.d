@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boreas_workloads-d62b2e68aad416ec.d: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libboreas_workloads-d62b2e68aad416ec.rlib: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libboreas_workloads-d62b2e68aad416ec.rmeta: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phase.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-44302a136330f0f1.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-44302a136330f0f1: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

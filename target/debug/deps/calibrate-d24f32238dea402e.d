@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-d24f32238dea402e.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-d24f32238dea402e: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

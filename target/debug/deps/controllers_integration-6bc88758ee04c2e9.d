@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controllers_integration-6bc88758ee04c2e9.d: tests/controllers_integration.rs
+
+/root/repo/target/debug/deps/controllers_integration-6bc88758ee04c2e9: tests/controllers_integration.rs
+
+tests/controllers_integration.rs:

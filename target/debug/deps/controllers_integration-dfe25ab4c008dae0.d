@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controllers_integration-dfe25ab4c008dae0.d: tests/controllers_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontrollers_integration-dfe25ab4c008dae0.rmeta: tests/controllers_integration.rs Cargo.toml
+
+tests/controllers_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

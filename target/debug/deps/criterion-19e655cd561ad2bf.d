@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-19e655cd561ad2bf.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-19e655cd561ad2bf.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-8caebb524881f187.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8caebb524881f187.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8caebb524881f187.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

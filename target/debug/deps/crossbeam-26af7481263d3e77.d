@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-26af7481263d3e77.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-26af7481263d3e77.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-7fbe60973fe4a286.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-7fbe60973fe4a286.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-7fbe60973fe4a286.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

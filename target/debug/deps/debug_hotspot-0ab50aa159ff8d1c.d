@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_hotspot-0ab50aa159ff8d1c.d: crates/bench/src/bin/debug_hotspot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_hotspot-0ab50aa159ff8d1c.rmeta: crates/bench/src/bin/debug_hotspot.rs Cargo.toml
+
+crates/bench/src/bin/debug_hotspot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

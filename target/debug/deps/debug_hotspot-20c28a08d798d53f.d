@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_hotspot-20c28a08d798d53f.d: crates/bench/src/bin/debug_hotspot.rs
+
+/root/repo/target/debug/deps/debug_hotspot-20c28a08d798d53f: crates/bench/src/bin/debug_hotspot.rs
+
+crates/bench/src/bin/debug_hotspot.rs:

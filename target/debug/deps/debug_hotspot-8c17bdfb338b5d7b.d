@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_hotspot-8c17bdfb338b5d7b.d: crates/bench/src/bin/debug_hotspot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_hotspot-8c17bdfb338b5d7b.rmeta: crates/bench/src/bin/debug_hotspot.rs Cargo.toml
+
+crates/bench/src/bin/debug_hotspot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

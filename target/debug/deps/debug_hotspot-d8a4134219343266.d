@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_hotspot-d8a4134219343266.d: crates/bench/src/bin/debug_hotspot.rs
+
+/root/repo/target/debug/deps/debug_hotspot-d8a4134219343266: crates/bench/src/bin/debug_hotspot.rs
+
+crates/bench/src/bin/debug_hotspot.rs:

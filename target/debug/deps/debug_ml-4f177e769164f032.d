@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_ml-4f177e769164f032.d: crates/bench/src/bin/debug_ml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_ml-4f177e769164f032.rmeta: crates/bench/src/bin/debug_ml.rs Cargo.toml
+
+crates/bench/src/bin/debug_ml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

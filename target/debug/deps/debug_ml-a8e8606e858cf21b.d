@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_ml-a8e8606e858cf21b.d: crates/bench/src/bin/debug_ml.rs
+
+/root/repo/target/debug/deps/debug_ml-a8e8606e858cf21b: crates/bench/src/bin/debug_ml.rs
+
+crates/bench/src/bin/debug_ml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_ml-c0de3e9502ed7751.d: crates/bench/src/bin/debug_ml.rs
+
+/root/repo/target/debug/deps/debug_ml-c0de3e9502ed7751: crates/bench/src/bin/debug_ml.rs
+
+crates/bench/src/bin/debug_ml.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_thresholds-81ecbdbecb82b896.d: crates/bench/src/bin/debug_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_thresholds-81ecbdbecb82b896.rmeta: crates/bench/src/bin/debug_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/debug_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

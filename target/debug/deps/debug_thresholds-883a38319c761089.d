@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_thresholds-883a38319c761089.d: crates/bench/src/bin/debug_thresholds.rs
+
+/root/repo/target/debug/deps/debug_thresholds-883a38319c761089: crates/bench/src/bin/debug_thresholds.rs
+
+crates/bench/src/bin/debug_thresholds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_thresholds-e245a780297f3e55.d: crates/bench/src/bin/debug_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_thresholds-e245a780297f3e55.rmeta: crates/bench/src/bin/debug_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/debug_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

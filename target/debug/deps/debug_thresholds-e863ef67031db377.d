@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_thresholds-e863ef67031db377.d: crates/bench/src/bin/debug_thresholds.rs
+
+/root/repo/target/debug/deps/debug_thresholds-e863ef67031db377: crates/bench/src/bin/debug_thresholds.rs
+
+crates/bench/src/bin/debug_thresholds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_integration-6d4793102c7272c5.d: crates/engine/tests/engine_integration.rs
+
+/root/repo/target/debug/deps/engine_integration-6d4793102c7272c5: crates/engine/tests/engine_integration.rs
+
+crates/engine/tests/engine_integration.rs:

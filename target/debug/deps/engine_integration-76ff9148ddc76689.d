@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_integration-76ff9148ddc76689.d: crates/engine/tests/engine_integration.rs
+
+/root/repo/target/debug/deps/engine_integration-76ff9148ddc76689: crates/engine/tests/engine_integration.rs
+
+crates/engine/tests/engine_integration.rs:

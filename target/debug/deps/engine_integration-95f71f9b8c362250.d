@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_integration-95f71f9b8c362250.d: crates/engine/tests/engine_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_integration-95f71f9b8c362250.rmeta: crates/engine/tests/engine_integration.rs Cargo.toml
+
+crates/engine/tests/engine_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_campaign-1d468898d3f06665.d: crates/bench/src/bin/fault_campaign.rs
+
+/root/repo/target/debug/deps/fault_campaign-1d468898d3f06665: crates/bench/src/bin/fault_campaign.rs
+
+crates/bench/src/bin/fault_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_campaign-eff55e2b257f0871.d: crates/bench/src/bin/fault_campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_campaign-eff55e2b257f0871.rmeta: crates/bench/src/bin/fault_campaign.rs Cargo.toml
+
+crates/bench/src/bin/fault_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

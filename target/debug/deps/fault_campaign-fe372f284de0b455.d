@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_campaign-fe372f284de0b455.d: crates/bench/src/bin/fault_campaign.rs
+
+/root/repo/target/debug/deps/fault_campaign-fe372f284de0b455: crates/bench/src/bin/fault_campaign.rs
+
+crates/bench/src/bin/fault_campaign.rs:

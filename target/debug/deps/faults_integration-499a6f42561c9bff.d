@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults_integration-499a6f42561c9bff.d: tests/faults_integration.rs
+
+/root/repo/target/debug/deps/faults_integration-499a6f42561c9bff: tests/faults_integration.rs
+
+tests/faults_integration.rs:

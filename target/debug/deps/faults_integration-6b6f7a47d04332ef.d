@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults_integration-6b6f7a47d04332ef.d: tests/faults_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults_integration-6b6f7a47d04332ef.rmeta: tests/faults_integration.rs Cargo.toml
+
+tests/faults_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

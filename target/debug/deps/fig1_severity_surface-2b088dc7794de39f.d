@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_severity_surface-2b088dc7794de39f.d: crates/bench/src/bin/fig1_severity_surface.rs
+
+/root/repo/target/debug/deps/fig1_severity_surface-2b088dc7794de39f: crates/bench/src/bin/fig1_severity_surface.rs
+
+crates/bench/src/bin/fig1_severity_surface.rs:

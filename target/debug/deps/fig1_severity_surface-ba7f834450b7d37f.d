@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_severity_surface-ba7f834450b7d37f.d: crates/bench/src/bin/fig1_severity_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_severity_surface-ba7f834450b7d37f.rmeta: crates/bench/src/bin/fig1_severity_surface.rs Cargo.toml
+
+crates/bench/src/bin/fig1_severity_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_severity_surface-bc6d6e7b27be308d.d: crates/bench/src/bin/fig1_severity_surface.rs
+
+/root/repo/target/debug/deps/fig1_severity_surface-bc6d6e7b27be308d: crates/bench/src/bin/fig1_severity_surface.rs
+
+crates/bench/src/bin/fig1_severity_surface.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_severity_surface-d802771c74622cd1.d: crates/bench/src/bin/fig1_severity_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_severity_surface-d802771c74622cd1.rmeta: crates/bench/src/bin/fig1_severity_surface.rs Cargo.toml
+
+crates/bench/src/bin/fig1_severity_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_severity_sweep-45f7097764bece3b.d: crates/bench/src/bin/fig2_severity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_severity_sweep-45f7097764bece3b.rmeta: crates/bench/src/bin/fig2_severity_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig2_severity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_severity_sweep-6b0a4888d72df849.d: crates/bench/src/bin/fig2_severity_sweep.rs
+
+/root/repo/target/debug/deps/fig2_severity_sweep-6b0a4888d72df849: crates/bench/src/bin/fig2_severity_sweep.rs
+
+crates/bench/src/bin/fig2_severity_sweep.rs:

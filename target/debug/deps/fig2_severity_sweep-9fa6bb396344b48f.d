@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_severity_sweep-9fa6bb396344b48f.d: crates/bench/src/bin/fig2_severity_sweep.rs
+
+/root/repo/target/debug/deps/fig2_severity_sweep-9fa6bb396344b48f: crates/bench/src/bin/fig2_severity_sweep.rs
+
+crates/bench/src/bin/fig2_severity_sweep.rs:

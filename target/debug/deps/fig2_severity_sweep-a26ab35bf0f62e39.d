@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_severity_sweep-a26ab35bf0f62e39.d: crates/bench/src/bin/fig2_severity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_severity_sweep-a26ab35bf0f62e39.rmeta: crates/bench/src/bin/fig2_severity_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig2_severity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

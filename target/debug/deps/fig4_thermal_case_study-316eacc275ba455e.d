@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_thermal_case_study-316eacc275ba455e.d: crates/bench/src/bin/fig4_thermal_case_study.rs
+
+/root/repo/target/debug/deps/fig4_thermal_case_study-316eacc275ba455e: crates/bench/src/bin/fig4_thermal_case_study.rs
+
+crates/bench/src/bin/fig4_thermal_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_thermal_case_study-4d28683ec709685c.d: crates/bench/src/bin/fig4_thermal_case_study.rs
+
+/root/repo/target/debug/deps/fig4_thermal_case_study-4d28683ec709685c: crates/bench/src/bin/fig4_thermal_case_study.rs
+
+crates/bench/src/bin/fig4_thermal_case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_thermal_case_study-e01ecc0adac79286.d: crates/bench/src/bin/fig4_thermal_case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_thermal_case_study-e01ecc0adac79286.rmeta: crates/bench/src/bin/fig4_thermal_case_study.rs Cargo.toml
+
+crates/bench/src/bin/fig4_thermal_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_sensor_placement-0bef6f54622d9bad.d: crates/bench/src/bin/fig5_sensor_placement.rs
+
+/root/repo/target/debug/deps/fig5_sensor_placement-0bef6f54622d9bad: crates/bench/src/bin/fig5_sensor_placement.rs
+
+crates/bench/src/bin/fig5_sensor_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_sensor_placement-3181cb211e352f57.d: crates/bench/src/bin/fig5_sensor_placement.rs
+
+/root/repo/target/debug/deps/fig5_sensor_placement-3181cb211e352f57: crates/bench/src/bin/fig5_sensor_placement.rs
+
+crates/bench/src/bin/fig5_sensor_placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_sensor_placement-8aa6ab67b6631261.d: crates/bench/src/bin/fig5_sensor_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_sensor_placement-8aa6ab67b6631261.rmeta: crates/bench/src/bin/fig5_sensor_placement.rs Cargo.toml
+
+crates/bench/src/bin/fig5_sensor_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

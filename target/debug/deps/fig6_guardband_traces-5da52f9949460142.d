@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_guardband_traces-5da52f9949460142.d: crates/bench/src/bin/fig6_guardband_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_guardband_traces-5da52f9949460142.rmeta: crates/bench/src/bin/fig6_guardband_traces.rs Cargo.toml
+
+crates/bench/src/bin/fig6_guardband_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

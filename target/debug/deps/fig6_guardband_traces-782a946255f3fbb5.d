@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_guardband_traces-782a946255f3fbb5.d: crates/bench/src/bin/fig6_guardband_traces.rs
+
+/root/repo/target/debug/deps/fig6_guardband_traces-782a946255f3fbb5: crates/bench/src/bin/fig6_guardband_traces.rs
+
+crates/bench/src/bin/fig6_guardband_traces.rs:

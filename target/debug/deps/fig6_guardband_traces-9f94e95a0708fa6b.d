@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_guardband_traces-9f94e95a0708fa6b.d: crates/bench/src/bin/fig6_guardband_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_guardband_traces-9f94e95a0708fa6b.rmeta: crates/bench/src/bin/fig6_guardband_traces.rs Cargo.toml
+
+crates/bench/src/bin/fig6_guardband_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_guardband_traces-fdb1818e4b5cbd83.d: crates/bench/src/bin/fig6_guardband_traces.rs
+
+/root/repo/target/debug/deps/fig6_guardband_traces-fdb1818e4b5cbd83: crates/bench/src/bin/fig6_guardband_traces.rs
+
+crates/bench/src/bin/fig6_guardband_traces.rs:

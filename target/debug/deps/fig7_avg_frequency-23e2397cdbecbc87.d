@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_avg_frequency-23e2397cdbecbc87.d: crates/bench/src/bin/fig7_avg_frequency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_avg_frequency-23e2397cdbecbc87.rmeta: crates/bench/src/bin/fig7_avg_frequency.rs Cargo.toml
+
+crates/bench/src/bin/fig7_avg_frequency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

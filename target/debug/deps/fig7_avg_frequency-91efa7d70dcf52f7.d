@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_avg_frequency-91efa7d70dcf52f7.d: crates/bench/src/bin/fig7_avg_frequency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_avg_frequency-91efa7d70dcf52f7.rmeta: crates/bench/src/bin/fig7_avg_frequency.rs Cargo.toml
+
+crates/bench/src/bin/fig7_avg_frequency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_avg_frequency-92e5136e905eb92f.d: crates/bench/src/bin/fig7_avg_frequency.rs
+
+/root/repo/target/debug/deps/fig7_avg_frequency-92e5136e905eb92f: crates/bench/src/bin/fig7_avg_frequency.rs
+
+crates/bench/src/bin/fig7_avg_frequency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_avg_frequency-ff51cc2427d3a9a7.d: crates/bench/src/bin/fig7_avg_frequency.rs
+
+/root/repo/target/debug/deps/fig7_avg_frequency-ff51cc2427d3a9a7: crates/bench/src/bin/fig7_avg_frequency.rs
+
+crates/bench/src/bin/fig7_avg_frequency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dynamic_runs-308b8bc774c9c6c2.d: crates/bench/src/bin/fig8_dynamic_runs.rs
+
+/root/repo/target/debug/deps/fig8_dynamic_runs-308b8bc774c9c6c2: crates/bench/src/bin/fig8_dynamic_runs.rs
+
+crates/bench/src/bin/fig8_dynamic_runs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_dynamic_runs-b980baccffd129a9.d: crates/bench/src/bin/fig8_dynamic_runs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_dynamic_runs-b980baccffd129a9.rmeta: crates/bench/src/bin/fig8_dynamic_runs.rs Cargo.toml
+
+crates/bench/src/bin/fig8_dynamic_runs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

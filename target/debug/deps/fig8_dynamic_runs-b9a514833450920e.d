@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dynamic_runs-b9a514833450920e.d: crates/bench/src/bin/fig8_dynamic_runs.rs
+
+/root/repo/target/debug/deps/fig8_dynamic_runs-b9a514833450920e: crates/bench/src/bin/fig8_dynamic_runs.rs
+
+crates/bench/src/bin/fig8_dynamic_runs.rs:

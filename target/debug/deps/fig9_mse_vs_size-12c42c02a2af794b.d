@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_mse_vs_size-12c42c02a2af794b.d: crates/bench/src/bin/fig9_mse_vs_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_mse_vs_size-12c42c02a2af794b.rmeta: crates/bench/src/bin/fig9_mse_vs_size.rs Cargo.toml
+
+crates/bench/src/bin/fig9_mse_vs_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_mse_vs_size-8b58157153381f3d.d: crates/bench/src/bin/fig9_mse_vs_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_mse_vs_size-8b58157153381f3d.rmeta: crates/bench/src/bin/fig9_mse_vs_size.rs Cargo.toml
+
+crates/bench/src/bin/fig9_mse_vs_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_mse_vs_size-c01f9f698491de37.d: crates/bench/src/bin/fig9_mse_vs_size.rs
+
+/root/repo/target/debug/deps/fig9_mse_vs_size-c01f9f698491de37: crates/bench/src/bin/fig9_mse_vs_size.rs
+
+crates/bench/src/bin/fig9_mse_vs_size.rs:

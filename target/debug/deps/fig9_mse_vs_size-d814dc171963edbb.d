@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_mse_vs_size-d814dc171963edbb.d: crates/bench/src/bin/fig9_mse_vs_size.rs
+
+/root/repo/target/debug/deps/fig9_mse_vs_size-d814dc171963edbb: crates/bench/src/bin/fig9_mse_vs_size.rs
+
+crates/bench/src/bin/fig9_mse_vs_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gbt_predict-f88032980d015615.d: crates/bench/benches/gbt_predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgbt_predict-f88032980d015615.rmeta: crates/bench/benches/gbt_predict.rs Cargo.toml
+
+crates/bench/benches/gbt_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grid_search_cv-1e6281864de53c12.d: crates/bench/src/bin/grid_search_cv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrid_search_cv-1e6281864de53c12.rmeta: crates/bench/src/bin/grid_search_cv.rs Cargo.toml
+
+crates/bench/src/bin/grid_search_cv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_search_cv-aba4503a6e20e208.d: crates/bench/src/bin/grid_search_cv.rs
+
+/root/repo/target/debug/deps/grid_search_cv-aba4503a6e20e208: crates/bench/src/bin/grid_search_cv.rs
+
+crates/bench/src/bin/grid_search_cv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_search_cv-c8cd2f9355aa98d6.d: crates/bench/src/bin/grid_search_cv.rs
+
+/root/repo/target/debug/deps/grid_search_cv-c8cd2f9355aa98d6: crates/bench/src/bin/grid_search_cv.rs
+
+crates/bench/src/bin/grid_search_cv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_integration-6c4615161cad1a59.d: tests/pipeline_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_integration-6c4615161cad1a59.rmeta: tests/pipeline_integration.rs Cargo.toml
+
+tests/pipeline_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-b72a0000d54d9585.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-b72a0000d54d9585: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

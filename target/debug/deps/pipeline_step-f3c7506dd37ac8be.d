@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_step-f3c7506dd37ac8be.d: crates/bench/benches/pipeline_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_step-f3c7506dd37ac8be.rmeta: crates/bench/benches/pipeline_step.rs Cargo.toml
+
+crates/bench/benches/pipeline_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/promlint-1e76c380757a3bd5.d: crates/bench/src/bin/promlint.rs
+
+/root/repo/target/debug/deps/promlint-1e76c380757a3bd5: crates/bench/src/bin/promlint.rs
+
+crates/bench/src/bin/promlint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/promlint-6a169776c3ab788c.d: crates/bench/src/bin/promlint.rs
+
+/root/repo/target/debug/deps/promlint-6a169776c3ab788c: crates/bench/src/bin/promlint.rs
+
+crates/bench/src/bin/promlint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/promlint-78abfc0fa22f780c.d: crates/bench/src/bin/promlint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpromlint-78abfc0fa22f780c.rmeta: crates/bench/src/bin/promlint.rs Cargo.toml
+
+crates/bench/src/bin/promlint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/promlint-ccf9b3e61cc47846.d: crates/bench/src/bin/promlint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpromlint-ccf9b3e61cc47846.rmeta: crates/bench/src/bin/promlint.rs Cargo.toml
+
+crates/bench/src/bin/promlint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

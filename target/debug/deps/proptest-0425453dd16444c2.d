@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0425453dd16444c2.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0425453dd16444c2.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

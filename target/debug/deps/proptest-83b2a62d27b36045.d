@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-83b2a62d27b36045.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-83b2a62d27b36045.rlib: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-83b2a62d27b36045.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_baselines-76393d962a9245fd.d: crates/baselines/tests/proptest_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_baselines-76393d962a9245fd.rmeta: crates/baselines/tests/proptest_baselines.rs Cargo.toml
+
+crates/baselines/tests/proptest_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_baselines-b7e2b725668c9168.d: crates/baselines/tests/proptest_baselines.rs
+
+/root/repo/target/debug/deps/proptest_baselines-b7e2b725668c9168: crates/baselines/tests/proptest_baselines.rs
+
+crates/baselines/tests/proptest_baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_controllers-2faac7d388280d71.d: crates/boreas-core/tests/proptest_controllers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_controllers-2faac7d388280d71.rmeta: crates/boreas-core/tests/proptest_controllers.rs Cargo.toml
+
+crates/boreas-core/tests/proptest_controllers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_controllers-ebbceccc1f3ea020.d: crates/boreas-core/tests/proptest_controllers.rs
+
+/root/repo/target/debug/deps/proptest_controllers-ebbceccc1f3ea020: crates/boreas-core/tests/proptest_controllers.rs
+
+crates/boreas-core/tests/proptest_controllers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_faults-a321f5321fe44794.d: crates/faults/tests/proptest_faults.rs
+
+/root/repo/target/debug/deps/proptest_faults-a321f5321fe44794: crates/faults/tests/proptest_faults.rs
+
+crates/faults/tests/proptest_faults.rs:

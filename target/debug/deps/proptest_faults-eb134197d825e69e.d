@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_faults-eb134197d825e69e.d: crates/faults/tests/proptest_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_faults-eb134197d825e69e.rmeta: crates/faults/tests/proptest_faults.rs Cargo.toml
+
+crates/faults/tests/proptest_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_flat-2f039e1db6e67d70.d: crates/gbt/tests/proptest_flat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_flat-2f039e1db6e67d70.rmeta: crates/gbt/tests/proptest_flat.rs Cargo.toml
+
+crates/gbt/tests/proptest_flat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_flat-a1ced1af010be285.d: crates/gbt/tests/proptest_flat.rs
+
+/root/repo/target/debug/deps/proptest_flat-a1ced1af010be285: crates/gbt/tests/proptest_flat.rs
+
+crates/gbt/tests/proptest_flat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_gbt-508ba08df58e74db.d: crates/gbt/tests/proptest_gbt.rs
+
+/root/repo/target/debug/deps/proptest_gbt-508ba08df58e74db: crates/gbt/tests/proptest_gbt.rs
+
+crates/gbt/tests/proptest_gbt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_gbt-da6a65c360168a16.d: crates/gbt/tests/proptest_gbt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_gbt-da6a65c360168a16.rmeta: crates/gbt/tests/proptest_gbt.rs Cargo.toml
+
+crates/gbt/tests/proptest_gbt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_mltd-490e7c8f90477966.d: crates/hotgauge/tests/proptest_mltd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_mltd-490e7c8f90477966.rmeta: crates/hotgauge/tests/proptest_mltd.rs Cargo.toml
+
+crates/hotgauge/tests/proptest_mltd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

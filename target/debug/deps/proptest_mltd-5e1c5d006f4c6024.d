@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mltd-5e1c5d006f4c6024.d: crates/hotgauge/tests/proptest_mltd.rs
+
+/root/repo/target/debug/deps/proptest_mltd-5e1c5d006f4c6024: crates/hotgauge/tests/proptest_mltd.rs
+
+crates/hotgauge/tests/proptest_mltd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_perfsim-5ae7fb4ff1d7c93d.d: crates/perfsim/tests/proptest_perfsim.rs
+
+/root/repo/target/debug/deps/proptest_perfsim-5ae7fb4ff1d7c93d: crates/perfsim/tests/proptest_perfsim.rs
+
+crates/perfsim/tests/proptest_perfsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_perfsim-7a2db41000d83586.d: crates/perfsim/tests/proptest_perfsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_perfsim-7a2db41000d83586.rmeta: crates/perfsim/tests/proptest_perfsim.rs Cargo.toml
+
+crates/perfsim/tests/proptest_perfsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

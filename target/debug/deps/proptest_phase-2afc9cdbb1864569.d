@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_phase-2afc9cdbb1864569.d: crates/workloads/tests/proptest_phase.rs
+
+/root/repo/target/debug/deps/proptest_phase-2afc9cdbb1864569: crates/workloads/tests/proptest_phase.rs
+
+crates/workloads/tests/proptest_phase.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_phase-875b386e0e8e2fc4.d: crates/workloads/tests/proptest_phase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_phase-875b386e0e8e2fc4.rmeta: crates/workloads/tests/proptest_phase.rs Cargo.toml
+
+crates/workloads/tests/proptest_phase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_placement-7bba37541d699bc0.d: crates/floorplan/tests/proptest_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_placement-7bba37541d699bc0.rmeta: crates/floorplan/tests/proptest_placement.rs Cargo.toml
+
+crates/floorplan/tests/proptest_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_placement-fd7d537d604f2a57.d: crates/floorplan/tests/proptest_placement.rs
+
+/root/repo/target/debug/deps/proptest_placement-fd7d537d604f2a57: crates/floorplan/tests/proptest_placement.rs
+
+crates/floorplan/tests/proptest_placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_powersim-0250e7d8173ce210.d: crates/powersim/tests/proptest_powersim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_powersim-0250e7d8173ce210.rmeta: crates/powersim/tests/proptest_powersim.rs Cargo.toml
+
+crates/powersim/tests/proptest_powersim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_powersim-2176619be0487cd5.d: crates/powersim/tests/proptest_powersim.rs
+
+/root/repo/target/debug/deps/proptest_powersim-2176619be0487cd5: crates/powersim/tests/proptest_powersim.rs
+
+crates/powersim/tests/proptest_powersim.rs:

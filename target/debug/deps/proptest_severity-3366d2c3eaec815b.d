@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_severity-3366d2c3eaec815b.d: crates/hotgauge/tests/proptest_severity.rs
+
+/root/repo/target/debug/deps/proptest_severity-3366d2c3eaec815b: crates/hotgauge/tests/proptest_severity.rs
+
+crates/hotgauge/tests/proptest_severity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_severity-631058994a262895.d: crates/hotgauge/tests/proptest_severity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_severity-631058994a262895.rmeta: crates/hotgauge/tests/proptest_severity.rs Cargo.toml
+
+crates/hotgauge/tests/proptest_severity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_solver_equiv-1ca85b9b54cd2df0.d: crates/thermal/tests/proptest_solver_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_solver_equiv-1ca85b9b54cd2df0.rmeta: crates/thermal/tests/proptest_solver_equiv.rs Cargo.toml
+
+crates/thermal/tests/proptest_solver_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_solver_equiv-4b3587abdc369531.d: crates/thermal/tests/proptest_solver_equiv.rs
+
+/root/repo/target/debug/deps/proptest_solver_equiv-4b3587abdc369531: crates/thermal/tests/proptest_solver_equiv.rs
+
+crates/thermal/tests/proptest_solver_equiv.rs:

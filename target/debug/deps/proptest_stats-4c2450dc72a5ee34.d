@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stats-4c2450dc72a5ee34.d: crates/common/tests/proptest_stats.rs
+
+/root/repo/target/debug/deps/proptest_stats-4c2450dc72a5ee34: crates/common/tests/proptest_stats.rs
+
+crates/common/tests/proptest_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_stats-facbd69384b0ce80.d: crates/common/tests/proptest_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_stats-facbd69384b0ce80.rmeta: crates/common/tests/proptest_stats.rs Cargo.toml
+
+crates/common/tests/proptest_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

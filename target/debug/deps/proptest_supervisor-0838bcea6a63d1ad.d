@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_supervisor-0838bcea6a63d1ad.d: crates/engine/tests/proptest_supervisor.rs
+
+/root/repo/target/debug/deps/proptest_supervisor-0838bcea6a63d1ad: crates/engine/tests/proptest_supervisor.rs
+
+crates/engine/tests/proptest_supervisor.rs:

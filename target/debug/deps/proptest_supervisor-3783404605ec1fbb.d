@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_supervisor-3783404605ec1fbb.d: crates/engine/tests/proptest_supervisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_supervisor-3783404605ec1fbb.rmeta: crates/engine/tests/proptest_supervisor.rs Cargo.toml
+
+crates/engine/tests/proptest_supervisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_thermal-52b7e45e538ac8c7.d: crates/thermal/tests/proptest_thermal.rs
+
+/root/repo/target/debug/deps/proptest_thermal-52b7e45e538ac8c7: crates/thermal/tests/proptest_thermal.rs
+
+crates/thermal/tests/proptest_thermal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_thermal-69e10face2537162.d: crates/thermal/tests/proptest_thermal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_thermal-69e10face2537162.rmeta: crates/thermal/tests/proptest_thermal.rs Cargo.toml
+
+crates/thermal/tests/proptest_thermal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

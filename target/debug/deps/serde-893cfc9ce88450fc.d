@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-893cfc9ce88450fc.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-893cfc9ce88450fc.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

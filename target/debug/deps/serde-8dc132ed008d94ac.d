@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-8dc132ed008d94ac.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8dc132ed008d94ac.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8dc132ed008d94ac.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c0252a98a1340161.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c0252a98a1340161.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c0252a98a1340161.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-63facc7fd03fb88c.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-63facc7fd03fb88c.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-63facc7fd03fb88c.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

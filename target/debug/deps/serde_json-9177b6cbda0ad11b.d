@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-9177b6cbda0ad11b.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9177b6cbda0ad11b.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-a8b17b441fba8a6a.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a8b17b441fba8a6a.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a8b17b441fba8a6a.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_vf_pairs-00ccbc2d337900cb.d: crates/bench/src/bin/table1_vf_pairs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_vf_pairs-00ccbc2d337900cb.rmeta: crates/bench/src/bin/table1_vf_pairs.rs Cargo.toml
+
+crates/bench/src/bin/table1_vf_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_vf_pairs-10b262b99ce60033.d: crates/bench/src/bin/table1_vf_pairs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_vf_pairs-10b262b99ce60033.rmeta: crates/bench/src/bin/table1_vf_pairs.rs Cargo.toml
+
+crates/bench/src/bin/table1_vf_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_vf_pairs-cf598e39cfe3cb8a.d: crates/bench/src/bin/table1_vf_pairs.rs
+
+/root/repo/target/debug/deps/table1_vf_pairs-cf598e39cfe3cb8a: crates/bench/src/bin/table1_vf_pairs.rs
+
+crates/bench/src/bin/table1_vf_pairs.rs:

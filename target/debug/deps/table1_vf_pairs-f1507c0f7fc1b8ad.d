@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_vf_pairs-f1507c0f7fc1b8ad.d: crates/bench/src/bin/table1_vf_pairs.rs
+
+/root/repo/target/debug/deps/table1_vf_pairs-f1507c0f7fc1b8ad: crates/bench/src/bin/table1_vf_pairs.rs
+
+crates/bench/src/bin/table1_vf_pairs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_model_params-c33d99a7f1b1cbd6.d: crates/bench/src/bin/table2_model_params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_model_params-c33d99a7f1b1cbd6.rmeta: crates/bench/src/bin/table2_model_params.rs Cargo.toml
+
+crates/bench/src/bin/table2_model_params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_model_params-c37d93b7f45dc81a.d: crates/bench/src/bin/table2_model_params.rs
+
+/root/repo/target/debug/deps/table2_model_params-c37d93b7f45dc81a: crates/bench/src/bin/table2_model_params.rs
+
+crates/bench/src/bin/table2_model_params.rs:

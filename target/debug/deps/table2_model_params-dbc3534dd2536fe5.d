@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_model_params-dbc3534dd2536fe5.d: crates/bench/src/bin/table2_model_params.rs
+
+/root/repo/target/debug/deps/table2_model_params-dbc3534dd2536fe5: crates/bench/src/bin/table2_model_params.rs
+
+crates/bench/src/bin/table2_model_params.rs:

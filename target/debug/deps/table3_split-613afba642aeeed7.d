@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_split-613afba642aeeed7.d: crates/bench/src/bin/table3_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_split-613afba642aeeed7.rmeta: crates/bench/src/bin/table3_split.rs Cargo.toml
+
+crates/bench/src/bin/table3_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_split-6a8c7c681ec2f753.d: crates/bench/src/bin/table3_split.rs
+
+/root/repo/target/debug/deps/table3_split-6a8c7c681ec2f753: crates/bench/src/bin/table3_split.rs
+
+crates/bench/src/bin/table3_split.rs:

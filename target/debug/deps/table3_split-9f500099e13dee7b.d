@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_split-9f500099e13dee7b.d: crates/bench/src/bin/table3_split.rs
+
+/root/repo/target/debug/deps/table3_split-9f500099e13dee7b: crates/bench/src/bin/table3_split.rs
+
+crates/bench/src/bin/table3_split.rs:

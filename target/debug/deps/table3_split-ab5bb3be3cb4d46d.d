@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_split-ab5bb3be3cb4d46d.d: crates/bench/src/bin/table3_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_split-ab5bb3be3cb4d46d.rmeta: crates/bench/src/bin/table3_split.rs Cargo.toml
+
+crates/bench/src/bin/table3_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

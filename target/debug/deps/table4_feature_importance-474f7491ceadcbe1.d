@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_feature_importance-474f7491ceadcbe1.d: crates/bench/src/bin/table4_feature_importance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_feature_importance-474f7491ceadcbe1.rmeta: crates/bench/src/bin/table4_feature_importance.rs Cargo.toml
+
+crates/bench/src/bin/table4_feature_importance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_feature_importance-b0a711d301fb2ad5.d: crates/bench/src/bin/table4_feature_importance.rs
+
+/root/repo/target/debug/deps/table4_feature_importance-b0a711d301fb2ad5: crates/bench/src/bin/table4_feature_importance.rs
+
+crates/bench/src/bin/table4_feature_importance.rs:

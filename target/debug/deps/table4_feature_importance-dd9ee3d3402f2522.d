@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_feature_importance-dd9ee3d3402f2522.d: crates/bench/src/bin/table4_feature_importance.rs
+
+/root/repo/target/debug/deps/table4_feature_importance-dd9ee3d3402f2522: crates/bench/src/bin/table4_feature_importance.rs
+
+crates/bench/src/bin/table4_feature_importance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_feature_importance-f05e25db7003cef1.d: crates/bench/src/bin/table4_feature_importance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_feature_importance-f05e25db7003cef1.rmeta: crates/bench/src/bin/table4_feature_importance.rs Cargo.toml
+
+crates/bench/src/bin/table4_feature_importance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

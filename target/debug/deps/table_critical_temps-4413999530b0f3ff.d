@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_critical_temps-4413999530b0f3ff.d: crates/bench/src/bin/table_critical_temps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_critical_temps-4413999530b0f3ff.rmeta: crates/bench/src/bin/table_critical_temps.rs Cargo.toml
+
+crates/bench/src/bin/table_critical_temps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_critical_temps-9e55de7285d0c03e.d: crates/bench/src/bin/table_critical_temps.rs
+
+/root/repo/target/debug/deps/table_critical_temps-9e55de7285d0c03e: crates/bench/src/bin/table_critical_temps.rs
+
+crates/bench/src/bin/table_critical_temps.rs:

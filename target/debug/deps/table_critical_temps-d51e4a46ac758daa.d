@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_critical_temps-d51e4a46ac758daa.d: crates/bench/src/bin/table_critical_temps.rs
+
+/root/repo/target/debug/deps/table_critical_temps-d51e4a46ac758daa: crates/bench/src/bin/table_critical_temps.rs
+
+crates/bench/src/bin/table_critical_temps.rs:

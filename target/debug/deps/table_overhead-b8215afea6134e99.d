@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_overhead-b8215afea6134e99.d: crates/bench/src/bin/table_overhead.rs
+
+/root/repo/target/debug/deps/table_overhead-b8215afea6134e99: crates/bench/src/bin/table_overhead.rs
+
+crates/bench/src/bin/table_overhead.rs:

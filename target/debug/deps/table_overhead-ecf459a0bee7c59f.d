@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_overhead-ecf459a0bee7c59f.d: crates/bench/src/bin/table_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_overhead-ecf459a0bee7c59f.rmeta: crates/bench/src/bin/table_overhead.rs Cargo.toml
+
+crates/bench/src/bin/table_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_overhead-f612b8d728047596.d: crates/bench/src/bin/table_overhead.rs
+
+/root/repo/target/debug/deps/table_overhead-f612b8d728047596: crates/bench/src/bin/table_overhead.rs
+
+crates/bench/src/bin/table_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thermal_solver-e745a7a5bcaa349f.d: crates/bench/benches/thermal_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthermal_solver-e745a7a5bcaa349f.rmeta: crates/bench/benches/thermal_solver.rs Cargo.toml
+
+crates/bench/benches/thermal_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

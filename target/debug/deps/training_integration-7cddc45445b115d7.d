@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_integration-7cddc45445b115d7.d: tests/training_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_integration-7cddc45445b115d7.rmeta: tests/training_integration.rs Cargo.toml
+
+tests/training_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_integration-ad97fe4984adf99b.d: tests/training_integration.rs
+
+/root/repo/target/debug/deps/training_integration-ad97fe4984adf99b: tests/training_integration.rs
+
+tests/training_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/guardband_tradeoff-baa71a41f9ef2904.d: examples/guardband_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libguardband_tradeoff-baa71a41f9ef2904.rmeta: examples/guardband_tradeoff.rs Cargo.toml
+
+examples/guardband_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/guardband_tradeoff-e2ccee20ad9cb6f4.d: examples/guardband_tradeoff.rs
+
+/root/repo/target/debug/examples/guardband_tradeoff-e2ccee20ad9cb6f4: examples/guardband_tradeoff.rs
+
+examples/guardband_tradeoff.rs:

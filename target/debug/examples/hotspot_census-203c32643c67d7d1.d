@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hotspot_census-203c32643c67d7d1.d: examples/hotspot_census.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhotspot_census-203c32643c67d7d1.rmeta: examples/hotspot_census.rs Cargo.toml
+
+examples/hotspot_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

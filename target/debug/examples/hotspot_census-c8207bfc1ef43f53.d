@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotspot_census-c8207bfc1ef43f53.d: examples/hotspot_census.rs
+
+/root/repo/target/debug/examples/hotspot_census-c8207bfc1ef43f53: examples/hotspot_census.rs
+
+examples/hotspot_census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2c049d780a5af2c9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2c049d780a5af2c9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-2e13083ca746d1f5.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-2e13083ca746d1f5.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

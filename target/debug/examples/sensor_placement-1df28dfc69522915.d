@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_placement-1df28dfc69522915.d: examples/sensor_placement.rs
+
+/root/repo/target/debug/examples/sensor_placement-1df28dfc69522915: examples/sensor_placement.rs
+
+examples/sensor_placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_placement-81c2e4257417e856.d: examples/sensor_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_placement-81c2e4257417e856.rmeta: examples/sensor_placement.rs Cargo.toml
+
+examples/sensor_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

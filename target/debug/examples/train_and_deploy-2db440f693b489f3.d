@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_and_deploy-2db440f693b489f3.d: examples/train_and_deploy.rs
+
+/root/repo/target/debug/examples/train_and_deploy-2db440f693b489f3: examples/train_and_deploy.rs
+
+examples/train_and_deploy.rs:

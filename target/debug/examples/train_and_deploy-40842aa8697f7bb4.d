@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_and_deploy-40842aa8697f7bb4.d: examples/train_and_deploy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_and_deploy-40842aa8697f7bb4.rmeta: examples/train_and_deploy.rs Cargo.toml
+
+examples/train_and_deploy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["boreas",[]],["boreas_baselines",[["impl Controller for <a class=\"struct\" href=\"boreas_baselines/cochran_reda/struct.TempPredController.html\" title=\"struct boreas_baselines::cochran_reda::TempPredController\">TempPredController</a>",0]]],["boreas_core",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[13,230,19]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["boreas",[]],["boreas_core",[]],["boreas_faults",[["impl ObservationFilter for <a class=\"struct\" href=\"boreas_faults/inject/struct.FaultInjector.html\" title=\"struct boreas_faults::inject::FaultInjector\">FaultInjector</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[13,19,201]}

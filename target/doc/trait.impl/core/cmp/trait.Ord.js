@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["boreas_common",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"boreas_common/time/struct.SimTime.html\" title=\"struct boreas_common::time::SimTime\">SimTime</a>",0]]],["boreas_floorplan",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"boreas_floorplan/unit/enum.UnitKind.html\" title=\"enum boreas_floorplan::unit::UnitKind\">UnitKind</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"boreas_floorplan/grid/struct.CellIndex.html\" title=\"struct boreas_floorplan::grid::CellIndex\">CellIndex</a>",0]]],["boreas_perfsim",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"boreas_perfsim/counters/enum.CounterId.html\" title=\"enum boreas_perfsim::counters::CounterId\">CounterId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[284,568,296]}

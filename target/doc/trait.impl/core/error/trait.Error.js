@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["boreas_common",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"boreas_common/error/enum.Error.html\" title=\"enum boreas_common::error::Error\">Error</a>",0]]],["boreas_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"boreas_obs/promlint/struct.LintError.html\" title=\"struct boreas_obs::promlint::LintError\">LintError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[284,300]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_floorplan_scaling-cd23b9393c2b3c93.d: crates/bench/src/bin/ablation_floorplan_scaling.rs
+
+/root/repo/target/release/deps/ablation_floorplan_scaling-cd23b9393c2b3c93: crates/bench/src/bin/ablation_floorplan_scaling.rs
+
+crates/bench/src/bin/ablation_floorplan_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sensor_delay-7d69eaeeda90cec3.d: crates/bench/src/bin/ablation_sensor_delay.rs
+
+/root/repo/target/release/deps/ablation_sensor_delay-7d69eaeeda90cec3: crates/bench/src/bin/ablation_sensor_delay.rs
+
+crates/bench/src/bin/ablation_sensor_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_cochran_reda-7ea0dc48f3c01f91.d: crates/bench/src/bin/baseline_cochran_reda.rs
+
+/root/repo/target/release/deps/baseline_cochran_reda-7ea0dc48f3c01f91: crates/bench/src/bin/baseline_cochran_reda.rs
+
+crates/bench/src/bin/baseline_cochran_reda.rs:

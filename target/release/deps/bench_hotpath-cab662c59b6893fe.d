@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_hotpath-cab662c59b6893fe.d: crates/bench/src/bin/bench_hotpath.rs
+
+/root/repo/target/release/deps/bench_hotpath-cab662c59b6893fe: crates/bench/src/bin/bench_hotpath.rs
+
+crates/bench/src/bin/bench_hotpath.rs:

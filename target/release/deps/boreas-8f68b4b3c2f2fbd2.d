@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/boreas-8f68b4b3c2f2fbd2.d: src/lib.rs
+
+/root/repo/target/release/deps/libboreas-8f68b4b3c2f2fbd2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libboreas-8f68b4b3c2f2fbd2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/boreas_baselines-ad4b670cc2fcd035.d: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs
+
+/root/repo/target/release/deps/libboreas_baselines-ad4b670cc2fcd035.rlib: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs
+
+/root/repo/target/release/deps/libboreas_baselines-ad4b670cc2fcd035.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cochran_reda.rs crates/baselines/src/kmeans.rs crates/baselines/src/linreg.rs crates/baselines/src/pca.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cochran_reda.rs:
+crates/baselines/src/kmeans.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/pca.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/boreas_bench-311f232d2d9c5993.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libboreas_bench-311f232d2d9c5993.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libboreas_bench-311f232d2d9c5993.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

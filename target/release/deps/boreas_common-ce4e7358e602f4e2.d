@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/boreas_common-ce4e7358e602f4e2.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+/root/repo/target/release/deps/libboreas_common-ce4e7358e602f4e2.rlib: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+/root/repo/target/release/deps/libboreas_common-ce4e7358e602f4e2.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/time.rs crates/common/src/units.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/time.rs:
+crates/common/src/units.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/boreas_core-c43037e71f605903.d: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+/root/repo/target/release/deps/libboreas_core-c43037e71f605903.rlib: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+/root/repo/target/release/deps/libboreas_core-c43037e71f605903.rmeta: crates/boreas-core/src/lib.rs crates/boreas-core/src/controller.rs crates/boreas-core/src/critical.rs crates/boreas-core/src/oracle.rs crates/boreas-core/src/resilient.rs crates/boreas-core/src/runner.rs crates/boreas-core/src/training.rs crates/boreas-core/src/vf.rs
+
+crates/boreas-core/src/lib.rs:
+crates/boreas-core/src/controller.rs:
+crates/boreas-core/src/critical.rs:
+crates/boreas-core/src/oracle.rs:
+crates/boreas-core/src/resilient.rs:
+crates/boreas-core/src/runner.rs:
+crates/boreas-core/src/training.rs:
+crates/boreas-core/src/vf.rs:

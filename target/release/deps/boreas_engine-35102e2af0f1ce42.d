@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/boreas_engine-35102e2af0f1ce42.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/pool.rs crates/engine/src/scenario.rs crates/engine/src/session.rs crates/engine/src/supervisor.rs
+
+/root/repo/target/release/deps/libboreas_engine-35102e2af0f1ce42.rlib: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/pool.rs crates/engine/src/scenario.rs crates/engine/src/session.rs crates/engine/src/supervisor.rs
+
+/root/repo/target/release/deps/libboreas_engine-35102e2af0f1ce42.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/pool.rs crates/engine/src/scenario.rs crates/engine/src/session.rs crates/engine/src/supervisor.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/pool.rs:
+crates/engine/src/scenario.rs:
+crates/engine/src/session.rs:
+crates/engine/src/supervisor.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/engine
+# env-dep:CARGO_PKG_VERSION=0.1.0

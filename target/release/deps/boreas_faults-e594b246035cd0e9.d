@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/boreas_faults-e594b246035cd0e9.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/release/deps/libboreas_faults-e594b246035cd0e9.rlib: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/release/deps/libboreas_faults-e594b246035cd0e9.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/boreas_floorplan-d3c88d43aecfb5a1.d: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs
+
+/root/repo/target/release/deps/libboreas_floorplan-d3c88d43aecfb5a1.rlib: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs
+
+/root/repo/target/release/deps/libboreas_floorplan-d3c88d43aecfb5a1.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/grid.rs crates/floorplan/src/placement.rs crates/floorplan/src/plan.rs crates/floorplan/src/rect.rs crates/floorplan/src/unit.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/grid.rs:
+crates/floorplan/src/placement.rs:
+crates/floorplan/src/plan.rs:
+crates/floorplan/src/rect.rs:
+crates/floorplan/src/unit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/boreas_gbt-91212022e6b4da90.d: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+/root/repo/target/release/deps/libboreas_gbt-91212022e6b4da90.rlib: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+/root/repo/target/release/deps/libboreas_gbt-91212022e6b4da90.rmeta: crates/gbt/src/lib.rs crates/gbt/src/cv.rs crates/gbt/src/dataset.rs crates/gbt/src/flat.rs crates/gbt/src/model.rs crates/gbt/src/params.rs crates/gbt/src/tree.rs
+
+crates/gbt/src/lib.rs:
+crates/gbt/src/cv.rs:
+crates/gbt/src/dataset.rs:
+crates/gbt/src/flat.rs:
+crates/gbt/src/model.rs:
+crates/gbt/src/params.rs:
+crates/gbt/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/boreas_obs-f61bbdfcaf90dc87.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libboreas_obs-f61bbdfcaf90dc87.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libboreas_obs-f61bbdfcaf90dc87.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/flight.rs crates/obs/src/metrics.rs crates/obs/src/promlint.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/flight.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/promlint.rs:
+crates/obs/src/trace.rs:

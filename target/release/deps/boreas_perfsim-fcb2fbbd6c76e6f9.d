@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/boreas_perfsim-fcb2fbbd6c76e6f9.d: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+/root/repo/target/release/deps/libboreas_perfsim-fcb2fbbd6c76e6f9.rlib: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+/root/repo/target/release/deps/libboreas_perfsim-fcb2fbbd6c76e6f9.rmeta: crates/perfsim/src/lib.rs crates/perfsim/src/config.rs crates/perfsim/src/core.rs crates/perfsim/src/counters.rs
+
+crates/perfsim/src/lib.rs:
+crates/perfsim/src/config.rs:
+crates/perfsim/src/core.rs:
+crates/perfsim/src/counters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/boreas_powersim-58550bb88fb3b5d9.d: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+/root/repo/target/release/deps/libboreas_powersim-58550bb88fb3b5d9.rlib: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+/root/repo/target/release/deps/libboreas_powersim-58550bb88fb3b5d9.rmeta: crates/powersim/src/lib.rs crates/powersim/src/config.rs crates/powersim/src/model.rs
+
+crates/powersim/src/lib.rs:
+crates/powersim/src/config.rs:
+crates/powersim/src/model.rs:

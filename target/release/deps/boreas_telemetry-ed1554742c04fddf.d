@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/boreas_telemetry-ed1554742c04fddf.d: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+/root/repo/target/release/deps/libboreas_telemetry-ed1554742c04fddf.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+/root/repo/target/release/deps/libboreas_telemetry-ed1554742c04fddf.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/dataset.rs crates/telemetry/src/features.rs crates/telemetry/src/quality.rs crates/telemetry/src/selection.rs crates/telemetry/src/split.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/quality.rs:
+crates/telemetry/src/selection.rs:
+crates/telemetry/src/split.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/boreas_thermal-4d9ddec4ee295d93.d: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+/root/repo/target/release/deps/libboreas_thermal-4d9ddec4ee295d93.rlib: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+/root/repo/target/release/deps/libboreas_thermal-4d9ddec4ee295d93.rmeta: crates/thermal/src/lib.rs crates/thermal/src/config.rs crates/thermal/src/sensor.rs crates/thermal/src/solver.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/config.rs:
+crates/thermal/src/sensor.rs:
+crates/thermal/src/solver.rs:

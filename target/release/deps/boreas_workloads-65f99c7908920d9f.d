@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/boreas_workloads-65f99c7908920d9f.d: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libboreas_workloads-65f99c7908920d9f.rlib: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libboreas_workloads-65f99c7908920d9f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/phase.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phase.rs:
+crates/workloads/src/spec.rs:

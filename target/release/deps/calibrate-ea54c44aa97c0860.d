@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-ea54c44aa97c0860.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-ea54c44aa97c0860: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

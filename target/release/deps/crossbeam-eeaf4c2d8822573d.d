@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-eeaf4c2d8822573d.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-eeaf4c2d8822573d.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-eeaf4c2d8822573d.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_hotspot-831bc9c259222ada.d: crates/bench/src/bin/debug_hotspot.rs
+
+/root/repo/target/release/deps/debug_hotspot-831bc9c259222ada: crates/bench/src/bin/debug_hotspot.rs
+
+crates/bench/src/bin/debug_hotspot.rs:

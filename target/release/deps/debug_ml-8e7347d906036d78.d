@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_ml-8e7347d906036d78.d: crates/bench/src/bin/debug_ml.rs
+
+/root/repo/target/release/deps/debug_ml-8e7347d906036d78: crates/bench/src/bin/debug_ml.rs
+
+crates/bench/src/bin/debug_ml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_thresholds-27523055f62dbf13.d: crates/bench/src/bin/debug_thresholds.rs
+
+/root/repo/target/release/deps/debug_thresholds-27523055f62dbf13: crates/bench/src/bin/debug_thresholds.rs
+
+crates/bench/src/bin/debug_thresholds.rs:

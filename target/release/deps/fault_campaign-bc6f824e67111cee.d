@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_campaign-bc6f824e67111cee.d: crates/bench/src/bin/fault_campaign.rs
+
+/root/repo/target/release/deps/fault_campaign-bc6f824e67111cee: crates/bench/src/bin/fault_campaign.rs
+
+crates/bench/src/bin/fault_campaign.rs:

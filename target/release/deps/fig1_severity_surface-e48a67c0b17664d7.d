@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_severity_surface-e48a67c0b17664d7.d: crates/bench/src/bin/fig1_severity_surface.rs
+
+/root/repo/target/release/deps/fig1_severity_surface-e48a67c0b17664d7: crates/bench/src/bin/fig1_severity_surface.rs
+
+crates/bench/src/bin/fig1_severity_surface.rs:

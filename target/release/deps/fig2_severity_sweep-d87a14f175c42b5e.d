@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_severity_sweep-d87a14f175c42b5e.d: crates/bench/src/bin/fig2_severity_sweep.rs
+
+/root/repo/target/release/deps/fig2_severity_sweep-d87a14f175c42b5e: crates/bench/src/bin/fig2_severity_sweep.rs
+
+crates/bench/src/bin/fig2_severity_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_thermal_case_study-1fadbc83c9bbea90.d: crates/bench/src/bin/fig4_thermal_case_study.rs
+
+/root/repo/target/release/deps/fig4_thermal_case_study-1fadbc83c9bbea90: crates/bench/src/bin/fig4_thermal_case_study.rs
+
+crates/bench/src/bin/fig4_thermal_case_study.rs:

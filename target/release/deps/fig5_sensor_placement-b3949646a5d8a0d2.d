@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_sensor_placement-b3949646a5d8a0d2.d: crates/bench/src/bin/fig5_sensor_placement.rs
+
+/root/repo/target/release/deps/fig5_sensor_placement-b3949646a5d8a0d2: crates/bench/src/bin/fig5_sensor_placement.rs
+
+crates/bench/src/bin/fig5_sensor_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_guardband_traces-5ef0408e059d37f8.d: crates/bench/src/bin/fig6_guardband_traces.rs
+
+/root/repo/target/release/deps/fig6_guardband_traces-5ef0408e059d37f8: crates/bench/src/bin/fig6_guardband_traces.rs
+
+crates/bench/src/bin/fig6_guardband_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_avg_frequency-2a42640b8166245c.d: crates/bench/src/bin/fig7_avg_frequency.rs
+
+/root/repo/target/release/deps/fig7_avg_frequency-2a42640b8166245c: crates/bench/src/bin/fig7_avg_frequency.rs
+
+crates/bench/src/bin/fig7_avg_frequency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_dynamic_runs-4f407d3484c1a76f.d: crates/bench/src/bin/fig8_dynamic_runs.rs
+
+/root/repo/target/release/deps/fig8_dynamic_runs-4f407d3484c1a76f: crates/bench/src/bin/fig8_dynamic_runs.rs
+
+crates/bench/src/bin/fig8_dynamic_runs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_mse_vs_size-ddc4777be0f0a17a.d: crates/bench/src/bin/fig9_mse_vs_size.rs
+
+/root/repo/target/release/deps/fig9_mse_vs_size-ddc4777be0f0a17a: crates/bench/src/bin/fig9_mse_vs_size.rs
+
+crates/bench/src/bin/fig9_mse_vs_size.rs:

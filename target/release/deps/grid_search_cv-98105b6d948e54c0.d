@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grid_search_cv-98105b6d948e54c0.d: crates/bench/src/bin/grid_search_cv.rs
+
+/root/repo/target/release/deps/grid_search_cv-98105b6d948e54c0: crates/bench/src/bin/grid_search_cv.rs
+
+crates/bench/src/bin/grid_search_cv.rs:

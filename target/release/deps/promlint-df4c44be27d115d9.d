@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/promlint-df4c44be27d115d9.d: crates/bench/src/bin/promlint.rs
+
+/root/repo/target/release/deps/promlint-df4c44be27d115d9: crates/bench/src/bin/promlint.rs
+
+crates/bench/src/bin/promlint.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-8b6cded3eca6af3d.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8b6cded3eca6af3d.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8b6cded3eca6af3d.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-268d78a416408466.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-268d78a416408466.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-2f1bf05b0035dadf.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-2f1bf05b0035dadf.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-2f1bf05b0035dadf.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_vf_pairs-fc3b4add138e0928.d: crates/bench/src/bin/table1_vf_pairs.rs
+
+/root/repo/target/release/deps/table1_vf_pairs-fc3b4add138e0928: crates/bench/src/bin/table1_vf_pairs.rs
+
+crates/bench/src/bin/table1_vf_pairs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_model_params-5da60d7af2fe65de.d: crates/bench/src/bin/table2_model_params.rs
+
+/root/repo/target/release/deps/table2_model_params-5da60d7af2fe65de: crates/bench/src/bin/table2_model_params.rs
+
+crates/bench/src/bin/table2_model_params.rs:

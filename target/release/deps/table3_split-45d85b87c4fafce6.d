@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_split-45d85b87c4fafce6.d: crates/bench/src/bin/table3_split.rs
+
+/root/repo/target/release/deps/table3_split-45d85b87c4fafce6: crates/bench/src/bin/table3_split.rs
+
+crates/bench/src/bin/table3_split.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_feature_importance-0bb9435307ce7fac.d: crates/bench/src/bin/table4_feature_importance.rs
+
+/root/repo/target/release/deps/table4_feature_importance-0bb9435307ce7fac: crates/bench/src/bin/table4_feature_importance.rs
+
+crates/bench/src/bin/table4_feature_importance.rs:

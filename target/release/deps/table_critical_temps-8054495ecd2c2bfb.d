@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_critical_temps-8054495ecd2c2bfb.d: crates/bench/src/bin/table_critical_temps.rs
+
+/root/repo/target/release/deps/table_critical_temps-8054495ecd2c2bfb: crates/bench/src/bin/table_critical_temps.rs
+
+crates/bench/src/bin/table_critical_temps.rs:

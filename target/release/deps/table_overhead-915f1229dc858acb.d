@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_overhead-915f1229dc858acb.d: crates/bench/src/bin/table_overhead.rs
+
+/root/repo/target/release/deps/table_overhead-915f1229dc858acb: crates/bench/src/bin/table_overhead.rs
+
+crates/bench/src/bin/table_overhead.rs:
