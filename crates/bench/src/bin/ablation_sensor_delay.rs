@@ -12,9 +12,7 @@
 
 use boreas_bench::experiments::LOOP_STEPS;
 use boreas_bench::Reporting;
-use boreas_core::{
-    train_boreas_model, train_safe_thresholds, CriticalTemps, TrainingConfig, VfTable,
-};
+use boreas_core::{CriticalTemps, TrainSpec, VfTable};
 use engine::{ControllerSpec, Scenario, Session};
 use hotgauge::PipelineConfig;
 use telemetry::FeatureSet;
@@ -41,26 +39,19 @@ fn main() {
             150,
         )
         .expect("critical temps");
-        let thresholds = train_safe_thresholds(
-            &pipeline,
-            &vf,
-            &WorkloadSpec::train_set(),
-            crit.global_thresholds(),
-            LOOP_STEPS,
-            60,
-        )
-        .expect("threshold training");
+        let thresholds = TrainSpec::new(&pipeline)
+            .vf(vf.clone())
+            .fit_thresholds(crit.global_thresholds(), LOOP_STEPS, 60)
+            .expect("threshold training");
 
         // ML05: retrained at this delay (the sensor feature changes).
         let features = FeatureSet::full();
-        let (model, _) = train_boreas_model(
-            &pipeline,
-            &vf,
-            &WorkloadSpec::train_set(),
-            &features,
-            &TrainingConfig::default(),
-        )
-        .expect("training");
+        let model = TrainSpec::new(&pipeline)
+            .features(features.clone())
+            .vf(vf.clone())
+            .fit()
+            .expect("training")
+            .model;
 
         let scenario = Scenario::closed_loop(
             "ablation-sensor-delay",

@@ -7,7 +7,7 @@
 //! wrong here: the auto mode mutates workload heats between iterations).
 //!
 //! Usage: `cargo run --release -p boreas-bench --bin calibrate [scale] [steps]`
-//! (plus the shared `--metrics-out BASE` export flag).
+//! (plus the shared `--metrics-out BASE` and `--threads N` flags).
 
 use boreas_bench::Reporting;
 use boreas_core::VfTable;
@@ -26,6 +26,16 @@ fn target_oracle_freq(rank: usize) -> f64 {
     }
 }
 
+/// Builds the uncached session, honouring the shared `--threads` flag.
+fn session_for(pipeline: hotgauge::Pipeline, reporting: &Reporting) -> Session {
+    let session = Session::without_cache(pipeline).observe(&reporting.obs);
+    if reporting.threads() > 0 {
+        session.threads(reporting.threads())
+    } else {
+        session
+    }
+}
+
 /// Runs the full workload × VF sweep through an uncached session.
 fn sweep(
     session: &Session,
@@ -38,11 +48,11 @@ fn sweep(
     report.sweep_points().cloned().collect()
 }
 
-fn auto_calibrate(scale: f64, steps: usize, iterations: usize, obs: &obs::Obs) {
+fn auto_calibrate(scale: f64, steps: usize, iterations: usize, reporting: &Reporting) {
     let mut cfg = PipelineConfig::paper();
     cfg.power.scale = scale;
     let pipeline = cfg.build().expect("paper config builds");
-    let session = Session::without_cache(pipeline).observe(obs);
+    let session = session_for(pipeline, reporting);
     let vf = VfTable::paper();
     let mut suite = WorkloadSpec::by_severity_rank();
 
@@ -105,7 +115,7 @@ fn main() {
         let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
         let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150);
         let iters: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
-        auto_calibrate(scale, steps, iters, &reporting.obs);
+        auto_calibrate(scale, steps, iters, &reporting);
         reporting.finish(None).expect("reporting");
         return;
     }
@@ -115,7 +125,7 @@ fn main() {
     let mut cfg = PipelineConfig::paper();
     cfg.power.scale = scale;
     let pipeline = cfg.build().expect("paper config builds");
-    let session = Session::without_cache(pipeline).observe(&reporting.obs);
+    let session = session_for(pipeline, &reporting);
     let vf = VfTable::paper();
     let suite = WorkloadSpec::by_severity_rank();
 

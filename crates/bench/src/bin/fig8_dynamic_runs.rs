@@ -9,12 +9,14 @@
 //! [`engine::Scenario`]; the per-interval traces come straight off the
 //! engine's result rows.
 //!
-//! Usage: `fig8_dynamic_runs [--smoke] [--metrics-out BASE]`.
+//! Usage: `fig8_dynamic_runs [--smoke] [--threads N] [--metrics-out BASE]`.
 //! `--smoke` shrinks the grid to 2 workloads × 48 steps with cheap
 //! stand-in controllers (flat 70 °C thermal thresholds, a tiny
 //! frequency-only GBT model) so CI can exercise the full
-//! engine/controller/observability path in seconds; `--metrics-out`
-//! exports the observability artifacts (`BASE.prom`, `BASE.jsonl`).
+//! engine/controller/observability path in seconds; `--threads` sets
+//! both the engine worker count and the trainer thread count (output is
+//! bit-identical for every value); `--metrics-out` exports the
+//! observability artifacts (`BASE.prom`, `BASE.jsonl`).
 
 use boreas_bench::experiments::{Experiment, LOOP_STEPS};
 use boreas_bench::Reporting;
@@ -25,15 +27,19 @@ use workloads::WorkloadSpec;
 /// frequency/5 model — the paper shape does not hold under them, but
 /// every code path (thermal + ML decisions, flight events, metrics)
 /// still runs.
-fn smoke_controllers(vf_len: usize) -> Vec<ControllerSpec> {
+fn smoke_controllers(vf_len: usize, threads: usize) -> Vec<ControllerSpec> {
     let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
     for i in 0..200 {
         let f = 2.0 + 3.0 * (i as f64 / 200.0);
         d.push_row(&[f], f / 5.0, (i % 2) as u32)
             .expect("synthetic row");
     }
-    let model = gbt::GbtModel::train(&d, &gbt::GbtParams::default().with_estimators(30))
-        .expect("tiny model");
+    let model = gbt::TrainSpec::new(&d)
+        .params(gbt::GbtParams::default().with_estimators(30))
+        .threads(threads)
+        .fit()
+        .expect("tiny model")
+        .model;
     let features = telemetry::FeatureSet::from_names(&["frequency_ghz"]).expect("feature");
     vec![
         ControllerSpec::thermal(vec![Some(70.0); vf_len], 0.0),
@@ -50,7 +56,7 @@ fn main() {
 
     let (name, tests, steps, controllers) = if smoke {
         let tests: Vec<WorkloadSpec> = WorkloadSpec::test_set().into_iter().take(2).collect();
-        let controllers = smoke_controllers(exp.vf.len());
+        let controllers = smoke_controllers(exp.vf.len(), reporting.threads());
         ("fig8-smoke", tests, 48, controllers)
     } else {
         let thresholds = exp.trained_thresholds().expect("trained thresholds");
@@ -68,7 +74,10 @@ fn main() {
     };
 
     let scenario = Scenario::closed_loop(name, tests.clone(), exp.vf.clone(), steps, controllers);
-    let session = exp.session().expect("session");
+    let mut session = exp.session().expect("session");
+    if reporting.threads() > 0 {
+        session = session.threads(reporting.threads());
+    }
     let report = reporting
         .execute(&session, &scenario)
         .expect("dynamic runs");

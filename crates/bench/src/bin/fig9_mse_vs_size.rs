@@ -11,7 +11,7 @@
 //! `--full` for the complete 20-fold CV.
 
 use boreas_bench::experiments::{Experiment, RUN_STEPS};
-use boreas_core::{train_boreas_model, TrainingConfig, VfTable};
+use boreas_core::{TrainSpec, TrainingConfig, VfTable};
 use gbt::{GbtModel, GbtParams};
 use workloads::WorkloadSpec;
 
@@ -22,18 +22,18 @@ fn main() {
     let vf = VfTable::paper();
 
     // Extract the training dataset once.
-    let (_, data) = train_boreas_model(
-        &exp.pipeline,
-        &vf,
-        &WorkloadSpec::train_set(),
-        &features,
-        &TrainingConfig {
+    let data = TrainSpec::new(&exp.pipeline)
+        .features(features)
+        .vf(vf)
+        .workloads(&WorkloadSpec::train_set())
+        .config(TrainingConfig {
             steps: RUN_STEPS,
             params: GbtParams::default().with_estimators(1),
             ..TrainingConfig::default()
-        },
-    )
-    .expect("dataset extraction");
+        })
+        .fit()
+        .expect("dataset extraction")
+        .dataset;
 
     // Fold subset: every 4th training group unless --full.
     let groups = data.distinct_groups();

@@ -6,7 +6,7 @@
 //! set (slow).
 
 use boreas_bench::experiments::{Experiment, RUN_STEPS};
-use boreas_core::{train_boreas_model, TrainingConfig, VfTable};
+use boreas_core::{TrainSpec, TrainingConfig, VfTable};
 use gbt::{grid_search, GbtParams};
 use workloads::WorkloadSpec;
 
@@ -27,18 +27,18 @@ fn main() {
         .collect()
     };
     let steps = if full { RUN_STEPS } else { 80 };
-    let (_, data) = train_boreas_model(
-        &exp.pipeline,
-        &vf,
-        &workloads,
-        &features,
-        &TrainingConfig {
+    let data = TrainSpec::new(&exp.pipeline)
+        .features(features)
+        .vf(vf)
+        .workloads(&workloads)
+        .config(TrainingConfig {
             steps,
             params: GbtParams::default().with_estimators(1),
             ..TrainingConfig::default()
-        },
-    )
-    .expect("dataset extraction");
+        })
+        .fit()
+        .expect("dataset extraction")
+        .dataset;
     println!(
         "grid search over {} instances from {} workloads, leave-one-application-out\n",
         data.len(),

@@ -1,7 +1,7 @@
 //! Table II: the Boreas model parameters and dataset statistics.
 
 use boreas_bench::experiments::{Experiment, RUN_STEPS};
-use boreas_core::{train_boreas_model, TrainingConfig, VfTable};
+use boreas_core::{TrainSpec, TrainingConfig, VfTable};
 use workloads::WorkloadSpec;
 
 fn main() {
@@ -12,14 +12,14 @@ fn main() {
 
     // Count the dataset the deployed model trains on.
     let vf = VfTable::paper();
-    let (_, train_data) = train_boreas_model(
-        &exp.pipeline,
-        &vf,
-        &WorkloadSpec::train_set(),
-        &features,
-        &cfg,
-    )
-    .expect("training flow");
+    let train_data = TrainSpec::new(&exp.pipeline)
+        .features(features.clone())
+        .vf(vf.clone())
+        .workloads(&WorkloadSpec::train_set())
+        .config(cfg)
+        .fit()
+        .expect("training flow")
+        .dataset;
 
     println!("Table II: Boreas model parameters (paper values in parentheses)\n");
     println!(

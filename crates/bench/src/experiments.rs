@@ -8,7 +8,7 @@
 //! location honours `BOREAS_CACHE_DIR`, and I/O failures propagate as
 //! errors instead of being silently swallowed.
 
-use boreas_core::{train_safe_thresholds, CriticalTemps, SweepTable, TrainingConfig, VfTable};
+use boreas_core::{CriticalTemps, SweepTable, TrainSpec, TrainingConfig, VfTable};
 use common::Result;
 use engine::{ArtifactCache, Scenario, Session, SessionReport};
 use gbt::{GbtModel, GbtParams};
@@ -163,14 +163,11 @@ impl Experiment {
             params: (names(&train), &initial, LOOP_STEPS, 60usize),
         };
         self.cache.get_or_compute(&desc, || {
-            train_safe_thresholds(
-                &self.pipeline,
-                &self.vf,
-                &train,
-                initial.clone(),
-                LOOP_STEPS,
-                60,
-            )
+            TrainSpec::new(&self.pipeline)
+                .vf(self.vf.clone())
+                .workloads(&train)
+                .observe(&self.obs)
+                .fit_thresholds(initial.clone(), LOOP_STEPS, 60)
         })
     }
 
@@ -214,7 +211,7 @@ impl Experiment {
         };
         let train = WorkloadSpec::train_set();
         let desc = ArtefactDesc {
-            schema: "gbt_model v1",
+            schema: "gbt_model v2",
             pipeline: self.pipeline.config(),
             vf: &self.vf,
             params: (
@@ -228,8 +225,14 @@ impl Experiment {
             ),
         };
         self.cache.get_or_compute(&desc, || {
-            boreas_core::train_boreas_model(&self.pipeline, &self.vf, &train, features, &cfg)
-                .map(|(model, _)| model)
+            TrainSpec::new(&self.pipeline)
+                .features(features.clone())
+                .vf(self.vf.clone())
+                .workloads(&train)
+                .config(cfg.clone())
+                .observe(&self.obs)
+                .fit()
+                .map(|r| r.model)
         })
     }
 }

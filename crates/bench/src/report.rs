@@ -8,7 +8,9 @@
 //! self-describing JSON lines) beside printing the footer. Binaries that
 //! drive an [`engine::Session`] also recognise `--resume`: route the run
 //! through [`Reporting::execute`] and an interrupted sweep picks up from
-//! its checkpoint manifest instead of starting over.
+//! its checkpoint manifest instead of starting over. `--threads <n>`
+//! sets the worker count for sessions and trainers (`0` = one per core);
+//! results are bit-identical for every value.
 
 use common::{Error, Result};
 use std::path::{Path, PathBuf};
@@ -22,12 +24,13 @@ pub struct Reporting {
     pub obs: obs::Obs,
     out: Option<PathBuf>,
     resume: bool,
+    threads: usize,
     rest: Vec<String>,
 }
 
 impl Reporting {
-    /// Parses `--metrics-out <base>` and `--resume` out of the process
-    /// arguments.
+    /// Parses `--metrics-out <base>`, `--resume` and `--threads <n>` out
+    /// of the process arguments.
     pub fn from_args() -> Reporting {
         Self::parse(std::env::args().skip(1))
     }
@@ -37,6 +40,7 @@ impl Reporting {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Reporting {
         let mut out = None;
         let mut resume = false;
+        let mut threads = 0;
         let mut rest = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -46,6 +50,10 @@ impl Reporting {
                 out = Some(PathBuf::from(v));
             } else if arg == "--resume" {
                 resume = true;
+            } else if arg == "--threads" {
+                threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                threads = v.parse().unwrap_or(0);
             } else {
                 rest.push(arg);
             }
@@ -54,6 +62,7 @@ impl Reporting {
             obs: obs::Obs::new(),
             out,
             resume,
+            threads,
             rest,
         }
     }
@@ -72,6 +81,11 @@ impl Reporting {
     /// `true` when `--resume` was given.
     pub fn resume(&self) -> bool {
         self.resume
+    }
+
+    /// The worker count from `--threads <n>` (`0` = auto, the default).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Runs `scenario` on `session`, honouring `--resume`: with the flag
@@ -178,5 +192,16 @@ mod tests {
         let r = Reporting::parse(args(&["--smoke", "--resume", "--seed", "7"]));
         assert!(r.resume());
         assert_eq!(r.rest(), &args(&["--smoke", "--seed", "7"])[..]);
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_in_both_forms() {
+        let r = Reporting::parse(args(&["--threads", "4", "--smoke"]));
+        assert_eq!(r.threads(), 4);
+        assert_eq!(r.rest(), &args(&["--smoke"])[..]);
+        let r = Reporting::parse(args(&["--threads=2"]));
+        assert_eq!(r.threads(), 2);
+        let r = Reporting::parse(args(&["--smoke"]));
+        assert_eq!(r.threads(), 0);
     }
 }

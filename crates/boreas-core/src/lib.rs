@@ -14,10 +14,17 @@
 //!   last-known-good substitution and graceful degradation (ML → TH
 //!   fallback → watchdog-forced global-safe) under sensor faults;
 //!
-//! plus the [`RunSpec`] closed-loop builder that executes any controller
-//! against the hotgauge pipeline at the paper's 960 µs decision cadence
-//! and accounts for reliability (hotspot incursions) and performance
-//! (average frequency normalised to the 3.75 GHz baseline).
+//! plus two builders sharing one idiom:
+//!
+//! * [`RunSpec`] — the closed-loop harness executing any controller
+//!   against the hotgauge pipeline at the paper's 960 µs decision
+//!   cadence, accounting reliability (hotspot incursions) and
+//!   performance (average frequency normalised to the 3.75 GHz
+//!   baseline);
+//! * [`TrainSpec`] — the offline Fig. 3 flow: telemetry extraction over
+//!   the training workloads × VF table, multi-threaded histogram GBT
+//!   training ([`TrainSpec::fit`]) and TH-00 threshold training
+//!   ([`TrainSpec::fit_thresholds`]).
 //!
 //! Attach an [`Obs`] bundle via [`RunSpec::obs`] to stream metrics,
 //! span timings and per-decision flight events out of a run; the obs
@@ -46,8 +53,6 @@ pub use oracle::{oracle_frequencies, OracleController, SweepTable};
 pub use resilient::{
     ControlStage, DegradationEvent, DegradationLog, ResilienceConfig, ResilientController,
 };
-pub use runner::{
-    train_safe_thresholds, ClosedLoopOutcome, ObservationFilter, PassthroughFilter, RunSpec,
-};
-pub use training::{train_boreas_model, TrainingConfig};
+pub use runner::{ClosedLoopOutcome, ObservationFilter, PassthroughFilter, RunSpec};
+pub use training::{TrainReport, TrainSpec, TrainingConfig};
 pub use vf::{VfPoint, VfTable};

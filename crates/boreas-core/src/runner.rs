@@ -356,66 +356,6 @@ impl<'p, 'f> RunSpec<'p, 'f> {
     }
 }
 
-/// Trains closed-loop-safe thermal thresholds (§III-D / Fig. 4's TH-00).
-///
-/// The paper's TH-00 is "a thermal model trained on a threshold that is
-/// safe for all workloads in the training set": the raw critical
-/// temperatures (lowest sensor reading coinciding with severity 1.0) are
-/// necessary but not sufficient, because the sensor delay lets a fast
-/// hotspot overshoot before the threshold trips. This routine starts from
-/// the measured critical temperatures and lowers the threshold of any VF
-/// point at which a training workload still incurs, until every training
-/// workload runs clean (or `max_iters` is exhausted). Runs start at the
-/// 3.75 GHz baseline index of `vf`.
-///
-/// # Errors
-///
-/// Propagates closed-loop errors.
-pub fn train_safe_thresholds(
-    pipeline: &Pipeline,
-    vf: &VfTable,
-    workloads: &[WorkloadSpec],
-    initial: Vec<Option<f64>>,
-    total_steps: usize,
-    max_iters: usize,
-) -> Result<Vec<Option<f64>>> {
-    let mut spec = RunSpec::new(pipeline).vf(vf.clone()).steps(total_steps);
-    let mut thresholds = initial;
-    for _ in 0..max_iters {
-        let mut clean = true;
-        for w in workloads {
-            let mut c =
-                crate::controller::ThermalController::from_thresholds(thresholds.clone(), 0.0);
-            let out = spec.run(w, &mut c)?;
-            if out.incursions == 0 {
-                continue;
-            }
-            clean = false;
-            // Lower the threshold of every frequency at which an
-            // incursion was observed (and of all higher frequencies, to
-            // keep the threshold profile monotone in risk) — by one
-            // degree per offending frequency per training pass.
-            let mut offending: Vec<usize> = out
-                .records
-                .iter()
-                .filter(|r| r.max_severity.is_incursion())
-                .filter_map(|r| vf.index_of(r.frequency))
-                .collect();
-            offending.sort_unstable();
-            offending.dedup();
-            if let Some(&lowest) = offending.first() {
-                for v in thresholds.iter_mut().skip(lowest).flatten() {
-                    *v -= 1.0;
-                }
-            }
-        }
-        if clean {
-            break;
-        }
-    }
-    Ok(thresholds)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,9 +477,11 @@ mod tests {
         let mut c = ThermalController::from_thresholds(permissive.clone(), 0.0);
         let before = RunSpec::new(&p).steps(144).run(&spec, &mut c).unwrap();
         assert!(before.incursions > 0, "permissive thresholds must incur");
-        let trained =
-            train_safe_thresholds(&p, &vf, std::slice::from_ref(&spec), permissive, 144, 60)
-                .unwrap();
+        let trained = crate::training::TrainSpec::new(&p)
+            .vf(vf)
+            .workloads(std::slice::from_ref(&spec))
+            .fit_thresholds(permissive, 144, 60)
+            .unwrap();
         let mut c = ThermalController::from_thresholds(trained, 0.0);
         let after = RunSpec::new(&p).steps(144).run(&spec, &mut c).unwrap();
         assert_eq!(after.incursions, 0, "trained thresholds must be safe");

@@ -1,9 +1,17 @@
-//! End-to-end Boreas model training (the Fig. 3 offline flow).
+//! End-to-end Boreas training behind one builder (the Fig. 3 offline
+//! flow).
 //!
-//! Glues the pieces together: sweep the training workloads over the VF
-//! table through the pipeline, extract the telemetry dataset, and train
-//! the GBT severity predictor with the Table II hyper-parameters.
+//! [`TrainSpec`] mirrors the closed-loop [`crate::RunSpec`] idiom:
+//! pipeline + feature schema in, then chain `vf` / `workloads` /
+//! `config` / `threads` / `observe`, and finish with either
+//!
+//! * [`TrainSpec::fit`] — sweep the workloads over the VF table, extract
+//!   the telemetry dataset and train the GBT severity predictor
+//!   (histogram trainer, thread-count-invariant); or
+//! * [`TrainSpec::fit_thresholds`] — train closed-loop-safe thermal
+//!   thresholds for the TH-00 baseline (§III-D / Fig. 4).
 
+use crate::runner::RunSpec;
 use crate::vf::VfTable;
 use common::units::{GigaHertz, Volts};
 use common::Result;
@@ -39,37 +47,221 @@ impl Default for TrainingConfig {
     }
 }
 
-/// Trains the Boreas severity predictor on the given workloads (use
-/// [`WorkloadSpec::train_set`] for the paper's flow) with the given
-/// feature schema.
+/// What [`TrainSpec::fit`] produced: the model, the extracted dataset
+/// (for importance/CV studies) and the trainer's statistics.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// The trained severity predictor.
+    pub model: GbtModel,
+    /// The telemetry dataset the model was fitted on.
+    pub dataset: gbt::Dataset,
+    /// Row/bin/thread accounting from the underlying trainer.
+    pub stats: gbt::TrainStats,
+}
+
+/// Builder for the offline training flow.
 ///
-/// Returns the model together with the extracted training dataset (for
-/// importance/CV studies).
-///
-/// # Errors
-///
-/// Propagates pipeline and training errors.
-pub fn train_boreas_model(
-    pipeline: &Pipeline,
-    vf: &VfTable,
-    workloads: &[WorkloadSpec],
-    features: &FeatureSet,
-    cfg: &TrainingConfig,
-) -> Result<(GbtModel, gbt::Dataset)> {
-    let points: Vec<(GigaHertz, Volts)> = vf
-        .points()
-        .iter()
-        .map(|p| (p.frequency, p.voltage))
-        .collect();
-    let spec = DatasetSpec {
-        steps: cfg.steps,
-        horizon: cfg.horizon,
-        sensor_idx: cfg.sensor_idx,
-        label_cap: cfg.label_cap,
-    };
-    let data = build_dataset(pipeline, features, workloads, &points, &spec)?;
-    let model = GbtModel::train(&data, &cfg.params)?;
-    Ok((model, data))
+/// Defaults: the full telemetry schema ([`FeatureSet::full`]), the paper
+/// VF table, the paper training set ([`WorkloadSpec::train_set`]),
+/// [`TrainingConfig::default`], automatic thread count, observability
+/// off.
+pub struct TrainSpec<'a> {
+    pipeline: &'a Pipeline,
+    features: FeatureSet,
+    vf: VfTable,
+    workloads: Vec<WorkloadSpec>,
+    config: TrainingConfig,
+    threads: usize,
+    method: gbt::TrainMethod,
+    obs: obs::Obs,
+}
+
+impl<'a> TrainSpec<'a> {
+    /// Starts a spec over a pipeline.
+    pub fn new(pipeline: &'a Pipeline) -> TrainSpec<'a> {
+        TrainSpec {
+            pipeline,
+            features: FeatureSet::full(),
+            vf: VfTable::paper(),
+            workloads: WorkloadSpec::train_set(),
+            config: TrainingConfig::default(),
+            threads: 0,
+            method: gbt::TrainMethod::Histogram,
+            obs: obs::Obs::default(),
+        }
+    }
+
+    /// Sets the telemetry feature schema the model is trained on.
+    #[must_use]
+    pub fn features(mut self, features: FeatureSet) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Sets the VF operating-point table.
+    #[must_use]
+    pub fn vf(mut self, vf: VfTable) -> Self {
+        self.vf = vf;
+        self
+    }
+
+    /// Sets the training workloads.
+    #[must_use]
+    pub fn workloads(mut self, workloads: &[WorkloadSpec]) -> Self {
+        self.workloads = workloads.to_vec();
+        self
+    }
+
+    /// Sets the full training configuration.
+    #[must_use]
+    pub fn config(mut self, config: TrainingConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets just the GBT hyper-parameters (keeps the rest of the
+    /// config).
+    #[must_use]
+    pub fn params(mut self, params: GbtParams) -> Self {
+        self.config.params = params;
+        self
+    }
+
+    /// Sets the steps per (workload, VF) extraction run.
+    #[must_use]
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.config.steps = steps;
+        self
+    }
+
+    /// Sets the trainer thread count (`0` = auto); the trained model is
+    /// bit-identical for every value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the underlying trainer (histogram by default).
+    #[must_use]
+    pub fn method(mut self, method: gbt::TrainMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Attaches an observability bundle; training emits `train_*`
+    /// counters and `train.bin` / `train.grow` spans through it.
+    #[must_use]
+    pub fn observe(mut self, obs: &obs::Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Runs the full offline flow: telemetry extraction over every
+    /// (workload, VF) pair, then GBT training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and training errors.
+    pub fn fit(&self) -> Result<TrainReport> {
+        let points: Vec<(GigaHertz, Volts)> = self
+            .vf
+            .points()
+            .iter()
+            .map(|p| (p.frequency, p.voltage))
+            .collect();
+        let spec = DatasetSpec {
+            steps: self.config.steps,
+            horizon: self.config.horizon,
+            sensor_idx: self.config.sensor_idx,
+            label_cap: self.config.label_cap,
+        };
+        let dataset = {
+            let _span = self.obs.tracer.span("train.extract");
+            build_dataset(
+                self.pipeline,
+                &self.features,
+                &self.workloads,
+                &points,
+                &spec,
+            )?
+        };
+        let report = gbt::TrainSpec::new(&dataset)
+            .params(self.config.params)
+            .threads(self.threads)
+            .method(self.method)
+            .observe(&self.obs)
+            .fit()?;
+        Ok(TrainReport {
+            model: report.model,
+            dataset,
+            stats: report.stats,
+        })
+    }
+
+    /// Trains closed-loop-safe thermal thresholds (§III-D / Fig. 4's
+    /// TH-00).
+    ///
+    /// The paper's TH-00 is "a thermal model trained on a threshold that
+    /// is safe for all workloads in the training set": the raw critical
+    /// temperatures (lowest sensor reading coinciding with severity 1.0)
+    /// are necessary but not sufficient, because the sensor delay lets a
+    /// fast hotspot overshoot before the threshold trips. Starting from
+    /// `initial`, the threshold of any VF point at which a training
+    /// workload still incurs is lowered (along with all higher VF
+    /// points, keeping the profile monotone in risk) by one degree per
+    /// pass, until every training workload runs `loop_steps` clean or
+    /// `max_iters` passes are exhausted. Runs start at the 3.75 GHz
+    /// baseline index of the VF table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates closed-loop errors.
+    pub fn fit_thresholds(
+        &self,
+        initial: Vec<Option<f64>>,
+        loop_steps: usize,
+        max_iters: usize,
+    ) -> Result<Vec<Option<f64>>> {
+        let mut spec = RunSpec::new(self.pipeline)
+            .vf(self.vf.clone())
+            .steps(loop_steps)
+            .obs(&self.obs);
+        let mut thresholds = initial;
+        for _ in 0..max_iters {
+            let mut clean = true;
+            for w in &self.workloads {
+                let mut c =
+                    crate::controller::ThermalController::from_thresholds(thresholds.clone(), 0.0);
+                let out = spec.run(w, &mut c)?;
+                if out.incursions == 0 {
+                    continue;
+                }
+                clean = false;
+                // Lower the threshold of every frequency at which an
+                // incursion was observed (and of all higher frequencies,
+                // to keep the threshold profile monotone in risk) — by
+                // one degree per offending frequency per training pass.
+                let mut offending: Vec<usize> = out
+                    .records
+                    .iter()
+                    .filter(|r| r.max_severity.is_incursion())
+                    .filter_map(|r| self.vf.index_of(r.frequency))
+                    .collect();
+                offending.sort_unstable();
+                offending.dedup();
+                if let Some(&lowest) = offending.first() {
+                    for v in thresholds.iter_mut().skip(lowest).flatten() {
+                        *v -= 1.0;
+                    }
+                }
+            }
+            if clean {
+                break;
+            }
+        }
+        Ok(thresholds)
+    }
 }
 
 #[cfg(test)]
@@ -112,8 +304,18 @@ mod tests {
             params: GbtParams::default().with_estimators(40),
             label_cap: Some(2.0),
         };
-        let (model, data) = train_boreas_model(&pipeline, &vf, &ws, &features, &cfg).unwrap();
+        let report = TrainSpec::new(&pipeline)
+            .features(features.clone())
+            .vf(vf)
+            .workloads(&ws)
+            .config(cfg)
+            .threads(1)
+            .fit()
+            .unwrap();
+        let (model, data) = (report.model, report.dataset);
         assert_eq!(data.len(), 3 * 3 * 48);
+        assert_eq!(report.stats.rows, data.len());
+        assert_eq!(report.stats.threads, 1);
         let mse = model.mse_on(&data);
         assert!(mse < 0.02, "training MSE {mse} too high");
         // Severity prediction must increase with frequency for the same

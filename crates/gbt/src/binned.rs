@@ -1,0 +1,319 @@
+//! Feature quantisation: bin cuts and the binned (u8-coded) dataset.
+//!
+//! Histogram-based training never looks at raw feature values while
+//! growing trees; it works on per-feature integer bin codes computed
+//! once per dataset. [`BinCuts`] holds the per-feature cut points
+//! (at most `max_bins - 1` of them, so codes always fit a `u8`);
+//! [`BinnedDataset`] holds the row-major code matrix.
+//!
+//! Cut placement mirrors the exact-greedy reference: when a feature has
+//! at most `max_bins` distinct values, the cuts are exactly the
+//! midpoints between consecutive distinct values — the same candidate
+//! thresholds the exact scan considers — so histogram training on such
+//! *pre-binned* data explores the identical split space. Features with
+//! more distinct values get quantile cuts (equal-rank spacing over the
+//! sorted column).
+
+use crate::dataset::Dataset;
+use common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Hard ceiling on the bin count: codes are stored as `u8`.
+pub const MAX_BINS_LIMIT: usize = 256;
+
+/// Per-feature cut points; bin `b` of feature `f` covers
+/// `cuts[f][b-1] <= x < cuts[f][b]` (with open outer edges).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinCuts {
+    cuts: Vec<Vec<f64>>,
+    max_bins: usize,
+}
+
+impl BinCuts {
+    /// Learns cut points from every feature column of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] for an empty dataset and
+    /// [`Error::InvalidConfig`] when `max_bins` is outside `2..=256`.
+    pub fn fit(data: &Dataset, max_bins: usize) -> Result<BinCuts> {
+        if !(2..=MAX_BINS_LIMIT).contains(&max_bins) {
+            return Err(Error::invalid_config(
+                "binning",
+                format!("max_bins must be in 2..={MAX_BINS_LIMIT}, got {max_bins}"),
+            ));
+        }
+        if data.is_empty() {
+            return Err(Error::EmptyDataset("binning input"));
+        }
+        let cuts = (0..data.num_features())
+            .map(|f| feature_cuts(data.column(f), max_bins))
+            .collect();
+        Ok(BinCuts { cuts, max_bins })
+    }
+
+    /// Number of features covered.
+    pub fn num_features(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// The `max_bins` these cuts were fitted with.
+    pub fn max_bins(&self) -> usize {
+        self.max_bins
+    }
+
+    /// Number of bins of feature `f` (`cuts + 1`, at least 1).
+    pub fn num_bins(&self, f: usize) -> usize {
+        self.cuts[f].len() + 1
+    }
+
+    /// Sum of bin counts over all features.
+    pub fn total_bins(&self) -> usize {
+        (0..self.num_features()).map(|f| self.num_bins(f)).sum()
+    }
+
+    /// The threshold realising a split that sends bins `0..=b` of
+    /// feature `f` left: rows with `x < threshold(f, b)` are exactly the
+    /// rows coded `<= b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a valid cut index of feature `f`.
+    pub fn threshold(&self, f: usize, b: usize) -> f64 {
+        self.cuts[f][b]
+    }
+
+    /// Bin code of value `x` under feature `f`'s cuts: the number of
+    /// cuts `<= x`, consistent with the strict `<` used by tree descent.
+    pub fn bin(&self, f: usize, x: f64) -> u8 {
+        debug_assert!(self.cuts[f].len() < MAX_BINS_LIMIT);
+        self.cuts[f].partition_point(|&c| c <= x) as u8
+    }
+}
+
+/// Cuts for one column: midpoints between consecutive distinct values
+/// when there are at most `max_bins` of them, quantile midpoints
+/// otherwise. Cuts are strictly increasing.
+fn feature_cuts(col: &[f64], max_bins: usize) -> Vec<f64> {
+    let mut sorted = col.to_vec();
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("dataset rejects non-finite features")
+    });
+    sorted.dedup();
+    let distinct = sorted.len();
+    let mut cuts = Vec::new();
+    if distinct <= max_bins {
+        for w in sorted.windows(2) {
+            cuts.push(midpoint(w[0], w[1]));
+        }
+    } else {
+        // Quantile cuts over the distinct values: even rank spacing keeps
+        // every bin populated regardless of the value distribution.
+        for b in 1..max_bins {
+            let rank = b * distinct / max_bins;
+            let cut = midpoint(sorted[rank - 1], sorted[rank]);
+            if cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+    }
+    cuts
+}
+
+/// The exact-greedy candidate threshold between two adjacent values.
+fn midpoint(a: f64, b: f64) -> f64 {
+    (a + b) / 2.0
+}
+
+/// A dataset quantised against a [`BinCuts`]: one `u8` code per
+/// (row, feature), stored row-major so the histogram accumulation inner
+/// loop streams each row's codes sequentially.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedDataset {
+    cuts: BinCuts,
+    codes: Vec<u8>,
+    n_rows: usize,
+    n_features: usize,
+    /// Cumulative bin offsets per feature into a flat histogram
+    /// (`offsets[f]..offsets[f] + num_bins(f)`).
+    offsets: Vec<u32>,
+    targets: Vec<f64>,
+}
+
+impl BinnedDataset {
+    /// Quantises `data` with freshly fitted cuts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BinCuts::fit`] errors.
+    pub fn from_dataset(data: &Dataset, max_bins: usize) -> Result<BinnedDataset> {
+        let cuts = BinCuts::fit(data, max_bins)?;
+        Ok(Self::with_cuts(data, cuts))
+    }
+
+    /// Quantises `data` against existing cuts (feature arity must
+    /// match; values outside the fitted range land in the edge bins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cuts` covers a different number of features.
+    pub fn with_cuts(data: &Dataset, cuts: BinCuts) -> BinnedDataset {
+        let n_rows = data.len();
+        let n_features = data.num_features();
+        assert_eq!(cuts.num_features(), n_features, "cuts/features arity");
+        let mut codes = vec![0u8; n_rows * n_features];
+        for f in 0..n_features {
+            let col = data.column(f);
+            for (r, &x) in col.iter().enumerate() {
+                codes[r * n_features + f] = cuts.bin(f, x);
+            }
+        }
+        let mut offsets = Vec::with_capacity(n_features + 1);
+        let mut acc = 0u32;
+        for f in 0..n_features {
+            offsets.push(acc);
+            acc += cuts.num_bins(f) as u32;
+        }
+        offsets.push(acc);
+        BinnedDataset {
+            cuts,
+            codes,
+            n_rows,
+            n_features,
+            offsets,
+            targets: data.targets().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// `true` when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The cuts the codes were produced with.
+    pub fn cuts(&self) -> &BinCuts {
+        &self.cuts
+    }
+
+    /// The training targets, in row order.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Total histogram width (sum of per-feature bin counts).
+    pub fn total_bins(&self) -> usize {
+        self.offsets[self.n_features] as usize
+    }
+
+    /// Flat-histogram offset of feature `f`'s bin 0.
+    pub(crate) fn offset(&self, f: usize) -> u32 {
+        self.offsets[f]
+    }
+
+    /// One row's codes (length `num_features`).
+    pub(crate) fn row_codes(&self, r: usize) -> &[u8] {
+        &self.codes[r * self.n_features..(r + 1) * self.n_features]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..20 {
+            d.push_row(&[(i % 4) as f64, i as f64], i as f64, 0)
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn prebinned_feature_gets_midpoint_cuts() {
+        let d = toy();
+        let cuts = BinCuts::fit(&d, 256).unwrap();
+        // Feature a has distinct values {0,1,2,3} -> cuts at 0.5, 1.5, 2.5.
+        assert_eq!(cuts.num_bins(0), 4);
+        assert_eq!(cuts.threshold(0, 0), 0.5);
+        assert_eq!(cuts.threshold(0, 1), 1.5);
+        assert_eq!(cuts.threshold(0, 2), 2.5);
+        assert_eq!(cuts.bin(0, 0.0), 0);
+        assert_eq!(cuts.bin(0, 1.0), 1);
+        assert_eq!(cuts.bin(0, 3.0), 3);
+    }
+
+    #[test]
+    fn quantile_cuts_cover_wide_columns() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..1000 {
+            d.push_row(&[i as f64], 0.0, 0).unwrap();
+        }
+        let cuts = BinCuts::fit(&d, 16).unwrap();
+        assert_eq!(cuts.num_bins(0), 16);
+        // Codes span all bins and are monotone in the value.
+        let binned = BinnedDataset::from_dataset(&d, 16).unwrap();
+        let codes: Vec<u8> = (0..1000).map(|r| binned.row_codes(r)[0]).collect();
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*codes.first().unwrap(), 0);
+        assert_eq!(*codes.last().unwrap(), 15);
+    }
+
+    #[test]
+    fn bin_boundaries_agree_with_strict_less_than() {
+        let d = toy();
+        let cuts = BinCuts::fit(&d, 256).unwrap();
+        for b in 0..cuts.num_bins(0) - 1 {
+            let thr = cuts.threshold(0, b);
+            for v in [0.0, 1.0, 2.0, 3.0] {
+                assert_eq!(v < thr, cuts.bin(0, v) as usize <= b, "v={v} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_feature_has_one_bin() {
+        let mut d = Dataset::new(vec!["c".into()]);
+        for _ in 0..10 {
+            d.push_row(&[7.0], 1.0, 0).unwrap();
+        }
+        let cuts = BinCuts::fit(&d, 64).unwrap();
+        assert_eq!(cuts.num_bins(0), 1);
+        assert_eq!(cuts.bin(0, 7.0), 0);
+    }
+
+    #[test]
+    fn max_bins_bounds_are_enforced() {
+        let d = toy();
+        assert!(BinCuts::fit(&d, 1).is_err());
+        assert!(BinCuts::fit(&d, 257).is_err());
+        assert!(BinCuts::fit(&d, 2).is_ok());
+        let empty = Dataset::new(vec!["x".into()]);
+        assert!(BinCuts::fit(&empty, 16).is_err());
+    }
+
+    #[test]
+    fn offsets_partition_the_flat_histogram() {
+        let d = toy();
+        let binned = BinnedDataset::from_dataset(&d, 256).unwrap();
+        assert_eq!(binned.offset(0), 0);
+        assert_eq!(binned.offset(1) as usize, binned.cuts().num_bins(0));
+        assert_eq!(
+            binned.total_bins(),
+            binned.cuts().num_bins(0) + binned.cuts().num_bins(1)
+        );
+        assert_eq!(binned.len(), 20);
+        assert_eq!(binned.num_features(), 2);
+    }
+}

@@ -1,0 +1,548 @@
+//! Histogram-based tree growth with deterministic parallel reduction.
+//!
+//! The LightGBM-style recipe on top of [`crate::binned`]:
+//!
+//! * per-node **gradient/count histograms** — one `(Σg, rows)` cell per
+//!   feature bin — accumulated by streaming the row-major code matrix;
+//! * the **parent − sibling subtraction trick**: per split only the
+//!   smaller child's histogram is accumulated from rows; the larger
+//!   child's is the elementwise difference from the parent's;
+//! * split finding as a prefix scan over bins with the same XGBoost
+//!   gain `½·[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ` the exact
+//!   path uses (squared loss ⇒ hessians are row counts, kept as exact
+//!   `u32`s).
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical at any thread count**. Rows are cut into
+//! fixed [`BLOCK_ROWS`]-sized blocks; every block's partial histogram is
+//! computed independently (threads take blocks round-robin) and the
+//! partials are merged *in block order*, so each bin's gradient sum is
+//! always the same left-to-right float reduction regardless of how many
+//! threads produced the partials. The single-thread path runs the
+//! identical block/merge code.
+
+use crate::binned::BinnedDataset;
+use crate::params::GbtParams;
+use crate::tree::{Node, RegressionTree};
+
+/// Rows per accumulation block. Fixed — never derived from the thread
+/// count — because block boundaries define the float-merge order.
+pub const BLOCK_ROWS: usize = 4096;
+
+/// Sentinel in the per-level row→slot map: row not in any node that is
+/// being accumulated this level.
+const SKIP: u16 = u16::MAX;
+
+/// One node's histogram: per-bin gradient sums and row counts, flat
+/// across all features (`BinnedDataset::offset` indexing).
+#[derive(Clone)]
+struct Hist {
+    g: Vec<f64>,
+    n: Vec<u32>,
+}
+
+impl Hist {
+    fn zeroed(width: usize) -> Hist {
+        Hist {
+            g: vec![0.0; width],
+            n: vec![0; width],
+        }
+    }
+
+    /// `self ← self − other` elementwise (the subtraction trick).
+    fn subtract(&mut self, other: &Hist) {
+        for (a, b) in self.g.iter_mut().zip(&other.g) {
+            *a -= b;
+        }
+        for (a, b) in self.n.iter_mut().zip(&other.n) {
+            *a -= b;
+        }
+    }
+}
+
+/// A frontier node during level-wise growth.
+struct FrontNode {
+    id: u32,
+    g: f64,
+    n: u32,
+    /// `Some` once this node's histogram is available.
+    hist: Option<Hist>,
+    /// `true` → accumulate from rows; `false` → subtract from parent.
+    accumulate: bool,
+    /// For subtract nodes: the parent's histogram (taken at split time)
+    /// and the sibling's frontier index to subtract once it is ready.
+    parent_hist: Option<Hist>,
+    sibling: usize,
+}
+
+/// The best split found for one node.
+#[derive(Clone, Copy)]
+struct Best {
+    gain: f64,
+    feature: u32,
+    bin: u16,
+    g_left: f64,
+    n_left: u32,
+}
+
+/// Accumulates histograms for the marked rows: `row_slot[r]` selects
+/// which of the `n_slots` node histograms row `r` belongs to ([`SKIP`]
+/// for none). Returns one flat histogram of width
+/// `n_slots × total_bins`, produced by merging fixed-size block partials
+/// in block order (see module docs).
+fn accumulate(
+    binned: &BinnedDataset,
+    grad: &[f64],
+    row_slot: &[u16],
+    n_slots: usize,
+    threads: usize,
+) -> Hist {
+    let n_rows = binned.len();
+    let n_features = binned.num_features();
+    let total_bins = binned.total_bins();
+    let width = n_slots * total_bins;
+    let offsets: Vec<u32> = (0..n_features).map(|f| binned.offset(f)).collect();
+    let n_blocks = n_rows.div_ceil(BLOCK_ROWS);
+
+    let block_partial = |b: usize| -> Hist {
+        let mut part = Hist::zeroed(width);
+        let start = b * BLOCK_ROWS;
+        let end = (start + BLOCK_ROWS).min(n_rows);
+        for r in start..end {
+            let slot = row_slot[r];
+            if slot == SKIP {
+                continue;
+            }
+            let g = grad[r];
+            let base = slot as usize * total_bins;
+            let codes = binned.row_codes(r);
+            for (&code, &off) in codes.iter().zip(&offsets) {
+                let idx = base + (off + code as u32) as usize;
+                part.g[idx] += g;
+                part.n[idx] += 1;
+            }
+        }
+        part
+    };
+
+    let mut total = Hist::zeroed(width);
+    let mut merge = |part: &Hist| {
+        for (a, b) in total.g.iter_mut().zip(&part.g) {
+            *a += b;
+        }
+        for (a, b) in total.n.iter_mut().zip(&part.n) {
+            *a += b;
+        }
+    };
+
+    if threads <= 1 || n_blocks <= 1 {
+        for b in 0..n_blocks {
+            merge(&block_partial(b));
+        }
+    } else {
+        let t = threads.min(n_blocks);
+        // Thread k takes blocks k, k+t, k+2t, … and returns the partials
+        // tagged with their block index; the merge below runs strictly
+        // in block order, so the reduction is thread-count invariant.
+        let tagged: Vec<Vec<(usize, Hist)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..t)
+                .map(|k| {
+                    let block_partial = &block_partial;
+                    scope.spawn(move || {
+                        (k..n_blocks)
+                            .step_by(t)
+                            .map(|b| (b, block_partial(b)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("histogram worker"))
+                .collect()
+        });
+        let mut by_block: Vec<Option<Hist>> = (0..n_blocks).map(|_| None).collect();
+        for (b, part) in tagged.into_iter().flatten() {
+            by_block[b] = Some(part);
+        }
+        for part in by_block.into_iter().flatten() {
+            merge(&part);
+        }
+    }
+    total
+}
+
+/// Scans one node's histogram for its best split (bin-boundary prefix
+/// scan). Features ascending, boundaries ascending, strict `>` — the
+/// same first-wins tie-breaking as the exact-greedy reference.
+fn best_split(
+    binned: &BinnedDataset,
+    hist: &Hist,
+    g: f64,
+    n: u32,
+    params: &GbtParams,
+) -> Option<Best> {
+    let h = f64::from(n);
+    let lambda = params.lambda;
+    let parent_score = g * g / (h + lambda);
+    let mut best: Option<Best> = None;
+    for f in 0..binned.num_features() {
+        let nb = binned.cuts().num_bins(f);
+        if nb < 2 {
+            continue;
+        }
+        let off = binned.offset(f) as usize;
+        let mut gl = 0.0f64;
+        let mut nl = 0u32;
+        for b in 0..nb - 1 {
+            gl += hist.g[off + b];
+            nl += hist.n[off + b];
+            let hl = f64::from(nl);
+            let hr = f64::from(n - nl);
+            if hl < params.min_child_weight || hr < params.min_child_weight {
+                continue;
+            }
+            let gr = g - gl;
+            let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                - params.gamma;
+            if best.is_none_or(|x| gain > x.gain) {
+                best = Some(Best {
+                    gain,
+                    feature: f as u32,
+                    bin: b as u16,
+                    g_left: gl,
+                    n_left: nl,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Grows one tree on the binned dataset and gradient vector. Returns the
+/// tree (with real-valued thresholds, interchangeable with the exact
+/// path's trees) and each row's final node id, which the boosting loop
+/// uses to update predictions without re-walking trees.
+fn grow_tree(
+    binned: &BinnedDataset,
+    grad: &[f64],
+    params: &GbtParams,
+    threads: usize,
+) -> (RegressionTree, Vec<u32>) {
+    let n_rows = binned.len();
+    let total_bins = binned.total_bins();
+    let lambda = params.lambda;
+
+    let mut nodes: Vec<Node> = vec![Node::leaf(0.0)];
+    let mut node_of_row: Vec<u32> = vec![0; n_rows];
+
+    let mut frontier = vec![FrontNode {
+        id: 0,
+        g: 0.0, // filled from the root histogram below
+        n: n_rows as u32,
+        hist: None,
+        accumulate: true,
+        parent_hist: None,
+        sibling: usize::MAX,
+    }];
+
+    let mut depth_reached = 0usize;
+    for depth in 0..params.max_depth {
+        if frontier.is_empty() {
+            break;
+        }
+
+        // 1. Histograms: accumulate the marked nodes in one pass …
+        let accum: Vec<usize> = (0..frontier.len())
+            .filter(|&i| frontier[i].accumulate)
+            .collect();
+        if !accum.is_empty() {
+            let mut slot_of_id = vec![SKIP; nodes.len()];
+            for (slot, &i) in accum.iter().enumerate() {
+                slot_of_id[frontier[i].id as usize] = slot as u16;
+            }
+            let row_slot: Vec<u16> = node_of_row
+                .iter()
+                .map(|&id| slot_of_id[id as usize])
+                .collect();
+            let flat = accumulate(binned, grad, &row_slot, accum.len(), threads);
+            for (slot, &i) in accum.iter().enumerate() {
+                let lo = slot * total_bins;
+                frontier[i].hist = Some(Hist {
+                    g: flat.g[lo..lo + total_bins].to_vec(),
+                    n: flat.n[lo..lo + total_bins].to_vec(),
+                });
+            }
+        }
+        // … then derive the subtract nodes from parent − sibling.
+        for i in 0..frontier.len() {
+            if frontier[i].accumulate || frontier[i].hist.is_some() {
+                continue;
+            }
+            let mut parent = frontier[i]
+                .parent_hist
+                .take()
+                .expect("subtract node has parent hist");
+            let sib = frontier[i].sibling;
+            parent.subtract(
+                frontier[sib]
+                    .hist
+                    .as_ref()
+                    .expect("sibling accumulated first"),
+            );
+            frontier[i].hist = Some(parent);
+        }
+        if depth == 0 {
+            // Root totals come off its own histogram: every row lands in
+            // exactly one bin of feature 0.
+            let root = &mut frontier[0];
+            let hist = root.hist.as_ref().expect("root accumulated");
+            let nb0 = binned.cuts().num_bins(0);
+            root.g = hist.g[..nb0].iter().sum();
+            debug_assert_eq!(hist.n[..nb0].iter().sum::<u32>(), root.n);
+        }
+
+        // 2. Split or finalise each frontier node.
+        let mut next: Vec<FrontNode> = Vec::new();
+        // Per-node routing info for this level, looked up via node id.
+        let mut split_of_id: Vec<Option<(u32, u16, u32)>> = vec![None; nodes.len()];
+        for fnode in &mut frontier {
+            let (id, g_node, n_node) = (fnode.id, fnode.g, fnode.n);
+            let best = {
+                let hist = fnode.hist.as_ref().expect("frontier histogram ready");
+                best_split(binned, hist, g_node, n_node, params)
+            };
+            match best {
+                Some(b) if b.gain > 0.0 => {
+                    let left_id = nodes.len() as u32;
+                    let right_id = left_id + 1;
+                    nodes.push(Node::leaf(0.0));
+                    nodes.push(Node::leaf(0.0));
+                    let node = &mut nodes[id as usize];
+                    node.is_leaf = false;
+                    node.feature = b.feature;
+                    node.threshold = binned.cuts().threshold(b.feature as usize, b.bin as usize);
+                    node.left = left_id;
+                    node.right = right_id;
+                    node.gain = b.gain;
+                    split_of_id[id as usize] = Some((b.feature, b.bin, left_id));
+                    depth_reached = depth + 1;
+
+                    let (gl, nl) = (b.g_left, b.n_left);
+                    let (gr, nr) = (g_node - gl, n_node - nl);
+                    // Accumulate the smaller child, subtract the larger;
+                    // ties go left so the choice is deterministic.
+                    let left_small = nl <= nr;
+                    let parent_hist = fnode.hist.take();
+                    let (left_parent, right_parent) = if left_small {
+                        (None, parent_hist)
+                    } else {
+                        (parent_hist, None)
+                    };
+                    let base = next.len();
+                    next.push(FrontNode {
+                        id: left_id,
+                        g: gl,
+                        n: nl,
+                        hist: None,
+                        accumulate: left_small,
+                        parent_hist: left_parent,
+                        sibling: base + 1,
+                    });
+                    next.push(FrontNode {
+                        id: right_id,
+                        g: gr,
+                        n: nr,
+                        hist: None,
+                        accumulate: !left_small,
+                        parent_hist: right_parent,
+                        sibling: base,
+                    });
+                }
+                _ => {
+                    nodes[id as usize].value = -g_node / (f64::from(n_node) + lambda);
+                }
+            }
+        }
+
+        // 3. Route rows of split nodes to their children by bin code.
+        if !next.is_empty() {
+            for (r, id) in node_of_row.iter_mut().enumerate() {
+                if let Some((f, bin, left_id)) = split_of_id[*id as usize] {
+                    let code = binned.row_codes(r)[f as usize];
+                    *id = if u16::from(code) <= bin {
+                        left_id
+                    } else {
+                        left_id + 1
+                    };
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    // Nodes still on the frontier at max depth become leaves.
+    for fnode in &frontier {
+        nodes[fnode.id as usize].value = -fnode.g / (f64::from(fnode.n) + lambda);
+    }
+
+    (
+        RegressionTree::from_parts(nodes, depth_reached),
+        node_of_row,
+    )
+}
+
+/// Boosts a full ensemble on a binned dataset. Returns
+/// `(base_score, trees)`; the caller assembles the [`crate::GbtModel`].
+///
+/// Prediction updates route rows through the freshly grown tree by
+/// their stored node assignment, so no float comparisons are re-run;
+/// the resulting ensemble still predicts raw feature rows because the
+/// trees carry the real-valued cut thresholds (`x < threshold` agrees
+/// with `code <= bin` by construction of [`crate::BinCuts`]).
+pub(crate) fn boost(
+    binned: &BinnedDataset,
+    params: &GbtParams,
+    threads: usize,
+) -> (f64, Vec<RegressionTree>) {
+    let n = binned.len();
+    let targets = binned.targets();
+    let base_score = targets.iter().sum::<f64>() / n as f64;
+
+    let mut preds = vec![base_score; n];
+    let mut grad = vec![0.0f64; n];
+    let mut trees = Vec::with_capacity(params.n_estimators);
+    for _ in 0..params.n_estimators {
+        for i in 0..n {
+            grad[i] = preds[i] - targets[i];
+        }
+        let (tree, node_of_row) = grow_tree(binned, &grad, params, threads);
+        let nodes = tree.nodes();
+        for (p, &id) in preds.iter_mut().zip(&node_of_row) {
+            *p += params.learning_rate * nodes[id as usize].value;
+        }
+        trees.push(tree);
+    }
+    (base_score, trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn step_data() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            d.push_row(&[x], if x < 0.5 { 1.0 } else { 3.0 }, 0)
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn single_split_recovers_step_function() {
+        let d = step_data();
+        let binned = BinnedDataset::from_dataset(&d, 256).unwrap();
+        let params = GbtParams {
+            lambda: 0.0,
+            max_depth: 1,
+            ..GbtParams::default()
+        };
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let (tree, node_of_row) = grow_tree(&binned, &grad, &params, 1);
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.num_leaves(), 2);
+        let root = tree.nodes()[0];
+        assert!(!root.is_leaf);
+        assert!(
+            (root.threshold - 0.495).abs() < 0.006,
+            "threshold {}",
+            root.threshold
+        );
+        assert!((tree.predict(&[0.1]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[0.9]) - 3.0).abs() < 1e-9);
+        // Row→node assignments agree with walking the tree.
+        for (r, &node) in node_of_row.iter().enumerate() {
+            let leaf = node as usize;
+            assert!(tree.nodes()[leaf].is_leaf);
+            assert_eq!(tree.nodes()[leaf].value, tree.predict(&d.row(r)));
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        // > 1 block so the parallel path actually splits work.
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..10_000 {
+            let a = ((i * 37) % 101) as f64 / 101.0;
+            let b = ((i * 61) % 257) as f64 / 257.0;
+            d.push_row(&[a, b], (a * 3.0 + b).sin(), 0).unwrap();
+        }
+        let binned = BinnedDataset::from_dataset(&d, 64).unwrap();
+        let params = GbtParams::default().with_estimators(8);
+        let one = boost(&binned, &params, 1);
+        let two = boost(&binned, &params, 2);
+        let four = boost(&binned, &params, 4);
+        assert_eq!(one.0.to_bits(), two.0.to_bits());
+        assert_eq!(one.1, two.1);
+        assert_eq!(one.1, four.1);
+    }
+
+    #[test]
+    fn subtraction_trick_matches_direct_accumulation() {
+        // Grow to depth 2 and verify every internal node's children
+        // stats are consistent (gl + gr == g etc. exactly for counts).
+        let d = step_data();
+        let binned = BinnedDataset::from_dataset(&d, 256).unwrap();
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let params = GbtParams {
+            lambda: 0.0,
+            max_depth: 3,
+            ..GbtParams::default()
+        };
+        let (tree, node_of_row) = grow_tree(&binned, &grad, &params, 1);
+        // Leaf populations partition the rows.
+        let mut counts = vec![0u32; tree.nodes().len()];
+        for &id in &node_of_row {
+            counts[id as usize] += 1;
+        }
+        let leaf_total: u32 = tree
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_leaf)
+            .map(|(i, _)| counts[i])
+            .sum();
+        assert_eq!(leaf_total, d.len() as u32);
+    }
+
+    #[test]
+    fn gamma_blocks_weak_splits() {
+        let d = step_data();
+        let binned = BinnedDataset::from_dataset(&d, 256).unwrap();
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let params = GbtParams {
+            gamma: 1e9,
+            ..GbtParams::default()
+        };
+        let (tree, _) = grow_tree(&binned, &grad, &params, 1);
+        assert_eq!(tree.num_leaves(), 1);
+        // The lone leaf predicts -mean(g) = mean(y) at lambda-damped rate.
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_children() {
+        let d = step_data();
+        let binned = BinnedDataset::from_dataset(&d, 256).unwrap();
+        let grad: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let params = GbtParams {
+            min_child_weight: 60.0,
+            ..GbtParams::default()
+        };
+        let (tree, _) = grow_tree(&binned, &grad, &params, 1);
+        assert_eq!(tree.num_leaves(), 1);
+    }
+}

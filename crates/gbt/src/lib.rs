@@ -5,7 +5,14 @@
 //!
 //! * squared-error objective trained on residuals, starting from the mean
 //!   of the targets;
-//! * exact greedy split finding with the second-order gain
+//! * **two interchangeable trainers** behind one [`TrainSpec`] builder:
+//!   the default LightGBM-style histogram path ([`binned`]) —
+//!   feature quantisation into ≤256 bins, parallel per-node histogram
+//!   accumulation with a deterministic block-ordered reduction
+//!   (bit-identical at any thread count), and the parent−sibling
+//!   subtraction trick — and the seed's exact greedy scan, kept as
+//!   [`GbtModel::train_reference`];
+//! * split finding with the second-order gain
 //!   `½·[G_L²/(H_L+λ) + G_R²/(H_R+λ) − (G_L+G_R)²/(H_L+H_R+λ)] − γ`,
 //!   learning-rate `α` (the paper's `alpha = 0.3`), `max_depth`, and
 //!   `n_estimators`;
@@ -35,16 +42,22 @@
 //! # Ok::<(), common::Error>(())
 //! ```
 
+pub mod binned;
 pub mod cv;
 pub mod dataset;
 pub mod flat;
+mod hist;
 pub mod model;
 pub mod params;
+pub mod spec;
 pub mod tree;
 
+pub use binned::{BinCuts, BinnedDataset};
 pub use cv::{grid_search, leave_one_group_out, CvOutcome, GridResult};
 pub use dataset::Dataset;
 pub use flat::FlatModel;
+pub use hist::BLOCK_ROWS;
 pub use model::{GbtModel, PredictionCost};
 pub use params::GbtParams;
+pub use spec::{TrainMethod, TrainReport, TrainSpec, TrainStats};
 pub use tree::RegressionTree;

@@ -35,13 +35,47 @@ pub struct GbtModel {
 }
 
 impl GbtModel {
-    /// Trains an ensemble on `data`.
+    /// Assembles a model from pre-grown parts (histogram trainer).
+    pub(crate) fn from_parts(
+        base_score: f64,
+        trees: Vec<RegressionTree>,
+        params: GbtParams,
+        feature_names: Vec<String>,
+    ) -> GbtModel {
+        GbtModel {
+            base_score,
+            trees,
+            params,
+            feature_names,
+        }
+    }
+
+    /// Trains an ensemble on `data` with the default pipeline: the
+    /// histogram trainer of [`crate::TrainSpec`] at automatic thread
+    /// count (the result is thread-count invariant). Shorthand for
+    /// `TrainSpec::new(data).params(*params).fit()?.model`; use the spec
+    /// directly to pick threads, the exact-greedy reference method, or
+    /// observability hooks.
     ///
     /// # Errors
     ///
     /// Returns [`Error::EmptyDataset`] for an empty dataset or
     /// [`Error::InvalidConfig`] for invalid hyper-parameters.
     pub fn train(data: &Dataset, params: &GbtParams) -> Result<GbtModel> {
+        crate::TrainSpec::new(data)
+            .params(*params)
+            .fit()
+            .map(|r| r.model)
+    }
+
+    /// Trains with the seed's single-threaded exact-greedy scan — the
+    /// equivalence oracle the histogram trainer is pinned against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] for an empty dataset or
+    /// [`Error::InvalidConfig`] for invalid hyper-parameters.
+    pub fn train_reference(data: &Dataset, params: &GbtParams) -> Result<GbtModel> {
         params.validate()?;
         if data.is_empty() {
             return Err(Error::EmptyDataset("gbt training set"));

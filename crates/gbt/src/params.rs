@@ -21,6 +21,15 @@ pub struct GbtParams {
     pub n_estimators: usize,
     /// Minimum hessian sum (= row count for squared loss) in a child.
     pub min_child_weight: f64,
+    /// Maximum feature bins for the histogram trainer (2..=256). The
+    /// exact-greedy reference ignores it. Defaults for deserialisation
+    /// so models saved before binning existed still load.
+    #[serde(default = "default_max_bins")]
+    pub max_bins: usize,
+}
+
+fn default_max_bins() -> usize {
+    256
 }
 
 impl Default for GbtParams {
@@ -32,6 +41,7 @@ impl Default for GbtParams {
             max_depth: 3,
             n_estimators: 223,
             min_child_weight: 1.0,
+            max_bins: default_max_bins(),
         }
     }
 }
@@ -70,6 +80,9 @@ impl GbtParams {
                 "min_child_weight must be >= 0",
             ));
         }
+        if !(2..=256).contains(&self.max_bins) {
+            return Err(Error::invalid_config("gbt", "max_bins must be in 2..=256"));
+        }
         Ok(())
     }
 
@@ -93,6 +106,13 @@ impl GbtParams {
         self.learning_rate = a;
         self
     }
+
+    /// Builder-style setter for the histogram bin budget.
+    #[must_use]
+    pub fn with_max_bins(mut self, b: usize) -> Self {
+        self.max_bins = b;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -106,7 +126,22 @@ mod tests {
         assert_eq!(p.gamma, 0.0);
         assert_eq!(p.max_depth, 3);
         assert_eq!(p.n_estimators, 223);
+        assert_eq!(p.max_bins, 256);
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn max_bins_is_validated_and_defaults_on_deserialise() {
+        assert!(GbtParams::default().with_max_bins(1).validate().is_err());
+        assert!(GbtParams::default().with_max_bins(257).validate().is_err());
+        assert!(GbtParams::default().with_max_bins(2).validate().is_ok());
+        // A params blob saved before `max_bins` existed still loads
+        // (skipped under toolchains whose serde_json cannot deserialise).
+        let legacy = r#"{"learning_rate":0.3,"gamma":0.0,"lambda":1.0,
+            "max_depth":3,"n_estimators":223,"min_child_weight":1.0}"#;
+        if let Ok(p) = serde_json::from_str::<GbtParams>(legacy) {
+            assert_eq!(p.max_bins, 256);
+        }
     }
 
     #[test]

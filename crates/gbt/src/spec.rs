@@ -1,0 +1,333 @@
+//! The unified training entry point: a [`TrainSpec`] builder mirroring
+//! the runner's `RunSpec` idiom (dataset → params → threads → obs →
+//! [`TrainSpec::fit`]).
+//!
+//! Two interchangeable training methods sit behind the same spec:
+//!
+//! * [`TrainMethod::Histogram`] (default) — the binned, multi-threaded
+//!   trainer of [`crate::hist`]; bit-identical at any thread count;
+//! * [`TrainMethod::Reference`] — the seed's exact-greedy scan
+//!   ([`crate::GbtModel::train_reference`]), kept as the equivalence
+//!   oracle.
+//!
+//! ```
+//! use boreas_gbt::{Dataset, GbtParams, TrainSpec};
+//!
+//! let mut d = Dataset::new(vec!["x".into()]);
+//! for i in 0..100 {
+//!     let x = i as f64 / 10.0;
+//!     d.push_row(&[x], 2.0 * x, 0)?;
+//! }
+//! let report = TrainSpec::new(&d)
+//!     .params(GbtParams::default().with_estimators(20))
+//!     .threads(2)
+//!     .fit()?;
+//! assert!((report.model.predict(&[5.0]) - 10.0).abs() < 0.5);
+//! assert_eq!(report.stats.rows, 100);
+//! # Ok::<(), common::Error>(())
+//! ```
+
+use crate::binned::BinnedDataset;
+use crate::dataset::Dataset;
+use crate::hist;
+use crate::model::GbtModel;
+use crate::params::GbtParams;
+use common::{Error, Result};
+use std::time::Instant;
+
+/// Which trainer [`TrainSpec::fit`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainMethod {
+    /// Binned histogram training with deterministic parallel reduction.
+    Histogram,
+    /// The exact-greedy presorted scan (single-threaded oracle).
+    Reference,
+}
+
+impl TrainMethod {
+    /// Stable lowercase name (used in benchmark artifacts).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrainMethod::Histogram => "histogram",
+            TrainMethod::Reference => "reference",
+        }
+    }
+}
+
+/// What one [`TrainSpec::fit`] run did, beside the model itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Training rows.
+    pub rows: usize,
+    /// Feature columns.
+    pub features: usize,
+    /// Worker threads actually used (after `0 = auto` resolution).
+    pub threads: usize,
+    /// The trainer that ran.
+    pub method: TrainMethod,
+    /// Trees grown.
+    pub trees: usize,
+    /// Sum of per-feature bin counts (0 for the reference path).
+    pub total_bins: usize,
+    /// Nanoseconds spent quantising the dataset (0 for reference).
+    pub bin_ns: u64,
+    /// Nanoseconds spent boosting.
+    pub grow_ns: u64,
+}
+
+/// A trained model plus its training statistics.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// The trained ensemble.
+    pub model: GbtModel,
+    /// How training went.
+    pub stats: TrainStats,
+}
+
+/// Builder for one training run.
+///
+/// Defaults: [`GbtParams::default`], histogram method, automatic thread
+/// count, observability off.
+pub struct TrainSpec<'a> {
+    data: &'a Dataset,
+    params: GbtParams,
+    threads: usize,
+    method: TrainMethod,
+    obs: obs::Obs,
+}
+
+impl<'a> TrainSpec<'a> {
+    /// Starts a spec over a training dataset.
+    pub fn new(data: &'a Dataset) -> TrainSpec<'a> {
+        TrainSpec {
+            data,
+            params: GbtParams::default(),
+            threads: 0,
+            method: TrainMethod::Histogram,
+            obs: obs::Obs::default(),
+        }
+    }
+
+    /// Sets the hyper-parameters.
+    #[must_use]
+    pub fn params(mut self, params: GbtParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the worker thread count; `0` (the default) uses the
+    /// machine's available parallelism. The trained model is
+    /// bit-identical for every value.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Selects the trainer.
+    #[must_use]
+    pub fn method(mut self, method: TrainMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Attaches an observability bundle: `fit` emits `train_*` counters
+    /// and `train.bin` / `train.grow` spans through it.
+    #[must_use]
+    pub fn observe(mut self, obs: &obs::Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Runs training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] for an empty dataset or
+    /// [`Error::InvalidConfig`] for invalid hyper-parameters.
+    pub fn fit(&self) -> Result<TrainReport> {
+        self.params.validate()?;
+        if self.data.is_empty() {
+            return Err(Error::EmptyDataset("gbt training set"));
+        }
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+
+        let (model, total_bins, bin_ns, grow_ns) = match self.method {
+            TrainMethod::Histogram => {
+                let t0 = Instant::now();
+                let binned = BinnedDataset::from_dataset(self.data, self.params.max_bins)?;
+                let bin_ns = t0.elapsed().as_nanos() as u64;
+                let t1 = Instant::now();
+                let (base_score, trees) = hist::boost(&binned, &self.params, threads);
+                let grow_ns = t1.elapsed().as_nanos() as u64;
+                let model = GbtModel::from_parts(
+                    base_score,
+                    trees,
+                    self.params,
+                    self.data.feature_names().to_vec(),
+                );
+                (model, binned.total_bins(), bin_ns, grow_ns)
+            }
+            TrainMethod::Reference => {
+                let t0 = Instant::now();
+                let model = GbtModel::train_reference(self.data, &self.params)?;
+                (model, 0, 0, t0.elapsed().as_nanos() as u64)
+            }
+        };
+
+        let stats = TrainStats {
+            rows: self.data.len(),
+            features: self.data.num_features(),
+            threads,
+            method: self.method,
+            trees: model.num_trees(),
+            total_bins,
+            bin_ns,
+            grow_ns,
+        };
+        self.emit(&stats);
+        Ok(TrainReport { model, stats })
+    }
+
+    fn emit(&self, stats: &TrainStats) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs
+            .metrics
+            .counter("train_runs_total", "GBT training runs")
+            .inc();
+        self.obs
+            .metrics
+            .counter("train_rows_total", "Rows consumed by GBT training")
+            .add(stats.rows as u64);
+        self.obs
+            .metrics
+            .counter("train_trees_total", "Trees grown by GBT training")
+            .add(stats.trees as u64);
+        if stats.bin_ns > 0 {
+            self.obs.tracer.record("train.bin", stats.bin_ns);
+        }
+        self.obs.tracer.record("train.grow", stats.grow_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()]);
+        for i in 0..n {
+            let x0 = ((i * 37) % 113) as f64 / 113.0;
+            let x1 = ((i * 91) % 71) as f64 / 71.0;
+            d.push_row(&[x0, x1], (3.0 * x0).sin() + x1 * x1, 0)
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn histogram_fit_produces_a_usable_model() {
+        let d = wave(500);
+        let report = TrainSpec::new(&d)
+            .params(GbtParams::default().with_estimators(50))
+            .threads(1)
+            .fit()
+            .unwrap();
+        assert!(report.model.mse_on(&d) < 0.01);
+        assert_eq!(report.stats.method, TrainMethod::Histogram);
+        assert_eq!(report.stats.rows, 500);
+        assert_eq!(report.stats.features, 2);
+        assert_eq!(report.stats.trees, 50);
+        assert!(report.stats.total_bins > 0);
+        assert_eq!(report.stats.threads, 1);
+    }
+
+    #[test]
+    fn reference_method_matches_train_reference() {
+        let d = wave(300);
+        let params = GbtParams::default().with_estimators(10);
+        let via_spec = TrainSpec::new(&d)
+            .params(params)
+            .method(TrainMethod::Reference)
+            .fit()
+            .unwrap();
+        let direct = GbtModel::train_reference(&d, &params).unwrap();
+        assert_eq!(via_spec.model, direct);
+        assert_eq!(via_spec.stats.total_bins, 0);
+        assert_eq!(via_spec.stats.bin_ns, 0);
+    }
+
+    #[test]
+    fn fit_is_thread_count_invariant() {
+        let d = wave(2000);
+        let params = GbtParams::default().with_estimators(15);
+        let spec = |t| {
+            TrainSpec::new(&d)
+                .params(params)
+                .threads(t)
+                .fit()
+                .unwrap()
+                .model
+        };
+        let one = spec(1);
+        assert_eq!(one, spec(2));
+        assert_eq!(one, spec(4));
+        assert_eq!(one, spec(0)); // auto resolves to some count; same model
+    }
+
+    #[test]
+    fn histogram_agrees_with_reference_on_prebinned_data() {
+        // Every feature has < 256 distinct values, so the histogram path
+        // sees the exact candidate-split space. Predictions agree to
+        // float-association noise.
+        let d = wave(600);
+        let params = GbtParams::default().with_estimators(30);
+        let hist = TrainSpec::new(&d).params(params).threads(1).fit().unwrap();
+        let exact = GbtModel::train_reference(&d, &params).unwrap();
+        for i in (0..d.len()).step_by(7) {
+            let row = d.row(i);
+            let (a, b) = (hist.model.predict(&row), exact.predict(&row));
+            assert!((a - b).abs() < 1e-9, "row {i}: hist {a} vs exact {b}");
+        }
+    }
+
+    #[test]
+    fn obs_hooks_record_training() {
+        let d = wave(200);
+        let obs = obs::Obs::new();
+        TrainSpec::new(&d)
+            .params(GbtParams::default().with_estimators(5))
+            .observe(&obs)
+            .fit()
+            .unwrap();
+        let snap = obs.metrics.snapshot();
+        let val = |name: &str| match snap.family(name).unwrap().value {
+            obs::MetricValue::Counter(v) => v,
+            ref other => panic!("{name}: {other:?}"),
+        };
+        assert_eq!(val("train_runs_total"), 1);
+        assert_eq!(val("train_rows_total"), 200);
+        assert_eq!(val("train_trees_total"), 5);
+        assert!(obs.tracer.stats().get("train.grow").is_some());
+    }
+
+    #[test]
+    fn invalid_params_and_empty_data_error() {
+        let d = wave(10);
+        assert!(TrainSpec::new(&d)
+            .params(GbtParams::default().with_estimators(0))
+            .fit()
+            .is_err());
+        let empty = Dataset::new(vec!["x".into()]);
+        assert!(matches!(
+            TrainSpec::new(&empty).fit(),
+            Err(Error::EmptyDataset(_))
+        ));
+    }
+}

@@ -24,7 +24,7 @@ pub struct Node {
 }
 
 impl Node {
-    fn leaf(value: f64) -> Node {
+    pub(crate) fn leaf(value: f64) -> Node {
         Node {
             feature: 0,
             threshold: 0.0,
@@ -48,6 +48,12 @@ pub struct RegressionTree {
 }
 
 impl RegressionTree {
+    /// Assembles a tree from grown nodes (root at index 0). Used by the
+    /// histogram grower, which builds the node vector itself.
+    pub(crate) fn from_parts(nodes: Vec<Node>, depth: usize) -> RegressionTree {
+        RegressionTree { nodes, depth }
+    }
+
     /// Predicts one row (feature order must match the training dataset).
     ///
     /// # Panics

@@ -1,0 +1,113 @@
+//! Property tests for the histogram trainer: the thread-count
+//! determinism contract and exact-greedy equivalence on pre-binned data.
+
+use boreas_gbt::{Dataset, GbtModel, GbtParams, TrainMethod, TrainSpec};
+use proptest::prelude::*;
+
+/// A random continuous dataset: `nf` features, `rows` rows, bounded
+/// finite values, three target groups. Value/target pools are sampled
+/// at their maximum size and truncated to the drawn shape.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        1usize..5,
+        12usize..120,
+        prop::collection::vec(-100.0..100.0f64, 480..481),
+        prop::collection::vec(-10.0..10.0f64, 120..121),
+    )
+        .prop_map(|(nf, rows, vals, ys)| {
+            let mut d = Dataset::new((0..nf).map(|f| format!("x{f}")).collect());
+            for r in 0..rows {
+                d.push_row(&vals[r * nf..(r + 1) * nf], ys[r], (r % 3) as u32)
+                    .expect("finite row");
+            }
+            d
+        })
+}
+
+/// A dataset whose features take at most `distinct` values each — with
+/// `max_bins >= distinct` the binned view is lossless, so histogram and
+/// exact-greedy training see the same split candidates.
+fn arb_prebinned_dataset(distinct: usize) -> impl Strategy<Value = Dataset> {
+    (
+        1usize..4,
+        16usize..100,
+        prop::collection::vec(0..distinct, 300..301),
+        prop::collection::vec(-5.0..5.0f64, 100..101),
+    )
+        .prop_map(|(nf, rows, codes, ys)| {
+            let mut d = Dataset::new((0..nf).map(|f| format!("x{f}")).collect());
+            let mut row = vec![0.0; nf];
+            for r in 0..rows {
+                for (f, x) in row.iter_mut().enumerate() {
+                    *x = codes[r * nf + f] as f64;
+                }
+                d.push_row(&row, ys[r], (r % 2) as u32).expect("finite row");
+            }
+            d
+        })
+}
+
+fn arb_params() -> impl Strategy<Value = GbtParams> {
+    (
+        1usize..4,
+        1usize..7,
+        prop::sample::select(vec![0.1, 0.3, 1.0]),
+    )
+        .prop_map(|(depth, trees, lr)| {
+            GbtParams::default()
+                .with_depth(depth)
+                .with_estimators(trees)
+                .with_learning_rate(lr)
+        })
+}
+
+fn train_hist(data: &Dataset, params: &GbtParams, threads: usize) -> GbtModel {
+    TrainSpec::new(data)
+        .params(*params)
+        .method(TrainMethod::Histogram)
+        .threads(threads)
+        .fit()
+        .expect("histogram training")
+        .model
+}
+
+proptest! {
+    /// 1, 2 and 4 trainer threads produce bit-identical models on any
+    /// dataset and hyper-parameter mix.
+    #[test]
+    fn training_is_bit_identical_across_thread_counts(
+        data in arb_dataset(),
+        params in arb_params(),
+    ) {
+        let m1 = train_hist(&data, &params, 1);
+        let m2 = train_hist(&data, &params, 2);
+        let m4 = train_hist(&data, &params, 4);
+        for r in 0..data.len() {
+            let row = data.row(r);
+            let p1 = m1.predict(&row);
+            prop_assert_eq!(p1.to_bits(), m2.predict(&row).to_bits(),
+                "row {} differs between 1 and 2 threads", r);
+            prop_assert_eq!(p1.to_bits(), m4.predict(&row).to_bits(),
+                "row {} differs between 1 and 4 threads", r);
+        }
+    }
+
+    /// On pre-binned data (every feature takes fewer distinct values
+    /// than `max_bins`) the histogram trainer sees exactly the split
+    /// candidates of the exact-greedy reference, so the two models
+    /// agree on every training row up to summation-order rounding.
+    #[test]
+    fn histogram_equals_exact_reference_on_prebinned_data(
+        data in arb_prebinned_dataset(12),
+        params in arb_params(),
+    ) {
+        let hist = train_hist(&data, &params, 2);
+        let exact = GbtModel::train_reference(&data, &params).expect("reference training");
+        for r in 0..data.len() {
+            let row = data.row(r);
+            let (h, e) = (hist.predict(&row), exact.predict(&row));
+            prop_assert!((h - e).abs() <= 1e-6 * (1.0 + e.abs()),
+                "row {}: histogram {} vs exact {}", r, h, e);
+        }
+    }
+}

@@ -25,7 +25,13 @@ fn main() -> Result<()> {
         ..TrainingConfig::default()
     };
     println!("training on {} workloads ...", train.len());
-    let (model, _) = train_boreas_model(&pipeline, &vf, &train, &features, &cfg)?;
+    let model = TrainSpec::new(&pipeline)
+        .features(features.clone())
+        .vf(vf.clone())
+        .workloads(&train)
+        .config(cfg)
+        .fit()?
+        .model;
 
     let mut run = RunSpec::new(&pipeline).steps(144);
     println!("\n{name} under increasing guardbands:");

@@ -41,17 +41,42 @@ fn main() -> Result<()> {
     );
     let cfg = TrainingConfig {
         steps: 100,
-        params: GbtParams::default().with_estimators(120),
+        params: GbtParams::default().with_estimators(120).with_max_bins(64),
         ..TrainingConfig::default()
     };
-    let (model, data) = train_boreas_model(&pipeline, &vf, &train, &features, &cfg)?;
+    let report = TrainSpec::new(&pipeline)
+        .features(features.clone())
+        .vf(vf.clone())
+        .workloads(&train)
+        .config(cfg)
+        .fit()?;
+    let (model, data) = (report.model, report.dataset);
     println!(
-        "trained on {} instances; training MSE {:.5}; model cost: {} ops, {} bytes",
+        "trained on {} instances ({} threads, {} trees, method {:?}); training MSE {:.5}; \
+         model cost: {} ops, {} bytes",
         data.len(),
+        report.stats.threads,
+        report.stats.trees,
+        report.stats.method,
         model.mse_on(&data),
         model.cost().total_ops(),
         model.cost().weight_bytes,
     );
+
+    // The hyper-parameters travel with the model: a serialised model
+    // round-trips its full training config, `max_bins` included.
+    match model.to_json().and_then(|json| GbtModel::from_json(&json)) {
+        Ok(restored) => {
+            assert_eq!(restored.params(), model.params());
+            println!(
+                "round-tripped model config: {} trees x depth {}, max_bins {}",
+                restored.params().n_estimators,
+                restored.params().max_depth,
+                restored.params().max_bins,
+            );
+        }
+        Err(_) => println!("model serialisation unavailable; skipping round-trip demo"),
+    }
 
     // Deploy: Boreas (5% guardband) vs a conservative thermal threshold,
     // on a workload the model never saw.

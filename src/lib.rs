@@ -97,10 +97,10 @@ pub use workloads;
 /// Commonly used items, re-exported for `use boreas::prelude::*`.
 pub mod prelude {
     pub use boreas_core::{
-        train_boreas_model, BoreasController, ControlStage, Controller, CriticalTemps,
-        DegradationLog, GlobalVfController, ObservationFilter, OracleController, ResilienceConfig,
-        ResilientController, RunSpec, SweepTable, ThermalController, TrainingConfig, VfPoint,
-        VfTable,
+        BoreasController, ControlStage, Controller, CriticalTemps, DegradationLog,
+        GlobalVfController, ObservationFilter, OracleController, ResilienceConfig,
+        ResilientController, RunSpec, SweepTable, ThermalController, TrainReport, TrainSpec,
+        TrainingConfig, VfPoint, VfTable,
     };
     pub use common::time::SimTime;
     pub use common::units::{Celsius, GigaHertz, Volts, Watts};
@@ -112,7 +112,7 @@ pub mod prelude {
         EngineFault, EngineFaultKind, EngineFaultPlan, Fault, FaultInjector, FaultKind, FaultPlan,
         FaultySensorBank,
     };
-    pub use gbt::{GbtModel, GbtParams};
+    pub use gbt::{GbtModel, GbtParams, TrainMethod};
     pub use hotgauge::{Pipeline, PipelineConfig, Severity, SeverityParams};
     pub use obs::{FlightEvent, FlightRecorder, Obs, Registry, Tracer};
     pub use telemetry::{Dataset, DatasetSpec, FeatureSet};

@@ -1,7 +1,6 @@
 //! Cross-crate integration: controllers in the closed loop.
 
 use boreas::prelude::*;
-use boreas_core::train_safe_thresholds;
 
 fn coarse_pipeline() -> Pipeline {
     let mut cfg = PipelineConfig::paper();
@@ -86,7 +85,10 @@ fn trained_thresholds_keep_training_workloads_safe() {
         Some(50.0),
         Some(50.0),
     ];
-    let trained = train_safe_thresholds(&p, &VfTable::paper(), &subset, initial, 144, 60).unwrap();
+    let trained = TrainSpec::new(&p)
+        .workloads(&subset)
+        .fit_thresholds(initial, 144, 60)
+        .unwrap();
     let mut run = RunSpec::new(&p).steps(144);
     for w in &subset {
         let mut c = ThermalController::from_thresholds(trained.clone(), 0.0);
@@ -123,7 +125,14 @@ fn boreas_guardband_ordering_holds_in_closed_loop() {
         params: GbtParams::default().with_estimators(60),
         ..TrainingConfig::default()
     };
-    let (model, _) = train_boreas_model(&p, &vf, &train, &features, &cfg).unwrap();
+    let model = TrainSpec::new(&p)
+        .features(features.clone())
+        .vf(vf)
+        .workloads(&train)
+        .config(cfg)
+        .fit()
+        .unwrap()
+        .model;
     let mut run = RunSpec::new(&p).steps(144);
     let spec = WorkloadSpec::by_name("bzip2").unwrap();
     let mut last = f64::INFINITY;

@@ -38,7 +38,13 @@ fn small_model(p: &Pipeline) -> (GbtModel, FeatureSet) {
         params: GbtParams::default().with_estimators(60),
         ..TrainingConfig::default()
     };
-    let (model, _) = train_boreas_model(p, &VfTable::paper(), &train, &features, &cfg).unwrap();
+    let model = TrainSpec::new(p)
+        .features(features.clone())
+        .workloads(&train)
+        .config(cfg)
+        .fit()
+        .unwrap()
+        .model;
     (model, features)
 }
 

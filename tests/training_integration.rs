@@ -94,7 +94,14 @@ fn persisted_model_drives_the_controller_identically() {
         params: GbtParams::default().with_estimators(30),
         ..TrainingConfig::default()
     };
-    let (model, _) = train_boreas_model(&p, &vf, &train, &features, &cfg).unwrap();
+    let model = TrainSpec::new(&p)
+        .features(features.clone())
+        .vf(vf)
+        .workloads(&train)
+        .config(cfg)
+        .fit()
+        .unwrap()
+        .model;
     let json = model.to_json().unwrap();
     let restored = GbtModel::from_json(&json).unwrap();
 
