@@ -2,7 +2,7 @@
 //! against the pre-optimisation reference implementations and writes
 //! `BENCH_hotpath.json`, the repo's tracked perf trajectory.
 //!
-//! Four kernels are timed (median ns/op over repeated samples):
+//! Five kernels are timed (median ns/op over repeated samples):
 //!
 //! * `thermal_step` — one 80 µs [`ThermalGrid::step`] (4 fused substeps)
 //!   vs [`ThermalGrid::step_reference`];
@@ -10,16 +10,25 @@
 //!   naive [`MltdMap::compute_reference`] stencil scan;
 //! * `gbt_predict` — one [`gbt::FlatModel::predict`] vs the pointer-walk
 //!   [`gbt::GbtModel::predict`];
+//! * `gbt_predict_batch` — one 64-row [`gbt::FlatModel::predict_batch_into`]
+//!   (the blocked SoA lane traversal) vs [`gbt::GbtModel::predict_batch`];
 //! * `pipeline_step` — one full fused [`hotgauge::SimRun::step`] vs a
 //!   reference loop composed from the pre-PR kernels.
+//!
+//! The SIMD-dispatched kernels (thermal, MLTD, batched GBT) are
+//! additionally timed once per ISA this CPU supports; the active ISA and
+//! any `BOREAS_SIMD` override are recorded in the machine block so two
+//! snapshots are never compared across ISAs by accident.
 //!
 //! Usage: `bench_hotpath [--smoke] [--out PATH] [--check BASELINE]
 //! [--metrics-out BASE]`. `--smoke` shrinks iteration counts for CI;
 //! `--check` compares each kernel's *speedup ratio* (new vs reference on
 //! the same machine — machine-independent) against a checked-in baseline
-//! and exits non-zero on a >25% regression; `--metrics-out` additionally
-//! exports the medians/speedups as Prometheus gauges. JSON is emitted
-//! without serde so the binary has no serialisation dependency.
+//! and exits non-zero on a >25% regression, refusing outright when the
+//! baseline was recorded under a different SIMD ISA; `--metrics-out`
+//! additionally exports the medians/speedups as Prometheus gauges. JSON
+//! is emitted without serde so the binary has no serialisation
+//! dependency.
 
 use common::units::{GigaHertz, Volts};
 use common::Result;
@@ -28,15 +37,21 @@ use gbt::{Dataset, GbtModel, GbtParams};
 use hotgauge::{MltdMap, MltdScratch, PipelineConfig};
 use perfsim::CoreModel;
 use powersim::PowerModel;
+use simd::Isa;
 use std::time::Instant;
 use thermal::{SensorBank, ThermalGrid};
 use workloads::{PhaseEngine, WorkloadSpec};
 
-/// One benchmarked kernel: fused median, reference median, derived stats.
+/// One benchmarked kernel: fused median, reference median, derived
+/// stats, plus (for the SIMD-dispatched kernels) the fused median
+/// re-measured on every ISA this CPU supports.
 struct KernelResult {
     name: &'static str,
     median_ns: f64,
     reference_median_ns: f64,
+    /// `(isa name, fused median ns)`, best ISA first; empty for kernels
+    /// without a vector path.
+    isa_medians: Vec<(&'static str, f64)>,
 }
 
 impl KernelResult {
@@ -81,12 +96,21 @@ fn bench_thermal(smoke: bool) -> Result<KernelResult> {
     let cfg = PipelineConfig::paper();
     let grid = Grid::rasterize(&cfg.floorplan, cfg.grid)?;
     let power = test_power(grid.spec().cells());
-    let mut fused = ThermalGrid::new(&grid, cfg.thermal.clone());
     let mut reference = ThermalGrid::new(&grid, cfg.thermal.clone());
     let (samples, iters) = if smoke { (5, 50) } else { (21, 300) };
-    let median_ns = measure(samples, iters, || {
-        fused.step(&power, 80.0).expect("thermal step");
-    });
+    let active = Isa::active();
+    let mut median_ns = 0.0;
+    let mut isa_medians = Vec::new();
+    for isa in Isa::available() {
+        let mut fused = ThermalGrid::new(&grid, cfg.thermal.clone()).with_isa(isa);
+        let m = measure(samples, iters, || {
+            fused.step(&power, 80.0).expect("thermal step");
+        });
+        if isa == active {
+            median_ns = m;
+        }
+        isa_medians.push((isa.name(), m));
+    }
     let reference_median_ns = measure(samples, iters, || {
         reference
             .step_reference(&power, 80.0)
@@ -96,23 +120,34 @@ fn bench_thermal(smoke: bool) -> Result<KernelResult> {
         name: "thermal_step",
         median_ns,
         reference_median_ns,
+        isa_medians,
     })
 }
 
 fn bench_mltd(smoke: bool) -> Result<KernelResult> {
     let cfg = PipelineConfig::paper();
     let grid = Grid::rasterize(&cfg.floorplan, cfg.grid)?;
-    let mltd = MltdMap::new(&grid, cfg.severity.mltd_radius_mm);
     let temps: Vec<f64> = (0..grid.spec().cells())
         .map(|i| 45.0 + 40.0 * (((i * 37) % 101) as f64 / 101.0))
         .collect();
     let mut scratch = MltdScratch::default();
     let mut out = Vec::new();
     let (samples, iters) = if smoke { (5, 100) } else { (21, 1_000) };
-    let median_ns = measure(samples, iters, || {
-        mltd.compute_into(&temps, &mut scratch, &mut out);
-        std::hint::black_box(&out);
-    });
+    let active = Isa::active();
+    let mut median_ns = 0.0;
+    let mut isa_medians = Vec::new();
+    for isa in Isa::available() {
+        let mltd = MltdMap::new(&grid, cfg.severity.mltd_radius_mm).with_isa(isa);
+        let m = measure(samples, iters, || {
+            mltd.compute_into(&temps, &mut scratch, &mut out);
+            std::hint::black_box(&out);
+        });
+        if isa == active {
+            median_ns = m;
+        }
+        isa_medians.push((isa.name(), m));
+    }
+    let mltd = MltdMap::new(&grid, cfg.severity.mltd_radius_mm);
     let reference_median_ns = measure(samples, iters, || {
         std::hint::black_box(mltd.compute_reference(&temps));
     });
@@ -120,6 +155,7 @@ fn bench_mltd(smoke: bool) -> Result<KernelResult> {
         name: "mltd_sweep",
         median_ns,
         reference_median_ns,
+        isa_medians,
     })
 }
 
@@ -157,6 +193,56 @@ fn bench_gbt(smoke: bool) -> Result<KernelResult> {
         name: "gbt_predict",
         median_ns,
         reference_median_ns,
+        isa_medians: Vec::new(),
+    })
+}
+
+/// The batched-inference kernel the controllers actually exercise per
+/// interval: one [`gbt::FlatModel::predict_batch_into`] call over 64
+/// rows (the blocked SoA lane traversal) vs the tree-outer
+/// [`gbt::GbtModel::predict_batch`]. Per-op time covers the whole batch.
+fn bench_gbt_batch(smoke: bool) -> Result<KernelResult> {
+    let mut d = Dataset::new(vec!["x0".into(), "x1".into(), "x2".into()]);
+    for i in 0..400 {
+        let x0 = (i % 23) as f64 / 23.0;
+        let x1 = (i % 7) as f64;
+        let x2 = ((i * 13) % 31) as f64 / 31.0;
+        d.push_row(&[x0, x1, x2], 2.0 * x0 + (x1 - 3.0).powi(2) - x2, 0)?;
+    }
+    let model = GbtModel::train(&d, &GbtParams::default().with_estimators(60))?;
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            vec![
+                (i % 23) as f64 / 23.0 + 0.013,
+                (i % 7) as f64 - 0.4,
+                ((i * 11) % 31) as f64 / 31.0,
+            ]
+        })
+        .collect();
+    let (samples, iters) = if smoke { (5, 50) } else { (21, 600) };
+    let active = Isa::active();
+    let mut median_ns = 0.0;
+    let mut isa_medians = Vec::new();
+    let mut out = Vec::new();
+    for isa in Isa::available() {
+        let flat = model.flatten().with_isa(isa);
+        let m = measure(samples, iters, || {
+            flat.predict_batch_into(&rows, &mut out);
+            std::hint::black_box(&out);
+        });
+        if isa == active {
+            median_ns = m;
+        }
+        isa_medians.push((isa.name(), m));
+    }
+    let reference_median_ns = measure(samples, iters, || {
+        std::hint::black_box(model.predict_batch(&rows));
+    });
+    Ok(KernelResult {
+        name: "gbt_predict_batch",
+        median_ns,
+        reference_median_ns,
+        isa_medians,
     })
 }
 
@@ -254,6 +340,7 @@ fn bench_pipeline(smoke: bool) -> Result<KernelResult> {
         name: "pipeline_step",
         median_ns,
         reference_median_ns,
+        isa_medians: Vec::new(),
     })
 }
 
@@ -262,27 +349,56 @@ fn render_json(results: &[KernelResult], smoke: bool) -> String {
     let kernels: Vec<String> = results
         .iter()
         .map(|r| {
+            // `isa_medians_ns` keys are ISA names, which never contain
+            // "name" or "speedup" — the pair scanner in
+            // `extract_speedups` stays unambiguous.
+            let isa_block = if r.isa_medians.is_empty() {
+                String::new()
+            } else {
+                let entries: Vec<String> = r
+                    .isa_medians
+                    .iter()
+                    .map(|(isa, ns)| format!("\"{isa}\": {ns:.1}"))
+                    .collect();
+                format!("      \"isa_medians_ns\": {{ {} }},\n", entries.join(", "))
+            };
             format!(
                 "    {{\n      \"name\": \"{}\",\n      \"median_ns\": {:.1},\n      \
-                 \"ops_per_sec\": {:.1},\n      \"reference_median_ns\": {:.1},\n      \
+                 \"ops_per_sec\": {:.1},\n      \"reference_median_ns\": {:.1},\n{}      \
                  \"speedup\": {:.3}\n    }}",
                 r.name,
                 r.median_ns,
                 r.ops_per_sec(),
                 r.reference_median_ns,
+                isa_block,
                 r.speedup()
             )
         })
         .collect();
+    let simd_override = Isa::env_override().map_or_else(|| "null".into(), |v| format!("\"{v}\""));
     format!(
         "{{\n  \"schema\": \"boreas-bench-hotpath-v1\",\n  \"smoke\": {},\n  \"machine\": {{\n    \
-         \"os\": \"{}\",\n    \"arch\": \"{}\",\n    \"threads\": {}\n  }},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+         \"os\": \"{}\",\n    \"arch\": \"{}\",\n    \"threads\": {},\n    \"simd_isa\": \"{}\",\n    \
+         \"simd_detected\": \"{}\",\n    \"simd_override\": {}\n  }},\n  \"kernels\": [\n{}\n  ]\n}}\n",
         smoke,
         std::env::consts::OS,
         std::env::consts::ARCH,
         threads,
+        Isa::active().name(),
+        Isa::detect().name(),
+        simd_override,
         kernels.join(",\n")
     )
+}
+
+/// Extracts a quoted string field (`"key": "value"`) from a JSON
+/// document, in the same minimal-scanner spirit as [`extract_speedups`].
+fn extract_str_field(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 /// Extracts `(name, speedup)` pairs from a `boreas-bench-hotpath-v1`
@@ -353,20 +469,30 @@ fn main() -> Result<()> {
         "bench_hotpath ({} mode)",
         if smoke { "smoke" } else { "full" }
     );
+    println!(
+        "simd: active {} (detected {}, override {})",
+        Isa::active(),
+        Isa::detect(),
+        Isa::env_override().as_deref().unwrap_or("none")
+    );
     let results = vec![
         bench_thermal(smoke)?,
         bench_mltd(smoke)?,
         bench_gbt(smoke)?,
+        bench_gbt_batch(smoke)?,
         bench_pipeline(smoke)?,
     ];
     for r in &results {
         println!(
-            "  {:<14} {:>10.1} ns/op  (reference {:>10.1} ns/op, {:>5.2}x)",
+            "  {:<17} {:>10.1} ns/op  (reference {:>10.1} ns/op, {:>5.2}x)",
             r.name,
             r.median_ns,
             r.reference_median_ns,
             r.speedup()
         );
+        for (isa, ns) in &r.isa_medians {
+            println!("    {isa:<6} {ns:>10.1} ns/op");
+        }
     }
 
     let json = render_json(&results, smoke);
@@ -399,6 +525,20 @@ fn main() -> Result<()> {
     if let Some(baseline_path) = check_path {
         let baseline = std::fs::read_to_string(&baseline_path)
             .map_err(|e| common::Error::io("read bench baseline", e.to_string()))?;
+        // A baseline recorded under one ISA must never gate numbers from
+        // another: the speedup ratios legitimately differ, so a silent
+        // cross-ISA comparison would mask (or fake) regressions.
+        if let Some(base_isa) = extract_str_field(&baseline, "simd_isa") {
+            if base_isa != "any" && base_isa != Isa::active().name() {
+                eprintln!(
+                    "ISA MISMATCH: baseline {baseline_path} was recorded with simd_isa={base_isa} \
+                     but this run uses {}; set BOREAS_SIMD={base_isa} (or pick the matching \
+                     baseline) to compare",
+                    Isa::active()
+                );
+                std::process::exit(1);
+            }
+        }
         let bad = regressions(&results, &baseline);
         if !bad.is_empty() {
             for b in &bad {
@@ -422,11 +562,15 @@ mod tests {
                 name: "thermal_step",
                 median_ns: 1000.0,
                 reference_median_ns: 3000.0,
+                // Per-ISA medians must not confuse the name/speedup
+                // pair scanner.
+                isa_medians: vec![("avx2", 1000.0), ("sse2", 1600.0), ("scalar", 2900.0)],
             },
             KernelResult {
                 name: "mltd_sweep",
                 median_ns: 500.0,
                 reference_median_ns: 4000.0,
+                isa_medians: Vec::new(),
             },
         ];
         let json = render_json(&results, true);
@@ -439,12 +583,27 @@ mod tests {
     }
 
     #[test]
+    fn machine_block_records_the_active_isa() {
+        let json = render_json(&[], true);
+        assert_eq!(
+            extract_str_field(&json, "simd_isa").as_deref(),
+            Some(Isa::active().name())
+        );
+        assert_eq!(
+            extract_str_field(&json, "simd_detected").as_deref(),
+            Some(Isa::detect().name())
+        );
+        assert_eq!(extract_str_field(&json, "missing_key"), None);
+    }
+
+    #[test]
     fn regression_check_flags_only_large_drops() {
         let baseline = render_json(
             &[KernelResult {
                 name: "thermal_step",
                 median_ns: 1.0,
                 reference_median_ns: 4.0,
+                isa_medians: Vec::new(),
             }],
             true,
         );
@@ -453,6 +612,7 @@ mod tests {
             name: "thermal_step",
             median_ns: 2.0,
             reference_median_ns: 7.0,
+            isa_medians: Vec::new(),
         }];
         assert!(regressions(&fine, &baseline).is_empty());
         // 4.0x -> 2.0x is a regression.
@@ -460,6 +620,7 @@ mod tests {
             name: "thermal_step",
             median_ns: 2.0,
             reference_median_ns: 4.0,
+            isa_medians: Vec::new(),
         }];
         assert_eq!(regressions(&bad, &baseline).len(), 1);
     }

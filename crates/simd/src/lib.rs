@@ -1,0 +1,714 @@
+//! Runtime-dispatched SIMD lanes for the Boreas hot kernels.
+//!
+//! The simulation kernels (`thermal::solver`, `hotgauge::mltd`,
+//! `gbt::FlatModel`) are elementwise stencil math, exact `min`
+//! selections and tree-descent compares — exactly the float operations
+//! whose vector forms are IEEE-identical to their scalar forms. This
+//! crate provides the three pieces they share:
+//!
+//! * [`Isa`] — the instruction-set ladder (AVX2 → SSE2 → scalar),
+//!   detected once per process via `is_x86_feature_detected!` and
+//!   overridable with the `BOREAS_SIMD` environment variable
+//!   (`scalar`, `sse2` or `avx2`) for testing and CI equivalence runs;
+//! * [`SimdF64`] + [`F64x2`] / [`F64x4`] — safe lane-wrapper types over
+//!   the `core::arch` `f64` vectors, exposing only the exact-rounding
+//!   elementwise operations (`add`/`sub`/`mul`/`div`/`min`). No FMA, no
+//!   horizontal reductions: every lane computes the same IEEE-754
+//!   expression the scalar code computes, so results are *bit*-identical
+//!   by construction;
+//! * slice kernels ([`min_assign`], [`sub_into`], [`sliding_min`]) used
+//!   by the MLTD sweep, dispatched per call on a caller-held [`Isa`].
+//!
+//! # The bit-identity contract
+//!
+//! Vector `add`/`sub`/`mul`/`div` round each lane exactly like the
+//! corresponding scalar instruction — SIMD changes *which registers*
+//! hold the values, never the rounding. Divergence can only come from
+//! (a) FMA contraction (never emitted: the wrappers call the explicit
+//! non-fused intrinsics), (b) re-associated reductions (the only
+//! reduction on the hot paths, the thermal package-flux sum, is
+//! accumulated in scalar program order by extracting lanes), or
+//! (c) `min`/`max` tie-breaking on `-0.0`/NaN (the kernels operate on
+//! finite temperatures and model thresholds; NaN inputs are rejected
+//! upstream and `-0.0` does not arise from °C fields). See DESIGN §14.
+
+use common::{Error, Result};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the detected instruction set.
+pub const ISA_ENV: &str = "BOREAS_SIMD";
+
+/// The instruction sets the dispatcher can select.
+///
+/// Ordered by capability: `Scalar < Sse2 < Avx2`, so "is this supported"
+/// is a plain comparison against [`Isa::detect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Isa {
+    /// The plain scalar kernels (the PR 3 fused code, any architecture).
+    Scalar,
+    /// 128-bit lanes (2 × f64). Baseline on `x86_64`.
+    Sse2,
+    /// 256-bit lanes (4 × f64).
+    Avx2,
+}
+
+impl Isa {
+    /// Every ISA, best first.
+    pub const ALL: [Isa; 3] = [Isa::Avx2, Isa::Sse2, Isa::Scalar];
+
+    /// The best instruction set this CPU supports.
+    pub fn detect() -> Isa {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Isa::Avx2;
+            }
+            // SSE2 is part of the x86_64 baseline.
+            Isa::Sse2
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Isa::Scalar
+        }
+    }
+
+    /// Whether this CPU can execute kernels compiled for `self`.
+    pub fn is_supported(self) -> bool {
+        self <= Isa::detect()
+    }
+
+    /// The ISAs this CPU supports, best first (always ends in `Scalar`).
+    pub fn available() -> Vec<Isa> {
+        Isa::ALL
+            .iter()
+            .copied()
+            .filter(|i| i.is_supported())
+            .collect()
+    }
+
+    /// The canonical lowercase name (`"scalar"`, `"sse2"`, `"avx2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse2 => "sse2",
+            Isa::Avx2 => "avx2",
+        }
+    }
+
+    /// `f64` lanes per vector (1, 2 or 4).
+    pub fn lanes_f64(self) -> usize {
+        match self {
+            Isa::Scalar => 1,
+            Isa::Sse2 => 2,
+            Isa::Avx2 => 4,
+        }
+    }
+
+    /// Parses a [`ISA_ENV`] override value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for anything other than
+    /// `scalar`, `sse2` or `avx2` (case-insensitive).
+    pub fn parse(value: &str) -> Result<Isa> {
+        match value.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Isa::Scalar),
+            "sse2" => Ok(Isa::Sse2),
+            "avx2" => Ok(Isa::Avx2),
+            other => Err(Error::invalid_config(
+                "BOREAS_SIMD",
+                format!("unknown ISA {other:?} (expected scalar, sse2 or avx2)"),
+            )),
+        }
+    }
+
+    /// The ISA selected by the environment: the [`ISA_ENV`] override when
+    /// set, otherwise [`Isa::detect`]. Not cached — see [`Isa::active`]
+    /// for the process-wide selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the override names an
+    /// unknown ISA or one this CPU cannot execute.
+    pub fn from_env() -> Result<Isa> {
+        match std::env::var(ISA_ENV) {
+            Err(_) => Ok(Isa::detect()),
+            Ok(value) => {
+                let isa = Isa::parse(&value)?;
+                if !isa.is_supported() {
+                    return Err(Error::invalid_config(
+                        "BOREAS_SIMD",
+                        format!(
+                            "{} requested but this CPU only supports {}",
+                            isa.name(),
+                            Isa::detect().name()
+                        ),
+                    ));
+                }
+                Ok(isa)
+            }
+        }
+    }
+
+    /// The process-wide ISA selection: [`Isa::from_env`], resolved once
+    /// and cached. Every kernel constructor reads this, so one process
+    /// never silently mixes ISAs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `BOREAS_SIMD` is set to an unknown or unsupported
+    /// value — an explicit override that cannot be honoured must never
+    /// degrade silently into a different ISA's numbers. Use
+    /// [`Isa::from_env`] for fallible handling.
+    pub fn active() -> Isa {
+        static ACTIVE: OnceLock<Isa> = OnceLock::new();
+        *ACTIVE.get_or_init(|| Isa::from_env().expect("invalid BOREAS_SIMD override"))
+    }
+
+    /// The `BOREAS_SIMD` override value, when one is set (reported in
+    /// benchmark metadata so cross-ISA comparisons are never silent).
+    pub fn env_override() -> Option<String> {
+        std::env::var(ISA_ENV).ok()
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The widest vector any [`Isa`] uses, in `f64` lanes — the size of the
+/// stack staging buffers used to spill lanes in program order.
+pub const MAX_LANES: usize = 4;
+
+/// A pack of `f64` lanes supporting exactly the elementwise operations
+/// the kernels need. Every operation rounds each lane precisely like the
+/// scalar `f64` operator — implementations must never use FMA or
+/// approximate instructions.
+///
+/// Implementations whose operations require a CPU feature beyond the
+/// compilation baseline (e.g. [`F64x4`] needs AVX) must only be *used*
+/// from code compiled with that feature enabled — in this crate and its
+/// consumers, from `#[target_feature]` kernel entry points guarded by an
+/// [`Isa`] check. The inherent safety is managed by keeping the
+/// constructors crate-public to such generic kernels; the slice loads
+/// themselves are bounds-checked.
+pub trait SimdF64: Copy {
+    /// Lanes in this pack.
+    const LANES: usize;
+
+    /// Loads `Self::LANES` values from the front of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is shorter than `Self::LANES`.
+    fn from_slice(s: &[f64]) -> Self;
+
+    /// One value in every lane.
+    fn splat(v: f64) -> Self;
+
+    /// Stores the lanes to the front of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `Self::LANES`.
+    fn write_to(self, out: &mut [f64]);
+
+    /// Spills the lanes, in lane order, to the front of a
+    /// [`MAX_LANES`]-sized staging buffer (for program-order scalar
+    /// accumulation).
+    fn spill(self, out: &mut [f64; MAX_LANES]);
+
+    /// Lanewise `+` (exact, no contraction).
+    fn add(self, o: Self) -> Self;
+    /// Lanewise `-`.
+    fn sub(self, o: Self) -> Self;
+    /// Lanewise `*`.
+    fn mul(self, o: Self) -> Self;
+    /// Lanewise `/`.
+    fn div(self, o: Self) -> Self;
+    /// Lanewise minimum with the *keep-on-tie* polarity of
+    /// `if b < a { a = b }`: returns `self` when the lanes are equal
+    /// (`minpd self, other` semantics). Identical to `f64::min` for
+    /// finite inputs that do not mix `+0.0`/`-0.0`.
+    fn min(self, o: Self) -> Self;
+}
+
+#[cfg(target_arch = "x86_64")]
+mod lanes_x86 {
+    use super::{SimdF64, MAX_LANES};
+    use std::arch::x86_64::*;
+
+    /// Two `f64` lanes over SSE2 (the `x86_64` baseline — safe to use
+    /// anywhere on this architecture).
+    #[derive(Debug, Clone, Copy)]
+    pub struct F64x2(__m128d);
+
+    impl SimdF64 for F64x2 {
+        const LANES: usize = 2;
+
+        #[inline(always)]
+        fn from_slice(s: &[f64]) -> Self {
+            assert!(s.len() >= 2);
+            // SAFETY: bounds asserted above; SSE2 is baseline on x86_64.
+            F64x2(unsafe { _mm_loadu_pd(s.as_ptr()) })
+        }
+
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            F64x2(unsafe { _mm_set1_pd(v) })
+        }
+
+        #[inline(always)]
+        fn write_to(self, out: &mut [f64]) {
+            assert!(out.len() >= 2);
+            // SAFETY: bounds asserted above.
+            unsafe { _mm_storeu_pd(out.as_mut_ptr(), self.0) }
+        }
+
+        #[inline(always)]
+        fn spill(self, out: &mut [f64; MAX_LANES]) {
+            unsafe { _mm_storeu_pd(out.as_mut_ptr(), self.0) }
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            F64x2(unsafe { _mm_add_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            F64x2(unsafe { _mm_sub_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            F64x2(unsafe { _mm_mul_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            F64x2(unsafe { _mm_div_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn min(self, o: Self) -> Self {
+            // minpd(b, a) = (b < a) ? b : a — keeps `self` on ties.
+            F64x2(unsafe { _mm_min_pd(o.0, self.0) })
+        }
+    }
+
+    /// Four `f64` lanes over AVX. Only constructed inside
+    /// `#[target_feature(enable = "avx2")]` kernels reached through an
+    /// [`super::Isa::Avx2`] dispatch check.
+    #[derive(Debug, Clone, Copy)]
+    pub struct F64x4(__m256d);
+
+    impl SimdF64 for F64x4 {
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        fn from_slice(s: &[f64]) -> Self {
+            assert!(s.len() >= 4);
+            // SAFETY: bounds asserted; AVX availability guaranteed by the
+            // dispatching kernel's Isa check.
+            F64x4(unsafe { _mm256_loadu_pd(s.as_ptr()) })
+        }
+
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            F64x4(unsafe { _mm256_set1_pd(v) })
+        }
+
+        #[inline(always)]
+        fn write_to(self, out: &mut [f64]) {
+            assert!(out.len() >= 4);
+            // SAFETY: bounds asserted above.
+            unsafe { _mm256_storeu_pd(out.as_mut_ptr(), self.0) }
+        }
+
+        #[inline(always)]
+        fn spill(self, out: &mut [f64; MAX_LANES]) {
+            unsafe { _mm256_storeu_pd(out.as_mut_ptr(), self.0) }
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            F64x4(unsafe { _mm256_add_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            F64x4(unsafe { _mm256_sub_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            F64x4(unsafe { _mm256_mul_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            F64x4(unsafe { _mm256_div_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn min(self, o: Self) -> Self {
+            F64x4(unsafe { _mm256_min_pd(o.0, self.0) })
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub use lanes_x86::{F64x2, F64x4};
+
+/// `dst[i] = min(dst[i], src[i])` elementwise, with the keep-on-tie
+/// polarity of the scalar MLTD combine (`m = m.min(v)`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn min_assign(isa: Isa, dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "min_assign length mismatch");
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Isa::Avx2 is only selectable when the CPU supports it
+        // (Isa::from_env / Isa::detect enforce this).
+        Isa::Avx2 => unsafe { min_assign_avx2(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => min_assign_lanes::<F64x2>(dst, src),
+        _ => {
+            for (m, &v) in dst.iter_mut().zip(src) {
+                *m = m.min(v);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn min_assign_avx2(dst: &mut [f64], src: &[f64]) {
+    min_assign_lanes::<F64x4>(dst, src);
+}
+
+#[inline(always)]
+fn min_assign_lanes<V: SimdF64>(dst: &mut [f64], src: &[f64]) {
+    let n = dst.len();
+    let mut i = 0;
+    while i + V::LANES <= n {
+        let a = V::from_slice(&dst[i..]);
+        let b = V::from_slice(&src[i..]);
+        a.min(b).write_to(&mut dst[i..]);
+        i += V::LANES;
+    }
+    while i < n {
+        dst[i] = dst[i].min(src[i]);
+        i += 1;
+    }
+}
+
+/// `out[i] = a[i] - b[i]` elementwise (exact, so bit-identical to the
+/// scalar subtraction at any lane width).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sub_into(isa: Isa, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub_into length mismatch");
+    assert_eq!(a.len(), out.len(), "sub_into output length mismatch");
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 selection implies CPU support (see min_assign).
+        Isa::Avx2 => unsafe { sub_into_avx2(a, b, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => sub_into_lanes::<F64x2>(a, b, out),
+        _ => {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = x - y;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn sub_into_avx2(a: &[f64], b: &[f64], out: &mut [f64]) {
+    sub_into_lanes::<F64x4>(a, b, out);
+}
+
+#[inline(always)]
+fn sub_into_lanes<V: SimdF64>(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let mut i = 0;
+    while i + V::LANES <= n {
+        let x = V::from_slice(&a[i..]);
+        let y = V::from_slice(&b[i..]);
+        x.sub(y).write_to(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < n {
+        out[i] = a[i] - b[i];
+        i += 1;
+    }
+}
+
+/// Sliding-window minimum of `src` with window `[i - hw, i + hw]`
+/// clamped to the slice, written to `out` (`out.len() == src.len()`).
+///
+/// Uses the doubling (sparse-table) scheme instead of the scalar van
+/// Herk / Gil–Werman block decomposition: `+inf`-pad to `n + 2·hw`,
+/// build prefix minima of power-of-two span `K` (the largest power of
+/// two ≤ the window length `L`) with `log₂ K` in-place shifted-`min`
+/// passes, then combine `min(p[i], p[i + L - K])`. Every pass is an
+/// elementwise `min` of a slice against its shifted self, so the whole
+/// computation vectorizes; because `min` over NaN-free floats is exact
+/// selection, the result is bit-identical to the van Herk scan no
+/// matter how the `min`s are associated.
+///
+/// `work` is the caller's reusable padding buffer.
+///
+/// # Panics
+///
+/// Panics if `out.len() != src.len()`.
+pub fn sliding_min(isa: Isa, src: &[f64], hw: usize, work: &mut Vec<f64>, out: &mut [f64]) {
+    assert_eq!(src.len(), out.len(), "sliding_min length mismatch");
+    if hw == 0 {
+        out.copy_from_slice(src);
+        return;
+    }
+    let n = src.len();
+    let m = n + 2 * hw;
+    work.clear();
+    work.resize(m, f64::INFINITY);
+    work[hw..hw + n].copy_from_slice(src);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 selection implies CPU support (see min_assign).
+        Isa::Avx2 => unsafe { sliding_min_avx2(hw, work, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => sliding_min_lanes::<F64x2>(hw, work, out),
+        _ => sliding_min_lanes::<ScalarLane>(hw, work, out),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn sliding_min_avx2(hw: usize, work: &mut [f64], out: &mut [f64]) {
+    sliding_min_lanes::<F64x4>(hw, work, out);
+}
+
+#[inline(always)]
+fn sliding_min_lanes<V: SimdF64>(hw: usize, work: &mut [f64], out: &mut [f64]) {
+    let l = 2 * hw + 1;
+    let m = work.len();
+    // Largest power of two ≤ l (l ≥ 3 here, so k ≥ 2).
+    let k = usize::BITS - 1 - l.leading_zeros();
+    let k_span = 1usize << k;
+    // After pass j, work[i] = min(src_padded[i .. i + 2^(j+1)]).
+    let mut s = 1usize;
+    while s < k_span {
+        // In-place forward shifted min: reads at i + s happen before that
+        // index is written (writes trail reads by `s`).
+        let limit = m - s;
+        let mut i = 0;
+        while i + V::LANES <= limit {
+            let a = V::from_slice(&work[i..]);
+            let b = V::from_slice(&work[i + s..]);
+            a.min(b).write_to(&mut work[i..]);
+            i += V::LANES;
+        }
+        while i < limit {
+            work[i] = work[i].min(work[i + s]);
+            i += 1;
+        }
+        s <<= 1;
+    }
+    // Window of cell c covers padded[c .. c + l]; combine the two
+    // K-spans anchored at its ends.
+    let shift = l - k_span;
+    let n = out.len();
+    let mut i = 0;
+    while i + V::LANES <= n {
+        let a = V::from_slice(&work[i..]);
+        let b = V::from_slice(&work[i + shift..]);
+        a.min(b).write_to(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < n {
+        out[i] = work[i].min(work[i + shift]);
+        i += 1;
+    }
+}
+
+/// One-lane "vector" so the scalar fallback shares the generic kernels.
+#[derive(Debug, Clone, Copy)]
+struct ScalarLane(f64);
+
+impl SimdF64 for ScalarLane {
+    const LANES: usize = 1;
+
+    #[inline(always)]
+    fn from_slice(s: &[f64]) -> Self {
+        ScalarLane(s[0])
+    }
+
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        ScalarLane(v)
+    }
+
+    #[inline(always)]
+    fn write_to(self, out: &mut [f64]) {
+        out[0] = self.0;
+    }
+
+    #[inline(always)]
+    fn spill(self, out: &mut [f64; MAX_LANES]) {
+        out[0] = self.0;
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        ScalarLane(self.0 + o.0)
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        ScalarLane(self.0 - o.0)
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        ScalarLane(self.0 * o.0)
+    }
+
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        ScalarLane(self.0 / o.0)
+    }
+
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        ScalarLane(if o.0 < self.0 { o.0 } else { self.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_isas_case_insensitively() {
+        assert_eq!(Isa::parse("scalar").unwrap(), Isa::Scalar);
+        assert_eq!(Isa::parse("SSE2").unwrap(), Isa::Sse2);
+        assert_eq!(Isa::parse("Avx2").unwrap(), Isa::Avx2);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_isa() {
+        let err = Isa::parse("avx512").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::InvalidConfig {
+                    what: "BOREAS_SIMD",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("avx512"), "{err}");
+    }
+
+    #[test]
+    fn detect_is_supported_and_scalar_always_is() {
+        assert!(Isa::detect().is_supported());
+        assert!(Isa::Scalar.is_supported());
+        let avail = Isa::available();
+        assert_eq!(avail.last().copied(), Some(Isa::Scalar));
+        assert_eq!(avail.first().copied(), Some(Isa::detect()));
+    }
+
+    #[test]
+    fn names_and_lanes_are_consistent() {
+        for isa in Isa::ALL {
+            assert_eq!(Isa::parse(isa.name()).unwrap(), isa);
+            assert!(isa.lanes_f64() <= MAX_LANES);
+            assert_eq!(format!("{isa}"), isa.name());
+        }
+        assert_eq!(Isa::Scalar.lanes_f64(), 1);
+        assert_eq!(Isa::Sse2.lanes_f64(), 2);
+        assert_eq!(Isa::Avx2.lanes_f64(), 4);
+    }
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 40.0 + ((i * 37) % 19) as f64 * 1.7)
+            .collect()
+    }
+
+    #[test]
+    fn min_assign_matches_scalar_for_every_available_isa() {
+        for n in [0, 1, 2, 3, 5, 8, 13, 64, 101] {
+            let a0 = ramp(n);
+            let b: Vec<f64> = ramp(n).iter().map(|v| 120.0 - v).collect();
+            let mut want = a0.clone();
+            for (m, &v) in want.iter_mut().zip(&b) {
+                *m = m.min(v);
+            }
+            for isa in Isa::available() {
+                let mut got = a0.clone();
+                min_assign(isa, &mut got, &b);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{isa} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_into_matches_scalar_for_every_available_isa() {
+        for n in [0, 1, 3, 4, 7, 64, 101] {
+            let a = ramp(n);
+            let b: Vec<f64> = ramp(n).iter().map(|v| v * 0.43).collect();
+            let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+            for isa in Isa::available() {
+                let mut got = vec![0.0; n];
+                sub_into(isa, &a, &b, &mut got);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{isa} n={n}");
+                }
+            }
+        }
+    }
+
+    /// Brute-force window minimum, the semantics `sliding_min` must hit.
+    fn window_min_naive(src: &[f64], hw: usize) -> Vec<f64> {
+        (0..src.len())
+            .map(|i| {
+                let lo = i.saturating_sub(hw);
+                let hi = (i + hw).min(src.len() - 1);
+                src[lo..=hi].iter().copied().fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sliding_min_matches_naive_for_every_available_isa() {
+        let mut work = Vec::new();
+        for n in [1, 2, 3, 4, 5, 9, 16, 33, 80, 101] {
+            let src = ramp(n);
+            for hw in [0, 1, 2, 3, 4, 7, 11] {
+                let want = window_min_naive(&src, hw);
+                for isa in Isa::available() {
+                    let mut got = vec![0.0; n];
+                    sliding_min(isa, &src, hw, &mut work, &mut got);
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.to_bits(), w.to_bits(), "{isa} n={n} hw={hw}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The `BOREAS_SIMD` override: accepted values select the ISA, unknown
+//! or unsupported values are hard errors (never a silent fallback).
+//!
+//! All cases run in one `#[test]` because the environment is
+//! process-global state.
+
+use boreas_simd::{Isa, ISA_ENV};
+
+#[test]
+fn env_override_selects_and_rejects() {
+    // Unset: the detected ISA wins.
+    std::env::remove_var(ISA_ENV);
+    assert_eq!(Isa::from_env().unwrap(), Isa::detect());
+
+    // Scalar is always honoured, whatever the hardware.
+    std::env::set_var(ISA_ENV, "scalar");
+    assert_eq!(Isa::from_env().unwrap(), Isa::Scalar);
+
+    // Every supported ISA can be forced explicitly.
+    for isa in Isa::available() {
+        std::env::set_var(ISA_ENV, isa.name());
+        assert_eq!(Isa::from_env().unwrap(), isa);
+    }
+
+    // Unknown value: an error naming the bad value, not a fallback.
+    std::env::set_var(ISA_ENV, "neon");
+    let err = Isa::from_env().unwrap_err();
+    assert!(err.to_string().contains("neon"), "{err}");
+
+    // An ISA this CPU cannot execute is an error too.
+    if !Isa::Avx2.is_supported() {
+        std::env::set_var(ISA_ENV, "avx2");
+        let err = Isa::from_env().unwrap_err();
+        assert!(err.to_string().contains("avx2"), "{err}");
+    }
+
+    std::env::remove_var(ISA_ENV);
+}

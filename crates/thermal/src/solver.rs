@@ -4,6 +4,9 @@ use crate::config::ThermalConfig;
 use common::units::Celsius;
 use common::{Error, Result};
 use floorplan::Grid;
+use simd::Isa;
+#[cfg(target_arch = "x86_64")]
+use simd::{SimdF64, MAX_LANES};
 
 /// Transient thermal state of the die grid plus the lumped package node.
 ///
@@ -30,6 +33,10 @@ pub struct ThermalGrid {
     dt: f64,
     /// Scratch buffer for the update.
     scratch: Vec<f64>,
+    /// Instruction set the stencil sweep runs on (process-wide
+    /// [`Isa::active`] by default; overridable per grid for equivalence
+    /// tests and per-ISA benchmarking). Every ISA is bit-identical.
+    isa: Isa,
 }
 
 impl ThermalGrid {
@@ -73,7 +80,27 @@ impl ThermalGrid {
             c_cell,
             dt,
             scratch: vec![0.0; nx * ny],
+            isa: Isa::active(),
         }
+    }
+
+    /// Pins the stencil sweep to a specific instruction set (equivalence
+    /// tests, per-ISA benchmarking). Results are bit-identical across
+    /// ISAs; only throughput changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this CPU cannot execute `isa`.
+    #[must_use]
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        assert!(isa.is_supported(), "{isa} not supported on this CPU");
+        self.isa = isa;
+        self
+    }
+
+    /// The instruction set the stencil sweep runs on.
+    pub fn isa(&self) -> Isa {
+        self.isa
     }
 
     /// The configuration in use.
@@ -195,40 +222,22 @@ impl ThermalGrid {
         let out = &mut self.scratch[..];
         let mut pkg_flux = 0.0;
 
-        // Top row (no `up` neighbour), interior rows, bottom row — the
-        // cells are visited in the same row-major order as the reference,
-        // so the running package-flux sum rounds identically.
-        row_update::<false, true>(
-            &coeffs,
-            None,
-            &t[..nx],
-            Some(&t[nx..2 * nx]),
-            &power[..nx],
-            &mut out[..nx],
-            &mut pkg_flux,
-        );
-        for iy in 1..ny - 1 {
-            let base = iy * nx;
-            row_update::<true, true>(
-                &coeffs,
-                Some(&t[base - nx..base]),
-                &t[base..base + nx],
-                Some(&t[base + nx..base + 2 * nx]),
-                &power[base..base + nx],
-                &mut out[base..base + nx],
-                &mut pkg_flux,
-            );
+        // One sweep over the grid on the selected ISA. Every path visits
+        // the cells in the same row-major order and evaluates the same
+        // IEEE expression per cell, so the output field *and* the running
+        // package-flux sum round identically on all of them.
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `with_isa`/`Isa::active` only admit supported ISAs.
+            Isa::Avx2 => unsafe {
+                rows_sweep_avx2(&coeffs, t, power, out, nx, ny, &mut pkg_flux);
+            },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse2 => {
+                rows_sweep_lanes::<simd::F64x2>(&coeffs, t, power, out, nx, ny, &mut pkg_flux);
+            }
+            _ => rows_sweep_scalar(&coeffs, t, power, out, nx, ny, &mut pkg_flux),
         }
-        let base = (ny - 1) * nx;
-        row_update::<true, false>(
-            &coeffs,
-            Some(&t[base - nx..base]),
-            &t[base..base + nx],
-            None,
-            &power[base..base + nx],
-            &mut out[base..base + nx],
-            &mut pkg_flux,
-        );
 
         let ambient = self.cfg.ambient.value();
         pkg_flux += self.cfg.sink_conductance_w_per_k * (ambient - self.pkg_temp);
@@ -373,6 +382,192 @@ impl CellCoeffs {
     fn pkg_contrib(&self, ti: f64) -> f64 {
         self.gv * (ti - self.pkg)
     }
+}
+
+/// The PR 3 scalar sweep: top row (no `up` neighbour), interior rows,
+/// bottom row, all through the boundary-peeled [`row_update`].
+fn rows_sweep_scalar(
+    coeffs: &CellCoeffs,
+    t: &[f64],
+    power: &[f64],
+    out: &mut [f64],
+    nx: usize,
+    ny: usize,
+    pkg_flux: &mut f64,
+) {
+    row_update::<false, true>(
+        coeffs,
+        None,
+        &t[..nx],
+        Some(&t[nx..2 * nx]),
+        &power[..nx],
+        &mut out[..nx],
+        pkg_flux,
+    );
+    for iy in 1..ny - 1 {
+        let base = iy * nx;
+        row_update::<true, true>(
+            coeffs,
+            Some(&t[base - nx..base]),
+            &t[base..base + nx],
+            Some(&t[base + nx..base + 2 * nx]),
+            &power[base..base + nx],
+            &mut out[base..base + nx],
+            pkg_flux,
+        );
+    }
+    let base = (ny - 1) * nx;
+    row_update::<true, false>(
+        coeffs,
+        Some(&t[base - nx..base]),
+        &t[base..base + nx],
+        None,
+        &power[base..base + nx],
+        &mut out[base..base + nx],
+        pkg_flux,
+    );
+}
+
+/// The AVX2 entry point: identical structure to the generic sweep, but
+/// compiled with 256-bit lanes enabled so [`row_update_lanes`] inlines
+/// into 4-wide code. Safe to call only after an [`Isa::Avx2`] support
+/// check — enforced by the dispatch in [`ThermalGrid::substep`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn rows_sweep_avx2(
+    coeffs: &CellCoeffs,
+    t: &[f64],
+    power: &[f64],
+    out: &mut [f64],
+    nx: usize,
+    ny: usize,
+    pkg_flux: &mut f64,
+) {
+    rows_sweep_lanes::<simd::F64x4>(coeffs, t, power, out, nx, ny, pkg_flux);
+}
+
+/// The lane-parallel sweep: same row order as [`rows_sweep_scalar`],
+/// with each row's interior updated `V::LANES` cells at a time.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn rows_sweep_lanes<V: SimdF64>(
+    coeffs: &CellCoeffs,
+    t: &[f64],
+    power: &[f64],
+    out: &mut [f64],
+    nx: usize,
+    ny: usize,
+    pkg_flux: &mut f64,
+) {
+    row_update_lanes::<V, false, true>(
+        coeffs,
+        None,
+        &t[..nx],
+        Some(&t[nx..2 * nx]),
+        &power[..nx],
+        &mut out[..nx],
+        pkg_flux,
+    );
+    for iy in 1..ny - 1 {
+        let base = iy * nx;
+        row_update_lanes::<V, true, true>(
+            coeffs,
+            Some(&t[base - nx..base]),
+            &t[base..base + nx],
+            Some(&t[base + nx..base + 2 * nx]),
+            &power[base..base + nx],
+            &mut out[base..base + nx],
+            pkg_flux,
+        );
+    }
+    let base = (ny - 1) * nx;
+    row_update_lanes::<V, true, false>(
+        coeffs,
+        Some(&t[base - nx..base]),
+        &t[base..base + nx],
+        None,
+        &power[base..base + nx],
+        &mut out[base..base + nx],
+        pkg_flux,
+    );
+}
+
+/// [`row_update`] with the interior loop running on `V::LANES`-wide
+/// vectors. Bit-identity with the scalar row: the edges and the
+/// `< V::LANES` remainder go through the *same* [`CellCoeffs::cell`]
+/// expression, the vector lanes evaluate that expression with exact
+/// elementwise `add`/`sub`/`mul`/`div` (no FMA contraction — the lane
+/// wrappers only expose the unfused intrinsics), and each lane's
+/// package-flux contribution is spilled and added to the running scalar
+/// sum in lane order, i.e. in the reference's row-major cell order.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn row_update_lanes<V: SimdF64, const UP: bool, const DOWN: bool>(
+    c: &CellCoeffs,
+    up_row: Option<&[f64]>,
+    row: &[f64],
+    down_row: Option<&[f64]>,
+    p_row: &[f64],
+    out_row: &mut [f64],
+    pkg_flux: &mut f64,
+) {
+    let nx = row.len();
+    let up_row = up_row.unwrap_or(row);
+    let down_row = down_row.unwrap_or(row);
+    // Left edge (scalar, as in the reference).
+    *pkg_flux += c.pkg_contrib(row[0]);
+    out_row[0] =
+        c.cell::<false, true, UP, DOWN>(row[0], p_row[0], 0.0, row[1], up_row[0], down_row[0]);
+
+    let gx = V::splat(c.gx);
+    let gy = V::splat(c.gy);
+    let gv = V::splat(c.gv);
+    let dt = V::splat(c.dt);
+    let c_cell = V::splat(c.c_cell);
+    let pkg = V::splat(c.pkg);
+    let mut spilled = [0.0; MAX_LANES];
+
+    // Interior, V::LANES cells at a time.
+    let mut ix = 1;
+    while ix + V::LANES < nx {
+        let ti = V::from_slice(&row[ix..]);
+        // flux accumulates power, vertical, left, right, up, down — the
+        // exact term order of `CellCoeffs::cell`.
+        let mut flux = V::from_slice(&p_row[ix..]).add(gv.mul(pkg.sub(ti)));
+        flux = flux.add(gx.mul(V::from_slice(&row[ix - 1..]).sub(ti)));
+        flux = flux.add(gx.mul(V::from_slice(&row[ix + 1..]).sub(ti)));
+        if UP {
+            flux = flux.add(gy.mul(V::from_slice(&up_row[ix..]).sub(ti)));
+        }
+        if DOWN {
+            flux = flux.add(gy.mul(V::from_slice(&down_row[ix..]).sub(ti)));
+        }
+        ti.add(dt.mul(flux).div(c_cell))
+            .write_to(&mut out_row[ix..]);
+        // Package flux: elementwise contributions, summed in cell order.
+        gv.mul(ti.sub(pkg)).spill(&mut spilled);
+        for &contrib in &spilled[..V::LANES] {
+            *pkg_flux += contrib;
+        }
+        ix += V::LANES;
+    }
+    // Interior remainder (scalar).
+    for ix in ix..nx - 1 {
+        *pkg_flux += c.pkg_contrib(row[ix]);
+        out_row[ix] = c.cell::<true, true, UP, DOWN>(
+            row[ix],
+            p_row[ix],
+            row[ix - 1],
+            row[ix + 1],
+            up_row[ix],
+            down_row[ix],
+        );
+    }
+    // Right edge.
+    let e = nx - 1;
+    *pkg_flux += c.pkg_contrib(row[e]);
+    out_row[e] =
+        c.cell::<true, false, UP, DOWN>(row[e], p_row[e], row[e - 1], 0.0, up_row[e], down_row[e]);
 }
 
 /// Updates one grid row with the left/right edge cells peeled off the
@@ -591,6 +786,34 @@ mod tests {
         // stability bound, whichever is smaller.
         assert!(tg.dt_us() <= 20.0 + 1e-9);
         assert!(tg.dt_us() > 0.0);
+    }
+
+    #[test]
+    fn every_available_isa_is_bit_identical_to_scalar() {
+        let grid =
+            Grid::rasterize(&Floorplan::skylake_like(), GridSpec::new(37, 23).unwrap()).unwrap();
+        let power: Vec<f64> = (0..grid.spec().cells())
+            .map(|i| 0.002 + 0.05 * (((i * 29) % 97) as f64 / 97.0))
+            .collect();
+        let mut scalar = ThermalGrid::new(&grid, ThermalConfig::default()).with_isa(Isa::Scalar);
+        for _ in 0..8 {
+            scalar.step(&power, 80.0).unwrap();
+        }
+        for isa in Isa::available() {
+            let mut tg = ThermalGrid::new(&grid, ThermalConfig::default()).with_isa(isa);
+            assert_eq!(tg.isa(), isa);
+            for _ in 0..8 {
+                tg.step(&power, 80.0).unwrap();
+            }
+            for (a, b) in tg.temperatures().iter().zip(scalar.temperatures()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{isa}");
+            }
+            assert_eq!(
+                tg.package_temp().value().to_bits(),
+                scalar.package_temp().value().to_bits(),
+                "{isa}"
+            );
+        }
     }
 
     #[test]

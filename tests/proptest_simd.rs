@@ -1,0 +1,205 @@
+//! Cross-ISA equivalence properties for the SIMD hot-kernel layer.
+//!
+//! Every vectorized kernel must be *bit*-identical to its scalar
+//! counterpart — not merely close — because the repo's reproducibility
+//! contract (digest-pinned figures, resumable sessions) depends on
+//! results that do not change with the machine the run happens to land
+//! on. These properties drive each kernel across every ISA the host CPU
+//! supports (`Isa::available()` always includes `Scalar`, so the suite
+//! degrades gracefully on non-x86 hardware) with randomized shapes that
+//! exercise lane remainders, and compare outputs through `to_bits`.
+
+use floorplan::{Floorplan, Grid, GridSpec};
+use gbt::{Dataset, GbtModel, GbtParams};
+use hotgauge::MltdMap;
+use proptest::prelude::*;
+use simd::Isa;
+use thermal::{ThermalConfig, ThermalGrid};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fused thermal integrator produces the same temperature field
+    /// on every ISA, for arbitrary NaN-free power vectors and odd grid
+    /// widths that leave vector remainders.
+    #[test]
+    fn thermal_step_is_bit_identical_across_isas(
+        all_powers in prop::collection::vec(0.0..0.4f64, 12 * 6..=12 * 6),
+        nx in 5usize..12,
+        rounds in 1usize..4,
+    ) {
+        let grid = Grid::rasterize(
+            &Floorplan::skylake_like(),
+            GridSpec::new(nx, 6).unwrap(),
+        )
+        .unwrap();
+        let powers = &all_powers[..nx * 6];
+        let mut reference =
+            ThermalGrid::new(&grid, ThermalConfig::default()).with_isa(Isa::Scalar);
+        for _ in 0..rounds {
+            reference.step(powers, 80.0).unwrap();
+        }
+        for isa in Isa::available() {
+            let mut g = ThermalGrid::new(&grid, ThermalConfig::default()).with_isa(isa);
+            for _ in 0..rounds {
+                g.step(powers, 80.0).unwrap();
+            }
+            for (a, b) in g.temperatures().iter().zip(reference.temperatures()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs scalar", isa);
+            }
+            prop_assert_eq!(
+                g.package_temp().value().to_bits(),
+                reference.package_temp().value().to_bits()
+            );
+        }
+    }
+
+    /// The MLTD sweep (vectorized sliding row minima + row combine +
+    /// subtract) matches the scalar sweep bitwise for random temperature
+    /// fields and disc radii.
+    #[test]
+    fn mltd_sweep_is_bit_identical_across_isas(
+        temps in prop::collection::vec(40.0..110.0f64, 9 * 7..=9 * 7),
+        radius_mm in 0.3..2.5f64,
+    ) {
+        let grid = Grid::rasterize(
+            &Floorplan::skylake_like(),
+            GridSpec::new(9, 7).unwrap(),
+        )
+        .unwrap();
+        let reference = MltdMap::new(&grid, radius_mm)
+            .with_isa(Isa::Scalar)
+            .compute(&temps);
+        for isa in Isa::available() {
+            let got = MltdMap::new(&grid, radius_mm).with_isa(isa).compute(&temps);
+            prop_assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                prop_assert_eq!(g.to_bits(), r.to_bits(), "{} vs scalar", isa);
+            }
+        }
+    }
+
+    /// The slice kernels under the sweep — elementwise running min,
+    /// elementwise subtract, doubling sliding-window min — are bitwise
+    /// scalar-equal at every width (remainders included) and half-width.
+    #[test]
+    fn slice_kernels_are_bit_identical_across_isas(
+        a in prop::collection::vec(-50.0..150.0f64, 1..40),
+        b_seed in prop::collection::vec(-50.0..150.0f64, 40..=40),
+        hw in 0usize..9,
+    ) {
+        let n = a.len();
+        let b = &b_seed[..n];
+        let mut work = Vec::new();
+
+        let mut min_ref = a.clone();
+        simd::min_assign(Isa::Scalar, &mut min_ref, b);
+        let mut sub_ref = vec![0.0; n];
+        simd::sub_into(Isa::Scalar, &a, b, &mut sub_ref);
+        let mut win_ref = vec![0.0; n];
+        simd::sliding_min(Isa::Scalar, &a, hw, &mut work, &mut win_ref);
+
+        for isa in Isa::available() {
+            let mut min_got = a.clone();
+            simd::min_assign(isa, &mut min_got, b);
+            let mut sub_got = vec![0.0; n];
+            simd::sub_into(isa, &a, b, &mut sub_got);
+            let mut win_got = vec![0.0; n];
+            simd::sliding_min(isa, &a, hw, &mut work, &mut win_got);
+            for i in 0..n {
+                prop_assert_eq!(min_got[i].to_bits(), min_ref[i].to_bits(), "min {}", isa);
+                prop_assert_eq!(sub_got[i].to_bits(), sub_ref[i].to_bits(), "sub {}", isa);
+                prop_assert_eq!(win_got[i].to_bits(), win_ref[i].to_bits(), "win {}", isa);
+            }
+        }
+    }
+
+    /// The blocked lane traversal predicts bitwise what the scalar
+    /// tree-outer walk predicts, for random feature matrices and batch
+    /// sizes straddling the block width (partial tail blocks included).
+    #[test]
+    fn gbt_lanes_are_bit_identical_across_isas(
+        rows_seed in prop::collection::vec(
+            prop::collection::vec(0.0..1.0f64, 3..=3),
+            1..40,
+        ),
+        estimators in 5usize..25,
+    ) {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into(), "x2".into()]);
+        for i in 0..200 {
+            let x0 = (i % 17) as f64 / 17.0;
+            let x1 = (i % 5) as f64;
+            let x2 = (i % 11) as f64 / 11.0;
+            d.push_row(&[x0, x1, x2], x0 * 3.0 - x1 + x2 * x2, 0).unwrap();
+        }
+        let model =
+            GbtModel::train(&d, &GbtParams::default().with_estimators(estimators)).unwrap();
+        let reference = model
+            .flatten()
+            .with_isa(Isa::Scalar)
+            .predict_batch(&rows_seed);
+        for isa in Isa::available() {
+            let flat = model.flatten().with_isa(isa);
+            let got = flat.predict_batch(&rows_seed);
+            prop_assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                prop_assert_eq!(g.to_bits(), r.to_bits(), "batch {}", isa);
+            }
+            // The lane entry point directly (predict_batch falls back to
+            // the scalar walk below one block of rows).
+            let mut lanes = Vec::new();
+            flat.predict_lanes(&rows_seed, &mut lanes);
+            for (g, r) in lanes.iter().zip(&reference) {
+                prop_assert_eq!(g.to_bits(), r.to_bits(), "lanes {}", isa);
+            }
+        }
+    }
+}
+
+/// `BOREAS_SIMD` is read once per process; these cases spawn the probe
+/// in a child process per value so each observes a fresh override.
+#[test]
+fn boreas_simd_override_selects_and_rejects() {
+    let probe = std::env::current_exe().unwrap();
+    let run = |value: Option<&str>| {
+        let mut cmd = std::process::Command::new(&probe);
+        cmd.args(["--ignored", "--exact", "isa_probe", "--nocapture"]);
+        match value {
+            Some(v) => cmd.env("BOREAS_SIMD", v),
+            None => cmd.env_remove("BOREAS_SIMD"),
+        };
+        let out = cmd.output().expect("spawn probe");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+        )
+    };
+
+    let (ok, out) = run(Some("scalar"));
+    assert!(ok, "scalar override must be honoured: {out}");
+    assert!(out.contains("isa_probe: scalar"), "{out}");
+
+    for isa in Isa::available() {
+        let (ok, out) = run(Some(isa.name()));
+        assert!(ok, "{isa} is available and must be honoured: {out}");
+        assert!(out.contains(&format!("isa_probe: {isa}")), "{out}");
+    }
+
+    let (ok, out) = run(Some("neon"));
+    assert!(!ok, "unknown ISA names must abort the probe: {out}");
+
+    let (ok, out) = run(None);
+    assert!(ok, "no override must fall back to detection: {out}");
+    assert!(
+        out.contains(&format!("isa_probe: {}", Isa::detect())),
+        "{out}"
+    );
+}
+
+/// Child-process body for `boreas_simd_override_selects_and_rejects`:
+/// prints the active ISA and exits. Ignored in normal runs.
+#[test]
+#[ignore = "probe body spawned by boreas_simd_override_selects_and_rejects"]
+fn isa_probe() {
+    println!("isa_probe: {}", Isa::active());
+}
