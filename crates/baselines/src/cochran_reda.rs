@@ -283,12 +283,12 @@ impl Controller for TempPredController {
             .features
             .extract(rec, self.model.params.sensor_idx);
         let now_temp = observed_temperature(rec, self.model.params.sensor_idx);
-        let idx = ctx.current_idx;
+        let idx = ctx.current_idx();
         let pred_hold = self.model.predict_future_temp(&x, now_temp, idx);
         if pred_hold >= self.threshold(idx) {
-            return ctx.vf.step_down(idx);
+            return ctx.vf().step_down(idx);
         }
-        let up = ctx.vf.step_up(idx);
+        let up = ctx.vf().step_up(idx);
         if up != idx {
             let pred_up = self.model.predict_future_temp(&x, now_temp, up);
             if pred_up < self.threshold(up) - self.up_margin_c {

@@ -74,12 +74,12 @@ fn main() {
     );
     for chunk in out.records.chunks(12) {
         let last = chunk.last().unwrap();
-        let ctx = boreas_core::ControlContext {
-            vf: run.vf_table(),
-            current_idx: run.vf_table().index_of(last.frequency).unwrap(),
-            recent: chunk,
-            sensor_idx: telemetry::MAX_SENSOR_BANK,
-        };
+        let ctx = boreas_core::ControlContext::new(
+            run.vf_table(),
+            run.vf_table().index_of(last.frequency).unwrap(),
+            chunk,
+            telemetry::MAX_SENSOR_BANK,
+        );
         println!(
             "{:>6.2} {:>6.2} {:>8.2} {:>8.3} {:>8.3} {:>8.3}",
             last.time.as_millis_f64(),

@@ -6,10 +6,16 @@ use common::units::GigaHertz;
 use common::{Error, Result};
 use gbt::GbtModel;
 use hotgauge::StepRecord;
+use serde::{Deserialize, Serialize};
 use telemetry::FeatureSet;
 
 /// What a controller chose to do at a decision boundary (diagnostics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serialisable: this is the canonical decision type shared by the
+/// closed-loop runner, the flight recorder and the serving wire protocol
+/// (`boreas-serve`) — no per-layer mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum Decision {
     /// Raise frequency one 250 MHz step.
     StepUp,
@@ -23,22 +29,66 @@ pub enum Decision {
 ///
 /// Only *observable* state is exposed: the delayed sensor readings and
 /// the interval's telemetry. True die temperatures and severities are
-/// oracle knowledge and deliberately absent.
+/// oracle knowledge and deliberately absent. Fields are private —
+/// external frame sources (the online controller, `boreas-serve`) build
+/// contexts through [`ControlContext::new`] and never reach into
+/// pipeline internals.
 #[derive(Debug)]
 pub struct ControlContext<'a> {
     /// The legal operating points.
-    pub vf: &'a VfTable,
+    vf: &'a VfTable,
     /// Index of the point used during the last interval.
-    pub current_idx: usize,
+    current_idx: usize,
     /// The 12 step records of the last interval (oldest first). Severity
     /// fields are present for *accounting*; controllers must not read
     /// them.
-    pub recent: &'a [StepRecord],
+    recent: &'a [StepRecord],
     /// Which sensor the controller may read.
-    pub sensor_idx: usize,
+    sensor_idx: usize,
 }
 
-impl ControlContext<'_> {
+impl<'a> ControlContext<'a> {
+    /// Builds a decision context from an interval's observed frames and
+    /// the index of the operating point they ran at.
+    ///
+    /// `recent` is oldest-first; `sensor_idx` selects which sensor the
+    /// controller may read ([`telemetry::MAX_SENSOR_BANK`] for the bank
+    /// maximum).
+    pub fn new(
+        vf: &'a VfTable,
+        current_idx: usize,
+        recent: &'a [StepRecord],
+        sensor_idx: usize,
+    ) -> Self {
+        debug_assert!(current_idx < vf.len(), "current index out of VF range");
+        Self {
+            vf,
+            current_idx,
+            recent,
+            sensor_idx,
+        }
+    }
+
+    /// The legal operating points.
+    pub fn vf(&self) -> &'a VfTable {
+        self.vf
+    }
+
+    /// Index of the point used during the last interval.
+    pub fn current_idx(&self) -> usize {
+        self.current_idx
+    }
+
+    /// The step records of the last interval (oldest first).
+    pub fn recent(&self) -> &'a [StepRecord] {
+        self.recent
+    }
+
+    /// Which sensor the controller may read by default.
+    pub fn sensor_idx(&self) -> usize {
+        self.sensor_idx
+    }
+
     /// The newest step record of the interval.
     ///
     /// # Panics
@@ -64,8 +114,9 @@ impl ControlContext<'_> {
 /// What a controller can tell the flight recorder about its most recent
 /// decision. Every field is optional: simple controllers report nothing,
 /// Boreas reports its prediction and guardband, resilient wrappers add
-/// their stage and telemetry quality.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// their stage and telemetry quality. Serialisable so the serving wire
+/// protocol and the flight recorder share it verbatim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ControlDiagnostics {
     /// ML severity prediction backing the decision.
     pub predicted_severity: Option<f64>,
@@ -93,6 +144,42 @@ pub trait Controller {
     /// decision to populate the flight recorder.
     fn diagnostics(&self) -> ControlDiagnostics {
         ControlDiagnostics::default()
+    }
+}
+
+impl<T: Controller + ?Sized> Controller for &mut T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
+        (**self).decide(ctx)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn diagnostics(&self) -> ControlDiagnostics {
+        (**self).diagnostics()
+    }
+}
+
+impl<T: Controller + ?Sized> Controller for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
+        (**self).decide(ctx)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn diagnostics(&self) -> ControlDiagnostics {
+        (**self).diagnostics()
     }
 }
 
@@ -190,11 +277,11 @@ impl Controller for ThermalController {
 
     fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
         let temp = ctx.sensor_temp_at(self.sensor_idx);
-        let idx = ctx.current_idx;
+        let idx = ctx.current_idx();
         if temp >= self.threshold(idx) {
-            return ctx.vf.step_down(idx);
+            return ctx.vf().step_down(idx);
         }
-        let up = ctx.vf.step_up(idx);
+        let up = ctx.vf().step_up(idx);
         if up != idx && temp < self.threshold(up) - self.up_margin_c {
             return up;
         }
@@ -302,8 +389,8 @@ impl BoreasController {
     pub fn predict_up(&self, ctx: &ControlContext<'_>) -> f64 {
         let rec = ctx.last_record();
         let vec = self.features.extract(rec, self.sensor_idx);
-        let up = ctx.vf.step_up(ctx.current_idx);
-        let target = ctx.vf.point(up);
+        let up = ctx.vf().step_up(ctx.current_idx());
+        let target = ctx.vf().point(up);
         let what_if = self.features.rescale_to_vf(
             &vec,
             GigaHertz::new(rec.frequency.value()),
@@ -322,8 +409,8 @@ impl BoreasController {
     pub fn predict_candidates(&self, ctx: &ControlContext<'_>) -> (f64, f64) {
         let rec = ctx.last_record();
         let hold = self.features.extract(rec, self.sensor_idx);
-        let up = ctx.vf.step_up(ctx.current_idx);
-        let target = ctx.vf.point(up);
+        let up = ctx.vf().step_up(ctx.current_idx());
+        let target = ctx.vf().point(up);
         let what_if = self.features.rescale_to_vf(
             &hold,
             GigaHertz::new(rec.frequency.value()),
@@ -342,12 +429,12 @@ impl Controller for BoreasController {
 
     fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
         let threshold = self.threshold();
-        let idx = ctx.current_idx;
-        let up = ctx.vf.step_up(idx);
+        let idx = ctx.current_idx();
+        let up = ctx.vf().step_up(idx);
         let (hold_pred, up_pred) = self.predict_candidates(ctx);
         self.last_prediction = Some(hold_pred);
         if hold_pred > threshold {
-            return ctx.vf.step_down(idx);
+            return ctx.vf().step_down(idx);
         }
         if up != idx && up_pred <= threshold {
             return up;
@@ -393,12 +480,7 @@ mod tests {
         let vf = VfTable::paper();
         let recent = make_interval(3.75, 0.925);
         let mut c = GlobalVfController::new(VfTable::BASELINE_INDEX);
-        let ctx = ControlContext {
-            vf: &vf,
-            current_idx: VfTable::BASELINE_INDEX,
-            recent: &recent,
-            sensor_idx: 3,
-        };
+        let ctx = ControlContext::new(&vf, VfTable::BASELINE_INDEX, &recent, 3);
         assert_eq!(c.decide(&ctx), VfTable::BASELINE_INDEX);
         assert_eq!(c.name(), "global");
     }
@@ -409,12 +491,7 @@ mod tests {
         let recent = make_interval(4.0, 0.98);
         // Threshold below any plausible sensor reading -> must step down.
         let mut c = ThermalController::from_thresholds(vec![Some(10.0); vf.len()], 0.0);
-        let ctx = ControlContext {
-            vf: &vf,
-            current_idx: 8,
-            recent: &recent,
-            sensor_idx: 3,
-        };
+        let ctx = ControlContext::new(&vf, 8, &recent, 3);
         assert_eq!(c.decide(&ctx), 7);
         assert_eq!(c.name(), "TH-00");
     }
@@ -424,12 +501,7 @@ mod tests {
         let vf = VfTable::paper();
         let recent = make_interval(3.75, 0.925);
         let mut c = ThermalController::from_thresholds(vec![Some(1000.0); vf.len()], 0.0);
-        let ctx = ControlContext {
-            vf: &vf,
-            current_idx: 7,
-            recent: &recent,
-            sensor_idx: 3,
-        };
+        let ctx = ControlContext::new(&vf, 7, &recent, 3);
         assert_eq!(c.decide(&ctx), 8);
     }
 
@@ -449,12 +521,7 @@ mod tests {
         let vf = VfTable::paper();
         let recent = make_interval(5.0, 1.4);
         let mut c = ThermalController::from_thresholds(vec![Some(1000.0); vf.len()], 0.0);
-        let ctx = ControlContext {
-            vf: &vf,
-            current_idx: 12,
-            recent: &recent,
-            sensor_idx: 3,
-        };
+        let ctx = ControlContext::new(&vf, 12, &recent, 3);
         assert_eq!(c.decide(&ctx), 12, "cannot step above the table");
     }
 
@@ -472,12 +539,8 @@ mod tests {
         let features = FeatureSet::from_names(&["frequency_ghz"]).unwrap();
         let vf = VfTable::paper();
         let recent = make_interval(4.0, 0.98);
-        let ctx = ControlContext {
-            vf: &vf,
-            current_idx: 8, // 4.0 GHz
-            recent: &recent,
-            sensor_idx: 3,
-        };
+        // current_idx 8 = 4.0 GHz
+        let ctx = ControlContext::new(&vf, 8, &recent, 3);
         // Guardband 0: threshold 1.0 -> hold prediction 0.8 is fine, up
         // prediction 0.85 is fine -> step up.
         let mut ml00 = BoreasController::try_new(model.clone(), features.clone(), 0.0).unwrap();
@@ -514,12 +577,7 @@ mod tests {
         let recent = make_interval(4.0, 0.98);
         let c = BoreasController::try_new(model, features, 0.05).unwrap();
         for current_idx in [0, 8, vf.len() - 1] {
-            let ctx = ControlContext {
-                vf: &vf,
-                current_idx,
-                recent: &recent,
-                sensor_idx: 3,
-            };
+            let ctx = ControlContext::new(&vf, current_idx, &recent, 3);
             let (hold, up) = c.predict_candidates(&ctx);
             assert_eq!(hold.to_bits(), c.predict_hold(&ctx).to_bits());
             assert_eq!(up.to_bits(), c.predict_up(&ctx).to_bits());

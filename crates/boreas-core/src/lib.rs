@@ -14,13 +14,19 @@
 //!   last-known-good substitution and graceful degradation (ML → TH
 //!   fallback → watchdog-forced global-safe) under sensor faults;
 //!
-//! plus two builders sharing one idiom:
+//! plus the online control loop and two builders sharing one idiom:
 //!
+//! * [`OnlineController`] — the push-based decision API: feed
+//!   [`TelemetryFrame`]s in, get [`ControlDecision`]s out, one per
+//!   960 µs interval. The serving daemon (`boreas-serve`) shards
+//!   frames across these; the offline harness replays the simulator
+//!   through the same type;
 //! * [`RunSpec`] — the closed-loop harness executing any controller
 //!   against the hotgauge pipeline at the paper's 960 µs decision
 //!   cadence, accounting reliability (hotspot incursions) and
 //!   performance (average frequency normalised to the 3.75 GHz
-//!   baseline);
+//!   baseline) — a thin replay driver over [`OnlineController`],
+//!   bit-identical to the monolithic reference loop it replaced;
 //! * [`TrainSpec`] — the offline Fig. 3 flow: telemetry extraction over
 //!   the training workloads × VF table, multi-threaded histogram GBT
 //!   training ([`TrainSpec::fit`]) and TH-00 threshold training
@@ -34,6 +40,7 @@
 
 pub mod controller;
 pub mod critical;
+pub mod online;
 pub mod oracle;
 pub mod resilient;
 pub mod runner;
@@ -49,6 +56,7 @@ pub use obs::{
     Counter, FlightEvent, FlightRecorder, Gauge, Histogram, Obs, Registry, RunLog, SpanReport,
     Tracer,
 };
+pub use online::{ControlDecision, OnlineController, TelemetryFrame};
 pub use oracle::{oracle_frequencies, OracleController, SweepTable};
 pub use resilient::{
     ControlStage, DegradationEvent, DegradationLog, ResilienceConfig, ResilientController,

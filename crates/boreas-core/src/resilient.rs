@@ -27,11 +27,16 @@ use common::units::Celsius;
 use common::{Error, Result};
 use hotgauge::StepRecord;
 use perfsim::IntervalCounters;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use telemetry::QualityPolicy;
 
 /// Which policy is currently in charge of the VF decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Serialisable (lower-snake-case tags) because it travels inside
+/// [`ControlDiagnostics`] on the serving wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum ControlStage {
     /// The wrapped (ML) controller decides.
     Primary,
@@ -338,7 +343,7 @@ impl<C: Controller> Controller for ResilientController<C> {
     }
 
     fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
-        let mut sane: Vec<StepRecord> = ctx.recent.to_vec();
+        let mut sane: Vec<StepRecord> = ctx.recent().to_vec();
         let mut good = 0usize;
         for r in &mut sane {
             if self.sanitize(r) {
@@ -361,12 +366,7 @@ impl<C: Controller> Controller for ResilientController<C> {
         }
         self.interval += 1;
 
-        let sane_ctx = ControlContext {
-            vf: ctx.vf,
-            current_idx: ctx.current_idx,
-            recent: &sane,
-            sensor_idx: ctx.sensor_idx,
-        };
+        let sane_ctx = ControlContext::new(ctx.vf(), ctx.current_idx(), &sane, ctx.sensor_idx());
         match self.stage {
             ControlStage::Primary => self.inner.decide(&sane_ctx),
             ControlStage::Fallback => self.fallback.decide(&sane_ctx),
@@ -422,7 +422,7 @@ mod tests {
 
         fn decide(&mut self, ctx: &ControlContext<'_>) -> usize {
             self.seen_temps.push(ctx.sensor_temp_at(0));
-            ctx.vf.step_up(ctx.current_idx)
+            ctx.vf().step_up(ctx.current_idx())
         }
     }
 
@@ -457,12 +457,7 @@ mod tests {
     }
 
     fn decide(rc: &mut ResilientController<Probe>, vf: &VfTable, recent: &[StepRecord]) -> usize {
-        rc.decide(&ControlContext {
-            vf,
-            current_idx: 7,
-            recent,
-            sensor_idx: 0,
-        })
+        rc.decide(&ControlContext::new(vf, 7, recent, 0))
     }
 
     #[test]

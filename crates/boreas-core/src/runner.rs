@@ -17,6 +17,7 @@
 //! itself.
 
 use crate::controller::{ControlContext, Controller, Decision};
+use crate::online::{ControlDecision, OnlineController};
 use crate::resilient::ControlStage;
 use crate::vf::VfTable;
 use common::time::STEPS_PER_DECISION;
@@ -220,12 +221,127 @@ impl<'p, 'f> RunSpec<'p, 'f> {
 
     /// Runs `controller` on `spec` under this run specification.
     ///
+    /// Implemented as a thin replay driver over the online control-loop
+    /// API: the simulator is just one frame source feeding an
+    /// [`OnlineController`], and every decision is applied to the next
+    /// interval exactly as a serving deployment would. Bit-identical to
+    /// the pre-online monolithic loop, which is kept as
+    /// [`RunSpec::run_reference`] and pinned by equivalence tests.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] for an out-of-range start index
     /// or a step count that is not a positive multiple of the decision
     /// interval, and propagates pipeline errors.
     pub fn run(
+        &mut self,
+        spec: &WorkloadSpec,
+        controller: &mut dyn Controller,
+    ) -> Result<ClosedLoopOutcome> {
+        if self.start_idx >= self.vf.len() {
+            return Err(Error::invalid_config(
+                "runner",
+                format!("start index {} out of range", self.start_idx),
+            ));
+        }
+        let chunk = STEPS_PER_DECISION as usize;
+        let total_steps = self.steps;
+        if total_steps == 0 || !total_steps.is_multiple_of(chunk) {
+            return Err(Error::invalid_config(
+                "runner",
+                format!("total_steps ({total_steps}) must be a positive multiple of {chunk}"),
+            ));
+        }
+        let mut passthrough = PassthroughFilter;
+        let filter: &mut dyn ObservationFilter = match self.filter.as_mut() {
+            Some(f) => &mut **f,
+            None => &mut passthrough,
+        };
+        // Construction resets the wrapped controller, mirroring the
+        // reference loop's up-front `controller.reset()`.
+        let mut online = OnlineController::new(&mut *controller, self.vf.clone())?
+            .sensor(self.sensor_idx)
+            .start(self.start_idx)?;
+        filter.reset();
+        let _run_span = self.obs.tracer.span("runner.run");
+        let flight = self.obs.flight.run(&spec.name, &online.controller().name());
+        let decisions_total = self
+            .obs
+            .metrics
+            .counter("runner_decisions_total", "Controller decisions taken");
+        let incursions_total = self.obs.metrics.counter(
+            "runner_incursions_total",
+            "Steps whose true severity reached 1.0",
+        );
+        let mut prev_stage: Option<ControlStage> = None;
+        let mut run = self.pipeline.start_run(spec)?;
+        run.observe(&self.obs);
+        let mut records: Vec<StepRecord> = Vec::with_capacity(total_steps);
+        let mut decisions: Vec<Decision> = Vec::with_capacity(total_steps / chunk);
+        let mut idx = self.start_idx;
+        while records.len() < total_steps {
+            let point = online.current_point();
+            let record = run.step(point.frequency, point.voltage)?;
+            let mut visible = record.clone();
+            filter.filter(records.len(), &mut visible);
+            records.push(record);
+            if records.len() == total_steps {
+                // The run is over: the decision the final interval would
+                // trigger has no next interval to govern, so it is never
+                // requested — the controller decides exactly as often as
+                // in the reference loop.
+                break;
+            }
+            if let Some(d) = online.observe_record(visible) {
+                decisions.push(d.decision);
+                decisions_total.inc();
+                if flight.is_enabled() {
+                    record_decision_events(&flight, &d, &mut prev_stage);
+                }
+                idx = d.to_idx;
+            }
+        }
+        drop(online);
+
+        let avg = records.iter().map(|r| r.frequency.value()).sum::<f64>() / records.len() as f64;
+        let baseline = self
+            .vf
+            .point(VfTable::BASELINE_INDEX.min(self.vf.len() - 1));
+        let incursions = records
+            .iter()
+            .filter(|r| r.max_severity.is_incursion())
+            .count();
+        let peak_severity = records
+            .iter()
+            .map(|r| r.max_severity)
+            .fold(Severity::new(0.0), Severity::max);
+        incursions_total.add(incursions as u64);
+        let kernel = run.kernel();
+        kernel.record_spans(&self.obs.tracer);
+        Ok(ClosedLoopOutcome {
+            controller: controller.name(),
+            workload: spec.name.clone(),
+            records,
+            avg_frequency: GigaHertz::new(avg),
+            normalized_frequency: avg / baseline.frequency.value(),
+            incursions,
+            decisions,
+            peak_severity,
+            final_idx: idx,
+            kernel,
+        })
+    }
+
+    /// The pre-online monolithic control loop, kept verbatim as the
+    /// equivalence reference for [`RunSpec::run`] (the same role
+    /// `ThermalGrid::step_reference` and `MltdMap::compute_reference`
+    /// play for their fused kernels). Production code uses
+    /// [`RunSpec::run`]; tests pin the two bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RunSpec::run`].
+    pub fn run_reference(
         &mut self,
         spec: &WorkloadSpec,
         controller: &mut dyn Controller,
@@ -272,12 +388,7 @@ impl<'p, 'f> RunSpec<'p, 'f> {
         while records.len() < total_steps {
             if !records.is_empty() {
                 let recent = &observed[observed.len() - chunk..];
-                let ctx = ControlContext {
-                    vf: &self.vf,
-                    current_idx: idx,
-                    recent,
-                    sensor_idx: self.sensor_idx,
-                };
+                let ctx = ControlContext::new(&self.vf, idx, recent, self.sensor_idx);
                 let from_idx = idx;
                 let next = controller.decide(&ctx);
                 debug_assert!(next < self.vf.len());
@@ -353,6 +464,40 @@ impl<'p, 'f> RunSpec<'p, 'f> {
             final_idx: idx,
             kernel,
         })
+    }
+}
+
+/// Streams one online decision into the flight recorder: the Decision
+/// event itself plus a Degradation event on every resilience-stage
+/// transition — exactly the records the reference loop emits inline.
+fn record_decision_events(
+    flight: &obs::RunLog,
+    d: &ControlDecision,
+    prev_stage: &mut Option<ControlStage>,
+) {
+    let diag = &d.diagnostics;
+    flight.record(obs::FlightEvent::Decision {
+        interval: d.interval as usize,
+        from_idx: d.from_idx,
+        to_idx: d.to_idx,
+        predicted_severity: diag.predicted_severity,
+        guardband: diag.guardband,
+        margin: match (diag.predicted_severity, diag.guardband) {
+            (Some(p), Some(g)) => Some((1.0 - g) - p),
+            _ => None,
+        },
+    });
+    if let Some(stage) = diag.stage {
+        let from = prev_stage.unwrap_or(ControlStage::Primary);
+        if stage != from {
+            flight.record(obs::FlightEvent::Degradation {
+                interval: d.interval as usize,
+                from: from.to_string(),
+                to: stage.to_string(),
+                quality: diag.quality.unwrap_or(1.0),
+            });
+        }
+        *prev_stage = Some(stage);
     }
 }
 

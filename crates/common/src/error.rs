@@ -58,6 +58,22 @@ pub enum Error {
         /// Human-readable description of what degraded and why.
         detail: String,
     },
+    /// A wire-protocol violation: a malformed, oversized or truncated
+    /// message on the serving socket.
+    Protocol {
+        /// The protocol element at fault (e.g. `"frame length"`).
+        what: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A serving-daemon failure outside the wire protocol itself:
+    /// binding a socket, spawning a shard worker, shutting down.
+    Server {
+        /// The server component at fault (e.g. `"listener"`).
+        what: &'static str,
+        /// Human-readable description including any underlying OS error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -81,6 +97,12 @@ impl fmt::Display for Error {
             Error::Io { what, detail } => write!(f, "io failure in {what}: {detail}"),
             Error::Degraded { stage, detail } => {
                 write!(f, "degraded `{stage}`: {detail}")
+            }
+            Error::Protocol { what, detail } => {
+                write!(f, "protocol violation in `{what}`: {detail}")
+            }
+            Error::Server { what, detail } => {
+                write!(f, "server failure in `{what}`: {detail}")
             }
         }
     }
@@ -117,6 +139,22 @@ impl Error {
     pub fn degraded(stage: &'static str, detail: impl Into<String>) -> Self {
         Error::Degraded {
             stage,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::Protocol`].
+    pub fn protocol(what: &'static str, detail: impl Into<String>) -> Self {
+        Error::Protocol {
+            what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::Server`].
+    pub fn server(what: &'static str, detail: impl Into<String>) -> Self {
+        Error::Server {
+            what,
             detail: detail.into(),
         }
     }
@@ -173,6 +211,22 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "io failure in artifact cache: cannot create /nope: permission denied"
+        );
+        assert!(!e.is_degraded());
+    }
+
+    #[test]
+    fn protocol_and_server_constructors_and_display() {
+        let e = Error::protocol("frame length", "length 9999999 exceeds the 1 MiB cap");
+        assert_eq!(
+            e.to_string(),
+            "protocol violation in `frame length`: length 9999999 exceeds the 1 MiB cap"
+        );
+        assert!(matches!(e, Error::Protocol { what, .. } if what == "frame length"));
+        let e = Error::server("listener", "cannot bind 127.0.0.1:7070: in use");
+        assert_eq!(
+            e.to_string(),
+            "server failure in `listener`: cannot bind 127.0.0.1:7070: in use"
         );
         assert!(!e.is_degraded());
     }

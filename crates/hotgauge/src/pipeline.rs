@@ -187,7 +187,11 @@ impl KernelBreakdown {
 }
 
 /// Everything observed in one 80 µs simulation step.
-#[derive(Debug, Clone)]
+///
+/// Serialisable so a record can travel the serving wire protocol inside
+/// a telemetry frame (`boreas_core::TelemetryFrame`); `float_roundtrip`
+/// is enabled workspace-wide, so a JSON round trip is bit-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepRecord {
     /// End-of-step simulation time.
     pub time: SimTime,

@@ -1,0 +1,311 @@
+//! Load generator for the Boreas serving daemon: replays workload
+//! traces as telemetry frames and measures decision latency.
+//!
+//! Generates per-die traces with the hotgauge pipeline (one test
+//! workload per die id, fixed at the 3.75 GHz baseline point), streams
+//! them round-robin over one connection at a configurable rate, and
+//! matches each [`Response::Decision`] back to the send instant of the
+//! interval-completing frame. Reports throughput and p50/p95/p99
+//! decision latency into `BENCH_serving.json` (same hand-rendered JSON
+//! idiom as `bench_training`).
+//!
+//! Usage: `boreas_loadgen [--addr A] [--shards K] [--frames N]
+//! [--rate FPS] [--smoke] [--out PATH] [--check BASELINE]`.
+//!
+//! * `--addr` (default `127.0.0.1:7070`) — daemon ingress socket.
+//! * `--shards` (default 4) — distinct die ids to stream.
+//! * `--frames` (default 4800) — total frames across all dies.
+//! * `--rate` (default 0 = unthrottled) — frames per second.
+//! * `--smoke` — CI-sized run: 2 dies × 576 frames.
+//! * `--check BASELINE` — compare against the committed floors
+//!   (`min_throughput_fps`, `max_p99_ms`) and fail on regression.
+
+use boreas_core::{TelemetryFrame, VfTable};
+use boreas_serve::protocol::{self, Incoming, Response};
+use common::{Error, Result};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use workloads::WorkloadSpec;
+
+/// Shared sent-frame timestamps and matched latencies.
+#[derive(Default)]
+struct Ledger {
+    sent: HashMap<(u32, u64), Instant>,
+    latencies_ms: Vec<f64>,
+    decisions: u64,
+    unmatched: u64,
+    rejected: u64,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Connects with retries so the daemon may still be starting up.
+fn connect(addr: &str) -> Result<TcpStream> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(Error::server("connect", e.to_string())),
+        }
+    }
+}
+
+fn render_json(
+    smoke: bool,
+    shards: usize,
+    frames: u64,
+    rate_fps: f64,
+    throughput_fps: f64,
+    ledger: &Ledger,
+    [p50, p95, p99]: [f64; 3],
+) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    format!(
+        "{{\n  \"schema\": \"boreas-bench-serving-v1\",\n  \"smoke\": {smoke},\n  \"load\": {{\n    \
+         \"shards\": {shards},\n    \"frames\": {frames},\n    \"rate_fps\": {rate_fps:.0}\n  }},\n  \"machine\": {{\n    \"os\": \"{}\",\n    \
+         \"arch\": \"{}\",\n    \"threads\": {threads}\n  }},\n  \"results\": {{\n    \
+         \"throughput_fps\": {throughput_fps:.1},\n    \"decisions\": {},\n    \
+         \"rejected\": {},\n    \"unmatched\": {},\n    \"latency_p50_ms\": {p50:.3},\n    \
+         \"latency_p95_ms\": {p95:.3},\n    \"latency_p99_ms\": {p99:.3}\n  }}\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        ledger.decisions,
+        ledger.rejected,
+        ledger.unmatched,
+    )
+}
+
+/// Pulls one `"key": number` field out of a baseline document (the
+/// same minimal scanner idiom as `bench_training`).
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let p = json.find(&needle)?;
+    let rest = &json[p + needle.len()..];
+    let num: String = rest
+        .chars()
+        .skip_while(|c| *c == ':' || c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let shards: usize = flag_value(&args, "--shards")
+        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(if smoke { 2 } else { 4 })
+        .max(1);
+    let frames: u64 = flag_value(&args, "--frames")
+        .map(|v| v.parse().expect("--frames takes a positive integer"))
+        .unwrap_or(if smoke { 1152 } else { 4800 });
+    let rate: f64 = flag_value(&args, "--rate")
+        .map(|v| v.parse().expect("--rate takes frames per second"))
+        .unwrap_or(0.0);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serving.json".into());
+    let check_path = flag_value(&args, "--check");
+
+    // Per-die traces: one test workload per die, fixed at the baseline
+    // operating point. Decisions do not feed back into the source — the
+    // daemon is the system under test, the traces are replayed load.
+    let steps_per_die = (frames as usize).div_ceil(shards);
+    let pipeline = hotgauge::PipelineConfig::paper().build()?;
+    let vf = VfTable::paper();
+    let point = vf.point(VfTable::BASELINE_INDEX);
+    let workload_pool = WorkloadSpec::test_set();
+    let mut traces: Vec<Vec<hotgauge::StepRecord>> = Vec::with_capacity(shards);
+    for die in 0..shards {
+        let spec = &workload_pool[die % workload_pool.len()];
+        let outcome = pipeline.run_fixed(spec, point.frequency, point.voltage, steps_per_die)?;
+        traces.push(outcome.records);
+    }
+    println!(
+        "loadgen: {} dies x {} steps ({} frames) against {}",
+        shards,
+        steps_per_die,
+        shards * steps_per_die,
+        addr
+    );
+
+    let stream = connect(&addr)?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| Error::server("set_nodelay", e.to_string()))?;
+    let mut read_half = stream
+        .try_clone()
+        .map_err(|e| Error::server("clone socket", e.to_string()))?;
+    read_half
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .map_err(|e| Error::server("set_read_timeout", e.to_string()))?;
+
+    let ledger = Arc::new(Mutex::new(Ledger::default()));
+    let reader_ledger = ledger.clone();
+    let reader = std::thread::Builder::new()
+        .name("loadgen-reader".to_string())
+        .spawn(move || -> u64 {
+            // Runs until the server closes the connection (daemon drain)
+            // or the socket errors; returns the responses seen.
+            let mut seen = 0u64;
+            loop {
+                match protocol::read_frame(&mut read_half) {
+                    Ok(Incoming::Idle) => continue,
+                    Ok(Incoming::Closed) | Err(_) => return seen,
+                    Ok(Incoming::Frame(body)) => {
+                        seen += 1;
+                        let Ok(resp) = protocol::decode_response(&body) else {
+                            continue;
+                        };
+                        let mut lg = reader_ledger.lock().expect("ledger");
+                        match resp {
+                            Response::Decision { shard, seq, .. } => {
+                                lg.decisions += 1;
+                                match lg.sent.remove(&(shard, seq)) {
+                                    Some(at) => {
+                                        let ms = at.elapsed().as_secs_f64() * 1e3;
+                                        lg.latencies_ms.push(ms);
+                                    }
+                                    None => lg.unmatched += 1,
+                                }
+                            }
+                            Response::Rejected { .. } => lg.rejected += 1,
+                        }
+                    }
+                }
+            }
+        })
+        .map_err(|e| Error::server("spawn reader", e.to_string()))?;
+
+    // Round-robin send: step t of every die, then step t+1 — the
+    // interleaving a daemon would see from concurrent sockets.
+    let gap = if rate > 0.0 {
+        Duration::from_secs_f64(1.0 / rate)
+    } else {
+        Duration::ZERO
+    };
+    let mut write_half = stream;
+    let started = Instant::now();
+    let mut next_send = started;
+    let mut sent = 0u64;
+    for t in 0..steps_per_die {
+        for (die, trace) in traces.iter().enumerate() {
+            let frame = TelemetryFrame::new(die as u32, t as u64, trace[t].clone());
+            // Record every frame's send instant: the daemon echoes the
+            // seq of whichever frame completed the interval, so this
+            // matches even when a rejection shifted the cadence.
+            ledger
+                .lock()
+                .expect("ledger")
+                .sent
+                .insert((die as u32, t as u64), Instant::now());
+            let body = protocol::encode_frame(&frame)?;
+            protocol::write_frame(&mut write_half, &body)?;
+            sent += 1;
+            if !gap.is_zero() {
+                next_send += gap;
+                if let Some(wait) = next_send.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+            }
+        }
+    }
+    let send_secs = started.elapsed().as_secs_f64();
+    let throughput = sent as f64 / send_secs.max(1e-9);
+
+    // Wait for the response stream to go quiet (all in-flight intervals
+    // answered), then hang up.
+    let expected =
+        (steps_per_die / common::time::STEPS_PER_DECISION as usize) as u64 * traces.len() as u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (decisions, rejected) = {
+            let lg = ledger.lock().expect("ledger");
+            (lg.decisions, lg.rejected + lg.unmatched)
+        };
+        if decisions + rejected >= expected || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Half-close the send direction (a plain drop would not close the
+    // socket — the reader thread's `try_clone` dup keeps it open): the
+    // server sees EOF, drains, and closes its end, which ends our reader.
+    let _ = write_half.shutdown(std::net::Shutdown::Write);
+    let responses = reader
+        .join()
+        .map_err(|_| Error::server("join", "reader thread panicked".to_string()))?;
+
+    let lg = ledger.lock().expect("ledger");
+    let mut sorted = lg.latencies_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p95, p99) = (
+        percentile(&sorted, 50.0),
+        percentile(&sorted, 95.0),
+        percentile(&sorted, 99.0),
+    );
+    println!(
+        "loadgen: sent {} frames in {:.2}s ({:.0} fps), {} responses: {} decisions ({} unmatched), {} rejected",
+        sent, send_secs, throughput, responses, lg.decisions, lg.unmatched, lg.rejected
+    );
+    println!("loadgen: decision latency p50 {p50:.3} ms, p95 {p95:.3} ms, p99 {p99:.3} ms");
+
+    let json = render_json(smoke, shards, sent, rate, throughput, &lg, [p50, p95, p99]);
+    let mut f = std::fs::File::create(&out_path)
+        .map_err(|e| Error::io("create bench output", e.to_string()))?;
+    f.write_all(json.as_bytes())
+        .map_err(|e| Error::io("write bench output", e.to_string()))?;
+    println!("wrote {out_path}");
+
+    if lg.decisions == 0 {
+        return Err(Error::server(
+            "loadgen",
+            "no decisions received — is the daemon up?".to_string(),
+        ));
+    }
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| Error::io("read serving baseline", e.to_string()))?;
+        let min_fps = extract_number(&baseline, "min_throughput_fps").unwrap_or(0.0);
+        let max_p99 = extract_number(&baseline, "max_p99_ms").unwrap_or(f64::INFINITY);
+        let mut bad = Vec::new();
+        if throughput < min_fps {
+            bad.push(format!(
+                "throughput {throughput:.0} fps is below the {min_fps:.0} fps floor"
+            ));
+        }
+        if p99 > max_p99 {
+            bad.push(format!(
+                "p99 latency {p99:.1} ms exceeds the {max_p99:.1} ms ceiling"
+            ));
+        }
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("serving regression: {b}");
+            }
+            return Err(Error::server("loadgen --check", bad.join("; ")));
+        }
+        println!("check vs {baseline_path}: ok");
+    }
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! The Boreas serving daemon: streaming telemetry in, V/f decisions out.
+//!
+//! Listens for length-prefixed JSON `TelemetryFrame`s, shards them
+//! across independent per-die control loops, answers each completed
+//! 960 µs interval with a decision, and exposes its metrics registry
+//! over HTTP. SIGTERM/SIGINT drain cleanly: every accepted frame is
+//! processed and every pending decision flushed before exit.
+//!
+//! Usage: `boreas_serve [--addr A] [--metrics-addr A] [--shards N]
+//! [--queue-depth N] [--smoke]`.
+//!
+//! * `--addr` (default `127.0.0.1:7070`) — frame ingress socket.
+//! * `--metrics-addr` (default `127.0.0.1:7071`) — `GET /metrics` and
+//!   `GET /healthz`.
+//! * `--shards` (default 2) — shard worker threads.
+//! * `--queue-depth` (default 64) — bounded per-shard queue; a full
+//!   queue rejects (backpressure) rather than blocking.
+//! * `--smoke` — serve the tiny synthetic severity ≈ frequency/5 GBT
+//!   model (same stand-in as `fig8_dynamic_runs --smoke`) as an ML05
+//!   controller, so the CI smoke job exercises the batched GBT
+//!   inference path without a training pipeline. Without it the daemon
+//!   serves the flat-70 °C TH-00 thermal controller.
+
+use boreas_core::VfTable;
+use boreas_serve::{http, signal, ServeConfig, Server};
+use common::Result;
+use engine::ControllerSpec;
+use obs::Registry;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The fig8-smoke stand-in model: severity ≈ frequency/5, trained on a
+/// synthetic single-feature dataset in milliseconds.
+fn smoke_ml_spec() -> Result<ControllerSpec> {
+    let mut d = gbt::Dataset::new(vec!["frequency_ghz".to_string()]);
+    for i in 0..200 {
+        let f = 2.0 + 3.0 * (i as f64 / 200.0);
+        d.push_row(&[f], f / 5.0, (i % 2) as u32)?;
+    }
+    let model = gbt::TrainSpec::new(&d)
+        .params(gbt::GbtParams::default().with_estimators(30))
+        .fit()?
+        .model;
+    let features = telemetry::FeatureSet::from_names(&["frequency_ghz"])?;
+    Ok(ControllerSpec::ml(model, &features, 0.05))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> Result<()> {
+    signal::install();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let metrics_addr =
+        flag_value(&args, "--metrics-addr").unwrap_or_else(|| "127.0.0.1:7071".to_string());
+    let shards: usize = flag_value(&args, "--shards")
+        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(2);
+    let queue_depth: usize = flag_value(&args, "--queue-depth")
+        .map(|v| v.parse().expect("--queue-depth takes a positive integer"))
+        .unwrap_or(64);
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let vf = VfTable::paper();
+    let spec = if smoke {
+        smoke_ml_spec()?
+    } else {
+        ControllerSpec::thermal(vec![Some(70.0); vf.len()], 0.0)
+    };
+
+    let registry = Registry::new();
+    let config = ServeConfig::new(spec, vf)
+        .shards(shards)
+        .queue_depth(queue_depth)
+        .registry(registry.clone());
+    let server = Server::bind(addr.as_str(), config)?;
+
+    let metrics_listener = TcpListener::bind(metrics_addr.as_str())
+        .map_err(|e| common::Error::server("bind metrics", e.to_string()))?;
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics_thread =
+        http::spawn_metrics_server(metrics_listener, registry.clone(), metrics_stop.clone());
+
+    println!(
+        "boreas-serve listening on {} ({} shard worker{}, queue depth {}, {} controller); metrics on http://{}/metrics",
+        server.local_addr(),
+        shards,
+        if shards == 1 { "" } else { "s" },
+        queue_depth,
+        if smoke { "smoke ML05" } else { "TH-00" },
+        metrics_addr,
+    );
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    println!("boreas-serve: termination signal received, draining");
+    server.request_shutdown();
+    server.join()?;
+    metrics_stop.store(true, Ordering::SeqCst);
+    metrics_thread
+        .join()
+        .map_err(|_| common::Error::server("join", "metrics thread panicked".to_string()))?;
+
+    let snap = registry.snapshot();
+    let count = |name: &str| match snap.family(name).map(|f| &f.value) {
+        Some(obs::MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    println!(
+        "boreas-serve: drained cleanly — {} frames, {} decisions, {} rejected",
+        count("boreas_serve_frames_total"),
+        count("boreas_serve_decisions_total"),
+        count("boreas_serve_rejected_total"),
+    );
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! A deliberately tiny HTTP/1.1 responder for `GET /metrics`.
+//!
+//! Scrapers (Prometheus, the CI smoke job, `curl`) need exactly one
+//! endpoint, served sequentially from one thread — no keep-alive, no
+//! routing table, no HTTP library. Every response closes the
+//! connection.
+//!
+//! * `GET /metrics` — the [`obs::Registry`] snapshot in the Prometheus
+//!   text exposition format (version 0.0.4);
+//! * `GET /healthz` — `ok`, for readiness polling;
+//! * anything else — 404.
+
+use obs::Registry;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Largest request head we bother reading.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How often the accept loop re-checks the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Serves the metrics endpoint on `listener` until `stop` is set.
+///
+/// The listener is switched to non-blocking so the thread can poll
+/// `stop`; requests themselves are handled with a short read timeout.
+/// Returns the serving thread's handle — join it after setting `stop`.
+pub fn spawn_metrics_server(
+    listener: TcpListener,
+    registry: Registry,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name("serve-metrics".to_string())
+        .spawn(move || {
+            if listener.set_nonblocking(true).is_err() {
+                return;
+            }
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => handle(stream, &registry),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+                    Err(_) => thread::sleep(POLL),
+                }
+            }
+        })
+        .expect("spawn metrics thread")
+}
+
+fn handle(mut stream: std::net::TcpStream, registry: &Registry) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // Read until the end of the request head (we ignore any body).
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|b| *b == b'\r' || *b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let target = request_line
+        .split(|b| *b == b' ')
+        .nth(1)
+        .unwrap_or(b"")
+        .to_vec();
+    let is_get = request_line.starts_with(b"GET ");
+    let (status, content_type, body) = match (is_get, target.as_slice()) {
+        (true, b"/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.snapshot().to_prometheus(),
+        ),
+        (true, b"/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("response");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let registry = Registry::new();
+        registry
+            .counter("boreas_serve_frames_total", "frames")
+            .add(3);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = spawn_metrics_server(listener, registry, stop.clone());
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("boreas_serve_frames_total 3"), "{metrics}");
+        assert!(get(addr, "/healthz").contains("ok"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().expect("join");
+    }
+}

@@ -1,0 +1,469 @@
+//! A minimal, dependency-free JSON reader/writer for the wire protocol.
+//!
+//! The serving protocol ([`crate::protocol`]) needs exactly two things
+//! from JSON: a deterministic canonical encoding (so golden-file tests
+//! pin the bytes) and bit-exact `f64` round trips. Both come from the
+//! standard library — Rust's `{}` float formatting emits the shortest
+//! string that parses back to the same bits, and `str::parse::<f64>()`
+//! is correctly rounded — so the codec is hand-rolled here rather than
+//! depending on a serializer at runtime. The encoding matches what
+//! serde's derives produce for the same types (field order =
+//! declaration order, `#[serde(transparent)]` newtypes as bare
+//! numbers), which is pinned by tests when a functional `serde_json`
+//! is linked.
+//!
+//! Numbers are kept as raw tokens until a typed accessor is called, so
+//! `u64` fields above 2^53 never round-trip through an `f64`.
+
+use common::{Error, Result};
+
+/// Maximum nesting depth the parser accepts (the protocol needs 4).
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token (see the module docs).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The object's fields, or a protocol error naming `what`.
+    pub fn as_obj(&self, what: &'static str) -> Result<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(type_err(what, "object", other)),
+        }
+    }
+
+    /// The array's elements, or a protocol error naming `what`.
+    pub fn as_arr(&self, what: &'static str) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(type_err(what, "array", other)),
+        }
+    }
+
+    /// The string's contents, or a protocol error naming `what`.
+    pub fn as_str(&self, what: &'static str) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(type_err(what, "string", other)),
+        }
+    }
+
+    /// The number as an `f64`, or a protocol error naming `what`.
+    pub fn as_f64(&self, what: &'static str) -> Result<f64> {
+        match self {
+            Json::Num(tok) => tok
+                .parse::<f64>()
+                .map_err(|_| Error::protocol(what, format!("bad number token `{tok}`"))),
+            other => Err(type_err(what, "number", other)),
+        }
+    }
+
+    /// The number as a `u64` (integer tokens only), or a protocol error.
+    pub fn as_u64(&self, what: &'static str) -> Result<u64> {
+        match self {
+            Json::Num(tok) => tok.parse::<u64>().map_err(|_| {
+                Error::protocol(what, format!("expected unsigned integer, got `{tok}`"))
+            }),
+            other => Err(type_err(what, "number", other)),
+        }
+    }
+
+    /// Looks up a required object field.
+    pub fn get(&self, key: &'static str) -> Result<&Json> {
+        let fields = self.as_obj(key)?;
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::protocol(key, "missing field".to_string()))
+    }
+}
+
+fn type_err(what: &'static str, want: &str, got: &Json) -> Error {
+    let kind = match got {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    };
+    Error::protocol(what, format!("expected {want}, got {kind}"))
+}
+
+// ---------------------------------------------------------------- writer
+
+/// Appends `v` in the canonical encoding: shortest round-trip form.
+///
+/// # Errors
+///
+/// Non-finite values have no JSON representation and fail with
+/// [`Error::Protocol`] — telemetry carrying NaN/inf must be rejected
+/// before it reaches the wire.
+pub fn push_f64(out: &mut String, v: f64, what: &'static str) -> Result<()> {
+    if !v.is_finite() {
+        return Err(Error::protocol(
+            what,
+            format!("non-finite value {v} cannot be encoded"),
+        ));
+    }
+    use std::fmt::Write;
+    write!(out, "{v}").expect("write to String");
+    Ok(())
+}
+
+/// Appends `s` as a JSON string literal, escaping as required.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::protocol("json", format!("{} at byte {}", msg.into(), self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') if self.eat_lit("null") => Ok(Json::Null),
+            Some(b't') if self.eat_lit("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Json::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Copy one whole UTF-8 scalar (input is &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xc0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char> {
+        let hex4 = |p: &mut Self| -> Result<u32> {
+            let end = p.pos + 4;
+            if end > p.bytes.len() {
+                return Err(p.err("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&p.bytes[p.pos..end])
+                .map_err(|_| p.err("invalid \\u escape"))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| p.err("invalid \\u escape"))?;
+            p.pos = end;
+            Ok(v)
+        };
+        let hi = hex4(self)?;
+        if (0xd800..0xdc00).contains(&hi) {
+            // Surrogate pair: expect a low surrogate as `\uXXXX`.
+            if !(self.eat_lit("\\u")) {
+                return Err(self.err("unpaired high surrogate"));
+            }
+            let lo = hex4(self)?;
+            if !(0xdc00..0xe000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+            char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else if (0xdc00..0xe000).contains(&hi) {
+            Err(self.err("unpaired low surrogate"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("malformed number fraction"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("malformed number exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number token")
+            .to_string();
+        Ok(Json::Num(tok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_basic_shapes() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":"x\ny","c":null,"d":true}"#).unwrap();
+        assert_eq!(v.get("b").unwrap().as_str("b").unwrap(), "x\ny");
+        let arr = v.get("a").unwrap().as_arr("a").unwrap();
+        assert_eq!(arr[0].as_u64("a0").unwrap(), 1);
+        assert_eq!(arr[1].as_f64("a1").unwrap(), 2.5);
+        assert_eq!(arr[2].as_f64("a2").unwrap(), -300.0);
+        assert_eq!(*v.get("c").unwrap(), Json::Null);
+        assert_eq!(*v.get("d").unwrap(), Json::Bool(true));
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for v in [
+            0.1,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            3.749999999999999,
+        ] {
+            let mut s = String::new();
+            push_f64(&mut s, v, "t").unwrap();
+            let back = parse(&s).unwrap().as_f64("t").unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "token {s}");
+        }
+    }
+
+    #[test]
+    fn u64_survives_above_f64_precision() {
+        let big = u64::MAX - 1;
+        let v = parse(&format!("{{\"seq\":{big}}}")).unwrap();
+        assert_eq!(v.get("seq").unwrap().as_u64("seq").unwrap(), big);
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_on_encode() {
+        let mut s = String::new();
+        assert!(push_f64(&mut s, f64::NAN, "t").is_err());
+        assert!(push_f64(&mut s, f64::INFINITY, "t").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" slash\\ newline\n tab\t nul\u{01} é 日本 \u{1f600}";
+        let mut s = String::new();
+        push_str(&mut s, original);
+        assert_eq!(parse(&s).unwrap().as_str("s").unwrap(), original);
+        // Surrogate-pair escapes decode too.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap().as_str("s").unwrap(),
+            "\u{1f600}"
+        );
+    }
+
+    #[test]
+    fn malformed_documents_fail_cleanly() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "01",
+            "1.",
+            "1e",
+            "\"a",
+            "{\"a\"1}",
+            "nul",
+            "[1] x",
+            r#""\ud800""#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Boreas reproduction: the online mitigation service.
+//!
+//! Boreas is a *runtime* method — deployed, its controller consumes
+//! hardware telemetry each 960 µs interval and issues V/f decisions.
+//! This crate is that deployment surface, built on the push-based
+//! [`boreas_core::OnlineController`] API:
+//!
+//! * [`Server`] / [`ServeConfig`] ([`server`]) — a long-running daemon
+//!   that accepts length-prefixed JSON [`boreas_core::TelemetryFrame`]s
+//!   over TCP, shards them across independent control loops (one per
+//!   die id), applies backpressure with bounded per-shard queues and
+//!   drains cleanly on SIGTERM;
+//! * [`protocol`] — the wire codec: canonical JSON bodies behind 4-byte
+//!   big-endian length prefixes, with bit-exact `f64` round trips;
+//! * [`http`] — a tiny `GET /metrics` responder exposing the shared
+//!   [`obs::Registry`] in the Prometheus text format;
+//! * [`signal`] — SIGTERM/SIGINT latching for the daemon binary;
+//! * [`json`] — the dependency-free JSON reader/writer underneath the
+//!   codec.
+//!
+//! Two binaries ship with the crate: `boreas_serve` (the daemon) and
+//! `boreas_loadgen` (replays workload traces against it and reports
+//! decision-latency percentiles into `BENCH_serving.json`). See the
+//! README "serving quickstart" and DESIGN §15.
+
+pub mod http;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use protocol::{
+    decode_frame, decode_response, encode_frame, encode_response, read_frame, write_frame,
+    Incoming, Response, MAX_FRAME_BYTES,
+};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,494 @@
+//! The serving daemon core: shard workers, backpressure, clean drain.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept thread ──spawns──► reader thread ──Job──► shard worker 0..N
+//!       │                        │    ▲                  │
+//!       │                        │    └── try_send, ─────┘
+//!       │                   writer thread   bounded   Response
+//!       │                        ▲                       │
+//!       └── non-blocking poll    └───────────────────────┘
+//! ```
+//!
+//! * One **accept thread** polls a non-blocking listener so it can
+//!   observe the shutdown flag; it never does per-frame work, so a full
+//!   shard queue cannot stall new connections.
+//! * Each connection gets a **reader thread** (decodes frames, routes
+//!   them) and a **writer thread** (serialises responses back), so slow
+//!   clients only slow themselves down.
+//! * **Shard workers** own the control loops: worker `w` holds one
+//!   [`OnlineController`] per die id `d` with `d % workers == w`, so
+//!   each die's frames are processed in order by exactly one thread.
+//!   Workers drain their queue in *tick batches*: every frame available
+//!   at wake-up is processed before sleeping again, and each completed
+//!   interval's GBT inference runs both decision candidates through one
+//!   [`gbt::FlatModel::predict_batch`] pass (see
+//!   `BoreasController::predict_candidates`).
+//! * **Backpressure**: shard queues are bounded ([`ServeConfig::queue_depth`]).
+//!   A full queue rejects the frame immediately — counted in
+//!   `boreas_serve_rejected_total` and answered with
+//!   [`Response::Rejected`] — and never blocks the reader or accept
+//!   loop.
+//! * **Drain**: [`Server::request_shutdown`] stops the accept loop and
+//!   the readers; queue senders drop, workers finish every frame
+//!   already queued, writers flush every pending response, then
+//!   [`Server::join`] returns. Nothing accepted is thrown away.
+
+use boreas_core::{Controller, OnlineController, VfTable};
+use common::{Error, Result};
+use engine::ControllerSpec;
+use obs::{Counter, Gauge, Histogram, Registry};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::protocol::{self, Incoming, Response};
+
+/// How often polling loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Upper bound on one worker tick's batch, so a hot shard cannot
+/// starve the response path indefinitely.
+const MAX_TICK_BATCH: usize = 256;
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard worker threads (≥ 1); die id `d` is handled by worker
+    /// `d % shards`.
+    pub shards: usize,
+    /// Bounded per-shard queue depth (≥ 1); a full queue rejects.
+    pub queue_depth: usize,
+    /// Recipe for every per-die controller.
+    pub controller: ControllerSpec,
+    /// The legal operating points.
+    pub vf: VfTable,
+    /// VF index each new die's loop starts at.
+    pub start_idx: usize,
+    /// Sensor selector for every loop.
+    pub sensor_idx: usize,
+    /// Metrics sink; pass a shared registry to expose it over HTTP.
+    pub registry: Registry,
+}
+
+impl ServeConfig {
+    /// A config with the paper defaults: 2 shard workers, queue depth
+    /// 64, the 3.75 GHz baseline start index and the bank-maximum
+    /// sensor.
+    pub fn new(controller: ControllerSpec, vf: VfTable) -> Self {
+        let start_idx = VfTable::BASELINE_INDEX.min(vf.len().saturating_sub(1));
+        Self {
+            shards: 2,
+            queue_depth: 64,
+            controller,
+            vf,
+            start_idx,
+            sensor_idx: telemetry::MAX_SENSOR_BANK,
+            registry: Registry::new(),
+        }
+    }
+
+    /// Sets the shard worker count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-shard queue depth.
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Uses `registry` for the server's metrics.
+    #[must_use]
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+}
+
+/// The server's metric handles (all registered up front so `/metrics`
+/// shows zeroes rather than gaps before traffic arrives).
+#[derive(Clone)]
+struct Metrics {
+    frames: Counter,
+    decisions: Counter,
+    rejected: Counter,
+    connections: Counter,
+    shards: Gauge,
+    batch: Histogram,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Self {
+        Metrics {
+            frames: registry.counter(
+                "boreas_serve_frames_total",
+                "Telemetry frames processed by shard workers",
+            ),
+            decisions: registry.counter(
+                "boreas_serve_decisions_total",
+                "Control decisions issued to clients",
+            ),
+            rejected: registry.counter(
+                "boreas_serve_rejected_total",
+                "Frames rejected (backpressure or malformed)",
+            ),
+            connections: registry.counter(
+                "boreas_serve_connections_total",
+                "Client connections accepted",
+            ),
+            shards: registry.gauge("boreas_serve_shards", "Shard worker threads"),
+            batch: registry.histogram(
+                "boreas_serve_batch_frames",
+                "Frames drained per worker tick",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
+            ),
+        }
+    }
+}
+
+/// One unit of shard work: a decoded frame plus the way back to the
+/// client that sent it.
+struct Job {
+    frame: boreas_core::TelemetryFrame,
+    reply: Sender<Response>,
+}
+
+/// A running serving daemon. See the [module docs](self) for the
+/// thread/queue layout.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active_connections: Arc<AtomicUsize>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7070"`, or port 0 for an
+    /// ephemeral port) and starts the accept loop and shard workers.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Server`] when the bind fails, or whatever
+    /// [`ControllerSpec::build`] reports for an invalid controller
+    /// recipe (the recipe is validated once up front, not per die).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> Result<Server> {
+        // Fail fast on an unbuildable controller instead of per shard.
+        config.controller.build()?;
+        let listener = TcpListener::bind(addr).map_err(|e| Error::server("bind", e.to_string()))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::server("local_addr", e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::server("set_nonblocking", e.to_string()))?;
+
+        let metrics = Metrics::new(&config.registry);
+        let shards = config.shards.max(1);
+        metrics.shards.set(shards as f64);
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active_connections = Arc::new(AtomicUsize::new(0));
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for w in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+            senders.push(tx);
+            let worker_cfg = config.clone();
+            let worker_metrics = metrics.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("serve-shard-{w}"))
+                    .spawn(move || shard_worker(rx, &worker_cfg, &worker_metrics))
+                    .map_err(|e| Error::server("spawn worker", e.to_string()))?,
+            );
+        }
+
+        let accept = {
+            let shutdown = shutdown.clone();
+            let active = active_connections.clone();
+            let metrics = metrics.clone();
+            thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &senders, &shutdown, &active, &metrics))
+                .map_err(|e| Error::server("spawn accept", e.to_string()))?
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            active_connections,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Begins a clean drain: stop accepting, let readers finish, let
+    /// workers empty their queues. Returns immediately; call
+    /// [`Server::join`] to wait.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits until the drain completes: the accept loop, every
+    /// connection and every shard worker has exited.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Server`] if a server thread panicked.
+    pub fn join(mut self) -> Result<()> {
+        if let Some(handle) = self.accept.take() {
+            handle
+                .join()
+                .map_err(|_| Error::server("join", "accept thread panicked".to_string()))?;
+        }
+        // The accept thread held the master queue senders; with it gone,
+        // workers exit once the per-connection senders drop too.
+        while self.active_connections.load(Ordering::SeqCst) > 0 {
+            thread::sleep(Duration::from_millis(5));
+        }
+        for handle in self.workers.drain(..) {
+            handle
+                .join()
+                .map_err(|_| Error::server("join", "shard worker panicked".to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    senders: &[SyncSender<Job>],
+    shutdown: &Arc<AtomicBool>,
+    active: &Arc<AtomicUsize>,
+    metrics: &Metrics,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Decisions are small and latency-sensitive; Nagle +
+                // delayed-ACK stalls them by ~40 ms otherwise.
+                let _ = stream.set_nodelay(true);
+                metrics.connections.inc();
+                spawn_connection(
+                    stream,
+                    senders.to_vec(),
+                    shutdown.clone(),
+                    active.clone(),
+                    metrics.clone(),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+    // Dropping `senders` (owned by this closure) releases the master
+    // queue handles; workers drain and exit once connections close.
+}
+
+fn spawn_connection(
+    stream: TcpStream,
+    senders: Vec<SyncSender<Job>>,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    metrics: Metrics,
+) {
+    active.fetch_add(1, Ordering::SeqCst);
+    let active_in_thread = active.clone();
+    let spawned = thread::Builder::new()
+        .name("serve-conn".to_string())
+        .spawn(move || {
+            connection(stream, &senders, &shutdown, &metrics);
+            active_in_thread.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        // Thread spawn failed: the connection is dropped on the floor;
+        // undo the count so `Server::join` doesn't wait forever.
+        active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Reads frames off one connection and routes them; responses flow back
+/// through a dedicated writer thread so a slow client never blocks a
+/// shard worker.
+fn connection(
+    stream: TcpStream,
+    senders: &[SyncSender<Job>],
+    shutdown: &Arc<AtomicBool>,
+    metrics: &Metrics,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    let writer = thread::Builder::new()
+        .name("serve-conn-writer".to_string())
+        .spawn(move || response_writer(write_half, &reply_rx));
+    let Ok(writer) = writer else { return };
+
+    let mut read_half = stream;
+    loop {
+        match protocol::read_frame(&mut read_half) {
+            Ok(Incoming::Idle) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Ok(Incoming::Closed) => break,
+            Ok(Incoming::Frame(body)) => match protocol::decode_frame(&body) {
+                Ok(frame) => {
+                    let worker = (frame.shard as usize) % senders.len();
+                    let (shard, seq) = (frame.shard, frame.seq);
+                    let job = Job {
+                        frame,
+                        reply: reply_tx.clone(),
+                    };
+                    match senders[worker].try_send(job) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => {
+                            metrics.rejected.inc();
+                            let _ = reply_tx.send(Response::Rejected {
+                                shard,
+                                seq,
+                                reason: "shard queue full".to_string(),
+                            });
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            metrics.rejected.inc();
+                            let _ = reply_tx.send(Response::Rejected {
+                                shard,
+                                seq,
+                                reason: "server draining".to_string(),
+                            });
+                        }
+                    }
+                }
+                Err(e) => {
+                    metrics.rejected.inc();
+                    let _ = reply_tx.send(Response::Rejected {
+                        shard: 0,
+                        seq: 0,
+                        reason: e.to_string(),
+                    });
+                }
+            },
+            // Framing is broken (truncation, oversize, hard I/O error):
+            // nothing sensible can follow on this byte stream.
+            Err(_) => break,
+        }
+    }
+    // Drop our reply sender; the writer drains what the workers still
+    // send for in-flight jobs and exits when the last clone goes.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn response_writer(mut stream: TcpStream, replies: &Receiver<Response>) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    // Blocks until every sender (reader + in-flight jobs) is gone, so a
+    // drain flushes all pending decisions before the writer exits.
+    while let Ok(resp) = replies.recv() {
+        let Ok(body) = protocol::encode_response(&resp) else {
+            continue;
+        };
+        if protocol::write_frame(&mut stream, &body).is_err() {
+            // Client gone: keep draining the channel so workers never
+            // see a send-side panic, but stop touching the socket.
+            while replies.recv().is_ok() {}
+            return;
+        }
+    }
+}
+
+/// Builds one boxed controller instance from the shared recipe.
+fn build_controller(spec: &ControllerSpec) -> Result<Box<dyn Controller + Send>> {
+    Ok(match spec.build()? {
+        engine::BuiltController::Simple(c) => c,
+        engine::BuiltController::Resilient(r) => r,
+    })
+}
+
+/// One shard worker: owns the control loops of every die id mapped to
+/// it and processes its queue in tick batches.
+fn shard_worker(rx: Receiver<Job>, config: &ServeConfig, metrics: &Metrics) {
+    let mut loops: HashMap<u32, OnlineController<Box<dyn Controller + Send>>> = HashMap::new();
+    let mut batch: Vec<Job> = Vec::new();
+    loop {
+        // Block for the first job of a tick, then drain whatever else
+        // is already queued (bounded, so the response path stays live).
+        match rx.recv_timeout(POLL) {
+            Ok(job) => batch.push(job),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+        while batch.len() < MAX_TICK_BATCH {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        metrics.batch.observe(batch.len() as f64);
+        for job in batch.drain(..) {
+            let die = job.frame.shard;
+            let online = match loops.entry(die) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let Ok(controller) = build_controller(&config.controller) else {
+                        // Validated in `Server::bind`; per-die failure
+                        // here means the spec regressed — reject.
+                        metrics.rejected.inc();
+                        let _ = job.reply.send(Response::Rejected {
+                            shard: die,
+                            seq: job.frame.seq,
+                            reason: "controller construction failed".to_string(),
+                        });
+                        continue;
+                    };
+                    let built = OnlineController::new(controller, config.vf.clone())
+                        .and_then(|o| o.start(config.start_idx))
+                        .map(|o| o.sensor(config.sensor_idx));
+                    match built {
+                        Ok(o) => e.insert(o),
+                        Err(_) => {
+                            metrics.rejected.inc();
+                            let _ = job.reply.send(Response::Rejected {
+                                shard: die,
+                                seq: job.frame.seq,
+                                reason: "control loop construction failed".to_string(),
+                            });
+                            continue;
+                        }
+                    }
+                }
+            };
+            metrics.frames.inc();
+            if let Some(decision) = online.observe(&job.frame) {
+                metrics.decisions.inc();
+                let _ = job.reply.send(Response::Decision {
+                    shard: die,
+                    seq: job.frame.seq,
+                    decision,
+                });
+            }
+        }
+    }
+}

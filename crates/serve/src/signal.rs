@@ -1,0 +1,68 @@
+//! Process-wide SIGTERM/SIGINT latching without a libc dependency.
+//!
+//! The daemon needs exactly one bit of signal handling: "a termination
+//! signal arrived, drain and exit". The handler stores into a static
+//! [`AtomicBool`] — the only thing that is async-signal-safe anyway —
+//! and the main loop polls [`shutdown_requested`]. `signal(2)` is
+//! declared directly (std already links libc on every supported
+//! target), so no crate dependency is needed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Termination request (`kill <pid>`).
+pub const SIGTERM: i32 = 15;
+/// Interactive interrupt (Ctrl-C).
+pub const SIGINT: i32 = 2;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn latch(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" {
+    /// POSIX `signal(2)`; the return value is the previous handler (or
+    /// `SIG_ERR`), which we don't inspect — pointer-sized either way.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+/// Installs the latching handler for SIGTERM and SIGINT.
+///
+/// On non-Unix targets this is a no-op: [`request_shutdown`] remains
+/// the only trigger.
+pub fn install() {
+    #[cfg(unix)]
+    // SAFETY: `latch` only performs an atomic store, which is
+    // async-signal-safe; replacing the default disposition of
+    // SIGTERM/SIGINT is the entire point.
+    unsafe {
+        signal(SIGTERM, latch);
+        signal(SIGINT, latch);
+    }
+}
+
+/// `true` once a termination signal (or [`request_shutdown`]) arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Latches the shutdown flag from code (tests, in-process embedding).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latches_the_flag() {
+        // Note: the flag is process-global and sticky by design; this
+        // test only ever runs in its own test process section, and no
+        // other test in this crate consults it.
+        install();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -1,0 +1,220 @@
+//! In-process integration tests for the serving daemon: a real
+//! [`Server`] on an ephemeral port, driven over a real socket with the
+//! public wire protocol, checked against an offline
+//! [`OnlineController`] replay of the same frames.
+
+use boreas_core::{OnlineController, TelemetryFrame, ThermalController, VfTable};
+use boreas_serve::protocol::{self, Incoming, Response};
+use boreas_serve::{ServeConfig, Server};
+use common::units::{GigaHertz, Volts};
+use engine::ControllerSpec;
+use hotgauge::StepRecord;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use workloads::WorkloadSpec;
+
+/// Generates `steps` fixed-frequency records for one workload — the
+/// same trace shape `boreas_loadgen` replays.
+fn trace(workload: &str, steps: usize) -> Vec<StepRecord> {
+    let mut cfg = hotgauge::PipelineConfig::paper();
+    cfg.grid = floorplan::GridSpec::new(8, 6).unwrap();
+    let p = cfg.build().unwrap();
+    let spec = WorkloadSpec::by_name(workload).unwrap();
+    p.run_fixed(&spec, GigaHertz::new(3.75), Volts::new(0.925), steps)
+        .unwrap()
+        .records
+}
+
+fn thresholds() -> Vec<Option<f64>> {
+    vec![Some(70.0); VfTable::paper().len()]
+}
+
+/// Reads responses until `want` arrive or the deadline passes.
+fn read_responses(stream: &mut TcpStream, want: usize) -> Vec<Response> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut out = Vec::new();
+    while out.len() < want && Instant::now() < deadline {
+        match protocol::read_frame(stream) {
+            Ok(Incoming::Frame(body)) => out.push(protocol::decode_response(&body).unwrap()),
+            Ok(Incoming::Idle) => continue,
+            Ok(Incoming::Closed) => break,
+            Err(e) => panic!("read error: {e}"),
+        }
+    }
+    out
+}
+
+#[test]
+fn served_decisions_match_offline_replay() {
+    let vf = VfTable::paper();
+    let registry = obs::Registry::new();
+    let config = ServeConfig::new(ControllerSpec::thermal(thresholds(), 0.0), vf.clone())
+        .shards(2)
+        .queue_depth(256)
+        .registry(registry.clone());
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let dies = ["gromacs", "bzip2"];
+    let steps = 48;
+    let traces: Vec<Vec<StepRecord>> = dies.iter().map(|w| trace(w, steps)).collect();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    for t in 0..steps {
+        for (die, tr) in traces.iter().enumerate() {
+            let frame = TelemetryFrame::new(die as u32, t as u64, tr[t].clone());
+            let body = protocol::encode_frame(&frame).unwrap();
+            protocol::write_frame(&mut stream, &body).unwrap();
+        }
+    }
+    let expected = dies.len() * (steps / 12);
+    let responses = read_responses(&mut stream, expected);
+    assert_eq!(
+        responses.len(),
+        expected,
+        "no frame may be dropped at this depth"
+    );
+
+    // Offline replay of the identical frames, per die.
+    for (die, tr) in traces.iter().enumerate() {
+        let ctrl = ThermalController::from_thresholds(thresholds(), 0.0);
+        let mut online = OnlineController::new(ctrl, vf.clone()).unwrap();
+        let mut expected_decisions = Vec::new();
+        for (t, r) in tr.iter().enumerate() {
+            if let Some(d) = online.observe(&TelemetryFrame::new(die as u32, t as u64, r.clone())) {
+                expected_decisions.push((t as u64, d));
+            }
+        }
+        let served: Vec<_> = responses
+            .iter()
+            .filter_map(|r| match r {
+                Response::Decision {
+                    shard,
+                    seq,
+                    decision,
+                } if *shard == die as u32 => Some((*seq, decision.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            served, expected_decisions,
+            "die {die}: served decisions must equal the offline replay"
+        );
+    }
+
+    drop(stream);
+    server.request_shutdown();
+    server.join().unwrap();
+
+    let snap = registry.snapshot();
+    let count = |name: &str| match snap.family(name).map(|f| &f.value) {
+        Some(obs::MetricValue::Counter(v)) => *v,
+        other => panic!("{name}: expected a counter, got {other:?}"),
+    };
+    assert_eq!(
+        count("boreas_serve_frames_total"),
+        (dies.len() * steps) as u64
+    );
+    assert_eq!(count("boreas_serve_decisions_total"), expected as u64);
+    assert_eq!(count("boreas_serve_rejected_total"), 0);
+    assert_eq!(count("boreas_serve_connections_total"), 1);
+}
+
+#[test]
+fn malformed_frame_rejects_without_dropping_the_connection() {
+    let config = ServeConfig::new(ControllerSpec::thermal(thresholds(), 0.0), VfTable::paper());
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Valid JSON, wrong schema: rejected, connection stays up.
+    protocol::write_frame(&mut stream, b"{\"shard\":1}").unwrap();
+    let rejected = read_responses(&mut stream, 1);
+    match &rejected[0] {
+        Response::Rejected { shard, seq, reason } => {
+            assert_eq!((*shard, *seq), (0, 0));
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // A full interval of valid frames still decides afterwards.
+    let tr = trace("gcc", 12);
+    for (t, r) in tr.iter().enumerate() {
+        let frame = TelemetryFrame::new(0, t as u64, r.clone());
+        protocol::write_frame(&mut stream, &protocol::encode_frame(&frame).unwrap()).unwrap();
+    }
+    let responses = read_responses(&mut stream, 1);
+    assert!(
+        matches!(
+            responses[0],
+            Response::Decision {
+                shard: 0,
+                seq: 11,
+                ..
+            }
+        ),
+        "decision still served after a rejected frame: {:?}",
+        responses[0]
+    );
+
+    drop(stream);
+    server.request_shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn backpressure_accounting_balances_under_a_tiny_queue() {
+    let registry = obs::Registry::new();
+    let config = ServeConfig::new(ControllerSpec::thermal(thresholds(), 0.0), VfTable::paper())
+        .shards(1)
+        .queue_depth(1)
+        .registry(registry.clone());
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Blast ten intervals at a depth-1 queue without reading responses;
+    // whatever the timing, every frame is either observed or rejected.
+    let tr = trace("gromacs", 12);
+    let sent = 120usize;
+    for t in 0..sent {
+        let frame = TelemetryFrame::new(0, t as u64, tr[t % 12].clone());
+        protocol::write_frame(&mut stream, &protocol::encode_frame(&frame).unwrap()).unwrap();
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let responses = read_responses(&mut stream, usize::MAX);
+    drop(stream);
+    server.request_shutdown();
+    server.join().unwrap();
+
+    let snap = registry.snapshot();
+    let count = |name: &str| match snap.family(name).map(|f| &f.value) {
+        Some(obs::MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    let observed = count("boreas_serve_frames_total");
+    let rejected = count("boreas_serve_rejected_total");
+    assert_eq!(
+        observed + rejected,
+        sent as u64,
+        "every frame is accounted exactly once"
+    );
+    let rejections_seen = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Rejected { .. }))
+        .count();
+    assert_eq!(
+        rejections_seen as u64, rejected,
+        "every rejection is answered"
+    );
+    assert_eq!(
+        count("boreas_serve_decisions_total"),
+        observed / 12,
+        "one decision per fully observed interval"
+    );
+}

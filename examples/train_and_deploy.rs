@@ -115,5 +115,36 @@ fn main() -> Result<()> {
             out.incursions,
         );
     }
+
+    // Deployed for real, the very same controller runs *online*: it
+    // never touches a pipeline, only consumes telemetry frames — here
+    // pushed from the simulator, in production streamed to the
+    // `boreas_serve` daemon over a socket (see the README serving
+    // quickstart). Every 12th frame completes a 960 µs interval and
+    // yields the decision governing the next one.
+    println!(
+        "\nonline deployment: streaming {unseen} frame by frame",
+        unseen = unseen.name
+    );
+    let mut online = OnlineController::new(&mut boreas as &mut dyn Controller, vf)?;
+    let mut sim = pipeline.start_run(&unseen)?;
+    for seq in 0..144u64 {
+        let point = online.current_point();
+        let record = sim.step(point.frequency, point.voltage)?;
+        if let Some(d) = online.observe(&TelemetryFrame::new(0, seq, record)) {
+            println!(
+                "interval {:>2}: {:<8} -> {:.2} GHz (predicted severity {:.3})",
+                d.interval,
+                format!("{:?}", d.decision),
+                d.frequency_ghz,
+                d.diagnostics.predicted_severity.unwrap_or(f64::NAN),
+            );
+        }
+    }
+    println!(
+        "online loop: {} frames observed, {} decisions issued",
+        online.frames_observed(),
+        online.intervals_decided(),
+    );
     Ok(())
 }

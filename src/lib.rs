@@ -32,6 +32,10 @@
 //!   registry, structured span tracing, a bounded control-decision
 //!   flight recorder, and Prometheus/JSONL exporters with an in-tree
 //!   Prometheus linter
+//! * [`serve`] — the online mitigation service: a streaming-telemetry
+//!   daemon over the push-based [`boreas_core::OnlineController`] API,
+//!   with a length-prefixed JSON wire protocol, sharded control loops,
+//!   bounded-queue backpressure and a `/metrics` endpoint
 //!
 //! # Quickstart
 //!
@@ -90,6 +94,7 @@ pub use hotgauge;
 pub use obs;
 pub use perfsim;
 pub use powersim;
+pub use serve;
 pub use telemetry;
 pub use thermal;
 pub use workloads;
@@ -97,10 +102,10 @@ pub use workloads;
 /// Commonly used items, re-exported for `use boreas::prelude::*`.
 pub mod prelude {
     pub use boreas_core::{
-        BoreasController, ControlStage, Controller, CriticalTemps, DegradationLog,
-        GlobalVfController, ObservationFilter, OracleController, ResilienceConfig,
-        ResilientController, RunSpec, SweepTable, ThermalController, TrainReport, TrainSpec,
-        TrainingConfig, VfPoint, VfTable,
+        BoreasController, ControlDecision, ControlStage, Controller, CriticalTemps, DegradationLog,
+        GlobalVfController, ObservationFilter, OnlineController, OracleController,
+        ResilienceConfig, ResilientController, RunSpec, SweepTable, TelemetryFrame,
+        ThermalController, TrainReport, TrainSpec, TrainingConfig, VfPoint, VfTable,
     };
     pub use common::time::SimTime;
     pub use common::units::{Celsius, GigaHertz, Volts, Watts};
@@ -115,6 +120,7 @@ pub mod prelude {
     pub use gbt::{GbtModel, GbtParams, TrainMethod};
     pub use hotgauge::{Pipeline, PipelineConfig, Severity, SeverityParams};
     pub use obs::{FlightEvent, FlightRecorder, Obs, Registry, Tracer};
+    pub use serve::{Response, ServeConfig, Server};
     pub use telemetry::{Dataset, DatasetSpec, FeatureSet};
     pub use workloads::WorkloadSpec;
 }
