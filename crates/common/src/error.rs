@@ -61,19 +61,96 @@ pub enum Error {
     /// A wire-protocol violation: a malformed, oversized or truncated
     /// message on the serving socket.
     Protocol {
+        /// Which protocol invariant was violated.
+        kind: ProtocolKind,
         /// The protocol element at fault (e.g. `"frame length"`).
         what: &'static str,
+        /// The remote address the violating bytes came from, when the
+        /// error was raised on (or attributed to) a live connection.
+        peer: Option<std::net::SocketAddr>,
         /// Human-readable description of the violation.
         detail: String,
     },
     /// A serving-daemon failure outside the wire protocol itself:
     /// binding a socket, spawning a shard worker, shutting down.
     Server {
+        /// Which daemon subsystem failed.
+        kind: ServerKind,
         /// The server component at fault (e.g. `"listener"`).
         what: &'static str,
+        /// The remote address involved, when the failure concerns one
+        /// connection rather than the daemon as a whole.
+        peer: Option<std::net::SocketAddr>,
         /// Human-readable description including any underlying OS error.
         detail: String,
     },
+}
+
+/// The class of wire-protocol violation in [`Error::Protocol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolKind {
+    /// The length-prefixed framing itself broke: an oversized prefix,
+    /// a message truncated by a mid-body EOF, or leftover bytes.
+    Framing,
+    /// The message body is not syntactically valid (bad UTF-8, bad
+    /// JSON, an unparseable number token).
+    Malformed,
+    /// The body parsed but does not match the expected schema: a
+    /// missing field, a wrong type, an unknown enum value, a wrong
+    /// element count.
+    Schema,
+    /// A value with no wire representation was handed to the encoder
+    /// (non-finite floats have no JSON encoding).
+    NonFinite,
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProtocolKind::Framing => "framing",
+            ProtocolKind::Malformed => "malformed",
+            ProtocolKind::Schema => "schema",
+            ProtocolKind::NonFinite => "non-finite",
+        })
+    }
+}
+
+/// The daemon subsystem at fault in [`Error::Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServerKind {
+    /// Binding or configuring a listening socket.
+    Bind,
+    /// Configuring or duplicating a connected socket.
+    Socket,
+    /// Reading from or writing to a connected socket.
+    Io,
+    /// Spawning a daemon thread.
+    Spawn,
+    /// Joining a daemon thread (it panicked).
+    Join,
+    /// An epoll/reactor system call failed.
+    Reactor,
+    /// A client-side connect (load generator) failed.
+    Connect,
+    /// A benchmark regression gate (`--check`) failed.
+    Check,
+}
+
+impl fmt::Display for ServerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServerKind::Bind => "bind",
+            ServerKind::Socket => "socket",
+            ServerKind::Io => "io",
+            ServerKind::Spawn => "spawn",
+            ServerKind::Join => "join",
+            ServerKind::Reactor => "reactor",
+            ServerKind::Connect => "connect",
+            ServerKind::Check => "check",
+        })
+    }
 }
 
 impl fmt::Display for Error {
@@ -98,11 +175,29 @@ impl fmt::Display for Error {
             Error::Degraded { stage, detail } => {
                 write!(f, "degraded `{stage}`: {detail}")
             }
-            Error::Protocol { what, detail } => {
-                write!(f, "protocol violation in `{what}`: {detail}")
+            Error::Protocol {
+                kind,
+                what,
+                peer,
+                detail,
+            } => {
+                write!(f, "protocol violation ({kind}) in `{what}`")?;
+                if let Some(peer) = peer {
+                    write!(f, " from {peer}")?;
+                }
+                write!(f, ": {detail}")
             }
-            Error::Server { what, detail } => {
-                write!(f, "server failure in `{what}`: {detail}")
+            Error::Server {
+                kind,
+                what,
+                peer,
+                detail,
+            } => {
+                write!(f, "server failure ({kind}) in `{what}`")?;
+                if let Some(peer) = peer {
+                    write!(f, " on {peer}")?;
+                }
+                write!(f, ": {detail}")
             }
         }
     }
@@ -143,19 +238,55 @@ impl Error {
         }
     }
 
-    /// Shorthand constructor for [`Error::Protocol`].
-    pub fn protocol(what: &'static str, detail: impl Into<String>) -> Self {
+    /// Shorthand constructor for [`Error::Protocol`]. The peer address
+    /// is attached afterwards via [`Error::with_peer`] by the layer
+    /// that knows which connection the bytes came from.
+    pub fn protocol(kind: ProtocolKind, what: &'static str, detail: impl Into<String>) -> Self {
         Error::Protocol {
+            kind,
             what,
+            peer: None,
             detail: detail.into(),
         }
     }
 
-    /// Shorthand constructor for [`Error::Server`].
-    pub fn server(what: &'static str, detail: impl Into<String>) -> Self {
+    /// Shorthand constructor for [`Error::Server`]. See
+    /// [`Error::with_peer`] for attaching a connection address.
+    pub fn server(kind: ServerKind, what: &'static str, detail: impl Into<String>) -> Self {
         Error::Server {
+            kind,
             what,
+            peer: None,
             detail: detail.into(),
+        }
+    }
+
+    /// Attributes a [`Error::Protocol`] / [`Error::Server`] error to a
+    /// remote address; other variants pass through unchanged.
+    #[must_use]
+    pub fn with_peer(mut self, addr: std::net::SocketAddr) -> Self {
+        match &mut self {
+            Error::Protocol { peer, .. } | Error::Server { peer, .. } => *peer = Some(addr),
+            _ => {}
+        }
+        self
+    }
+
+    /// The structured kind of a [`Error::Protocol`] error, if this is
+    /// one.
+    pub fn protocol_kind(&self) -> Option<ProtocolKind> {
+        match self {
+            Error::Protocol { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// The structured kind of a [`Error::Server`] error, if this is
+    /// one.
+    pub fn server_kind(&self) -> Option<ServerKind> {
+        match self {
+            Error::Server { kind, .. } => Some(*kind),
+            _ => None,
         }
     }
 
@@ -217,18 +348,46 @@ mod tests {
 
     #[test]
     fn protocol_and_server_constructors_and_display() {
-        let e = Error::protocol("frame length", "length 9999999 exceeds the 1 MiB cap");
+        let e = Error::protocol(
+            ProtocolKind::Framing,
+            "frame length",
+            "length 9999999 exceeds the 1 MiB cap",
+        );
         assert_eq!(
             e.to_string(),
-            "protocol violation in `frame length`: length 9999999 exceeds the 1 MiB cap"
+            "protocol violation (framing) in `frame length`: length 9999999 exceeds the 1 MiB cap"
         );
+        assert_eq!(e.protocol_kind(), Some(ProtocolKind::Framing));
+        assert_eq!(e.server_kind(), None);
         assert!(matches!(e, Error::Protocol { what, .. } if what == "frame length"));
-        let e = Error::server("listener", "cannot bind 127.0.0.1:7070: in use");
+        let e = Error::server(
+            ServerKind::Bind,
+            "listener",
+            "cannot bind 127.0.0.1:7070: in use",
+        );
         assert_eq!(
             e.to_string(),
-            "server failure in `listener`: cannot bind 127.0.0.1:7070: in use"
+            "server failure (bind) in `listener`: cannot bind 127.0.0.1:7070: in use"
         );
+        assert_eq!(e.server_kind(), Some(ServerKind::Bind));
         assert!(!e.is_degraded());
+    }
+
+    #[test]
+    fn peer_address_is_attached_and_displayed() {
+        let addr: std::net::SocketAddr = "10.0.0.7:4242".parse().unwrap();
+        let e =
+            Error::protocol(ProtocolKind::Malformed, "frame", "body is not UTF-8").with_peer(addr);
+        assert_eq!(
+            e.to_string(),
+            "protocol violation (malformed) in `frame` from 10.0.0.7:4242: body is not UTF-8"
+        );
+        assert!(matches!(&e, Error::Protocol { peer: Some(p), .. } if *p == addr));
+        let e = Error::server(ServerKind::Io, "write_frame", "broken pipe").with_peer(addr);
+        assert!(e.to_string().contains("on 10.0.0.7:4242"), "{e}");
+        // Non-protocol variants pass through `with_peer` untouched.
+        let e = Error::EmptyDataset("train").with_peer(addr);
+        assert_eq!(e, Error::EmptyDataset("train"));
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
-pub use error::{Error, Result};
+pub use error::{Error, ProtocolKind, Result, ServerKind};
 pub use rng::SplitMix64;
 pub use time::{SimTime, STEPS_PER_DECISION, STEP_MICROS};

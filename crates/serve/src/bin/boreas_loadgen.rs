@@ -1,50 +1,64 @@
 //! Load generator for the Boreas serving daemon: replays workload
-//! traces as telemetry frames and measures decision latency.
+//! traces as telemetry frames over many concurrent connections and
+//! measures decision latency.
 //!
 //! Generates per-die traces with the hotgauge pipeline (one test
-//! workload per die id, fixed at the 3.75 GHz baseline point), streams
-//! them round-robin over one connection at a configurable rate, and
-//! matches each [`Response::Decision`] back to the send instant of the
-//! interval-completing frame. Reports throughput and p50/p95/p99
-//! decision latency into `BENCH_serving.json` (same hand-rendered JSON
-//! idiom as `bench_training`).
+//! workload per die id, fixed at the 3.75 GHz baseline point), then
+//! runs one measurement per entry in `--connections` (e.g.
+//! `--connections 1,64,256`). Each run opens that many sockets; every
+//! connection streams its own disjoint set of die ids (so per-die
+//! frame order is preserved — the invariant the daemon's shard routing
+//! relies on) and matches each [`Response::Decision`] back to the send
+//! instant of the interval-completing frame. Results — throughput,
+//! p50/p95/p99 decision latency and a served-decision digest — go to
+//! `BENCH_serving.json` (schema v2, one entry per run).
 //!
-//! Usage: `boreas_loadgen [--addr A] [--shards K] [--frames N]
-//! [--rate FPS] [--smoke] [--out PATH] [--check BASELINE]`.
+//! The digest is an FNV-1a-64 over the canonical re-encoded decision
+//! bodies, sorted by `(die, seq)` with die ids normalized to run-local
+//! indices. Two backends serving the same traces must print the same
+//! digest — CI diffs it between `--backend threads` and `--backend
+//! epoll`.
 //!
-//! * `--addr` (default `127.0.0.1:7070`) — daemon ingress socket.
-//! * `--shards` (default 4) — distinct die ids to stream.
-//! * `--frames` (default 4800) — total frames across all dies.
-//! * `--rate` (default 0 = unthrottled) — frames per second.
-//! * `--smoke` — CI-sized run: 2 dies × 576 frames.
-//! * `--check BASELINE` — compare against the committed floors
-//!   (`min_throughput_fps`, `max_p99_ms`) and fail on regression.
+//! Run `boreas_loadgen --help` for the flag list. `--smoke` is the
+//! CI-sized run; `--check BASELINE` compares every run against the
+//! committed floors (`min_throughput_fps`, `max_p99_ms`) and fails on
+//! regression.
 
 use boreas_core::{TelemetryFrame, VfTable};
+use boreas_serve::cli;
 use boreas_serve::protocol::{self, Incoming, Response};
-use common::{Error, Result};
+use common::{Error, Result, ServerKind};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use workloads::WorkloadSpec;
 
-/// Shared sent-frame timestamps and matched latencies.
+/// One connection's sent-frame timestamps and matched results.
 #[derive(Default)]
 struct Ledger {
     sent: HashMap<(u32, u64), Instant>,
     latencies_ms: Vec<f64>,
-    decisions: u64,
+    /// `(global_die, seq, decision)` for the digest.
+    decisions: Vec<(u32, u64, boreas_core::ControlDecision)>,
     unmatched: u64,
     rejected: u64,
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// One `--connections` entry's measurement.
+struct RunResult {
+    connections: usize,
+    dies: usize,
+    frames: u64,
+    send_secs: f64,
+    throughput: f64,
+    decisions: u64,
+    rejected: u64,
+    unmatched: u64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    digest: u64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -65,34 +79,282 @@ fn connect(addr: &str) -> Result<TcpStream> {
                 let _ = e;
                 std::thread::sleep(Duration::from_millis(100));
             }
-            Err(e) => return Err(Error::server("connect", e.to_string())),
+            Err(e) => return Err(Error::server(ServerKind::Connect, "connect", e.to_string())),
         }
     }
 }
 
-fn render_json(
-    smoke: bool,
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *hash ^= u64::from(*b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Digest over the run's decisions, order- and die-offset-normalized:
+/// identical for any backend serving the same per-die frame sequences.
+fn decision_digest(entries: &mut [(u32, u64, boreas_core::ControlDecision)], offset: u32) -> u64 {
+    entries.sort_by_key(|(die, seq, _)| (*die, *seq));
+    let mut hash = FNV_OFFSET;
+    for (die, seq, decision) in entries.iter() {
+        let local = die - offset;
+        let body = protocol::encode_response(&Response::Decision {
+            shard: local,
+            seq: *seq,
+            decision: decision.clone(),
+        })
+        .unwrap_or_default();
+        fnv1a(&mut hash, &local.to_be_bytes());
+        fnv1a(&mut hash, &seq.to_be_bytes());
+        fnv1a(&mut hash, &body);
+    }
+    hash
+}
+
+/// Streams one connection's dies and collects its ledger.
+#[allow(clippy::too_many_arguments)]
+fn connection_load(
+    addr: &str,
+    dies: Vec<u32>,
+    traces: std::sync::Arc<Vec<Vec<hotgauge::StepRecord>>>,
+    trace_of: std::sync::Arc<Vec<usize>>,
+    offset: u32,
+    steps_per_die: usize,
+    gap: Duration,
+) -> Result<Ledger> {
+    let stream = connect(addr)?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| Error::server(ServerKind::Socket, "set_nodelay", e.to_string()))?;
+    let mut read_half = stream
+        .try_clone()
+        .map_err(|e| Error::server(ServerKind::Socket, "clone socket", e.to_string()))?;
+    read_half
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .map_err(|e| Error::server(ServerKind::Socket, "set_read_timeout", e.to_string()))?;
+
+    let mut ledger = Ledger::default();
+    let responses = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let responses_in_reader = responses.clone();
+    let (tx, rx) = std::sync::mpsc::channel::<(u32, u64, Instant)>();
+    let reader = std::thread::Builder::new()
+        .name("loadgen-reader".to_string())
+        .spawn(move || -> Ledger {
+            // Runs until the server closes the connection; send instants
+            // stream in from the writer side via the channel.
+            let mut lg = Ledger::default();
+            loop {
+                while let Ok((die, seq, at)) = rx.try_recv() {
+                    lg.sent.insert((die, seq), at);
+                }
+                match protocol::read_frame(&mut read_half) {
+                    Ok(Incoming::Idle) => continue,
+                    Ok(Incoming::Closed) | Err(_) => return lg,
+                    Ok(Incoming::Frame(body)) => {
+                        let Ok(resp) = protocol::decode_response(&body) else {
+                            continue;
+                        };
+                        responses_in_reader.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        match resp {
+                            Response::Decision {
+                                shard,
+                                seq,
+                                decision,
+                            } => {
+                                // The decision may have arrived during the
+                                // blocking read, before its send instant was
+                                // drained from the channel — drain again
+                                // before declaring it unmatched.
+                                if !lg.sent.contains_key(&(shard, seq)) {
+                                    while let Ok((die, s, at)) = rx.try_recv() {
+                                        lg.sent.insert((die, s), at);
+                                    }
+                                }
+                                match lg.sent.remove(&(shard, seq)) {
+                                    Some(at) => {
+                                        lg.latencies_ms.push(at.elapsed().as_secs_f64() * 1e3);
+                                    }
+                                    None => lg.unmatched += 1,
+                                }
+                                lg.decisions.push((shard, seq, decision));
+                            }
+                            Response::Rejected { .. } => lg.rejected += 1,
+                        }
+                    }
+                }
+            }
+        })
+        .map_err(|e| Error::server(ServerKind::Spawn, "spawn reader", e.to_string()))?;
+
+    // Round-robin send: step t of every owned die, then step t+1.
+    let mut write_half = stream;
+    let started = Instant::now();
+    let mut next_send = started;
+    for t in 0..steps_per_die {
+        for &die in &dies {
+            let local = (die - offset) as usize;
+            let record = traces[trace_of[local]][t].clone();
+            let frame = TelemetryFrame::new(die, t as u64, record);
+            let _ = tx.send((die, t as u64, Instant::now()));
+            let body = protocol::encode_frame(&frame)?;
+            protocol::write_frame(&mut write_half, &body)?;
+            if !gap.is_zero() {
+                next_send += gap;
+                if let Some(wait) = next_send.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+            }
+        }
+    }
+    drop(tx);
+
+    // Wait until every completed interval is answered (decisions plus
+    // rejections both count) or a deadline passes, then half-close so
+    // the server sees EOF, flushes and hangs up — which ends the reader.
+    let expected = dies.len() as u64 * (steps_per_die as u64 / common::STEPS_PER_DECISION);
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while responses.load(std::sync::atomic::Ordering::Relaxed) < expected
+        && Instant::now() < deadline
+        && !reader.is_finished()
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = write_half.shutdown(std::net::Shutdown::Write);
+    let mut lg = reader.join().map_err(|_| {
+        Error::server(
+            ServerKind::Join,
+            "join",
+            "reader thread panicked".to_string(),
+        )
+    })?;
+    ledger.latencies_ms.append(&mut lg.latencies_ms);
+    ledger.decisions.append(&mut lg.decisions);
+    ledger.unmatched += lg.unmatched;
+    ledger.rejected += lg.rejected;
+    Ok(ledger)
+}
+
+/// One full measurement at `connections` sockets.
+#[allow(clippy::too_many_arguments)]
+fn run_load(
+    addr: &str,
+    connections: usize,
     shards: usize,
     frames: u64,
-    rate_fps: f64,
-    throughput_fps: f64,
-    ledger: &Ledger,
-    [p50, p95, p99]: [f64; 3],
-) -> String {
+    rate: f64,
+    traces: &std::sync::Arc<Vec<Vec<hotgauge::StepRecord>>>,
+    trace_of_all: &[usize],
+    offset: u32,
+) -> Result<RunResult> {
+    let dies = shards.max(connections);
+    let steps_per_die = steps_for(frames, dies);
+    let gap = if rate > 0.0 {
+        Duration::from_secs_f64(connections as f64 / rate)
+    } else {
+        Duration::ZERO
+    };
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for c in 0..connections {
+        let owned: Vec<u32> = (0..dies)
+            .filter(|d| d % connections == c)
+            .map(|d| offset + d as u32)
+            .collect();
+        let addr = addr.to_string();
+        let traces = traces.clone();
+        let trace_of = std::sync::Arc::new(trace_of_all.to_vec());
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-conn-{c}"))
+                .spawn(move || {
+                    connection_load(&addr, owned, traces, trace_of, offset, steps_per_die, gap)
+                })
+                .map_err(|e| Error::server(ServerKind::Spawn, "spawn connection", e.to_string()))?,
+        );
+    }
+    let mut merged = Ledger::default();
+    for h in handles {
+        let lg = h.join().map_err(|_| {
+            Error::server(
+                ServerKind::Join,
+                "join",
+                "connection thread panicked".to_string(),
+            )
+        })??;
+        merged.latencies_ms.extend(lg.latencies_ms);
+        merged.decisions.extend(lg.decisions);
+        merged.unmatched += lg.unmatched;
+        merged.rejected += lg.rejected;
+    }
+    let send_secs = started.elapsed().as_secs_f64();
+    let frames_sent = (dies * steps_per_die) as u64;
+    let throughput = frames_sent as f64 / send_secs.max(1e-9);
+
+    let mut sorted = merged.latencies_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let digest = decision_digest(&mut merged.decisions, offset);
+    Ok(RunResult {
+        connections,
+        dies,
+        frames: frames_sent,
+        send_secs,
+        throughput,
+        decisions: merged.decisions.len() as u64,
+        rejected: merged.rejected,
+        unmatched: merged.unmatched,
+        p50: percentile(&sorted, 50.0),
+        p95: percentile(&sorted, 95.0),
+        p99: percentile(&sorted, 99.0),
+        digest,
+    })
+}
+
+/// Steps per die for a run: the frame budget split across dies, at
+/// least two decision intervals each, rounded to whole intervals.
+fn steps_for(frames: u64, dies: usize) -> usize {
+    let per = common::STEPS_PER_DECISION as usize;
+    let raw = (frames as usize / dies.max(1)).max(2 * per);
+    (raw / per) * per
+}
+
+fn render_json(smoke: bool, rate: f64, runs: &[RunResult]) -> String {
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    format!(
-        "{{\n  \"schema\": \"boreas-bench-serving-v1\",\n  \"smoke\": {smoke},\n  \"load\": {{\n    \
-         \"shards\": {shards},\n    \"frames\": {frames},\n    \"rate_fps\": {rate_fps:.0}\n  }},\n  \"machine\": {{\n    \"os\": \"{}\",\n    \
-         \"arch\": \"{}\",\n    \"threads\": {threads}\n  }},\n  \"results\": {{\n    \
-         \"throughput_fps\": {throughput_fps:.1},\n    \"decisions\": {},\n    \
-         \"rejected\": {},\n    \"unmatched\": {},\n    \"latency_p50_ms\": {p50:.3},\n    \
-         \"latency_p95_ms\": {p95:.3},\n    \"latency_p99_ms\": {p99:.3}\n  }}\n}}\n",
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"boreas-bench-serving-v2\",\n  \"smoke\": {smoke},\n  \
+         \"rate_fps\": {rate:.0},\n  \"machine\": {{\n    \"os\": \"{}\",\n    \
+         \"arch\": \"{}\",\n    \"threads\": {threads}\n  }},\n  \"runs\": [\n",
         std::env::consts::OS,
         std::env::consts::ARCH,
-        ledger.decisions,
-        ledger.rejected,
-        ledger.unmatched,
-    )
+    ));
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"connections\": {},\n      \"dies\": {},\n      \"frames\": {},\n      \
+             \"send_secs\": {:.3},\n      \"throughput_fps\": {:.1},\n      \"decisions\": {},\n      \
+             \"rejected\": {},\n      \"unmatched\": {},\n      \"latency_p50_ms\": {:.3},\n      \
+             \"latency_p95_ms\": {:.3},\n      \"latency_p99_ms\": {:.3},\n      \
+             \"digest\": \"{:016x}\"\n    }}{}\n",
+            r.connections,
+            r.dies,
+            r.frames,
+            r.send_secs,
+            r.throughput,
+            r.decisions,
+            r.rejected,
+            r.unmatched,
+            r.p50,
+            r.p95,
+            r.p99,
+            r.digest,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Pulls one `"key": number` field out of a baseline document (the
@@ -109,177 +371,156 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+fn spec() -> cli::Spec {
+    cli::Spec::new(
+        "boreas_loadgen",
+        "replays workload traces against boreas_serve and reports decision latency",
+    )
+    .value_flag(
+        "addr",
+        "host:port",
+        Some("127.0.0.1:7070"),
+        "daemon ingress socket",
+    )
+    .value_flag(
+        "connections",
+        "list",
+        None,
+        "comma-separated connection counts, one run each (default: 1,64,256; smoke: 1,4)",
+    )
+    .value_flag(
+        "shards",
+        "n",
+        None,
+        "minimum distinct die ids per run (default: 4; smoke: 2)",
+    )
+    .value_flag(
+        "frames",
+        "n",
+        None,
+        "frame budget per run (default: 4800; smoke: 1152)",
+    )
+    .value_flag(
+        "rate",
+        "fps",
+        Some("0"),
+        "aggregate send rate; 0 = unthrottled",
+    )
+    .value_flag(
+        "out",
+        "path",
+        Some("BENCH_serving.json"),
+        "result JSON path",
+    )
+    .value_flag(
+        "check",
+        "baseline",
+        None,
+        "fail if any run misses the committed floors",
+    )
+    .switch("smoke", "CI-sized run")
+}
+
 fn main() -> Result<()> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let shards: usize = flag_value(&args, "--shards")
-        .map(|v| v.parse().expect("--shards takes a positive integer"))
+    let args = spec().parse_env()?;
+    let addr = args.get("addr").unwrap_or_default().to_string();
+    let smoke = args.has("smoke");
+    let shards = args
+        .parsed::<usize>("shards")?
         .unwrap_or(if smoke { 2 } else { 4 })
         .max(1);
-    let frames: u64 = flag_value(&args, "--frames")
-        .map(|v| v.parse().expect("--frames takes a positive integer"))
+    let frames = args
+        .parsed::<u64>("frames")?
         .unwrap_or(if smoke { 1152 } else { 4800 });
-    let rate: f64 = flag_value(&args, "--rate")
-        .map(|v| v.parse().expect("--rate takes frames per second"))
-        .unwrap_or(0.0);
-    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serving.json".into());
-    let check_path = flag_value(&args, "--check");
+    let rate = args.parsed::<f64>("rate")?.unwrap_or(0.0);
+    let out_path = args.get("out").unwrap_or_default().to_string();
+    let check_path = args.get("check").map(str::to_string);
+    let connections: Vec<usize> = args
+        .get("connections")
+        .unwrap_or(if smoke { "1,4" } else { "1,64,256" })
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|c| *c > 0)
+                .ok_or_else(|| {
+                    Error::invalid_config(
+                        "cli",
+                        format!("--connections entry `{s}` is not a positive integer"),
+                    )
+                })
+        })
+        .collect::<Result<_>>()?;
 
-    // Per-die traces: one test workload per die, fixed at the baseline
-    // operating point. Decisions do not feed back into the source — the
-    // daemon is the system under test, the traces are replayed load.
-    let steps_per_die = (frames as usize).div_ceil(shards);
+    // Per-die traces, generated once per distinct workload at the
+    // longest step count any run needs, fixed at the baseline operating
+    // point. Decisions do not feed back into the source — the daemon is
+    // the system under test, the traces are replayed load.
+    let max_dies = connections
+        .iter()
+        .map(|&c| shards.max(c))
+        .max()
+        .unwrap_or(shards);
+    let max_steps = connections
+        .iter()
+        .map(|&c| steps_for(frames, shards.max(c)))
+        .max()
+        .unwrap_or(0);
     let pipeline = hotgauge::PipelineConfig::paper().build()?;
     let vf = VfTable::paper();
     let point = vf.point(VfTable::BASELINE_INDEX);
     let workload_pool = WorkloadSpec::test_set();
-    let mut traces: Vec<Vec<hotgauge::StepRecord>> = Vec::with_capacity(shards);
-    for die in 0..shards {
-        let spec = &workload_pool[die % workload_pool.len()];
-        let outcome = pipeline.run_fixed(spec, point.frequency, point.voltage, steps_per_die)?;
+    let distinct = workload_pool.len().min(max_dies);
+    let mut traces: Vec<Vec<hotgauge::StepRecord>> = Vec::with_capacity(distinct);
+    for spec in workload_pool.iter().take(distinct) {
+        let outcome = pipeline.run_fixed(spec, point.frequency, point.voltage, max_steps)?;
         traces.push(outcome.records);
     }
+    let traces = std::sync::Arc::new(traces);
+    // Die `d` (run-local) replays workload `d % distinct`.
+    let trace_of: Vec<usize> = (0..max_dies).map(|d| d % distinct).collect();
     println!(
-        "loadgen: {} dies x {} steps ({} frames) against {}",
-        shards,
-        steps_per_die,
-        shards * steps_per_die,
-        addr
+        "loadgen: {} distinct traces x {} steps; runs at {:?} connections against {}",
+        distinct, max_steps, connections, addr
     );
 
-    let stream = connect(&addr)?;
-    stream
-        .set_nodelay(true)
-        .map_err(|e| Error::server("set_nodelay", e.to_string()))?;
-    let mut read_half = stream
-        .try_clone()
-        .map_err(|e| Error::server("clone socket", e.to_string()))?;
-    read_half
-        .set_read_timeout(Some(Duration::from_millis(50)))
-        .map_err(|e| Error::server("set_read_timeout", e.to_string()))?;
-
-    let ledger = Arc::new(Mutex::new(Ledger::default()));
-    let reader_ledger = ledger.clone();
-    let reader = std::thread::Builder::new()
-        .name("loadgen-reader".to_string())
-        .spawn(move || -> u64 {
-            // Runs until the server closes the connection (daemon drain)
-            // or the socket errors; returns the responses seen.
-            let mut seen = 0u64;
-            loop {
-                match protocol::read_frame(&mut read_half) {
-                    Ok(Incoming::Idle) => continue,
-                    Ok(Incoming::Closed) | Err(_) => return seen,
-                    Ok(Incoming::Frame(body)) => {
-                        seen += 1;
-                        let Ok(resp) = protocol::decode_response(&body) else {
-                            continue;
-                        };
-                        let mut lg = reader_ledger.lock().expect("ledger");
-                        match resp {
-                            Response::Decision { shard, seq, .. } => {
-                                lg.decisions += 1;
-                                match lg.sent.remove(&(shard, seq)) {
-                                    Some(at) => {
-                                        let ms = at.elapsed().as_secs_f64() * 1e3;
-                                        lg.latencies_ms.push(ms);
-                                    }
-                                    None => lg.unmatched += 1,
-                                }
-                            }
-                            Response::Rejected { .. } => lg.rejected += 1,
-                        }
-                    }
-                }
-            }
-        })
-        .map_err(|e| Error::server("spawn reader", e.to_string()))?;
-
-    // Round-robin send: step t of every die, then step t+1 — the
-    // interleaving a daemon would see from concurrent sockets.
-    let gap = if rate > 0.0 {
-        Duration::from_secs_f64(1.0 / rate)
-    } else {
-        Duration::ZERO
-    };
-    let mut write_half = stream;
-    let started = Instant::now();
-    let mut next_send = started;
-    let mut sent = 0u64;
-    for t in 0..steps_per_die {
-        for (die, trace) in traces.iter().enumerate() {
-            let frame = TelemetryFrame::new(die as u32, t as u64, trace[t].clone());
-            // Record every frame's send instant: the daemon echoes the
-            // seq of whichever frame completed the interval, so this
-            // matches even when a rejection shifted the cadence.
-            ledger
-                .lock()
-                .expect("ledger")
-                .sent
-                .insert((die as u32, t as u64), Instant::now());
-            let body = protocol::encode_frame(&frame)?;
-            protocol::write_frame(&mut write_half, &body)?;
-            sent += 1;
-            if !gap.is_zero() {
-                next_send += gap;
-                if let Some(wait) = next_send.checked_duration_since(Instant::now()) {
-                    std::thread::sleep(wait);
-                }
-            }
-        }
+    let mut runs = Vec::with_capacity(connections.len());
+    for (i, &c) in connections.iter().enumerate() {
+        // Fresh die ids per run so the daemon builds fresh control
+        // loops — every run starts from the same controller state.
+        let offset = (i as u32) * 1_000_000;
+        let r = run_load(&addr, c, shards, frames, rate, &traces, &trace_of, offset)?;
+        println!(
+            "loadgen: c={} — {} frames in {:.2}s ({:.0} fps), {} decisions ({} unmatched), {} rejected",
+            r.connections, r.frames, r.send_secs, r.throughput, r.decisions, r.unmatched, r.rejected
+        );
+        println!(
+            "loadgen: c={} — latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, digest {:016x}",
+            r.connections, r.p50, r.p95, r.p99, r.digest
+        );
+        runs.push(r);
     }
-    let send_secs = started.elapsed().as_secs_f64();
-    let throughput = sent as f64 / send_secs.max(1e-9);
 
-    // Wait for the response stream to go quiet (all in-flight intervals
-    // answered), then hang up.
-    let expected =
-        (steps_per_die / common::time::STEPS_PER_DECISION as usize) as u64 * traces.len() as u64;
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        let (decisions, rejected) = {
-            let lg = ledger.lock().expect("ledger");
-            (lg.decisions, lg.rejected + lg.unmatched)
-        };
-        if decisions + rejected >= expected || Instant::now() > deadline {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(20));
+    // One combined line for CI to diff between backends.
+    let mut combined = FNV_OFFSET;
+    for r in &runs {
+        fnv1a(&mut combined, &r.digest.to_be_bytes());
     }
-    // Half-close the send direction (a plain drop would not close the
-    // socket — the reader thread's `try_clone` dup keeps it open): the
-    // server sees EOF, drains, and closes its end, which ends our reader.
-    let _ = write_half.shutdown(std::net::Shutdown::Write);
-    let responses = reader
-        .join()
-        .map_err(|_| Error::server("join", "reader thread panicked".to_string()))?;
+    println!("loadgen digest: {combined:016x}");
 
-    let lg = ledger.lock().expect("ledger");
-    let mut sorted = lg.latencies_ms.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let (p50, p95, p99) = (
-        percentile(&sorted, 50.0),
-        percentile(&sorted, 95.0),
-        percentile(&sorted, 99.0),
-    );
-    println!(
-        "loadgen: sent {} frames in {:.2}s ({:.0} fps), {} responses: {} decisions ({} unmatched), {} rejected",
-        sent, send_secs, throughput, responses, lg.decisions, lg.unmatched, lg.rejected
-    );
-    println!("loadgen: decision latency p50 {p50:.3} ms, p95 {p95:.3} ms, p99 {p99:.3} ms");
-
-    let json = render_json(smoke, shards, sent, rate, throughput, &lg, [p50, p95, p99]);
+    let json = render_json(smoke, rate, &runs);
     let mut f = std::fs::File::create(&out_path)
         .map_err(|e| Error::io("create bench output", e.to_string()))?;
     f.write_all(json.as_bytes())
         .map_err(|e| Error::io("write bench output", e.to_string()))?;
     println!("wrote {out_path}");
 
-    if lg.decisions == 0 {
+    if runs.iter().any(|r| r.decisions == 0) {
         return Err(Error::server(
+            ServerKind::Check,
             "loadgen",
-            "no decisions received — is the daemon up?".to_string(),
+            "a run received no decisions — is the daemon up?".to_string(),
         ));
     }
 
@@ -289,21 +530,29 @@ fn main() -> Result<()> {
         let min_fps = extract_number(&baseline, "min_throughput_fps").unwrap_or(0.0);
         let max_p99 = extract_number(&baseline, "max_p99_ms").unwrap_or(f64::INFINITY);
         let mut bad = Vec::new();
-        if throughput < min_fps {
-            bad.push(format!(
-                "throughput {throughput:.0} fps is below the {min_fps:.0} fps floor"
-            ));
-        }
-        if p99 > max_p99 {
-            bad.push(format!(
-                "p99 latency {p99:.1} ms exceeds the {max_p99:.1} ms ceiling"
-            ));
+        for r in &runs {
+            if r.throughput < min_fps {
+                bad.push(format!(
+                    "c={}: throughput {:.0} fps is below the {min_fps:.0} fps floor",
+                    r.connections, r.throughput
+                ));
+            }
+            if r.p99 > max_p99 {
+                bad.push(format!(
+                    "c={}: p99 latency {:.1} ms exceeds the {max_p99:.1} ms ceiling",
+                    r.connections, r.p99
+                ));
+            }
         }
         if !bad.is_empty() {
             for b in &bad {
                 eprintln!("serving regression: {b}");
             }
-            return Err(Error::server("loadgen --check", bad.join("; ")));
+            return Err(Error::server(
+                ServerKind::Check,
+                "loadgen --check",
+                bad.join("; "),
+            ));
         }
         println!("check vs {baseline_path}: ok");
     }

@@ -6,24 +6,21 @@
 //! over HTTP. SIGTERM/SIGINT drain cleanly: every accepted frame is
 //! processed and every pending decision flushed before exit.
 //!
-//! Usage: `boreas_serve [--addr A] [--metrics-addr A] [--shards N]
-//! [--queue-depth N] [--smoke]`.
+//! Two I/O backends are runtime-selectable with `--backend`:
+//! `threads` (two OS threads per connection) and `epoll` (a few
+//! reactor threads multiplexing every connection; Linux only, the
+//! default there). Both serve byte-identical decision streams.
 //!
-//! * `--addr` (default `127.0.0.1:7070`) — frame ingress socket.
-//! * `--metrics-addr` (default `127.0.0.1:7071`) — `GET /metrics` and
-//!   `GET /healthz`.
-//! * `--shards` (default 2) — shard worker threads.
-//! * `--queue-depth` (default 64) — bounded per-shard queue; a full
-//!   queue rejects (backpressure) rather than blocking.
-//! * `--smoke` — serve the tiny synthetic severity ≈ frequency/5 GBT
-//!   model (same stand-in as `fig8_dynamic_runs --smoke`) as an ML05
-//!   controller, so the CI smoke job exercises the batched GBT
-//!   inference path without a training pipeline. Without it the daemon
-//!   serves the flat-70 °C TH-00 thermal controller.
+//! Run `boreas_serve --help` for the full flag list. `--smoke` serves
+//! the tiny synthetic severity ≈ frequency/5 GBT model (same stand-in
+//! as `fig8_dynamic_runs --smoke`) as an ML05 controller, so the CI
+//! smoke job exercises the batched GBT inference path without a
+//! training pipeline; without it the daemon serves the flat-70 °C
+//! TH-00 thermal controller.
 
 use boreas_core::VfTable;
-use boreas_serve::{http, signal, ServeConfig, Server};
-use common::Result;
+use boreas_serve::{cli, http, signal, Backend, ServeConfig, Server};
+use common::{Result, ServerKind};
 use engine::ControllerSpec;
 use obs::Registry;
 use std::net::TcpListener;
@@ -47,50 +44,116 @@ fn smoke_ml_spec() -> Result<ControllerSpec> {
     Ok(ControllerSpec::ml(model, &features, 0.05))
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+fn default_backend() -> Backend {
+    if cfg!(target_os = "linux") {
+        Backend::Epoll
+    } else {
+        Backend::Threads
+    }
+}
+
+fn spec() -> cli::Spec {
+    cli::Spec::new(
+        "boreas_serve",
+        "Boreas online mitigation daemon: telemetry frames in, V/f decisions out",
+    )
+    .value_flag(
+        "addr",
+        "host:port",
+        Some("127.0.0.1:7070"),
+        "frame ingress socket",
+    )
+    .value_flag(
+        "metrics-addr",
+        "host:port",
+        Some("127.0.0.1:7071"),
+        "GET /metrics and /healthz",
+    )
+    .value_flag(
+        "backend",
+        "threads|epoll",
+        None,
+        "I/O backend (default: epoll on Linux, threads elsewhere)",
+    )
+    .value_flag("shards", "n", Some("2"), "shard worker threads")
+    .value_flag(
+        "queue-depth",
+        "n",
+        Some("64"),
+        "bounded per-shard queue; full queues reject, not block",
+    )
+    .value_flag(
+        "io-threads",
+        "n",
+        Some("1"),
+        "reactor threads (epoll backend)",
+    )
+    .value_flag(
+        "max-connections",
+        "n",
+        Some("1024"),
+        "concurrent-connection cap enforced at accept",
+    )
+    .value_flag(
+        "idle-timeout-ms",
+        "ms",
+        Some("60000"),
+        "reap connections silent for this long",
+    )
+    .switch(
+        "smoke",
+        "serve the synthetic smoke GBT model as an ML05 controller",
+    )
 }
 
 fn main() -> Result<()> {
     signal::install();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
-    let metrics_addr =
-        flag_value(&args, "--metrics-addr").unwrap_or_else(|| "127.0.0.1:7071".to_string());
-    let shards: usize = flag_value(&args, "--shards")
-        .map(|v| v.parse().expect("--shards takes a positive integer"))
-        .unwrap_or(2);
-    let queue_depth: usize = flag_value(&args, "--queue-depth")
-        .map(|v| v.parse().expect("--queue-depth takes a positive integer"))
-        .unwrap_or(64);
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let args = spec().parse_env()?;
+
+    let backend = match args.get("backend") {
+        Some(raw) => raw.parse::<Backend>()?,
+        None => default_backend(),
+    };
+    let addr = args.get("addr").unwrap_or_default().to_string();
+    let metrics_addr = args.get("metrics-addr").unwrap_or_default().to_string();
+    let shards = args.parsed::<usize>("shards")?.unwrap_or(2);
+    let queue_depth = args.parsed::<usize>("queue-depth")?.unwrap_or(64);
+    let io_threads = args.parsed::<usize>("io-threads")?.unwrap_or(1);
+    let max_connections = args.parsed::<usize>("max-connections")?.unwrap_or(1024);
+    let idle_ms = args.parsed::<u64>("idle-timeout-ms")?.unwrap_or(60_000);
+    let smoke = args.has("smoke");
 
     let vf = VfTable::paper();
-    let spec = if smoke {
+    let controller = if smoke {
         smoke_ml_spec()?
     } else {
         ControllerSpec::thermal(vec![Some(70.0); vf.len()], 0.0)
     };
 
     let registry = Registry::new();
-    let config = ServeConfig::new(spec, vf)
+    let config = ServeConfig::builder()
+        .backend(backend)
         .shards(shards)
         .queue_depth(queue_depth)
-        .registry(registry.clone());
+        .io_threads(io_threads)
+        .max_connections(max_connections)
+        .idle_timeout(Duration::from_millis(idle_ms))
+        .controller(controller)
+        .vf(vf)
+        .registry(registry.clone())
+        .build()?;
     let server = Server::bind(addr.as_str(), config)?;
 
     let metrics_listener = TcpListener::bind(metrics_addr.as_str())
-        .map_err(|e| common::Error::server("bind metrics", e.to_string()))?;
+        .map_err(|e| common::Error::server(ServerKind::Bind, "bind metrics", e.to_string()))?;
     let metrics_stop = Arc::new(AtomicBool::new(false));
     let metrics_thread =
         http::spawn_metrics_server(metrics_listener, registry.clone(), metrics_stop.clone());
 
     println!(
-        "boreas-serve listening on {} ({} shard worker{}, queue depth {}, {} controller); metrics on http://{}/metrics",
+        "boreas-serve listening on {} ({} backend, {} shard worker{}, queue depth {}, {} controller); metrics on http://{}/metrics",
         server.local_addr(),
+        server.backend(),
         shards,
         if shards == 1 { "" } else { "s" },
         queue_depth,
@@ -106,9 +169,13 @@ fn main() -> Result<()> {
     server.request_shutdown();
     server.join()?;
     metrics_stop.store(true, Ordering::SeqCst);
-    metrics_thread
-        .join()
-        .map_err(|_| common::Error::server("join", "metrics thread panicked".to_string()))?;
+    metrics_thread.join().map_err(|_| {
+        common::Error::server(
+            ServerKind::Join,
+            "join",
+            "metrics thread panicked".to_string(),
+        )
+    })?;
 
     let snap = registry.snapshot();
     let count = |name: &str| match snap.family(name).map(|f| &f.value) {

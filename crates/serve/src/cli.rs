@@ -1,0 +1,286 @@
+//! The shared flag parser behind `boreas_serve` and `boreas_loadgen`.
+//!
+//! Both serving binaries declare their surface as a [`Spec`] — a name,
+//! an about line and a list of [`Flag`]s — and call [`Spec::parse`] on
+//! the process arguments. The parser follows the same conventions as
+//! `boreas_bench::Reporting` so every binary in the workspace feels
+//! identical:
+//!
+//! * value flags accept both spellings, `--flag value` and
+//!   `--flag=value`;
+//! * `--help`/`-h` prints a generated usage page and exits the process
+//!   with status 0;
+//! * an unknown flag, or a value flag with no value, is an error (not
+//!   silently ignored) that points at `--help`.
+//!
+//! Parsed values come back as a [`Args`] keyed by flag name, with
+//! typed access through [`Args::parsed`].
+
+use std::collections::HashMap;
+
+use common::{Error, Result};
+
+/// One declared flag.
+#[derive(Debug, Clone)]
+pub struct Flag {
+    name: &'static str,
+    value_name: Option<&'static str>,
+    help: &'static str,
+    default: Option<&'static str>,
+}
+
+/// A binary's declared CLI surface.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    name: &'static str,
+    about: &'static str,
+    flags: Vec<Flag>,
+}
+
+impl Spec {
+    /// Starts a spec for the binary `name` with a one-line `about`.
+    pub fn new(name: &'static str, about: &'static str) -> Spec {
+        Spec {
+            name,
+            about,
+            flags: Vec::new(),
+        }
+    }
+
+    /// Declares `--name <value_name>`; `default` is shown in the usage
+    /// page and returned by [`Args::get`] when the flag is absent.
+    #[must_use]
+    pub fn value_flag(
+        mut self,
+        name: &'static str,
+        value_name: &'static str,
+        default: Option<&'static str>,
+        help: &'static str,
+    ) -> Spec {
+        self.flags.push(Flag {
+            name,
+            value_name: Some(value_name),
+            help,
+            default,
+        });
+        self
+    }
+
+    /// Declares a boolean `--name` switch.
+    #[must_use]
+    pub fn switch(mut self, name: &'static str, help: &'static str) -> Spec {
+        self.flags.push(Flag {
+            name,
+            value_name: None,
+            help,
+            default: None,
+        });
+        self
+    }
+
+    /// The generated usage page.
+    pub fn usage(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} — {}\n\n", self.name, self.about));
+        out.push_str(&format!("usage: {} [flags]\n\nflags:\n", self.name));
+        let mut lefts = Vec::with_capacity(self.flags.len() + 1);
+        for f in &self.flags {
+            lefts.push(match f.value_name {
+                Some(v) => format!("--{} <{v}>", f.name),
+                None => format!("--{}", f.name),
+            });
+        }
+        lefts.push("--help".to_string());
+        let width = lefts.iter().map(String::len).max().unwrap_or(0);
+        for (f, left) in self.flags.iter().zip(&lefts) {
+            out.push_str(&format!("  {left:width$}  {}", f.help));
+            if let Some(d) = f.default {
+                out.push_str(&format!(" [default: {d}]"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "  {:width$}  print this help and exit\n",
+            "--help"
+        ));
+        out
+    }
+
+    /// Parses the process arguments (skipping `argv[0]`); prints the
+    /// usage page and exits 0 on `--help`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for an unknown flag, a value flag
+    /// missing its value, or a positional argument.
+    pub fn parse_env(&self) -> Result<Args> {
+        let args = self.parse(std::env::args().skip(1))?;
+        if args.help {
+            print!("{}", self.usage());
+            std::process::exit(0);
+        }
+        Ok(args)
+    }
+
+    /// Parses an explicit argument list (testable; `--help` sets
+    /// [`Args::help`] instead of exiting).
+    pub fn parse(&self, args: impl IntoIterator<Item = String>) -> Result<Args> {
+        let mut values: HashMap<&'static str, String> = HashMap::new();
+        let mut switches: Vec<&'static str> = Vec::new();
+        let mut help = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                help = true;
+                continue;
+            }
+            let Some(body) = arg.strip_prefix("--") else {
+                return Err(self.unknown(&arg));
+            };
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (body, None),
+            };
+            let Some(flag) = self.flags.iter().find(|f| f.name == name) else {
+                return Err(self.unknown(&arg));
+            };
+            if flag.value_name.is_some() {
+                let value = match inline {
+                    Some(v) => v,
+                    None => it.next().ok_or_else(|| {
+                        Error::invalid_config(
+                            "cli",
+                            format!("--{} needs a value (see {} --help)", flag.name, self.name),
+                        )
+                    })?,
+                };
+                values.insert(flag.name, value);
+            } else {
+                if inline.is_some() {
+                    return Err(Error::invalid_config(
+                        "cli",
+                        format!("--{} takes no value (see {} --help)", flag.name, self.name),
+                    ));
+                }
+                switches.push(flag.name);
+            }
+        }
+        let defaults = self
+            .flags
+            .iter()
+            .filter_map(|f| f.default.map(|d| (f.name, d)))
+            .collect();
+        Ok(Args {
+            values,
+            switches,
+            defaults,
+            help,
+        })
+    }
+
+    fn unknown(&self, arg: &str) -> Error {
+        Error::invalid_config(
+            "cli",
+            format!("unknown argument `{arg}` (see {} --help)", self.name),
+        )
+    }
+}
+
+/// Parsed arguments; see [`Spec::parse`].
+#[derive(Debug)]
+pub struct Args {
+    values: HashMap<&'static str, String>,
+    switches: Vec<&'static str>,
+    defaults: HashMap<&'static str, &'static str>,
+    /// `--help` was present (only observable via [`Spec::parse`]; the
+    /// `parse_env` path prints usage and exits first).
+    pub help: bool,
+}
+
+impl Args {
+    /// The flag's value, falling back to its declared default.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .or_else(|| self.defaults.get(name).copied())
+    }
+
+    /// Whether a switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// The flag's value parsed as `T`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the value does not parse; absent
+    /// flags (with no default) return `Ok(None)`.
+    pub fn parsed<T>(&self, name: &'static str) -> Result<Option<T>>
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| Error::invalid_config("cli", format!("--{name} `{raw}`: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Spec {
+        Spec::new("boreas_x", "test binary")
+            .value_flag("addr", "host:port", Some("127.0.0.1:0"), "bind address")
+            .value_flag("shards", "n", Some("2"), "worker count")
+            .switch("smoke", "tiny run")
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn both_value_spellings_parse() {
+        let a = spec().parse(argv(&["--shards", "4", "--smoke"])).unwrap();
+        assert_eq!(a.parsed::<usize>("shards").unwrap(), Some(4));
+        assert!(a.has("smoke"));
+        let a = spec().parse(argv(&["--shards=8"])).unwrap();
+        assert_eq!(a.parsed::<usize>("shards").unwrap(), Some(8));
+        assert!(!a.has("smoke"));
+    }
+
+    #[test]
+    fn defaults_fill_absent_flags() {
+        let a = spec().parse(argv(&[])).unwrap();
+        assert_eq!(a.get("addr"), Some("127.0.0.1:0"));
+        assert_eq!(a.parsed::<usize>("shards").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn unknown_and_malformed_flags_error() {
+        assert!(spec().parse(argv(&["--nope"])).is_err());
+        assert!(spec().parse(argv(&["positional"])).is_err());
+        assert!(spec().parse(argv(&["--shards"])).is_err());
+        assert!(spec().parse(argv(&["--smoke=1"])).is_err());
+        let e = spec().parse(argv(&["--nope"])).unwrap_err().to_string();
+        assert!(e.contains("--help"), "{e}");
+    }
+
+    #[test]
+    fn help_flag_is_latched_and_usage_lists_flags() {
+        let a = spec().parse(argv(&["--help"])).unwrap();
+        assert!(a.help);
+        let u = spec().usage();
+        assert!(u.contains("--addr <host:port>"));
+        assert!(u.contains("[default: 2]"));
+        assert!(u.contains("--help"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-connection state for the reactor backend: non-blocking read and
+//! write buffering around the framing state machine.
+//!
+//! A [`Conn`] owns one non-blocking socket and the two buffers the
+//! readiness model requires:
+//!
+//! * inbound, a [`FrameDecoder`] accumulates whatever byte runs
+//!   `epoll` delivers — partial prefixes, split bodies, several
+//!   coalesced messages — and yields complete frame bodies;
+//! * outbound, a ring of encoded response bytes ([`Conn::out`]) holds
+//!   whatever the socket would not take, so a slow client consumes
+//!   buffer space instead of a thread.
+//!
+//! Shard workers never touch the socket: they push encoded responses
+//! into the connection's [`Outbox`] (a mutex-guarded queue shared via
+//! `Arc`) and wake the owning reactor, which moves the bytes into the
+//! write ring and flushes. The `Arc` on the outbox doubles as the
+//! in-flight-job count: a connection is only closed once the reactor
+//! holds the last reference, i.e. no queued job can still reply.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::protocol::FrameDecoder;
+
+/// Per-read-call chunk size; reads repeat until the socket would block.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A queue of encoded, length-prefixed response byte strings, filled
+/// by shard workers and drained by the owning reactor.
+#[derive(Debug, Default)]
+pub(crate) struct Outbox {
+    queue: Mutex<Vec<Vec<u8>>>,
+}
+
+impl Outbox {
+    /// Appends one encoded response (a poisoned mutex means the peer
+    /// thread panicked mid-push; the response is dropped, matching the
+    /// thread backend's best-effort writer).
+    pub fn push(&self, bytes: Vec<u8>) {
+        if let Ok(mut q) = self.queue.lock() {
+            q.push(bytes);
+        }
+    }
+
+    /// Takes everything queued so far, preserving push order.
+    pub fn take(&self) -> Vec<Vec<u8>> {
+        self.queue
+            .lock()
+            .map(|mut q| std::mem::take(&mut *q))
+            .unwrap_or_default()
+    }
+}
+
+/// What one readiness-driven read pass observed.
+pub(crate) struct ReadPass {
+    /// Complete frame bodies decoded this pass, in arrival order.
+    pub frames: Vec<Vec<u8>>,
+    /// The peer half-closed its send direction (clean EOF).
+    pub eof: bool,
+    /// Any byte arrived (resets the idle clock).
+    pub progress: bool,
+}
+
+/// One multiplexed connection.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    peer: Option<SocketAddr>,
+    decoder: FrameDecoder,
+    /// Encoded bytes accepted for write but not yet taken by the socket.
+    out: VecDeque<u8>,
+    /// Worker-facing response queue; see the module docs.
+    pub outbox: Arc<Outbox>,
+    /// Last instant the peer showed signs of life.
+    pub last_activity: Instant,
+    /// The peer may still send frames (false after EOF or drain).
+    pub read_open: bool,
+    /// The epoll interest mask currently registered for this socket.
+    pub registered_interest: u32,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream) -> Conn {
+        let peer = stream.peer_addr().ok();
+        Conn {
+            stream,
+            peer,
+            decoder: FrameDecoder::new(),
+            out: VecDeque::new(),
+            outbox: Arc::new(Outbox::default()),
+            last_activity: Instant::now(),
+            read_open: true,
+            registered_interest: 0,
+        }
+    }
+
+    /// Reads until the socket would block, feeding the framing state
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// A framing violation (oversized prefix) or a hard socket error;
+    /// either way the connection is beyond recovery.
+    pub fn read_ready(&mut self) -> common::Result<ReadPass> {
+        let mut pass = ReadPass {
+            frames: Vec::new(),
+            eof: false,
+            progress: false,
+        };
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    pass.eof = true;
+                    pass.progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    pass.progress = true;
+                    self.decoder.push(&chunk[..n]);
+                    while let Some(body) = self.next_frame()? {
+                        pass.frames.push(body);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    return Err(self.attribute(common::Error::server(
+                        common::ServerKind::Io,
+                        "read_ready",
+                        e.to_string(),
+                    )))
+                }
+            }
+        }
+        if pass.progress {
+            self.last_activity = Instant::now();
+        }
+        Ok(pass)
+    }
+
+    fn next_frame(&mut self) -> common::Result<Option<Vec<u8>>> {
+        let peer = self.peer;
+        self.decoder.next_frame().map_err(|e| match peer {
+            Some(p) => e.with_peer(p),
+            None => e,
+        })
+    }
+
+    fn attribute(&self, e: common::Error) -> common::Error {
+        match self.peer {
+            Some(p) => e.with_peer(p),
+            None => e,
+        }
+    }
+
+    /// Moves worker responses into the write ring and flushes as much
+    /// as the socket accepts.
+    ///
+    /// # Errors
+    ///
+    /// A hard write error — the peer is gone.
+    pub fn pump_out(&mut self) -> common::Result<()> {
+        for bytes in self.outbox.take() {
+            self.out.extend(bytes);
+        }
+        while !self.out.is_empty() {
+            let (head, _) = self.out.as_slices();
+            match self.stream.write(head) {
+                Ok(0) => {
+                    return Err(self.attribute(common::Error::server(
+                        common::ServerKind::Io,
+                        "pump_out",
+                        "socket accepted zero bytes".to_string(),
+                    )))
+                }
+                Ok(n) => {
+                    self.out.drain(..n);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    return Err(self.attribute(common::Error::server(
+                        common::ServerKind::Io,
+                        "pump_out",
+                        e.to_string(),
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes remain that the socket has not yet taken — keep
+    /// `EPOLLOUT` interest registered.
+    pub fn wants_write(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Nothing pending in either the write ring or the worker outbox.
+    pub fn flushed(&self) -> bool {
+        self.out.is_empty()
+            && self
+                .outbox
+                .queue
+                .lock()
+                .map(|q| q.is_empty())
+                .unwrap_or(true)
+    }
+
+    /// No queued shard job still holds a reply handle to this
+    /// connection (the reactor's own `Arc` is then the only one).
+    pub fn no_inflight_jobs(&self) -> bool {
+        Arc::strong_count(&self.outbox) == 1
+    }
+}

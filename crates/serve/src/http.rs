@@ -8,7 +8,11 @@
 //! * `GET /metrics` — the [`obs::Registry`] snapshot in the Prometheus
 //!   text exposition format (version 0.0.4);
 //! * `GET /healthz` — `ok`, for readiness polling;
+//! * a known path with any other method — 405 with an `Allow: GET`
+//!   header;
 //! * anything else — 404.
+//!
+//! Every response carries a correct `Content-Length`.
 
 use obs::Registry;
 use std::io::{Read, Write};
@@ -79,21 +83,36 @@ fn handle(mut stream: std::net::TcpStream, registry: &Registry) {
         .unwrap_or(b"")
         .to_vec();
     let is_get = request_line.starts_with(b"GET ");
-    let (status, content_type, body) = match (is_get, target.as_slice()) {
+    let known_path = matches!(target.as_slice(), b"/metrics" | b"/healthz");
+    let (status, content_type, body, allow) = match (is_get, target.as_slice()) {
         (true, b"/metrics") => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             registry.snapshot().to_prometheus(),
+            false,
         ),
-        (true, b"/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        (true, b"/healthz") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "ok\n".to_string(),
+            false,
+        ),
+        (false, _) if known_path => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+            true,
+        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
             "not found\n".to_string(),
+            false,
         ),
     };
+    let allow_header = if allow { "Allow: GET\r\n" } else { "" };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\n{allow_header}Content-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     );
     let _ = stream.write_all(response.as_bytes());
@@ -130,6 +149,14 @@ mod tests {
         assert!(metrics.contains("boreas_serve_frames_total 3"), "{metrics}");
         assert!(get(addr, "/healthz").contains("ok"));
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut post = String::new();
+        s.read_to_string(&mut post).expect("response");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+        assert!(post.contains("Allow: GET\r\n"), "{post}");
+        assert!(post.contains("Content-Length:"), "{post}");
 
         stop.store(true, Ordering::SeqCst);
         handle.join().expect("join");

@@ -15,7 +15,7 @@
 //! Numbers are kept as raw tokens until a typed accessor is called, so
 //! `u64` fields above 2^53 never round-trip through an `f64`.
 
-use common::{Error, Result};
+use common::{Error, ProtocolKind, Result};
 
 /// Maximum nesting depth the parser accepts (the protocol needs 4).
 const MAX_DEPTH: usize = 32;
@@ -65,9 +65,13 @@ impl Json {
     /// The number as an `f64`, or a protocol error naming `what`.
     pub fn as_f64(&self, what: &'static str) -> Result<f64> {
         match self {
-            Json::Num(tok) => tok
-                .parse::<f64>()
-                .map_err(|_| Error::protocol(what, format!("bad number token `{tok}`"))),
+            Json::Num(tok) => tok.parse::<f64>().map_err(|_| {
+                Error::protocol(
+                    ProtocolKind::Malformed,
+                    what,
+                    format!("bad number token `{tok}`"),
+                )
+            }),
             other => Err(type_err(what, "number", other)),
         }
     }
@@ -76,7 +80,11 @@ impl Json {
     pub fn as_u64(&self, what: &'static str) -> Result<u64> {
         match self {
             Json::Num(tok) => tok.parse::<u64>().map_err(|_| {
-                Error::protocol(what, format!("expected unsigned integer, got `{tok}`"))
+                Error::protocol(
+                    ProtocolKind::Schema,
+                    what,
+                    format!("expected unsigned integer, got `{tok}`"),
+                )
             }),
             other => Err(type_err(what, "number", other)),
         }
@@ -89,7 +97,7 @@ impl Json {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
-            .ok_or_else(|| Error::protocol(key, "missing field".to_string()))
+            .ok_or_else(|| Error::protocol(ProtocolKind::Schema, key, "missing field".to_string()))
     }
 }
 
@@ -102,7 +110,11 @@ fn type_err(what: &'static str, want: &str, got: &Json) -> Error {
         Json::Arr(_) => "array",
         Json::Obj(_) => "object",
     };
-    Error::protocol(what, format!("expected {want}, got {kind}"))
+    Error::protocol(
+        ProtocolKind::Schema,
+        what,
+        format!("expected {want}, got {kind}"),
+    )
 }
 
 // ---------------------------------------------------------------- writer
@@ -117,6 +129,7 @@ fn type_err(what: &'static str, want: &str, got: &Json) -> Error {
 pub fn push_f64(out: &mut String, v: f64, what: &'static str) -> Result<()> {
     if !v.is_finite() {
         return Err(Error::protocol(
+            ProtocolKind::NonFinite,
             what,
             format!("non-finite value {v} cannot be encoded"),
         ));
@@ -172,7 +185,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> Error {
-        Error::protocol("json", format!("{} at byte {}", msg.into(), self.pos))
+        Error::protocol(
+            ProtocolKind::Malformed,
+            "json",
+            format!("{} at byte {}", msg.into(), self.pos),
+        )
     }
 
     fn peek(&self) -> Option<u8> {

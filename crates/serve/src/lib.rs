@@ -9,7 +9,13 @@
 //!   that accepts length-prefixed JSON [`boreas_core::TelemetryFrame`]s
 //!   over TCP, shards them across independent control loops (one per
 //!   die id), applies backpressure with bounded per-shard queues and
-//!   drains cleanly on SIGTERM;
+//!   drains cleanly on SIGTERM. Two runtime-selectable I/O backends
+//!   ([`Backend`]) carry the bytes: thread-per-connection, or a set of
+//!   epoll reactor threads ([`reactor`], Linux) multiplexing every
+//!   connection — both serve byte-identical decision streams;
+//! * [`cli`] — the shared flag parser used by both binaries (`--flag
+//!   value` and `--flag=value`, generated `--help`, unknown flags are
+//!   errors);
 //! * [`protocol`] — the wire codec: canonical JSON bodies behind 4-byte
 //!   big-endian length prefixes, with bit-exact `f64` round trips;
 //! * [`http`] — a tiny `GET /metrics` responder exposing the shared
@@ -23,14 +29,17 @@
 //! decision-latency percentiles into `BENCH_serving.json`). See the
 //! README "serving quickstart" and DESIGN §15.
 
+pub mod cli;
+mod conn;
 pub mod http;
 pub mod json;
 pub mod protocol;
+mod reactor;
 pub mod server;
 pub mod signal;
 
 pub use protocol::{
     decode_frame, decode_response, encode_frame, encode_response, read_frame, write_frame,
-    Incoming, Response, MAX_FRAME_BYTES,
+    FrameDecoder, Incoming, Response, MAX_FRAME_BYTES,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{Backend, ServeConfig, ServeConfigBuilder, Server};

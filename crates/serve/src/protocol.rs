@@ -25,7 +25,7 @@
 use boreas_core::{ControlDecision, ControlStage, Decision, TelemetryFrame};
 use common::time::SimTime;
 use common::units::{Celsius, GigaHertz, Volts, Watts};
-use common::{Error, Result};
+use common::{Error, ProtocolKind, Result, ServerKind};
 use hotgauge::{Severity, StepRecord};
 use perfsim::{CounterId, IntervalCounters, NUM_COUNTERS};
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,7 @@ pub enum Incoming {
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<()> {
     if body.len() > MAX_FRAME_BYTES {
         return Err(Error::protocol(
+            ProtocolKind::Framing,
             "write_frame",
             format!("body of {} bytes exceeds {MAX_FRAME_BYTES}", body.len()),
         ));
@@ -92,7 +93,7 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<()> {
     w.write_all(&len)
         .and_then(|()| w.write_all(body))
         .and_then(|()| w.flush())
-        .map_err(|e| Error::server("write_frame", e.to_string()))
+        .map_err(|e| Error::server(ServerKind::Io, "write_frame", e.to_string()))
 }
 
 /// Reads one length-prefixed message.
@@ -116,6 +117,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Incoming> {
     let len = u32::from_be_bytes(prefix) as usize;
     if len > MAX_FRAME_BYTES {
         return Err(Error::protocol(
+            ProtocolKind::Framing,
             "read_frame",
             format!("length prefix {len} exceeds {MAX_FRAME_BYTES}"),
         ));
@@ -123,6 +125,88 @@ pub fn read_frame(r: &mut impl Read) -> Result<Incoming> {
     let mut body = vec![0u8; len];
     read_exact_retrying(r, &mut body)?;
     Ok(Incoming::Frame(body))
+}
+
+/// The push-based side of the framing state machine, for
+/// readiness-driven I/O.
+///
+/// The blocking [`read_frame`] pulls bytes until a message completes;
+/// a reactor cannot do that — `epoll` hands it whatever the kernel has,
+/// which splits and coalesces messages arbitrarily. `FrameDecoder`
+/// accepts those byte runs via [`FrameDecoder::push`] and yields each
+/// complete message body from [`FrameDecoder::next_frame`], carrying
+/// the partial prefix/body across calls. The framing rules are the
+/// module's: 4-byte big-endian length, bodies capped at
+/// [`MAX_FRAME_BYTES`], an oversized prefix is a fatal protocol error.
+///
+/// Equivalence with the blocking reader over every possible split is
+/// pinned by `tests/proptest_framing.rs`.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Unconsumed bytes; `start` indexes the first live byte so frame
+    /// extraction does not re-copy the whole buffer.
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder at a message boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: once the consumed prefix dominates,
+        // shift the live tail down instead of extending forever.
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete message body, `None` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] when the buffered length prefix exceeds
+    /// [`MAX_FRAME_BYTES`] — nothing sensible can follow on this byte
+    /// stream.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let prefix: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4-byte slice");
+        let len = u32::from_be_bytes(prefix) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(Error::protocol(
+                ProtocolKind::Framing,
+                "read_frame",
+                format!("length prefix {len} exceeds {MAX_FRAME_BYTES}"),
+            ));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let body = self.buf[self.start + 4..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(body))
+    }
+
+    /// `true` when bytes of an incomplete message are buffered — EOF in
+    /// this state is a mid-message truncation, not a clean close.
+    pub fn mid_message(&self) -> bool {
+        self.buf.len() > self.start
+    }
 }
 
 enum BoundaryRead {
@@ -140,6 +224,7 @@ fn read_exact_at_boundary(r: &mut impl Read, buf: &mut [u8]) -> Result<BoundaryR
             Ok(0) if filled == 0 => return Ok(BoundaryRead::Closed),
             Ok(0) => {
                 return Err(Error::protocol(
+                    ProtocolKind::Framing,
                     "read_frame",
                     "connection closed mid-message".to_string(),
                 ))
@@ -153,7 +238,7 @@ fn read_exact_at_boundary(r: &mut impl Read, buf: &mut [u8]) -> Result<BoundaryR
                 return Ok(BoundaryRead::Idle)
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-            Err(e) => return Err(Error::server("read_frame", e.to_string())),
+            Err(e) => return Err(Error::server(ServerKind::Io, "read_frame", e.to_string())),
         }
     }
     Ok(BoundaryRead::Done)
@@ -166,6 +251,7 @@ fn read_exact_retrying(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Err(Error::protocol(
+                    ProtocolKind::Framing,
                     "read_frame",
                     "connection closed mid-message".to_string(),
                 ))
@@ -176,7 +262,7 @@ fn read_exact_retrying(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
                     e.kind(),
                     ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
                 ) => {}
-            Err(e) => return Err(Error::server("read_frame", e.to_string())),
+            Err(e) => return Err(Error::server(ServerKind::Io, "read_frame", e.to_string())),
         }
     }
     Ok(())
@@ -244,12 +330,22 @@ fn encode_record(s: &mut String, r: &StepRecord) -> Result<()> {
 ///
 /// [`Error::Protocol`] for malformed JSON or a missing/ill-typed field.
 pub fn decode_frame(body: &[u8]) -> Result<TelemetryFrame> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| Error::protocol("frame", "body is not UTF-8".to_string()))?;
+    let text = std::str::from_utf8(body).map_err(|_| {
+        Error::protocol(
+            ProtocolKind::Malformed,
+            "frame",
+            "body is not UTF-8".to_string(),
+        )
+    })?;
     let v = json::parse(text)?;
     let shard = v.get("shard")?.as_u64("shard")?;
-    let shard = u32::try_from(shard)
-        .map_err(|_| Error::protocol("shard", format!("{shard} exceeds u32")))?;
+    let shard = u32::try_from(shard).map_err(|_| {
+        Error::protocol(
+            ProtocolKind::Schema,
+            "shard",
+            format!("{shard} exceeds u32"),
+        )
+    })?;
     let seq = v.get("seq")?.as_u64("seq")?;
     let record = decode_record(v.get("record")?)?;
     Ok(TelemetryFrame { shard, seq, record })
@@ -259,6 +355,7 @@ fn decode_record(v: &Json) -> Result<StepRecord> {
     let values = v.get("counters")?.get("values")?.as_arr("values")?;
     if values.len() != NUM_COUNTERS {
         return Err(Error::protocol(
+            ProtocolKind::Schema,
             "counters",
             format!("expected {NUM_COUNTERS} values, got {}", values.len()),
         ));
@@ -276,6 +373,7 @@ fn decode_record(v: &Json) -> Result<StepRecord> {
     let xy = v.get("hotspot_xy")?.as_arr("hotspot_xy")?;
     if xy.len() != 2 {
         return Err(Error::protocol(
+            ProtocolKind::Schema,
             "hotspot_xy",
             format!("expected 2 coordinates, got {}", xy.len()),
         ));
@@ -364,8 +462,13 @@ fn encode_decision(s: &mut String, d: &ControlDecision) -> Result<()> {
 ///
 /// [`Error::Protocol`] for malformed JSON or a missing/ill-typed field.
 pub fn decode_response(body: &[u8]) -> Result<Response> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| Error::protocol("response", "body is not UTF-8".to_string()))?;
+    let text = std::str::from_utf8(body).map_err(|_| {
+        Error::protocol(
+            ProtocolKind::Malformed,
+            "response",
+            "body is not UTF-8".to_string(),
+        )
+    })?;
     let v = json::parse(text)?;
     if let Ok(inner) = v.get("decision") {
         return Ok(Response::Decision {
@@ -382,6 +485,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response> {
         });
     }
     Err(Error::protocol(
+        ProtocolKind::Schema,
         "response",
         "expected a `decision` or `rejected` envelope".to_string(),
     ))
@@ -422,6 +526,7 @@ fn parse_decision(s: &str) -> Result<Decision> {
         "hold" => Ok(Decision::Hold),
         "step_down" => Ok(Decision::StepDown),
         other => Err(Error::protocol(
+            ProtocolKind::Schema,
             "decision",
             format!("unknown value `{other}`"),
         )),
@@ -441,7 +546,11 @@ fn parse_stage(s: &str) -> Result<ControlStage> {
         "primary" => Ok(ControlStage::Primary),
         "fallback" => Ok(ControlStage::Fallback),
         "safe" => Ok(ControlStage::Safe),
-        other => Err(Error::protocol("stage", format!("unknown value `{other}`"))),
+        other => Err(Error::protocol(
+            ProtocolKind::Schema,
+            "stage",
+            format!("unknown value `{other}`"),
+        )),
     }
 }
 
@@ -563,6 +672,45 @@ mod tests {
 
         let mut w = Vec::new();
         assert!(write_frame(&mut w, &vec![0u8; MAX_FRAME_BYTES + 1]).is_err());
+    }
+
+    #[test]
+    fn frame_decoder_handles_split_and_coalesced_input() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world!").unwrap();
+
+        // Byte-at-a-time: the worst split the kernel can deliver.
+        let mut d = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            d.push(std::slice::from_ref(b));
+            while let Some(frame) = d.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, vec![b"hello".to_vec(), Vec::new(), b"world!".to_vec()]);
+        assert!(!d.mid_message());
+
+        // Fully coalesced: one push yields all three.
+        let mut d = FrameDecoder::new();
+        d.push(&wire);
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"world!");
+        assert_eq!(d.next_frame().unwrap(), None);
+
+        // A partial message is mid-message until its last byte lands.
+        let mut d = FrameDecoder::new();
+        d.push(&wire[..6]);
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(d.mid_message());
+
+        // An oversized prefix is fatal.
+        let mut d = FrameDecoder::new();
+        d.push(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert!(d.next_frame().is_err());
     }
 
     #[test]

@@ -1,22 +1,34 @@
-//! The serving daemon core: shard workers, backpressure, clean drain.
+//! The serving daemon core: two I/O backends in front of shared shard
+//! workers, backpressure, clean drain.
 //!
 //! # Architecture
 //!
 //! ```text
-//!  accept thread ──spawns──► reader thread ──Job──► shard worker 0..N
-//!       │                        │    ▲                  │
-//!       │                        │    └── try_send, ─────┘
-//!       │                   writer thread   bounded   Response
-//!       │                        ▲                       │
-//!       └── non-blocking poll    └───────────────────────┘
+//!                      ┌── Backend::Threads ───────────────┐
+//!  accept thread ──────┤   reader + writer thread per conn │
+//!       │              └── Backend::Epoll ─────────────────┤
+//!       │                  N reactor threads, epoll_wait   │
+//!       │                            │ Job (decoded frame) │
+//!       │                            ▼                     │
+//!       │                   shard worker 0..N  ──Response──┘
+//!       └── cap check, non-blocking poll
 //! ```
 //!
 //! * One **accept thread** polls a non-blocking listener so it can
-//!   observe the shutdown flag; it never does per-frame work, so a full
-//!   shard queue cannot stall new connections.
-//! * Each connection gets a **reader thread** (decodes frames, routes
-//!   them) and a **writer thread** (serialises responses back), so slow
-//!   clients only slow themselves down.
+//!   observe the shutdown flag; it enforces the connection cap and
+//!   never does per-frame work, so a full shard queue cannot stall new
+//!   connections.
+//! * **Backend-specific I/O** turns socket bytes into decoded frames
+//!   and carries responses back:
+//!   [`Backend::Threads`] gives each connection a reader thread and a
+//!   writer thread (simple, 2 threads per client);
+//!   [`Backend::Epoll`] multiplexes every connection over
+//!   `epoll_wait` on a few reactor threads ([`crate::reactor`]) — the
+//!   scalable path.
+//! * **Backend-generic routing** ([`route_frame`]) is byte-identical
+//!   across backends: decode, pick worker `shard % N`, `try_send` with
+//!   bounded-queue backpressure, answer `Rejected` on a full queue or
+//!   a malformed body.
 //! * **Shard workers** own the control loops: worker `w` holds one
 //!   [`OnlineController`] per die id `d` with `d % workers == w`, so
 //!   each die's frames are processed in order by exactly one thread.
@@ -25,27 +37,33 @@
 //!   interval's GBT inference runs both decision candidates through one
 //!   [`gbt::FlatModel::predict_batch`] pass (see
 //!   `BoreasController::predict_candidates`).
-//! * **Backpressure**: shard queues are bounded ([`ServeConfig::queue_depth`]).
-//!   A full queue rejects the frame immediately — counted in
-//!   `boreas_serve_rejected_total` and answered with
-//!   [`Response::Rejected`] — and never blocks the reader or accept
-//!   loop.
-//! * **Drain**: [`Server::request_shutdown`] stops the accept loop and
-//!   the readers; queue senders drop, workers finish every frame
-//!   already queued, writers flush every pending response, then
+//! * **Backpressure**: shard queues are bounded
+//!   ([`ServeConfigBuilder::queue_depth`]). A full queue rejects the
+//!   frame immediately — counted in `boreas_serve_rejected_total` and
+//!   answered with [`Response::Rejected`] — and never blocks the
+//!   reader or accept loop.
+//! * **Drain**: [`Server::request_shutdown`] stops the accept loop,
+//!   the readers and the reactors' ingest; queue senders drop, workers
+//!   finish every frame already queued, pending responses flush, then
 //!   [`Server::join`] returns. Nothing accepted is thrown away.
+//!
+//! Because routing, the workers and the codec are shared, the two
+//! backends serve **byte-identical decision streams** for the same
+//! per-die frame sequences — pinned by
+//! `tests/backend_equivalence.rs`.
 
 use boreas_core::{Controller, OnlineController, VfTable};
-use common::{Error, Result};
+use common::{Error, Result, ServerKind};
 use engine::ControllerSpec;
 use obs::{Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{self, Incoming, Response};
 
@@ -56,75 +74,322 @@ const POLL: Duration = Duration::from_millis(50);
 /// starve the response path indefinitely.
 const MAX_TICK_BATCH: usize = 256;
 
-/// Configuration for [`Server::bind`].
+/// Which I/O backend carries bytes between sockets and shard workers.
+///
+/// Both backends route through the same workers and codec and serve
+/// byte-identical decision streams; they differ only in cost per
+/// connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Two OS threads per connection (a blocking reader and writer).
+    /// Simple and portable; caps out at a few hundred connections.
+    Threads,
+    /// A few reactor threads multiplex all connections via
+    /// `epoll_wait` (Linux only). The scalable path.
+    Epoll,
+}
+
+impl Backend {
+    /// The flag spelling, as accepted by `--backend`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Threads => "threads",
+            Backend::Epoll => "epoll",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Backend> {
+        match s {
+            "threads" => Ok(Backend::Threads),
+            "epoll" => Ok(Backend::Epoll),
+            other => Err(Error::invalid_config(
+                "backend",
+                format!("unknown backend `{other}` (expected `threads` or `epoll`)"),
+            )),
+        }
+    }
+}
+
+/// Validated configuration for [`Server::bind`].
+///
+/// Constructed through [`ServeConfig::builder`], which rejects
+/// out-of-range values (zero shards, zero queue depth, …) at build
+/// time instead of panicking — or silently clamping — at runtime.
+/// [`ServeConfig::default`] is the paper setup (TH-00 flat-70 °C
+/// controller over the paper VF table) for tests and examples.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Shard worker threads (≥ 1); die id `d` is handled by worker
-    /// `d % shards`.
-    pub shards: usize,
-    /// Bounded per-shard queue depth (≥ 1); a full queue rejects.
-    pub queue_depth: usize,
-    /// Recipe for every per-die controller.
-    pub controller: ControllerSpec,
-    /// The legal operating points.
-    pub vf: VfTable,
-    /// VF index each new die's loop starts at.
-    pub start_idx: usize,
-    /// Sensor selector for every loop.
-    pub sensor_idx: usize,
-    /// Metrics sink; pass a shared registry to expose it over HTTP.
-    pub registry: Registry,
+    pub(crate) backend: Backend,
+    pub(crate) shards: usize,
+    pub(crate) queue_depth: usize,
+    pub(crate) io_threads: usize,
+    pub(crate) max_connections: usize,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) controller: ControllerSpec,
+    pub(crate) vf: VfTable,
+    pub(crate) start_idx: usize,
+    pub(crate) sensor_idx: usize,
+    pub(crate) registry: Registry,
 }
 
 impl ServeConfig {
-    /// A config with the paper defaults: 2 shard workers, queue depth
-    /// 64, the 3.75 GHz baseline start index and the bank-maximum
-    /// sensor.
-    pub fn new(controller: ControllerSpec, vf: VfTable) -> Self {
-        let start_idx = VfTable::BASELINE_INDEX.min(vf.len().saturating_sub(1));
-        Self {
+    /// A builder seeded with the paper defaults: thread backend, 2
+    /// shard workers, queue depth 64, 1 reactor thread, 1024-connection
+    /// cap, 60 s idle timeout, the TH-00 flat-70 °C controller on the
+    /// paper VF table, the 3.75 GHz baseline start index and the
+    /// bank-maximum sensor.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::new()
+    }
+
+    /// The selected I/O backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Shard worker threads.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Bounded per-shard queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Reactor I/O threads (epoll backend only).
+    pub fn io_threads(&self) -> usize {
+        self.io_threads
+    }
+
+    /// Concurrent-connection cap enforced at accept.
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Idle timeout after which a silent connection is reaped.
+    pub fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig::builder()
+            .build()
+            .expect("paper-default ServeConfig is valid")
+    }
+}
+
+/// Builder for [`ServeConfig`]; see [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    backend: Backend,
+    shards: usize,
+    queue_depth: usize,
+    io_threads: usize,
+    max_connections: usize,
+    idle_timeout: Duration,
+    controller: Option<ControllerSpec>,
+    vf: Option<VfTable>,
+    start_idx: Option<usize>,
+    sensor_idx: usize,
+    registry: Registry,
+}
+
+impl Default for ServeConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeConfigBuilder {
+    fn new() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            backend: Backend::Threads,
             shards: 2,
             queue_depth: 64,
-            controller,
-            vf,
-            start_idx,
+            io_threads: 1,
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(60),
+            controller: None,
+            vf: None,
+            start_idx: None,
             sensor_idx: telemetry::MAX_SENSOR_BANK,
             registry: Registry::new(),
         }
     }
 
-    /// Sets the shard worker count.
+    /// Selects the I/O backend.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the shard worker count (≥ 1).
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards.max(1);
+        self.shards = shards;
         self
     }
 
-    /// Sets the per-shard queue depth.
+    /// Sets the per-shard bounded queue depth (≥ 1).
     #[must_use]
     pub fn queue_depth(mut self, depth: usize) -> Self {
-        self.queue_depth = depth.max(1);
+        self.queue_depth = depth;
         self
     }
 
-    /// Uses `registry` for the server's metrics.
+    /// Sets the reactor thread count for [`Backend::Epoll`] (≥ 1);
+    /// connections are spread round-robin across reactors.
+    #[must_use]
+    pub fn io_threads(mut self, n: usize) -> Self {
+        self.io_threads = n;
+        self
+    }
+
+    /// Sets the concurrent-connection cap (≥ 1); connections beyond it
+    /// are closed at accept.
+    #[must_use]
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Sets the idle timeout (> 0) after which a connection with no
+    /// traffic is reaped.
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the recipe for every per-die controller (default: the
+    /// TH-00 flat-70 °C thermal controller).
+    #[must_use]
+    pub fn controller(mut self, spec: ControllerSpec) -> Self {
+        self.controller = Some(spec);
+        self
+    }
+
+    /// Sets the legal operating points (default: the paper VF table).
+    #[must_use]
+    pub fn vf(mut self, vf: VfTable) -> Self {
+        self.vf = Some(vf);
+        self
+    }
+
+    /// Sets the VF index each new die's loop starts at (default: the
+    /// 3.75 GHz baseline, clamped to the table).
+    #[must_use]
+    pub fn start_idx(mut self, idx: usize) -> Self {
+        self.start_idx = Some(idx);
+        self
+    }
+
+    /// Sets the sensor selector for every loop.
+    #[must_use]
+    pub fn sensor_idx(mut self, idx: usize) -> Self {
+        self.sensor_idx = idx;
+        self
+    }
+
+    /// Uses `registry` for the server's metrics; pass a shared registry
+    /// to expose it over HTTP.
     #[must_use]
     pub fn registry(mut self, registry: Registry) -> Self {
         self.registry = registry;
         self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for zero shards, zero queue depth,
+    /// zero reactor threads, a zero connection cap, a zero idle
+    /// timeout, an empty VF table or an out-of-range start index.
+    pub fn build(self) -> Result<ServeConfig> {
+        if self.shards == 0 {
+            return Err(Error::invalid_config("shards", "must be at least 1"));
+        }
+        if self.queue_depth == 0 {
+            return Err(Error::invalid_config("queue_depth", "must be at least 1"));
+        }
+        if self.io_threads == 0 {
+            return Err(Error::invalid_config("io_threads", "must be at least 1"));
+        }
+        if self.max_connections == 0 {
+            return Err(Error::invalid_config(
+                "max_connections",
+                "must be at least 1",
+            ));
+        }
+        if self.idle_timeout.is_zero() {
+            return Err(Error::invalid_config(
+                "idle_timeout",
+                "must be positive (there is no `never reap` mode)",
+            ));
+        }
+        let vf = self.vf.unwrap_or_else(VfTable::paper);
+        if vf.is_empty() {
+            return Err(Error::invalid_config("vf", "table must not be empty"));
+        }
+        let start_idx = self
+            .start_idx
+            .unwrap_or_else(|| VfTable::BASELINE_INDEX.min(vf.len() - 1));
+        if start_idx >= vf.len() {
+            return Err(Error::invalid_config(
+                "start_idx",
+                format!("index {start_idx} outside the {}-point VF table", vf.len()),
+            ));
+        }
+        let controller = self
+            .controller
+            .unwrap_or_else(|| ControllerSpec::thermal(vec![Some(70.0); vf.len()], 0.0));
+        Ok(ServeConfig {
+            backend: self.backend,
+            shards: self.shards,
+            queue_depth: self.queue_depth,
+            io_threads: self.io_threads,
+            max_connections: self.max_connections,
+            idle_timeout: self.idle_timeout,
+            controller,
+            vf,
+            start_idx,
+            sensor_idx: self.sensor_idx,
+            registry: self.registry,
+        })
     }
 }
 
 /// The server's metric handles (all registered up front so `/metrics`
 /// shows zeroes rather than gaps before traffic arrives).
 #[derive(Clone)]
-struct Metrics {
-    frames: Counter,
-    decisions: Counter,
-    rejected: Counter,
-    connections: Counter,
-    shards: Gauge,
-    batch: Histogram,
+pub(crate) struct Metrics {
+    pub frames: Counter,
+    pub decisions: Counter,
+    pub rejected: Counter,
+    pub connections: Counter,
+    pub connections_active: Gauge,
+    pub connections_rejected: Counter,
+    pub idle_reaped: Counter,
+    pub shards: Gauge,
+    pub backend: Gauge,
+    pub batch: Histogram,
+    pub epoll_wakeups: Counter,
+    pub epoll_events: Histogram,
 }
 
 impl Metrics {
@@ -146,10 +411,35 @@ impl Metrics {
                 "boreas_serve_connections_total",
                 "Client connections accepted",
             ),
+            connections_active: registry.gauge(
+                "boreas_serve_connections",
+                "Client connections currently open",
+            ),
+            connections_rejected: registry.counter(
+                "boreas_serve_connections_rejected_total",
+                "Connections closed at accept by the connection cap",
+            ),
+            idle_reaped: registry.counter(
+                "boreas_serve_idle_reaped_total",
+                "Connections reaped by the idle timeout",
+            ),
             shards: registry.gauge("boreas_serve_shards", "Shard worker threads"),
+            backend: registry.gauge(
+                "boreas_serve_backend",
+                "Active I/O backend (0 = threads, 1 = epoll)",
+            ),
             batch: registry.histogram(
                 "boreas_serve_batch_frames",
                 "Frames drained per worker tick",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
+            ),
+            epoll_wakeups: registry.counter(
+                "boreas_serve_epoll_wakeups_total",
+                "Reactor epoll_wait returns (epoll backend)",
+            ),
+            epoll_events: registry.histogram(
+                "boreas_serve_epoll_events",
+                "Readiness events delivered per epoll_wait return",
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
             ),
         }
@@ -158,79 +448,240 @@ impl Metrics {
 
 /// One unit of shard work: a decoded frame plus the way back to the
 /// client that sent it.
-struct Job {
-    frame: boreas_core::TelemetryFrame,
-    reply: Sender<Response>,
+pub(crate) struct Job {
+    pub frame: boreas_core::TelemetryFrame,
+    pub reply: ReplySink,
+}
+
+/// The backend-specific way a response reaches its connection.
+#[derive(Clone)]
+pub(crate) enum ReplySink {
+    /// Thread backend: send to the connection's writer thread, which
+    /// encodes and writes.
+    Channel(Sender<Response>),
+    /// Epoll backend: encode here (worker side), push the wire bytes
+    /// into the connection's outbox and wake its reactor.
+    #[cfg(target_os = "linux")]
+    Reactor {
+        outbox: Arc<crate::conn::Outbox>,
+        waker: crate::reactor::Waker,
+    },
+}
+
+impl ReplySink {
+    #[cfg(target_os = "linux")]
+    pub fn reactor(outbox: Arc<crate::conn::Outbox>, waker: crate::reactor::Waker) -> ReplySink {
+        ReplySink::Reactor { outbox, waker }
+    }
+
+    /// Delivers one response; best-effort (a gone client drops it,
+    /// like the thread backend's writer).
+    pub fn send(&self, resp: Response) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(resp);
+            }
+            #[cfg(target_os = "linux")]
+            ReplySink::Reactor { outbox, waker } => {
+                let Ok(body) = protocol::encode_response(&resp) else {
+                    return;
+                };
+                let mut wire = Vec::with_capacity(4 + body.len());
+                wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                wire.extend_from_slice(&body);
+                outbox.push(wire);
+                waker.wake();
+            }
+        }
+    }
+}
+
+/// Backend-generic frame routing: decode, pick the shard worker,
+/// `try_send` with backpressure, answer rejections. Byte-identical
+/// behavior for both backends.
+pub(crate) fn route_frame(
+    body: &[u8],
+    senders: &[SyncSender<Job>],
+    metrics: &Metrics,
+    sink: &ReplySink,
+) {
+    match protocol::decode_frame(body) {
+        Ok(frame) => {
+            let worker = (frame.shard as usize) % senders.len();
+            let (shard, seq) = (frame.shard, frame.seq);
+            let job = Job {
+                frame,
+                reply: sink.clone(),
+            };
+            match senders[worker].try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    metrics.rejected.inc();
+                    sink.send(Response::Rejected {
+                        shard,
+                        seq,
+                        reason: "shard queue full".to_string(),
+                    });
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    metrics.rejected.inc();
+                    sink.send(Response::Rejected {
+                        shard,
+                        seq,
+                        reason: "server draining".to_string(),
+                    });
+                }
+            }
+        }
+        Err(e) => {
+            metrics.rejected.inc();
+            sink.send(Response::Rejected {
+                shard: 0,
+                seq: 0,
+                reason: e.to_string(),
+            });
+        }
+    }
 }
 
 /// A running serving daemon. See the [module docs](self) for the
 /// thread/queue layout.
 pub struct Server {
     local_addr: SocketAddr,
+    backend: Backend,
     shutdown: Arc<AtomicBool>,
     active_connections: Arc<AtomicUsize>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    #[cfg(target_os = "linux")]
+    reactors: Vec<crate::reactor::ReactorHandle>,
+}
+
+/// Where the accept loop hands a fresh connection.
+enum Dispatch {
+    Threads,
+    #[cfg(target_os = "linux")]
+    Reactors {
+        intakes: Vec<(Arc<std::sync::Mutex<Vec<TcpStream>>>, crate::reactor::Waker)>,
+        next: usize,
+    },
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:7070"`, or port 0 for an
-    /// ephemeral port) and starts the accept loop and shard workers.
+    /// ephemeral port) and starts the accept loop, the configured I/O
+    /// backend and the shard workers.
     ///
     /// # Errors
     ///
-    /// [`Error::Server`] when the bind fails, or whatever
+    /// [`Error::Server`] when the bind fails or the epoll backend is
+    /// requested on a non-Linux target, or whatever
     /// [`ControllerSpec::build`] reports for an invalid controller
     /// recipe (the recipe is validated once up front, not per die).
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> Result<Server> {
         // Fail fast on an unbuildable controller instead of per shard.
         config.controller.build()?;
-        let listener = TcpListener::bind(addr).map_err(|e| Error::server("bind", e.to_string()))?;
+        #[cfg(not(target_os = "linux"))]
+        if config.backend == Backend::Epoll {
+            return Err(Error::server(
+                ServerKind::Reactor,
+                "bind",
+                "the epoll backend requires Linux; use Backend::Threads".to_string(),
+            ));
+        }
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| Error::server(ServerKind::Bind, "bind", e.to_string()))?;
         let local_addr = listener
             .local_addr()
-            .map_err(|e| Error::server("local_addr", e.to_string()))?;
+            .map_err(|e| Error::server(ServerKind::Bind, "local_addr", e.to_string()))?;
         listener
             .set_nonblocking(true)
-            .map_err(|e| Error::server("set_nonblocking", e.to_string()))?;
+            .map_err(|e| Error::server(ServerKind::Bind, "set_nonblocking", e.to_string()))?;
 
         let metrics = Metrics::new(&config.registry);
-        let shards = config.shards.max(1);
-        metrics.shards.set(shards as f64);
+        metrics.shards.set(config.shards as f64);
+        metrics.backend.set(match config.backend {
+            Backend::Threads => 0.0,
+            Backend::Epoll => 1.0,
+        });
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let active_connections = Arc::new(AtomicUsize::new(0));
 
-        let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for w in 0..shards {
-            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for w in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
             senders.push(tx);
             let worker_cfg = config.clone();
             let worker_metrics = metrics.clone();
             workers.push(
                 thread::Builder::new()
                     .name(format!("serve-shard-{w}"))
-                    .spawn(move || shard_worker(rx, &worker_cfg, &worker_metrics))
-                    .map_err(|e| Error::server("spawn worker", e.to_string()))?,
+                    .spawn(move || shard_worker(&rx, &worker_cfg, &worker_metrics))
+                    .map_err(|e| Error::server(ServerKind::Spawn, "spawn worker", e.to_string()))?,
             );
         }
+
+        #[cfg(target_os = "linux")]
+        let mut reactors = Vec::new();
+        let dispatch = match config.backend {
+            Backend::Threads => Dispatch::Threads,
+            Backend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    let mut intakes = Vec::with_capacity(config.io_threads);
+                    for r in 0..config.io_threads {
+                        let handle = crate::reactor::spawn_reactor(
+                            r,
+                            senders.clone(),
+                            config.idle_timeout,
+                            metrics.clone(),
+                            shutdown.clone(),
+                            active_connections.clone(),
+                        )?;
+                        intakes.push((handle.intake.clone(), handle.waker.clone()));
+                        reactors.push(handle);
+                    }
+                    Dispatch::Reactors { intakes, next: 0 }
+                }
+                #[cfg(not(target_os = "linux"))]
+                unreachable!("rejected above")
+            }
+        };
 
         let accept = {
             let shutdown = shutdown.clone();
             let active = active_connections.clone();
             let metrics = metrics.clone();
+            let idle_timeout = config.idle_timeout;
+            let max_connections = config.max_connections;
             thread::Builder::new()
                 .name("serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &senders, &shutdown, &active, &metrics))
-                .map_err(|e| Error::server("spawn accept", e.to_string()))?
+                .spawn(move || {
+                    accept_loop(
+                        &listener,
+                        senders,
+                        dispatch,
+                        &shutdown,
+                        &active,
+                        &metrics,
+                        idle_timeout,
+                        max_connections,
+                    );
+                })
+                .map_err(|e| Error::server(ServerKind::Spawn, "spawn accept", e.to_string()))?
         };
 
         Ok(Server {
             local_addr,
+            backend: config.backend,
             shutdown,
             active_connections,
             accept: Some(accept),
             workers,
+            #[cfg(target_os = "linux")]
+            reactors,
         })
     }
 
@@ -239,66 +690,107 @@ impl Server {
         self.local_addr
     }
 
-    /// Begins a clean drain: stop accepting, let readers finish, let
-    /// workers empty their queues. Returns immediately; call
-    /// [`Server::join`] to wait.
+    /// The backend this server runs.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Begins a clean drain: stop accepting, stop ingesting frames,
+    /// let workers empty their queues, flush pending responses.
+    /// Returns immediately; call [`Server::join`] to wait.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        for r in &self.reactors {
+            r.waker.wake();
+        }
     }
 
     /// Waits until the drain completes: the accept loop, every
-    /// connection and every shard worker has exited.
+    /// connection (or reactor) and every shard worker has exited.
     ///
     /// # Errors
     ///
     /// [`Error::Server`] if a server thread panicked.
     pub fn join(mut self) -> Result<()> {
+        let join_err = |what: &'static str| {
+            Error::server(ServerKind::Join, "join", format!("{what} panicked"))
+        };
         if let Some(handle) = self.accept.take() {
-            handle
-                .join()
-                .map_err(|_| Error::server("join", "accept thread panicked".to_string()))?;
+            handle.join().map_err(|_| join_err("accept thread"))?;
         }
-        // The accept thread held the master queue senders; with it gone,
-        // workers exit once the per-connection senders drop too.
+        #[cfg(target_os = "linux")]
+        for r in self.reactors.drain(..) {
+            r.waker.wake();
+            r.thread.join().map_err(|_| join_err("reactor thread"))?;
+        }
+        // Thread backend: the accept thread held the master queue
+        // senders; with it gone, workers exit once the per-connection
+        // senders drop too.
         while self.active_connections.load(Ordering::SeqCst) > 0 {
             thread::sleep(Duration::from_millis(5));
         }
         for handle in self.workers.drain(..) {
-            handle
-                .join()
-                .map_err(|_| Error::server("join", "shard worker panicked".to_string()))?;
+            handle.join().map_err(|_| join_err("shard worker"))?;
         }
         Ok(())
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: &TcpListener,
-    senders: &[SyncSender<Job>],
+    senders: Vec<SyncSender<Job>>,
+    mut dispatch: Dispatch,
     shutdown: &Arc<AtomicBool>,
     active: &Arc<AtomicUsize>,
     metrics: &Metrics,
+    idle_timeout: Duration,
+    max_connections: usize,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    // Cap reached: close immediately. The client sees
+                    // EOF on its first read — cheap and unambiguous.
+                    metrics.connections_rejected.inc();
+                    drop(stream);
+                    continue;
+                }
                 // Decisions are small and latency-sensitive; Nagle +
                 // delayed-ACK stalls them by ~40 ms otherwise.
                 let _ = stream.set_nodelay(true);
                 metrics.connections.inc();
-                spawn_connection(
-                    stream,
-                    senders.to_vec(),
-                    shutdown.clone(),
-                    active.clone(),
-                    metrics.clone(),
-                );
+                active.fetch_add(1, Ordering::SeqCst);
+                metrics
+                    .connections_active
+                    .set(active.load(Ordering::SeqCst) as f64);
+                match &mut dispatch {
+                    Dispatch::Threads => spawn_connection(
+                        stream,
+                        senders.clone(),
+                        shutdown.clone(),
+                        active.clone(),
+                        metrics.clone(),
+                        idle_timeout,
+                    ),
+                    #[cfg(target_os = "linux")]
+                    Dispatch::Reactors { intakes, next } => {
+                        let (intake, waker) = &intakes[*next % intakes.len()];
+                        *next = next.wrapping_add(1);
+                        if let Ok(mut q) = intake.lock() {
+                            q.push(stream);
+                        }
+                        waker.wake();
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
             Err(_) => thread::sleep(POLL),
         }
     }
-    // Dropping `senders` (owned by this closure) releases the master
+    // Dropping `senders` (owned by this function) releases the master
     // queue handles; workers drain and exit once connections close.
 }
 
@@ -308,14 +800,17 @@ fn spawn_connection(
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     metrics: Metrics,
+    idle_timeout: Duration,
 ) {
-    active.fetch_add(1, Ordering::SeqCst);
     let active_in_thread = active.clone();
     let spawned = thread::Builder::new()
         .name("serve-conn".to_string())
         .spawn(move || {
-            connection(stream, &senders, &shutdown, &metrics);
+            connection(stream, &senders, &shutdown, &metrics, idle_timeout);
             active_in_thread.fetch_sub(1, Ordering::SeqCst);
+            metrics
+                .connections_active
+                .set(active_in_thread.load(Ordering::SeqCst) as f64);
         });
     if spawned.is_err() {
         // Thread spawn failed: the connection is dropped on the floor;
@@ -332,6 +827,7 @@ fn connection(
     senders: &[SyncSender<Job>],
     shutdown: &Arc<AtomicBool>,
     metrics: &Metrics,
+    idle_timeout: Duration,
 ) {
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -345,6 +841,8 @@ fn connection(
         .spawn(move || response_writer(write_half, &reply_rx));
     let Ok(writer) = writer else { return };
 
+    let sink = ReplySink::Channel(reply_tx.clone());
+    let mut last_frame = Instant::now();
     let mut read_half = stream;
     loop {
         match protocol::read_frame(&mut read_half) {
@@ -352,45 +850,16 @@ fn connection(
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+                if last_frame.elapsed() > idle_timeout {
+                    metrics.idle_reaped.inc();
+                    break;
+                }
             }
             Ok(Incoming::Closed) => break,
-            Ok(Incoming::Frame(body)) => match protocol::decode_frame(&body) {
-                Ok(frame) => {
-                    let worker = (frame.shard as usize) % senders.len();
-                    let (shard, seq) = (frame.shard, frame.seq);
-                    let job = Job {
-                        frame,
-                        reply: reply_tx.clone(),
-                    };
-                    match senders[worker].try_send(job) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(_)) => {
-                            metrics.rejected.inc();
-                            let _ = reply_tx.send(Response::Rejected {
-                                shard,
-                                seq,
-                                reason: "shard queue full".to_string(),
-                            });
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            metrics.rejected.inc();
-                            let _ = reply_tx.send(Response::Rejected {
-                                shard,
-                                seq,
-                                reason: "server draining".to_string(),
-                            });
-                        }
-                    }
-                }
-                Err(e) => {
-                    metrics.rejected.inc();
-                    let _ = reply_tx.send(Response::Rejected {
-                        shard: 0,
-                        seq: 0,
-                        reason: e.to_string(),
-                    });
-                }
-            },
+            Ok(Incoming::Frame(body)) => {
+                last_frame = Instant::now();
+                route_frame(&body, senders, metrics, &sink);
+            }
             // Framing is broken (truncation, oversize, hard I/O error):
             // nothing sensible can follow on this byte stream.
             Err(_) => break,
@@ -398,6 +867,7 @@ fn connection(
     }
     // Drop our reply sender; the writer drains what the workers still
     // send for in-flight jobs and exits when the last clone goes.
+    drop(sink);
     drop(reply_tx);
     let _ = writer.join();
 }
@@ -429,7 +899,7 @@ fn build_controller(spec: &ControllerSpec) -> Result<Box<dyn Controller + Send>>
 
 /// One shard worker: owns the control loops of every die id mapped to
 /// it and processes its queue in tick batches.
-fn shard_worker(rx: Receiver<Job>, config: &ServeConfig, metrics: &Metrics) {
+fn shard_worker(rx: &Receiver<Job>, config: &ServeConfig, metrics: &Metrics) {
     let mut loops: HashMap<u32, OnlineController<Box<dyn Controller + Send>>> = HashMap::new();
     let mut batch: Vec<Job> = Vec::new();
     loop {
@@ -456,7 +926,7 @@ fn shard_worker(rx: Receiver<Job>, config: &ServeConfig, metrics: &Metrics) {
                         // Validated in `Server::bind`; per-die failure
                         // here means the spec regressed — reject.
                         metrics.rejected.inc();
-                        let _ = job.reply.send(Response::Rejected {
+                        job.reply.send(Response::Rejected {
                             shard: die,
                             seq: job.frame.seq,
                             reason: "controller construction failed".to_string(),
@@ -470,7 +940,7 @@ fn shard_worker(rx: Receiver<Job>, config: &ServeConfig, metrics: &Metrics) {
                         Ok(o) => e.insert(o),
                         Err(_) => {
                             metrics.rejected.inc();
-                            let _ = job.reply.send(Response::Rejected {
+                            job.reply.send(Response::Rejected {
                                 shard: die,
                                 seq: job.frame.seq,
                                 reason: "control loop construction failed".to_string(),
@@ -483,12 +953,53 @@ fn shard_worker(rx: Receiver<Job>, config: &ServeConfig, metrics: &Metrics) {
             metrics.frames.inc();
             if let Some(decision) = online.observe(&job.frame) {
                 metrics.decisions.inc();
-                let _ = job.reply.send(Response::Decision {
+                job.reply.send(Response::Decision {
                     shard: die,
                     seq: job.frame.seq,
                     decision,
                 });
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        assert!(ServeConfig::builder().shards(0).build().is_err());
+        assert!(ServeConfig::builder().queue_depth(0).build().is_err());
+        assert!(ServeConfig::builder().io_threads(0).build().is_err());
+        assert!(ServeConfig::builder().max_connections(0).build().is_err());
+        assert!(ServeConfig::builder()
+            .idle_timeout(Duration::ZERO)
+            .build()
+            .is_err());
+        assert!(ServeConfig::builder()
+            .start_idx(usize::MAX)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_defaults_are_the_paper_setup() {
+        let c = ServeConfig::default();
+        assert_eq!(c.backend(), Backend::Threads);
+        assert_eq!(c.shards(), 2);
+        assert_eq!(c.queue_depth(), 64);
+        assert_eq!(c.io_threads(), 1);
+        assert_eq!(c.max_connections(), 1024);
+        assert_eq!(c.idle_timeout(), Duration::from_secs(60));
+        assert_eq!(c.start_idx, VfTable::BASELINE_INDEX);
+    }
+
+    #[test]
+    fn backend_parses_its_flag_spellings() {
+        assert_eq!("threads".parse::<Backend>().unwrap(), Backend::Threads);
+        assert_eq!("epoll".parse::<Backend>().unwrap(), Backend::Epoll);
+        assert_eq!(Backend::Epoll.to_string(), "epoll");
+        assert!("tokio".parse::<Backend>().is_err());
     }
 }

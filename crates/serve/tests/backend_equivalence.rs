@@ -1,0 +1,141 @@
+//! The tentpole invariant, pinned: the thread-per-connection backend
+//! and the epoll reactor backend serve **byte-identical** decision
+//! streams for the same per-die frame sequences. Shard routing keeps
+//! per-die order, the workers and the canonical JSON codec are shared,
+//! so nothing in the I/O layer may leak into the decisions.
+#![cfg(target_os = "linux")]
+
+use boreas_core::{TelemetryFrame, VfTable};
+use boreas_serve::protocol::{self, Incoming, Response};
+use boreas_serve::{Backend, ServeConfig, Server};
+use common::units::{GigaHertz, Volts};
+use engine::ControllerSpec;
+use hotgauge::StepRecord;
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use workloads::WorkloadSpec;
+
+fn traces(dies: usize, steps: usize) -> Vec<Vec<StepRecord>> {
+    let mut cfg = hotgauge::PipelineConfig::paper();
+    cfg.grid = floorplan::GridSpec::new(8, 6).unwrap();
+    let p = cfg.build().unwrap();
+    let pool = WorkloadSpec::test_set();
+    (0..dies)
+        .map(|d| {
+            p.run_fixed(
+                &pool[d % pool.len()],
+                GigaHertz::new(3.75),
+                Volts::new(0.925),
+                steps,
+            )
+            .unwrap()
+            .records
+        })
+        .collect()
+}
+
+/// Streams every die over `conns` sockets against one server and
+/// returns the canonical re-encoded decision bytes keyed by
+/// `(die, seq)`.
+fn serve_and_collect(
+    backend: Backend,
+    traces: &[Vec<StepRecord>],
+    conns: usize,
+) -> BTreeMap<(u32, u64), Vec<u8>> {
+    let config = ServeConfig::builder()
+        .backend(backend)
+        .shards(2)
+        .queue_depth(1024)
+        .io_threads(2)
+        .controller(ControllerSpec::thermal(
+            vec![Some(70.0); VfTable::paper().len()],
+            0.0,
+        ))
+        .build()
+        .unwrap();
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let steps = traces[0].len();
+
+    let mut handles = Vec::new();
+    for c in 0..conns {
+        let owned: Vec<(u32, Vec<StepRecord>)> = traces
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| d % conns == c)
+            .map(|(d, t)| (d as u32, t.clone()))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_nodelay(true).unwrap();
+            for t in 0..steps {
+                for (die, tr) in &owned {
+                    let frame = TelemetryFrame::new(*die, t as u64, tr[t].clone());
+                    let body = protocol::encode_frame(&frame).unwrap();
+                    protocol::write_frame(&mut stream, &body).unwrap();
+                }
+            }
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            // The server answers everything queued, then closes.
+            stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .unwrap();
+            let deadline = Instant::now() + Duration::from_secs(15);
+            let mut out = BTreeMap::new();
+            while Instant::now() < deadline {
+                match protocol::read_frame(&mut stream) {
+                    Ok(Incoming::Frame(body)) => {
+                        let resp = protocol::decode_response(&body).unwrap();
+                        if let Response::Decision { shard, seq, .. } = &resp {
+                            let canonical = protocol::encode_response(&resp).unwrap();
+                            out.insert((*shard, *seq), canonical);
+                        }
+                    }
+                    Ok(Incoming::Idle) => continue,
+                    Ok(Incoming::Closed) => break,
+                    Err(e) => panic!("read error: {e}"),
+                }
+            }
+            out
+        }));
+    }
+    let mut merged = BTreeMap::new();
+    for h in handles {
+        merged.extend(h.join().unwrap());
+    }
+    server.request_shutdown();
+    server.join().unwrap();
+    merged
+}
+
+#[test]
+fn both_backends_serve_byte_identical_decisions() {
+    let dies = 4;
+    let steps = 36;
+    let traces = traces(dies, steps);
+    let expected = dies * (steps / 12);
+
+    let threads = serve_and_collect(Backend::Threads, &traces, 2);
+    let epoll = serve_and_collect(Backend::Epoll, &traces, 2);
+    let epoll_many = serve_and_collect(Backend::Epoll, &traces, 4);
+
+    assert_eq!(
+        threads.len(),
+        expected,
+        "threads backend answers every interval"
+    );
+    assert_eq!(
+        epoll.len(),
+        expected,
+        "epoll backend answers every interval"
+    );
+    assert_eq!(
+        threads, epoll,
+        "decision bytes must be identical across backends"
+    );
+    assert_eq!(
+        epoll, epoll_many,
+        "decision bytes must not depend on the connection fan-in"
+    );
+}

@@ -1,17 +1,27 @@
 //! In-process integration tests for the serving daemon: a real
 //! [`Server`] on an ephemeral port, driven over a real socket with the
 //! public wire protocol, checked against an offline
-//! [`OnlineController`] replay of the same frames.
+//! [`OnlineController`] replay of the same frames. Backend-sensitive
+//! tests run once per [`Backend`].
 
 use boreas_core::{OnlineController, TelemetryFrame, ThermalController, VfTable};
 use boreas_serve::protocol::{self, Incoming, Response};
-use boreas_serve::{ServeConfig, Server};
+use boreas_serve::{Backend, ServeConfig, ServeConfigBuilder, Server};
 use common::units::{GigaHertz, Volts};
 use engine::ControllerSpec;
 use hotgauge::StepRecord;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use workloads::WorkloadSpec;
+
+/// The backends available on this target.
+fn backends() -> Vec<Backend> {
+    if cfg!(target_os = "linux") {
+        vec![Backend::Threads, Backend::Epoll]
+    } else {
+        vec![Backend::Threads]
+    }
+}
 
 /// Generates `steps` fixed-frequency records for one workload — the
 /// same trace shape `boreas_loadgen` replays.
@@ -27,6 +37,13 @@ fn trace(workload: &str, steps: usize) -> Vec<StepRecord> {
 
 fn thresholds() -> Vec<Option<f64>> {
     vec![Some(70.0); VfTable::paper().len()]
+}
+
+fn base_config(backend: Backend) -> ServeConfigBuilder {
+    ServeConfig::builder()
+        .backend(backend)
+        .controller(ControllerSpec::thermal(thresholds(), 0.0))
+        .vf(VfTable::paper())
 }
 
 /// Reads responses until `want` arrive or the deadline passes.
@@ -49,12 +66,20 @@ fn read_responses(stream: &mut TcpStream, want: usize) -> Vec<Response> {
 
 #[test]
 fn served_decisions_match_offline_replay() {
+    for backend in backends() {
+        served_decisions_match_offline_replay_on(backend);
+    }
+}
+
+fn served_decisions_match_offline_replay_on(backend: Backend) {
     let vf = VfTable::paper();
     let registry = obs::Registry::new();
-    let config = ServeConfig::new(ControllerSpec::thermal(thresholds(), 0.0), vf.clone())
+    let config = base_config(backend)
         .shards(2)
         .queue_depth(256)
-        .registry(registry.clone());
+        .registry(registry.clone())
+        .build()
+        .unwrap();
     let server = Server::bind("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr();
 
@@ -76,7 +101,7 @@ fn served_decisions_match_offline_replay() {
     assert_eq!(
         responses.len(),
         expected,
-        "no frame may be dropped at this depth"
+        "{backend}: no frame may be dropped at this depth"
     );
 
     // Offline replay of the identical frames, per die.
@@ -102,7 +127,7 @@ fn served_decisions_match_offline_replay() {
             .collect();
         assert_eq!(
             served, expected_decisions,
-            "die {die}: served decisions must equal the offline replay"
+            "{backend}: die {die}: served decisions must equal the offline replay"
         );
     }
 
@@ -126,95 +151,204 @@ fn served_decisions_match_offline_replay() {
 
 #[test]
 fn malformed_frame_rejects_without_dropping_the_connection() {
-    let config = ServeConfig::new(ControllerSpec::thermal(thresholds(), 0.0), VfTable::paper());
-    let server = Server::bind("127.0.0.1:0", config).unwrap();
-    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    stream.set_nodelay(true).unwrap();
+    for backend in backends() {
+        let config = base_config(backend).build().unwrap();
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
 
-    // Valid JSON, wrong schema: rejected, connection stays up.
-    protocol::write_frame(&mut stream, b"{\"shard\":1}").unwrap();
-    let rejected = read_responses(&mut stream, 1);
-    match &rejected[0] {
-        Response::Rejected { shard, seq, reason } => {
-            assert_eq!((*shard, *seq), (0, 0));
-            assert!(!reason.is_empty());
-        }
-        other => panic!("expected Rejected, got {other:?}"),
-    }
-
-    // A full interval of valid frames still decides afterwards.
-    let tr = trace("gcc", 12);
-    for (t, r) in tr.iter().enumerate() {
-        let frame = TelemetryFrame::new(0, t as u64, r.clone());
-        protocol::write_frame(&mut stream, &protocol::encode_frame(&frame).unwrap()).unwrap();
-    }
-    let responses = read_responses(&mut stream, 1);
-    assert!(
-        matches!(
-            responses[0],
-            Response::Decision {
-                shard: 0,
-                seq: 11,
-                ..
+        // Valid JSON, wrong schema: rejected, connection stays up.
+        protocol::write_frame(&mut stream, b"{\"shard\":1}").unwrap();
+        let rejected = read_responses(&mut stream, 1);
+        match &rejected[0] {
+            Response::Rejected { shard, seq, reason } => {
+                assert_eq!((*shard, *seq), (0, 0));
+                assert!(!reason.is_empty());
             }
-        ),
-        "decision still served after a rejected frame: {:?}",
-        responses[0]
-    );
+            other => panic!("{backend}: expected Rejected, got {other:?}"),
+        }
 
-    drop(stream);
-    server.request_shutdown();
-    server.join().unwrap();
+        // A full interval of valid frames still decides afterwards.
+        let tr = trace("gcc", 12);
+        for (t, r) in tr.iter().enumerate() {
+            let frame = TelemetryFrame::new(0, t as u64, r.clone());
+            protocol::write_frame(&mut stream, &protocol::encode_frame(&frame).unwrap()).unwrap();
+        }
+        let responses = read_responses(&mut stream, 1);
+        assert!(
+            matches!(
+                responses[0],
+                Response::Decision {
+                    shard: 0,
+                    seq: 11,
+                    ..
+                }
+            ),
+            "{backend}: decision still served after a rejected frame: {:?}",
+            responses[0]
+        );
+
+        drop(stream);
+        server.request_shutdown();
+        server.join().unwrap();
+    }
 }
 
 #[test]
 fn backpressure_accounting_balances_under_a_tiny_queue() {
-    let registry = obs::Registry::new();
-    let config = ServeConfig::new(ControllerSpec::thermal(thresholds(), 0.0), VfTable::paper())
-        .shards(1)
-        .queue_depth(1)
-        .registry(registry.clone());
-    let server = Server::bind("127.0.0.1:0", config).unwrap();
-    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    stream.set_nodelay(true).unwrap();
+    for backend in backends() {
+        let registry = obs::Registry::new();
+        let config = base_config(backend)
+            .shards(1)
+            .queue_depth(1)
+            .registry(registry.clone())
+            .build()
+            .unwrap();
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
 
-    // Blast ten intervals at a depth-1 queue without reading responses;
-    // whatever the timing, every frame is either observed or rejected.
-    let tr = trace("gromacs", 12);
-    let sent = 120usize;
-    for t in 0..sent {
-        let frame = TelemetryFrame::new(0, t as u64, tr[t % 12].clone());
-        protocol::write_frame(&mut stream, &protocol::encode_frame(&frame).unwrap()).unwrap();
+        // Blast ten intervals at a depth-1 queue without reading
+        // responses; whatever the timing, every frame is either observed
+        // or rejected.
+        let tr = trace("gromacs", 12);
+        let sent = 120usize;
+        for t in 0..sent {
+            let frame = TelemetryFrame::new(0, t as u64, tr[t % 12].clone());
+            protocol::write_frame(&mut stream, &protocol::encode_frame(&frame).unwrap()).unwrap();
+        }
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let responses = read_responses(&mut stream, usize::MAX);
+        drop(stream);
+        server.request_shutdown();
+        server.join().unwrap();
+
+        let snap = registry.snapshot();
+        let count = |name: &str| match snap.family(name).map(|f| &f.value) {
+            Some(obs::MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        let observed = count("boreas_serve_frames_total");
+        let rejected = count("boreas_serve_rejected_total");
+        assert_eq!(
+            observed + rejected,
+            sent as u64,
+            "{backend}: every frame is accounted exactly once"
+        );
+        let rejections_seen = responses
+            .iter()
+            .filter(|r| matches!(r, Response::Rejected { .. }))
+            .count();
+        assert_eq!(
+            rejections_seen as u64, rejected,
+            "{backend}: every rejection is answered"
+        );
+        assert_eq!(
+            count("boreas_serve_decisions_total"),
+            observed / 12,
+            "{backend}: one decision per fully observed interval"
+        );
     }
-    stream.shutdown(std::net::Shutdown::Write).unwrap();
-    let responses = read_responses(&mut stream, usize::MAX);
-    drop(stream);
-    server.request_shutdown();
-    server.join().unwrap();
+}
 
-    let snap = registry.snapshot();
-    let count = |name: &str| match snap.family(name).map(|f| &f.value) {
-        Some(obs::MetricValue::Counter(v)) => *v,
-        _ => 0,
-    };
-    let observed = count("boreas_serve_frames_total");
-    let rejected = count("boreas_serve_rejected_total");
-    assert_eq!(
-        observed + rejected,
-        sent as u64,
-        "every frame is accounted exactly once"
-    );
-    let rejections_seen = responses
-        .iter()
-        .filter(|r| matches!(r, Response::Rejected { .. }))
-        .count();
-    assert_eq!(
-        rejections_seen as u64, rejected,
-        "every rejection is answered"
-    );
-    assert_eq!(
-        count("boreas_serve_decisions_total"),
-        observed / 12,
-        "one decision per fully observed interval"
-    );
+#[test]
+fn idle_connections_are_reaped() {
+    for backend in backends() {
+        let registry = obs::Registry::new();
+        let config = base_config(backend)
+            .idle_timeout(Duration::from_millis(200))
+            .registry(registry.clone())
+            .build()
+            .unwrap();
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+
+        // Send nothing; the server must hang up on us.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut closed = false;
+        while Instant::now() < deadline {
+            match protocol::read_frame(&mut stream) {
+                Ok(Incoming::Closed) => {
+                    closed = true;
+                    break;
+                }
+                Ok(Incoming::Idle) => continue,
+                other => panic!("{backend}: unexpected read result: {other:?}"),
+            }
+        }
+        assert!(closed, "{backend}: idle connection must be reaped");
+
+        server.request_shutdown();
+        server.join().unwrap();
+        let snap = registry.snapshot();
+        match snap
+            .family("boreas_serve_idle_reaped_total")
+            .map(|f| &f.value)
+        {
+            Some(obs::MetricValue::Counter(v)) => {
+                assert_eq!(*v, 1, "{backend}: reap is counted")
+            }
+            other => panic!("expected a counter, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn connections_beyond_the_cap_are_closed_at_accept() {
+    for backend in backends() {
+        let registry = obs::Registry::new();
+        let config = base_config(backend)
+            .max_connections(1)
+            .registry(registry.clone())
+            .build()
+            .unwrap();
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+
+        // First connection occupies the single slot — prove it is live
+        // by round-tripping a rejection.
+        let mut first = TcpStream::connect(server.local_addr()).unwrap();
+        protocol::write_frame(&mut first, b"{\"shard\":1}").unwrap();
+        assert_eq!(read_responses(&mut first, 1).len(), 1, "{backend}");
+
+        // Second connection must see EOF without any response.
+        let mut second = TcpStream::connect(server.local_addr()).unwrap();
+        second
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut closed = false;
+        while Instant::now() < deadline {
+            match protocol::read_frame(&mut second) {
+                Ok(Incoming::Closed) => {
+                    closed = true;
+                    break;
+                }
+                Ok(Incoming::Idle) => continue,
+                other => panic!("{backend}: unexpected read result: {other:?}"),
+            }
+        }
+        assert!(closed, "{backend}: over-cap connection must be closed");
+
+        // The first connection still works after the rejection.
+        protocol::write_frame(&mut first, b"{\"shard\":2}").unwrap();
+        assert_eq!(read_responses(&mut first, 1).len(), 1, "{backend}");
+
+        drop(first);
+        drop(second);
+        server.request_shutdown();
+        server.join().unwrap();
+        let snap = registry.snapshot();
+        match snap
+            .family("boreas_serve_connections_rejected_total")
+            .map(|f| &f.value)
+        {
+            Some(obs::MetricValue::Counter(v)) => {
+                assert_eq!(*v, 1, "{backend}: cap rejection is counted")
+            }
+            other => panic!("expected a counter, got {other:?}"),
+        }
+    }
 }

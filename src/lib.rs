@@ -120,7 +120,7 @@ pub mod prelude {
     pub use gbt::{GbtModel, GbtParams, TrainMethod};
     pub use hotgauge::{Pipeline, PipelineConfig, Severity, SeverityParams};
     pub use obs::{FlightEvent, FlightRecorder, Obs, Registry, Tracer};
-    pub use serve::{Response, ServeConfig, Server};
+    pub use serve::{Backend, Response, ServeConfig, Server};
     pub use telemetry::{Dataset, DatasetSpec, FeatureSet};
     pub use workloads::WorkloadSpec;
 }
